@@ -1,0 +1,26 @@
+//! E6a — Theorem 6: the approximate-greedy construction and its quality
+//! guarantees (stretch, subgraph-of-base, degree bound).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use greedy_spanner::approx_greedy::approximate_greedy_spanner;
+use spanner_bench::workloads::{uniform_square, DEFAULT_SEED};
+
+fn bench_approx_quality(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6a_approx_greedy_quality");
+    group.sample_size(10);
+    for n in [200usize, 400] {
+        let points = uniform_square(n, DEFAULT_SEED);
+        group.bench_with_input(BenchmarkId::new("approx_greedy", n), &points, |b, points| {
+            b.iter(|| {
+                let result = approximate_greedy_spanner(points, 0.5).expect("non-empty");
+                assert!(result.spanner.is_edge_subgraph_of(&result.base));
+                result.spanner.num_edges()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_approx_quality);
+criterion_main!(benches);

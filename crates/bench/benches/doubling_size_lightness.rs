@@ -1,0 +1,45 @@
+//! E5 — Corollary 10: greedy (1+ε)-spanner of doubling metrics (uniform and
+//! clustered planar point sets).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use greedy_spanner::greedy_metric::greedy_spanner_of_metric;
+use spanner_bench::workloads::{clustered_square, uniform_square, DEFAULT_SEED};
+
+fn bench_doubling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_doubling_size_lightness");
+    group.sample_size(10);
+    let n = 200usize;
+    let uniform = uniform_square(n, DEFAULT_SEED);
+    let clustered = clustered_square(n, DEFAULT_SEED);
+    for eps in [0.5f64, 1.0] {
+        group.bench_with_input(
+            BenchmarkId::new("greedy_uniform", format!("eps_{eps}")),
+            &eps,
+            |b, &eps| {
+                b.iter(|| {
+                    greedy_spanner_of_metric(&uniform, 1.0 + eps)
+                        .expect("non-empty")
+                        .spanner
+                        .num_edges()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("greedy_clustered", format!("eps_{eps}")),
+            &eps,
+            |b, &eps| {
+                b.iter(|| {
+                    greedy_spanner_of_metric(&clustered, 1.0 + eps)
+                        .expect("non-empty")
+                        .spanner
+                        .num_edges()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_doubling);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! E1 — Figure 1: greedy spanner construction on the cage + star overlays.
+//!
+//! The regression target is the construction cost of the greedy spanner on
+//! the existential-optimality gap instances; the *result* (all cage edges
+//! kept, star is optimal) is asserted so a silent regression cannot slip by.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use greedy_spanner::greedy::greedy_spanner;
+use greedy_spanner::optimality::cage_overlay_instances;
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_fig1_existential_gap");
+    group.sample_size(20);
+    for (name, inst) in cage_overlay_instances(0.1).expect("valid epsilon") {
+        let h_only = inst
+            .graph
+            .filter_edges(|_, e| inst.h_edge_keys.contains(&e.key()));
+        let girth = spanner_graph::girth::girth(&h_only).expect("cages have cycles");
+        let t = (girth - 2) as f64;
+        group.bench_function(name.replace(' ', "_"), |b| {
+            b.iter(|| {
+                let greedy = greedy_spanner(&inst.graph, t).expect("valid stretch");
+                assert_eq!(
+                    inst.count_h_edges_in(greedy.spanner()),
+                    inst.h_edge_keys.len()
+                );
+                greedy.spanner().num_edges()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! E7 — the Section 1.2 comparison: greedy vs Θ-graph vs WSPD vs Baswana–Sen
+//! construction cost on planar point sets.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use greedy_spanner::baselines::{baswana_sen_spanner, theta_graph_spanner, wspd_spanner};
+use greedy_spanner::greedy_metric::greedy_spanner_of_metric;
+use spanner_bench::workloads::{uniform_square, DEFAULT_SEED};
+use spanner_metric::MetricSpace;
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_greedy_vs_baselines");
+    group.sample_size(10);
+    let n = 250usize;
+    let points = uniform_square(n, DEFAULT_SEED);
+    let complete = points.to_complete_graph();
+
+    group.bench_function("greedy_eps_0.5", |b| {
+        b.iter(|| {
+            greedy_spanner_of_metric(&points, 1.5)
+                .expect("non-empty")
+                .spanner
+                .num_edges()
+        })
+    });
+    group.bench_function("theta_12_cones", |b| {
+        b.iter(|| theta_graph_spanner(&points, 12).expect("valid cones").num_edges())
+    });
+    group.bench_function("wspd_eps_0.5", |b| {
+        b.iter(|| wspd_spanner(&points, 0.5).expect("valid epsilon").num_edges())
+    });
+    group.bench_function("baswana_sen_k2", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(DEFAULT_SEED);
+            baswana_sen_spanner(&complete, 2, &mut rng)
+                .expect("valid k")
+                .num_edges()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! E3 — Corollary 5: the greedy O(log n / δ)-spanner (linear size, lightness
+//! at most 1 + δ) on random graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use greedy_spanner::analysis::lightness;
+use greedy_spanner::greedy::greedy_spanner;
+use spanner_bench::workloads::{random_graph, DEFAULT_SEED};
+
+fn bench_lightness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_lightness_one_plus_delta");
+    group.sample_size(10);
+    let n = 300usize;
+    let g = random_graph(n, DEFAULT_SEED);
+    for delta in [0.25f64, 1.0] {
+        let t = (n as f64).log2() / delta;
+        group.bench_with_input(
+            BenchmarkId::new("greedy", format!("delta_{delta}")),
+            &t,
+            |b, &t| {
+                b.iter(|| {
+                    let spanner = greedy_spanner(&g, t).expect("valid stretch");
+                    let l = lightness(&g, spanner.spanner());
+                    assert!(l <= 1.0 + delta + 1e-9, "lightness {l} exceeds 1 + {delta}");
+                    spanner.spanner().num_edges()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lightness);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! E4 — Lemma 3: verifying that the greedy spanner is its own unique
+//! t-spanner (the self-optimality check used by the property tests).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use greedy_spanner::greedy::greedy_spanner;
+use greedy_spanner::optimality::is_own_unique_spanner;
+use spanner_bench::workloads::{random_graph, DEFAULT_SEED};
+
+fn bench_self_spanner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_self_spanner_check");
+    group.sample_size(10);
+    let g = random_graph(120, DEFAULT_SEED);
+    for t in [1.5f64, 3.0] {
+        let spanner = greedy_spanner(&g, t).expect("valid stretch").into_spanner();
+        group.bench_with_input(
+            BenchmarkId::new("lemma3_check", format!("t_{t}")),
+            &t,
+            |b, &t| {
+                b.iter(|| {
+                    let unique = is_own_unique_spanner(&spanner, t).expect("valid stretch");
+                    assert!(unique);
+                    unique
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_self_spanner);
+criterion_main!(benches);

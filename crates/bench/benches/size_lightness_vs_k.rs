@@ -1,0 +1,27 @@
+//! E2 — Corollary 4: greedy (2k−1)(1+ε)-spanner construction on random
+//! graphs across the sparseness parameter k.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use greedy_spanner::greedy::greedy_spanner;
+use spanner_bench::workloads::{random_graph, DEFAULT_SEED};
+
+fn bench_size_vs_k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_size_lightness_vs_k");
+    group.sample_size(10);
+    let g = random_graph(300, DEFAULT_SEED);
+    for k in [2usize, 3, 5] {
+        let t = (2 * k - 1) as f64 * 1.5;
+        group.bench_with_input(BenchmarkId::new("greedy", k), &t, |b, &t| {
+            b.iter(|| {
+                let spanner = greedy_spanner(&g, t).expect("valid stretch");
+                assert!(spanner.spanner().num_edges() >= 299);
+                spanner.spanner().num_edges()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_size_vs_k);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Micro-benchmarks of the substrates every experiment leans on: Dijkstra,
+//! Kruskal, net-hierarchy construction and WSPD construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use spanner_bench::workloads::{random_graph, uniform_square, DEFAULT_SEED};
+use spanner_graph::dijkstra::shortest_path_tree;
+use spanner_graph::mst::kruskal;
+use spanner_graph::VertexId;
+use spanner_metric::net::NetHierarchy;
+use spanner_metric::wspd::{well_separated_pairs, SplitTree};
+
+fn bench_substrates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_micro");
+    group.sample_size(20);
+
+    let g = random_graph(500, DEFAULT_SEED);
+    group.bench_function("dijkstra_sssp_n500", |b| {
+        b.iter(|| shortest_path_tree(&g, VertexId(0)).distances().len())
+    });
+    group.bench_function("kruskal_mst_n500", |b| {
+        b.iter(|| kruskal(&g).total_weight)
+    });
+
+    let points = uniform_square(300, DEFAULT_SEED);
+    group.bench_function("net_hierarchy_n300", |b| {
+        b.iter(|| NetHierarchy::build(&points).height())
+    });
+    group.bench_function("split_tree_wspd_n300", |b| {
+        b.iter(|| {
+            let tree = SplitTree::build(&points);
+            well_separated_pairs(&tree, 4.0).len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrates);
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! Shared harness code for the benchmark suite and the `experiments` binary:
+//! reproducible workloads, spanner-construction wrappers and plain-text table
+//! rendering matching the rows reported in EXPERIMENTS.md.
+
+pub mod tables;
+pub mod workloads;
+
+pub use tables::Table;

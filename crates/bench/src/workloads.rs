@@ -1,0 +1,87 @@
+//! Reproducible workloads shared by the Criterion benches and the
+//! `experiments` binary. Every workload is parameterized by a seed so a table
+//! can be regenerated exactly.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use spanner_graph::generators::{erdos_renyi_connected, random_geometric_connected};
+use spanner_graph::WeightedGraph;
+use spanner_metric::generators::{clustered_points, uniform_points};
+use spanner_metric::EuclideanSpace;
+
+/// Default seed used by the experiment tables.
+pub const DEFAULT_SEED: u64 = 20160722; // PODC'16 week.
+
+/// A connected Erdős–Rényi graph with the edge density used throughout the
+/// graph experiments (average degree ≈ 12, weights in `[1, 10)`).
+pub fn random_graph(n: usize, seed: u64) -> WeightedGraph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let p = (12.0 / n as f64).min(1.0);
+    erdos_renyi_connected(n, p, 1.0..10.0, &mut rng)
+}
+
+/// A connected random geometric graph in the unit square with radius chosen
+/// so the expected degree is ≈ 10.
+pub fn geometric_graph(n: usize, seed: u64) -> WeightedGraph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let radius = (10.0 / (std::f64::consts::PI * n as f64)).sqrt();
+    random_geometric_connected(n, radius, &mut rng).0
+}
+
+/// Uniform points in the unit square (the staple workload of the geometric
+/// spanner experiments).
+pub fn uniform_square(n: usize, seed: u64) -> EuclideanSpace<2> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    uniform_points::<2, _>(n, &mut rng)
+}
+
+/// Clustered points in the unit square (the second staple workload).
+pub fn clustered_square(n: usize, seed: u64) -> EuclideanSpace<2> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    clustered_points::<2, _>(n, (n / 40).max(2), 0.03, &mut rng)
+}
+
+/// Uniform points in the unit 3- and 4-dimensional cubes for the
+/// higher-doubling-dimension rows.
+pub fn uniform_cube_3d(n: usize, seed: u64) -> EuclideanSpace<3> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    uniform_points::<3, _>(n, &mut rng)
+}
+
+/// Uniform points in the unit 4-cube.
+pub fn uniform_cube_4d(n: usize, seed: u64) -> EuclideanSpace<4> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    uniform_points::<4, _>(n, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spanner_graph::connectivity::is_connected;
+    use spanner_metric::MetricSpace;
+
+    #[test]
+    fn workloads_are_reproducible() {
+        let a = random_graph(50, 1);
+        let b = random_graph(50, 1);
+        assert_eq!(a.num_edges(), b.num_edges());
+        assert!((a.total_weight() - b.total_weight()).abs() < 1e-12);
+        let c = random_graph(50, 2);
+        assert!(a.num_edges() != c.num_edges() || (a.total_weight() - c.total_weight()).abs() > 1e-12);
+    }
+
+    #[test]
+    fn graph_workloads_are_connected() {
+        assert!(is_connected(&random_graph(80, DEFAULT_SEED)));
+        assert!(is_connected(&geometric_graph(80, DEFAULT_SEED)));
+    }
+
+    #[test]
+    fn point_workloads_have_requested_size() {
+        assert_eq!(uniform_square(33, 1).len(), 33);
+        assert_eq!(clustered_square(90, 1).len(), 90);
+        assert_eq!(uniform_cube_3d(20, 1).len(), 20);
+        assert_eq!(uniform_cube_4d(21, 1).len(), 21);
+    }
+}

@@ -1,0 +1,204 @@
+//! Spanner quality analysis: stretch verification, lightness, degree and the
+//! consolidated report every experiment prints.
+
+use spanner_graph::apsp::all_pairs_shortest_paths;
+use spanner_graph::dijkstra::shortest_path_tree;
+use spanner_graph::mst::mst_weight;
+use spanner_graph::properties::{summarize_with_mst, GraphSummary};
+use spanner_graph::{VertexId, WeightedGraph};
+
+/// The pair of vertices realizing the maximum stretch, with the stretch value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StretchWitness {
+    /// One endpoint.
+    pub u: VertexId,
+    /// The other endpoint.
+    pub v: VertexId,
+    /// `δ_H(u, v) / δ_G(u, v)` for that pair.
+    pub stretch: f64,
+}
+
+/// Maximum stretch of `spanner` relative to `original`, measured over the
+/// *edges* of `original`.
+///
+/// By the standard argument (Preliminaries of the paper), bounding the stretch
+/// on edges bounds it on all pairs, so this is the exact spanner stretch
+/// whenever `original` is the graph the spanner was built from.
+///
+/// Returns `0.0` if `original` has no edges and `f64::INFINITY` if some edge's
+/// endpoints are disconnected in the spanner.
+pub fn max_stretch_over_edges(original: &WeightedGraph, spanner: &WeightedGraph) -> f64 {
+    max_stretch_witness(original, spanner).map_or(0.0, |w| w.stretch)
+}
+
+/// Like [`max_stretch_over_edges`] but also reports which pair realizes the
+/// maximum. Returns `None` when `original` has no edges.
+pub fn max_stretch_witness(
+    original: &WeightedGraph,
+    spanner: &WeightedGraph,
+) -> Option<StretchWitness> {
+    let n = original.num_vertices();
+    let mut worst: Option<StretchWitness> = None;
+    // Group the stretch queries by source so a single Dijkstra per relevant
+    // vertex answers all of them.
+    let mut edges_by_source: Vec<Vec<(VertexId, f64)>> = vec![Vec::new(); n];
+    for e in original.edges() {
+        let (a, b) = if e.u <= e.v { (e.u, e.v) } else { (e.v, e.u) };
+        edges_by_source[a.index()].push((b, e.weight));
+    }
+    for (src, targets) in edges_by_source.iter().enumerate() {
+        if targets.is_empty() {
+            continue;
+        }
+        let tree = shortest_path_tree(spanner, VertexId(src));
+        for &(target, weight) in targets {
+            let d = tree.distance(target).unwrap_or(f64::INFINITY);
+            let stretch = if weight > 0.0 { d / weight } else { 1.0 };
+            if worst.map_or(true, |w| stretch > w.stretch) {
+                worst = Some(StretchWitness { u: VertexId(src), v: target, stretch });
+            }
+        }
+    }
+    worst
+}
+
+/// Maximum stretch measured over *all pairs* of vertices (not just edges).
+///
+/// More expensive (`O(n)` Dijkstra runs on both graphs) but applicable when
+/// `original` is not the graph the spanner was constructed from.
+pub fn max_stretch_all_pairs(original: &WeightedGraph, spanner: &WeightedGraph) -> f64 {
+    let dg = all_pairs_shortest_paths(original);
+    let dh = all_pairs_shortest_paths(spanner);
+    let mut worst: f64 = 0.0;
+    for (u, v, d) in dg.pairs() {
+        if d <= 0.0 || !d.is_finite() {
+            continue;
+        }
+        let s = dh.distance(u, v) / d;
+        worst = worst.max(s);
+    }
+    worst
+}
+
+/// Returns `true` if `spanner` is a `t`-spanner of `original` (up to a
+/// `1e-9` relative tolerance for floating-point comparisons).
+pub fn is_t_spanner(original: &WeightedGraph, spanner: &WeightedGraph, t: f64) -> bool {
+    max_stretch_over_edges(original, spanner) <= t * (1.0 + 1e-9) + 1e-12
+}
+
+/// Lightness of `spanner`: its total weight divided by the MST weight of
+/// `original`. Returns `0.0` when the MST weight is zero (edgeless input).
+pub fn lightness(original: &WeightedGraph, spanner: &WeightedGraph) -> f64 {
+    let mst = mst_weight(original);
+    if mst > 0.0 {
+        spanner.total_weight() / mst
+    } else {
+        0.0
+    }
+}
+
+/// The consolidated per-spanner report used by the experiment tables:
+/// size/weight/lightness/degree plus the measured maximum stretch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpannerReport {
+    /// Size, weight, lightness and degree summary.
+    pub summary: GraphSummary,
+    /// Measured maximum stretch over the edges of the original graph.
+    pub max_stretch: f64,
+    /// The stretch parameter the construction was asked for.
+    pub target_stretch: f64,
+}
+
+impl SpannerReport {
+    /// Returns `true` if the measured stretch respects the target.
+    pub fn meets_stretch_target(&self) -> bool {
+        self.max_stretch <= self.target_stretch * (1.0 + 1e-9) + 1e-12
+    }
+}
+
+/// Evaluates `spanner` against `original` for a target stretch `t`.
+pub fn evaluate(original: &WeightedGraph, spanner: &WeightedGraph, t: f64) -> SpannerReport {
+    let mst = mst_weight(original);
+    SpannerReport {
+        summary: summarize_with_mst(spanner, mst),
+        max_stretch: max_stretch_over_edges(original, spanner),
+        target_stretch: t,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spanner_graph::generators::{cycle_graph, erdos_renyi_connected, star_graph};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identical_graphs_have_stretch_one() {
+        let g = cycle_graph(6, 1.0);
+        assert!((max_stretch_over_edges(&g, &g) - 1.0).abs() < 1e-12);
+        assert!(is_t_spanner(&g, &g, 1.0));
+    }
+
+    #[test]
+    fn removing_a_cycle_edge_gives_stretch_n_minus_one() {
+        let g = cycle_graph(6, 1.0);
+        let h = g.filter_edges(|_, e| e.key() != (0, 5));
+        let w = max_stretch_witness(&g, &h).unwrap();
+        assert!((w.stretch - 5.0).abs() < 1e-12);
+        assert_eq!(w.u, VertexId(0));
+        assert_eq!(w.v, VertexId(5));
+        assert!(is_t_spanner(&g, &h, 5.0));
+        assert!(!is_t_spanner(&g, &h, 4.9));
+    }
+
+    #[test]
+    fn disconnected_spanner_has_infinite_stretch() {
+        let g = cycle_graph(4, 1.0);
+        let h = g.filter_edges(|_, e| e.key() != (0, 3) && e.key() != (2, 3));
+        assert!(max_stretch_over_edges(&g, &h).is_infinite());
+        assert!(!is_t_spanner(&g, &h, 1000.0));
+    }
+
+    #[test]
+    fn all_pairs_stretch_bounds_edge_stretch() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let g = erdos_renyi_connected(25, 0.3, 1.0..10.0, &mut rng);
+        let h = g.filter_edges(|i, _| i.index() % 3 != 0 || i.index() < 24);
+        let edge_stretch = max_stretch_over_edges(&g, &h);
+        let pair_stretch = max_stretch_all_pairs(&g, &h);
+        // Pair stretch can never exceed edge stretch, and both are >= 1 when
+        // the graphs are connected.
+        assert!(pair_stretch <= edge_stretch + 1e-9);
+    }
+
+    #[test]
+    fn lightness_of_star_subgraph() {
+        let g = star_graph(5, 2.0);
+        assert!((lightness(&g, &g) - 1.0).abs() < 1e-12);
+        let h = g.filter_edges(|_, _| true);
+        assert!((lightness(&g, &h) - 1.0).abs() < 1e-12);
+        let empty = WeightedGraph::new(5);
+        assert_eq!(lightness(&empty, &empty), 0.0);
+    }
+
+    #[test]
+    fn evaluate_produces_consistent_report() {
+        let g = cycle_graph(8, 1.0);
+        let h = g.filter_edges(|_, e| e.key() != (0, 7));
+        let report = evaluate(&g, &h, 7.0);
+        assert_eq!(report.summary.num_edges, 7);
+        assert!((report.max_stretch - 7.0).abs() < 1e-12);
+        assert!(report.meets_stretch_target());
+        assert!((report.summary.lightness - 1.0).abs() < 1e-12);
+        let bad = evaluate(&g, &h, 2.0);
+        assert!(!bad.meets_stretch_target());
+    }
+
+    #[test]
+    fn stretch_of_edgeless_original_is_zero() {
+        let g = WeightedGraph::new(4);
+        assert_eq!(max_stretch_over_edges(&g, &g), 0.0);
+        assert!(max_stretch_witness(&g, &g).is_none());
+    }
+}

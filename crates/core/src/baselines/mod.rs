@@ -1,0 +1,16 @@
+//! Baseline spanner constructions the greedy spanner is compared against.
+//!
+//! The experimental literature the paper cites (Section 1.2, [FG05, Far08])
+//! compares the greedy spanner to Θ-graphs, WSPD-based spanners and
+//! cluster-based graph spanners; this module provides those baselines plus the
+//! trivial MST and star spanners used as sanity anchors in the tables.
+
+pub mod baswana_sen;
+pub mod theta_graph;
+pub mod trivial;
+pub mod wspd_spanner;
+
+pub use baswana_sen::baswana_sen_spanner;
+pub use theta_graph::{theta_graph_spanner, yao_graph_spanner};
+pub use trivial::{mst_spanner, star_spanner};
+pub use wspd_spanner::wspd_spanner;

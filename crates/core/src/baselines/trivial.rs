@@ -1,0 +1,97 @@
+//! Trivial baseline spanners: the MST (lightest possible connected subgraph,
+//! unbounded stretch) and the star (smallest possible hop diameter, stretch 2
+//! in metric spaces).
+
+use spanner_graph::mst::kruskal;
+use spanner_graph::{VertexId, WeightedGraph};
+use spanner_metric::MetricSpace;
+
+use crate::error::SpannerError;
+
+/// The minimum spanning forest of `graph`, as a spanner baseline.
+///
+/// It has the minimum possible weight (lightness 1) and `n − 1` edges, but its
+/// stretch is unbounded in general — the anchor row in the lightness tables.
+pub fn mst_spanner(graph: &WeightedGraph) -> WeightedGraph {
+    kruskal(graph).to_graph(graph)
+}
+
+/// The star baseline of a metric space: every point connected to `hub`.
+///
+/// It has `n − 1` edges and hop-diameter 2, but both its stretch and its
+/// lightness can be `Θ(n)` in the worst case — it anchors the "small size is
+/// not enough" side of the comparison tables (and is the optimal spanner of
+/// the paper's Figure 1 instance).
+///
+/// # Errors
+///
+/// Returns [`SpannerError::EmptyInput`] for an empty metric.
+///
+/// # Panics
+///
+/// Panics if `hub` is out of range.
+pub fn star_spanner<M: MetricSpace + ?Sized>(
+    metric: &M,
+    hub: usize,
+) -> Result<WeightedGraph, SpannerError> {
+    if metric.is_empty() {
+        return Err(SpannerError::EmptyInput);
+    }
+    assert!(hub < metric.len(), "hub index out of range");
+    let mut g = WeightedGraph::new(metric.len());
+    for v in 0..metric.len() {
+        if v != hub {
+            let d = metric.distance(hub, v);
+            g.add_edge(VertexId(hub), VertexId(v), d);
+        }
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{lightness, max_stretch_all_pairs};
+    use spanner_graph::generators::erdos_renyi_connected;
+    use spanner_metric::generators::uniform_points;
+    use spanner_metric::MetricSpace;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mst_spanner_has_lightness_one() {
+        let mut rng = SmallRng::seed_from_u64(31);
+        let g = erdos_renyi_connected(30, 0.3, 1.0..10.0, &mut rng);
+        let t = mst_spanner(&g);
+        assert_eq!(t.num_edges(), 29);
+        assert!((lightness(&g, &t) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn star_spanner_shape_and_detour_structure() {
+        let mut rng = SmallRng::seed_from_u64(32);
+        let s = uniform_points::<2, _>(25, &mut rng);
+        let star = star_spanner(&s, 0).unwrap();
+        assert_eq!(star.num_edges(), 24);
+        assert_eq!(star.degree(0.into()), 24);
+        // Every pair is connected through the hub, so the stretch is finite
+        // (though possibly large).
+        let complete = s.to_complete_graph();
+        let stretch = max_stretch_all_pairs(&complete, &star);
+        assert!(stretch.is_finite());
+        assert!(stretch >= 1.0);
+    }
+
+    #[test]
+    fn star_spanner_rejects_empty_metric() {
+        let s = spanner_metric::EuclideanSpace::<2>::new(vec![]);
+        assert!(matches!(star_spanner(&s, 0), Err(SpannerError::EmptyInput)));
+    }
+
+    #[test]
+    #[should_panic(expected = "hub index out of range")]
+    fn star_spanner_rejects_bad_hub() {
+        let s = spanner_metric::EuclideanSpace::from_coords([[0.0], [1.0]]);
+        let _ = star_spanner(&s, 7);
+    }
+}

@@ -1,0 +1,122 @@
+//! Error type shared by the spanner constructions.
+
+use std::error::Error;
+use std::fmt;
+
+use spanner_graph::GraphError;
+
+/// Errors produced by spanner constructions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpannerError {
+    /// The stretch parameter was below 1 or not finite.
+    InvalidStretch {
+        /// The offending stretch value.
+        stretch: f64,
+    },
+    /// The accuracy parameter ε was outside the supported range.
+    InvalidEpsilon {
+        /// The offending ε value.
+        epsilon: f64,
+    },
+    /// The sparseness parameter `k` was zero.
+    InvalidK,
+    /// The input graph or metric was empty where at least one vertex/point is
+    /// required.
+    EmptyInput,
+    /// A substrate graph operation failed.
+    Graph(GraphError),
+}
+
+impl fmt::Display for SpannerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpannerError::InvalidStretch { stretch } => {
+                write!(f, "stretch parameter {stretch} must be a finite number at least 1")
+            }
+            SpannerError::InvalidEpsilon { epsilon } => {
+                write!(f, "epsilon {epsilon} must be a finite number in (0, 1)")
+            }
+            SpannerError::InvalidK => write!(f, "sparseness parameter k must be at least 1"),
+            SpannerError::EmptyInput => write!(f, "input graph or metric has no vertices"),
+            SpannerError::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl Error for SpannerError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SpannerError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for SpannerError {
+    fn from(e: GraphError) -> Self {
+        SpannerError::Graph(e)
+    }
+}
+
+/// Validates a stretch parameter `t >= 1`.
+pub(crate) fn validate_stretch(t: f64) -> Result<(), SpannerError> {
+    if t.is_finite() && t >= 1.0 {
+        Ok(())
+    } else {
+        Err(SpannerError::InvalidStretch { stretch: t })
+    }
+}
+
+/// Validates an accuracy parameter `0 < ε < 1`.
+pub(crate) fn validate_epsilon(epsilon: f64) -> Result<(), SpannerError> {
+    if epsilon.is_finite() && epsilon > 0.0 && epsilon < 1.0 {
+        Ok(())
+    } else {
+        Err(SpannerError::InvalidEpsilon { epsilon })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let errs: Vec<SpannerError> = vec![
+            SpannerError::InvalidStretch { stretch: 0.5 },
+            SpannerError::InvalidEpsilon { epsilon: 2.0 },
+            SpannerError::InvalidK,
+            SpannerError::EmptyInput,
+            SpannerError::Graph(GraphError::Disconnected),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn graph_errors_convert_and_expose_source() {
+        let e: SpannerError = GraphError::EmptyGraph.into();
+        assert!(matches!(e, SpannerError::Graph(_)));
+        assert!(Error::source(&e).is_some());
+        assert!(Error::source(&SpannerError::InvalidK).is_none());
+    }
+
+    #[test]
+    fn stretch_validation() {
+        assert!(validate_stretch(1.0).is_ok());
+        assert!(validate_stretch(3.5).is_ok());
+        assert!(validate_stretch(0.99).is_err());
+        assert!(validate_stretch(f64::NAN).is_err());
+        assert!(validate_stretch(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn epsilon_validation() {
+        assert!(validate_epsilon(0.1).is_ok());
+        assert!(validate_epsilon(0.999).is_ok());
+        assert!(validate_epsilon(0.0).is_err());
+        assert!(validate_epsilon(1.0).is_err());
+        assert!(validate_epsilon(f64::NAN).is_err());
+    }
+}

@@ -1,0 +1,281 @@
+//! The greedy spanner — Algorithm 1 of the paper.
+//!
+//! ```text
+//! Greedy(G = (V, E, w), t):
+//!   H = (V, ∅, w)
+//!   for each edge (u, v) ∈ E, in non-decreasing order of weight:
+//!     if δ_H(u, v) > t · w(u, v):  add (u, v) to E(H)
+//!   return H
+//! ```
+//!
+//! The distance query uses a Dijkstra search bounded by `t · w(u, v)`, so the
+//! search never explores beyond the ball that could possibly satisfy the
+//! condition; with ties broken deterministically the output is the canonical
+//! greedy spanner studied by the paper.
+
+use spanner_graph::dijkstra::bounded_distance;
+use spanner_graph::{EdgeId, WeightedGraph};
+
+use crate::error::{validate_stretch, SpannerError};
+
+/// The outcome of a greedy spanner construction: the spanner itself plus
+/// bookkeeping that the experiments report (how many edges were examined,
+/// kept, and how many distance queries ran).
+#[derive(Debug, Clone)]
+pub struct GreedySpanner {
+    spanner: WeightedGraph,
+    stretch: f64,
+    edges_examined: usize,
+    edges_added: usize,
+    added_edge_ids: Vec<EdgeId>,
+}
+
+impl GreedySpanner {
+    /// The spanner subgraph `H ⊆ G` (same vertex set as the input).
+    pub fn spanner(&self) -> &WeightedGraph {
+        &self.spanner
+    }
+
+    /// Consumes the result and returns the spanner graph.
+    pub fn into_spanner(self) -> WeightedGraph {
+        self.spanner
+    }
+
+    /// The stretch parameter `t` the construction ran with.
+    pub fn stretch(&self) -> f64 {
+        self.stretch
+    }
+
+    /// Number of candidate edges examined (all edges of the input graph).
+    pub fn edges_examined(&self) -> usize {
+        self.edges_examined
+    }
+
+    /// Number of edges added to the spanner.
+    pub fn edges_added(&self) -> usize {
+        self.edges_added
+    }
+
+    /// Ids (into the *input* graph) of the edges that were kept, in the order
+    /// the greedy algorithm added them.
+    pub fn added_edge_ids(&self) -> &[EdgeId] {
+        &self.added_edge_ids
+    }
+}
+
+/// Runs the greedy spanner algorithm on a weighted graph.
+///
+/// Edges are examined in non-decreasing order of weight with ties broken by
+/// canonical endpoint order, so the output is deterministic. The result is a
+/// `t`-spanner of `graph` that contains an MST of `graph` (Observation 2 of
+/// the paper).
+///
+/// # Errors
+///
+/// Returns [`SpannerError::InvalidStretch`] if `t < 1` or `t` is not finite.
+///
+/// # Example
+///
+/// ```
+/// use greedy_spanner::greedy::greedy_spanner;
+/// use spanner_graph::WeightedGraph;
+///
+/// // A triangle: the heaviest edge is covered by the two lighter ones.
+/// let g = WeightedGraph::from_edges(3, [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.9)])?;
+/// let result = greedy_spanner(&g, 2.0)?;
+/// assert_eq!(result.spanner().num_edges(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn greedy_spanner(graph: &WeightedGraph, t: f64) -> Result<GreedySpanner, SpannerError> {
+    validate_stretch(t)?;
+    let mut spanner = WeightedGraph::empty_like(graph);
+    let order = graph.edges_by_weight();
+    let mut added_edge_ids = Vec::new();
+    for id in &order {
+        let e = graph.edge(*id);
+        let bound = t * e.weight;
+        let covered = bounded_distance(&spanner, e.u, e.v, bound).is_some();
+        if !covered {
+            spanner.add_edge(e.u, e.v, e.weight);
+            added_edge_ids.push(*id);
+        }
+    }
+    Ok(GreedySpanner {
+        spanner,
+        stretch: t,
+        edges_examined: order.len(),
+        edges_added: added_edge_ids.len(),
+        added_edge_ids,
+    })
+}
+
+/// Runs the greedy algorithm restricted to a caller-supplied candidate edge
+/// order (used by the approximate-greedy simulation, which feeds it the edges
+/// of a bounded-degree base spanner).
+///
+/// `candidates` are `(u, v, weight)` triples that must already be sorted by
+/// non-decreasing weight; `num_vertices` fixes the vertex set. Edges for which
+/// the current spanner distance is at most `t · weight` are skipped.
+///
+/// # Errors
+///
+/// Returns [`SpannerError::InvalidStretch`] for an invalid `t`, or a graph
+/// error if a candidate edge is invalid.
+pub fn greedy_over_candidates(
+    num_vertices: usize,
+    candidates: &[(usize, usize, f64)],
+    t: f64,
+) -> Result<WeightedGraph, SpannerError> {
+    validate_stretch(t)?;
+    let mut spanner = WeightedGraph::new(num_vertices);
+    for &(u, v, w) in candidates {
+        if u >= num_vertices || v >= num_vertices {
+            return Err(spanner_graph::GraphError::VertexOutOfRange {
+                vertex: u.max(v),
+                num_vertices,
+            }
+            .into());
+        }
+        let bound = t * w;
+        if bounded_distance(&spanner, u.into(), v.into(), bound).is_none() {
+            spanner.try_add_edge(u.into(), v.into(), w)?;
+        }
+    }
+    Ok(spanner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{is_t_spanner, max_stretch_over_edges};
+    use crate::optimality::contains_mst;
+    use spanner_graph::generators::{
+        complete_graph_with_weights, erdos_renyi_connected, petersen_graph,
+    };
+    use spanner_graph::mst::mst_weight;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_invalid_stretch() {
+        let g = WeightedGraph::from_edges(2, [(0, 1, 1.0)]).unwrap();
+        assert!(matches!(
+            greedy_spanner(&g, 0.5),
+            Err(SpannerError::InvalidStretch { .. })
+        ));
+        assert!(matches!(
+            greedy_spanner(&g, f64::NAN),
+            Err(SpannerError::InvalidStretch { .. })
+        ));
+    }
+
+    #[test]
+    fn triangle_drops_covered_edge() {
+        let g = WeightedGraph::from_edges(3, [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.5)]).unwrap();
+        let r = greedy_spanner(&g, 2.0).unwrap();
+        assert_eq!(r.edges_added(), 2);
+        assert_eq!(r.edges_examined(), 3);
+        assert!(!r.spanner().has_edge(0.into(), 2.into()));
+    }
+
+    #[test]
+    fn stretch_one_keeps_only_non_redundant_edges() {
+        // With t = 1 an edge is dropped only if an equally light path exists.
+        let g = WeightedGraph::from_edges(3, [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 2.0)]).unwrap();
+        let r = greedy_spanner(&g, 1.0).unwrap();
+        assert_eq!(r.spanner().num_edges(), 2);
+    }
+
+    #[test]
+    fn infinite_effective_stretch_keeps_spanning_tree_only() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let g = complete_graph_with_weights(12, 1.0..2.0, &mut rng);
+        // t larger than any possible detour ratio: only MST edges survive.
+        let r = greedy_spanner(&g, 1e6).unwrap();
+        assert_eq!(r.spanner().num_edges(), 11);
+        assert!((r.spanner().total_weight() - mst_weight(&g)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn output_is_a_t_spanner_and_contains_mst() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for t in [1.5, 2.0, 3.0, 5.0] {
+            let g = erdos_renyi_connected(40, 0.25, 1.0..10.0, &mut rng);
+            let r = greedy_spanner(&g, t).unwrap();
+            assert!(is_t_spanner(&g, r.spanner(), t), "t = {t}");
+            assert!(contains_mst(&g, r.spanner()), "t = {t}");
+            assert!(r.spanner().is_edge_subgraph_of(&g));
+        }
+    }
+
+    #[test]
+    fn petersen_greedy_3_spanner_keeps_every_edge() {
+        // Girth 5 means no edge has a 3-spanner detour among lighter edges.
+        let g = petersen_graph(1.0);
+        let r = greedy_spanner(&g, 3.0).unwrap();
+        assert_eq!(r.spanner().num_edges(), 15);
+    }
+
+    #[test]
+    fn larger_stretch_never_adds_more_edges() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let g = erdos_renyi_connected(50, 0.3, 1.0..10.0, &mut rng);
+        let mut previous = usize::MAX;
+        for t in [1.0, 1.5, 2.0, 3.0, 5.0, 9.0] {
+            let m = greedy_spanner(&g, t).unwrap().spanner().num_edges();
+            assert!(m <= previous, "size must be monotone non-increasing in t");
+            previous = m;
+        }
+    }
+
+    #[test]
+    fn added_edge_ids_are_sorted_by_weight() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let g = erdos_renyi_connected(30, 0.3, 1.0..10.0, &mut rng);
+        let r = greedy_spanner(&g, 2.0).unwrap();
+        let weights: Vec<f64> = r.added_edge_ids().iter().map(|&id| g.edge(id).weight).collect();
+        assert!(weights.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(r.added_edge_ids().len(), r.edges_added());
+        assert!((r.stretch() - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn greedy_over_candidates_matches_full_greedy_on_same_edges() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let g = erdos_renyi_connected(25, 0.4, 1.0..5.0, &mut rng);
+        let mut candidates: Vec<(usize, usize, f64)> = g
+            .edges()
+            .iter()
+            .map(|e| (e.u.index(), e.v.index(), e.weight))
+            .collect();
+        candidates.sort_by(|a, b| a.2.total_cmp(&b.2).then_with(|| (a.0, a.1).cmp(&(b.0, b.1))));
+        let h1 = greedy_spanner(&g, 2.5).unwrap();
+        let h2 = greedy_over_candidates(g.num_vertices(), &candidates, 2.5).unwrap();
+        assert_eq!(h1.spanner().num_edges(), h2.num_edges());
+        assert!((h1.spanner().total_weight() - h2.total_weight()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn greedy_over_candidates_validates_input() {
+        assert!(greedy_over_candidates(2, &[(0, 1, 1.0)], 0.0).is_err());
+        assert!(greedy_over_candidates(2, &[(0, 5, 1.0)], 2.0).is_err());
+    }
+
+    #[test]
+    fn empty_and_singleton_graphs() {
+        let empty = WeightedGraph::new(0);
+        let r = greedy_spanner(&empty, 2.0).unwrap();
+        assert_eq!(r.spanner().num_edges(), 0);
+        let single = WeightedGraph::new(1);
+        assert_eq!(greedy_spanner(&single, 2.0).unwrap().spanner().num_vertices(), 1);
+    }
+
+    #[test]
+    fn max_stretch_is_tightly_bounded() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let g = erdos_renyi_connected(35, 0.3, 1.0..10.0, &mut rng);
+        let r = greedy_spanner(&g, 2.0).unwrap();
+        let s = max_stretch_over_edges(&g, r.spanner());
+        assert!(s <= 2.0 + 1e-9);
+    }
+}

@@ -1,0 +1,148 @@
+//! The greedy spanner of a finite metric space.
+//!
+//! In metric spaces (Sections 4–5 of the paper) the greedy algorithm examines
+//! all `n·(n−1)/2` interpoint distances in non-decreasing order. This module
+//! materializes the metric as a complete weighted graph and reuses the graph
+//! greedy construction, which is exactly the classical
+//! `O(n² · (n log n))`-style implementation the paper refers to (the
+//! [BCF+10] near-quadratic refinements change the constant factors, not the
+//! output).
+
+use spanner_graph::WeightedGraph;
+use spanner_metric::MetricSpace;
+
+use crate::error::SpannerError;
+use crate::greedy::{greedy_spanner, GreedySpanner};
+
+/// The result of running the greedy algorithm on a metric space: the spanner
+/// (a graph over point indices) plus the complete metric graph it was built
+/// from, which downstream analysis (stretch, lightness) needs as a reference.
+#[derive(Debug, Clone)]
+pub struct MetricGreedySpanner {
+    /// The greedy spanner over the metric's point indices.
+    pub spanner: WeightedGraph,
+    /// The complete graph of interpoint distances the greedy examined.
+    pub metric_graph: WeightedGraph,
+    /// Construction bookkeeping from the underlying graph greedy run.
+    pub stats: GreedyStats,
+}
+
+/// Construction statistics of a greedy run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GreedyStats {
+    /// Candidate edges examined.
+    pub edges_examined: usize,
+    /// Edges kept in the spanner.
+    pub edges_added: usize,
+}
+
+impl From<&GreedySpanner> for GreedyStats {
+    fn from(g: &GreedySpanner) -> Self {
+        GreedyStats {
+            edges_examined: g.edges_examined(),
+            edges_added: g.edges_added(),
+        }
+    }
+}
+
+/// Runs the greedy `t`-spanner algorithm on a finite metric space.
+///
+/// # Errors
+///
+/// Returns [`SpannerError::EmptyInput`] for a metric with no points or
+/// [`SpannerError::InvalidStretch`] for `t < 1`.
+///
+/// # Example
+///
+/// ```
+/// use greedy_spanner::greedy_metric::greedy_spanner_of_metric;
+/// use spanner_metric::{EuclideanSpace, Point};
+///
+/// let space = EuclideanSpace::from_coords([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0]]);
+/// let result = greedy_spanner_of_metric(&space, 1.1)?;
+/// // Collinear points: the long edge is covered by the two short ones.
+/// assert_eq!(result.spanner.num_edges(), 2);
+/// # Ok::<(), greedy_spanner::SpannerError>(())
+/// ```
+pub fn greedy_spanner_of_metric<M: MetricSpace + ?Sized>(
+    metric: &M,
+    t: f64,
+) -> Result<MetricGreedySpanner, SpannerError> {
+    if metric.is_empty() {
+        return Err(SpannerError::EmptyInput);
+    }
+    let metric_graph = metric.to_complete_graph();
+    let result = greedy_spanner(&metric_graph, t)?;
+    let stats = GreedyStats::from(&result);
+    Ok(MetricGreedySpanner {
+        spanner: result.into_spanner(),
+        metric_graph,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{is_t_spanner, max_stretch_over_edges};
+    use spanner_metric::generators::{star_metric, uniform_points};
+    use spanner_metric::EuclideanSpace;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empty_metric_is_rejected() {
+        let s = EuclideanSpace::<2>::new(vec![]);
+        assert_eq!(
+            greedy_spanner_of_metric(&s, 2.0).unwrap_err(),
+            SpannerError::EmptyInput
+        );
+    }
+
+    #[test]
+    fn collinear_points_produce_a_path() {
+        let s = EuclideanSpace::from_coords([[0.0], [1.0], [2.0], [3.0]]);
+        let r = greedy_spanner_of_metric(&s, 1.01).unwrap();
+        assert_eq!(r.spanner.num_edges(), 3);
+        assert_eq!(r.stats.edges_examined, 6);
+        assert_eq!(r.stats.edges_added, 3);
+    }
+
+    #[test]
+    fn greedy_metric_spanner_has_required_stretch() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let s = uniform_points::<2, _>(40, &mut rng);
+        for eps in [0.1, 0.5, 1.0] {
+            let t = 1.0 + eps;
+            let r = greedy_spanner_of_metric(&s, t).unwrap();
+            assert!(is_t_spanner(&r.metric_graph, &r.spanner, t), "eps = {eps}");
+            assert!(max_stretch_over_edges(&r.metric_graph, &r.spanner) <= t + 1e-9);
+        }
+    }
+
+    #[test]
+    fn smaller_epsilon_gives_more_edges() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        let s = uniform_points::<2, _>(60, &mut rng);
+        let tight = greedy_spanner_of_metric(&s, 1.05).unwrap().spanner.num_edges();
+        let loose = greedy_spanner_of_metric(&s, 2.0).unwrap().spanner.num_edges();
+        assert!(tight >= loose);
+    }
+
+    #[test]
+    fn star_metric_forces_maximum_degree() {
+        // The [HM06, Smi09] degree blow-up: every hub–leaf edge is mandatory.
+        let m = star_metric(20);
+        let r = greedy_spanner_of_metric(&m, 1.5).unwrap();
+        assert_eq!(r.spanner.degree(0.into()), 19);
+        assert_eq!(r.spanner.num_edges(), 19);
+    }
+
+    #[test]
+    fn single_point_metric_yields_empty_spanner() {
+        let s = EuclideanSpace::from_coords([[1.0, 2.0]]);
+        let r = greedy_spanner_of_metric(&s, 2.0).unwrap();
+        assert_eq!(r.spanner.num_vertices(), 1);
+        assert_eq!(r.spanner.num_edges(), 0);
+    }
+}

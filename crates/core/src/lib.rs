@@ -1,0 +1,56 @@
+//! Greedy and approximate-greedy spanner constructions, baselines and
+//! analysis — the core of the reproduction of *"The Greedy Spanner is
+//! Existentially Optimal"* (Filtser & Solomon, PODC 2016).
+//!
+//! # What this crate provides
+//!
+//! * [`greedy`] — Algorithm 1 of the paper: the greedy `t`-spanner for
+//!   weighted graphs, with a distance-bounded Dijkstra inner loop.
+//! * [`greedy_metric`] — the greedy spanner of a finite metric space (the
+//!   setting of Sections 4–5).
+//! * [`bounded_degree`] — a net-tree `(1+ε)`-spanner for doubling metrics,
+//!   the substrate of the approximate-greedy algorithm (Theorem 2).
+//! * [`cluster_graph`] + [`approx_greedy`] — the approximate-greedy algorithm
+//!   of Das–Narasimhan / Gudmundsson–Levcopoulos–Narasimhan sketched in
+//!   Section 5.1, whose lightness the paper bounds (Theorem 6).
+//! * [`baselines`] — the constructions the greedy spanner is compared
+//!   against: Baswana–Sen, Θ-graphs, WSPD spanners and trivial baselines.
+//! * [`analysis`] — stretch verification, lightness, degree and the
+//!   [`analysis::SpannerReport`] used by every experiment.
+//! * [`optimality`] — executable forms of the paper's constructions and
+//!   lemmas: the Figure 1 instance, Lemma 3's self-spanner property and
+//!   Observation 2's MST containment.
+//!
+//! # Quick start
+//!
+//! ```
+//! use greedy_spanner::greedy::greedy_spanner;
+//! use greedy_spanner::analysis::evaluate;
+//! use spanner_graph::generators::erdos_renyi_connected;
+//! use rand::{rngs::SmallRng, SeedableRng};
+//!
+//! let mut rng = SmallRng::seed_from_u64(1);
+//! let g = erdos_renyi_connected(50, 0.3, 1.0..10.0, &mut rng);
+//! let result = greedy_spanner(&g, 3.0)?;
+//! let report = evaluate(&g, result.spanner(), 3.0);
+//! assert!(report.max_stretch <= 3.0 + 1e-9);
+//! assert!(result.spanner().num_edges() <= g.num_edges());
+//! # Ok::<(), greedy_spanner::SpannerError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod approx_greedy;
+pub mod baselines;
+pub mod bounded_degree;
+pub mod cluster_graph;
+pub mod error;
+pub mod greedy;
+pub mod greedy_metric;
+pub mod optimality;
+
+pub use error::SpannerError;
+pub use greedy::{greedy_spanner, GreedySpanner};
+pub use greedy_metric::greedy_spanner_of_metric;

@@ -1,0 +1,166 @@
+//! All-pairs shortest paths and the distance matrix used for exact stretch
+//! verification.
+
+use crate::dijkstra::shortest_path_tree;
+use crate::graph::{VertexId, WeightedGraph};
+
+/// A dense `n × n` matrix of shortest-path distances.
+///
+/// Unreachable pairs hold `f64::INFINITY`. Built by [`all_pairs_shortest_paths`]
+/// via `n` Dijkstra runs (`O(n · m log n)`).
+#[derive(Debug, Clone)]
+pub struct DistanceMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl DistanceMatrix {
+    /// Creates a matrix of `n` vertices with all distances infinite except the
+    /// zero diagonal.
+    pub fn new(n: usize) -> Self {
+        let mut data = vec![f64::INFINITY; n * n];
+        for i in 0..n {
+            data[i * n + i] = 0.0;
+        }
+        DistanceMatrix { n, data }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` if the matrix covers zero vertices.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Distance between `u` and `v` (infinite if unreachable).
+    #[inline]
+    pub fn distance(&self, u: VertexId, v: VertexId) -> f64 {
+        self.data[u.index() * self.n + v.index()]
+    }
+
+    /// Sets the distance between `u` and `v` (symmetrically).
+    #[inline]
+    pub fn set(&mut self, u: VertexId, v: VertexId, d: f64) {
+        self.data[u.index() * self.n + v.index()] = d;
+        self.data[v.index() * self.n + u.index()] = d;
+    }
+
+    /// Returns `true` if every off-diagonal entry is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|d| d.is_finite())
+    }
+
+    /// The largest finite distance in the matrix (0.0 for `n <= 1`).
+    pub fn diameter(&self) -> f64 {
+        self.data
+            .iter()
+            .copied()
+            .filter(|d| d.is_finite())
+            .fold(0.0, f64::max)
+    }
+
+    /// Iterates over all unordered pairs `(u, v)` with `u < v` and their
+    /// distances.
+    pub fn pairs(&self) -> impl Iterator<Item = (VertexId, VertexId, f64)> + '_ {
+        (0..self.n).flat_map(move |i| {
+            ((i + 1)..self.n).map(move |j| (VertexId(i), VertexId(j), self.data[i * self.n + j]))
+        })
+    }
+}
+
+/// Computes all-pairs shortest paths by running Dijkstra from every vertex.
+pub fn all_pairs_shortest_paths(graph: &WeightedGraph) -> DistanceMatrix {
+    let n = graph.num_vertices();
+    let mut m = DistanceMatrix::new(n);
+    for s in 0..n {
+        let tree = shortest_path_tree(graph, VertexId(s));
+        for v in 0..n {
+            m.data[s * n + v] = tree.distances()[v];
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> WeightedGraph {
+        WeightedGraph::from_edges(4, [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0)]).unwrap()
+    }
+
+    #[test]
+    fn distances_match_path_weights() {
+        let m = all_pairs_shortest_paths(&path4());
+        assert_eq!(m.len(), 4);
+        assert!(!m.is_empty());
+        assert_eq!(m.distance(VertexId(0), VertexId(3)), 6.0);
+        assert_eq!(m.distance(VertexId(3), VertexId(0)), 6.0);
+        assert_eq!(m.distance(VertexId(1), VertexId(2)), 2.0);
+        assert_eq!(m.distance(VertexId(2), VertexId(2)), 0.0);
+    }
+
+    #[test]
+    fn diameter_is_longest_shortest_path() {
+        let m = all_pairs_shortest_paths(&path4());
+        assert_eq!(m.diameter(), 6.0);
+    }
+
+    #[test]
+    fn infinite_for_disconnected_pairs() {
+        let g = WeightedGraph::from_edges(3, [(0, 1, 1.0)]).unwrap();
+        let m = all_pairs_shortest_paths(&g);
+        assert!(m.distance(VertexId(0), VertexId(2)).is_infinite());
+        assert!(!m.all_finite());
+    }
+
+    #[test]
+    fn all_finite_for_connected_graph() {
+        let m = all_pairs_shortest_paths(&path4());
+        assert!(m.all_finite());
+    }
+
+    #[test]
+    fn pairs_enumerates_each_unordered_pair_once() {
+        let m = all_pairs_shortest_paths(&path4());
+        let pairs: Vec<_> = m.pairs().collect();
+        assert_eq!(pairs.len(), 6);
+        assert!(pairs.iter().all(|&(u, v, _)| u < v));
+    }
+
+    #[test]
+    fn manual_set_and_get() {
+        let mut m = DistanceMatrix::new(3);
+        m.set(VertexId(0), VertexId(2), 4.5);
+        assert_eq!(m.distance(VertexId(2), VertexId(0)), 4.5);
+        assert_eq!(m.distance(VertexId(0), VertexId(1)), f64::INFINITY);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = DistanceMatrix::new(0);
+        assert!(m.is_empty());
+        assert_eq!(m.diameter(), 0.0);
+    }
+
+    #[test]
+    fn triangle_inequality_holds() {
+        let g = WeightedGraph::from_edges(
+            5,
+            [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 1.5), (3, 4, 1.0), (0, 4, 9.0), (1, 3, 2.2)],
+        )
+        .unwrap();
+        let m = all_pairs_shortest_paths(&g);
+        for i in 0..5 {
+            for j in 0..5 {
+                for k in 0..5 {
+                    let (i, j, k) = (VertexId(i), VertexId(j), VertexId(k));
+                    assert!(m.distance(i, j) <= m.distance(i, k) + m.distance(k, j) + 1e-9);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Connectivity queries: BFS, connected components, hop distances.
+
+use std::collections::VecDeque;
+
+use crate::graph::{VertexId, WeightedGraph};
+
+/// Returns `true` if the graph is connected (every pair of vertices is joined
+/// by a path). The empty graph and the one-vertex graph are connected.
+pub fn is_connected(graph: &WeightedGraph) -> bool {
+    let n = graph.num_vertices();
+    if n <= 1 {
+        return true;
+    }
+    let reached = bfs_reachable(graph, VertexId(0));
+    reached.iter().all(|&r| r)
+}
+
+/// Returns, for each vertex, whether it is reachable from `source`.
+pub fn bfs_reachable(graph: &WeightedGraph, source: VertexId) -> Vec<bool> {
+    let n = graph.num_vertices();
+    let mut seen = vec![false; n];
+    if source.index() >= n {
+        return seen;
+    }
+    let mut queue = VecDeque::new();
+    seen[source.index()] = true;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        for &(v, _) in graph.neighbors(u) {
+            if !seen[v.index()] {
+                seen[v.index()] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    seen
+}
+
+/// Unweighted (hop-count) distances from `source`; `usize::MAX` marks
+/// unreachable vertices.
+pub fn hop_distances(graph: &WeightedGraph, source: VertexId) -> Vec<usize> {
+    let n = graph.num_vertices();
+    let mut dist = vec![usize::MAX; n];
+    if source.index() >= n {
+        return dist;
+    }
+    let mut queue = VecDeque::new();
+    dist[source.index()] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        for &(v, _) in graph.neighbors(u) {
+            if dist[v.index()] == usize::MAX {
+                dist[v.index()] = dist[u.index()] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Assigns each vertex a component label in `0..k` and returns `(labels, k)`.
+pub fn connected_components(graph: &WeightedGraph) -> (Vec<usize>, usize) {
+    let n = graph.num_vertices();
+    let mut label = vec![usize::MAX; n];
+    let mut next = 0;
+    for start in 0..n {
+        if label[start] != usize::MAX {
+            continue;
+        }
+        let mut queue = VecDeque::new();
+        label[start] = next;
+        queue.push_back(VertexId(start));
+        while let Some(u) = queue.pop_front() {
+            for &(v, _) in graph.neighbors(u) {
+                if label[v.index()] == usize::MAX {
+                    label[v.index()] = next;
+                    queue.push_back(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    (label, next)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_components() -> WeightedGraph {
+        WeightedGraph::from_edges(5, [(0, 1, 1.0), (1, 2, 1.0), (3, 4, 1.0)]).unwrap()
+    }
+
+    #[test]
+    fn path_graph_is_connected() {
+        let g = WeightedGraph::from_edges(3, [(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn trivial_graphs_are_connected() {
+        assert!(is_connected(&WeightedGraph::new(0)));
+        assert!(is_connected(&WeightedGraph::new(1)));
+        assert!(!is_connected(&WeightedGraph::new(2)));
+    }
+
+    #[test]
+    fn detects_disconnection() {
+        assert!(!is_connected(&two_components()));
+    }
+
+    #[test]
+    fn reachability_from_source() {
+        let g = two_components();
+        let r = bfs_reachable(&g, VertexId(0));
+        assert_eq!(r, vec![true, true, true, false, false]);
+        let r = bfs_reachable(&g, VertexId(4));
+        assert_eq!(r, vec![false, false, false, true, true]);
+    }
+
+    #[test]
+    fn hop_distances_count_edges() {
+        let g = WeightedGraph::from_edges(4, [(0, 1, 10.0), (1, 2, 10.0), (2, 3, 10.0)]).unwrap();
+        let d = hop_distances(&g, VertexId(0));
+        assert_eq!(d, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn hop_distance_marks_unreachable() {
+        let g = two_components();
+        let d = hop_distances(&g, VertexId(0));
+        assert_eq!(d[3], usize::MAX);
+        assert_eq!(d[4], usize::MAX);
+    }
+
+    #[test]
+    fn components_are_labelled() {
+        let g = two_components();
+        let (labels, k) = connected_components(&g);
+        assert_eq!(k, 2);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+    }
+
+    #[test]
+    fn singleton_vertices_get_their_own_component() {
+        let g = WeightedGraph::new(3);
+        let (_, k) = connected_components(&g);
+        assert_eq!(k, 3);
+    }
+}

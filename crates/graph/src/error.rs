@@ -1,0 +1,90 @@
+//! Error types for graph construction and queries.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or querying a [`crate::WeightedGraph`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// An edge referenced a vertex index that is out of range.
+    VertexOutOfRange {
+        /// The offending vertex index.
+        vertex: usize,
+        /// The number of vertices in the graph.
+        num_vertices: usize,
+    },
+    /// An edge weight was not a positive, finite number.
+    InvalidWeight {
+        /// The offending weight.
+        weight: f64,
+    },
+    /// A self-loop `(u, u)` was supplied; spanner graphs are simple.
+    SelfLoop {
+        /// The vertex with the loop.
+        vertex: usize,
+    },
+    /// A query required a connected graph but the graph was disconnected.
+    Disconnected,
+    /// Two endpoints had no path between them.
+    NoPath {
+        /// Source vertex index.
+        source: usize,
+        /// Target vertex index.
+        target: usize,
+    },
+    /// The graph was empty where at least one vertex was required.
+    EmptyGraph,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, num_vertices } => write!(
+                f,
+                "vertex index {vertex} out of range for graph with {num_vertices} vertices"
+            ),
+            GraphError::InvalidWeight { weight } => {
+                write!(f, "edge weight {weight} is not positive and finite")
+            }
+            GraphError::SelfLoop { vertex } => {
+                write!(f, "self-loop on vertex {vertex} is not allowed")
+            }
+            GraphError::Disconnected => write!(f, "graph is not connected"),
+            GraphError::NoPath { source, target } => {
+                write!(f, "no path between vertices {source} and {target}")
+            }
+            GraphError::EmptyGraph => write!(f, "graph has no vertices"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            GraphError::VertexOutOfRange { vertex: 7, num_vertices: 3 },
+            GraphError::InvalidWeight { weight: -1.0 },
+            GraphError::SelfLoop { vertex: 2 },
+            GraphError::Disconnected,
+            GraphError::NoPath { source: 0, target: 5 },
+            GraphError::EmptyGraph,
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase() || s.chars().next().unwrap().is_numeric());
+        }
+    }
+
+    #[test]
+    fn errors_are_clonable_and_comparable() {
+        let e = GraphError::Disconnected;
+        assert_eq!(e.clone(), GraphError::Disconnected);
+        assert_ne!(e, GraphError::EmptyGraph);
+    }
+}

@@ -1,0 +1,109 @@
+//! Girth computation.
+//!
+//! The existential-optimality examples of the paper (Figure 1 and the general
+//! lower bound) are built from high-girth graphs: a graph of girth `t + 2`
+//! contains no `t`-spanner other than itself when all weights are equal, so
+//! the greedy `t`-spanner keeps every edge.
+
+use std::collections::VecDeque;
+
+use crate::graph::{VertexId, WeightedGraph};
+
+/// Length (number of edges) of a shortest cycle of the graph, ignoring edge
+/// weights, or `None` if the graph is acyclic.
+///
+/// Uses a BFS from every vertex (`O(n · m)`), which is ample for the graph
+/// sizes used by the experiments.
+pub fn girth(graph: &WeightedGraph) -> Option<usize> {
+    let n = graph.num_vertices();
+    let mut best: Option<usize> = None;
+    for start in 0..n {
+        let mut dist = vec![usize::MAX; n];
+        let mut parent_edge = vec![usize::MAX; n];
+        let mut queue = VecDeque::new();
+        dist[start] = 0;
+        queue.push_back(VertexId(start));
+        while let Some(u) = queue.pop_front() {
+            for &(v, e) in graph.neighbors(u) {
+                if e.index() == parent_edge[u.index()] {
+                    continue; // don't traverse the tree edge back
+                }
+                if dist[v.index()] == usize::MAX {
+                    dist[v.index()] = dist[u.index()] + 1;
+                    parent_edge[v.index()] = e.index();
+                    queue.push_back(v);
+                } else {
+                    // Found a cycle through `start` (or at least a cycle whose
+                    // length is bounded below by this estimate).
+                    let cycle_len = dist[u.index()] + dist[v.index()] + 1;
+                    if best.map_or(true, |b| cycle_len < b) {
+                        best = Some(cycle_len);
+                    }
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Returns `true` if the graph contains no cycle of length strictly less than
+/// `g` (i.e. its girth is at least `g`). Acyclic graphs satisfy every bound.
+pub fn has_girth_at_least(graph: &WeightedGraph, g: usize) -> bool {
+    match girth(graph) {
+        None => true,
+        Some(actual) => actual >= g,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{cycle_graph, petersen_graph};
+
+    #[test]
+    fn tree_has_no_cycle() {
+        let g = WeightedGraph::from_edges(4, [(0, 1, 1.0), (1, 2, 1.0), (1, 3, 1.0)]).unwrap();
+        assert_eq!(girth(&g), None);
+        assert!(has_girth_at_least(&g, 100));
+    }
+
+    #[test]
+    fn triangle_has_girth_three() {
+        let g = WeightedGraph::from_edges(3, [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)]).unwrap();
+        assert_eq!(girth(&g), Some(3));
+        assert!(has_girth_at_least(&g, 3));
+        assert!(!has_girth_at_least(&g, 4));
+    }
+
+    #[test]
+    fn cycle_graph_girth_is_its_length() {
+        for n in [4usize, 5, 8, 13] {
+            let g = cycle_graph(n, 1.0);
+            assert_eq!(girth(&g), Some(n), "cycle of length {n}");
+        }
+    }
+
+    #[test]
+    fn petersen_has_girth_five() {
+        let g = petersen_graph(1.0);
+        assert_eq!(girth(&g), Some(5));
+    }
+
+    #[test]
+    fn parallel_edges_make_girth_two() {
+        let mut g = WeightedGraph::new(2);
+        g.add_edge(VertexId(0), VertexId(1), 1.0);
+        g.add_edge(VertexId(0), VertexId(1), 1.0);
+        assert_eq!(girth(&g), Some(2));
+    }
+
+    #[test]
+    fn square_plus_diagonal_has_girth_three() {
+        let g = WeightedGraph::from_edges(
+            4,
+            [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0), (0, 2, 1.0)],
+        )
+        .unwrap();
+        assert_eq!(girth(&g), Some(3));
+    }
+}

@@ -1,0 +1,471 @@
+//! The core undirected weighted-graph type.
+
+use std::fmt;
+
+use crate::error::GraphError;
+
+/// Identifier of a vertex inside a [`WeightedGraph`].
+///
+/// Vertices are dense indices `0..n`; the newtype prevents accidental mixing
+/// with edge identifiers or raw counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VertexId(pub usize);
+
+impl VertexId {
+    /// Returns the underlying dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl From<usize> for VertexId {
+    fn from(value: usize) -> Self {
+        VertexId(value)
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Identifier of an edge inside a [`WeightedGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct EdgeId(pub usize);
+
+impl EdgeId {
+    /// Returns the underlying dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl From<usize> for EdgeId {
+    fn from(value: usize) -> Self {
+        EdgeId(value)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// An undirected edge `{u, v}` with a positive weight.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    /// One endpoint.
+    pub u: VertexId,
+    /// The other endpoint.
+    pub v: VertexId,
+    /// Positive, finite weight.
+    pub weight: f64,
+}
+
+impl Edge {
+    /// Creates a new edge; endpoints are stored as given.
+    pub fn new(u: VertexId, v: VertexId, weight: f64) -> Self {
+        Edge { u, v, weight }
+    }
+
+    /// Returns the endpoint opposite to `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not an endpoint of this edge.
+    pub fn other(&self, x: VertexId) -> VertexId {
+        if x == self.u {
+            self.v
+        } else if x == self.v {
+            self.u
+        } else {
+            panic!("vertex {x} is not an endpoint of edge ({}, {})", self.u, self.v)
+        }
+    }
+
+    /// Returns `true` if `x` is one of the endpoints.
+    pub fn is_incident_to(&self, x: VertexId) -> bool {
+        x == self.u || x == self.v
+    }
+
+    /// Returns the endpoints as an ordered pair `(min, max)` of indices,
+    /// useful as a canonical key for undirected edges.
+    pub fn key(&self) -> (usize, usize) {
+        let (a, b) = (self.u.index(), self.v.index());
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+}
+
+/// An undirected, positively-weighted graph with dense vertex indices.
+///
+/// The structure is an edge list plus per-vertex adjacency lists of
+/// `(neighbor, edge id)` pairs. Parallel edges are permitted (some generators
+/// produce them transiently) but self-loops are rejected at construction time.
+///
+/// Use [`crate::GraphBuilder`] or [`WeightedGraph::from_edges`] to construct
+/// graphs, and [`WeightedGraph::add_edge`] to grow them (spanner algorithms add
+/// edges incrementally).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WeightedGraph {
+    num_vertices: usize,
+    edges: Vec<Edge>,
+    adjacency: Vec<Vec<(VertexId, EdgeId)>>,
+}
+
+impl WeightedGraph {
+    /// Creates a graph with `num_vertices` vertices and no edges.
+    pub fn new(num_vertices: usize) -> Self {
+        WeightedGraph {
+            num_vertices,
+            edges: Vec::new(),
+            adjacency: vec![Vec::new(); num_vertices],
+        }
+    }
+
+    /// Creates a graph with the same vertex set as `other` and no edges.
+    ///
+    /// This is the canonical way a spanner construction starts: `H = (V, ∅)`.
+    pub fn empty_like(other: &WeightedGraph) -> Self {
+        WeightedGraph::new(other.num_vertices())
+    }
+
+    /// Builds a graph from `(u, v, weight)` triples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] if any endpoint is out of range, any weight is
+    /// non-positive or non-finite, or an edge is a self-loop.
+    pub fn from_edges(
+        num_vertices: usize,
+        edges: impl IntoIterator<Item = (usize, usize, f64)>,
+    ) -> Result<Self, GraphError> {
+        let mut g = WeightedGraph::new(num_vertices);
+        for (u, v, w) in edges {
+            g.try_add_edge(VertexId(u), VertexId(v), w)?;
+        }
+        Ok(g)
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns `true` if the graph has no edges.
+    pub fn is_edgeless(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Iterator over all vertex identifiers `0..n`.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.num_vertices).map(VertexId)
+    }
+
+    /// Slice of all edges, indexed by [`EdgeId`].
+    #[inline]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Returns the edge with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[inline]
+    pub fn edge(&self, id: EdgeId) -> &Edge {
+        &self.edges[id.index()]
+    }
+
+    /// Neighbors of `v` as `(neighbor, edge id)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[(VertexId, EdgeId)] {
+        &self.adjacency[v.index()]
+    }
+
+    /// Degree (number of incident edges) of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.adjacency[v.index()].len()
+    }
+
+    /// Adds an undirected edge and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range, the weight is not positive and
+    /// finite, or the edge is a self-loop. Use [`WeightedGraph::try_add_edge`]
+    /// for a fallible variant.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId, weight: f64) -> EdgeId {
+        self.try_add_edge(u, v, weight)
+            .expect("invalid edge passed to add_edge")
+    }
+
+    /// Adds an undirected edge, validating the input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::VertexOutOfRange`], [`GraphError::InvalidWeight`]
+    /// or [`GraphError::SelfLoop`] on invalid input.
+    pub fn try_add_edge(
+        &mut self,
+        u: VertexId,
+        v: VertexId,
+        weight: f64,
+    ) -> Result<EdgeId, GraphError> {
+        if u.index() >= self.num_vertices {
+            return Err(GraphError::VertexOutOfRange {
+                vertex: u.index(),
+                num_vertices: self.num_vertices,
+            });
+        }
+        if v.index() >= self.num_vertices {
+            return Err(GraphError::VertexOutOfRange {
+                vertex: v.index(),
+                num_vertices: self.num_vertices,
+            });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { vertex: u.index() });
+        }
+        if !(weight.is_finite() && weight > 0.0) {
+            return Err(GraphError::InvalidWeight { weight });
+        }
+        let id = EdgeId(self.edges.len());
+        self.edges.push(Edge::new(u, v, weight));
+        self.adjacency[u.index()].push((v, id));
+        self.adjacency[v.index()].push((u, id));
+        Ok(id)
+    }
+
+    /// Adds a fresh isolated vertex and returns its id.
+    pub fn add_vertex(&mut self) -> VertexId {
+        let id = VertexId(self.num_vertices);
+        self.num_vertices += 1;
+        self.adjacency.push(Vec::new());
+        id
+    }
+
+    /// Returns `true` if an edge `{u, v}` exists (any parallel copy counts).
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        if u.index() >= self.num_vertices {
+            return false;
+        }
+        self.adjacency[u.index()].iter().any(|&(n, _)| n == v)
+    }
+
+    /// Returns the minimum weight among edges `{u, v}`, if any exists.
+    pub fn edge_weight(&self, u: VertexId, v: VertexId) -> Option<f64> {
+        if u.index() >= self.num_vertices {
+            return None;
+        }
+        self.adjacency[u.index()]
+            .iter()
+            .filter(|&&(n, _)| n == v)
+            .map(|&(_, e)| self.edges[e.index()].weight)
+            .min_by(f64::total_cmp)
+    }
+
+    /// Total weight of all edges.
+    pub fn total_weight(&self) -> f64 {
+        self.edges.iter().map(|e| e.weight).sum()
+    }
+
+    /// Maximum vertex degree; zero for an empty graph.
+    pub fn max_degree(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Returns a new graph containing the same vertices and only the edges
+    /// whose ids satisfy `keep`.
+    pub fn filter_edges(&self, mut keep: impl FnMut(EdgeId, &Edge) -> bool) -> WeightedGraph {
+        let mut g = WeightedGraph::new(self.num_vertices);
+        for (i, e) in self.edges.iter().enumerate() {
+            if keep(EdgeId(i), e) {
+                g.add_edge(e.u, e.v, e.weight);
+            }
+        }
+        g
+    }
+
+    /// Returns the edge ids sorted by non-decreasing weight (ties broken by
+    /// canonical endpoint order for determinism).
+    pub fn edges_by_weight(&self) -> Vec<EdgeId> {
+        let mut ids: Vec<EdgeId> = (0..self.edges.len()).map(EdgeId).collect();
+        ids.sort_by(|&a, &b| {
+            let ea = &self.edges[a.index()];
+            let eb = &self.edges[b.index()];
+            ea.weight
+                .total_cmp(&eb.weight)
+                .then_with(|| ea.key().cmp(&eb.key()))
+        });
+        ids
+    }
+
+    /// Returns `true` if every edge of `self` has a corresponding edge (same
+    /// canonical endpoints, same weight up to `1e-12`) in `other`.
+    pub fn is_edge_subgraph_of(&self, other: &WeightedGraph) -> bool {
+        if self.num_vertices != other.num_vertices {
+            return false;
+        }
+        self.edges.iter().all(|e| {
+            other
+                .edge_weight(e.u, e.v)
+                .map(|w| (w - e.weight).abs() <= 1e-12 * w.max(1.0))
+                .unwrap_or(false)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> WeightedGraph {
+        WeightedGraph::from_edges(3, [(0, 1, 1.0), (1, 2, 2.0), (0, 2, 2.5)]).unwrap()
+    }
+
+    #[test]
+    fn new_graph_is_edgeless() {
+        let g = WeightedGraph::new(5);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 0);
+        assert!(g.is_edgeless());
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn add_edge_updates_adjacency_both_ways() {
+        let g = triangle();
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.degree(VertexId(0)), 2);
+        assert_eq!(g.degree(VertexId(1)), 2);
+        assert_eq!(g.degree(VertexId(2)), 2);
+        assert!(g.has_edge(VertexId(0), VertexId(1)));
+        assert!(g.has_edge(VertexId(1), VertexId(0)));
+        assert!(!g.has_edge(VertexId(0), VertexId(3)));
+    }
+
+    #[test]
+    fn edge_weight_returns_minimum_parallel_weight() {
+        let mut g = WeightedGraph::new(2);
+        g.add_edge(VertexId(0), VertexId(1), 3.0);
+        g.add_edge(VertexId(0), VertexId(1), 1.5);
+        assert_eq!(g.edge_weight(VertexId(0), VertexId(1)), Some(1.5));
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut g = WeightedGraph::new(2);
+        let err = g.try_add_edge(VertexId(1), VertexId(1), 1.0).unwrap_err();
+        assert_eq!(err, GraphError::SelfLoop { vertex: 1 });
+    }
+
+    #[test]
+    fn rejects_out_of_range_vertex() {
+        let mut g = WeightedGraph::new(2);
+        let err = g.try_add_edge(VertexId(0), VertexId(5), 1.0).unwrap_err();
+        assert!(matches!(err, GraphError::VertexOutOfRange { vertex: 5, .. }));
+    }
+
+    #[test]
+    fn rejects_bad_weights() {
+        let mut g = WeightedGraph::new(2);
+        for w in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(g.try_add_edge(VertexId(0), VertexId(1), w).is_err());
+        }
+    }
+
+    #[test]
+    fn total_weight_sums_all_edges() {
+        let g = triangle();
+        assert!((g.total_weight() - 5.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edges_by_weight_is_sorted_and_deterministic() {
+        let g = WeightedGraph::from_edges(
+            4,
+            [(0, 1, 2.0), (1, 2, 1.0), (2, 3, 2.0), (0, 3, 0.5)],
+        )
+        .unwrap();
+        let order = g.edges_by_weight();
+        let weights: Vec<f64> = order.iter().map(|&e| g.edge(e).weight).collect();
+        assert_eq!(weights, vec![0.5, 1.0, 2.0, 2.0]);
+        // Ties broken by endpoint key: (0,1) before (2,3).
+        assert_eq!(g.edge(order[2]).key(), (0, 1));
+        assert_eq!(g.edge(order[3]).key(), (2, 3));
+    }
+
+    #[test]
+    fn empty_like_copies_vertex_count_only() {
+        let g = triangle();
+        let h = WeightedGraph::empty_like(&g);
+        assert_eq!(h.num_vertices(), 3);
+        assert_eq!(h.num_edges(), 0);
+    }
+
+    #[test]
+    fn filter_edges_keeps_selected() {
+        let g = triangle();
+        let h = g.filter_edges(|_, e| e.weight < 2.4);
+        assert_eq!(h.num_edges(), 2);
+        assert!(h.is_edge_subgraph_of(&g));
+        assert!(!g.is_edge_subgraph_of(&h));
+    }
+
+    #[test]
+    fn edge_other_and_incidence() {
+        let e = Edge::new(VertexId(3), VertexId(7), 1.0);
+        assert_eq!(e.other(VertexId(3)), VertexId(7));
+        assert_eq!(e.other(VertexId(7)), VertexId(3));
+        assert!(e.is_incident_to(VertexId(3)));
+        assert!(!e.is_incident_to(VertexId(4)));
+        assert_eq!(e.key(), (3, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn edge_other_panics_for_non_endpoint() {
+        let e = Edge::new(VertexId(0), VertexId(1), 1.0);
+        let _ = e.other(VertexId(2));
+    }
+
+    #[test]
+    fn add_vertex_grows_graph() {
+        let mut g = triangle();
+        let v = g.add_vertex();
+        assert_eq!(v, VertexId(3));
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.degree(v), 0);
+    }
+
+    #[test]
+    fn display_of_ids() {
+        assert_eq!(VertexId(4).to_string(), "v4");
+        assert_eq!(EdgeId(2).to_string(), "e2");
+    }
+}

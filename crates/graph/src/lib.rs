@@ -1,0 +1,52 @@
+//! Weighted-graph substrate for the greedy-spanner reproduction.
+//!
+//! This crate provides everything the spanner constructions in
+//! [`greedy-spanner`](https://example.org/greedy-spanner) need from a graph library:
+//!
+//! * [`WeightedGraph`] — an undirected, positively-weighted multigraph stored as an
+//!   edge list plus adjacency lists, with O(1) edge access by [`EdgeId`].
+//! * Shortest paths — [`dijkstra`] (full, single-pair, and distance-bounded variants).
+//! * Minimum spanning trees — [`mst`] (Kruskal and Prim) built on [`UnionFind`].
+//! * Structural queries — [`connectivity`], [`girth`], [`apsp`], [`metric_closure`].
+//! * Workload generation — [`generators`] (random, geometric, grid, cage graphs, the
+//!   paper's Figure 1 construction, …).
+//! * Aggregate measurements — [`properties`] (weight, degree, lightness).
+//!
+//! # Example
+//!
+//! ```
+//! use spanner_graph::{GraphBuilder, mst::kruskal, dijkstra::shortest_path_distance};
+//!
+//! let mut b = GraphBuilder::new(4);
+//! b.add_edge(0, 1, 1.0);
+//! b.add_edge(1, 2, 2.0);
+//! b.add_edge(2, 3, 1.0);
+//! b.add_edge(0, 3, 5.0);
+//! let g = b.build().expect("valid graph");
+//!
+//! let tree = kruskal(&g);
+//! assert_eq!(tree.edges.len(), 3);
+//! let d = shortest_path_distance(&g, 0.into(), 3.into()).unwrap();
+//! assert!((d - 4.0).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apsp;
+pub mod builder;
+pub mod connectivity;
+pub mod dijkstra;
+pub mod error;
+pub mod generators;
+pub mod girth;
+pub mod graph;
+pub mod metric_closure;
+pub mod mst;
+pub mod properties;
+pub mod union_find;
+
+pub use builder::GraphBuilder;
+pub use error::GraphError;
+pub use graph::{Edge, EdgeId, VertexId, WeightedGraph};
+pub use union_find::UnionFind;

@@ -1,0 +1,252 @@
+//! Minimum spanning trees (Kruskal and Prim) and spanning-forest utilities.
+//!
+//! The lightness of a spanner is defined relative to the weight of a minimum
+//! spanning tree (Observation 2 of the paper notes that the greedy spanner
+//! always contains an MST), so MST computation is on the hot path of every
+//! experiment.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::graph::{Edge, EdgeId, VertexId, WeightedGraph};
+use crate::union_find::UnionFind;
+
+/// A minimum spanning forest: the selected edges plus their total weight.
+///
+/// For connected graphs this is a spanning tree with `n - 1` edges.
+#[derive(Debug, Clone)]
+pub struct SpanningForest {
+    /// Edge ids (into the source graph) of the forest, in selection order.
+    pub edges: Vec<EdgeId>,
+    /// Total weight of the selected edges.
+    pub total_weight: f64,
+    /// Number of connected components the forest spans.
+    pub num_components: usize,
+}
+
+impl SpanningForest {
+    /// Returns `true` if the forest is a single spanning tree of an `n`-vertex
+    /// graph.
+    pub fn is_spanning_tree(&self, num_vertices: usize) -> bool {
+        self.num_components == 1 && self.edges.len() + 1 == num_vertices.max(1)
+    }
+
+    /// Materializes the forest as a standalone [`WeightedGraph`] on the same
+    /// vertex set as `graph`.
+    pub fn to_graph(&self, graph: &WeightedGraph) -> WeightedGraph {
+        let mut t = WeightedGraph::empty_like(graph);
+        for &id in &self.edges {
+            let e = graph.edge(id);
+            t.add_edge(e.u, e.v, e.weight);
+        }
+        t
+    }
+}
+
+/// Computes a minimum spanning forest with Kruskal's algorithm.
+///
+/// Ties between equal-weight edges are broken by canonical endpoint order so
+/// the result is deterministic.
+pub fn kruskal(graph: &WeightedGraph) -> SpanningForest {
+    let order = graph.edges_by_weight();
+    let mut uf = UnionFind::new(graph.num_vertices());
+    let mut edges = Vec::new();
+    let mut total_weight = 0.0;
+    for id in order {
+        let e = graph.edge(id);
+        if uf.union(e.u.index(), e.v.index()) {
+            edges.push(id);
+            total_weight += e.weight;
+        }
+    }
+    SpanningForest {
+        edges,
+        total_weight,
+        num_components: uf.num_sets().max(usize::from(graph.num_vertices() == 0)),
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct PrimEntry {
+    weight: f64,
+    edge: EdgeId,
+    to: VertexId,
+}
+
+impl Eq for PrimEntry {}
+
+impl Ord for PrimEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .weight
+            .total_cmp(&self.weight)
+            .then_with(|| other.edge.cmp(&self.edge))
+    }
+}
+
+impl PartialOrd for PrimEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Computes a minimum spanning forest with Prim's algorithm (lazy deletion).
+///
+/// Produces a forest of the same total weight as [`kruskal`]; the edge set may
+/// differ when the graph has ties.
+pub fn prim(graph: &WeightedGraph) -> SpanningForest {
+    let n = graph.num_vertices();
+    let mut in_tree = vec![false; n];
+    let mut edges = Vec::new();
+    let mut total_weight = 0.0;
+    let mut num_components = 0;
+
+    for start in 0..n {
+        if in_tree[start] {
+            continue;
+        }
+        num_components += 1;
+        in_tree[start] = true;
+        let mut heap = BinaryHeap::new();
+        for &(v, e) in graph.neighbors(VertexId(start)) {
+            heap.push(PrimEntry { weight: graph.edge(e).weight, edge: e, to: v });
+        }
+        while let Some(PrimEntry { weight, edge, to }) = heap.pop() {
+            if in_tree[to.index()] {
+                continue;
+            }
+            in_tree[to.index()] = true;
+            edges.push(edge);
+            total_weight += weight;
+            for &(v, e) in graph.neighbors(to) {
+                if !in_tree[v.index()] {
+                    heap.push(PrimEntry { weight: graph.edge(e).weight, edge: e, to: v });
+                }
+            }
+        }
+    }
+
+    SpanningForest { edges, total_weight, num_components }
+}
+
+/// Weight of a minimum spanning forest of `graph`.
+pub fn mst_weight(graph: &WeightedGraph) -> f64 {
+    kruskal(graph).total_weight
+}
+
+/// Returns `true` if `tree_edges` (given as edges of `graph`) form a spanning
+/// tree of `graph` — acyclic, connected, touching every vertex.
+pub fn is_spanning_tree(graph: &WeightedGraph, tree_edges: &[Edge]) -> bool {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return tree_edges.is_empty();
+    }
+    if tree_edges.len() != n - 1 {
+        return false;
+    }
+    let mut uf = UnionFind::new(n);
+    for e in tree_edges {
+        if !uf.union(e.u.index(), e.v.index()) {
+            return false; // cycle
+        }
+    }
+    uf.num_sets() == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{complete_graph_with_weights, erdos_renyi_connected};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn square_with_diagonal() -> WeightedGraph {
+        // 0-1-2-3-0 cycle of weight 1 each plus a heavy diagonal.
+        WeightedGraph::from_edges(
+            4,
+            [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0), (0, 2, 10.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn kruskal_selects_light_cycle_edges() {
+        let g = square_with_diagonal();
+        let f = kruskal(&g);
+        assert!(f.is_spanning_tree(4));
+        assert_eq!(f.edges.len(), 3);
+        assert!((f.total_weight - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prim_matches_kruskal_weight() {
+        let g = square_with_diagonal();
+        assert!((prim(&g).total_weight - kruskal(&g).total_weight).abs() < 1e-12);
+    }
+
+    #[test]
+    fn forest_on_disconnected_graph() {
+        let g = WeightedGraph::from_edges(5, [(0, 1, 1.0), (2, 3, 2.0)]).unwrap();
+        let f = kruskal(&g);
+        assert_eq!(f.edges.len(), 2);
+        assert_eq!(f.num_components, 3);
+        assert!(!f.is_spanning_tree(5));
+        let p = prim(&g);
+        assert_eq!(p.num_components, 3);
+        assert!((p.total_weight - f.total_weight).abs() < 1e-12);
+    }
+
+    #[test]
+    fn to_graph_materializes_tree() {
+        let g = square_with_diagonal();
+        let t = kruskal(&g).to_graph(&g);
+        assert_eq!(t.num_vertices(), 4);
+        assert_eq!(t.num_edges(), 3);
+        assert!(t.is_edge_subgraph_of(&g));
+    }
+
+    #[test]
+    fn is_spanning_tree_checks() {
+        let g = square_with_diagonal();
+        let f = kruskal(&g);
+        let tree: Vec<Edge> = f.edges.iter().map(|&id| *g.edge(id)).collect();
+        assert!(is_spanning_tree(&g, &tree));
+        // Dropping an edge breaks it.
+        assert!(!is_spanning_tree(&g, &tree[..2]));
+        // The first three cycle edges form a path, hence a valid spanning tree.
+        let cyc: Vec<Edge> = g.edges()[..4].iter().copied().collect();
+        assert!(is_spanning_tree(&g, &cyc[..3]));
+        // All four cycle edges have the wrong cardinality (and a cycle).
+        assert!(!is_spanning_tree(&g, &cyc));
+    }
+
+    #[test]
+    fn mst_weight_on_empty_and_singleton() {
+        let empty = WeightedGraph::new(0);
+        assert_eq!(mst_weight(&empty), 0.0);
+        let single = WeightedGraph::new(1);
+        assert_eq!(mst_weight(&single), 0.0);
+        assert!(kruskal(&single).is_spanning_tree(1));
+    }
+
+    #[test]
+    fn prim_and_kruskal_agree_on_random_graphs() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for n in [5, 12, 30] {
+            let g = erdos_renyi_connected(n, 0.3, 1.0..10.0, &mut rng);
+            let k = kruskal(&g);
+            let p = prim(&g);
+            assert!(k.is_spanning_tree(n));
+            assert!(p.is_spanning_tree(n));
+            assert!((k.total_weight - p.total_weight).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn mst_of_complete_graph_with_unit_weights() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let g = complete_graph_with_weights(6, 1.0..1.0001, &mut rng);
+        let f = kruskal(&g);
+        assert_eq!(f.edges.len(), 5);
+    }
+}

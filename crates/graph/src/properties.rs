@@ -1,0 +1,115 @@
+//! Aggregate measurements over graphs: weight, degree distribution and the
+//! size/weight/lightness summary used throughout the experiments.
+
+use crate::graph::WeightedGraph;
+use crate::mst::mst_weight;
+
+/// A compact summary of the parameters the spanner literature reports:
+/// size (edges), weight, lightness and maximum degree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GraphSummary {
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Number of edges.
+    pub num_edges: usize,
+    /// Total edge weight.
+    pub total_weight: f64,
+    /// Total weight divided by the reference MST weight.
+    pub lightness: f64,
+    /// Maximum vertex degree.
+    pub max_degree: usize,
+    /// Average vertex degree (`2m / n`), zero for the empty graph.
+    pub average_degree: f64,
+}
+
+/// Summarizes `subgraph` relative to the MST weight of `reference`.
+///
+/// The reference is normally the original graph `G` while `subgraph` is a
+/// spanner `H ⊆ G`; per Observation 2 the two share an MST, so lightness is
+/// well defined either way.
+pub fn summarize(subgraph: &WeightedGraph, reference: &WeightedGraph) -> GraphSummary {
+    let mst = mst_weight(reference);
+    summarize_with_mst(subgraph, mst)
+}
+
+/// Summarizes `subgraph` against an already-computed MST weight (avoids
+/// recomputing the MST inside parameter sweeps).
+pub fn summarize_with_mst(subgraph: &WeightedGraph, reference_mst_weight: f64) -> GraphSummary {
+    let n = subgraph.num_vertices();
+    let m = subgraph.num_edges();
+    let total_weight = subgraph.total_weight();
+    let lightness = if reference_mst_weight > 0.0 {
+        total_weight / reference_mst_weight
+    } else {
+        0.0
+    };
+    GraphSummary {
+        num_vertices: n,
+        num_edges: m,
+        total_weight,
+        lightness,
+        max_degree: subgraph.max_degree(),
+        average_degree: if n > 0 { 2.0 * m as f64 / n as f64 } else { 0.0 },
+    }
+}
+
+/// Histogram of vertex degrees: entry `i` counts vertices of degree `i`.
+pub fn degree_histogram(graph: &WeightedGraph) -> Vec<usize> {
+    let mut hist = vec![0usize; graph.max_degree() + 1];
+    for v in graph.vertices() {
+        hist[graph.degree(v)] += 1;
+    }
+    if graph.num_vertices() == 0 {
+        hist.clear();
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{cycle_graph, star_graph};
+
+    #[test]
+    fn summary_of_cycle_against_itself() {
+        let g = cycle_graph(5, 2.0);
+        let s = summarize(&g, &g);
+        assert_eq!(s.num_vertices, 5);
+        assert_eq!(s.num_edges, 5);
+        assert!((s.total_weight - 10.0).abs() < 1e-12);
+        // MST of the cycle drops one edge: weight 8, lightness 10/8.
+        assert!((s.lightness - 1.25).abs() < 1e-12);
+        assert_eq!(s.max_degree, 2);
+        assert!((s.average_degree - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_of_subgraph_against_reference() {
+        let g = cycle_graph(4, 1.0);
+        let sub = g.filter_edges(|_, e| e.key() != (0, 3));
+        let s = summarize(&sub, &g);
+        assert_eq!(s.num_edges, 3);
+        assert!((s.lightness - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_with_zero_mst_is_safe() {
+        let g = WeightedGraph::new(3);
+        let s = summarize(&g, &g);
+        assert_eq!(s.lightness, 0.0);
+        assert_eq!(s.average_degree, 0.0);
+    }
+
+    #[test]
+    fn degree_histogram_of_star() {
+        let g = star_graph(5, 1.0);
+        let h = degree_histogram(&g);
+        // One hub of degree 4, four leaves of degree 1.
+        assert_eq!(h, vec![0, 4, 0, 0, 1]);
+    }
+
+    #[test]
+    fn degree_histogram_of_empty_graph() {
+        assert!(degree_histogram(&WeightedGraph::new(0)).is_empty());
+    }
+}

@@ -1,0 +1,160 @@
+//! Disjoint-set forest with union by rank and path compression.
+
+/// A union–find (disjoint-set) structure over dense indices `0..n`.
+///
+/// Used by Kruskal's MST algorithm and by several generators to control
+/// connectivity. Amortized near-constant time per operation.
+///
+/// # Example
+///
+/// ```
+/// use spanner_graph::UnionFind;
+///
+/// let mut uf = UnionFind::new(4);
+/// assert!(uf.union(0, 1));
+/// assert!(uf.union(2, 3));
+/// assert!(!uf.union(1, 0)); // already joined
+/// assert!(uf.connected(0, 1));
+/// assert!(!uf.connected(0, 3));
+/// assert_eq!(uf.num_sets(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+    num_sets: usize,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+            num_sets: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Returns `true` if the structure has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets currently present.
+    pub fn num_sets(&self) -> usize {
+        self.num_sets
+    }
+
+    /// Finds the representative of `x`'s set, compressing paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= len()`.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Unions the sets containing `a` and `b`.
+    ///
+    /// Returns `true` if the two were in different sets (i.e. a merge
+    /// happened), `false` if they were already connected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is out of range.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        self.num_sets -= 1;
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra;
+                self.rank[ra] += 1;
+            }
+        }
+        true
+    }
+
+    /// Returns `true` if `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_at_start() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.len(), 5);
+        assert_eq!(uf.num_sets(), 5);
+        assert!(!uf.is_empty());
+        for i in 0..5 {
+            assert_eq!(uf.find(i), i);
+        }
+    }
+
+    #[test]
+    fn union_merges_and_counts() {
+        let mut uf = UnionFind::new(6);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2));
+        assert_eq!(uf.num_sets(), 4);
+        assert!(uf.connected(0, 2));
+        assert!(!uf.connected(0, 5));
+    }
+
+    #[test]
+    fn chain_union_yields_single_set() {
+        let n = 100;
+        let mut uf = UnionFind::new(n);
+        for i in 1..n {
+            uf.union(i - 1, i);
+        }
+        assert_eq!(uf.num_sets(), 1);
+        for i in 0..n {
+            assert!(uf.connected(0, i));
+        }
+    }
+
+    #[test]
+    fn empty_structure() {
+        let uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.num_sets(), 0);
+    }
+
+    #[test]
+    fn find_is_idempotent_after_compression() {
+        let mut uf = UnionFind::new(8);
+        for i in 1..8 {
+            uf.union(0, i);
+        }
+        let root = uf.find(7);
+        assert_eq!(uf.find(7), root);
+        assert_eq!(uf.find(3), root);
+    }
+}

@@ -1,0 +1,128 @@
+//! Empirical estimation of the doubling dimension.
+//!
+//! The doubling dimension of a metric space is the smallest `ddim` such that
+//! every ball can be covered by at most `2^ddim` balls of half its radius.
+//! Computing it exactly is NP-hard, so experiments use the standard empirical
+//! estimate: for sampled centers and radii, greedily cover the ball with
+//! half-radius balls and take the base-2 logarithm of the largest cover size.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::net::greedy_net;
+use crate::space::MetricSpace;
+
+/// Greedily covers the ball `B(center, radius)` with balls of radius
+/// `radius / 2` centered at points of the space, returning the number of
+/// half-radius balls used.
+///
+/// The greedy cover is a 2-approximation-style upper bound on the optimal
+/// cover, which is what the doubling-constant estimate needs.
+pub fn half_radius_cover_size<M: MetricSpace + ?Sized>(
+    metric: &M,
+    center: usize,
+    radius: f64,
+) -> usize {
+    let ball: Vec<usize> = (0..metric.len())
+        .filter(|&p| metric.distance(center, p) <= radius)
+        .collect();
+    if ball.is_empty() {
+        return 0;
+    }
+    greedy_net(metric, radius / 2.0, &ball).centers.len()
+}
+
+/// Estimates the doubling dimension by sampling `samples` center points and,
+/// for each, a geometric ladder of radii between the minimum interpoint
+/// distance and the diameter.
+///
+/// Returns `0.0` for spaces with fewer than two points.
+pub fn estimate_doubling_dimension<M, R>(metric: &M, samples: usize, rng: &mut R) -> f64
+where
+    M: MetricSpace + ?Sized,
+    R: Rng + ?Sized,
+{
+    let n = metric.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let min_dist = metric.min_interpoint_distance();
+    let diameter = metric.diameter();
+    if min_dist <= 0.0 || diameter <= 0.0 {
+        return 0.0;
+    }
+    let mut centers: Vec<usize> = (0..n).collect();
+    centers.shuffle(rng);
+    centers.truncate(samples.max(1));
+
+    let mut worst_cover = 1usize;
+    for &c in &centers {
+        let mut r = min_dist * 2.0;
+        while r <= diameter * 2.0 {
+            worst_cover = worst_cover.max(half_radius_cover_size(metric, c, r));
+            r *= 2.0;
+        }
+    }
+    (worst_cover as f64).log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::euclidean::EuclideanSpace;
+    use crate::generators::{uniform_points, uniform_points_in_cube};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cover_of_single_point_ball() {
+        let s = EuclideanSpace::from_coords([[0.0], [10.0]]);
+        assert_eq!(half_radius_cover_size(&s, 0, 1.0), 1);
+    }
+
+    #[test]
+    fn line_has_small_doubling_dimension() {
+        let s = EuclideanSpace::from_coords((0..200).map(|i| [i as f64]));
+        let mut rng = SmallRng::seed_from_u64(1);
+        let d = estimate_doubling_dimension(&s, 10, &mut rng);
+        assert!(d > 0.0);
+        assert!(d <= 3.0, "1-D line should have tiny doubling dimension, got {d}");
+    }
+
+    #[test]
+    fn plane_dimension_exceeds_line_dimension() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let line = EuclideanSpace::from_coords((0..150).map(|i| [i as f64]));
+        let plane = uniform_points::<2, _>(150, &mut rng);
+        let d_line = estimate_doubling_dimension(&line, 12, &mut SmallRng::seed_from_u64(3));
+        let d_plane = estimate_doubling_dimension(&plane, 12, &mut SmallRng::seed_from_u64(4));
+        assert!(
+            d_plane > d_line,
+            "plane estimate {d_plane} should exceed line estimate {d_line}"
+        );
+    }
+
+    #[test]
+    fn higher_ambient_dimension_increases_estimate() {
+        let d2 = {
+            let mut rng = SmallRng::seed_from_u64(5);
+            let s = uniform_points_in_cube::<2, _>(200, 1.0, &mut rng);
+            estimate_doubling_dimension(&s, 10, &mut SmallRng::seed_from_u64(6))
+        };
+        let d4 = {
+            let mut rng = SmallRng::seed_from_u64(5);
+            let s = uniform_points_in_cube::<4, _>(200, 1.0, &mut rng);
+            estimate_doubling_dimension(&s, 10, &mut SmallRng::seed_from_u64(6))
+        };
+        assert!(d4 >= d2, "R^4 estimate {d4} should be at least R^2 estimate {d2}");
+    }
+
+    #[test]
+    fn degenerate_spaces_report_zero() {
+        let empty = EuclideanSpace::<2>::new(vec![]);
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert_eq!(estimate_doubling_dimension(&empty, 5, &mut rng), 0.0);
+        let single = EuclideanSpace::from_coords([[1.0, 2.0]]);
+        assert_eq!(estimate_doubling_dimension(&single, 5, &mut rng), 0.0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Euclidean point sets as metric spaces.
+
+use crate::point::Point;
+use crate::space::MetricSpace;
+
+/// A finite set of points in `R^D` with the Euclidean metric.
+///
+/// # Example
+///
+/// ```
+/// use spanner_metric::{EuclideanSpace, MetricSpace, Point};
+///
+/// let space = EuclideanSpace::new(vec![Point::new([0.0]), Point::new([2.0]), Point::new([5.0])]);
+/// assert_eq!(space.len(), 3);
+/// assert_eq!(space.distance(1, 2), 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EuclideanSpace<const D: usize> {
+    points: Vec<Point<D>>,
+}
+
+impl<const D: usize> EuclideanSpace<D> {
+    /// Creates a space from a vector of points.
+    pub fn new(points: Vec<Point<D>>) -> Self {
+        EuclideanSpace { points }
+    }
+
+    /// Creates a space from raw coordinate arrays.
+    pub fn from_coords(coords: impl IntoIterator<Item = [f64; D]>) -> Self {
+        EuclideanSpace {
+            points: coords.into_iter().map(Point::new).collect(),
+        }
+    }
+
+    /// The points, indexed consistently with [`MetricSpace::distance`].
+    pub fn points(&self) -> &[Point<D>] {
+        &self.points
+    }
+
+    /// Returns the point with index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn point(&self, i: usize) -> &Point<D> {
+        &self.points[i]
+    }
+
+    /// Appends a point and returns its index.
+    pub fn push(&mut self, p: Point<D>) -> usize {
+        self.points.push(p);
+        self.points.len() - 1
+    }
+
+    /// The ambient dimension `D`.
+    pub fn dim(&self) -> usize {
+        D
+    }
+
+    /// Axis-aligned bounding box as `(min_corner, max_corner)`, or `None` for
+    /// an empty space.
+    pub fn bounding_box(&self) -> Option<(Point<D>, Point<D>)> {
+        let first = *self.points.first()?;
+        let mut lo = *first.coords();
+        let mut hi = lo;
+        for p in &self.points {
+            for d in 0..D {
+                lo[d] = lo[d].min(p[d]);
+                hi[d] = hi[d].max(p[d]);
+            }
+        }
+        Some((Point::new(lo), Point::new(hi)))
+    }
+}
+
+impl<const D: usize> MetricSpace for EuclideanSpace<D> {
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    fn distance(&self, i: usize, j: usize) -> f64 {
+        self.points[i].distance(&self.points[j])
+    }
+}
+
+impl<const D: usize> FromIterator<Point<D>> for EuclideanSpace<D> {
+    fn from_iter<T: IntoIterator<Item = Point<D>>>(iter: T) -> Self {
+        EuclideanSpace::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_matches_point_distance() {
+        let s = EuclideanSpace::from_coords([[0.0, 0.0], [3.0, 4.0]]);
+        assert_eq!(s.distance(0, 1), 5.0);
+        assert_eq!(s.distance(1, 0), 5.0);
+        assert_eq!(s.distance(0, 0), 0.0);
+    }
+
+    #[test]
+    fn push_and_point_access() {
+        let mut s = EuclideanSpace::<2>::default();
+        assert!(s.is_empty());
+        let i = s.push(Point::new([1.0, 1.0]));
+        assert_eq!(i, 0);
+        assert_eq!(s.point(0), &Point::new([1.0, 1.0]));
+        assert_eq!(s.dim(), 2);
+        assert_eq!(s.points().len(), 1);
+    }
+
+    #[test]
+    fn bounding_box_covers_all_points() {
+        let s = EuclideanSpace::from_coords([[0.0, 5.0], [2.0, -1.0], [1.0, 3.0]]);
+        let (lo, hi) = s.bounding_box().unwrap();
+        assert_eq!(lo.coords(), &[0.0, -1.0]);
+        assert_eq!(hi.coords(), &[2.0, 5.0]);
+        assert!(EuclideanSpace::<2>::default().bounding_box().is_none());
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let s: EuclideanSpace<1> = (0..5).map(|i| Point::new([i as f64])).collect();
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.distance(0, 4), 4.0);
+    }
+}

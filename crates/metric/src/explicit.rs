@@ -1,0 +1,133 @@
+//! Matrix-backed finite metrics for adversarial and hand-crafted instances.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::space::{validate_metric_axioms, MetricSpace};
+
+/// Error returned when an explicit distance matrix fails the metric axioms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidMetricError(String);
+
+impl fmt::Display for InvalidMetricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid metric: {}", self.0)
+    }
+}
+
+impl Error for InvalidMetricError {}
+
+/// A finite metric given by an explicit symmetric distance matrix.
+///
+/// Useful for adversarial constructions (e.g. the star metric on which the
+/// greedy spanner has degree `n - 1`) that are not realizable as low-dimension
+/// Euclidean point sets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplicitMetric {
+    n: usize,
+    dist: Vec<f64>,
+}
+
+impl ExplicitMetric {
+    /// Builds a metric by calling `f(i, j)` for every ordered pair with
+    /// `i < j`, then validating the metric axioms.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidMetricError`] if the resulting matrix violates
+    /// symmetry, positivity or the triangle inequality.
+    pub fn from_fn(
+        n: usize,
+        mut f: impl FnMut(usize, usize) -> f64,
+    ) -> Result<Self, InvalidMetricError> {
+        let mut dist = vec![0.0; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = f(i, j);
+                dist[i * n + j] = d;
+                dist[j * n + i] = d;
+            }
+        }
+        let metric = ExplicitMetric { n, dist };
+        validate_metric_axioms(&metric, 1e-9).map_err(InvalidMetricError)?;
+        Ok(metric)
+    }
+
+    /// Builds a metric without validating the axioms.
+    ///
+    /// Intended for trusted inputs (e.g. distances copied from another
+    /// metric); prefer [`ExplicitMetric::from_fn`] elsewhere.
+    pub fn from_fn_unchecked(n: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut dist = vec![0.0; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = f(i, j);
+                dist[i * n + j] = d;
+                dist[j * n + i] = d;
+            }
+        }
+        ExplicitMetric { n, dist }
+    }
+
+    /// Snapshots any metric space into an explicit matrix (useful to avoid
+    /// repeated expensive distance computations).
+    pub fn from_metric<M: MetricSpace + ?Sized>(metric: &M) -> Self {
+        ExplicitMetric::from_fn_unchecked(metric.len(), |i, j| metric.distance(i, j))
+    }
+}
+
+impl MetricSpace for ExplicitMetric {
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn distance(&self, i: usize, j: usize) -> f64 {
+        self.dist[i * self.n + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::euclidean::EuclideanSpace;
+
+    #[test]
+    fn from_fn_validates_good_metric() {
+        let m = ExplicitMetric::from_fn(4, |i, j| (i as f64 - j as f64).abs()).unwrap();
+        assert_eq!(m.len(), 4);
+        assert_eq!(m.distance(0, 3), 3.0);
+        assert_eq!(m.distance(3, 0), 3.0);
+        assert_eq!(m.distance(2, 2), 0.0);
+    }
+
+    #[test]
+    fn from_fn_rejects_triangle_violation() {
+        let r = ExplicitMetric::from_fn(3, |i, j| if (i, j) == (0, 2) { 100.0 } else { 1.0 });
+        assert!(r.is_err());
+        let msg = r.unwrap_err().to_string();
+        assert!(msg.contains("triangle"));
+    }
+
+    #[test]
+    fn from_fn_rejects_nonpositive_distance() {
+        let r = ExplicitMetric::from_fn(3, |i, j| if (i, j) == (0, 1) { 0.0 } else { 1.0 });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn snapshot_of_euclidean_space_matches() {
+        let s = EuclideanSpace::from_coords([[0.0, 0.0], [1.0, 0.0], [0.0, 2.0]]);
+        let m = ExplicitMetric::from_metric(&s);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((m.distance(i, j) - s.distance(i, j)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn unchecked_constructor_accepts_anything() {
+        let m = ExplicitMetric::from_fn_unchecked(2, |_, _| 42.0);
+        assert_eq!(m.distance(0, 1), 42.0);
+    }
+}

@@ -1,0 +1,98 @@
+//! The shortest-path metric `M_G` induced by a weighted graph.
+//!
+//! Section 4 of the paper compares the greedy spanner of a metric `M` with
+//! spanners of the metric `M_H` induced by the greedy spanner `H`; this type
+//! is the executable form of that induced metric.
+
+use spanner_graph::apsp::{all_pairs_shortest_paths, DistanceMatrix};
+use spanner_graph::{GraphError, WeightedGraph};
+
+use crate::space::MetricSpace;
+
+/// The metric space `(V, δ_G)` induced by a connected weighted graph `G`.
+///
+/// Distances are precomputed with all-pairs Dijkstra at construction time, so
+/// queries are `O(1)`.
+#[derive(Debug, Clone)]
+pub struct GraphMetric {
+    distances: DistanceMatrix,
+}
+
+impl GraphMetric {
+    /// Builds the induced metric of `graph`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Disconnected`] if the graph is not connected
+    /// (the induced "metric" would have infinite distances) or
+    /// [`GraphError::EmptyGraph`] if it has no vertices.
+    pub fn new(graph: &WeightedGraph) -> Result<Self, GraphError> {
+        if graph.num_vertices() == 0 {
+            return Err(GraphError::EmptyGraph);
+        }
+        let distances = all_pairs_shortest_paths(graph);
+        if !distances.all_finite() {
+            return Err(GraphError::Disconnected);
+        }
+        Ok(GraphMetric { distances })
+    }
+
+    /// Access to the underlying distance matrix.
+    pub fn distances(&self) -> &DistanceMatrix {
+        &self.distances
+    }
+}
+
+impl MetricSpace for GraphMetric {
+    fn len(&self) -> usize {
+        self.distances.len()
+    }
+
+    fn distance(&self, i: usize, j: usize) -> f64 {
+        self.distances.distance(i.into(), j.into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::validate_metric_axioms;
+    use spanner_graph::generators::erdos_renyi_connected;
+    use spanner_graph::WeightedGraph;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn induced_metric_uses_shortest_paths() {
+        let g = WeightedGraph::from_edges(3, [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 5.0)]).unwrap();
+        let m = GraphMetric::new(&g).unwrap();
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.distance(0, 2), 2.0);
+        assert_eq!(m.distance(2, 0), 2.0);
+    }
+
+    #[test]
+    fn disconnected_graph_is_rejected() {
+        let g = WeightedGraph::from_edges(3, [(0, 1, 1.0)]).unwrap();
+        assert_eq!(GraphMetric::new(&g).unwrap_err(), GraphError::Disconnected);
+        assert_eq!(
+            GraphMetric::new(&WeightedGraph::new(0)).unwrap_err(),
+            GraphError::EmptyGraph
+        );
+    }
+
+    #[test]
+    fn induced_metric_satisfies_axioms() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let g = erdos_renyi_connected(20, 0.2, 1.0..4.0, &mut rng);
+        let m = GraphMetric::new(&g).unwrap();
+        assert!(validate_metric_axioms(&m, 1e-9).is_ok());
+    }
+
+    #[test]
+    fn distance_matrix_accessor() {
+        let g = WeightedGraph::from_edges(2, [(0, 1, 3.5)]).unwrap();
+        let m = GraphMetric::new(&g).unwrap();
+        assert_eq!(m.distances().distance(0.into(), 1.into()), 3.5);
+    }
+}

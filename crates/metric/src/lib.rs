@@ -1,0 +1,46 @@
+//! Metric-space substrate for the greedy-spanner reproduction.
+//!
+//! The paper's second and third observations concern spanners of *doubling
+//! metrics*. This crate provides the metric-space machinery those results
+//! need:
+//!
+//! * [`MetricSpace`] — the finite-metric abstraction all spanner algorithms
+//!   consume, plus [`ExplicitMetric`] (matrix-backed) and adapters.
+//! * [`EuclideanSpace`] — point sets in `R^D` with const-generic dimension.
+//! * [`GraphMetric`] — the shortest-path metric `M_G` induced by a graph.
+//! * [`net`] — greedy ε-nets and hierarchical net trees for doubling metrics
+//!   (the substrate of the bounded-degree spanner of Theorem 2).
+//! * [`wspd`] — fair split trees and well-separated pair decompositions for
+//!   Euclidean baselines.
+//! * [`doubling`] — empirical doubling-dimension estimation.
+//! * [`generators`] — reproducible point-set and metric workloads.
+//!
+//! # Example
+//!
+//! ```
+//! use spanner_metric::{EuclideanSpace, MetricSpace, Point};
+//!
+//! let pts = vec![Point::new([0.0, 0.0]), Point::new([3.0, 4.0]), Point::new([0.0, 1.0])];
+//! let space = EuclideanSpace::new(pts);
+//! assert_eq!(space.len(), 3);
+//! assert!((space.distance(0, 1) - 5.0).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod doubling;
+pub mod euclidean;
+pub mod explicit;
+pub mod generators;
+pub mod graph_metric;
+pub mod net;
+pub mod point;
+pub mod space;
+pub mod wspd;
+
+pub use euclidean::EuclideanSpace;
+pub use explicit::ExplicitMetric;
+pub use graph_metric::GraphMetric;
+pub use point::Point;
+pub use space::{MetricSpace, SubMetric};

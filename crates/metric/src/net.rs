@@ -1,0 +1,254 @@
+//! Greedy ε-nets and hierarchical net trees for doubling metrics.
+//!
+//! A subset `N` of a metric space is an *r-net* if (packing) every two net
+//! points are more than `r` apart and (covering) every point of the space is
+//! within `r` of some net point. Nested nets at geometrically increasing radii
+//! form a *net hierarchy* (net tree), the standard substrate for
+//! bounded-degree spanners in doubling metrics (Theorem 2 of the paper, after
+//! [CGMZ05, GR08c]).
+
+use crate::space::MetricSpace;
+
+/// The result of a greedy net computation over a set of candidate points.
+#[derive(Debug, Clone)]
+pub struct Net {
+    /// Radius of the net.
+    pub radius: f64,
+    /// Net centers, as indices into the base metric space.
+    pub centers: Vec<usize>,
+    /// For every candidate (in the order supplied), the position within
+    /// `centers` of the net point covering it.
+    pub assignment: Vec<usize>,
+}
+
+/// Greedily computes an `r`-net of the points in `candidates`.
+///
+/// Candidates are scanned in the given order; a candidate becomes a center if
+/// it is farther than `radius` from every existing center, otherwise it is
+/// assigned to the nearest existing center. The result satisfies both the
+/// packing and covering properties by construction.
+///
+/// # Panics
+///
+/// Panics if `radius` is negative or any candidate index is out of range.
+pub fn greedy_net<M: MetricSpace + ?Sized>(metric: &M, radius: f64, candidates: &[usize]) -> Net {
+    assert!(radius >= 0.0, "net radius must be non-negative");
+    assert!(
+        candidates.iter().all(|&c| c < metric.len()),
+        "net candidate out of range"
+    );
+    let mut centers: Vec<usize> = Vec::new();
+    let mut assignment = Vec::with_capacity(candidates.len());
+    for &p in candidates {
+        let mut nearest: Option<(usize, f64)> = None;
+        for (ci, &c) in centers.iter().enumerate() {
+            let d = metric.distance(p, c);
+            if nearest.map_or(true, |(_, bd)| d < bd) {
+                nearest = Some((ci, d));
+            }
+        }
+        match nearest {
+            Some((ci, d)) if d <= radius => assignment.push(ci),
+            _ => {
+                centers.push(p);
+                assignment.push(centers.len() - 1);
+            }
+        }
+    }
+    Net { radius, centers, assignment }
+}
+
+/// One level of a [`NetHierarchy`].
+#[derive(Debug, Clone)]
+pub struct NetLevel {
+    /// Net radius at this level (`0.0` for the bottom level of all points).
+    pub radius: f64,
+    /// Net centers at this level, as indices into the base metric space.
+    pub centers: Vec<usize>,
+    /// For every center of the *previous* (finer) level, the position within
+    /// this level's `centers` of its parent. Empty for the bottom level.
+    pub parent_of_previous: Vec<usize>,
+}
+
+/// A hierarchy of nested nets at geometrically increasing radii.
+///
+/// Level 0 contains every point (radius 0); level `i + 1` is a greedy
+/// `2·radius_i`-net of level `i`'s centers (starting from the minimum
+/// interpoint distance), so the hierarchy has `O(log Φ)` levels where `Φ` is
+/// the spread. The top level contains a single center.
+#[derive(Debug, Clone)]
+pub struct NetHierarchy {
+    levels: Vec<NetLevel>,
+}
+
+impl NetHierarchy {
+    /// Builds the hierarchy for `metric`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the metric has zero points or contains duplicate points
+    /// (zero minimum interpoint distance), since the hierarchy height would be
+    /// unbounded.
+    pub fn build<M: MetricSpace + ?Sized>(metric: &M) -> Self {
+        let n = metric.len();
+        assert!(n > 0, "cannot build a net hierarchy of an empty metric");
+        let bottom = NetLevel {
+            radius: 0.0,
+            centers: (0..n).collect(),
+            parent_of_previous: Vec::new(),
+        };
+        let mut levels = vec![bottom];
+        if n == 1 {
+            return NetHierarchy { levels };
+        }
+        let min_dist = metric.min_interpoint_distance();
+        assert!(
+            min_dist > 0.0,
+            "net hierarchy requires distinct points (positive minimum distance)"
+        );
+        let mut radius = min_dist;
+        while levels.last().expect("at least one level").centers.len() > 1 {
+            let prev_centers = levels.last().expect("at least one level").centers.clone();
+            let net = greedy_net(metric, radius, &prev_centers);
+            levels.push(NetLevel {
+                radius,
+                centers: net.centers,
+                parent_of_previous: net.assignment,
+            });
+            radius *= 2.0;
+        }
+        NetHierarchy { levels }
+    }
+
+    /// The levels, from finest (all points) to coarsest (single center).
+    pub fn levels(&self) -> &[NetLevel] {
+        &self.levels
+    }
+
+    /// Number of levels, including the bottom level of all points.
+    pub fn height(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The single center of the coarsest level.
+    pub fn root(&self) -> usize {
+        self.levels
+            .last()
+            .expect("hierarchy always has at least one level")
+            .centers[0]
+    }
+}
+
+/// Checks that `centers` is a valid `radius`-net of `candidates`:
+/// pairwise distances exceed `radius` (packing) and every candidate is within
+/// `radius` of a center (covering). Intended for tests.
+pub fn is_valid_net<M: MetricSpace + ?Sized>(
+    metric: &M,
+    radius: f64,
+    centers: &[usize],
+    candidates: &[usize],
+) -> bool {
+    for (a, &ca) in centers.iter().enumerate() {
+        for &cb in centers.iter().skip(a + 1) {
+            if metric.distance(ca, cb) <= radius {
+                return false;
+            }
+        }
+    }
+    candidates
+        .iter()
+        .all(|&p| centers.iter().any(|&c| metric.distance(p, c) <= radius))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::euclidean::EuclideanSpace;
+    use crate::generators::uniform_points;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn line(n: usize) -> EuclideanSpace<1> {
+        EuclideanSpace::from_coords((0..n).map(|i| [i as f64]))
+    }
+
+    #[test]
+    fn greedy_net_packs_and_covers() {
+        let s = line(10);
+        let candidates: Vec<usize> = (0..10).collect();
+        let net = greedy_net(&s, 2.0, &candidates);
+        assert!(is_valid_net(&s, 2.0, &net.centers, &candidates));
+        assert_eq!(net.assignment.len(), 10);
+        // Every point is assigned to a center within the radius.
+        for (i, &a) in net.assignment.iter().enumerate() {
+            assert!(s.distance(i, net.centers[a]) <= 2.0);
+        }
+    }
+
+    #[test]
+    fn zero_radius_net_keeps_every_point() {
+        let s = line(5);
+        let net = greedy_net(&s, 0.0, &[0, 1, 2, 3, 4]);
+        assert_eq!(net.centers.len(), 5);
+    }
+
+    #[test]
+    fn huge_radius_net_is_a_single_center() {
+        let s = line(7);
+        let net = greedy_net(&s, 100.0, &[0, 1, 2, 3, 4, 5, 6]);
+        assert_eq!(net.centers, vec![0]);
+        assert!(net.assignment.iter().all(|&a| a == 0));
+    }
+
+    #[test]
+    fn hierarchy_levels_are_nested_nets() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let s = uniform_points::<2, _>(60, &mut rng);
+        let h = NetHierarchy::build(&s);
+        assert!(h.height() >= 2);
+        assert_eq!(h.levels()[0].centers.len(), 60);
+        assert_eq!(h.levels().last().unwrap().centers.len(), 1);
+        for w in h.levels().windows(2) {
+            let (fine, coarse) = (&w[0], &w[1]);
+            // Coarser centers are a subset of finer centers.
+            assert!(coarse.centers.iter().all(|c| fine.centers.contains(c)));
+            // Valid net of the finer level at the recorded radius.
+            assert!(is_valid_net(&s, coarse.radius, &coarse.centers, &fine.centers));
+            // Parent pointers cover every finer center.
+            assert_eq!(coarse.parent_of_previous.len(), fine.centers.len());
+            for (k, &p) in coarse.parent_of_previous.iter().enumerate() {
+                assert!(s.distance(fine.centers[k], coarse.centers[p]) <= coarse.radius);
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchy_of_single_point() {
+        let s = EuclideanSpace::from_coords([[3.0, 4.0]]);
+        let h = NetHierarchy::build(&s);
+        assert_eq!(h.height(), 1);
+        assert_eq!(h.root(), 0);
+    }
+
+    #[test]
+    fn hierarchy_height_is_logarithmic_in_spread() {
+        let s = line(128);
+        let h = NetHierarchy::build(&s);
+        // Spread is 127, so roughly log2(127) + O(1) levels.
+        assert!(h.height() <= 12, "height {} too large", h.height());
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct points")]
+    fn duplicate_points_are_rejected() {
+        let s = EuclideanSpace::from_coords([[0.0], [0.0]]);
+        let _ = NetHierarchy::build(&s);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty metric")]
+    fn empty_metric_is_rejected() {
+        let s = EuclideanSpace::<1>::new(vec![]);
+        let _ = NetHierarchy::build(&s);
+    }
+}

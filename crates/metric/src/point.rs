@@ -1,0 +1,187 @@
+//! Points in `R^D` with const-generic dimension.
+
+use std::fmt;
+use std::ops::{Add, Index, Mul, Sub};
+
+/// A point in `D`-dimensional Euclidean space.
+///
+/// # Example
+///
+/// ```
+/// use spanner_metric::Point;
+///
+/// let p = Point::new([1.0, 2.0]);
+/// let q = Point::new([4.0, 6.0]);
+/// assert!((p.distance(&q) - 5.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point<const D: usize> {
+    coords: [f64; D],
+}
+
+impl<const D: usize> Default for Point<D> {
+    fn default() -> Self {
+        Point::origin()
+    }
+}
+
+impl<const D: usize> Point<D> {
+    /// Creates a point from its coordinates.
+    pub fn new(coords: [f64; D]) -> Self {
+        Point { coords }
+    }
+
+    /// The origin (all coordinates zero).
+    pub fn origin() -> Self {
+        Point { coords: [0.0; D] }
+    }
+
+    /// The coordinate array.
+    pub fn coords(&self) -> &[f64; D] {
+        &self.coords
+    }
+
+    /// The dimension `D`.
+    pub fn dim(&self) -> usize {
+        D
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn distance(&self, other: &Point<D>) -> f64 {
+        self.distance_squared(other).sqrt()
+    }
+
+    /// Squared Euclidean distance to `other` (avoids the square root when only
+    /// comparisons are needed).
+    pub fn distance_squared(&self, other: &Point<D>) -> f64 {
+        self.coords
+            .iter()
+            .zip(other.coords.iter())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum()
+    }
+
+    /// Euclidean norm of the point viewed as a vector.
+    pub fn norm(&self) -> f64 {
+        self.coords.iter().map(|c| c * c).sum::<f64>().sqrt()
+    }
+
+    /// Component-wise midpoint between `self` and `other`.
+    pub fn midpoint(&self, other: &Point<D>) -> Point<D> {
+        let mut coords = [0.0; D];
+        for (i, c) in coords.iter_mut().enumerate() {
+            *c = 0.5 * (self.coords[i] + other.coords[i]);
+        }
+        Point { coords }
+    }
+}
+
+impl<const D: usize> From<[f64; D]> for Point<D> {
+    fn from(coords: [f64; D]) -> Self {
+        Point::new(coords)
+    }
+}
+
+impl<const D: usize> Index<usize> for Point<D> {
+    type Output = f64;
+
+    fn index(&self, index: usize) -> &f64 {
+        &self.coords[index]
+    }
+}
+
+impl<const D: usize> Add for Point<D> {
+    type Output = Point<D>;
+
+    fn add(self, rhs: Point<D>) -> Point<D> {
+        let mut coords = [0.0; D];
+        for (i, c) in coords.iter_mut().enumerate() {
+            *c = self.coords[i] + rhs.coords[i];
+        }
+        Point { coords }
+    }
+}
+
+impl<const D: usize> Sub for Point<D> {
+    type Output = Point<D>;
+
+    fn sub(self, rhs: Point<D>) -> Point<D> {
+        let mut coords = [0.0; D];
+        for (i, c) in coords.iter_mut().enumerate() {
+            *c = self.coords[i] - rhs.coords[i];
+        }
+        Point { coords }
+    }
+}
+
+impl<const D: usize> Mul<f64> for Point<D> {
+    type Output = Point<D>;
+
+    fn mul(self, rhs: f64) -> Point<D> {
+        let mut coords = [0.0; D];
+        for (i, c) in coords.iter_mut().enumerate() {
+            *c = self.coords[i] * rhs;
+        }
+        Point { coords }
+    }
+}
+
+impl<const D: usize> fmt::Display for Point<D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.coords.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let p = Point::new([0.0, 0.0, 0.0]);
+        let q = Point::new([1.0, 2.0, 2.0]);
+        assert!((p.distance(&q) - 3.0).abs() < 1e-12);
+        assert!((p.distance_squared(&q) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        let p = Point::new([1.5, -2.0]);
+        let q = Point::new([3.0, 4.0]);
+        assert_eq!(p.distance(&q), q.distance(&p));
+        assert_eq!(p.distance(&p), 0.0);
+    }
+
+    #[test]
+    fn arithmetic_operators() {
+        let p = Point::new([1.0, 2.0]);
+        let q = Point::new([3.0, 5.0]);
+        assert_eq!((p + q).coords(), &[4.0, 7.0]);
+        assert_eq!((q - p).coords(), &[2.0, 3.0]);
+        assert_eq!((p * 2.0).coords(), &[2.0, 4.0]);
+        assert_eq!(p.midpoint(&q).coords(), &[2.0, 3.5]);
+    }
+
+    #[test]
+    fn origin_norm_and_indexing() {
+        let o = Point::<3>::origin();
+        assert_eq!(o.norm(), 0.0);
+        assert_eq!(o.dim(), 3);
+        let p = Point::new([3.0, 4.0]);
+        assert_eq!(p.norm(), 5.0);
+        assert_eq!(p[1], 4.0);
+    }
+
+    #[test]
+    fn display_and_from() {
+        let p: Point<2> = [1.0, 2.5].into();
+        assert_eq!(p.to_string(), "(1, 2.5)");
+    }
+}

@@ -1,0 +1,356 @@
+//! Fair split trees and well-separated pair decompositions (WSPD) for
+//! Euclidean point sets.
+//!
+//! The WSPD spanner is one of the classical baselines the greedy spanner is
+//! compared against in the experimental literature cited by the paper
+//! (Section 1.2): for every well-separated pair, connect one representative
+//! pair of points; with separation `s = 4(1+ε)/ε` this yields a
+//! `(1+ε)`-spanner with `O(s^d · n)` edges.
+
+use crate::euclidean::EuclideanSpace;
+use crate::point::Point;
+use crate::space::MetricSpace;
+
+/// A node of a [`SplitTree`].
+#[derive(Debug, Clone)]
+pub struct SplitNode<const D: usize> {
+    /// Indices of the points contained in this node.
+    pub points: Vec<usize>,
+    /// Lower corner of the bounding box.
+    pub lo: Point<D>,
+    /// Upper corner of the bounding box.
+    pub hi: Point<D>,
+    /// Children node ids, or `None` for leaves (single point).
+    pub children: Option<(usize, usize)>,
+    /// A designated representative point index (used by the WSPD spanner).
+    pub representative: usize,
+}
+
+impl<const D: usize> SplitNode<D> {
+    /// Radius of the enclosing ball used by the well-separation test
+    /// (half the bounding-box diagonal).
+    pub fn radius(&self) -> f64 {
+        0.5 * self.lo.distance(&self.hi)
+    }
+
+    /// Center of the bounding box.
+    pub fn center(&self) -> Point<D> {
+        self.lo.midpoint(&self.hi)
+    }
+}
+
+/// A fair split tree over a Euclidean point set: each internal node splits its
+/// bounding box through the midpoint of its longest side.
+#[derive(Debug, Clone)]
+pub struct SplitTree<const D: usize> {
+    nodes: Vec<SplitNode<D>>,
+    root: Option<usize>,
+}
+
+impl<const D: usize> SplitTree<D> {
+    /// Builds the split tree of `space`.
+    ///
+    /// Duplicate points are tolerated (ties are broken by index), and the
+    /// empty space yields a tree with no nodes.
+    pub fn build(space: &EuclideanSpace<D>) -> Self {
+        let mut tree = SplitTree { nodes: Vec::new(), root: None };
+        if space.is_empty() {
+            return tree;
+        }
+        let all: Vec<usize> = (0..space.len()).collect();
+        let root = tree.build_recursive(space, all);
+        tree.root = Some(root);
+        tree
+    }
+
+    fn build_recursive(&mut self, space: &EuclideanSpace<D>, points: Vec<usize>) -> usize {
+        let (lo, hi) = bounding_box(space, &points);
+        let representative = points[0];
+        if points.len() == 1 {
+            self.nodes.push(SplitNode { points, lo, hi, children: None, representative });
+            return self.nodes.len() - 1;
+        }
+        // Split along the longest side at the midpoint; fall back to a median
+        // split by index when all points share the same coordinate.
+        let mut split_dim = 0;
+        let mut longest = 0.0;
+        for d in 0..D {
+            let side = hi[d] - lo[d];
+            if side > longest {
+                longest = side;
+                split_dim = d;
+            }
+        }
+        let midpoint = 0.5 * (lo[split_dim] + hi[split_dim]);
+        let (mut left, mut right): (Vec<usize>, Vec<usize>) = points
+            .iter()
+            .partition(|&&p| space.point(p)[split_dim] <= midpoint);
+        if left.is_empty() || right.is_empty() {
+            // Degenerate (duplicate points): split evenly by index.
+            let mut all = if left.is_empty() { right } else { left };
+            all.sort_unstable();
+            let mid = all.len() / 2;
+            right = all.split_off(mid);
+            left = all;
+        }
+        let left_id = self.build_recursive(space, left);
+        let right_id = self.build_recursive(space, right);
+        self.nodes.push(SplitNode {
+            points,
+            lo,
+            hi,
+            children: Some((left_id, right_id)),
+            representative,
+        });
+        self.nodes.len() - 1
+    }
+
+    /// The nodes of the tree; ids index into this slice.
+    pub fn nodes(&self) -> &[SplitNode<D>] {
+        &self.nodes
+    }
+
+    /// The root node id, or `None` for an empty tree.
+    pub fn root(&self) -> Option<usize> {
+        self.root
+    }
+
+    /// Returns the node with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn node(&self, id: usize) -> &SplitNode<D> {
+        &self.nodes[id]
+    }
+}
+
+fn bounding_box<const D: usize>(
+    space: &EuclideanSpace<D>,
+    points: &[usize],
+) -> (Point<D>, Point<D>) {
+    let first = space.point(points[0]);
+    let mut lo = *first.coords();
+    let mut hi = lo;
+    for &p in points {
+        let pt = space.point(p);
+        for d in 0..D {
+            lo[d] = lo[d].min(pt[d]);
+            hi[d] = hi[d].max(pt[d]);
+        }
+    }
+    (Point::new(lo), Point::new(hi))
+}
+
+/// A well-separated pair: two split-tree nodes whose point sets are
+/// `s`-separated, plus representative points from each side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WspdPair {
+    /// First node id.
+    pub node_a: usize,
+    /// Second node id.
+    pub node_b: usize,
+    /// Representative point index from the first node.
+    pub rep_a: usize,
+    /// Representative point index from the second node.
+    pub rep_b: usize,
+}
+
+/// Computes a well-separated pair decomposition with separation factor `s`.
+///
+/// Every unordered pair of distinct points is covered by exactly one returned
+/// pair (one point in `node_a`'s set, the other in `node_b`'s set).
+///
+/// # Panics
+///
+/// Panics if `s` is not positive.
+pub fn well_separated_pairs<const D: usize>(tree: &SplitTree<D>, s: f64) -> Vec<WspdPair> {
+    assert!(s > 0.0, "separation factor must be positive");
+    let mut pairs = Vec::new();
+    let Some(root) = tree.root() else {
+        return pairs;
+    };
+    let mut stack: Vec<usize> = vec![root];
+    while let Some(u) = stack.pop() {
+        if let Some((l, r)) = tree.node(u).children {
+            find_pairs(tree, l, r, s, &mut pairs);
+            stack.push(l);
+            stack.push(r);
+        }
+    }
+    pairs
+}
+
+fn is_well_separated<const D: usize>(a: &SplitNode<D>, b: &SplitNode<D>, s: f64) -> bool {
+    let r = a.radius().max(b.radius());
+    let center_dist = a.center().distance(&b.center());
+    center_dist - a.radius() - b.radius() >= s * r
+}
+
+fn find_pairs<const D: usize>(
+    tree: &SplitTree<D>,
+    u: usize,
+    v: usize,
+    s: f64,
+    out: &mut Vec<WspdPair>,
+) {
+    let (nu, nv) = (tree.node(u), tree.node(v));
+    if is_well_separated(nu, nv, s) {
+        out.push(WspdPair {
+            node_a: u,
+            node_b: v,
+            rep_a: nu.representative,
+            rep_b: nv.representative,
+        });
+        return;
+    }
+    // Split the node with the larger radius (a leaf has radius 0 and is never
+    // split while the other side still has extent).
+    let split_u = match (nu.children, nv.children) {
+        (Some(_), None) => true,
+        (None, Some(_)) => false,
+        (None, None) => {
+            // Two leaves that are not well-separated can only be coincident
+            // points; record them once so the covering property holds.
+            out.push(WspdPair {
+                node_a: u,
+                node_b: v,
+                rep_a: nu.representative,
+                rep_b: nv.representative,
+            });
+            return;
+        }
+        (Some(_), Some(_)) => nu.radius() >= nv.radius(),
+    };
+    if split_u {
+        let (l, r) = tree.node(u).children.expect("checked above");
+        find_pairs(tree, l, v, s, out);
+        find_pairs(tree, r, v, s, out);
+    } else {
+        let (l, r) = tree.node(v).children.expect("checked above");
+        find_pairs(tree, u, l, s, out);
+        find_pairs(tree, u, r, s, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::uniform_points;
+    use crate::space::MetricSpace;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    #[test]
+    fn split_tree_of_empty_and_singleton() {
+        let empty = EuclideanSpace::<2>::new(vec![]);
+        assert!(SplitTree::build(&empty).root().is_none());
+        let single = EuclideanSpace::from_coords([[1.0, 2.0]]);
+        let t = SplitTree::build(&single);
+        let root = t.root().unwrap();
+        assert!(t.node(root).children.is_none());
+        assert_eq!(t.node(root).points, vec![0]);
+    }
+
+    #[test]
+    fn split_tree_leaves_partition_points() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let s = uniform_points::<2, _>(50, &mut rng);
+        let t = SplitTree::build(&s);
+        let mut leaf_points: Vec<usize> = t
+            .nodes()
+            .iter()
+            .filter(|n| n.children.is_none())
+            .flat_map(|n| n.points.clone())
+            .collect();
+        leaf_points.sort_unstable();
+        assert_eq!(leaf_points, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_tree_boxes_contain_their_points() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let s = uniform_points::<3, _>(40, &mut rng);
+        let t = SplitTree::build(&s);
+        for node in t.nodes() {
+            for &p in &node.points {
+                let pt = s.point(p);
+                for d in 0..3 {
+                    assert!(pt[d] >= node.lo[d] - 1e-12 && pt[d] <= node.hi[d] + 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_points_are_handled() {
+        let s = EuclideanSpace::from_coords([[0.5, 0.5], [0.5, 0.5], [0.5, 0.5]]);
+        let t = SplitTree::build(&s);
+        assert!(t.root().is_some());
+        let leaves = t.nodes().iter().filter(|n| n.children.is_none()).count();
+        assert_eq!(leaves, 3);
+    }
+
+    /// Every unordered pair of distinct points must be covered by exactly one
+    /// WSPD pair — the defining property of a WSPD.
+    #[test]
+    fn wspd_covers_every_pair_exactly_once() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let s = uniform_points::<2, _>(40, &mut rng);
+        let t = SplitTree::build(&s);
+        let pairs = well_separated_pairs(&t, 2.0);
+        let mut cover: HashMap<(usize, usize), usize> = HashMap::new();
+        for pair in &pairs {
+            for &a in &t.node(pair.node_a).points {
+                for &b in &t.node(pair.node_b).points {
+                    let key = if a < b { (a, b) } else { (b, a) };
+                    *cover.entry(key).or_insert(0) += 1;
+                }
+            }
+        }
+        for i in 0..40 {
+            for j in (i + 1)..40 {
+                assert_eq!(cover.get(&(i, j)).copied().unwrap_or(0), 1, "pair ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn wspd_pairs_are_actually_separated() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let s = uniform_points::<2, _>(30, &mut rng);
+        let t = SplitTree::build(&s);
+        let sep = 3.0;
+        for pair in well_separated_pairs(&t, sep) {
+            let (na, nb) = (t.node(pair.node_a), t.node(pair.node_b));
+            let r = na.radius().max(nb.radius());
+            // Every cross pair of points is at distance at least s*r.
+            for &a in &na.points {
+                for &b in &nb.points {
+                    assert!(s.distance(a, b) + 1e-9 >= sep * r);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wspd_size_grows_with_separation() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let s = uniform_points::<2, _>(60, &mut rng);
+        let t = SplitTree::build(&s);
+        let small = well_separated_pairs(&t, 1.5).len();
+        let large = well_separated_pairs(&t, 6.0).len();
+        assert!(large >= small);
+        // Far fewer pairs than the quadratic worst case.
+        assert!((small as f64) < 0.9 * (60.0 * 59.0 / 2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn wspd_rejects_nonpositive_separation() {
+        let s = EuclideanSpace::from_coords([[0.0, 0.0], [1.0, 1.0]]);
+        let t = SplitTree::build(&s);
+        let _ = well_separated_pairs(&t, 0.0);
+    }
+}

@@ -1,0 +1,49 @@
+//! Quickstart: build a greedy spanner of a random weighted graph and of a
+//! random point set, and print the size / lightness / stretch report.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use greedy_spanner_suite::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use spanner_graph::generators::erdos_renyi_connected;
+use spanner_metric::generators::uniform_points;
+
+fn main() -> Result<(), SpannerError> {
+    let mut rng = SmallRng::seed_from_u64(42);
+
+    // 1. A weighted graph: greedy 3-spanner.
+    let graph = erdos_renyi_connected(300, 0.08, 1.0..10.0, &mut rng);
+    let greedy = greedy_spanner(&graph, 3.0)?;
+    let report = evaluate(&graph, greedy.spanner(), 3.0);
+    println!("greedy 3-spanner of a random graph ({} vertices):", graph.num_vertices());
+    println!("  input edges    : {}", graph.num_edges());
+    println!("  spanner edges  : {}", report.summary.num_edges);
+    println!("  lightness      : {:.3}", report.summary.lightness);
+    println!("  max degree     : {}", report.summary.max_degree);
+    println!("  measured stretch {:.3} (target {:.1})", report.max_stretch, 3.0);
+    assert!(report.meets_stretch_target());
+
+    // 2. A planar point set: greedy (1 + ε)-spanner of the induced metric.
+    let points = uniform_points::<2, _>(250, &mut rng);
+    let metric_result = greedy_spanner_of_metric(&points, 1.5)?;
+    let metric_report = evaluate(&metric_result.metric_graph, &metric_result.spanner, 1.5);
+    println!("\ngreedy 1.5-spanner of {} uniform points:", points.len());
+    println!("  candidate pairs: {}", metric_result.stats.edges_examined);
+    println!("  spanner edges  : {}", metric_report.summary.num_edges);
+    println!("  lightness      : {:.3}", metric_report.summary.lightness);
+    println!("  measured stretch {:.3}", metric_report.max_stretch);
+    assert!(metric_report.meets_stretch_target());
+
+    // 3. The O(n log n) approximate-greedy construction (Section 5 of the paper).
+    let approx = approximate_greedy_spanner(&points, 0.5)?;
+    let approx_report = evaluate(&metric_result.metric_graph, &approx.spanner, 1.5);
+    println!("\napproximate-greedy (1 + 0.5)-spanner of the same points:");
+    println!("  base edges     : {}", approx.base.num_edges());
+    println!("  spanner edges  : {}", approx_report.summary.num_edges);
+    println!("  lightness      : {:.3}", approx_report.summary.lightness);
+    println!("  measured stretch {:.3}", approx_report.max_stretch);
+    assert!(approx_report.meets_stretch_target());
+
+    Ok(())
+}

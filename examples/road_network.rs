@@ -1,0 +1,42 @@
+//! Road-network scenario: a jittered grid models a city street network.
+//! A compact routing overlay should keep few edges per intersection (small
+//! routing tables) without making any route much longer — the compact-routing
+//! application called out in the paper's introduction.
+//!
+//! Run with `cargo run --release --example road_network`.
+
+use greedy_spanner_suite::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use spanner_graph::generators::grid_graph;
+use spanner_graph::properties::degree_histogram;
+
+fn main() -> Result<(), SpannerError> {
+    let mut rng = SmallRng::seed_from_u64(2026);
+    let (rows, cols) = (20usize, 25usize);
+    let city = grid_graph(rows, cols, 0.3, &mut rng);
+    println!(
+        "road network: {} intersections, {} road segments",
+        city.num_vertices(),
+        city.num_edges()
+    );
+
+    for t in [1.1, 1.5, 3.0] {
+        let overlay = greedy_spanner(&city, t)?;
+        let report = evaluate(&city, overlay.spanner(), t);
+        let hist = degree_histogram(overlay.spanner());
+        let routing_table_avg = report.summary.average_degree;
+        println!(
+            "\ngreedy {t}-spanner overlay: {} segments kept ({:.1}% of the network)",
+            report.summary.num_edges,
+            100.0 * report.summary.num_edges as f64 / city.num_edges() as f64
+        );
+        println!(
+            "  lightness {:.3}, worst detour factor {:.3}, avg routing-table size {:.2}, max {}",
+            report.summary.lightness, report.max_stretch, routing_table_avg, report.summary.max_degree
+        );
+        println!("  degree histogram (degree: intersections): {:?}", hist);
+        assert!(report.meets_stretch_target());
+    }
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! Root façade of the greedy-spanner reproduction suite.
+//!
+//! This crate re-exports the three member crates under stable names and
+//! provides a [`prelude`] so examples and downstream users can pull in the
+//! common types with a single `use`:
+//!
+//! * [`graph`] — the weighted-graph substrate (`spanner-graph`).
+//! * [`metric`] — the metric-space substrate (`spanner-metric`).
+//! * [`spanners`] — the greedy / approximate-greedy constructions, baselines
+//!   and analysis (`greedy-spanner`).
+//!
+//! # Example
+//!
+//! ```
+//! use greedy_spanner_suite::prelude::*;
+//! use rand::{rngs::SmallRng, SeedableRng};
+//!
+//! let mut rng = SmallRng::seed_from_u64(7);
+//! let g = spanner_graph::generators::erdos_renyi_connected(40, 0.3, 1.0..4.0, &mut rng);
+//! let spanner = greedy_spanner(&g, 2.0)?.into_spanner();
+//! let report = evaluate(&g, &spanner, 2.0);
+//! assert!(report.meets_stretch_target());
+//! # Ok::<(), greedy_spanner::SpannerError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use greedy_spanner as spanners;
+pub use spanner_graph as graph;
+pub use spanner_metric as metric;
+
+/// Commonly used items, re-exported for convenient glob imports.
+pub mod prelude {
+    pub use greedy_spanner::analysis::{evaluate, is_t_spanner, lightness, SpannerReport};
+    pub use greedy_spanner::approx_greedy::{approximate_greedy_spanner, ApproxGreedySpanner};
+    pub use greedy_spanner::greedy::{greedy_spanner, GreedySpanner};
+    pub use greedy_spanner::greedy_metric::greedy_spanner_of_metric;
+    pub use greedy_spanner::SpannerError;
+    pub use spanner_graph::{GraphBuilder, VertexId, WeightedGraph};
+    pub use spanner_metric::{EuclideanSpace, MetricSpace, Point};
+}

@@ -1,0 +1,70 @@
+//! Regression tests for the paper's Figure 1 and the existential-optimality
+//! narrative built around it.
+
+use greedy_spanner::analysis::{evaluate, max_stretch_over_edges};
+use greedy_spanner::greedy::greedy_spanner;
+use greedy_spanner::greedy_metric::greedy_spanner_of_metric;
+use greedy_spanner::optimality::{cage_overlay_instances, figure_one_instance};
+use spanner_graph::girth::girth;
+use spanner_metric::generators::star_metric;
+
+#[test]
+fn figure_one_numbers_match_the_paper() {
+    // "The greedy 3-spanner for the graph G ... includes all 15 edges of H,
+    //  whereas the optimal 3-spanner for G consists of the 9 edges of S."
+    let inst = figure_one_instance(0.1).unwrap();
+    assert_eq!(inst.graph.num_vertices(), 10);
+    assert_eq!(inst.graph.num_edges(), 21);
+
+    let greedy = greedy_spanner(&inst.graph, 3.0).unwrap();
+    assert_eq!(greedy.spanner().num_edges(), 15);
+    assert_eq!(inst.count_h_edges_in(greedy.spanner()), 15);
+    assert_eq!(inst.star_edge_keys.len(), 9);
+
+    // The star is indeed a valid 3-spanner of G (t >= 2 + 2ε), and lighter.
+    let star = inst
+        .graph
+        .filter_edges(|_, e| inst.star_edge_keys.contains(&e.key()));
+    let star_with_unit_edges = {
+        // Star edges that coincide with Petersen edges have weight 1 and are
+        // present in G; the remaining 6 have weight 1 + ε.
+        assert_eq!(star.num_edges(), 9);
+        star
+    };
+    assert!(max_stretch_over_edges(&inst.graph, &star_with_unit_edges) <= 3.0 + 1e-9);
+    assert!(star_with_unit_edges.total_weight() < greedy.spanner().total_weight());
+
+    // The greedy spanner's stretch target is still met, of course.
+    let report = evaluate(&inst.graph, greedy.spanner(), 3.0);
+    assert!(report.meets_stretch_target());
+}
+
+#[test]
+fn cage_overlays_scale_the_same_phenomenon() {
+    for (name, inst) in cage_overlay_instances(0.05).unwrap() {
+        let h_only = inst
+            .graph
+            .filter_edges(|_, e| inst.h_edge_keys.contains(&e.key()));
+        let g = girth(&h_only).unwrap();
+        let t = (g - 2) as f64;
+        let greedy = greedy_spanner(&inst.graph, t).unwrap();
+        assert_eq!(
+            greedy.spanner().num_edges(),
+            inst.h_edge_keys.len(),
+            "greedy should keep exactly the cage edges for {name}"
+        );
+        assert!(inst.star_weight() < greedy.spanner().total_weight());
+    }
+}
+
+#[test]
+fn degree_blowup_instance_matches_hm06_phenomenon() {
+    // Metric spaces exist on which the greedy (1 + ε)-spanner has degree
+    // n − 1 (Section 5's motivation for the approximate-greedy algorithm).
+    for n in [10usize, 40, 120] {
+        let metric = star_metric(n);
+        let result = greedy_spanner_of_metric(&metric, 1.5).unwrap();
+        assert_eq!(result.spanner.max_degree(), n - 1);
+        assert_eq!(result.spanner.num_edges(), n - 1);
+    }
+}

@@ -1,0 +1,107 @@
+//! End-to-end integration tests spanning all three member crates:
+//! generators → spanner constructions → analysis.
+
+use greedy_spanner::analysis::{evaluate, is_t_spanner, lightness, max_stretch_all_pairs};
+use greedy_spanner::approx_greedy::approximate_greedy_spanner;
+use greedy_spanner::baselines::{
+    baswana_sen_spanner, mst_spanner, star_spanner, theta_graph_spanner, wspd_spanner,
+};
+use greedy_spanner::greedy::greedy_spanner;
+use greedy_spanner::greedy_metric::greedy_spanner_of_metric;
+use greedy_spanner::optimality::contains_mst;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use spanner_graph::generators::{erdos_renyi_connected, grid_graph, random_geometric_connected};
+use spanner_graph::mst::mst_weight;
+use spanner_metric::generators::{clustered_points, uniform_points};
+use spanner_metric::{GraphMetric, MetricSpace};
+
+#[test]
+fn graph_pipeline_generate_spanner_analyze() {
+    let mut rng = SmallRng::seed_from_u64(1);
+    let g = erdos_renyi_connected(120, 0.15, 1.0..10.0, &mut rng);
+    for t in [1.5, 2.0, 4.0] {
+        let result = greedy_spanner(&g, t).expect("valid stretch");
+        let report = evaluate(&g, result.spanner(), t);
+        assert!(report.meets_stretch_target(), "t = {t}");
+        assert!(contains_mst(&g, result.spanner()));
+        assert!(report.summary.num_edges <= g.num_edges());
+        assert!(report.summary.lightness >= 1.0 - 1e-9);
+    }
+}
+
+#[test]
+fn geometric_graph_pipeline() {
+    let mut rng = SmallRng::seed_from_u64(2);
+    let (g, _) = random_geometric_connected(150, 0.15, &mut rng);
+    let spanner = greedy_spanner(&g, 2.0).expect("valid stretch");
+    assert!(is_t_spanner(&g, spanner.spanner(), 2.0));
+    // The spanner of a geometric graph is itself a plausible communication
+    // backbone: light and low degree.
+    assert!(lightness(&g, spanner.spanner()) < lightness(&g, &g) + 1e-9);
+}
+
+#[test]
+fn grid_pipeline_with_all_baselines_on_induced_metric() {
+    let mut rng = SmallRng::seed_from_u64(3);
+    let g = grid_graph(6, 7, 0.2, &mut rng);
+    let metric = GraphMetric::new(&g).expect("grid is connected");
+    let complete = metric.to_complete_graph();
+
+    let greedy = greedy_spanner_of_metric(&metric, 1.5).expect("non-empty");
+    assert!(is_t_spanner(&complete, &greedy.spanner, 1.5));
+
+    let bs = baswana_sen_spanner(&complete, 2, &mut rng).expect("valid k");
+    assert!(is_t_spanner(&complete, &bs, 3.0));
+
+    let star = star_spanner(&metric, 0).expect("non-empty");
+    assert_eq!(star.num_edges(), metric.len() - 1);
+
+    let mst = mst_spanner(&complete);
+    assert!((mst.total_weight() - mst_weight(&complete)).abs() < 1e-9);
+}
+
+#[test]
+fn euclidean_pipeline_greedy_vs_baselines_shape() {
+    // The qualitative shape of the paper's Section 1.2 claim: the greedy
+    // spanner is sparser and lighter than Θ-graph and WSPD baselines built
+    // for a comparable stretch.
+    let mut rng = SmallRng::seed_from_u64(4);
+    let points = uniform_points::<2, _>(150, &mut rng);
+    let complete = points.to_complete_graph();
+
+    let greedy = greedy_spanner_of_metric(&points, 1.5).expect("non-empty").spanner;
+    let theta = theta_graph_spanner(&points, 12).expect("valid cones");
+    let wspd = wspd_spanner(&points, 0.5).expect("valid epsilon");
+
+    assert!(greedy.num_edges() <= theta.num_edges());
+    assert!(greedy.num_edges() <= wspd.num_edges());
+    assert!(lightness(&complete, &greedy) <= lightness(&complete, &wspd) + 1e-9);
+    // All of them satisfy their stretch targets.
+    assert!(max_stretch_all_pairs(&complete, &greedy) <= 1.5 + 1e-9);
+    assert!(max_stretch_all_pairs(&complete, &wspd) <= 1.5 + 1e-9);
+}
+
+#[test]
+fn approximate_greedy_pipeline_on_clustered_points() {
+    let mut rng = SmallRng::seed_from_u64(5);
+    let points = clustered_points::<2, _>(140, 6, 0.03, &mut rng);
+    let complete = points.to_complete_graph();
+    let approx = approximate_greedy_spanner(&points, 0.5).expect("non-empty");
+    assert!(max_stretch_all_pairs(&complete, &approx.spanner) <= 1.5 + 1e-9);
+    assert!(approx.spanner.num_edges() <= approx.base.num_edges());
+    // Lightness is finite and not absurd relative to the exact greedy.
+    let exact = greedy_spanner_of_metric(&points, 1.5).expect("non-empty");
+    let ratio = lightness(&complete, &approx.spanner) / lightness(&complete, &exact.spanner);
+    assert!(ratio < 10.0, "approximate-greedy lightness ratio {ratio} too large");
+}
+
+#[test]
+fn facade_prelude_is_usable() {
+    use greedy_spanner_suite::prelude::*;
+    let g = WeightedGraph::from_edges(3, [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 2.5)]).unwrap();
+    let spanner = greedy_spanner(&g, 2.0).unwrap();
+    let report = evaluate(&g, spanner.spanner(), 2.0);
+    assert!(report.meets_stretch_target());
+    assert_eq!(spanner.spanner().num_edges(), 2);
+}
