@@ -1,23 +1,28 @@
 //! E6a — Theorem 6: the approximate-greedy construction and its quality
-//! guarantees (stretch, subgraph-of-base, degree bound).
+//! guarantees (stretch target, connectivity, sparsity vs the exact greedy).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use greedy_spanner::approx_greedy::approximate_greedy_spanner;
+use greedy_spanner::Spanner;
 use spanner_bench::workloads::{uniform_square, DEFAULT_SEED};
 
 fn bench_approx_quality(c: &mut Criterion) {
     let mut group = c.benchmark_group("e6a_approx_greedy_quality");
     group.sample_size(10);
+    let approx = Spanner::approx_greedy().epsilon(0.5);
     for n in [200usize, 400] {
         let points = uniform_square(n, DEFAULT_SEED);
-        group.bench_with_input(BenchmarkId::new("approx_greedy", n), &points, |b, points| {
-            b.iter(|| {
-                let result = approximate_greedy_spanner(points, 0.5).expect("non-empty");
-                assert!(result.spanner.is_edge_subgraph_of(&result.base));
-                result.spanner.num_edges()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("approx_greedy", n),
+            &points,
+            |b, points| {
+                b.iter(|| {
+                    let out = approx.build(points).expect("non-empty");
+                    assert!(spanner_graph::connectivity::is_connected(&out.spanner));
+                    out.spanner.num_edges()
+                })
+            },
+        );
     }
     group.finish();
 }

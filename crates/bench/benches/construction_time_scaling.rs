@@ -4,31 +4,24 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use greedy_spanner::approx_greedy::approximate_greedy_spanner;
-use greedy_spanner::greedy_metric::greedy_spanner_of_metric;
+use greedy_spanner::Spanner;
 use spanner_bench::workloads::{uniform_square, DEFAULT_SEED};
 
 fn bench_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("e6b_construction_time_scaling");
     group.sample_size(10);
+    let exact = Spanner::greedy().stretch(1.5);
+    let approx = Spanner::approx_greedy().epsilon(0.5);
     for n in [100usize, 200, 400] {
         let points = uniform_square(n, DEFAULT_SEED);
         group.bench_with_input(BenchmarkId::new("exact_greedy", n), &points, |b, points| {
-            b.iter(|| {
-                greedy_spanner_of_metric(points, 1.5)
-                    .expect("non-empty")
-                    .spanner
-                    .num_edges()
-            })
+            b.iter(|| exact.build(points).expect("non-empty").spanner.num_edges())
         });
-        group.bench_with_input(BenchmarkId::new("approx_greedy", n), &points, |b, points| {
-            b.iter(|| {
-                approximate_greedy_spanner(points, 0.5)
-                    .expect("non-empty")
-                    .spanner
-                    .num_edges()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("approx_greedy", n),
+            &points,
+            |b, points| b.iter(|| approx.build(points).expect("non-empty").spanner.num_edges()),
+        );
     }
     group.finish();
 }

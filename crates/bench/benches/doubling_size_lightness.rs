@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use greedy_spanner::greedy_metric::greedy_spanner_of_metric;
+use greedy_spanner::Spanner;
 use spanner_bench::workloads::{clustered_square, uniform_square, DEFAULT_SEED};
 
 fn bench_doubling(c: &mut Criterion) {
@@ -13,12 +13,14 @@ fn bench_doubling(c: &mut Criterion) {
     let uniform = uniform_square(n, DEFAULT_SEED);
     let clustered = clustered_square(n, DEFAULT_SEED);
     for eps in [0.5f64, 1.0] {
+        let greedy = Spanner::greedy().stretch(1.0 + eps);
         group.bench_with_input(
             BenchmarkId::new("greedy_uniform", format!("eps_{eps}")),
             &eps,
-            |b, &eps| {
+            |b, &_eps| {
                 b.iter(|| {
-                    greedy_spanner_of_metric(&uniform, 1.0 + eps)
+                    greedy
+                        .build(&uniform)
                         .expect("non-empty")
                         .spanner
                         .num_edges()
@@ -28,9 +30,10 @@ fn bench_doubling(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("greedy_clustered", format!("eps_{eps}")),
             &eps,
-            |b, &eps| {
+            |b, &_eps| {
                 b.iter(|| {
-                    greedy_spanner_of_metric(&clustered, 1.0 + eps)
+                    greedy
+                        .build(&clustered)
                         .expect("non-empty")
                         .spanner
                         .num_edges()

@@ -6,8 +6,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use greedy_spanner::greedy::greedy_spanner;
 use greedy_spanner::optimality::cage_overlay_instances;
+use greedy_spanner::Spanner;
 
 fn bench_fig1(c: &mut Criterion) {
     let mut group = c.benchmark_group("e1_fig1_existential_gap");
@@ -18,14 +18,12 @@ fn bench_fig1(c: &mut Criterion) {
             .filter_edges(|_, e| inst.h_edge_keys.contains(&e.key()));
         let girth = spanner_graph::girth::girth(&h_only).expect("cages have cycles");
         let t = (girth - 2) as f64;
+        let greedy = Spanner::greedy().stretch(t);
         group.bench_function(name.replace(' ', "_"), |b| {
             b.iter(|| {
-                let greedy = greedy_spanner(&inst.graph, t).expect("valid stretch");
-                assert_eq!(
-                    inst.count_h_edges_in(greedy.spanner()),
-                    inst.h_edge_keys.len()
-                );
-                greedy.spanner().num_edges()
+                let out = greedy.build(&inst.graph).expect("valid stretch");
+                assert_eq!(inst.count_h_edges_in(&out.spanner), inst.h_edge_keys.len());
+                out.spanner.num_edges()
             })
         });
     }

@@ -3,28 +3,29 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use greedy_spanner::greedy_metric::greedy_spanner_of_metric;
+use greedy_spanner::Spanner;
 use spanner_bench::workloads::{uniform_square, DEFAULT_SEED};
 use spanner_metric::generators::star_metric;
 
 fn bench_degree_blowup(c: &mut Criterion) {
     let mut group = c.benchmark_group("e9_greedy_degree_blowup");
     group.sample_size(10);
+    let greedy = Spanner::greedy().stretch(1.5);
     for n in [100usize, 200] {
         let star = star_metric(n);
         group.bench_with_input(BenchmarkId::new("star_metric", n), &star, |b, star| {
             b.iter(|| {
-                let result = greedy_spanner_of_metric(star, 1.5).expect("non-empty");
-                assert_eq!(result.spanner.max_degree(), n - 1);
-                result.spanner.num_edges()
+                let out = greedy.build(star).expect("non-empty");
+                assert_eq!(out.spanner.max_degree(), n - 1);
+                out.spanner.num_edges()
             })
         });
         let uniform = uniform_square(n, DEFAULT_SEED);
         group.bench_with_input(BenchmarkId::new("uniform_2d", n), &uniform, |b, uniform| {
             b.iter(|| {
-                let result = greedy_spanner_of_metric(uniform, 1.5).expect("non-empty");
-                assert!(result.spanner.max_degree() < n / 4);
-                result.spanner.num_edges()
+                let out = greedy.build(uniform).expect("non-empty");
+                assert!(out.spanner.max_degree() < n / 4);
+                out.spanner.num_edges()
             })
         });
     }

@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use greedy_spanner::analysis::lightness;
-use greedy_spanner::greedy::greedy_spanner;
+use greedy_spanner::Spanner;
 use spanner_bench::workloads::{random_graph, DEFAULT_SEED};
 
 fn bench_lightness(c: &mut Criterion) {
@@ -14,15 +14,16 @@ fn bench_lightness(c: &mut Criterion) {
     let g = random_graph(n, DEFAULT_SEED);
     for delta in [0.25f64, 1.0] {
         let t = (n as f64).log2() / delta;
+        let greedy = Spanner::greedy().stretch(t);
         group.bench_with_input(
             BenchmarkId::new("greedy", format!("delta_{delta}")),
             &t,
-            |b, &t| {
+            |b, &_t| {
                 b.iter(|| {
-                    let spanner = greedy_spanner(&g, t).expect("valid stretch");
-                    let l = lightness(&g, spanner.spanner());
+                    let out = greedy.build(&g).expect("valid stretch");
+                    let l = lightness(&g, &out.spanner);
                     assert!(l <= 1.0 + delta + 1e-9, "lightness {l} exceeds 1 + {delta}");
-                    spanner.spanner().num_edges()
+                    out.spanner.num_edges()
                 })
             },
         );

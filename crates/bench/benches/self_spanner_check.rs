@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use greedy_spanner::greedy::greedy_spanner;
 use greedy_spanner::optimality::is_own_unique_spanner;
+use greedy_spanner::Spanner;
 use spanner_bench::workloads::{random_graph, DEFAULT_SEED};
 
 fn bench_self_spanner(c: &mut Criterion) {
@@ -12,7 +12,11 @@ fn bench_self_spanner(c: &mut Criterion) {
     group.sample_size(10);
     let g = random_graph(120, DEFAULT_SEED);
     for t in [1.5f64, 3.0] {
-        let spanner = greedy_spanner(&g, t).expect("valid stretch").into_spanner();
+        let spanner = Spanner::greedy()
+            .stretch(t)
+            .build(&g)
+            .expect("valid stretch")
+            .into_spanner();
         group.bench_with_input(
             BenchmarkId::new("lemma3_check", format!("t_{t}")),
             &t,

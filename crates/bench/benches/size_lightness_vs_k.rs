@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use greedy_spanner::greedy::greedy_spanner;
+use greedy_spanner::Spanner;
 use spanner_bench::workloads::{random_graph, DEFAULT_SEED};
 
 fn bench_size_vs_k(c: &mut Criterion) {
@@ -12,11 +12,12 @@ fn bench_size_vs_k(c: &mut Criterion) {
     let g = random_graph(300, DEFAULT_SEED);
     for k in [2usize, 3, 5] {
         let t = (2 * k - 1) as f64 * 1.5;
-        group.bench_with_input(BenchmarkId::new("greedy", k), &t, |b, &t| {
+        let greedy = Spanner::greedy().stretch(t);
+        group.bench_with_input(BenchmarkId::new("greedy", k), &t, |b, &_t| {
             b.iter(|| {
-                let spanner = greedy_spanner(&g, t).expect("valid stretch");
-                assert!(spanner.spanner().num_edges() >= 299);
-                spanner.spanner().num_edges()
+                let out = greedy.build(&g).expect("valid stretch");
+                assert!(out.spanner.num_edges() >= 299);
+                out.spanner.num_edges()
             })
         });
     }

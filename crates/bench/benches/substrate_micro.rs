@@ -18,9 +18,7 @@ fn bench_substrates(c: &mut Criterion) {
     group.bench_function("dijkstra_sssp_n500", |b| {
         b.iter(|| shortest_path_tree(&g, VertexId(0)).distances().len())
     });
-    group.bench_function("kruskal_mst_n500", |b| {
-        b.iter(|| kruskal(&g).total_weight)
-    });
+    group.bench_function("kruskal_mst_n500", |b| b.iter(|| kruskal(&g).total_weight));
 
     let points = uniform_square(300, DEFAULT_SEED);
     group.bench_function("net_hierarchy_n300", |b| {

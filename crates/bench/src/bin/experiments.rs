@@ -1,22 +1,25 @@
-//! Regenerates every table of EXPERIMENTS.md (experiment ids E1–E9 from
+//! Regenerates every table of EXPERIMENTS.md (experiment ids E1–E10 from
 //! DESIGN.md): the Figure 1 instance, the size/lightness corollaries, the
-//! doubling-metric results, the approximate-greedy comparison and the
-//! baseline comparison.
+//! doubling-metric results, the approximate-greedy comparison, the baseline
+//! comparison and the full algorithm matrix.
+//!
+//! Every construction is dispatched through the unified
+//! [`SpannerAlgorithm`](greedy_spanner::SpannerAlgorithm) pipeline — the
+//! builder for single runs, [`algorithms::registry`] +
+//! [`run_matrix`](greedy_spanner::run_matrix) for the comparative tables —
+//! so adding a construction to the registry automatically adds it to the
+//! comparison experiments.
 //!
 //! Run with `cargo run --release -p spanner-bench --bin experiments`.
 //! Pass a subset of experiment ids (e.g. `e1 e5`) to run only those.
 
-use std::time::Instant;
-
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+use greedy_spanner::algorithms;
 use greedy_spanner::analysis::{evaluate, lightness, max_stretch_all_pairs};
-use greedy_spanner::approx_greedy::approximate_greedy_spanner;
-use greedy_spanner::baselines::{baswana_sen_spanner, theta_graph_spanner, wspd_spanner};
-use greedy_spanner::greedy::greedy_spanner;
-use greedy_spanner::greedy_metric::greedy_spanner_of_metric;
 use greedy_spanner::optimality::{cage_overlay_instances, contains_mst, is_own_unique_spanner};
+use greedy_spanner::{run_matrix, Spanner, SpannerConfig, SpannerInput};
 use spanner_bench::tables::{fmt_f, Table};
 use spanner_bench::workloads::{
     clustered_square, geometric_graph, random_graph, uniform_cube_3d, uniform_square, DEFAULT_SEED,
@@ -60,6 +63,9 @@ fn main() {
     if want("e9") {
         println!("{}", experiment_e9().render());
     }
+    if want("e10") {
+        println!("{}", experiment_e10().render());
+    }
 }
 
 /// E1 — Figure 1: the greedy 3-spanner of the Petersen + star instance keeps
@@ -83,14 +89,17 @@ fn experiment_e1() -> Table {
             .filter_edges(|_, e| inst.h_edge_keys.contains(&e.key()));
         let girth = spanner_graph::girth::girth(&h_only).expect("cages have cycles");
         let t = (girth - 2) as f64;
-        let greedy = greedy_spanner(&inst.graph, t).expect("valid stretch");
+        let greedy = Spanner::greedy()
+            .stretch(t)
+            .build(&inst.graph)
+            .expect("valid stretch");
         table.add_row(vec![
             name,
             fmt_f(t),
             inst.graph.num_edges().to_string(),
-            greedy.spanner().num_edges().to_string(),
-            inst.count_h_edges_in(greedy.spanner()).to_string(),
-            fmt_f(greedy.spanner().total_weight()),
+            greedy.spanner.num_edges().to_string(),
+            inst.count_h_edges_in(&greedy.spanner).to_string(),
+            fmt_f(greedy.spanner.total_weight()),
             fmt_f(inst.star_weight()),
         ]);
     }
@@ -103,16 +112,27 @@ fn experiment_e2() -> Table {
     let mut table = Table::new(
         "E2: Corollary 4 — greedy (2k-1)(1+eps) spanner, eps = 0.5, random graphs",
         &[
-            "n", "k", "t", "|E(G)|", "edges", "n^(1+1/k)", "edges/n^(1+1/k)", "lightness",
-            "n^(1/k)", "max stretch",
+            "n",
+            "k",
+            "t",
+            "|E(G)|",
+            "edges",
+            "n^(1+1/k)",
+            "edges/n^(1+1/k)",
+            "lightness",
+            "n^(1/k)",
+            "max stretch",
         ],
     );
     for &n in &[200usize, 400, 800] {
         for &k in &[2usize, 3, 5] {
             let g = random_graph(n, DEFAULT_SEED + k as u64);
             let t = (2 * k - 1) as f64 * 1.5;
-            let greedy = greedy_spanner(&g, t).expect("valid stretch");
-            let report = evaluate(&g, greedy.spanner(), t);
+            let greedy = Spanner::greedy()
+                .stretch(t)
+                .build(&g)
+                .expect("valid stretch");
+            let report = evaluate(&g, &greedy.spanner, t);
             let size_bound = (n as f64).powf(1.0 + 1.0 / k as f64);
             table.add_row(vec![
                 n.to_string(),
@@ -136,20 +156,31 @@ fn experiment_e2() -> Table {
 fn experiment_e3() -> Table {
     let mut table = Table::new(
         "E3: Corollary 5 — greedy O(log n / delta) spanner: linear size, lightness <= 1 + delta",
-        &["n", "delta", "t", "edges", "edges/n", "lightness", "1+delta"],
+        &[
+            "n",
+            "delta",
+            "t",
+            "edges",
+            "edges/n",
+            "lightness",
+            "1+delta",
+        ],
     );
     for &n in &[200usize, 500, 1000] {
         for &delta in &[0.1f64, 0.25, 0.5, 1.0] {
             let g = random_graph(n, DEFAULT_SEED + 17);
             let t = (n as f64).log2() / delta;
-            let greedy = greedy_spanner(&g, t).expect("valid stretch");
-            let light = lightness(&g, greedy.spanner());
+            let greedy = Spanner::greedy()
+                .stretch(t)
+                .build(&g)
+                .expect("valid stretch");
+            let light = lightness(&g, &greedy.spanner);
             table.add_row(vec![
                 n.to_string(),
                 fmt_f(delta),
                 fmt_f(t),
-                greedy.spanner().num_edges().to_string(),
-                fmt_f(greedy.spanner().num_edges() as f64 / n as f64),
+                greedy.spanner.num_edges().to_string(),
+                fmt_f(greedy.spanner.num_edges() as f64 / n as f64),
                 fmt_f(light),
                 fmt_f(1.0 + delta),
             ]);
@@ -163,7 +194,13 @@ fn experiment_e3() -> Table {
 fn experiment_e4() -> Table {
     let mut table = Table::new(
         "E4: Lemma 3 — the only t-spanner of the greedy t-spanner is itself",
-        &["n", "t", "graph", "greedy self-optimal", "input graph self-optimal"],
+        &[
+            "n",
+            "t",
+            "graph",
+            "greedy self-optimal",
+            "input graph self-optimal",
+        ],
     );
     for &(n, name) in &[(100usize, "random"), (100, "geometric")] {
         for &t in &[1.5f64, 2.0, 3.0] {
@@ -172,8 +209,11 @@ fn experiment_e4() -> Table {
             } else {
                 geometric_graph(n, DEFAULT_SEED + 3)
             };
-            let greedy = greedy_spanner(&g, t).expect("valid stretch");
-            let greedy_self = is_own_unique_spanner(greedy.spanner(), t).expect("valid stretch");
+            let greedy = Spanner::greedy()
+                .stretch(t)
+                .build(&g)
+                .expect("valid stretch");
+            let greedy_self = is_own_unique_spanner(&greedy.spanner, t).expect("valid stretch");
             let input_self = is_own_unique_spanner(&g, t).expect("valid stretch");
             table.add_row(vec![
                 n.to_string(),
@@ -193,21 +233,44 @@ fn experiment_e5() -> Table {
     let mut table = Table::new(
         "E5: Corollary 10 — greedy (1+eps)-spanner in doubling metrics",
         &[
-            "points", "n", "eps", "ddim est", "edges", "edges/n", "lightness", "max stretch",
+            "points",
+            "n",
+            "eps",
+            "ddim est",
+            "edges",
+            "edges/n",
+            "lightness",
+            "max stretch",
         ],
     );
     let mut rng = SmallRng::seed_from_u64(DEFAULT_SEED);
     for &n in &[200usize, 500] {
         for &eps in &[0.25f64, 0.5, 1.0] {
             let cases: Vec<(&str, Box<dyn MetricSpace>)> = vec![
-                ("uniform 2d", Box::new(uniform_square(n, DEFAULT_SEED + n as u64))),
-                ("clustered 2d", Box::new(clustered_square(n, DEFAULT_SEED + n as u64))),
-                ("uniform 3d", Box::new(uniform_cube_3d(n, DEFAULT_SEED + n as u64))),
+                (
+                    "uniform 2d",
+                    Box::new(uniform_square(n, DEFAULT_SEED + n as u64)),
+                ),
+                (
+                    "clustered 2d",
+                    Box::new(clustered_square(n, DEFAULT_SEED + n as u64)),
+                ),
+                (
+                    "uniform 3d",
+                    Box::new(uniform_cube_3d(n, DEFAULT_SEED + n as u64)),
+                ),
             ];
             for (name, metric) in cases {
                 let t = 1.0 + eps;
-                let result = greedy_spanner_of_metric(metric.as_ref(), t).expect("non-empty");
-                let report = evaluate(&result.metric_graph, &result.spanner, t);
+                // Materialize the O(n²) distance graph once and share it
+                // between the build and the evaluation.
+                let complete = metric.to_complete_graph();
+                let input = SpannerInput::prepared(metric.as_ref(), &complete);
+                let result = Spanner::greedy()
+                    .stretch(t)
+                    .build(input)
+                    .expect("non-empty");
+                let report = evaluate(&complete, &result.spanner, t);
                 let ddim = estimate_doubling_dimension(metric.as_ref(), 8, &mut rng);
                 table.add_row(vec![
                     name.to_owned(),
@@ -242,31 +305,27 @@ fn experiment_e6_quality() -> Table {
         let points = uniform_square(n, DEFAULT_SEED + 5);
         let complete = points.to_complete_graph();
         let eps = 0.5;
-        let exact = greedy_spanner_of_metric(&points, 1.0 + eps).expect("non-empty");
-        let exact_report = evaluate(&complete, &exact.spanner, 1.0 + eps);
-        table.add_row(vec![
-            n.to_string(),
-            "greedy".to_owned(),
-            exact_report.summary.num_edges.to_string(),
-            fmt_f(exact_report.summary.lightness),
-            exact_report.summary.max_degree.to_string(),
-            fmt_f(exact_report.max_stretch),
-        ]);
-        let approx = approximate_greedy_spanner(&points, eps).expect("non-empty");
-        let approx_report = evaluate(&complete, &approx.spanner, 1.0 + eps);
-        table.add_row(vec![
-            n.to_string(),
-            "approx-greedy".to_owned(),
-            approx_report.summary.num_edges.to_string(),
-            fmt_f(approx_report.summary.lightness),
-            approx_report.summary.max_degree.to_string(),
-            fmt_f(approx_report.max_stretch),
-        ]);
+        for builder in [
+            Spanner::greedy().stretch(1.0 + eps),
+            Spanner::approx_greedy().epsilon(eps),
+        ] {
+            let out = builder.build(&points).expect("non-empty");
+            let report = evaluate(&complete, &out.spanner, 1.0 + eps);
+            table.add_row(vec![
+                n.to_string(),
+                out.provenance.algorithm.clone(),
+                report.summary.num_edges.to_string(),
+                fmt_f(report.summary.lightness),
+                report.summary.max_degree.to_string(),
+                fmt_f(report.max_stretch),
+            ]);
+        }
     }
     table
 }
 
-/// E6b — construction-time scaling of exact greedy vs approximate-greedy.
+/// E6b — construction-time scaling of exact greedy vs approximate-greedy,
+/// using the wall time the unified pipeline measures itself.
 fn experiment_e6_runtime() -> Table {
     let mut table = Table::new(
         "E6b: construction time (ms), eps = 0.5, uniform 2d",
@@ -274,12 +333,16 @@ fn experiment_e6_runtime() -> Table {
     );
     for &n in &[250usize, 500, 1000] {
         let points = uniform_square(n, DEFAULT_SEED + 6);
-        let start = Instant::now();
-        let _ = greedy_spanner_of_metric(&points, 1.5).expect("non-empty");
-        let greedy_ms = start.elapsed().as_secs_f64() * 1e3;
-        let start = Instant::now();
-        let _ = approximate_greedy_spanner(&points, 0.5).expect("non-empty");
-        let approx_ms = start.elapsed().as_secs_f64() * 1e3;
+        let greedy = Spanner::greedy()
+            .stretch(1.5)
+            .build(&points)
+            .expect("non-empty");
+        let approx = Spanner::approx_greedy()
+            .epsilon(0.5)
+            .build(&points)
+            .expect("non-empty");
+        let greedy_ms = greedy.stats.wall_time.as_secs_f64() * 1e3;
+        let approx_ms = approx.stats.wall_time.as_secs_f64() * 1e3;
         table.add_row(vec![
             n.to_string(),
             fmt_f(greedy_ms),
@@ -291,14 +354,15 @@ fn experiment_e6_runtime() -> Table {
 }
 
 /// E7 — the empirical claim of Section 1.2: the greedy spanner is markedly
-/// sparser and lighter than the other constructions.
+/// sparser and lighter than the other constructions. The rows come straight
+/// from the registry, so new constructions join the table automatically.
 fn experiment_e7() -> Table {
     let mut table = Table::new(
         "E7: greedy vs baseline constructions (n = 500, eps = 0.5 where applicable)",
         &[
             "points",
             "construction",
-            "target t",
+            "guaranteed t",
             "edges",
             "lightness",
             "max stretch",
@@ -313,35 +377,33 @@ fn experiment_e7() -> Table {
             uniform_square(n, DEFAULT_SEED + 7)
         };
         let complete = points.to_complete_graph();
-        let add = |table: &mut Table,
-                       construction: &str,
-                       t: f64,
-                       spanner: &spanner_graph::WeightedGraph| {
+        let input = SpannerInput::prepared_euclidean2(&points, &complete);
+        // `k = 2` pins Baswana–Sen to its classical (2k − 1) = 3 comparison
+        // row; the (1 + ε) constructions read the stretch target instead.
+        let config = SpannerConfig {
+            stretch: 1.0 + eps,
+            k: Some(2),
+            seed: DEFAULT_SEED + 8,
+            ..SpannerConfig::default()
+        };
+        for algorithm in algorithms::registry() {
+            if !algorithm.supports(&input) {
+                continue;
+            }
+            let out = algorithm
+                .build(&input, &config)
+                .expect("construction succeeds");
             table.add_row(vec![
                 name.to_owned(),
-                construction.to_owned(),
-                fmt_f(t),
-                spanner.num_edges().to_string(),
-                fmt_f(lightness(&complete, spanner)),
-                fmt_f(max_stretch_all_pairs(&complete, spanner)),
+                out.provenance.algorithm.clone(),
+                out.provenance
+                    .guaranteed_stretch
+                    .map_or_else(|| "-".to_owned(), fmt_f),
+                out.spanner.num_edges().to_string(),
+                fmt_f(lightness(&complete, &out.spanner)),
+                fmt_f(max_stretch_all_pairs(&complete, &out.spanner)),
             ]);
-        };
-        let greedy = greedy_spanner_of_metric(&points, 1.0 + eps).expect("non-empty");
-        add(&mut table, "greedy", 1.0 + eps, &greedy.spanner);
-        let approx = approximate_greedy_spanner(&points, eps).expect("non-empty");
-        add(&mut table, "approx-greedy", 1.0 + eps, &approx.spanner);
-        let theta = theta_graph_spanner(&points, 12).expect("valid cones");
-        add(
-            &mut table,
-            "theta (12 cones)",
-            greedy_spanner::baselines::theta_graph::cone_stretch_bound(12),
-            &theta,
-        );
-        let wspd = wspd_spanner(&points, eps).expect("valid epsilon");
-        add(&mut table, "wspd", 1.0 + eps, &wspd);
-        let mut rng = SmallRng::seed_from_u64(DEFAULT_SEED + 8);
-        let bs = baswana_sen_spanner(&complete, 2, &mut rng).expect("valid k");
-        add(&mut table, "baswana-sen (k=2)", 3.0, &bs);
+        }
     }
     table
 }
@@ -363,14 +425,17 @@ fn experiment_e8() -> Table {
     for &n in &[100usize, 200, 400] {
         let g = random_graph(n, DEFAULT_SEED + 9);
         let t = 2.0;
-        let greedy = greedy_spanner(&g, t).expect("valid stretch");
+        let greedy = Spanner::greedy()
+            .stretch(t)
+            .build(&g)
+            .expect("valid stretch");
         let closure = metric_closure(&g).expect("connected");
         let w_g = mst_weight(&g);
         let w_m = mst_weight(&closure);
         table.add_row(vec![
             n.to_string(),
             fmt_f(t),
-            contains_mst(&g, greedy.spanner()).to_string(),
+            contains_mst(&g, &greedy.spanner).to_string(),
             fmt_f(w_g),
             fmt_f(w_m),
             fmt_f((w_g - w_m).abs() / w_g),
@@ -387,25 +452,81 @@ fn experiment_e9() -> Table {
         &["metric", "n", "ddim est", "greedy max degree", "edges"],
     );
     let mut rng = SmallRng::seed_from_u64(DEFAULT_SEED + 10);
+    let greedy = Spanner::greedy().stretch(1.5);
     for &n in &[50usize, 100, 200] {
         let star = star_metric(n);
-        let star_greedy = greedy_spanner_of_metric(&star, 1.5).expect("non-empty");
+        let star_out = greedy.build(&star).expect("non-empty");
         table.add_row(vec![
             "star".to_owned(),
             n.to_string(),
             fmt_f(estimate_doubling_dimension(&star, 8, &mut rng)),
-            star_greedy.spanner.max_degree().to_string(),
-            star_greedy.spanner.num_edges().to_string(),
+            star_out.spanner.max_degree().to_string(),
+            star_out.spanner.num_edges().to_string(),
         ]);
         let uniform = uniform_square(n, DEFAULT_SEED + n as u64);
-        let uni_greedy = greedy_spanner_of_metric(&uniform, 1.5).expect("non-empty");
+        let uni_out = greedy.build(&uniform).expect("non-empty");
         table.add_row(vec![
             "uniform 2d".to_owned(),
             n.to_string(),
             fmt_f(estimate_doubling_dimension(&uniform, 8, &mut rng)),
-            uni_greedy.spanner.max_degree().to_string(),
-            uni_greedy.spanner.num_edges().to_string(),
+            uni_out.spanner.max_degree().to_string(),
+            uni_out.spanner.num_edges().to_string(),
         ]);
+    }
+    table
+}
+
+/// E10 — the full algorithm matrix: every registry construction over a graph
+/// and a metric workload at several stretch targets, via the batch runner.
+fn experiment_e10() -> Table {
+    let mut table = Table::new(
+        "E10: algorithm matrix — registry x workloads x stretches (batch runner)",
+        &[
+            "input",
+            "construction",
+            "target t",
+            "edges",
+            "lightness",
+            "max stretch",
+            "time (ms)",
+            "peak frontier",
+        ],
+    );
+    let g = random_graph(200, DEFAULT_SEED + 11);
+    let points = uniform_square(200, DEFAULT_SEED + 11);
+    let inputs = [
+        ("random graph", SpannerInput::from(&g)),
+        ("uniform 2d", SpannerInput::from(&points)),
+    ];
+    let algorithms = algorithms::registry();
+    let stretches = [1.5, 3.0];
+    let base = SpannerConfig {
+        seed: DEFAULT_SEED + 12,
+        ..SpannerConfig::default()
+    };
+    for cell in run_matrix(&inputs, &algorithms, &stretches, &base) {
+        match (&cell.output, &cell.report) {
+            (Ok(out), Some(report)) => table.add_row(vec![
+                cell.input.clone(),
+                cell.algorithm.clone(),
+                fmt_f(cell.stretch),
+                report.summary.num_edges.to_string(),
+                fmt_f(report.summary.lightness),
+                fmt_f(report.max_stretch),
+                fmt_f(out.stats.wall_time.as_secs_f64() * 1e3),
+                out.stats.peak_frontier.to_string(),
+            ]),
+            _ => table.add_row(vec![
+                cell.input.clone(),
+                cell.algorithm.clone(),
+                fmt_f(cell.stretch),
+                "failed".to_owned(),
+                "-".to_owned(),
+                "-".to_owned(),
+                "-".to_owned(),
+                "-".to_owned(),
+            ]),
+        };
     }
     table
 }

@@ -34,9 +34,10 @@ impl Table {
 
     /// Renders the table as an aligned plain-text block.
     pub fn render(&self) -> String {
-        let num_cols = self.header.len().max(
-            self.rows.iter().map(Vec::len).max().unwrap_or(0),
-        );
+        let num_cols = self
+            .header
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
         let mut widths = vec![0usize; num_cols];
         for (i, h) in self.header.iter().enumerate() {
             widths[i] = widths[i].max(h.len());

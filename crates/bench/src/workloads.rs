@@ -68,7 +68,9 @@ mod tests {
         assert_eq!(a.num_edges(), b.num_edges());
         assert!((a.total_weight() - b.total_weight()).abs() < 1e-12);
         let c = random_graph(50, 2);
-        assert!(a.num_edges() != c.num_edges() || (a.total_weight() - c.total_weight()).abs() > 1e-12);
+        assert!(
+            a.num_edges() != c.num_edges() || (a.total_weight() - c.total_weight()).abs() > 1e-12
+        );
     }
 
     #[test]

@@ -54,8 +54,12 @@ pub fn max_stretch_witness(
         for &(target, weight) in targets {
             let d = tree.distance(target).unwrap_or(f64::INFINITY);
             let stretch = if weight > 0.0 { d / weight } else { 1.0 };
-            if worst.map_or(true, |w| stretch > w.stretch) {
-                worst = Some(StretchWitness { u: VertexId(src), v: target, stretch });
+            if worst.is_none_or(|w| stretch > w.stretch) {
+                worst = Some(StretchWitness {
+                    u: VertexId(src),
+                    v: target,
+                    stretch,
+                });
             }
         }
     }
@@ -129,9 +133,9 @@ pub fn evaluate(original: &WeightedGraph, spanner: &WeightedGraph, t: f64) -> Sp
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spanner_graph::generators::{cycle_graph, erdos_renyi_connected, star_graph};
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
+    use spanner_graph::generators::{cycle_graph, erdos_renyi_connected, star_graph};
 
     #[test]
     fn identical_graphs_have_stretch_one() {

@@ -100,11 +100,17 @@ pub struct ApproxGreedySpanner {
 ///
 /// Returns [`SpannerError::InvalidEpsilon`] for `ε ∉ (0, 1)` or
 /// [`SpannerError::EmptyInput`] for an empty metric.
+#[deprecated(
+    since = "0.2.0",
+    note = "dispatch through the unified pipeline instead: \
+            `Spanner::approx_greedy().epsilon(eps).build(&metric)` or any \
+            `SpannerAlgorithm` from `algorithms::registry()`"
+)]
 pub fn approximate_greedy_spanner<M: MetricSpace + ?Sized>(
     metric: &M,
     epsilon: f64,
 ) -> Result<ApproxGreedySpanner, SpannerError> {
-    approximate_greedy_spanner_with_params(metric, ApproxGreedyParams::new(epsilon))
+    run_approx_greedy(metric, ApproxGreedyParams::new(epsilon))
 }
 
 /// Runs the approximate-greedy algorithm with explicit parameters.
@@ -113,16 +119,34 @@ pub fn approximate_greedy_spanner<M: MetricSpace + ?Sized>(
 ///
 /// Returns [`SpannerError::InvalidEpsilon`] if the ε budget or its split is
 /// invalid, or [`SpannerError::EmptyInput`] for an empty metric.
+#[deprecated(
+    since = "0.2.0",
+    note = "dispatch through the unified pipeline instead: \
+            `Spanner::approx_greedy()` with config setters, or any \
+            `SpannerAlgorithm` from `algorithms::registry()`"
+)]
 pub fn approximate_greedy_spanner_with_params<M: MetricSpace + ?Sized>(
     metric: &M,
     params: ApproxGreedyParams,
 ) -> Result<ApproxGreedySpanner, SpannerError> {
+    run_approx_greedy(metric, params)
+}
+
+/// The approximate-greedy engine behind both the deprecated shims and the
+/// `ApproxGreedy` implementation of [`crate::algorithm::SpannerAlgorithm`].
+pub(crate) fn run_approx_greedy<M: MetricSpace + ?Sized>(
+    metric: &M,
+    params: ApproxGreedyParams,
+) -> Result<ApproxGreedySpanner, SpannerError> {
     validate_epsilon(params.epsilon)?;
-    if !(params.base_fraction > 0.0 && params.base_fraction < 1.0)
-        || !(params.bucket_ratio > 1.0)
-        || !(params.cluster_radius_fraction > 0.0)
-    {
-        return Err(SpannerError::InvalidEpsilon { epsilon: params.epsilon });
+    let params_valid = params.base_fraction > 0.0
+        && params.base_fraction < 1.0
+        && params.bucket_ratio > 1.0
+        && params.cluster_radius_fraction > 0.0;
+    if !params_valid {
+        return Err(SpannerError::InvalidEpsilon {
+            epsilon: params.epsilon,
+        });
     }
     let n = metric.len();
     if n == 0 {
@@ -145,11 +169,7 @@ pub fn approximate_greedy_spanner_with_params<M: MetricSpace + ?Sized>(
     }
 
     // Step 2: light edges go straight to the output.
-    let heaviest = base
-        .edges()
-        .iter()
-        .map(|e| e.weight)
-        .fold(0.0f64, f64::max);
+    let heaviest = base.edges().iter().map(|e| e.weight).fold(0.0f64, f64::max);
     let light_threshold = heaviest / n as f64;
     let mut heavy: Vec<(usize, usize, f64)> = Vec::new();
     let mut light_edges = 0;
@@ -161,7 +181,10 @@ pub fn approximate_greedy_spanner_with_params<M: MetricSpace + ?Sized>(
             heavy.push((e.u.index(), e.v.index(), e.weight));
         }
     }
-    heavy.sort_by(|a, b| a.2.total_cmp(&b.2).then_with(|| (a.0, a.1).cmp(&(b.0, b.1))));
+    heavy.sort_by(|a, b| {
+        a.2.total_cmp(&b.2)
+            .then_with(|| (a.0, a.1).cmp(&(b.0, b.1)))
+    });
 
     // Step 3: bucketed greedy simulation. Distance queries are either exact
     // bounded-Dijkstra searches on the growing spanner (default) or the
@@ -187,10 +210,13 @@ pub fn approximate_greedy_spanner_with_params<M: MetricSpace + ?Sized>(
             let bound = t_sim * w;
             let covered = match &clusters {
                 Some(c) => c.certifies_within(VertexId(u), VertexId(v), bound),
-                None => {
-                    spanner_graph::dijkstra::bounded_distance(&spanner, VertexId(u), VertexId(v), bound)
-                        .is_some()
-                }
+                None => spanner_graph::dijkstra::bounded_distance(
+                    &spanner,
+                    VertexId(u),
+                    VertexId(v),
+                    bound,
+                )
+                .is_some(),
             };
             if !covered {
                 spanner.add_edge(VertexId(u), VertexId(v), w);
@@ -214,13 +240,15 @@ pub fn approximate_greedy_spanner_with_params<M: MetricSpace + ?Sized>(
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the shims stay covered until they are removed
+
     use super::*;
     use crate::analysis::{lightness, max_stretch_all_pairs};
     use crate::greedy_metric::greedy_spanner_of_metric;
-    use spanner_metric::generators::{clustered_points, exponential_line, uniform_points};
-    use spanner_metric::{EuclideanSpace, MetricSpace};
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
+    use spanner_metric::generators::{clustered_points, exponential_line, uniform_points};
+    use spanner_metric::{EuclideanSpace, MetricSpace};
 
     #[test]
     fn rejects_invalid_parameters() {
@@ -321,6 +349,9 @@ mod tests {
         let complete = s.to_complete_graph();
         let r = approximate_greedy_spanner(&s, 0.3).unwrap();
         assert!(max_stretch_all_pairs(&complete, &r.spanner) <= 1.3 + 1e-9);
-        assert!(r.bucket_count >= 2, "high-spread input should span several buckets");
+        assert!(
+            r.bucket_count >= 2,
+            "high-spread input should span several buckets"
+        );
     }
 }

@@ -10,7 +10,13 @@ pub mod theta_graph;
 pub mod trivial;
 pub mod wspd_spanner;
 
+// The free functions are deprecated shims over the unified
+// `SpannerAlgorithm` pipeline; the re-exports stay for one release.
+#[allow(deprecated)]
 pub use baswana_sen::baswana_sen_spanner;
+#[allow(deprecated)]
 pub use theta_graph::{theta_graph_spanner, yao_graph_spanner};
+#[allow(deprecated)]
 pub use trivial::{mst_spanner, star_spanner};
+#[allow(deprecated)]
 pub use wspd_spanner::wspd_spanner;

@@ -20,7 +20,7 @@ pub fn cone_stretch_bound(num_cones: usize) -> f64 {
     1.0 / (1.0 - 2.0 * s)
 }
 
-fn build_cone_graph(
+pub(crate) fn build_cone_graph(
     space: &EuclideanSpace<2>,
     num_cones: usize,
     theta_projection: bool,
@@ -62,7 +62,7 @@ fn build_cone_graph(
             } else {
                 dist
             };
-            if best[cone].map_or(true, |(m, _)| measure < m) {
+            if best[cone].is_none_or(|(m, _)| measure < m) {
                 best[cone] = Some((measure, v));
             }
         }
@@ -86,6 +86,12 @@ fn build_cone_graph(
 /// # Errors
 ///
 /// Returns [`SpannerError::InvalidK`] if fewer than two cones are requested.
+#[deprecated(
+    since = "0.2.0",
+    note = "dispatch through the unified pipeline instead: \
+            `Spanner::theta_graph().cones(k).build(&points)` or any \
+            `SpannerAlgorithm` from `algorithms::registry()`"
+)]
 pub fn theta_graph_spanner(
     space: &EuclideanSpace<2>,
     num_cones: usize,
@@ -99,6 +105,12 @@ pub fn theta_graph_spanner(
 /// # Errors
 ///
 /// Returns [`SpannerError::InvalidK`] if fewer than two cones are requested.
+#[deprecated(
+    since = "0.2.0",
+    note = "dispatch through the unified pipeline instead: \
+            `Spanner::yao_graph().cones(k).build(&points)` or any \
+            `SpannerAlgorithm` from `algorithms::registry()`"
+)]
 pub fn yao_graph_spanner(
     space: &EuclideanSpace<2>,
     num_cones: usize,
@@ -108,18 +120,26 @@ pub fn yao_graph_spanner(
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the shims stay covered until they are removed
+
     use super::*;
     use crate::analysis::max_stretch_all_pairs;
-    use spanner_metric::generators::{circle_points, uniform_points};
-    use spanner_metric::MetricSpace;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
+    use spanner_metric::generators::{circle_points, uniform_points};
+    use spanner_metric::MetricSpace;
 
     #[test]
     fn rejects_too_few_cones() {
         let s = EuclideanSpace::from_coords([[0.0, 0.0], [1.0, 1.0]]);
-        assert!(matches!(theta_graph_spanner(&s, 1), Err(SpannerError::InvalidK)));
-        assert!(matches!(yao_graph_spanner(&s, 0), Err(SpannerError::InvalidK)));
+        assert!(matches!(
+            theta_graph_spanner(&s, 1),
+            Err(SpannerError::InvalidK)
+        ));
+        assert!(matches!(
+            yao_graph_spanner(&s, 0),
+            Err(SpannerError::InvalidK)
+        ));
     }
 
     #[test]

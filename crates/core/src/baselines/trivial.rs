@@ -12,7 +12,19 @@ use crate::error::SpannerError;
 ///
 /// It has the minimum possible weight (lightness 1) and `n − 1` edges, but its
 /// stretch is unbounded in general — the anchor row in the lightness tables.
+#[deprecated(
+    since = "0.2.0",
+    note = "dispatch through the unified pipeline instead: \
+            `Spanner::mst().build(&graph)` or any `SpannerAlgorithm` from \
+            `algorithms::registry()`"
+)]
 pub fn mst_spanner(graph: &WeightedGraph) -> WeightedGraph {
+    run_mst(graph)
+}
+
+/// The MST-baseline engine behind both the deprecated [`mst_spanner`] shim
+/// and the `Mst` implementation of [`crate::algorithm::SpannerAlgorithm`].
+pub(crate) fn run_mst(graph: &WeightedGraph) -> WeightedGraph {
     kruskal(graph).to_graph(graph)
 }
 
@@ -25,19 +37,39 @@ pub fn mst_spanner(graph: &WeightedGraph) -> WeightedGraph {
 ///
 /// # Errors
 ///
-/// Returns [`SpannerError::EmptyInput`] for an empty metric.
-///
-/// # Panics
-///
-/// Panics if `hub` is out of range.
+/// Returns [`SpannerError::EmptyInput`] for an empty metric, or a
+/// [`SpannerError::Graph`]-wrapped out-of-range error for a bad `hub`
+/// (pre-0.2 this panicked; the unified pipeline requires every invalid
+/// parameter to surface as an `Err` so batch runs never abort).
+#[deprecated(
+    since = "0.2.0",
+    note = "dispatch through the unified pipeline instead: \
+            `Spanner::star().hub(h).build(&metric)` or any \
+            `SpannerAlgorithm` from `algorithms::registry()`"
+)]
 pub fn star_spanner<M: MetricSpace + ?Sized>(
+    metric: &M,
+    hub: usize,
+) -> Result<WeightedGraph, SpannerError> {
+    run_star(metric, hub)
+}
+
+/// The star-baseline engine behind both the deprecated [`star_spanner`] shim
+/// and the `Star` implementation of [`crate::algorithm::SpannerAlgorithm`].
+pub(crate) fn run_star<M: MetricSpace + ?Sized>(
     metric: &M,
     hub: usize,
 ) -> Result<WeightedGraph, SpannerError> {
     if metric.is_empty() {
         return Err(SpannerError::EmptyInput);
     }
-    assert!(hub < metric.len(), "hub index out of range");
+    if hub >= metric.len() {
+        return Err(spanner_graph::GraphError::VertexOutOfRange {
+            vertex: hub,
+            num_vertices: metric.len(),
+        }
+        .into());
+    }
     let mut g = WeightedGraph::new(metric.len());
     for v in 0..metric.len() {
         if v != hub {
@@ -50,13 +82,15 @@ pub fn star_spanner<M: MetricSpace + ?Sized>(
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the shims stay covered until they are removed
+
     use super::*;
     use crate::analysis::{lightness, max_stretch_all_pairs};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
     use spanner_graph::generators::erdos_renyi_connected;
     use spanner_metric::generators::uniform_points;
     use spanner_metric::MetricSpace;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
 
     #[test]
     fn mst_spanner_has_lightness_one() {
@@ -89,9 +123,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "hub index out of range")]
-    fn star_spanner_rejects_bad_hub() {
+    fn star_spanner_rejects_bad_hub_with_an_error() {
         let s = spanner_metric::EuclideanSpace::from_coords([[0.0], [1.0]]);
-        let _ = star_spanner(&s, 7);
+        assert!(matches!(
+            star_spanner(&s, 7),
+            Err(SpannerError::Graph(
+                spanner_graph::GraphError::VertexOutOfRange {
+                    vertex: 7,
+                    num_vertices: 2
+                }
+            ))
+        ));
     }
 }

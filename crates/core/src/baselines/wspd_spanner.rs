@@ -23,7 +23,22 @@ pub fn separation_for_epsilon(epsilon: f64) -> f64 {
 /// # Errors
 ///
 /// Returns [`SpannerError::InvalidEpsilon`] if `ε` is not in `(0, 1)`.
+#[deprecated(
+    since = "0.2.0",
+    note = "dispatch through the unified pipeline instead: \
+            `Spanner::wspd().epsilon(eps).build(&points)` or any \
+            `SpannerAlgorithm` from `algorithms::registry()`"
+)]
 pub fn wspd_spanner<const D: usize>(
+    space: &EuclideanSpace<D>,
+    epsilon: f64,
+) -> Result<WeightedGraph, SpannerError> {
+    run_wspd(space, epsilon)
+}
+
+/// The WSPD engine behind both the deprecated [`wspd_spanner`] shim and the
+/// `Wspd` implementation of [`crate::algorithm::SpannerAlgorithm`].
+pub(crate) fn run_wspd<const D: usize>(
     space: &EuclideanSpace<D>,
     epsilon: f64,
 ) -> Result<WeightedGraph, SpannerError> {
@@ -60,11 +75,13 @@ pub fn wspd_spanner<const D: usize>(
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the shims stay covered until they are removed
+
     use super::*;
     use crate::analysis::max_stretch_all_pairs;
-    use spanner_metric::generators::{clustered_points, uniform_points};
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
+    use spanner_metric::generators::{clustered_points, uniform_points};
 
     #[test]
     fn rejects_invalid_epsilon() {

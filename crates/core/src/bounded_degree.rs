@@ -61,7 +61,11 @@ pub fn bounded_degree_spanner<M: MetricSpace + ?Sized>(
     let min_dist = metric.min_interpoint_distance();
     let mut edge_keys: Vec<(usize, usize)> = Vec::new();
     for level in hierarchy.levels() {
-        let scale = if level.radius > 0.0 { level.radius } else { min_dist };
+        let scale = if level.radius > 0.0 {
+            level.radius
+        } else {
+            min_dist
+        };
         let reach = gamma * scale;
         let centers = &level.centers;
         for (i, &a) in centers.iter().enumerate() {
@@ -85,10 +89,10 @@ pub fn bounded_degree_spanner<M: MetricSpace + ?Sized>(
 mod tests {
     use super::*;
     use crate::analysis::max_stretch_all_pairs;
-    use spanner_metric::generators::{clustered_points, exponential_line, uniform_points};
-    use spanner_metric::EuclideanSpace;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
+    use spanner_metric::generators::{clustered_points, exponential_line, uniform_points};
+    use spanner_metric::EuclideanSpace;
 
     #[test]
     fn rejects_bad_inputs() {

@@ -41,7 +41,10 @@ impl ClusterGraph {
     ///
     /// Panics if `radius` is negative or not finite.
     pub fn build(spanner: &WeightedGraph, radius: f64) -> Self {
-        assert!(radius.is_finite() && radius >= 0.0, "cluster radius must be non-negative");
+        assert!(
+            radius.is_finite() && radius >= 0.0,
+            "cluster radius must be non-negative"
+        );
         let n = spanner.num_vertices();
         let mut membership = vec![usize::MAX; n];
         let mut num_clusters = 0;
@@ -62,7 +65,11 @@ impl ClusterGraph {
             }
         }
         let quotient = build_quotient(spanner, &membership, num_clusters, radius);
-        ClusterGraph { membership, radius, quotient }
+        ClusterGraph {
+            membership,
+            radius,
+            quotient,
+        }
     }
 
     /// Number of clusters.
@@ -154,7 +161,7 @@ fn build_quotient(
     }
     let mut quotient = WeightedGraph::new(num_clusters);
     let mut keys: Vec<_> = best.into_iter().collect();
-    keys.sort_by(|a, b| a.0.cmp(&b.0));
+    keys.sort_by_key(|a| a.0);
     for ((a, b), w) in keys {
         quotient.add_edge(VertexId(a), VertexId(b), w + 2.0 * radius);
     }
@@ -164,10 +171,10 @@ fn build_quotient(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spanner_graph::dijkstra::shortest_path_distance;
-    use spanner_graph::generators::{erdos_renyi_connected, path_graph};
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
+    use spanner_graph::dijkstra::shortest_path_distance;
+    use spanner_graph::generators::{erdos_renyi_connected, path_graph};
 
     #[test]
     fn zero_radius_clustering_is_singletons() {
@@ -197,8 +204,7 @@ mod tests {
             let c = ClusterGraph::build(&g, radius);
             for u in 0..30 {
                 for v in (u + 1)..30 {
-                    let true_d =
-                        shortest_path_distance(&g, VertexId(u), VertexId(v)).unwrap();
+                    let true_d = shortest_path_distance(&g, VertexId(u), VertexId(v)).unwrap();
                     let bound = c.distance_upper_bound(VertexId(u), VertexId(v));
                     assert!(
                         bound + 1e-9 >= true_d,
@@ -239,14 +245,18 @@ mod tests {
     fn disconnected_clusters_report_infinity() {
         let g = WeightedGraph::from_edges(4, [(0, 1, 1.0), (2, 3, 1.0)]).unwrap();
         let c = ClusterGraph::build(&g, 0.5);
-        assert!(c.distance_upper_bound(VertexId(0), VertexId(3)).is_infinite());
+        assert!(c
+            .distance_upper_bound(VertexId(0), VertexId(3))
+            .is_infinite());
     }
 
     #[test]
     fn adding_spanner_edges_updates_queries() {
         let g = WeightedGraph::from_edges(4, [(0, 1, 1.0), (2, 3, 1.0)]).unwrap();
         let mut c = ClusterGraph::build(&g, 0.25);
-        assert!(c.distance_upper_bound(VertexId(1), VertexId(2)).is_infinite());
+        assert!(c
+            .distance_upper_bound(VertexId(1), VertexId(2))
+            .is_infinite());
         c.add_spanner_edge(VertexId(1), VertexId(2), 3.0);
         let bound = c.distance_upper_bound(VertexId(1), VertexId(2));
         assert!(bound.is_finite());

@@ -1,9 +1,21 @@
-//! Error type shared by the spanner constructions.
+//! The single error hierarchy shared by every spanner construction.
+//!
+//! The workspace used to have two overlapping error surfaces: substrate
+//! failures ([`GraphError`], from `spanner-graph`) and construction failures
+//! (`SpannerError`), each with its own "empty input" variant. They are now a
+//! single `From`-chained hierarchy surfaced as [`SpannerError`]:
+//!
+//! * substrate errors convert with `?` via [`From<GraphError>`], with the
+//!   overlapping [`GraphError::EmptyGraph`] canonicalized to
+//!   [`SpannerError::EmptyInput`] so callers match one variant for "the input
+//!   was empty" regardless of which layer noticed;
+//! * all other graph failures are carried as [`SpannerError::Graph`] and
+//!   remain reachable through [`std::error::Error::source`].
 
 use std::error::Error;
 use std::fmt;
 
-use spanner_graph::GraphError;
+pub use spanner_graph::GraphError;
 
 /// Errors produced by spanner constructions.
 #[derive(Debug, Clone, PartialEq)]
@@ -23,7 +35,15 @@ pub enum SpannerError {
     /// The input graph or metric was empty where at least one vertex/point is
     /// required.
     EmptyInput,
-    /// A substrate graph operation failed.
+    /// An algorithm was handed an input kind it cannot consume (for example a
+    /// Θ-graph construction over an abstract metric without coordinates).
+    Unsupported {
+        /// Name of the algorithm, as reported by `SpannerAlgorithm::name`.
+        algorithm: String,
+        /// Short description of the offered input kind.
+        input: String,
+    },
+    /// A substrate graph operation failed (all non-empty-input graph errors).
     Graph(GraphError),
 }
 
@@ -31,13 +51,19 @@ impl fmt::Display for SpannerError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SpannerError::InvalidStretch { stretch } => {
-                write!(f, "stretch parameter {stretch} must be a finite number at least 1")
+                write!(
+                    f,
+                    "stretch parameter {stretch} must be a finite number at least 1"
+                )
             }
             SpannerError::InvalidEpsilon { epsilon } => {
                 write!(f, "epsilon {epsilon} must be a finite number in (0, 1)")
             }
             SpannerError::InvalidK => write!(f, "sparseness parameter k must be at least 1"),
             SpannerError::EmptyInput => write!(f, "input graph or metric has no vertices"),
+            SpannerError::Unsupported { algorithm, input } => {
+                write!(f, "algorithm {algorithm} does not support {input} inputs")
+            }
             SpannerError::Graph(e) => write!(f, "graph error: {e}"),
         }
     }
@@ -54,12 +80,17 @@ impl Error for SpannerError {
 
 impl From<GraphError> for SpannerError {
     fn from(e: GraphError) -> Self {
-        SpannerError::Graph(e)
+        match e {
+            // The two layers used to expose overlapping empty-input variants;
+            // canonicalize on the construction-level one.
+            GraphError::EmptyGraph => SpannerError::EmptyInput,
+            other => SpannerError::Graph(other),
+        }
     }
 }
 
 /// Validates a stretch parameter `t >= 1`.
-pub(crate) fn validate_stretch(t: f64) -> Result<(), SpannerError> {
+pub fn validate_stretch(t: f64) -> Result<(), SpannerError> {
     if t.is_finite() && t >= 1.0 {
         Ok(())
     } else {
@@ -68,7 +99,7 @@ pub(crate) fn validate_stretch(t: f64) -> Result<(), SpannerError> {
 }
 
 /// Validates an accuracy parameter `0 < ε < 1`.
-pub(crate) fn validate_epsilon(epsilon: f64) -> Result<(), SpannerError> {
+pub fn validate_epsilon(epsilon: f64) -> Result<(), SpannerError> {
     if epsilon.is_finite() && epsilon > 0.0 && epsilon < 1.0 {
         Ok(())
     } else {
@@ -87,6 +118,10 @@ mod tests {
             SpannerError::InvalidEpsilon { epsilon: 2.0 },
             SpannerError::InvalidK,
             SpannerError::EmptyInput,
+            SpannerError::Unsupported {
+                algorithm: "theta-graph".into(),
+                input: "metric".into(),
+            },
             SpannerError::Graph(GraphError::Disconnected),
         ];
         for e in errs {
@@ -96,10 +131,18 @@ mod tests {
 
     #[test]
     fn graph_errors_convert_and_expose_source() {
-        let e: SpannerError = GraphError::EmptyGraph.into();
+        let e: SpannerError = GraphError::Disconnected.into();
         assert!(matches!(e, SpannerError::Graph(_)));
         assert!(Error::source(&e).is_some());
         assert!(Error::source(&SpannerError::InvalidK).is_none());
+    }
+
+    #[test]
+    fn overlapping_empty_variants_are_canonicalized() {
+        // The hierarchy exposes exactly one "empty input" variant: converting
+        // the substrate's EmptyGraph must land on SpannerError::EmptyInput.
+        let e: SpannerError = GraphError::EmptyGraph.into();
+        assert_eq!(e, SpannerError::EmptyInput);
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! condition; with ties broken deterministically the output is the canonical
 //! greedy spanner studied by the paper.
 
-use spanner_graph::dijkstra::bounded_distance;
+use spanner_graph::dijkstra::{bounded_distance, bounded_distance_with_frontier};
 use spanner_graph::{EdgeId, WeightedGraph};
 
 use crate::error::{validate_stretch, SpannerError};
@@ -27,6 +27,7 @@ pub struct GreedySpanner {
     stretch: f64,
     edges_examined: usize,
     edges_added: usize,
+    peak_frontier: usize,
     added_edge_ids: Vec<EdgeId>,
 }
 
@@ -54,6 +55,12 @@ impl GreedySpanner {
     /// Number of edges added to the spanner.
     pub fn edges_added(&self) -> usize {
         self.edges_added
+    }
+
+    /// Peak Dijkstra frontier (priority-queue length) over all distance
+    /// queries the construction issued.
+    pub fn peak_frontier(&self) -> usize {
+        self.peak_frontier
     }
 
     /// Ids (into the *input* graph) of the edges that were kept, in the order
@@ -86,16 +93,31 @@ impl GreedySpanner {
 /// assert_eq!(result.spanner().num_edges(), 2);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "dispatch through the unified pipeline instead: \
+            `Spanner::greedy().stretch(t).build(&graph)` or any \
+            `SpannerAlgorithm` from `algorithms::registry()`"
+)]
 pub fn greedy_spanner(graph: &WeightedGraph, t: f64) -> Result<GreedySpanner, SpannerError> {
+    run_greedy(graph, t)
+}
+
+/// The greedy construction engine behind both the deprecated
+/// [`greedy_spanner`] shim and the `Greedy` implementation of
+/// [`crate::algorithm::SpannerAlgorithm`].
+pub(crate) fn run_greedy(graph: &WeightedGraph, t: f64) -> Result<GreedySpanner, SpannerError> {
     validate_stretch(t)?;
     let mut spanner = WeightedGraph::empty_like(graph);
     let order = graph.edges_by_weight();
     let mut added_edge_ids = Vec::new();
+    let mut peak_frontier = 0usize;
     for id in &order {
         let e = graph.edge(*id);
         let bound = t * e.weight;
-        let covered = bounded_distance(&spanner, e.u, e.v, bound).is_some();
-        if !covered {
+        let (distance, frontier) = bounded_distance_with_frontier(&spanner, e.u, e.v, bound);
+        peak_frontier = peak_frontier.max(frontier);
+        if distance.is_none() {
             spanner.add_edge(e.u, e.v, e.weight);
             added_edge_ids.push(*id);
         }
@@ -105,6 +127,7 @@ pub fn greedy_spanner(graph: &WeightedGraph, t: f64) -> Result<GreedySpanner, Sp
         stretch: t,
         edges_examined: order.len(),
         edges_added: added_edge_ids.len(),
+        peak_frontier,
         added_edge_ids,
     })
 }
@@ -146,15 +169,17 @@ pub fn greedy_over_candidates(
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the shims stay covered until they are removed
+
     use super::*;
     use crate::analysis::{is_t_spanner, max_stretch_over_edges};
     use crate::optimality::contains_mst;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
     use spanner_graph::generators::{
         complete_graph_with_weights, erdos_renyi_connected, petersen_graph,
     };
     use spanner_graph::mst::mst_weight;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
 
     #[test]
     fn rejects_invalid_stretch() {
@@ -233,7 +258,11 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(5);
         let g = erdos_renyi_connected(30, 0.3, 1.0..10.0, &mut rng);
         let r = greedy_spanner(&g, 2.0).unwrap();
-        let weights: Vec<f64> = r.added_edge_ids().iter().map(|&id| g.edge(id).weight).collect();
+        let weights: Vec<f64> = r
+            .added_edge_ids()
+            .iter()
+            .map(|&id| g.edge(id).weight)
+            .collect();
         assert!(weights.windows(2).all(|w| w[0] <= w[1]));
         assert_eq!(r.added_edge_ids().len(), r.edges_added());
         assert!((r.stretch() - 2.0).abs() < 1e-15);
@@ -248,7 +277,10 @@ mod tests {
             .iter()
             .map(|e| (e.u.index(), e.v.index(), e.weight))
             .collect();
-        candidates.sort_by(|a, b| a.2.total_cmp(&b.2).then_with(|| (a.0, a.1).cmp(&(b.0, b.1))));
+        candidates.sort_by(|a, b| {
+            a.2.total_cmp(&b.2)
+                .then_with(|| (a.0, a.1).cmp(&(b.0, b.1)))
+        });
         let h1 = greedy_spanner(&g, 2.5).unwrap();
         let h2 = greedy_over_candidates(g.num_vertices(), &candidates, 2.5).unwrap();
         assert_eq!(h1.spanner().num_edges(), h2.num_edges());
@@ -267,7 +299,13 @@ mod tests {
         let r = greedy_spanner(&empty, 2.0).unwrap();
         assert_eq!(r.spanner().num_edges(), 0);
         let single = WeightedGraph::new(1);
-        assert_eq!(greedy_spanner(&single, 2.0).unwrap().spanner().num_vertices(), 1);
+        assert_eq!(
+            greedy_spanner(&single, 2.0)
+                .unwrap()
+                .spanner()
+                .num_vertices(),
+            1
+        );
     }
 
     #[test]

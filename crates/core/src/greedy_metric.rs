@@ -12,7 +12,7 @@ use spanner_graph::WeightedGraph;
 use spanner_metric::MetricSpace;
 
 use crate::error::SpannerError;
-use crate::greedy::{greedy_spanner, GreedySpanner};
+use crate::greedy::{run_greedy, GreedySpanner};
 
 /// The result of running the greedy algorithm on a metric space: the spanner
 /// (a graph over point indices) plus the complete metric graph it was built
@@ -34,6 +34,8 @@ pub struct GreedyStats {
     pub edges_examined: usize,
     /// Edges kept in the spanner.
     pub edges_added: usize,
+    /// Peak Dijkstra frontier over all distance queries.
+    pub peak_frontier: usize,
 }
 
 impl From<&GreedySpanner> for GreedyStats {
@@ -41,6 +43,7 @@ impl From<&GreedySpanner> for GreedyStats {
         GreedyStats {
             edges_examined: g.edges_examined(),
             edges_added: g.edges_added(),
+            peak_frontier: g.peak_frontier(),
         }
     }
 }
@@ -64,7 +67,23 @@ impl From<&GreedySpanner> for GreedyStats {
 /// assert_eq!(result.spanner.num_edges(), 2);
 /// # Ok::<(), greedy_spanner::SpannerError>(())
 /// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "dispatch through the unified pipeline instead: \
+            `Spanner::greedy().stretch(t).build(&metric)` or any \
+            `SpannerAlgorithm` from `algorithms::registry()`"
+)]
 pub fn greedy_spanner_of_metric<M: MetricSpace + ?Sized>(
+    metric: &M,
+    t: f64,
+) -> Result<MetricGreedySpanner, SpannerError> {
+    run_greedy_metric(metric, t)
+}
+
+/// The metric greedy engine behind both the deprecated
+/// [`greedy_spanner_of_metric`] shim and the `Greedy` implementation of
+/// [`crate::algorithm::SpannerAlgorithm`].
+pub(crate) fn run_greedy_metric<M: MetricSpace + ?Sized>(
     metric: &M,
     t: f64,
 ) -> Result<MetricGreedySpanner, SpannerError> {
@@ -72,7 +91,7 @@ pub fn greedy_spanner_of_metric<M: MetricSpace + ?Sized>(
         return Err(SpannerError::EmptyInput);
     }
     let metric_graph = metric.to_complete_graph();
-    let result = greedy_spanner(&metric_graph, t)?;
+    let result = run_greedy(&metric_graph, t)?;
     let stats = GreedyStats::from(&result);
     Ok(MetricGreedySpanner {
         spanner: result.into_spanner(),
@@ -83,12 +102,14 @@ pub fn greedy_spanner_of_metric<M: MetricSpace + ?Sized>(
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the shims stay covered until they are removed
+
     use super::*;
     use crate::analysis::{is_t_spanner, max_stretch_over_edges};
-    use spanner_metric::generators::{star_metric, uniform_points};
-    use spanner_metric::EuclideanSpace;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
+    use spanner_metric::generators::{star_metric, uniform_points};
+    use spanner_metric::EuclideanSpace;
 
     #[test]
     fn empty_metric_is_rejected() {
@@ -124,8 +145,14 @@ mod tests {
     fn smaller_epsilon_gives_more_edges() {
         let mut rng = SmallRng::seed_from_u64(12);
         let s = uniform_points::<2, _>(60, &mut rng);
-        let tight = greedy_spanner_of_metric(&s, 1.05).unwrap().spanner.num_edges();
-        let loose = greedy_spanner_of_metric(&s, 2.0).unwrap().spanner.num_edges();
+        let tight = greedy_spanner_of_metric(&s, 1.05)
+            .unwrap()
+            .spanner
+            .num_edges();
+        let loose = greedy_spanner_of_metric(&s, 2.0)
+            .unwrap()
+            .spanner
+            .num_edges();
         assert!(tight >= loose);
     }
 

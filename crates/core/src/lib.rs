@@ -2,55 +2,127 @@
 //! analysis — the core of the reproduction of *"The Greedy Spanner is
 //! Existentially Optimal"* (Filtser & Solomon, PODC 2016).
 //!
-//! # What this crate provides
+//! # The unified pipeline
 //!
-//! * [`greedy`] — Algorithm 1 of the paper: the greedy `t`-spanner for
-//!   weighted graphs, with a distance-bounded Dijkstra inner loop.
-//! * [`greedy_metric`] — the greedy spanner of a finite metric space (the
-//!   setting of Sections 4–5).
-//! * [`bounded_degree`] — a net-tree `(1+ε)`-spanner for doubling metrics,
-//!   the substrate of the approximate-greedy algorithm (Theorem 2).
-//! * [`cluster_graph`] + [`approx_greedy`] — the approximate-greedy algorithm
-//!   of Das–Narasimhan / Gudmundsson–Levcopoulos–Narasimhan sketched in
-//!   Section 5.1, whose lightness the paper bounds (Theorem 6).
-//! * [`baselines`] — the constructions the greedy spanner is compared
-//!   against: Baswana–Sen, Θ-graphs, WSPD spanners and trivial baselines.
-//! * [`analysis`] — stretch verification, lightness, degree and the
-//!   [`analysis::SpannerReport`] used by every experiment.
-//! * [`optimality`] — executable forms of the paper's constructions and
-//!   lemmas: the Figure 1 instance, Lemma 3's self-spanner property and
-//!   Observation 2's MST containment.
+//! Every construction in this crate — greedy (graphs and metrics),
+//! approximate-greedy, Baswana–Sen, Θ-/Yao-graphs, WSPD and the trivial
+//! baselines — implements one trait, [`SpannerAlgorithm`], over a shared
+//! input/config/output vocabulary:
+//!
+//! * [`SpannerInput`] — a borrowed weighted graph or finite metric;
+//! * [`SpannerConfig`] — one parameter block all algorithms read;
+//! * [`SpannerOutput`] — the spanner plus uniform [`RunStats`] (edges
+//!   examined/added, wall time, peak Dijkstra frontier) and [`Provenance`];
+//! * [`algorithms::registry`] — every construction, boxed, for uniform
+//!   iteration;
+//! * [`matrix::run_matrix`] — batch evaluation of an
+//!   `inputs × algorithms × stretches` grid.
 //!
 //! # Quick start
 //!
+//! The fluent [`Spanner`] builder is the front door:
+//!
 //! ```
-//! use greedy_spanner::greedy::greedy_spanner;
 //! use greedy_spanner::analysis::evaluate;
+//! use greedy_spanner::Spanner;
 //! use spanner_graph::generators::erdos_renyi_connected;
 //! use rand::{rngs::SmallRng, SeedableRng};
 //!
 //! let mut rng = SmallRng::seed_from_u64(1);
 //! let g = erdos_renyi_connected(50, 0.3, 1.0..10.0, &mut rng);
-//! let result = greedy_spanner(&g, 3.0)?;
-//! let report = evaluate(&g, result.spanner(), 3.0);
+//! let output = Spanner::greedy().stretch(3.0).build(&g)?;
+//! let report = evaluate(&g, &output.spanner, 3.0);
 //! assert!(report.max_stretch <= 3.0 + 1e-9);
-//! assert!(result.spanner().num_edges() <= g.num_edges());
+//! assert!(output.spanner.num_edges() <= g.num_edges());
+//! assert_eq!(output.provenance.algorithm, "greedy");
 //! # Ok::<(), greedy_spanner::SpannerError>(())
 //! ```
+//!
+//! Running *every* construction over one workload is a loop over the
+//! registry:
+//!
+//! ```
+//! use greedy_spanner::{algorithms, SpannerConfig, SpannerInput};
+//! use spanner_metric::generators::uniform_points;
+//! use rand::{rngs::SmallRng, SeedableRng};
+//!
+//! let mut rng = SmallRng::seed_from_u64(2);
+//! let points = uniform_points::<2, _>(30, &mut rng);
+//! let input = SpannerInput::from(&points);
+//! let config = SpannerConfig::for_stretch(1.5);
+//! for algorithm in algorithms::registry() {
+//!     if algorithm.supports(&input) {
+//!         let out = algorithm.build(&input, &config)?;
+//!         println!("{}: {} edges", out.provenance.algorithm, out.spanner.num_edges());
+//!     }
+//! }
+//! # Ok::<(), greedy_spanner::SpannerError>(())
+//! ```
+//!
+//! # Migrating from the free functions
+//!
+//! The pre-0.2 free functions (`greedy::greedy_spanner`,
+//! `greedy_metric::greedy_spanner_of_metric`,
+//! `approx_greedy::approximate_greedy_spanner`, and the `baselines::*`
+//! constructors) remain as deprecated shims for one release. They map
+//! one-to-one onto the builder:
+//!
+//! | deprecated                                   | replacement                                        |
+//! |----------------------------------------------|----------------------------------------------------|
+//! | `greedy_spanner(&g, t)`                      | `Spanner::greedy().stretch(t).build(&g)`           |
+//! | `greedy_spanner_of_metric(&m, t)`            | `Spanner::greedy().stretch(t).build(&m)`           |
+//! | `approximate_greedy_spanner(&m, eps)`        | `Spanner::approx_greedy().epsilon(eps).build(&m)`  |
+//! | `baswana_sen_spanner(&g, k, &mut rng)`       | `Spanner::baswana_sen().k(k).seed(s).build(&g)`    |
+//! | `theta_graph_spanner(&pts, cones)`           | `Spanner::theta_graph().cones(cones).build(&pts)`  |
+//! | `yao_graph_spanner(&pts, cones)`             | `Spanner::yao_graph().cones(cones).build(&pts)`    |
+//! | `wspd_spanner(&pts, eps)`                    | `Spanner::wspd().epsilon(eps).build(&pts)`         |
+//! | `mst_spanner(&g)`                            | `Spanner::mst().build(&g)`                         |
+//! | `star_spanner(&m, hub)`                      | `Spanner::star().hub(hub).build(&m)`               |
+//!
+//! The builder returns a [`SpannerOutput`] whose `spanner` field replaces
+//! the bespoke result structs, and whose `stats`/`provenance` replace the
+//! per-construction bookkeeping fields.
+//!
+//! # Module map
+//!
+//! * [`algorithm`], [`algorithms`], [`builder`], [`matrix`] — the unified
+//!   pipeline described above.
+//! * [`greedy`] / [`greedy_metric`] — Algorithm 1 engines (graph / metric).
+//! * [`bounded_degree`] — the net-tree `(1+ε)`-spanner substrate
+//!   (Theorem 2).
+//! * [`cluster_graph`] + [`approx_greedy`] — the approximate-greedy
+//!   algorithm of Section 5.1 (Theorem 6).
+//! * [`baselines`] — Baswana–Sen, Θ-/Yao-graphs, WSPD, MST and star engines.
+//! * [`analysis`] — stretch verification, lightness, degree and
+//!   [`analysis::SpannerReport`].
+//! * [`optimality`] — the Figure 1 instance, Lemma 3's self-spanner property
+//!   and Observation 2's MST containment.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod algorithm;
+pub mod algorithms;
 pub mod analysis;
 pub mod approx_greedy;
 pub mod baselines;
 pub mod bounded_degree;
+pub mod builder;
 pub mod cluster_graph;
 pub mod error;
 pub mod greedy;
 pub mod greedy_metric;
+pub mod matrix;
 pub mod optimality;
 
-pub use error::SpannerError;
+pub use algorithm::{
+    Provenance, RunStats, SpannerAlgorithm, SpannerConfig, SpannerInput, SpannerOutput,
+};
+pub use builder::{Spanner, SpannerBuilder};
+pub use error::{GraphError, SpannerError};
+pub use matrix::{run_matrix, MatrixCell};
+
+#[allow(deprecated)]
 pub use greedy::{greedy_spanner, GreedySpanner};
+#[allow(deprecated)]
 pub use greedy_metric::greedy_spanner_of_metric;

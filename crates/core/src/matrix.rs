@@ -1,0 +1,163 @@
+//! The batch runner: one call evaluates a whole `inputs × algorithms ×
+//! stretches` grid through the unified [`SpannerAlgorithm`] interface.
+//!
+//! This is the shape every comparison in the paper takes — "run many
+//! constructions over many workloads at many stretch targets and tabulate" —
+//! extracted so the experiments binary, tests and future parallel drivers
+//! share one implementation. Cells are produced in a deterministic
+//! row-major order (inputs outermost, stretches innermost), so the grid can
+//! be chunked and distributed later without changing per-cell semantics.
+
+use crate::algorithm::{SpannerAlgorithm, SpannerConfig, SpannerInput, SpannerOutput};
+use crate::analysis::{evaluate, SpannerReport};
+use crate::error::SpannerError;
+
+/// One cell of the run grid: which (input, algorithm, stretch) combination,
+/// and what came out of it.
+#[derive(Debug)]
+pub struct MatrixCell {
+    /// Name of the input workload, as supplied to [`run_matrix`].
+    pub input: String,
+    /// Algorithm name.
+    pub algorithm: String,
+    /// The stretch target this cell ran with.
+    pub stretch: f64,
+    /// The construction result; `Err` carries per-cell failures (a failing
+    /// cell never aborts the rest of the grid).
+    pub output: Result<SpannerOutput, SpannerError>,
+    /// Quality report against the input's reference graph, for successful
+    /// cells.
+    pub report: Option<SpannerReport>,
+}
+
+impl MatrixCell {
+    /// Returns `true` if this cell built a spanner.
+    pub fn succeeded(&self) -> bool {
+        self.output.is_ok()
+    }
+}
+
+/// Runs every algorithm on every input at every stretch target.
+///
+/// Combinations an algorithm does not support (per
+/// [`SpannerAlgorithm::supports`]) are skipped — they produce no cell, since
+/// "Θ-graphs cannot consume abstract metrics" is a property of the grid, not
+/// a failure of a run. Real failures (invalid parameters, construction
+/// errors) are recorded in the cell's `output`.
+///
+/// `base_config` supplies the non-stretch parameters (seed, cones, hub, …);
+/// each cell derives its config via stretch substitution, with `epsilon` and
+/// `k` cleared so they re-derive from the cell's stretch.
+pub fn run_matrix(
+    inputs: &[(&str, SpannerInput<'_>)],
+    algorithms: &[Box<dyn SpannerAlgorithm>],
+    stretches: &[f64],
+    base_config: &SpannerConfig,
+) -> Vec<MatrixCell> {
+    let mut cells = Vec::new();
+    for (input_name, input) in inputs {
+        let reference = input.reference_graph();
+        // Metric inputs get their complete distance graph materialized once
+        // here and shared by every (algorithm, stretch) cell, instead of
+        // being re-derived O(n²)-style inside each build.
+        let prepared = match (input.as_euclidean2(), input.as_metric()) {
+            (Some(space), _) => SpannerInput::prepared_euclidean2(space, &reference),
+            (None, Some(space)) => SpannerInput::Prepared {
+                space,
+                complete: &reference,
+                euclidean2: None,
+            },
+            (None, None) => *input,
+        };
+        for algorithm in algorithms {
+            if !algorithm.supports(input) {
+                continue;
+            }
+            for &stretch in stretches {
+                let config = SpannerConfig {
+                    stretch,
+                    epsilon: None,
+                    k: None,
+                    ..base_config.clone()
+                };
+                let output = algorithm.build(&prepared, &config);
+                let report = output
+                    .as_ref()
+                    .ok()
+                    .map(|out| evaluate(&reference, &out.spanner, stretch));
+                cells.push(MatrixCell {
+                    input: (*input_name).to_owned(),
+                    algorithm: algorithm.name().to_owned(),
+                    stretch,
+                    output,
+                    report,
+                });
+            }
+        }
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::registry;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use spanner_graph::generators::erdos_renyi_connected;
+    use spanner_metric::generators::uniform_points;
+
+    #[test]
+    fn grid_covers_supported_combinations_only() {
+        let mut rng = SmallRng::seed_from_u64(31);
+        let g = erdos_renyi_connected(25, 0.3, 1.0..5.0, &mut rng);
+        let points = uniform_points::<2, _>(25, &mut rng);
+        let inputs = [
+            ("er-graph", SpannerInput::from(&g)),
+            ("uniform-2d", SpannerInput::from(&points)),
+        ];
+        let algorithms = registry();
+        let stretches = [1.5, 3.0];
+        let cells = run_matrix(&inputs, &algorithms, &stretches, &SpannerConfig::default());
+
+        // Graph input: greedy, baswana-sen, mst → 3 algorithms × 2 stretches.
+        // Point input: all 8 algorithms × 2 stretches.
+        assert_eq!(cells.len(), (3 + 8) * 2);
+        assert!(cells.iter().all(MatrixCell::succeeded));
+        // Cells carry reports, and guaranteed-stretch algorithms meet them.
+        for cell in &cells {
+            let report = cell
+                .report
+                .as_ref()
+                .expect("successful cells carry reports");
+            let out = cell.output.as_ref().unwrap();
+            if let Some(bound) = out.provenance.guaranteed_stretch {
+                assert!(
+                    report.max_stretch <= bound * (1.0 + 1e-9) + 1e-12,
+                    "{} on {} at t={}: {} > {bound}",
+                    cell.algorithm,
+                    cell.input,
+                    cell.stretch,
+                    report.max_stretch
+                );
+            }
+        }
+        // Deterministic row-major order: inputs outermost.
+        assert!(cells[..6].iter().all(|c| c.input == "er-graph"));
+        assert!(cells[6..].iter().all(|c| c.input == "uniform-2d"));
+    }
+
+    #[test]
+    fn per_cell_failures_do_not_abort_the_grid() {
+        let points = uniform_points::<2, _>(10, &mut SmallRng::seed_from_u64(32));
+        let inputs = [("pts", SpannerInput::from(&points))];
+        let algorithms = registry();
+        // Stretch 0.5 is invalid for stretch-driven algorithms; the grid
+        // must still produce cells for every supported combination.
+        let cells = run_matrix(&inputs, &algorithms, &[0.5], &SpannerConfig::default());
+        assert_eq!(cells.len(), 8);
+        assert!(cells.iter().any(|c| !c.succeeded()));
+        // The baselines without stretch parameters still succeed.
+        assert!(cells.iter().any(|c| c.algorithm == "mst" && c.succeeded()));
+    }
+}

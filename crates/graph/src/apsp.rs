@@ -150,7 +150,14 @@ mod tests {
     fn triangle_inequality_holds() {
         let g = WeightedGraph::from_edges(
             5,
-            [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 1.5), (3, 4, 1.0), (0, 4, 9.0), (1, 3, 2.2)],
+            [
+                (0, 1, 1.0),
+                (1, 2, 2.0),
+                (2, 3, 1.5),
+                (3, 4, 1.0),
+                (0, 4, 9.0),
+                (1, 3, 2.2),
+            ],
         )
         .unwrap();
         let m = all_pairs_shortest_paths(&g);

@@ -87,7 +87,7 @@ impl GraphBuilder {
                     .or_insert(w);
             }
             edges = best.into_iter().map(|((u, v), w)| (u, v, w)).collect();
-            edges.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+            edges.sort_by_key(|a| (a.0, a.1));
         }
         let mut g = WeightedGraph::new(self.num_vertices);
         for (u, v, w) in edges {
@@ -121,7 +121,9 @@ mod tests {
     #[test]
     fn dedup_keeps_lightest_parallel_edge() {
         let mut b = GraphBuilder::new(2);
-        b.add_edge(0, 1, 3.0).add_edge(1, 0, 1.0).add_edge(0, 1, 2.0);
+        b.add_edge(0, 1, 3.0)
+            .add_edge(1, 0, 1.0)
+            .add_edge(0, 1, 2.0);
         b.dedup_parallel(true);
         let g = b.build().unwrap();
         assert_eq!(g.num_edges(), 1);

@@ -150,11 +150,31 @@ pub fn bounded_distance(
     target: VertexId,
     bound: f64,
 ) -> Option<f64> {
-    let tree = run_dijkstra(graph, source, Some(target), bound);
-    match tree.distance(target) {
+    bounded_distance_with_frontier(graph, source, target, bound).0
+}
+
+/// Like [`bounded_distance`], but also reports the peak size of the Dijkstra
+/// frontier (priority-queue length) reached during the search.
+///
+/// The peak frontier is the memory high-water mark of the query; the unified
+/// spanner pipeline reports it per construction so the experiments can compare
+/// the working-set sizes of the distance oracles.
+///
+/// # Panics
+///
+/// Panics if either vertex is out of range.
+pub fn bounded_distance_with_frontier(
+    graph: &WeightedGraph,
+    source: VertexId,
+    target: VertexId,
+    bound: f64,
+) -> (Option<f64>, usize) {
+    let (tree, peak) = run_dijkstra_tracked(graph, source, Some(target), bound);
+    let d = match tree.distance(target) {
         Some(d) if d <= bound => Some(d),
         _ => None,
-    }
+    };
+    (d, peak)
 }
 
 /// Returns every vertex within graph distance `radius` of `source`, together
@@ -188,6 +208,15 @@ fn run_dijkstra(
     target: Option<VertexId>,
     bound: f64,
 ) -> ShortestPathTree {
+    run_dijkstra_tracked(graph, source, target, bound).0
+}
+
+fn run_dijkstra_tracked(
+    graph: &WeightedGraph,
+    source: VertexId,
+    target: Option<VertexId>,
+    bound: f64,
+) -> (ShortestPathTree, usize) {
     let n = graph.num_vertices();
     assert!(source.index() < n, "source vertex out of range");
     if let Some(t) = target {
@@ -198,7 +227,11 @@ fn run_dijkstra(
     let mut settled = vec![false; n];
     let mut heap = BinaryHeap::new();
     dist[source.index()] = 0.0;
-    heap.push(HeapEntry { dist: 0.0, vertex: source });
+    heap.push(HeapEntry {
+        dist: 0.0,
+        vertex: source,
+    });
+    let mut peak_frontier = 1usize;
 
     while let Some(HeapEntry { dist: d, vertex: u }) = heap.pop() {
         if settled[u.index()] {
@@ -219,12 +252,23 @@ fn run_dijkstra(
             if nd < dist[v.index()] {
                 dist[v.index()] = nd;
                 parent[v.index()] = Some(u);
-                heap.push(HeapEntry { dist: nd, vertex: v });
+                heap.push(HeapEntry {
+                    dist: nd,
+                    vertex: v,
+                });
+                peak_frontier = peak_frontier.max(heap.len());
             }
         }
     }
 
-    ShortestPathTree { source, dist, parent }
+    (
+        ShortestPathTree {
+            source,
+            dist,
+            parent,
+        },
+        peak_frontier,
+    )
 }
 
 #[cfg(test)]
@@ -261,7 +305,13 @@ mod tests {
     fn unreachable_vertex_is_error() {
         let g = WeightedGraph::from_edges(3, [(0, 1, 1.0)]).unwrap();
         let err = shortest_path_distance(&g, VertexId(0), VertexId(2)).unwrap_err();
-        assert_eq!(err, GraphError::NoPath { source: 0, target: 2 });
+        assert_eq!(
+            err,
+            GraphError::NoPath {
+                source: 0,
+                target: 2
+            }
+        );
         assert!(shortest_path(&g, VertexId(0), VertexId(2)).is_err());
     }
 
@@ -337,8 +387,8 @@ mod tests {
             }
             // Brute-force Floyd–Warshall.
             let mut d = vec![vec![f64::INFINITY; n]; n];
-            for i in 0..n {
-                d[i][i] = 0.0;
+            for (i, row) in d.iter_mut().enumerate() {
+                row[i] = 0.0;
             }
             for e in g.edges() {
                 let (a, b) = (e.u.index(), e.v.index());
@@ -356,10 +406,9 @@ mod tests {
                     }
                 }
             }
-            for s in 0..n {
+            for (s, row) in d.iter().enumerate() {
                 let t = shortest_path_tree(&g, VertexId(s));
-                for v in 0..n {
-                    let expected = d[s][v];
+                for (v, &expected) in row.iter().enumerate() {
                     match t.distance(VertexId(v)) {
                         Some(got) => assert!((got - expected).abs() < 1e-9),
                         None => assert!(expected.is_infinite()),

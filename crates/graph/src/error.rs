@@ -39,7 +39,10 @@ pub enum GraphError {
 impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            GraphError::VertexOutOfRange { vertex, num_vertices } => write!(
+            GraphError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => write!(
                 f,
                 "vertex index {vertex} out of range for graph with {num_vertices} vertices"
             ),
@@ -67,17 +70,25 @@ mod tests {
     #[test]
     fn display_is_nonempty_and_lowercase() {
         let errors = [
-            GraphError::VertexOutOfRange { vertex: 7, num_vertices: 3 },
+            GraphError::VertexOutOfRange {
+                vertex: 7,
+                num_vertices: 3,
+            },
             GraphError::InvalidWeight { weight: -1.0 },
             GraphError::SelfLoop { vertex: 2 },
             GraphError::Disconnected,
-            GraphError::NoPath { source: 0, target: 5 },
+            GraphError::NoPath {
+                source: 0,
+                target: 5,
+            },
             GraphError::EmptyGraph,
         ];
         for e in errors {
             let s = e.to_string();
             assert!(!s.is_empty());
-            assert!(s.chars().next().unwrap().is_lowercase() || s.chars().next().unwrap().is_numeric());
+            assert!(
+                s.chars().next().unwrap().is_lowercase() || s.chars().next().unwrap().is_numeric()
+            );
         }
     }
 

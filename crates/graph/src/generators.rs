@@ -96,7 +96,9 @@ pub fn random_geometric<R: Rng + ?Sized>(
     radius: f64,
     rng: &mut R,
 ) -> (WeightedGraph, Vec<[f64; 2]>) {
-    let points: Vec<[f64; 2]> = (0..n).map(|_| [rng.gen::<f64>(), rng.gen::<f64>()]).collect();
+    let points: Vec<[f64; 2]> = (0..n)
+        .map(|_| [rng.gen::<f64>(), rng.gen::<f64>()])
+        .collect();
     let mut g = WeightedGraph::new(n);
     for u in 0..n {
         for v in (u + 1)..n {
@@ -406,8 +408,11 @@ mod tests {
         let mut r = rng();
         for min_girth in [4usize, 5, 6] {
             let g = high_girth_graph(40, min_girth, 1.0, &mut r);
-            assert!(girth(&g).map_or(true, |gi| gi >= min_girth));
-            assert!(g.num_edges() >= 39, "should at least contain a spanning structure");
+            assert!(girth(&g).is_none_or(|gi| gi >= min_girth));
+            assert!(
+                g.num_edges() >= 39,
+                "should at least contain a spanning structure"
+            );
         }
     }
 }

@@ -36,7 +36,7 @@ pub fn girth(graph: &WeightedGraph) -> Option<usize> {
                     // Found a cycle through `start` (or at least a cycle whose
                     // length is bounded below by this estimate).
                     let cycle_len = dist[u.index()] + dist[v.index()] + 1;
-                    if best.map_or(true, |b| cycle_len < b) {
+                    if best.is_none_or(|b| cycle_len < b) {
                         best = Some(cycle_len);
                     }
                 }
@@ -101,7 +101,13 @@ mod tests {
     fn square_plus_diagonal_has_girth_three() {
         let g = WeightedGraph::from_edges(
             4,
-            [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0), (0, 2, 1.0)],
+            [
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (2, 3, 1.0),
+                (3, 0, 1.0),
+                (0, 2, 1.0),
+            ],
         )
         .unwrap();
         assert_eq!(girth(&g), Some(3));

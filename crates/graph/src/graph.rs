@@ -83,7 +83,10 @@ impl Edge {
         } else if x == self.v {
             self.u
         } else {
-            panic!("vertex {x} is not an endpoint of edge ({}, {})", self.u, self.v)
+            panic!(
+                "vertex {x} is not an endpoint of edge ({}, {})",
+                self.u, self.v
+            )
         }
     }
 
@@ -388,7 +391,10 @@ mod tests {
     fn rejects_out_of_range_vertex() {
         let mut g = WeightedGraph::new(2);
         let err = g.try_add_edge(VertexId(0), VertexId(5), 1.0).unwrap_err();
-        assert!(matches!(err, GraphError::VertexOutOfRange { vertex: 5, .. }));
+        assert!(matches!(
+            err,
+            GraphError::VertexOutOfRange { vertex: 5, .. }
+        ));
     }
 
     #[test]
@@ -407,11 +413,8 @@ mod tests {
 
     #[test]
     fn edges_by_weight_is_sorted_and_deterministic() {
-        let g = WeightedGraph::from_edges(
-            4,
-            [(0, 1, 2.0), (1, 2, 1.0), (2, 3, 2.0), (0, 3, 0.5)],
-        )
-        .unwrap();
+        let g = WeightedGraph::from_edges(4, [(0, 1, 2.0), (1, 2, 1.0), (2, 3, 2.0), (0, 3, 0.5)])
+            .unwrap();
         let order = g.edges_by_weight();
         let weights: Vec<f64> = order.iter().map(|&e| g.edge(e).weight).collect();
         assert_eq!(weights, vec![0.5, 1.0, 2.0, 2.0]);

@@ -84,7 +84,10 @@ mod tests {
 
     #[test]
     fn closure_of_empty_graph_fails() {
-        assert_eq!(metric_closure(&WeightedGraph::new(0)), Err(GraphError::EmptyGraph));
+        assert_eq!(
+            metric_closure(&WeightedGraph::new(0)),
+            Err(GraphError::EmptyGraph)
+        );
     }
 
     #[test]
@@ -93,7 +96,13 @@ mod tests {
         // the MST of the original graph.
         let g = WeightedGraph::from_edges(
             5,
-            [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 1.5), (3, 4, 1.0), (0, 4, 9.0)],
+            [
+                (0, 1, 1.0),
+                (1, 2, 2.0),
+                (2, 3, 1.5),
+                (3, 4, 1.0),
+                (0, 4, 9.0),
+            ],
         )
         .unwrap();
         let c = metric_closure(&g).unwrap();

@@ -109,7 +109,11 @@ pub fn prim(graph: &WeightedGraph) -> SpanningForest {
         in_tree[start] = true;
         let mut heap = BinaryHeap::new();
         for &(v, e) in graph.neighbors(VertexId(start)) {
-            heap.push(PrimEntry { weight: graph.edge(e).weight, edge: e, to: v });
+            heap.push(PrimEntry {
+                weight: graph.edge(e).weight,
+                edge: e,
+                to: v,
+            });
         }
         while let Some(PrimEntry { weight, edge, to }) = heap.pop() {
             if in_tree[to.index()] {
@@ -120,13 +124,21 @@ pub fn prim(graph: &WeightedGraph) -> SpanningForest {
             total_weight += weight;
             for &(v, e) in graph.neighbors(to) {
                 if !in_tree[v.index()] {
-                    heap.push(PrimEntry { weight: graph.edge(e).weight, edge: e, to: v });
+                    heap.push(PrimEntry {
+                        weight: graph.edge(e).weight,
+                        edge: e,
+                        to: v,
+                    });
                 }
             }
         }
     }
 
-    SpanningForest { edges, total_weight, num_components }
+    SpanningForest {
+        edges,
+        total_weight,
+        num_components,
+    }
 }
 
 /// Weight of a minimum spanning forest of `graph`.
@@ -164,7 +176,13 @@ mod tests {
         // 0-1-2-3-0 cycle of weight 1 each plus a heavy diagonal.
         WeightedGraph::from_edges(
             4,
-            [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0), (0, 2, 10.0)],
+            [
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (2, 3, 1.0),
+                (3, 0, 1.0),
+                (0, 2, 10.0),
+            ],
         )
         .unwrap()
     }
@@ -214,7 +232,7 @@ mod tests {
         // Dropping an edge breaks it.
         assert!(!is_spanning_tree(&g, &tree[..2]));
         // The first three cycle edges form a path, hence a valid spanning tree.
-        let cyc: Vec<Edge> = g.edges()[..4].iter().copied().collect();
+        let cyc: Vec<Edge> = g.edges()[..4].to_vec();
         assert!(is_spanning_tree(&g, &cyc[..3]));
         // All four cycle edges have the wrong cardinality (and a cycle).
         assert!(!is_spanning_tree(&g, &cyc));

@@ -49,7 +49,11 @@ pub fn summarize_with_mst(subgraph: &WeightedGraph, reference_mst_weight: f64) -
         total_weight,
         lightness,
         max_degree: subgraph.max_degree(),
-        average_degree: if n > 0 { 2.0 * m as f64 / n as f64 } else { 0.0 },
+        average_degree: if n > 0 {
+            2.0 * m as f64 / n as f64
+        } else {
+            0.0
+        },
     }
 }
 

@@ -86,7 +86,10 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(1);
         let d = estimate_doubling_dimension(&s, 10, &mut rng);
         assert!(d > 0.0);
-        assert!(d <= 3.0, "1-D line should have tiny doubling dimension, got {d}");
+        assert!(
+            d <= 3.0,
+            "1-D line should have tiny doubling dimension, got {d}"
+        );
     }
 
     #[test]
@@ -114,7 +117,10 @@ mod tests {
             let s = uniform_points_in_cube::<4, _>(200, 1.0, &mut rng);
             estimate_doubling_dimension(&s, 10, &mut SmallRng::seed_from_u64(6))
         };
-        assert!(d4 >= d2, "R^4 estimate {d4} should be at least R^2 estimate {d2}");
+        assert!(
+            d4 >= d2,
+            "R^4 estimate {d4} should be at least R^2 estimate {d2}"
+        );
     }
 
     #[test]

@@ -57,10 +57,10 @@ impl MetricSpace for GraphMetric {
 mod tests {
     use super::*;
     use crate::space::validate_metric_axioms;
-    use spanner_graph::generators::erdos_renyi_connected;
-    use spanner_graph::WeightedGraph;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
+    use spanner_graph::generators::erdos_renyi_connected;
+    use spanner_graph::WeightedGraph;
 
     #[test]
     fn induced_metric_uses_shortest_paths() {

@@ -43,7 +43,7 @@ pub fn greedy_net<M: MetricSpace + ?Sized>(metric: &M, radius: f64, candidates: 
         let mut nearest: Option<(usize, f64)> = None;
         for (ci, &c) in centers.iter().enumerate() {
             let d = metric.distance(p, c);
-            if nearest.map_or(true, |(_, bd)| d < bd) {
+            if nearest.is_none_or(|(_, bd)| d < bd) {
                 nearest = Some((ci, d));
             }
         }
@@ -55,7 +55,11 @@ pub fn greedy_net<M: MetricSpace + ?Sized>(metric: &M, radius: f64, candidates: 
             }
         }
     }
-    Net { radius, centers, assignment }
+    Net {
+        radius,
+        centers,
+        assignment,
+    }
 }
 
 /// One level of a [`NetHierarchy`].
@@ -213,7 +217,12 @@ mod tests {
             // Coarser centers are a subset of finer centers.
             assert!(coarse.centers.iter().all(|c| fine.centers.contains(c)));
             // Valid net of the finer level at the recorded radius.
-            assert!(is_valid_net(&s, coarse.radius, &coarse.centers, &fine.centers));
+            assert!(is_valid_net(
+                &s,
+                coarse.radius,
+                &coarse.centers,
+                &fine.centers
+            ));
             // Parent pointers cover every finer center.
             assert_eq!(coarse.parent_of_previous.len(), fine.centers.len());
             for (k, &p) in coarse.parent_of_previous.iter().enumerate() {

@@ -53,7 +53,10 @@ impl<const D: usize> SplitTree<D> {
     /// Duplicate points are tolerated (ties are broken by index), and the
     /// empty space yields a tree with no nodes.
     pub fn build(space: &EuclideanSpace<D>) -> Self {
-        let mut tree = SplitTree { nodes: Vec::new(), root: None };
+        let mut tree = SplitTree {
+            nodes: Vec::new(),
+            root: None,
+        };
         if space.is_empty() {
             return tree;
         }
@@ -67,7 +70,13 @@ impl<const D: usize> SplitTree<D> {
         let (lo, hi) = bounding_box(space, &points);
         let representative = points[0];
         if points.len() == 1 {
-            self.nodes.push(SplitNode { points, lo, hi, children: None, representative });
+            self.nodes.push(SplitNode {
+                points,
+                lo,
+                hi,
+                children: None,
+                representative,
+            });
             return self.nodes.len() - 1;
         }
         // Split along the longest side at the midpoint; fall back to a median
@@ -311,7 +320,11 @@ mod tests {
         }
         for i in 0..40 {
             for j in (i + 1)..40 {
-                assert_eq!(cover.get(&(i, j)).copied().unwrap_or(0), 1, "pair ({i},{j})");
+                assert_eq!(
+                    cover.get(&(i, j)).copied().unwrap_or(0),
+                    1,
+                    "pair ({i},{j})"
+                );
             }
         }
     }

@@ -1,0 +1,226 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace ships
+//! a minimal wall-clock harness behind the subset of the criterion 0.5 API
+//! the benches use: `Criterion::benchmark_group`, `BenchmarkGroup`
+//! (`sample_size`, `bench_function`, `bench_with_input`, `finish`),
+//! `BenchmarkId`, `black_box` and the `criterion_group!`/`criterion_main!`
+//! macros.
+//!
+//! Behavior mirrors criterion's two modes:
+//!
+//! * invoked by `cargo bench` (argv contains `--bench`): each benchmark is
+//!   warmed up once and then timed for `sample_size` iterations; min / mean /
+//!   max per-iteration times are printed.
+//! * invoked any other way (plain run, `cargo test --benches`): each
+//!   benchmark body runs exactly once so its assertions are exercised, but
+//!   nothing is timed.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of a parameterized benchmark (`function_name/parameter`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iterations: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `routine` for the configured number of iterations, timing each.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One untimed warmup iteration.
+        black_box(routine());
+        for _ in 0..self.iterations {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark with no explicit input.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.id, |b| f(b));
+        self
+    }
+
+    /// Runs a benchmark over a borrowed input value.
+    pub fn bench_with_input<I, Inp, F>(&mut self, id: I, input: &Inp, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        Inp: ?Sized,
+        F: FnMut(&mut Bencher, &Inp),
+    {
+        let id = id.into();
+        self.run(&id.id, |b| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: &str, mut body: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id);
+        let iterations = if self.criterion.measure {
+            self.sample_size
+        } else {
+            0
+        };
+        let mut bencher = Bencher {
+            iterations,
+            samples: Vec::new(),
+        };
+        body(&mut bencher);
+        if !self.criterion.measure {
+            println!("{full}: ok (test mode, 1 iteration)");
+            return;
+        }
+        let n = bencher.samples.len().max(1);
+        let total: Duration = bencher.samples.iter().sum();
+        let min = bencher.samples.iter().min().copied().unwrap_or_default();
+        let max = bencher.samples.iter().max().copied().unwrap_or_default();
+        println!(
+            "{full}: {} samples, min {:?}, mean {:?}, max {:?}",
+            bencher.samples.len(),
+            min,
+            total / n as u32,
+            max
+        );
+    }
+
+    /// Finishes the group (printing is immediate, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Top-level harness state (subset of criterion's `Criterion`).
+pub struct Criterion {
+    measure: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench invokes bench binaries with `--bench`; anything else
+        // (cargo test, plain runs) gets the fast single-iteration mode.
+        let measure = std::env::args().any(|a| a == "--bench");
+        Criterion { measure }
+    }
+}
+
+impl Criterion {
+    /// Starts a new benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: 10,
+        }
+    }
+}
+
+/// Declares a group function that runs each listed benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares a `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 10).id, "f/10");
+        assert_eq!(BenchmarkId::from("plain").id, "plain");
+    }
+
+    #[test]
+    fn test_mode_runs_body_once() {
+        let mut criterion = Criterion { measure: false };
+        let mut group = criterion.benchmark_group("g");
+        let mut runs = 0;
+        group.bench_function("count", |b| {
+            b.iter(|| runs += 1);
+        });
+        group.finish();
+        assert_eq!(runs, 1, "test mode must run the warmup iteration only");
+    }
+
+    #[test]
+    fn measure_mode_runs_sample_size_iterations() {
+        let mut criterion = Criterion { measure: true };
+        let mut group = criterion.benchmark_group("g");
+        group.sample_size(5);
+        let mut runs = 0;
+        group.bench_with_input("count", &3usize, |b, &_x| {
+            b.iter(|| runs += 1);
+        });
+        group.finish();
+        assert_eq!(runs, 6, "5 timed + 1 warmup");
+    }
+}

@@ -5,8 +5,6 @@
 //!
 //! Run with `cargo run --release --example doubling_points`.
 
-use std::time::Instant;
-
 use greedy_spanner_suite::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -23,17 +21,18 @@ fn main() -> Result<(), SpannerError> {
 
     let complete = points.to_complete_graph();
 
-    let start = Instant::now();
-    let exact = greedy_spanner_of_metric(&points, 1.0 + eps)?;
-    let exact_time = start.elapsed();
+    let exact = Spanner::greedy().stretch(1.0 + eps).build(&points)?;
+    let exact_time = exact.stats.wall_time;
     let exact_report = evaluate(&complete, &exact.spanner, 1.0 + eps);
 
-    let start = Instant::now();
-    let approx = approximate_greedy_spanner(&points, eps)?;
-    let approx_time = start.elapsed();
+    let approx = Spanner::approx_greedy().epsilon(eps).build(&points)?;
+    let approx_time = approx.stats.wall_time;
     let approx_report = evaluate(&complete, &approx.spanner, 1.0 + eps);
 
-    println!("\n{:<18} {:>8} {:>10} {:>11} {:>12} {:>12}", "construction", "edges", "lightness", "max degree", "stretch", "time");
+    println!(
+        "\n{:<18} {:>8} {:>10} {:>11} {:>12} {:>12}",
+        "construction", "edges", "lightness", "max degree", "stretch", "time"
+    );
     println!(
         "{:<18} {:>8} {:>10.3} {:>11} {:>12.3} {:>9.0} ms",
         "exact greedy",

@@ -6,8 +6,8 @@
 //!
 //! Run with `cargo run --release --example existential_optimality`.
 
-use greedy_spanner_suite::prelude::*;
 use greedy_spanner::optimality::{figure_one_instance, is_own_unique_spanner};
+use greedy_spanner_suite::prelude::*;
 
 fn main() -> Result<(), SpannerError> {
     let epsilon = 0.1;
@@ -17,13 +17,13 @@ fn main() -> Result<(), SpannerError> {
     );
     println!("combined graph: {} edges", inst.graph.num_edges());
 
-    let greedy = greedy_spanner(&inst.graph, 3.0)?;
-    let report = evaluate(&inst.graph, greedy.spanner(), 3.0);
+    let greedy = Spanner::greedy().stretch(3.0).build(&inst.graph)?;
+    let report = evaluate(&inst.graph, &greedy.spanner, 3.0);
     println!("\ngreedy 3-spanner:");
     println!("  edges           : {}", report.summary.num_edges);
     println!(
         "  Petersen edges  : {} of 15",
-        inst.count_h_edges_in(greedy.spanner())
+        inst.count_h_edges_in(&greedy.spanner)
     );
     println!("  weight          : {:.2}", report.summary.total_weight);
     println!("  measured stretch: {:.3}", report.max_stretch);
@@ -38,7 +38,7 @@ fn main() -> Result<(), SpannerError> {
     );
 
     // Lemma 3 in action: the greedy spanner admits no proper sub-spanner.
-    let unique = is_own_unique_spanner(greedy.spanner(), 3.0)?;
+    let unique = is_own_unique_spanner(&greedy.spanner, 3.0)?;
     println!("greedy spanner is its own unique 3-spanner (Lemma 3): {unique}");
     assert!(unique);
     Ok(())

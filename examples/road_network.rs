@@ -22,9 +22,9 @@ fn main() -> Result<(), SpannerError> {
     );
 
     for t in [1.1, 1.5, 3.0] {
-        let overlay = greedy_spanner(&city, t)?;
-        let report = evaluate(&city, overlay.spanner(), t);
-        let hist = degree_histogram(overlay.spanner());
+        let overlay = Spanner::greedy().stretch(t).build(&city)?;
+        let report = evaluate(&city, &overlay.spanner, t);
+        let hist = degree_histogram(&overlay.spanner);
         let routing_table_avg = report.summary.average_degree;
         println!(
             "\ngreedy {t}-spanner overlay: {} segments kept ({:.1}% of the network)",
@@ -33,7 +33,10 @@ fn main() -> Result<(), SpannerError> {
         );
         println!(
             "  lightness {:.3}, worst detour factor {:.3}, avg routing-table size {:.2}, max {}",
-            report.summary.lightness, report.max_stretch, routing_table_avg, report.summary.max_degree
+            report.summary.lightness,
+            report.max_stretch,
+            routing_table_avg,
+            report.summary.max_degree
         );
         println!("  degree histogram (degree: intersections): {:?}", hist);
         assert!(report.meets_stretch_target());

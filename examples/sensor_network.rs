@@ -45,8 +45,8 @@ fn main() -> Result<(), SpannerError> {
     describe("MST", &network, &mst);
 
     for t in [1.25, 2.0] {
-        let spanner = greedy_spanner(&network, t)?;
-        describe(&format!("greedy {t}-spanner"), &network, spanner.spanner());
+        let spanner = Spanner::greedy().stretch(t).build(&network)?;
+        describe(&format!("greedy {t}-spanner"), &network, &spanner.spanner);
     }
 
     println!(

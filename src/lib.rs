@@ -6,10 +6,14 @@
 //!
 //! * [`graph`] — the weighted-graph substrate (`spanner-graph`).
 //! * [`metric`] — the metric-space substrate (`spanner-metric`).
-//! * [`spanners`] — the greedy / approximate-greedy constructions, baselines
-//!   and analysis (`greedy-spanner`).
+//! * [`spanners`] — the constructions, baselines and analysis
+//!   (`greedy-spanner`), all dispatched through the unified
+//!   [`SpannerAlgorithm`](greedy_spanner::SpannerAlgorithm) pipeline.
 //!
-//! # Example
+//! # Quick start
+//!
+//! Every construction is reached through the fluent [`Spanner`] builder (or
+//! uniformly through `algorithms::registry()`):
 //!
 //! ```
 //! use greedy_spanner_suite::prelude::*;
@@ -17,11 +21,22 @@
 //!
 //! let mut rng = SmallRng::seed_from_u64(7);
 //! let g = spanner_graph::generators::erdos_renyi_connected(40, 0.3, 1.0..4.0, &mut rng);
-//! let spanner = greedy_spanner(&g, 2.0)?.into_spanner();
-//! let report = evaluate(&g, &spanner, 2.0);
+//! let output = Spanner::greedy().stretch(2.0).build(&g)?;
+//! let report = evaluate(&g, &output.spanner, 2.0);
 //! assert!(report.meets_stretch_target());
+//! assert_eq!(output.provenance.algorithm, "greedy");
 //! # Ok::<(), greedy_spanner::SpannerError>(())
 //! ```
+//!
+//! # Migrating from the pre-0.2 free functions
+//!
+//! `greedy_spanner(&g, t)`, `greedy_spanner_of_metric(&m, t)`,
+//! `approximate_greedy_spanner(&m, eps)` and the `baselines::*` constructors
+//! are deprecated shims for one release; see the migration table in the
+//! [`greedy_spanner`](spanners) crate docs. In short:
+//! `Spanner::<algorithm>()` + config setters + `.build(&input)` replaces each
+//! free function, and [`SpannerOutput`](greedy_spanner::SpannerOutput)
+//! replaces the per-construction result structs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,11 +47,21 @@ pub use spanner_metric as metric;
 
 /// Commonly used items, re-exported for convenient glob imports.
 pub mod prelude {
+    pub use greedy_spanner::algorithms::registry;
     pub use greedy_spanner::analysis::{evaluate, is_t_spanner, lightness, SpannerReport};
-    pub use greedy_spanner::approx_greedy::{approximate_greedy_spanner, ApproxGreedySpanner};
-    pub use greedy_spanner::greedy::{greedy_spanner, GreedySpanner};
-    pub use greedy_spanner::greedy_metric::greedy_spanner_of_metric;
-    pub use greedy_spanner::SpannerError;
+    pub use greedy_spanner::{
+        run_matrix, MatrixCell, Provenance, RunStats, Spanner, SpannerAlgorithm, SpannerBuilder,
+        SpannerConfig, SpannerError, SpannerInput, SpannerOutput,
+    };
     pub use spanner_graph::{GraphBuilder, VertexId, WeightedGraph};
     pub use spanner_metric::{EuclideanSpace, MetricSpace, Point};
+
+    // Deprecated shims, re-exported for one release so downstream code
+    // migrates on its own schedule.
+    #[allow(deprecated)]
+    pub use greedy_spanner::approx_greedy::{approximate_greedy_spanner, ApproxGreedySpanner};
+    #[allow(deprecated)]
+    pub use greedy_spanner::greedy::{greedy_spanner, GreedySpanner};
+    #[allow(deprecated)]
+    pub use greedy_spanner::greedy_metric::greedy_spanner_of_metric;
 }

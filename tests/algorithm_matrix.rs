@@ -1,0 +1,123 @@
+//! Satellite coverage for the unified pipeline: every `registry()` algorithm
+//! runs on a seeded Erdős–Rényi graph and on a doubling metric (clustered
+//! planar points), and `analysis::evaluate` confirms each construction's
+//! stretch guarantee on both.
+
+use greedy_spanner::algorithms::registry;
+use greedy_spanner::analysis::evaluate;
+use greedy_spanner::{run_matrix, SpannerConfig, SpannerError, SpannerInput};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use spanner_graph::generators::erdos_renyi_connected;
+use spanner_metric::generators::clustered_points;
+
+#[test]
+fn every_registry_algorithm_meets_its_stretch_target_on_both_input_kinds() {
+    let mut rng = SmallRng::seed_from_u64(20160722);
+    let graph = erdos_renyi_connected(60, 0.2, 1.0..10.0, &mut rng);
+    // Clustered planar points: a doubling metric (ddim ≈ 2).
+    let doubling = clustered_points::<2, _>(60, 4, 0.05, &mut rng);
+
+    let inputs = [
+        ("er-graph", SpannerInput::from(&graph)),
+        ("doubling-metric", SpannerInput::from(&doubling)),
+    ];
+    let config = SpannerConfig {
+        stretch: 3.0,
+        seed: 11,
+        ..SpannerConfig::default()
+    };
+
+    for (input_name, input) in &inputs {
+        let reference = input.reference_graph();
+        for algorithm in registry() {
+            if !algorithm.supports(input) {
+                // Unsupported pairs must fail loudly, not silently succeed.
+                assert!(
+                    matches!(
+                        algorithm.build(input, &config),
+                        Err(SpannerError::Unsupported { .. })
+                    ),
+                    "{} on {input_name}",
+                    algorithm.name()
+                );
+                continue;
+            }
+            let out = algorithm
+                .build(input, &config)
+                .unwrap_or_else(|e| panic!("{} on {input_name}: {e}", algorithm.name()));
+            // `evaluate` must certify the guarantee the algorithm claims for
+            // this config (the trivial baselines claim none; for them the
+            // spanner must still span).
+            match algorithm.guaranteed_stretch(&config) {
+                Some(target) => {
+                    let report = evaluate(&reference, &out.spanner, target);
+                    assert!(
+                        report.meets_stretch_target(),
+                        "{} on {input_name}: measured {} > target {target}",
+                        algorithm.name(),
+                        report.max_stretch
+                    );
+                }
+                None => {
+                    assert!(
+                        spanner_graph::connectivity::is_connected(&out.spanner),
+                        "{} on {input_name} must span",
+                        algorithm.name()
+                    );
+                }
+            }
+            // Uniform bookkeeping holds everywhere.
+            assert_eq!(out.provenance.algorithm, algorithm.name());
+            assert_eq!(out.provenance.input, input.describe());
+            assert_eq!(out.stats.edges_added, out.spanner.num_edges());
+        }
+    }
+}
+
+#[test]
+fn batch_runner_covers_the_same_grid_in_one_call() {
+    let mut rng = SmallRng::seed_from_u64(31337);
+    let graph = erdos_renyi_connected(40, 0.25, 1.0..5.0, &mut rng);
+    let doubling = clustered_points::<2, _>(40, 3, 0.05, &mut rng);
+    let inputs = [
+        ("er-graph", SpannerInput::from(&graph)),
+        ("doubling-metric", SpannerInput::from(&doubling)),
+    ];
+    let algorithms = registry();
+    let stretches = [1.5, 2.0, 3.0];
+    let cells = run_matrix(&inputs, &algorithms, &stretches, &SpannerConfig::default());
+
+    // Both input kinds appear, every cell succeeds, and every reported
+    // guarantee is certified by the attached evaluation report.
+    assert!(cells.iter().any(|c| c.input == "er-graph"));
+    assert!(cells.iter().any(|c| c.input == "doubling-metric"));
+    for cell in &cells {
+        let out = cell.output.as_ref().unwrap_or_else(|e| {
+            panic!(
+                "{} on {} at t={}: {e}",
+                cell.algorithm, cell.input, cell.stretch
+            )
+        });
+        let report = cell
+            .report
+            .as_ref()
+            .expect("successful cells carry reports");
+        if let Some(bound) = out.provenance.guaranteed_stretch {
+            assert!(
+                report.max_stretch <= bound * (1.0 + 1e-9) + 1e-12,
+                "{} on {} at t={}: {} > {bound}",
+                cell.algorithm,
+                cell.input,
+                cell.stretch,
+                report.max_stretch
+            );
+        }
+    }
+    // The grid is dense: the metric input supports the whole registry.
+    let metric_cells = cells
+        .iter()
+        .filter(|c| c.input == "doubling-metric")
+        .count();
+    assert_eq!(metric_cells, algorithms.len() * stretches.len());
+}

@@ -2,9 +2,8 @@
 //! narrative built around it.
 
 use greedy_spanner::analysis::{evaluate, max_stretch_over_edges};
-use greedy_spanner::greedy::greedy_spanner;
-use greedy_spanner::greedy_metric::greedy_spanner_of_metric;
 use greedy_spanner::optimality::{cage_overlay_instances, figure_one_instance};
+use greedy_spanner::Spanner;
 use spanner_graph::girth::girth;
 use spanner_metric::generators::star_metric;
 
@@ -16,9 +15,9 @@ fn figure_one_numbers_match_the_paper() {
     assert_eq!(inst.graph.num_vertices(), 10);
     assert_eq!(inst.graph.num_edges(), 21);
 
-    let greedy = greedy_spanner(&inst.graph, 3.0).unwrap();
-    assert_eq!(greedy.spanner().num_edges(), 15);
-    assert_eq!(inst.count_h_edges_in(greedy.spanner()), 15);
+    let greedy = Spanner::greedy().stretch(3.0).build(&inst.graph).unwrap();
+    assert_eq!(greedy.spanner.num_edges(), 15);
+    assert_eq!(inst.count_h_edges_in(&greedy.spanner), 15);
     assert_eq!(inst.star_edge_keys.len(), 9);
 
     // The star is indeed a valid 3-spanner of G (t >= 2 + 2ε), and lighter.
@@ -32,10 +31,10 @@ fn figure_one_numbers_match_the_paper() {
         star
     };
     assert!(max_stretch_over_edges(&inst.graph, &star_with_unit_edges) <= 3.0 + 1e-9);
-    assert!(star_with_unit_edges.total_weight() < greedy.spanner().total_weight());
+    assert!(star_with_unit_edges.total_weight() < greedy.spanner.total_weight());
 
     // The greedy spanner's stretch target is still met, of course.
-    let report = evaluate(&inst.graph, greedy.spanner(), 3.0);
+    let report = evaluate(&inst.graph, &greedy.spanner, 3.0);
     assert!(report.meets_stretch_target());
 }
 
@@ -47,13 +46,13 @@ fn cage_overlays_scale_the_same_phenomenon() {
             .filter_edges(|_, e| inst.h_edge_keys.contains(&e.key()));
         let g = girth(&h_only).unwrap();
         let t = (g - 2) as f64;
-        let greedy = greedy_spanner(&inst.graph, t).unwrap();
+        let greedy = Spanner::greedy().stretch(t).build(&inst.graph).unwrap();
         assert_eq!(
-            greedy.spanner().num_edges(),
+            greedy.spanner.num_edges(),
             inst.h_edge_keys.len(),
             "greedy should keep exactly the cage edges for {name}"
         );
-        assert!(inst.star_weight() < greedy.spanner().total_weight());
+        assert!(inst.star_weight() < greedy.spanner.total_weight());
     }
 }
 
@@ -63,7 +62,7 @@ fn degree_blowup_instance_matches_hm06_phenomenon() {
     // n − 1 (Section 5's motivation for the approximate-greedy algorithm).
     for n in [10usize, 40, 120] {
         let metric = star_metric(n);
-        let result = greedy_spanner_of_metric(&metric, 1.5).unwrap();
+        let result = Spanner::greedy().stretch(1.5).build(&metric).unwrap();
         assert_eq!(result.spanner.max_degree(), n - 1);
         assert_eq!(result.spanner.num_edges(), n - 1);
     }

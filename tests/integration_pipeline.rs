@@ -1,14 +1,10 @@
 //! End-to-end integration tests spanning all three member crates:
-//! generators → spanner constructions → analysis.
+//! generators → unified spanner pipeline → analysis.
 
+use greedy_spanner::algorithms::registry;
 use greedy_spanner::analysis::{evaluate, is_t_spanner, lightness, max_stretch_all_pairs};
-use greedy_spanner::approx_greedy::approximate_greedy_spanner;
-use greedy_spanner::baselines::{
-    baswana_sen_spanner, mst_spanner, star_spanner, theta_graph_spanner, wspd_spanner,
-};
-use greedy_spanner::greedy::greedy_spanner;
-use greedy_spanner::greedy_metric::greedy_spanner_of_metric;
 use greedy_spanner::optimality::contains_mst;
+use greedy_spanner::{Spanner, SpannerConfig, SpannerInput};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use spanner_graph::generators::{erdos_renyi_connected, grid_graph, random_geometric_connected};
@@ -21,12 +17,19 @@ fn graph_pipeline_generate_spanner_analyze() {
     let mut rng = SmallRng::seed_from_u64(1);
     let g = erdos_renyi_connected(120, 0.15, 1.0..10.0, &mut rng);
     for t in [1.5, 2.0, 4.0] {
-        let result = greedy_spanner(&g, t).expect("valid stretch");
-        let report = evaluate(&g, result.spanner(), t);
+        let result = Spanner::greedy()
+            .stretch(t)
+            .build(&g)
+            .expect("valid stretch");
+        let report = evaluate(&g, &result.spanner, t);
         assert!(report.meets_stretch_target(), "t = {t}");
-        assert!(contains_mst(&g, result.spanner()));
+        assert!(contains_mst(&g, &result.spanner));
         assert!(report.summary.num_edges <= g.num_edges());
         assert!(report.summary.lightness >= 1.0 - 1e-9);
+        // The pipeline's uniform stats agree with the graph.
+        assert_eq!(result.stats.edges_examined, g.num_edges());
+        assert_eq!(result.stats.edges_added, result.spanner.num_edges());
+        assert!(result.stats.peak_frontier > 0);
     }
 }
 
@@ -34,11 +37,14 @@ fn graph_pipeline_generate_spanner_analyze() {
 fn geometric_graph_pipeline() {
     let mut rng = SmallRng::seed_from_u64(2);
     let (g, _) = random_geometric_connected(150, 0.15, &mut rng);
-    let spanner = greedy_spanner(&g, 2.0).expect("valid stretch");
-    assert!(is_t_spanner(&g, spanner.spanner(), 2.0));
+    let spanner = Spanner::greedy()
+        .stretch(2.0)
+        .build(&g)
+        .expect("valid stretch");
+    assert!(is_t_spanner(&g, &spanner.spanner, 2.0));
     // The spanner of a geometric graph is itself a plausible communication
     // backbone: light and low degree.
-    assert!(lightness(&g, spanner.spanner()) < lightness(&g, &g) + 1e-9);
+    assert!(lightness(&g, &spanner.spanner) < lightness(&g, &g) + 1e-9);
 }
 
 #[test]
@@ -48,17 +54,25 @@ fn grid_pipeline_with_all_baselines_on_induced_metric() {
     let metric = GraphMetric::new(&g).expect("grid is connected");
     let complete = metric.to_complete_graph();
 
-    let greedy = greedy_spanner_of_metric(&metric, 1.5).expect("non-empty");
+    let greedy = Spanner::greedy()
+        .stretch(1.5)
+        .build(&metric)
+        .expect("non-empty");
     assert!(is_t_spanner(&complete, &greedy.spanner, 1.5));
 
-    let bs = baswana_sen_spanner(&complete, 2, &mut rng).expect("valid k");
-    assert!(is_t_spanner(&complete, &bs, 3.0));
+    let bs = Spanner::baswana_sen()
+        .k(2)
+        .seed(3)
+        .build(&complete)
+        .expect("valid k");
+    assert!(is_t_spanner(&complete, &bs.spanner, 3.0));
+    assert_eq!(bs.provenance.guaranteed_stretch, Some(3.0));
 
-    let star = star_spanner(&metric, 0).expect("non-empty");
-    assert_eq!(star.num_edges(), metric.len() - 1);
+    let star = Spanner::star().build(&metric).expect("non-empty");
+    assert_eq!(star.spanner.num_edges(), metric.len() - 1);
 
-    let mst = mst_spanner(&complete);
-    assert!((mst.total_weight() - mst_weight(&complete)).abs() < 1e-9);
+    let mst = Spanner::mst().build(&complete).expect("non-empty");
+    assert!((mst.spanner.total_weight() - mst_weight(&complete)).abs() < 1e-9);
 }
 
 #[test]
@@ -70,9 +84,21 @@ fn euclidean_pipeline_greedy_vs_baselines_shape() {
     let points = uniform_points::<2, _>(150, &mut rng);
     let complete = points.to_complete_graph();
 
-    let greedy = greedy_spanner_of_metric(&points, 1.5).expect("non-empty").spanner;
-    let theta = theta_graph_spanner(&points, 12).expect("valid cones");
-    let wspd = wspd_spanner(&points, 0.5).expect("valid epsilon");
+    let greedy = Spanner::greedy()
+        .stretch(1.5)
+        .build(&points)
+        .expect("non-empty")
+        .into_spanner();
+    let theta = Spanner::theta_graph()
+        .cones(12)
+        .build(&points)
+        .expect("valid cones")
+        .into_spanner();
+    let wspd = Spanner::wspd()
+        .epsilon(0.5)
+        .build(&points)
+        .expect("valid epsilon")
+        .into_spanner();
 
     assert!(greedy.num_edges() <= theta.num_edges());
     assert!(greedy.num_edges() <= wspd.num_edges());
@@ -87,21 +113,84 @@ fn approximate_greedy_pipeline_on_clustered_points() {
     let mut rng = SmallRng::seed_from_u64(5);
     let points = clustered_points::<2, _>(140, 6, 0.03, &mut rng);
     let complete = points.to_complete_graph();
-    let approx = approximate_greedy_spanner(&points, 0.5).expect("non-empty");
+    let approx = Spanner::approx_greedy()
+        .epsilon(0.5)
+        .build(&points)
+        .expect("non-empty");
     assert!(max_stretch_all_pairs(&complete, &approx.spanner) <= 1.5 + 1e-9);
-    assert!(approx.spanner.num_edges() <= approx.base.num_edges());
     // Lightness is finite and not absurd relative to the exact greedy.
-    let exact = greedy_spanner_of_metric(&points, 1.5).expect("non-empty");
+    let exact = Spanner::greedy()
+        .stretch(1.5)
+        .build(&points)
+        .expect("non-empty");
     let ratio = lightness(&complete, &approx.spanner) / lightness(&complete, &exact.spanner);
-    assert!(ratio < 10.0, "approximate-greedy lightness ratio {ratio} too large");
+    assert!(
+        ratio < 10.0,
+        "approximate-greedy lightness ratio {ratio} too large"
+    );
+}
+
+#[test]
+fn whole_registry_runs_on_one_workload() {
+    // The point of the unified pipeline: one loop, every construction.
+    let mut rng = SmallRng::seed_from_u64(6);
+    let points = uniform_points::<2, _>(60, &mut rng);
+    let input = SpannerInput::from(&points);
+    let reference = input.reference_graph();
+    let config = SpannerConfig {
+        stretch: 2.0,
+        seed: 7,
+        ..SpannerConfig::default()
+    };
+    let mut ran = 0;
+    for algorithm in registry() {
+        assert!(algorithm.supports(&input), "{}", algorithm.name());
+        let out = algorithm
+            .build(&input, &config)
+            .unwrap_or_else(|_| panic!("{}", algorithm.name()));
+        assert_eq!(out.spanner.num_vertices(), 60, "{}", algorithm.name());
+        assert!(
+            spanner_graph::connectivity::is_connected(&out.spanner),
+            "{}",
+            algorithm.name()
+        );
+        if let Some(bound) = out.provenance.guaranteed_stretch {
+            assert!(
+                max_stretch_all_pairs(&reference, &out.spanner) <= bound * (1.0 + 1e-9) + 1e-12,
+                "{}",
+                algorithm.name()
+            );
+        }
+        ran += 1;
+    }
+    assert!(ran >= 7, "expected the full registry to run, got {ran}");
 }
 
 #[test]
 fn facade_prelude_is_usable() {
     use greedy_spanner_suite::prelude::*;
     let g = WeightedGraph::from_edges(3, [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 2.5)]).unwrap();
-    let spanner = greedy_spanner(&g, 2.0).unwrap();
-    let report = evaluate(&g, spanner.spanner(), 2.0);
+    let spanner = Spanner::greedy().stretch(2.0).build(&g).unwrap();
+    let report = evaluate(&g, &spanner.spanner, 2.0);
     assert!(report.meets_stretch_target());
-    assert_eq!(spanner.spanner().num_edges(), 2);
+    assert_eq!(spanner.spanner.num_edges(), 2);
+}
+
+#[test]
+#[allow(deprecated)]
+fn legacy_shims_still_match_the_pipeline() {
+    // The deprecated free functions remain for one release; they must agree
+    // exactly with the unified pipeline they forward to.
+    let mut rng = SmallRng::seed_from_u64(8);
+    let g = erdos_renyi_connected(60, 0.2, 1.0..10.0, &mut rng);
+    let legacy = greedy_spanner::greedy::greedy_spanner(&g, 2.0).unwrap();
+    let unified = Spanner::greedy().stretch(2.0).build(&g).unwrap();
+    assert_eq!(legacy.spanner().num_edges(), unified.spanner.num_edges());
+    assert!((legacy.spanner().total_weight() - unified.spanner.total_weight()).abs() < 1e-12);
+
+    let points = uniform_points::<2, _>(40, &mut rng);
+    let legacy = greedy_spanner::greedy_metric::greedy_spanner_of_metric(&points, 1.5).unwrap();
+    let unified = Spanner::greedy().stretch(1.5).build(&points).unwrap();
+    assert_eq!(legacy.spanner.num_edges(), unified.spanner.num_edges());
+    assert_eq!(legacy.stats.edges_examined, unified.stats.edges_examined);
 }

@@ -5,11 +5,10 @@
 use proptest::prelude::*;
 
 use greedy_spanner::analysis::{is_t_spanner, max_stretch_all_pairs, max_stretch_over_edges};
-use greedy_spanner::approx_greedy::approximate_greedy_spanner;
-use greedy_spanner::baselines::baswana_sen_spanner;
-use greedy_spanner::greedy::greedy_spanner;
-use greedy_spanner::greedy_metric::greedy_spanner_of_metric;
+use greedy_spanner::approx_greedy::ApproxGreedyParams;
+use greedy_spanner::bounded_degree::bounded_degree_spanner;
 use greedy_spanner::optimality::{contains_mst, is_own_unique_spanner, star_overlay_instance};
+use greedy_spanner::Spanner;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use spanner_graph::generators::{erdos_renyi_connected, high_girth_graph};
@@ -48,23 +47,23 @@ proptest! {
     /// defining property).
     #[test]
     fn greedy_output_is_a_t_spanner(g in arb_connected_graph(), t in arb_stretch()) {
-        let spanner = greedy_spanner(&g, t).unwrap();
-        prop_assert!(is_t_spanner(&g, spanner.spanner(), t));
-        prop_assert!(spanner.spanner().is_edge_subgraph_of(&g));
+        let spanner = Spanner::greedy().stretch(t).build(&g).unwrap();
+        prop_assert!(is_t_spanner(&g, &spanner.spanner, t));
+        prop_assert!(spanner.spanner.is_edge_subgraph_of(&g));
     }
 
     /// Observation 2: the greedy spanner contains an MST of the input.
     #[test]
     fn greedy_contains_an_mst(g in arb_connected_graph(), t in arb_stretch()) {
-        let spanner = greedy_spanner(&g, t).unwrap();
-        prop_assert!(contains_mst(&g, spanner.spanner()));
+        let spanner = Spanner::greedy().stretch(t).build(&g).unwrap();
+        prop_assert!(contains_mst(&g, &spanner.spanner));
     }
 
     /// Lemma 3: the only t-spanner of the greedy t-spanner is itself.
     #[test]
     fn greedy_is_its_own_unique_spanner(g in arb_connected_graph(), t in arb_stretch()) {
-        let spanner = greedy_spanner(&g, t).unwrap();
-        prop_assert!(is_own_unique_spanner(spanner.spanner(), t).unwrap());
+        let spanner = Spanner::greedy().stretch(t).build(&g).unwrap();
+        prop_assert!(is_own_unique_spanner(&spanner.spanner, t).unwrap());
     }
 
     /// The greedy spanner's weight is sandwiched between the MST weight
@@ -72,11 +71,11 @@ proptest! {
     /// subgraph), and it spans the graph.
     #[test]
     fn greedy_weight_between_mst_and_input(g in arb_connected_graph(), t in arb_stretch()) {
-        let spanner = greedy_spanner(&g, t).unwrap();
-        let w = spanner.spanner().total_weight();
+        let spanner = Spanner::greedy().stretch(t).build(&g).unwrap();
+        let w = spanner.spanner.total_weight();
         prop_assert!(w + 1e-9 >= mst_weight(&g));
         prop_assert!(w <= g.total_weight() + 1e-9);
-        prop_assert!(spanner.spanner().num_edges() + 1 >= g.num_vertices());
+        prop_assert!(spanner.spanner.num_edges() + 1 >= g.num_vertices());
     }
 
     /// Observation 6: the metric closure preserves the MST weight.
@@ -90,9 +89,10 @@ proptest! {
     /// never heavier than the full metric graph.
     #[test]
     fn metric_greedy_meets_stretch(points in arb_point_set(), t in arb_stretch()) {
-        let result = greedy_spanner_of_metric(&points, t).unwrap();
-        prop_assert!(max_stretch_over_edges(&result.metric_graph, &result.spanner) <= t * (1.0 + 1e-9));
-        prop_assert!(result.spanner.total_weight() <= result.metric_graph.total_weight() + 1e-9);
+        let complete = points.to_complete_graph();
+        let result = Spanner::greedy().stretch(t).build(&points).unwrap();
+        prop_assert!(max_stretch_over_edges(&complete, &result.spanner) <= t * (1.0 + 1e-9));
+        prop_assert!(result.spanner.total_weight() <= complete.total_weight() + 1e-9);
     }
 
     /// The approximate-greedy spanner always meets the (1 + ε) stretch target
@@ -102,17 +102,20 @@ proptest! {
     fn approximate_greedy_is_sound(points in arb_point_set(), eps_pct in 20u32..80) {
         let eps = eps_pct as f64 / 100.0;
         let complete = points.to_complete_graph();
-        let approx = approximate_greedy_spanner(&points, eps).unwrap();
+        let approx = Spanner::approx_greedy().epsilon(eps).build(&points).unwrap();
         prop_assert!(max_stretch_all_pairs(&complete, &approx.spanner) <= (1.0 + eps) * (1.0 + 1e-9));
-        prop_assert!(approx.spanner.is_edge_subgraph_of(&approx.base));
+        // Theorem 6's structural guarantee: the output draws its edges from
+        // the (deterministic) bounded-degree base spanner.
+        let params = ApproxGreedyParams::new(eps);
+        let base = bounded_degree_spanner(&points, params.epsilon * params.base_fraction).unwrap();
+        prop_assert!(approx.spanner.is_edge_subgraph_of(&base));
     }
 
     /// Baswana–Sen always meets its (2k − 1) stretch guarantee.
     #[test]
     fn baswana_sen_meets_stretch(g in arb_connected_graph(), k in 1usize..4, seed in 0u64..100) {
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let spanner = baswana_sen_spanner(&g, k, &mut rng).unwrap();
-        prop_assert!(is_t_spanner(&g, &spanner, (2 * k - 1) as f64));
+        let spanner = Spanner::baswana_sen().k(k).seed(seed).build(&g).unwrap();
+        prop_assert!(is_t_spanner(&g, &spanner.spanner, (2 * k - 1) as f64));
     }
 
     /// The Figure 1 phenomenon generalizes: for any unit-weight high-girth
@@ -123,8 +126,8 @@ proptest! {
         let mut rng = SmallRng::seed_from_u64(seed);
         let h = high_girth_graph(n, 5, 1.0, &mut rng);
         let inst = star_overlay_instance(&h, 0, 0.25).unwrap();
-        let greedy = greedy_spanner(&inst.graph, 3.0).unwrap();
-        prop_assert_eq!(inst.count_h_edges_in(greedy.spanner()), h.num_edges());
+        let greedy = Spanner::greedy().stretch(3.0).build(&inst.graph).unwrap();
+        prop_assert_eq!(inst.count_h_edges_in(&greedy.spanner), h.num_edges());
     }
 
     /// Distinct points always yield a connected greedy spanner whose degree is
@@ -132,7 +135,7 @@ proptest! {
     #[test]
     fn metric_greedy_structural_sanity(points in arb_point_set()) {
         let n = points.len();
-        let result = greedy_spanner_of_metric(&points, 2.0).unwrap();
+        let result = Spanner::greedy().stretch(2.0).build(&points).unwrap();
         prop_assert!(spanner_graph::connectivity::is_connected(&result.spanner));
         prop_assert!(result.spanner.max_degree() <= n.saturating_sub(1));
         prop_assert!(result.spanner.num_edges() <= n * (n - 1) / 2);
@@ -143,6 +146,6 @@ proptest! {
 fn collinear_points_regression() {
     // A hand-picked degenerate instance: equally spaced collinear points.
     let points: EuclideanSpace<1> = (0..10).map(|i| Point::new([i as f64])).collect();
-    let result = greedy_spanner_of_metric(&points, 1.0).unwrap();
+    let result = Spanner::greedy().stretch(1.0).build(&points).unwrap();
     assert_eq!(result.spanner.num_edges(), 9);
 }
