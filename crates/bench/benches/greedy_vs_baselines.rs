@@ -1,11 +1,17 @@
 //! E7 — the Section 1.2 comparison: construction cost of every registry
-//! algorithm that consumes planar point sets, via the unified pipeline.
+//! algorithm that consumes planar point sets, via the unified pipeline, plus
+//! the CSR-substrate headline: greedy construction wall time on an
+//! Erdős–Rényi n = 2000 workload, engine-backed vs the legacy
+//! allocation-per-query path, in the same run's report.
+
+use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use greedy_spanner::algorithms::registry;
-use greedy_spanner::{SpannerConfig, SpannerInput};
-use spanner_bench::workloads::{uniform_square, DEFAULT_SEED};
+use greedy_spanner::greedy::greedy_spanner_reference;
+use greedy_spanner::{Spanner, SpannerConfig, SpannerInput};
+use spanner_bench::workloads::{random_graph, uniform_square, DEFAULT_SEED};
 use spanner_metric::MetricSpace;
 
 fn bench_baselines(c: &mut Criterion) {
@@ -43,5 +49,57 @@ fn bench_baselines(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_baselines);
+/// The Erdős–Rényi n = 2000 greedy comparison: the engine-backed pipeline
+/// path against the legacy allocation-per-query reference, same graph, same
+/// stretch. Both rows appear in one report, and a direct one-shot timing of
+/// each path is printed so the speedup is visible even at tiny sample counts.
+fn bench_er2000_legacy_vs_csr(c: &mut Criterion) {
+    let n = 2000usize;
+    let g = random_graph(n, DEFAULT_SEED);
+    let stretch = 2.0;
+
+    let mut group = c.benchmark_group("er2000_greedy_legacy_vs_csr");
+    group.sample_size(5);
+    group.bench_function("greedy_csr_engine", |b| {
+        b.iter(|| {
+            Spanner::greedy()
+                .stretch(stretch)
+                .build(&g)
+                .expect("valid stretch")
+                .spanner
+                .num_edges()
+        })
+    });
+    group.bench_function("greedy_legacy", |b| {
+        b.iter(|| {
+            greedy_spanner_reference(&g, stretch)
+                .expect("valid stretch")
+                .spanner()
+                .num_edges()
+        })
+    });
+    group.finish();
+
+    let start = Instant::now();
+    let engine_out = Spanner::greedy().stretch(stretch).build(&g).unwrap();
+    let engine_time = start.elapsed();
+    let start = Instant::now();
+    let legacy_out = greedy_spanner_reference(&g, stretch).unwrap();
+    let legacy_time = start.elapsed();
+    assert_eq!(
+        engine_out.spanner.num_edges(),
+        legacy_out.spanner().num_edges(),
+        "both paths must build the same spanner"
+    );
+    println!(
+        "er2000 greedy (n={n}, m={}, t={stretch}): csr-engine {engine_time:?} vs legacy \
+         {legacy_time:?} ({:.2}x), {} queries, {} workspace reuse hits",
+        g.num_edges(),
+        legacy_time.as_secs_f64() / engine_time.as_secs_f64().max(1e-12),
+        engine_out.stats.distance_queries,
+        engine_out.stats.workspace_reuse_hits,
+    );
+}
+
+criterion_group!(benches, bench_baselines, bench_er2000_legacy_vs_csr);
 criterion_main!(benches);

@@ -1,14 +1,33 @@
-//! Micro-benchmarks of the substrates every experiment leans on: Dijkstra,
-//! Kruskal, net-hierarchy construction and WSPD construction.
+//! Micro-benchmarks of the substrates every experiment leans on: Dijkstra
+//! (legacy free functions vs the CSR-backed [`DijkstraEngine`]), Kruskal,
+//! net-hierarchy construction and WSPD construction.
+//!
+//! The `bounded_query_*` pair is the load-bearing comparison: the greedy
+//! spanner issues one bounded distance query per candidate edge, so the
+//! legacy-vs-CSR gap here is the construction-time gap of every
+//! engine-backed algorithm. CI runs this bench with a tiny sample count
+//! (`BENCH_SAMPLE_SIZE`) and archives the JSON summary (`BENCH_JSON`) as the
+//! perf trajectory.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use spanner_bench::workloads::{random_graph, uniform_square, DEFAULT_SEED};
-use spanner_graph::dijkstra::shortest_path_tree;
+use spanner_graph::dijkstra::{bounded_distance, shortest_path_tree};
 use spanner_graph::mst::kruskal;
-use spanner_graph::VertexId;
+use spanner_graph::{CsrGraph, DijkstraEngine, VertexId};
 use spanner_metric::net::NetHierarchy;
 use spanner_metric::wspd::{well_separated_pairs, SplitTree};
+
+/// A deterministic batch of bounded queries spread over the graph.
+fn query_batch(n: usize, count: usize) -> Vec<(VertexId, VertexId, f64)> {
+    (0..count)
+        .map(|i| {
+            let s = (i * 7919) % n;
+            let t = (i * 104729 + n / 2) % n;
+            (VertexId(s), VertexId(t), 4.0 + (i % 5) as f64)
+        })
+        .collect()
+}
 
 fn bench_substrates(c: &mut Criterion) {
     let mut group = c.benchmark_group("substrate_micro");
@@ -19,6 +38,29 @@ fn bench_substrates(c: &mut Criterion) {
         b.iter(|| shortest_path_tree(&g, VertexId(0)).distances().len())
     });
     group.bench_function("kruskal_mst_n500", |b| b.iter(|| kruskal(&g).total_weight));
+
+    // Legacy vs CSR: the same bounded-query batch through the allocating
+    // free function and through one reused engine.
+    let big = random_graph(2000, DEFAULT_SEED);
+    let csr = CsrGraph::from(&big);
+    let queries = query_batch(big.num_vertices(), 64);
+    group.bench_function("bounded_query_legacy_n2000", |b| {
+        b.iter(|| {
+            queries
+                .iter()
+                .filter(|&&(s, t, bound)| bounded_distance(&big, s, t, bound).is_some())
+                .count()
+        })
+    });
+    let mut engine = DijkstraEngine::with_capacity(big.num_vertices());
+    group.bench_function("bounded_query_csr_engine_n2000", |b| {
+        b.iter(|| {
+            queries
+                .iter()
+                .filter(|&&(s, t, bound)| engine.bounded_distance(&csr, s, t, bound).is_some())
+                .count()
+        })
+    });
 
     let points = uniform_square(300, DEFAULT_SEED);
     group.bench_function("net_hierarchy_n300", |b| {

@@ -490,6 +490,8 @@ fn experiment_e10() -> Table {
             "max stretch",
             "time (ms)",
             "peak frontier",
+            "queries",
+            "reuse hits",
         ],
     );
     let g = random_graph(200, DEFAULT_SEED + 11);
@@ -515,12 +517,16 @@ fn experiment_e10() -> Table {
                 fmt_f(report.max_stretch),
                 fmt_f(out.stats.wall_time.as_secs_f64() * 1e3),
                 out.stats.peak_frontier.to_string(),
+                out.stats.distance_queries.to_string(),
+                out.stats.workspace_reuse_hits.to_string(),
             ]),
             _ => table.add_row(vec![
                 cell.input.clone(),
                 cell.algorithm.clone(),
                 fmt_f(cell.stretch),
                 "failed".to_owned(),
+                "-".to_owned(),
+                "-".to_owned(),
                 "-".to_owned(),
                 "-".to_owned(),
                 "-".to_owned(),

@@ -323,6 +323,14 @@ pub struct RunStats {
     /// Peak Dijkstra frontier (priority-queue length) over all distance
     /// queries, for constructions that issue them; zero otherwise.
     pub peak_frontier: usize,
+    /// Distance queries issued against the CSR query engine; zero for
+    /// constructions that issue none.
+    pub distance_queries: usize,
+    /// Queries the engine answered without growing its workspace — i.e. with
+    /// zero heap allocations. Engine-backed constructions pre-size the
+    /// workspace, so this equals [`RunStats::distance_queries`] for them; a
+    /// shortfall means the substrate allocated mid-construction.
+    pub workspace_reuse_hits: usize,
 }
 
 /// Where an output came from: which algorithm, which parameters, over what.

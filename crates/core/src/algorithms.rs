@@ -60,6 +60,8 @@ impl SpannerAlgorithm for Greedy {
                 edges_examined: result.edges_examined(),
                 edges_added: result.edges_added(),
                 peak_frontier: result.peak_frontier(),
+                distance_queries: result.distance_queries(),
+                workspace_reuse_hits: result.workspace_reuse_hits(),
                 ..RunStats::default()
             };
             Ok((result.into_spanner(), stats))
@@ -97,6 +99,9 @@ impl SpannerAlgorithm for ApproxGreedy {
             let stats = RunStats {
                 edges_examined: result.light_edges + result.simulated_edges,
                 edges_added: result.spanner.num_edges(),
+                peak_frontier: result.peak_frontier,
+                distance_queries: result.distance_queries,
+                workspace_reuse_hits: result.workspace_reuse_hits,
                 ..RunStats::default()
             };
             Ok((result.spanner, stats))

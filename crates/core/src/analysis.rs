@@ -2,10 +2,9 @@
 //! consolidated report every experiment prints.
 
 use spanner_graph::apsp::all_pairs_shortest_paths;
-use spanner_graph::dijkstra::shortest_path_tree;
 use spanner_graph::mst::mst_weight;
 use spanner_graph::properties::{summarize_with_mst, GraphSummary};
-use spanner_graph::{VertexId, WeightedGraph};
+use spanner_graph::{CsrGraph, DijkstraEngine, VertexId, WeightedGraph};
 
 /// The pair of vertices realizing the maximum stretch, with the stretch value.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -39,25 +38,31 @@ pub fn max_stretch_witness(
 ) -> Option<StretchWitness> {
     let n = original.num_vertices();
     let mut worst: Option<StretchWitness> = None;
-    // Group the stretch queries by source so a single Dijkstra per relevant
-    // vertex answers all of them.
-    let mut edges_by_source: Vec<Vec<(VertexId, f64)>> = vec![Vec::new(); n];
-    for e in original.edges() {
-        let (a, b) = if e.u <= e.v { (e.u, e.v) } else { (e.v, e.u) };
-        edges_by_source[a.index()].push((b, e.weight));
-    }
-    for (src, targets) in edges_by_source.iter().enumerate() {
-        if targets.is_empty() {
+    // The CSR view of `original` already groups every edge by both endpoints,
+    // so the half-edges `src → v` with `v > src` enumerate each undirected
+    // edge exactly once from its lower endpoint — one Dijkstra per relevant
+    // source answers all of that source's stretch queries, with no side
+    // adjacency structure to build.
+    let queries = CsrGraph::from(original);
+    let substrate = CsrGraph::from(spanner);
+    let mut engine =
+        DijkstraEngine::with_capacity_for(n.max(spanner.num_vertices()), spanner.num_edges());
+    for src in 0..n {
+        let source = VertexId(src);
+        if !queries.neighbors(source).any(|nb| nb.to.index() > src) {
             continue;
         }
-        let tree = shortest_path_tree(spanner, VertexId(src));
-        for &(target, weight) in targets {
-            let d = tree.distance(target).unwrap_or(f64::INFINITY);
-            let stretch = if weight > 0.0 { d / weight } else { 1.0 };
+        let tree = engine.shortest_path_tree(&substrate, source);
+        for nb in queries.neighbors(source) {
+            if nb.to.index() <= src {
+                continue;
+            }
+            let d = tree.distance(nb.to).unwrap_or(f64::INFINITY);
+            let stretch = if nb.weight > 0.0 { d / nb.weight } else { 1.0 };
             if worst.is_none_or(|w| stretch > w.stretch) {
                 worst = Some(StretchWitness {
-                    u: VertexId(src),
-                    v: target,
+                    u: source,
+                    v: nb.to,
                     stretch,
                 });
             }

@@ -22,7 +22,7 @@
 //! The lightness of the result is what Theorem 6 (via Lemma 13) bounds; the
 //! experiments compare it against the exact greedy spanner's.
 
-use spanner_graph::{VertexId, WeightedGraph};
+use spanner_graph::{CsrGraph, DijkstraEngine, VertexId, WeightedGraph};
 use spanner_metric::MetricSpace;
 
 use crate::bounded_degree::bounded_degree_spanner;
@@ -92,6 +92,14 @@ pub struct ApproxGreedySpanner {
     pub simulated_added: usize,
     /// Number of cluster-graph rebuilds (one per weight bucket).
     pub bucket_count: usize,
+    /// Distance queries issued during the greedy simulation (exact bounded
+    /// Dijkstra or cluster-graph certificates, depending on the mode).
+    pub distance_queries: usize,
+    /// Queries the engine answered without growing its workspace (zero heap
+    /// allocations).
+    pub workspace_reuse_hits: usize,
+    /// Peak Dijkstra frontier over all simulation queries.
+    pub peak_frontier: usize,
 }
 
 /// Runs the approximate-greedy algorithm with default parameters.
@@ -156,15 +164,22 @@ pub(crate) fn run_approx_greedy<M: MetricSpace + ?Sized>(
     // Step 1: bounded-degree base spanner.
     let base_eps = params.epsilon * params.base_fraction;
     let base = bounded_degree_spanner(metric, base_eps)?;
-    let mut spanner = WeightedGraph::new(n);
+    // The growing output lives in appendable CSR form; one engine, pre-sized
+    // for the worst case (the output is a subgraph of the base), answers
+    // every exact simulation query without per-query allocation.
+    let mut spanner = CsrGraph::new(n);
+    let mut engine = DijkstraEngine::with_capacity_for(n, base.num_edges());
     if base.num_edges() == 0 {
         return Ok(ApproxGreedySpanner {
-            spanner,
+            spanner: spanner.to_weighted_graph(),
             base,
             light_edges: 0,
             simulated_edges: 0,
             simulated_added: 0,
             bucket_count: 0,
+            distance_queries: 0,
+            workspace_reuse_hits: 0,
+            peak_frontier: 0,
         });
     }
 
@@ -175,7 +190,7 @@ pub(crate) fn run_approx_greedy<M: MetricSpace + ?Sized>(
     let mut light_edges = 0;
     for e in base.edges() {
         if e.weight <= light_threshold {
-            spanner.add_edge(e.u, e.v, e.weight);
+            spanner.append_edge(e.u, e.v, e.weight);
             light_edges += 1;
         } else {
             heavy.push((e.u.index(), e.v.index(), e.weight));
@@ -194,12 +209,13 @@ pub(crate) fn run_approx_greedy<M: MetricSpace + ?Sized>(
     let mut simulated_added = 0;
     let mut bucket_count = 0;
     let mut index = 0;
+    let mut cluster_stats = spanner_graph::EngineStats::default();
     while index < heavy.len() {
         let bucket_floor = heavy[index].2;
         let bucket_ceiling = bucket_floor * params.bucket_ratio;
         let radius = params.epsilon * params.cluster_radius_fraction * bucket_floor;
         let mut clusters = if params.use_cluster_graph {
-            Some(ClusterGraph::build(&spanner, radius))
+            Some(ClusterGraph::build_csr(&spanner, radius))
         } else {
             None
         };
@@ -208,33 +224,39 @@ pub(crate) fn run_approx_greedy<M: MetricSpace + ?Sized>(
             let (u, v, w) = heavy[index];
             index += 1;
             let bound = t_sim * w;
-            let covered = match &clusters {
+            let covered = match clusters.as_mut() {
                 Some(c) => c.certifies_within(VertexId(u), VertexId(v), bound),
-                None => spanner_graph::dijkstra::bounded_distance(
-                    &spanner,
-                    VertexId(u),
-                    VertexId(v),
-                    bound,
-                )
-                .is_some(),
+                None => engine
+                    .bounded_distance(&spanner, VertexId(u), VertexId(v), bound)
+                    .is_some(),
             };
             if !covered {
-                spanner.add_edge(VertexId(u), VertexId(v), w);
+                spanner.append_edge(VertexId(u), VertexId(v), w);
                 if let Some(c) = clusters.as_mut() {
                     c.add_spanner_edge(VertexId(u), VertexId(v), w);
                 }
                 simulated_added += 1;
             }
         }
+        if let Some(c) = clusters {
+            let s = c.engine_stats();
+            cluster_stats.queries += s.queries;
+            cluster_stats.reuse_hits += s.reuse_hits;
+            cluster_stats.peak_frontier = cluster_stats.peak_frontier.max(s.peak_frontier);
+        }
     }
 
+    let exact_stats = engine.stats();
     Ok(ApproxGreedySpanner {
-        spanner,
+        spanner: spanner.to_weighted_graph(),
         base,
         light_edges,
         simulated_edges: heavy.len(),
         simulated_added,
         bucket_count,
+        distance_queries: (exact_stats.queries + cluster_stats.queries) as usize,
+        workspace_reuse_hits: (exact_stats.reuse_hits + cluster_stats.reuse_hits) as usize,
+        peak_frontier: exact_stats.peak_frontier.max(cluster_stats.peak_frontier),
     })
 }
 

@@ -12,7 +12,7 @@ use std::collections::HashMap;
 
 use rand::Rng;
 
-use spanner_graph::{EdgeId, VertexId, WeightedGraph};
+use spanner_graph::{CsrGraph, EdgeId, VertexId, WeightedGraph};
 
 use crate::error::SpannerError;
 
@@ -54,6 +54,11 @@ pub(crate) fn run_baswana_sen<R: Rng + ?Sized>(
     if n == 0 {
         return Ok(spanner);
     }
+    // All neighbor scans below run on the packed CSR view — the phases sweep
+    // every vertex's adjacency repeatedly, which is exactly the access
+    // pattern CSR makes contiguous. Half-edge order matches the adjacency
+    // lists, so the construction is unchanged for a fixed seed.
+    let csr = CsrGraph::from(graph);
     let sample_prob = (n as f64).powf(-1.0 / k as f64);
 
     // cluster[v] = Some(center) if v currently belongs to the cluster
@@ -99,27 +104,26 @@ pub(crate) fn run_baswana_sen<R: Rng + ?Sized>(
                 continue;
             }
             // Lightest alive edge from v to each neighboring cluster.
-            let mut best_per_cluster: HashMap<usize, EdgeId> = HashMap::new();
+            let mut best_per_cluster: HashMap<usize, (EdgeId, f64)> = HashMap::new();
             let mut best_sampled: Option<(EdgeId, f64, usize)> = None;
-            for &(u, id) in graph.neighbors(VertexId(v)) {
-                if !alive[id.index()] {
+            for nb in csr.neighbors(VertexId(v)) {
+                if !alive[nb.edge.index()] {
                     continue;
                 }
-                let Some(cu) = cluster[u.index()] else {
+                let Some(cu) = cluster[nb.to.index()] else {
                     continue;
                 };
                 if cu == own {
                     continue;
                 }
-                let w = graph.edge(id).weight;
-                let entry = best_per_cluster.entry(cu).or_insert(id);
-                if graph.edge(*entry).weight > w {
-                    *entry = id;
+                let entry = best_per_cluster.entry(cu).or_insert((nb.edge, nb.weight));
+                if entry.1 > nb.weight {
+                    *entry = (nb.edge, nb.weight);
                 }
                 if sampled.get(&cu).copied().unwrap_or(false)
-                    && best_sampled.is_none_or(|(_, bw, _)| w < bw)
+                    && best_sampled.is_none_or(|(_, bw, _)| nb.weight < bw)
                 {
-                    best_sampled = Some((id, w, cu));
+                    best_sampled = Some((nb.edge, nb.weight, cu));
                 }
             }
 
@@ -127,11 +131,11 @@ pub(crate) fn run_baswana_sen<R: Rng + ?Sized>(
                 None => {
                     // v joins no cluster: add the lightest edge to every
                     // neighboring cluster and retire v's other edges.
-                    for (_, id) in best_per_cluster.iter() {
-                        add_edge(&mut spanner, *id);
+                    for (_, &(id, _)) in best_per_cluster.iter() {
+                        add_edge(&mut spanner, id);
                     }
-                    for &(_, id) in graph.neighbors(VertexId(v)) {
-                        alive[id.index()] = false;
+                    for nb in csr.neighbors(VertexId(v)) {
+                        alive[nb.edge.index()] = false;
                     }
                     next_cluster[v] = None;
                 }
@@ -141,20 +145,20 @@ pub(crate) fn run_baswana_sen<R: Rng + ?Sized>(
                     next_cluster[v] = Some(join_center);
                     // Also keep the lighter edges to the other clusters and
                     // retire edges into clusters that are now dominated.
-                    for (&c, &id) in best_per_cluster.iter() {
+                    for (&c, &(id, w)) in best_per_cluster.iter() {
                         if c == join_center {
                             continue;
                         }
-                        if graph.edge(id).weight < join_w {
+                        if w < join_w {
                             add_edge(&mut spanner, id);
                         }
                     }
                     // Remove edges from v into the joined cluster and into
                     // clusters with a lighter-or-kept connection.
-                    for &(u, id) in graph.neighbors(VertexId(v)) {
-                        if let Some(cu) = cluster[u.index()] {
-                            if cu == join_center || graph.edge(id).weight < join_w {
-                                alive[id.index()] = false;
+                    for nb in csr.neighbors(VertexId(v)) {
+                        if let Some(cu) = cluster[nb.to.index()] {
+                            if cu == join_center || nb.weight < join_w {
+                                alive[nb.edge.index()] = false;
                             }
                         }
                     }
@@ -180,23 +184,23 @@ pub(crate) fn run_baswana_sen<R: Rng + ?Sized>(
     // Phase 2: vertex–cluster joining. Every vertex adds its lightest alive
     // edge into every remaining cluster.
     for v in 0..n {
-        let mut best_per_cluster: HashMap<usize, EdgeId> = HashMap::new();
-        for &(u, id) in graph.neighbors(VertexId(v)) {
-            if !alive[id.index()] {
+        let mut best_per_cluster: HashMap<usize, (EdgeId, f64)> = HashMap::new();
+        for nb in csr.neighbors(VertexId(v)) {
+            if !alive[nb.edge.index()] {
                 continue;
             }
-            let Some(cu) = cluster[u.index()] else {
+            let Some(cu) = cluster[nb.to.index()] else {
                 continue;
             };
             if cluster[v] == Some(cu) {
                 continue;
             }
-            let entry = best_per_cluster.entry(cu).or_insert(id);
-            if graph.edge(*entry).weight > graph.edge(id).weight {
-                *entry = id;
+            let entry = best_per_cluster.entry(cu).or_insert((nb.edge, nb.weight));
+            if entry.1 > nb.weight {
+                *entry = (nb.edge, nb.weight);
             }
         }
-        for (_, id) in best_per_cluster {
+        for (_, (id, _)) in best_per_cluster {
             add_edge(&mut spanner, id);
         }
     }

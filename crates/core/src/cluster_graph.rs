@@ -9,11 +9,15 @@
 //! never violates the stretch guarantee (the algorithm may keep a few more
 //! edges than the exact greedy would — that is exactly the "approximate"
 //! in approximate-greedy).
+//!
+//! Both the clustering pass (balls around the centers) and the quotient
+//! queries run on the CSR substrate through one owned
+//! [`DijkstraEngine`], so a cluster graph answers any number of certificates
+//! without per-query allocation; query methods therefore take `&mut self`.
 
 use std::collections::HashMap;
 
-use spanner_graph::dijkstra::{ball, bounded_distance, shortest_path_tree};
-use spanner_graph::{VertexId, WeightedGraph};
+use spanner_graph::{CsrGraph, DijkstraEngine, EngineStats, VertexId, WeightedGraph};
 
 /// A clustering of the vertices of a spanner-in-progress, together with the
 /// quotient graph used to answer approximate distance queries.
@@ -26,12 +30,27 @@ pub struct ClusterGraph {
     /// Quotient graph: one vertex per cluster, one edge per inter-cluster
     /// spanner edge (lightest copy), with the radius slack already folded into
     /// the edge weights so that quotient distances + `2 · radius` over-estimate
-    /// true distances.
-    quotient: WeightedGraph,
+    /// true distances. Appendable CSR, so recording new spanner edges is O(1).
+    quotient: CsrGraph,
+    /// Reused workspace for all quotient queries.
+    engine: DijkstraEngine,
 }
 
 impl ClusterGraph {
     /// Builds a clustering of `spanner` with cluster radius `radius`.
+    ///
+    /// Convenience wrapper over [`ClusterGraph::build_csr`] for callers that
+    /// hold a [`WeightedGraph`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is negative or not finite.
+    pub fn build(spanner: &WeightedGraph, radius: f64) -> Self {
+        ClusterGraph::build_csr(&CsrGraph::from(spanner), radius)
+    }
+
+    /// Builds a clustering of a CSR-form `spanner` with cluster radius
+    /// `radius`.
     ///
     /// Clusters are grown greedily: the first unclustered vertex becomes a
     /// center and absorbs every unclustered vertex within graph distance
@@ -40,12 +59,13 @@ impl ClusterGraph {
     /// # Panics
     ///
     /// Panics if `radius` is negative or not finite.
-    pub fn build(spanner: &WeightedGraph, radius: f64) -> Self {
+    pub fn build_csr(spanner: &CsrGraph, radius: f64) -> Self {
         assert!(
             radius.is_finite() && radius >= 0.0,
             "cluster radius must be non-negative"
         );
         let n = spanner.num_vertices();
+        let mut engine = DijkstraEngine::with_capacity_for(n, spanner.num_edges());
         let mut membership = vec![usize::MAX; n];
         let mut num_clusters = 0;
         for v in 0..n {
@@ -58,7 +78,7 @@ impl ClusterGraph {
             // Absorb unclustered vertices within `radius` of the center; the
             // bounded search keeps the total clustering cost proportional to
             // the ball sizes rather than the whole graph.
-            for (u, _) in ball(spanner, VertexId(v), radius) {
+            for &(u, _) in engine.ball(spanner, VertexId(v), radius) {
                 if membership[u.index()] == usize::MAX {
                     membership[u.index()] = cluster_id;
                 }
@@ -69,6 +89,7 @@ impl ClusterGraph {
             membership,
             radius,
             quotient,
+            engine,
         }
     }
 
@@ -91,13 +112,19 @@ impl ClusterGraph {
         self.radius
     }
 
+    /// Counters of the owned query engine (clustering balls plus every
+    /// quotient query so far).
+    pub fn engine_stats(&self) -> EngineStats {
+        self.engine.stats()
+    }
+
     /// Records a newly added spanner edge `(u, v, weight)` so subsequent
     /// queries see it.
     pub fn add_spanner_edge(&mut self, u: VertexId, v: VertexId, weight: f64) {
         let (cu, cv) = (self.cluster_of(u), self.cluster_of(v));
         if cu != cv {
             self.quotient
-                .add_edge(VertexId(cu), VertexId(cv), weight + 2.0 * self.radius);
+                .append_edge(VertexId(cu), VertexId(cv), weight + 2.0 * self.radius);
         }
     }
 
@@ -109,8 +136,8 @@ impl ClusterGraph {
     /// promise (the true distance might still be within the bound). The query
     /// uses a distance-bounded search on the quotient graph, so its cost is
     /// proportional to the quotient ball of radius `bound`, not to the whole
-    /// graph.
-    pub fn certifies_within(&self, u: VertexId, v: VertexId, bound: f64) -> bool {
+    /// graph. Takes `&mut self` because it reuses the owned engine workspace.
+    pub fn certifies_within(&mut self, u: VertexId, v: VertexId, bound: f64) -> bool {
         let (cu, cv) = (self.cluster_of(u), self.cluster_of(v));
         let slack = 2.0 * self.radius;
         if cu == cv {
@@ -119,7 +146,9 @@ impl ClusterGraph {
         if bound < slack {
             return false;
         }
-        bounded_distance(&self.quotient, VertexId(cu), VertexId(cv), bound - slack).is_some()
+        self.engine
+            .bounded_distance(&self.quotient, VertexId(cu), VertexId(cv), bound - slack)
+            .is_some()
     }
 
     /// An upper bound on the spanner distance between `u` and `v`.
@@ -128,12 +157,12 @@ impl ClusterGraph {
     /// already carries a `+2·radius` slack for the detours inside the clusters
     /// it connects. Returns `f64::INFINITY` if the clusters are disconnected
     /// in the quotient graph.
-    pub fn distance_upper_bound(&self, u: VertexId, v: VertexId) -> f64 {
+    pub fn distance_upper_bound(&mut self, u: VertexId, v: VertexId) -> f64 {
         let (cu, cv) = (self.cluster_of(u), self.cluster_of(v));
         if cu == cv {
             return 2.0 * self.radius;
         }
-        let tree = shortest_path_tree(&self.quotient, VertexId(cu));
+        let tree = self.engine.shortest_path_tree(&self.quotient, VertexId(cu));
         match tree.distance(VertexId(cv)) {
             Some(d) => d + 2.0 * self.radius,
             None => f64::INFINITY,
@@ -142,28 +171,29 @@ impl ClusterGraph {
 }
 
 fn build_quotient(
-    spanner: &WeightedGraph,
+    spanner: &CsrGraph,
     membership: &[usize],
     num_clusters: usize,
     radius: f64,
-) -> WeightedGraph {
+) -> CsrGraph {
     let mut best: HashMap<(usize, usize), f64> = HashMap::new();
-    for e in spanner.edges() {
-        let (cu, cv) = (membership[e.u.index()], membership[e.v.index()]);
+    for id in 0..spanner.num_edges() {
+        let (u, v, w) = spanner.edge(spanner_graph::EdgeId(id));
+        let (cu, cv) = (membership[u.index()], membership[v.index()]);
         if cu == cv {
             continue;
         }
         let key = if cu < cv { (cu, cv) } else { (cv, cu) };
         let entry = best.entry(key).or_insert(f64::INFINITY);
-        if e.weight < *entry {
-            *entry = e.weight;
+        if w < *entry {
+            *entry = w;
         }
     }
-    let mut quotient = WeightedGraph::new(num_clusters);
+    let mut quotient = CsrGraph::new(num_clusters);
     let mut keys: Vec<_> = best.into_iter().collect();
     keys.sort_by_key(|a| a.0);
     for ((a, b), w) in keys {
-        quotient.add_edge(VertexId(a), VertexId(b), w + 2.0 * radius);
+        quotient.append_edge(VertexId(a), VertexId(b), w + 2.0 * radius);
     }
     quotient
 }
@@ -179,7 +209,7 @@ mod tests {
     #[test]
     fn zero_radius_clustering_is_singletons() {
         let g = path_graph(5, 1.0);
-        let c = ClusterGraph::build(&g, 0.0);
+        let mut c = ClusterGraph::build(&g, 0.0);
         assert_eq!(c.num_clusters(), 5);
         assert_eq!(c.radius(), 0.0);
         // With singleton clusters the upper bound equals the true distance.
@@ -190,7 +220,7 @@ mod tests {
     #[test]
     fn large_radius_clustering_is_one_cluster() {
         let g = path_graph(6, 1.0);
-        let c = ClusterGraph::build(&g, 100.0);
+        let mut c = ClusterGraph::build(&g, 100.0);
         assert_eq!(c.num_clusters(), 1);
         assert_eq!(c.cluster_of(VertexId(0)), c.cluster_of(VertexId(5)));
         assert!(c.distance_upper_bound(VertexId(0), VertexId(5)) <= 200.0);
@@ -201,7 +231,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(71);
         for radius in [0.0, 0.5, 2.0, 5.0] {
             let g = erdos_renyi_connected(30, 0.2, 1.0..5.0, &mut rng);
-            let c = ClusterGraph::build(&g, radius);
+            let mut c = ClusterGraph::build(&g, radius);
             for u in 0..30 {
                 for v in (u + 1)..30 {
                     let true_d = shortest_path_distance(&g, VertexId(u), VertexId(v)).unwrap();
@@ -219,7 +249,7 @@ mod tests {
     fn certifies_within_is_sound_and_matches_upper_bound() {
         let mut rng = SmallRng::seed_from_u64(72);
         let g = erdos_renyi_connected(25, 0.25, 1.0..5.0, &mut rng);
-        let c = ClusterGraph::build(&g, 1.0);
+        let mut c = ClusterGraph::build(&g, 1.0);
         for u in 0..25 {
             for v in (u + 1)..25 {
                 let (u, v) = (VertexId(u), VertexId(v));
@@ -242,9 +272,29 @@ mod tests {
     }
 
     #[test]
+    fn quotient_queries_reuse_the_engine_workspace() {
+        let mut rng = SmallRng::seed_from_u64(73);
+        let g = erdos_renyi_connected(40, 0.2, 1.0..5.0, &mut rng);
+        let mut c = ClusterGraph::build(&g, 1.0);
+        let after_build = c.engine_stats();
+        for u in 0..40 {
+            for v in (u + 1)..40 {
+                let _ = c.certifies_within(VertexId(u), VertexId(v), 5.0);
+            }
+        }
+        let s = c.engine_stats();
+        let issued = s.queries - after_build.queries;
+        assert_eq!(
+            s.reuse_hits - after_build.reuse_hits,
+            issued,
+            "every certificate query must hit the reused workspace"
+        );
+    }
+
+    #[test]
     fn disconnected_clusters_report_infinity() {
         let g = WeightedGraph::from_edges(4, [(0, 1, 1.0), (2, 3, 1.0)]).unwrap();
-        let c = ClusterGraph::build(&g, 0.5);
+        let mut c = ClusterGraph::build(&g, 0.5);
         assert!(c
             .distance_upper_bound(VertexId(0), VertexId(3))
             .is_infinite());

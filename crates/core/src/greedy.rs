@@ -13,8 +13,8 @@
 //! condition; with ties broken deterministically the output is the canonical
 //! greedy spanner studied by the paper.
 
-use spanner_graph::dijkstra::{bounded_distance, bounded_distance_with_frontier};
-use spanner_graph::{EdgeId, WeightedGraph};
+use spanner_graph::dijkstra::bounded_distance_with_frontier;
+use spanner_graph::{CsrGraph, DijkstraEngine, EdgeId, WeightedGraph};
 
 use crate::error::{validate_stretch, SpannerError};
 
@@ -28,6 +28,8 @@ pub struct GreedySpanner {
     edges_examined: usize,
     edges_added: usize,
     peak_frontier: usize,
+    distance_queries: usize,
+    workspace_reuse_hits: usize,
     added_edge_ids: Vec<EdgeId>,
 }
 
@@ -61,6 +63,20 @@ impl GreedySpanner {
     /// queries the construction issued.
     pub fn peak_frontier(&self) -> usize {
         self.peak_frontier
+    }
+
+    /// Number of bounded distance queries issued against the growing spanner
+    /// (one per candidate edge).
+    pub fn distance_queries(&self) -> usize {
+        self.distance_queries
+    }
+
+    /// Number of distance queries the engine answered without growing its
+    /// workspace — i.e. with zero heap allocations. On the engine-backed
+    /// path this equals [`GreedySpanner::distance_queries`]; the
+    /// allocation-per-query reference path reports zero.
+    pub fn workspace_reuse_hits(&self) -> usize {
+        self.workspace_reuse_hits
     }
 
     /// Ids (into the *input* graph) of the edges that were kept, in the order
@@ -106,7 +122,50 @@ pub fn greedy_spanner(graph: &WeightedGraph, t: f64) -> Result<GreedySpanner, Sp
 /// The greedy construction engine behind both the deprecated
 /// [`greedy_spanner`] shim and the `Greedy` implementation of
 /// [`crate::algorithm::SpannerAlgorithm`].
+///
+/// The growing spanner is held as an appendable [`CsrGraph`] and every
+/// candidate's bounded distance query runs through one pre-sized
+/// [`DijkstraEngine`], so the hot loop performs zero per-query heap
+/// allocations (see the workspace-reuse counter in the result).
 pub(crate) fn run_greedy(graph: &WeightedGraph, t: f64) -> Result<GreedySpanner, SpannerError> {
+    validate_stretch(t)?;
+    let mut spanner = CsrGraph::new(graph.num_vertices());
+    let mut engine = DijkstraEngine::with_capacity_for(graph.num_vertices(), graph.num_edges());
+    let order = graph.edges_by_weight();
+    let mut added_edge_ids = Vec::new();
+    for id in &order {
+        let e = graph.edge(*id);
+        let bound = t * e.weight;
+        if engine.bounded_distance(&spanner, e.u, e.v, bound).is_none() {
+            spanner.append_edge(e.u, e.v, e.weight);
+            added_edge_ids.push(*id);
+        }
+    }
+    let stats = engine.stats();
+    Ok(GreedySpanner {
+        spanner: spanner.to_weighted_graph(),
+        stretch: t,
+        edges_examined: order.len(),
+        edges_added: added_edge_ids.len(),
+        peak_frontier: stats.peak_frontier,
+        distance_queries: stats.queries as usize,
+        workspace_reuse_hits: stats.reuse_hits as usize,
+        added_edge_ids,
+    })
+}
+
+/// The pre-CSR greedy loop: identical output, but every distance query runs
+/// through the allocating [`bounded_distance_with_frontier`] free function on
+/// a [`WeightedGraph`].
+///
+/// Kept as the reference implementation the engine-backed path is
+/// benchmarked (`substrate_micro`, `greedy_vs_baselines`) and property-tested
+/// against. Not deprecated, but not the path the pipeline dispatches to —
+/// use [`crate::Spanner::greedy`] for real work.
+pub fn greedy_spanner_reference(
+    graph: &WeightedGraph,
+    t: f64,
+) -> Result<GreedySpanner, SpannerError> {
     validate_stretch(t)?;
     let mut spanner = WeightedGraph::empty_like(graph);
     let order = graph.edges_by_weight();
@@ -128,6 +187,8 @@ pub(crate) fn run_greedy(graph: &WeightedGraph, t: f64) -> Result<GreedySpanner,
         edges_examined: order.len(),
         edges_added: added_edge_ids.len(),
         peak_frontier,
+        distance_queries: order.len(),
+        workspace_reuse_hits: 0,
         added_edge_ids,
     })
 }
@@ -150,7 +211,8 @@ pub fn greedy_over_candidates(
     t: f64,
 ) -> Result<WeightedGraph, SpannerError> {
     validate_stretch(t)?;
-    let mut spanner = WeightedGraph::new(num_vertices);
+    let mut spanner = CsrGraph::new(num_vertices);
+    let mut engine = DijkstraEngine::with_capacity_for(num_vertices, candidates.len());
     for &(u, v, w) in candidates {
         if u >= num_vertices || v >= num_vertices {
             return Err(spanner_graph::GraphError::VertexOutOfRange {
@@ -159,12 +221,23 @@ pub fn greedy_over_candidates(
             }
             .into());
         }
+        if u == v {
+            // A self-loop is always "covered" (distance 0 ≤ t·w), so the
+            // greedy rule skips it — same behavior as the pre-CSR path.
+            continue;
+        }
+        if !(w.is_finite() && w > 0.0) {
+            return Err(spanner_graph::GraphError::InvalidWeight { weight: w }.into());
+        }
         let bound = t * w;
-        if bounded_distance(&spanner, u.into(), v.into(), bound).is_none() {
-            spanner.try_add_edge(u.into(), v.into(), w)?;
+        if engine
+            .bounded_distance(&spanner, u.into(), v.into(), bound)
+            .is_none()
+        {
+            spanner.append_edge(u.into(), v.into(), w);
         }
     }
-    Ok(spanner)
+    Ok(spanner.to_weighted_graph())
 }
 
 #[cfg(test)]
@@ -291,6 +364,12 @@ mod tests {
     fn greedy_over_candidates_validates_input() {
         assert!(greedy_over_candidates(2, &[(0, 1, 1.0)], 0.0).is_err());
         assert!(greedy_over_candidates(2, &[(0, 5, 1.0)], 2.0).is_err());
+        assert!(greedy_over_candidates(2, &[(0, 1, f64::NAN)], 2.0).is_err());
+        // Self-loops are covered by definition and silently skipped (the
+        // pre-CSR behavior), never an error.
+        let h = greedy_over_candidates(3, &[(1, 1, 1.0), (0, 2, 1.0)], 2.0).unwrap();
+        assert_eq!(h.num_edges(), 1);
+        assert!(h.has_edge(0.into(), 2.into()));
     }
 
     #[test]
@@ -306,6 +385,45 @@ mod tests {
                 .num_vertices(),
             1
         );
+    }
+
+    #[test]
+    fn engine_path_matches_the_reference_implementation() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        for t in [1.0, 1.5, 2.0, 4.0] {
+            let g = erdos_renyi_connected(35, 0.3, 1.0..10.0, &mut rng);
+            let engine_path = run_greedy(&g, t).unwrap();
+            let reference = greedy_spanner_reference(&g, t).unwrap();
+            assert_eq!(
+                engine_path.added_edge_ids(),
+                reference.added_edge_ids(),
+                "t = {t}: both paths must keep exactly the same edges"
+            );
+            assert_eq!(
+                engine_path.spanner().num_edges(),
+                reference.spanner().num_edges()
+            );
+            assert!(
+                (engine_path.spanner().total_weight() - reference.spanner().total_weight()).abs()
+                    < 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn every_distance_query_reuses_the_workspace() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let g = erdos_renyi_connected(60, 0.3, 1.0..10.0, &mut rng);
+        let r = run_greedy(&g, 2.0).unwrap();
+        assert_eq!(r.distance_queries(), g.num_edges());
+        assert_eq!(
+            r.workspace_reuse_hits(),
+            r.distance_queries(),
+            "the pre-sized engine must never allocate per query"
+        );
+        let reference = greedy_spanner_reference(&g, 2.0).unwrap();
+        assert_eq!(reference.workspace_reuse_hits(), 0);
+        assert_eq!(reference.distance_queries(), g.num_edges());
     }
 
     #[test]

@@ -36,6 +36,11 @@ pub struct GreedyStats {
     pub edges_added: usize,
     /// Peak Dijkstra frontier over all distance queries.
     pub peak_frontier: usize,
+    /// Bounded distance queries issued against the growing spanner.
+    pub distance_queries: usize,
+    /// Queries answered without growing the engine workspace (zero heap
+    /// allocations).
+    pub workspace_reuse_hits: usize,
 }
 
 impl From<&GreedySpanner> for GreedyStats {
@@ -44,6 +49,8 @@ impl From<&GreedySpanner> for GreedyStats {
             edges_examined: g.edges_examined(),
             edges_added: g.edges_added(),
             peak_frontier: g.peak_frontier(),
+            distance_queries: g.distance_queries(),
+            workspace_reuse_hits: g.workspace_reuse_hits(),
         }
     }
 }

@@ -12,7 +12,9 @@
 //! * [`SpannerInput`] — a borrowed weighted graph or finite metric;
 //! * [`SpannerConfig`] — one parameter block all algorithms read;
 //! * [`SpannerOutput`] — the spanner plus uniform [`RunStats`] (edges
-//!   examined/added, wall time, peak Dijkstra frontier) and [`Provenance`];
+//!   examined/added, wall time, peak Dijkstra frontier, distance queries
+//!   issued and workspace reuse hits of the CSR query engine) and
+//!   [`Provenance`];
 //! * [`algorithms::registry`] — every construction, boxed, for uniform
 //!   iteration;
 //! * [`matrix::run_matrix`] — batch evaluation of an
@@ -82,6 +84,20 @@
 //! The builder returns a [`SpannerOutput`] whose `spanner` field replaces
 //! the bespoke result structs, and whose `stats`/`provenance` replace the
 //! per-construction bookkeeping fields.
+//!
+//! # The CSR query substrate
+//!
+//! Every construction that issues shortest-path queries — greedy (the `O(m)`
+//! bounded queries of Algorithm 1), approximate-greedy, the cluster graph,
+//! stretch verification — runs them on `spanner_graph`'s CSR substrate: an
+//! appendable [`spanner_graph::CsrGraph`] holding the growing spanner, and
+//! one pre-sized [`spanner_graph::DijkstraEngine`] per build whose
+//! generation-stamped workspace answers every query with zero heap
+//! allocation. [`RunStats::distance_queries`] /
+//! [`RunStats::workspace_reuse_hits`] surface that contract per run. The
+//! pre-CSR greedy loop survives as
+//! [`greedy::greedy_spanner_reference`] — the benchmark and property-test
+//! baseline, not a dispatch target.
 //!
 //! # Module map
 //!

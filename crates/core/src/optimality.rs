@@ -10,10 +10,9 @@
 //!   the input graph.
 
 use spanner_graph::connectivity::is_connected;
-use spanner_graph::dijkstra::bounded_distance;
 use spanner_graph::generators::{heawood_graph, mcgee_graph, petersen_graph};
 use spanner_graph::mst::mst_weight;
-use spanner_graph::{VertexId, WeightedGraph};
+use spanner_graph::{CsrGraph, DijkstraEngine, VertexId, WeightedGraph};
 
 use crate::error::{validate_stretch, SpannerError};
 
@@ -158,10 +157,19 @@ pub fn cage_overlay_instances(
 /// Returns [`SpannerError::InvalidStretch`] for an invalid `t`.
 pub fn is_own_unique_spanner(spanner: &WeightedGraph, t: f64) -> Result<bool, SpannerError> {
     validate_stretch(t)?;
+    // One engine answers the m leave-one-out queries; each candidate graph is
+    // assembled directly in CSR form (no intermediate WeightedGraph clone).
+    let n = spanner.num_vertices();
+    let mut engine = DijkstraEngine::with_capacity_for(n, spanner.num_edges());
     for (i, e) in spanner.edges().iter().enumerate() {
-        let without = spanner.filter_edges(|id, _| id.index() != i);
+        let mut without = CsrGraph::new(n);
+        for (j, f) in spanner.edges().iter().enumerate() {
+            if j != i {
+                without.append_edge(f.u, f.v, f.weight);
+            }
+        }
         let bound = t * e.weight;
-        if bounded_distance(&without, e.u, e.v, bound).is_some() {
+        if engine.bounded_distance(&without, e.u, e.v, bound).is_some() {
             return Ok(false);
         }
     }

@@ -1,7 +1,8 @@
 //! All-pairs shortest paths and the distance matrix used for exact stretch
 //! verification.
 
-use crate::dijkstra::shortest_path_tree;
+use crate::csr::CsrGraph;
+use crate::engine::DijkstraEngine;
 use crate::graph::{VertexId, WeightedGraph};
 
 /// A dense `n × n` matrix of shortest-path distances.
@@ -72,14 +73,18 @@ impl DistanceMatrix {
 }
 
 /// Computes all-pairs shortest paths by running Dijkstra from every vertex.
+///
+/// Internally runs on the CSR substrate with one reused
+/// [`DijkstraEngine`] — the `n` searches share a single workspace, so the
+/// whole matrix is built with a constant number of allocations.
 pub fn all_pairs_shortest_paths(graph: &WeightedGraph) -> DistanceMatrix {
     let n = graph.num_vertices();
+    let csr = CsrGraph::from(graph);
+    let mut engine = DijkstraEngine::with_capacity_for(n, graph.num_edges());
     let mut m = DistanceMatrix::new(n);
     for s in 0..n {
-        let tree = shortest_path_tree(graph, VertexId(s));
-        for v in 0..n {
-            m.data[s * n + v] = tree.distances()[v];
-        }
+        let tree = engine.shortest_path_tree(&csr, VertexId(s));
+        tree.copy_distances_into(&mut m.data[s * n..(s + 1) * n]);
     }
     m
 }

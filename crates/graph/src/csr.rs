@@ -1,0 +1,488 @@
+//! Compressed-sparse-row view of a weighted graph.
+//!
+//! [`WeightedGraph`] stores adjacency as one `Vec` per vertex — ideal for
+//! construction and mutation, but every Dijkstra relaxation chases a pointer
+//! per vertex and a second one into the edge list. [`CsrGraph`] is the
+//! cache-friendly counterpart: all half-edges live in three flat arrays
+//! (`offsets` / `targets` / `weights`, plus the originating edge index), so a
+//! neighbor scan is a contiguous read.
+//!
+//! Unlike a classical CSR, this one is *appendable*: spanner constructions
+//! grow their output one edge at a time while querying it, so
+//! [`CsrGraph::append_edge`] adds the new half-edges to a small per-vertex
+//! overflow chain and amortizes re-packing — once the overflow reaches a
+//! constant fraction of the packed region the whole structure is re-packed in
+//! `O(n + m)`, which keeps the total maintenance cost of a growing spanner at
+//! `O((n + m) log m)` while neighbor scans stay almost entirely packed.
+//!
+//! The companion query type is [`crate::engine::DijkstraEngine`], which owns
+//! the per-query workspace so repeated shortest-path queries against a
+//! `CsrGraph` perform no per-query heap allocation.
+
+use crate::graph::{EdgeId, VertexId, WeightedGraph};
+
+/// Sentinel for "no entry" in the overflow chains.
+const NONE: u32 = u32::MAX;
+
+/// A neighbor record produced by [`CsrGraph::neighbors`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CsrNeighbor {
+    /// The neighboring vertex.
+    pub to: VertexId,
+    /// Weight of the connecting edge.
+    pub weight: f64,
+    /// Index of the connecting edge (dense, in append order).
+    pub edge: EdgeId,
+}
+
+/// An undirected weighted graph in compressed-sparse-row form, incrementally
+/// appendable.
+///
+/// Vertex ids are dense `0..n` and must fit in `u32`; every undirected edge
+/// is stored as two half-edges. Build one with [`CsrGraph::from`] a
+/// [`WeightedGraph`] (fully packed) or grow one from empty with
+/// [`CsrGraph::append_edge`] (the greedy-spanner pattern: the spanner under
+/// construction is queried after every append).
+#[derive(Debug, Clone, Default)]
+pub struct CsrGraph {
+    num_vertices: usize,
+    /// Ground truth: `(u, v, weight)` per edge, in append order. Used for
+    /// re-packing and for materializing a [`WeightedGraph`].
+    edge_list: Vec<(u32, u32, f64)>,
+    /// Number of edges covered by the packed arrays (prefix of `edge_list`).
+    packed_edges: usize,
+    /// Packed CSR: half-edges of `edge_list[..packed_edges]`.
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+    weights: Vec<f64>,
+    edge_ids: Vec<u32>,
+    /// Overflow: half-edges appended since the last re-pack, chained per
+    /// source vertex (most recent first).
+    extra_head: Vec<u32>,
+    extra_next: Vec<u32>,
+    extra_target: Vec<u32>,
+    extra_weight: Vec<f64>,
+    extra_edge: Vec<u32>,
+}
+
+impl CsrGraph {
+    /// Creates an edgeless CSR graph on `num_vertices` vertices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vertices` does not fit in `u32`.
+    pub fn new(num_vertices: usize) -> Self {
+        assert!(
+            num_vertices < u32::MAX as usize,
+            "CsrGraph vertex count must fit in u32"
+        );
+        CsrGraph {
+            num_vertices,
+            edge_list: Vec::new(),
+            packed_edges: 0,
+            offsets: vec![0; num_vertices + 1],
+            targets: Vec::new(),
+            weights: Vec::new(),
+            edge_ids: Vec::new(),
+            extra_head: vec![NONE; num_vertices],
+            extra_next: Vec::new(),
+            extra_target: Vec::new(),
+            extra_weight: Vec::new(),
+            extra_edge: Vec::new(),
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of (undirected) edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edge_list.len()
+    }
+
+    /// Returns `true` if the graph has no edges.
+    pub fn is_edgeless(&self) -> bool {
+        self.edge_list.is_empty()
+    }
+
+    /// Endpoints and weight of the edge with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn edge(&self, id: EdgeId) -> (VertexId, VertexId, f64) {
+        let (u, v, w) = self.edge_list[id.index()];
+        (VertexId(u as usize), VertexId(v as usize), w)
+    }
+
+    /// Total weight of all edges.
+    pub fn total_weight(&self) -> f64 {
+        self.edge_list.iter().map(|&(_, _, w)| w).sum()
+    }
+
+    /// Returns `true` if every half-edge lives in the packed arrays (no
+    /// overflow chains).
+    pub fn is_compact(&self) -> bool {
+        self.packed_edges == self.edge_list.len()
+    }
+
+    /// Appends an undirected edge and returns its id.
+    ///
+    /// The new half-edges land in the overflow chains; once the overflow
+    /// grows past a constant fraction of the packed region the graph re-packs
+    /// itself, so a growing spanner stays cache-friendly without the caller
+    /// ever re-building.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range, the edge is a self-loop, or the
+    /// weight is not positive and finite — the same contract as
+    /// [`WeightedGraph::add_edge`].
+    pub fn append_edge(&mut self, u: VertexId, v: VertexId, weight: f64) -> EdgeId {
+        let (ui, vi) = (u.index(), v.index());
+        assert!(
+            ui < self.num_vertices && vi < self.num_vertices,
+            "endpoint out of range"
+        );
+        assert!(ui != vi, "self-loops are rejected");
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "edge weight must be positive and finite"
+        );
+        let id = self.edge_list.len();
+        assert!(
+            2 * id + 2 <= u32::MAX as usize,
+            "too many edges for u32 ids"
+        );
+        self.edge_list.push((ui as u32, vi as u32, weight));
+        for (a, b) in [(ui, vi), (vi, ui)] {
+            let slot = self.extra_target.len() as u32;
+            self.extra_target.push(b as u32);
+            self.extra_weight.push(weight);
+            self.extra_edge.push(id as u32);
+            self.extra_next.push(self.extra_head[a]);
+            self.extra_head[a] = slot;
+        }
+        // Amortized re-pack: overflow bounded by a small fraction of the
+        // packed region (plus a constant), so re-packs are geometrically
+        // spaced while neighbor scans stay almost entirely packed. The
+        // fraction is deliberately aggressive — a re-pack is `O(n + m)` while
+        // the queries between re-packs are `O(m)` heap operations each, so
+        // re-packing is never the bottleneck but chain-walking can be.
+        if self.extra_target.len() >= self.targets.len() / 8 + 32 {
+            self.compact();
+        }
+        EdgeId(id)
+    }
+
+    /// Re-packs every half-edge into the flat CSR arrays (`O(n + m)`),
+    /// emptying the overflow chains. Called automatically by
+    /// [`CsrGraph::append_edge`]; exposed for callers that want a fully
+    /// packed view before a query burst.
+    pub fn compact(&mut self) {
+        if self.is_compact() {
+            return;
+        }
+        let n = self.num_vertices;
+        let m = self.edge_list.len();
+        let half = 2 * m;
+        // Counting sort of half-edges by source vertex.
+        let mut counts = std::mem::take(&mut self.offsets);
+        counts.clear();
+        counts.resize(n + 1, 0);
+        for &(u, v, _) in &self.edge_list {
+            counts[u as usize + 1] += 1;
+            counts[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let mut cursor = counts.clone();
+        let mut targets = vec![0u32; half];
+        let mut weights = vec![0.0f64; half];
+        let mut edge_ids = vec![0u32; half];
+        for (id, &(u, v, w)) in self.edge_list.iter().enumerate() {
+            for (a, b) in [(u, v), (v, u)] {
+                let slot = cursor[a as usize] as usize;
+                cursor[a as usize] += 1;
+                targets[slot] = b;
+                weights[slot] = w;
+                edge_ids[slot] = id as u32;
+            }
+        }
+        self.offsets = counts;
+        self.targets = targets;
+        self.weights = weights;
+        self.edge_ids = edge_ids;
+        self.packed_edges = m;
+        self.extra_head.clear();
+        self.extra_head.resize(n, NONE);
+        self.extra_next.clear();
+        self.extra_target.clear();
+        self.extra_weight.clear();
+        self.extra_edge.clear();
+    }
+
+    /// Iterates over the neighbors of `u` as [`CsrNeighbor`] records: first
+    /// the packed half-edges (contiguous), then any overflow appends.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[inline]
+    pub fn neighbors(&self, u: VertexId) -> Neighbors<'_> {
+        let ui = u.index();
+        assert!(ui < self.num_vertices, "vertex out of range");
+        Neighbors {
+            graph: self,
+            pos: self.offsets[ui] as usize,
+            end: self.offsets[ui + 1] as usize,
+            chain: self.extra_head[ui],
+        }
+    }
+
+    /// Degree of `u` (number of incident half-edges).
+    pub fn degree(&self, u: VertexId) -> usize {
+        self.neighbors(u).count()
+    }
+
+    /// The packed portion of `u`'s neighbors as parallel `(targets, weights)`
+    /// slices — the zero-overhead view the Dijkstra engine's inner loop
+    /// iterates. Half-edges appended since the last re-pack are *not*
+    /// included; follow up with [`CsrGraph::overflow_neighbors`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[inline]
+    pub fn packed_neighbors(&self, u: VertexId) -> (&[u32], &[f64]) {
+        let ui = u.index();
+        let (a, b) = (self.offsets[ui] as usize, self.offsets[ui + 1] as usize);
+        (&self.targets[a..b], &self.weights[a..b])
+    }
+
+    /// The overflow portion of `u`'s neighbors (half-edges appended since the
+    /// last re-pack) as `(target, weight)` pairs. Usually empty or very
+    /// short — see [`CsrGraph::append_edge`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[inline]
+    pub fn overflow_neighbors(&self, u: VertexId) -> OverflowNeighbors<'_> {
+        OverflowNeighbors {
+            graph: self,
+            chain: self.extra_head[u.index()],
+        }
+    }
+
+    /// Materializes this CSR graph as a [`WeightedGraph`] with the same edge
+    /// ids (append order is preserved).
+    pub fn to_weighted_graph(&self) -> WeightedGraph {
+        let mut g = WeightedGraph::new(self.num_vertices);
+        for &(u, v, w) in &self.edge_list {
+            g.add_edge(VertexId(u as usize), VertexId(v as usize), w);
+        }
+        g
+    }
+}
+
+impl From<&WeightedGraph> for CsrGraph {
+    /// Builds a fully packed CSR view of `graph`. Edge ids coincide with the
+    /// source graph's [`EdgeId`]s.
+    fn from(graph: &WeightedGraph) -> Self {
+        let mut csr = CsrGraph::new(graph.num_vertices());
+        csr.edge_list.reserve(graph.num_edges());
+        for e in graph.edges() {
+            csr.edge_list
+                .push((e.u.index() as u32, e.v.index() as u32, e.weight));
+        }
+        assert!(
+            2 * csr.edge_list.len() <= u32::MAX as usize,
+            "too many edges for u32 ids"
+        );
+        csr.compact();
+        csr
+    }
+}
+
+/// Iterator over the overflow half-edges of one vertex; see
+/// [`CsrGraph::overflow_neighbors`].
+#[derive(Debug, Clone)]
+pub struct OverflowNeighbors<'a> {
+    graph: &'a CsrGraph,
+    chain: u32,
+}
+
+impl Iterator for OverflowNeighbors<'_> {
+    type Item = (u32, f64);
+
+    #[inline]
+    fn next(&mut self) -> Option<(u32, f64)> {
+        if self.chain == NONE {
+            return None;
+        }
+        let i = self.chain as usize;
+        self.chain = self.graph.extra_next[i];
+        Some((self.graph.extra_target[i], self.graph.extra_weight[i]))
+    }
+}
+
+/// Iterator over the neighbors of one vertex; see [`CsrGraph::neighbors`].
+#[derive(Debug, Clone)]
+pub struct Neighbors<'a> {
+    graph: &'a CsrGraph,
+    pos: usize,
+    end: usize,
+    chain: u32,
+}
+
+impl Iterator for Neighbors<'_> {
+    type Item = CsrNeighbor;
+
+    #[inline]
+    fn next(&mut self) -> Option<CsrNeighbor> {
+        if self.pos < self.end {
+            let i = self.pos;
+            self.pos += 1;
+            return Some(CsrNeighbor {
+                to: VertexId(self.graph.targets[i] as usize),
+                weight: self.graph.weights[i],
+                edge: EdgeId(self.graph.edge_ids[i] as usize),
+            });
+        }
+        if self.chain != NONE {
+            let i = self.chain as usize;
+            self.chain = self.graph.extra_next[i];
+            return Some(CsrNeighbor {
+                to: VertexId(self.graph.extra_target[i] as usize),
+                weight: self.graph.extra_weight[i],
+                edge: EdgeId(self.graph.extra_edge[i] as usize),
+            });
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::WeightedGraph;
+
+    fn diamond() -> WeightedGraph {
+        WeightedGraph::from_edges(4, [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 5.0), (2, 3, 2.0)]).unwrap()
+    }
+
+    /// Neighbor sets (target, weight, edge id) of `u`, sorted for comparison.
+    fn sorted_neighbors(csr: &CsrGraph, u: usize) -> Vec<(usize, u64, usize)> {
+        let mut v: Vec<_> = csr
+            .neighbors(VertexId(u))
+            .map(|nb| (nb.to.index(), nb.weight.to_bits(), nb.edge.index()))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn from_weighted_graph_matches_adjacency() {
+        let g = diamond();
+        let csr = CsrGraph::from(&g);
+        assert!(csr.is_compact());
+        assert_eq!(csr.num_vertices(), 4);
+        assert_eq!(csr.num_edges(), 4);
+        for u in 0..4 {
+            let mut expected: Vec<_> = g
+                .neighbors(VertexId(u))
+                .iter()
+                .map(|&(v, e)| (v.index(), g.edge(e).weight.to_bits(), e.index()))
+                .collect();
+            expected.sort_unstable();
+            assert_eq!(sorted_neighbors(&csr, u), expected, "vertex {u}");
+        }
+        assert!((csr.total_weight() - g.total_weight()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn append_edge_then_compact_round_trips() {
+        let g = diamond();
+        let mut csr = CsrGraph::new(4);
+        for (i, e) in g.edges().iter().enumerate() {
+            let id = csr.append_edge(e.u, e.v, e.weight);
+            assert_eq!(id.index(), i);
+        }
+        // Overflow path must already answer correctly…
+        let before: Vec<_> = (0..4).map(|u| sorted_neighbors(&csr, u)).collect();
+        csr.compact();
+        assert!(csr.is_compact());
+        // …and compaction must not change anything.
+        for (u, b) in before.iter().enumerate() {
+            assert_eq!(&sorted_neighbors(&csr, u), b);
+        }
+        let back = csr.to_weighted_graph();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn auto_compaction_keeps_many_appends_correct() {
+        // Enough appends to cross the overflow threshold repeatedly.
+        let n = 50usize;
+        let mut csr = CsrGraph::new(n);
+        let mut reference = WeightedGraph::new(n);
+        let mut k = 0usize;
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if (u + 2 * v) % 3 == 0 {
+                    let w = 1.0 + (k % 7) as f64;
+                    csr.append_edge(VertexId(u), VertexId(v), w);
+                    reference.add_edge(VertexId(u), VertexId(v), w);
+                    k += 1;
+                }
+            }
+        }
+        assert_eq!(csr.num_edges(), reference.num_edges());
+        for u in 0..n {
+            let mut expected: Vec<_> = reference
+                .neighbors(VertexId(u))
+                .iter()
+                .map(|&(v, e)| (v.index(), reference.edge(e).weight.to_bits(), e.index()))
+                .collect();
+            expected.sort_unstable();
+            assert_eq!(sorted_neighbors(&csr, u), expected, "vertex {u}");
+        }
+    }
+
+    #[test]
+    fn edge_accessor_returns_append_order() {
+        let mut csr = CsrGraph::new(3);
+        csr.append_edge(VertexId(2), VertexId(0), 1.5);
+        csr.append_edge(VertexId(0), VertexId(1), 2.5);
+        assert_eq!(csr.edge(EdgeId(0)), (VertexId(2), VertexId(0), 1.5));
+        assert_eq!(csr.edge(EdgeId(1)), (VertexId(0), VertexId(1), 2.5));
+        assert_eq!(csr.degree(VertexId(0)), 2);
+        assert_eq!(csr.degree(VertexId(1)), 1);
+        assert!(!csr.is_edgeless());
+        assert!(CsrGraph::new(2).is_edgeless());
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn append_rejects_self_loop() {
+        CsrGraph::new(2).append_edge(VertexId(1), VertexId(1), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn append_rejects_bad_endpoint() {
+        CsrGraph::new(2).append_edge(VertexId(0), VertexId(5), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn append_rejects_bad_weight() {
+        CsrGraph::new(2).append_edge(VertexId(0), VertexId(1), f64::NAN);
+    }
+}

@@ -6,6 +6,12 @@
 //! [`bounded_distance`] terminates as soon as the frontier exceeds the bound
 //! and never explores further — this is what makes the accelerated greedy
 //! construction practical.
+//!
+//! These free functions allocate their workspace per call; they are the
+//! one-shot conveniences and the reference implementation. Anything issuing
+//! queries in a loop should hold a [`crate::engine::DijkstraEngine`] over a
+//! [`crate::csr::CsrGraph`] instead, which answers the same queries with zero
+//! per-query allocation.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -169,7 +175,7 @@ pub fn bounded_distance_with_frontier(
     target: VertexId,
     bound: f64,
 ) -> (Option<f64>, usize) {
-    let (tree, peak) = run_dijkstra_tracked(graph, source, Some(target), bound);
+    let (tree, peak, _) = run_dijkstra_tracked(graph, source, Some(target), bound);
     let d = match tree.distance(target) {
         Some(d) if d <= bound => Some(d),
         _ => None,
@@ -211,12 +217,15 @@ fn run_dijkstra(
     run_dijkstra_tracked(graph, source, target, bound).0
 }
 
+/// Returns the tree plus the peak frontier and the number of heap pops the
+/// search performed (the pop count is exposed so regression tests can pin the
+/// search's work, not just its answer).
 fn run_dijkstra_tracked(
     graph: &WeightedGraph,
     source: VertexId,
     target: Option<VertexId>,
     bound: f64,
-) -> (ShortestPathTree, usize) {
+) -> (ShortestPathTree, usize, usize) {
     let n = graph.num_vertices();
     assert!(source.index() < n, "source vertex out of range");
     if let Some(t) = target {
@@ -232,9 +241,12 @@ fn run_dijkstra_tracked(
         vertex: source,
     });
     let mut peak_frontier = 1usize;
+    let mut heap_pops = 0usize;
 
     while let Some(HeapEntry { dist: d, vertex: u }) = heap.pop() {
+        heap_pops += 1;
         if settled[u.index()] {
+            // Stale entry: a lighter copy of `u` was already settled.
             continue;
         }
         settled[u.index()] = true;
@@ -249,6 +261,12 @@ fn run_dijkstra_tracked(
                 continue;
             }
             let nd = d + graph.edge(e).weight;
+            // Entries beyond the bound can never contribute to a bounded
+            // answer; pushing them only bloats the heap and forces extra
+            // stale pops before the `d > bound` cutoff fires.
+            if nd > bound {
+                continue;
+            }
             if nd < dist[v.index()] {
                 dist[v.index()] = nd;
                 parent[v.index()] = Some(u);
@@ -268,6 +286,7 @@ fn run_dijkstra_tracked(
             parent,
         },
         peak_frontier,
+        heap_pops,
     )
 }
 
@@ -368,6 +387,57 @@ mod tests {
             shortest_path_distance(&g, VertexId(1), VertexId(1)).unwrap(),
             0.0
         );
+    }
+
+    #[test]
+    fn bounded_search_never_pops_beyond_bound_entries() {
+        // Path 0 -1- 1 -1- 2 -1- 3 with bound 1.5: only vertices 0 and 1 are
+        // within the bound. Before the beyond-bound relaxation skip, vertex 2
+        // (tentative distance 2) was pushed and popped just to trigger the
+        // `d > bound` cutoff — a third, wasted pop.
+        let g = WeightedGraph::from_edges(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap();
+        let (tree, _, pops) = run_dijkstra_tracked(&g, VertexId(0), Some(VertexId(3)), 1.5);
+        assert_eq!(pops, 2, "exactly the in-bound ball {{0, 1}} is popped");
+        assert_eq!(tree.distance(VertexId(1)), Some(1.0));
+        assert_eq!(bounded_distance(&g, VertexId(0), VertexId(3), 1.5), None);
+
+        // A star of heavy spokes: the source is popped, every spoke is
+        // skipped at relaxation time, so the heap drains after one pop.
+        let star =
+            WeightedGraph::from_edges(5, [(0, 1, 10.0), (0, 2, 10.0), (0, 3, 10.0), (0, 4, 10.0)])
+                .unwrap();
+        let (_, peak, pops) = run_dijkstra_tracked(&star, VertexId(0), Some(VertexId(4)), 5.0);
+        assert_eq!(pops, 1);
+        assert_eq!(peak, 1, "no beyond-bound entry ever enters the heap");
+    }
+
+    #[test]
+    fn bounded_answers_are_unchanged_by_the_relaxation_skip() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(17);
+        for _ in 0..10 {
+            let n = 14;
+            let mut g = WeightedGraph::new(n);
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if rng.gen_bool(0.35) {
+                        g.add_edge(VertexId(u), VertexId(v), rng.gen_range(0.2..4.0));
+                    }
+                }
+            }
+            for _ in 0..20 {
+                let s = VertexId(rng.gen_range(0..n));
+                let t = VertexId(rng.gen_range(0..n));
+                let bound = rng.gen_range(0.1..10.0);
+                let bounded = bounded_distance(&g, s, t, bound);
+                let exact = shortest_path_tree(&g, s).distance(t);
+                match exact {
+                    Some(d) if d <= bound => assert_eq!(bounded, Some(d)),
+                    _ => assert_eq!(bounded, None),
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,642 @@
+//! A reusable, zero-allocation-per-query Dijkstra engine over [`CsrGraph`].
+//!
+//! The greedy spanner issues one bounded distance query per candidate edge —
+//! `O(m)` queries against the growing spanner. The free functions in
+//! [`crate::dijkstra`] allocate three `O(n)` vectors *per query*, so that hot
+//! loop is allocation- and cache-bound. [`DijkstraEngine`] owns the workspace
+//! instead:
+//!
+//! * `dist` / `parent` arrays are *generation-stamped*: a query bumps one
+//!   counter instead of clearing `O(n)` state, so per-query cost is
+//!   proportional to the explored ball, not to the graph;
+//! * the priority queue is a lazy-deletion binary heap whose buffer is
+//!   retained across queries; its pushes are bounded by the number of
+//!   half-edge improvements (`≤ 2m + 1`), so an engine created with
+//!   [`DijkstraEngine::with_capacity_for`] performs **zero heap allocation
+//!   per query**, ever (an engine sized on the fly stops allocating once its
+//!   buffers reach the workload's high-water mark);
+//! * the engine counts queries, workspace-reuse hits (queries that ran
+//!   without growing any buffer), heap pops and the peak frontier, which the
+//!   spanner pipeline surfaces in its run statistics.
+//!
+//! ```
+//! use spanner_graph::csr::CsrGraph;
+//! use spanner_graph::engine::DijkstraEngine;
+//! use spanner_graph::{VertexId, WeightedGraph};
+//!
+//! let g = WeightedGraph::from_edges(3, [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 5.0)]).unwrap();
+//! let csr = CsrGraph::from(&g);
+//! let mut engine = DijkstraEngine::new();
+//! assert_eq!(engine.bounded_distance(&csr, VertexId(0), VertexId(2), 2.0), Some(2.0));
+//! assert_eq!(engine.bounded_distance(&csr, VertexId(0), VertexId(2), 1.5), None);
+//! assert_eq!(engine.stats().queries, 2);
+//! assert_eq!(engine.stats().reuse_hits, 1); // only the first query allocated
+//! ```
+
+use std::collections::BinaryHeap;
+
+use crate::csr::CsrGraph;
+use crate::graph::VertexId;
+
+const NO_VERTEX: u32 = u32::MAX;
+
+/// Aggregate counters of a [`DijkstraEngine`]; see [`DijkstraEngine::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Queries answered since construction (or the last
+    /// [`DijkstraEngine::reset_stats`]).
+    pub queries: u64,
+    /// Queries that ran entirely inside the existing workspace — no buffer
+    /// grew, hence zero heap allocation. Always equal to `queries` for an
+    /// engine created with [`DijkstraEngine::with_capacity_for`]; an engine
+    /// sized on the fly reports the (few) growth queries as misses.
+    pub reuse_hits: u64,
+    /// Total heap pops across all queries, including stale lazy-deletion
+    /// entries (the same accounting as the legacy free functions).
+    pub heap_pops: u64,
+    /// Largest priority-queue length reached by any query (stale entries
+    /// included — this is the memory high-water mark of the searches).
+    pub peak_frontier: usize,
+}
+
+/// One heap entry: the key is stored alongside the vertex so comparisons stay
+/// inside the heap array instead of chasing `dist`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapSlot {
+    dist: f64,
+    vertex: u32,
+}
+
+impl Eq for HeapSlot {}
+
+impl Ord for HeapSlot {
+    /// Reversed, so the max-heap pops the smallest distance first, ties by
+    /// smaller vertex id (matching the legacy free functions, so settle
+    /// order is identical).
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .dist
+            .total_cmp(&self.dist)
+            .then_with(|| other.vertex.cmp(&self.vertex))
+    }
+}
+
+impl PartialOrd for HeapSlot {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A reusable Dijkstra workspace over [`CsrGraph`]s.
+///
+/// One engine serves any number of graphs (buffers are sized to the largest
+/// vertex count seen). All query methods take `&mut self` because they reuse
+/// the workspace; results referencing the workspace ([`EngineTree`],
+/// [`DijkstraEngine::ball`]) borrow the engine until the next query.
+#[derive(Debug, Clone, Default)]
+pub struct DijkstraEngine {
+    dist: Vec<f64>,
+    parent: Vec<u32>,
+    /// Per-vertex query state, generation-encoded (generations advance by 2):
+    /// `state[v] < generation` — untouched this query; `== generation` —
+    /// touched (in the heap); `== generation + 1` — settled. One load answers
+    /// both the "already settled?" and "already touched?" questions.
+    state: Vec<u32>,
+    /// Lazy-deletion heap: improvements push a fresh entry, superseded
+    /// entries are skipped at pop time via `state`. The buffer is retained
+    /// across queries.
+    heap: BinaryHeap<HeapSlot>,
+    /// Settle order of the last collecting query (see [`DijkstraEngine::ball`]).
+    ball_buf: Vec<(VertexId, f64)>,
+    generation: u32,
+    stats: EngineStats,
+    last_frontier: usize,
+}
+
+impl DijkstraEngine {
+    /// Creates an engine with an empty workspace; queries size it on demand
+    /// (the growth queries are reported as reuse misses).
+    pub fn new() -> Self {
+        DijkstraEngine::default()
+    }
+
+    /// Creates an engine pre-sized for graphs of `num_vertices` vertices,
+    /// with a default heap reservation of the same size. Queries whose
+    /// lazy-deletion frontier stays within `num_vertices` entries never
+    /// allocate; for a hard guarantee use
+    /// [`DijkstraEngine::with_capacity_for`].
+    pub fn with_capacity(num_vertices: usize) -> Self {
+        DijkstraEngine::with_capacity_for(num_vertices, num_vertices / 2)
+    }
+
+    /// Creates an engine pre-sized for graphs of up to `num_vertices`
+    /// vertices and `num_edges` edges: the heap buffer is reserved for
+    /// `2·num_edges + 2` entries, an upper bound on the pushes of any single
+    /// query (each settled vertex relaxes each incident half-edge at most
+    /// once). Such an engine performs **zero heap allocations on every
+    /// query** — including the first — which is the contract the greedy
+    /// construction asserts through its workspace-reuse counter.
+    pub fn with_capacity_for(num_vertices: usize, num_edges: usize) -> Self {
+        let mut e = DijkstraEngine::new();
+        e.grow(num_vertices);
+        e.reserve_heap(2 * num_edges + 2);
+        e
+    }
+
+    /// Ensures the heap buffer can hold `entries` entries without
+    /// reallocating.
+    pub fn reserve_heap(&mut self, entries: usize) {
+        if self.heap.capacity() < entries {
+            self.heap.reserve(entries - self.heap.len());
+        }
+    }
+
+    /// The engine's aggregate counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Resets the aggregate counters (the workspace is kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = EngineStats::default();
+    }
+
+    fn grow(&mut self, n: usize) {
+        self.dist.resize(n, f64::INFINITY);
+        self.parent.resize(n, NO_VERTEX);
+        self.state.resize(n, 0);
+        if self.ball_buf.capacity() < n {
+            // `reserve_exact` takes *additional* elements beyond the current
+            // length, so subtract the length, not the capacity.
+            self.ball_buf.reserve_exact(n - self.ball_buf.len());
+        }
+    }
+
+    /// Returns `true` if the query had to grow the vertex-indexed buffers.
+    fn begin_query(&mut self, n: usize) -> bool {
+        self.stats.queries += 1;
+        let grew = n > self.dist.len();
+        if grew {
+            self.grow(n);
+        }
+        // Generations advance by 2: `generation` marks touched, `generation
+        // + 1` marks settled (see the `state` field).
+        if self.generation >= u32::MAX - 3 {
+            // Generation wrap: invalidate every state once, then restart.
+            self.state.iter_mut().for_each(|s| *s = 0);
+            self.generation = 2;
+        } else {
+            self.generation += 2;
+        }
+        self.heap.clear();
+        self.ball_buf.clear();
+        self.last_frontier = 0;
+        grew
+    }
+
+    #[inline(always)]
+    fn push(&mut self, v: u32, dist: f64) {
+        self.heap.push(HeapSlot { dist, vertex: v });
+        self.last_frontier = self.last_frontier.max(self.heap.len());
+    }
+
+    /// Relaxes the half-edge `u → v` with weight `w`, given `u`'s settled
+    /// distance `d`. The single `state` load decides settled / untouched /
+    /// in-heap; improvements push a fresh heap entry (lazy deletion).
+    /// `TRACK_PARENTS` is off for bounded-distance and ball queries (nothing
+    /// reads parents there), which removes a random store per improvement
+    /// from the greedy hot loop.
+    #[inline(always)]
+    fn relax<const TRACK_PARENTS: bool>(
+        &mut self,
+        u: u32,
+        v: usize,
+        w: f64,
+        d: f64,
+        gen: u32,
+        bound: f64,
+    ) {
+        let s = self.state[v];
+        if s == gen + 1 {
+            return; // settled
+        }
+        let nd = d + w;
+        // Entries beyond the bound can never contribute to a bounded answer.
+        if nd > bound {
+            return;
+        }
+        if s < gen || nd < self.dist[v] {
+            self.state[v] = gen;
+            self.dist[v] = nd;
+            if TRACK_PARENTS {
+                self.parent[v] = u;
+            }
+            self.push(v as u32, nd);
+        }
+    }
+
+    /// The shared search loop. Settles vertices in non-decreasing
+    /// `(distance, vertex)` order; never pushes a vertex whose tentative
+    /// distance exceeds `bound`; stops early once `target` settles. When
+    /// `collect` is set, the settle order is recorded in `ball_buf`.
+    fn run<const TRACK_PARENTS: bool>(
+        &mut self,
+        graph: &CsrGraph,
+        source: VertexId,
+        target: Option<VertexId>,
+        bound: f64,
+        collect: bool,
+    ) {
+        let n = graph.num_vertices();
+        assert!(source.index() < n, "source vertex out of range");
+        if let Some(t) = target {
+            assert!(t.index() < n, "target vertex out of range");
+        }
+        let target = target.map(|t| t.index() as u32);
+        let grew = self.begin_query(n);
+        let heap_capacity = self.heap.capacity();
+        let gen = self.generation;
+        let s = source.index();
+        self.dist[s] = 0.0;
+        if TRACK_PARENTS {
+            self.parent[s] = NO_VERTEX;
+        }
+        self.state[s] = gen;
+        self.push(s as u32, 0.0);
+        while let Some(HeapSlot { dist: d, vertex: u }) = self.heap.pop() {
+            self.stats.heap_pops += 1;
+            if self.state[u as usize] == gen + 1 {
+                continue; // stale lazy-deletion entry
+            }
+            self.state[u as usize] = gen + 1;
+            if collect {
+                self.ball_buf.push((VertexId(u as usize), d));
+            }
+            if Some(u) == target {
+                break;
+            }
+            // Packed half-edges: two parallel slices, no per-neighbor branch.
+            let (targets, weights) = graph.packed_neighbors(VertexId(u as usize));
+            for i in 0..targets.len() {
+                self.relax::<TRACK_PARENTS>(u, targets[i] as usize, weights[i], d, gen, bound);
+            }
+            // Overflow half-edges appended since the last re-pack (short).
+            for (v, w) in graph.overflow_neighbors(VertexId(u as usize)) {
+                self.relax::<TRACK_PARENTS>(u, v as usize, w, d, gen, bound);
+            }
+        }
+        self.stats.peak_frontier = self.stats.peak_frontier.max(self.last_frontier);
+        if !grew && self.heap.capacity() == heap_capacity {
+            self.stats.reuse_hits += 1;
+        }
+    }
+
+    /// Distance between `source` and `target` if it is at most `bound`,
+    /// otherwise `None` — the greedy spanner's per-candidate query, with
+    /// search cost proportional to the ball of radius `bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either vertex is out of range.
+    pub fn bounded_distance(
+        &mut self,
+        graph: &CsrGraph,
+        source: VertexId,
+        target: VertexId,
+        bound: f64,
+    ) -> Option<f64> {
+        self.bounded_distance_with_frontier(graph, source, target, bound)
+            .0
+    }
+
+    /// Like [`DijkstraEngine::bounded_distance`], additionally reporting the
+    /// peak priority-queue length of this query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either vertex is out of range.
+    pub fn bounded_distance_with_frontier(
+        &mut self,
+        graph: &CsrGraph,
+        source: VertexId,
+        target: VertexId,
+        bound: f64,
+    ) -> (Option<f64>, usize) {
+        self.run::<false>(graph, source, Some(target), bound, false);
+        let t = target.index();
+        let d = if self.state[t] == self.generation + 1 && self.dist[t] <= bound {
+            Some(self.dist[t])
+        } else {
+            None
+        };
+        (d, self.last_frontier)
+    }
+
+    /// Runs a full single-source search and returns a view of the resulting
+    /// shortest-path tree. The view borrows the workspace — it is valid until
+    /// the next query — and allocates only in
+    /// [`EngineTree::path_to`] (which builds the returned path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range.
+    pub fn shortest_path_tree<'a>(
+        &'a mut self,
+        graph: &CsrGraph,
+        source: VertexId,
+    ) -> EngineTree<'a> {
+        self.run::<true>(graph, source, None, f64::INFINITY, false);
+        EngineTree {
+            num_vertices: graph.num_vertices(),
+            engine: self,
+            source,
+        }
+    }
+
+    /// Returns every vertex within graph distance `radius` of `source` with
+    /// its distance, in non-decreasing `(distance, vertex)` order (the source
+    /// itself first, at distance 0). The slice borrows the engine's settle
+    /// buffer and is valid until the next query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range or `radius` is negative.
+    pub fn ball(&mut self, graph: &CsrGraph, source: VertexId, radius: f64) -> &[(VertexId, f64)] {
+        assert!(radius >= 0.0, "ball radius must be non-negative");
+        self.run::<false>(graph, source, None, radius, true);
+        &self.ball_buf
+    }
+}
+
+/// A borrowed view of the last [`DijkstraEngine::shortest_path_tree`] result.
+#[derive(Debug)]
+pub struct EngineTree<'a> {
+    engine: &'a DijkstraEngine,
+    source: VertexId,
+    /// Vertex count of the queried graph (the workspace may be larger).
+    num_vertices: usize,
+}
+
+impl EngineTree<'_> {
+    /// The source vertex of this tree.
+    pub fn source(&self) -> VertexId {
+        self.source
+    }
+
+    /// Vertex count of the graph this tree was computed over.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Distance from the source to `v`, or `None` if `v` is unreachable.
+    #[inline]
+    pub fn distance(&self, v: VertexId) -> Option<f64> {
+        let i = v.index();
+        (self.engine.state[i] >= self.engine.generation).then(|| self.engine.dist[i])
+    }
+
+    /// Writes the distance of every vertex of the queried graph into the
+    /// first [`EngineTree::num_vertices`] slots of `out` (`f64::INFINITY`
+    /// for unreachable vertices); any extra slots are left untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is shorter than the queried graph's vertex count.
+    pub fn copy_distances_into(&self, out: &mut [f64]) {
+        assert!(
+            out.len() >= self.num_vertices,
+            "output slice shorter than the graph's vertex count"
+        );
+        for (v, slot) in out[..self.num_vertices].iter_mut().enumerate() {
+            *slot = self.distance(VertexId(v)).unwrap_or(f64::INFINITY);
+        }
+    }
+
+    /// Reconstructs the shortest path from the source to `target` as a vertex
+    /// sequence (source first), or `None` if unreachable. This is the only
+    /// allocating accessor (it builds the returned `Vec`).
+    pub fn path_to(&self, target: VertexId) -> Option<Vec<VertexId>> {
+        self.distance(target)?;
+        let mut path = vec![target];
+        let mut cur = target.index() as u32;
+        while self.engine.parent[cur as usize] != NO_VERTEX {
+            cur = self.engine.parent[cur as usize];
+            path.push(VertexId(cur as usize));
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra;
+    use crate::graph::WeightedGraph;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn diamond() -> WeightedGraph {
+        WeightedGraph::from_edges(4, [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 5.0), (2, 3, 2.0)]).unwrap()
+    }
+
+    #[test]
+    fn bounded_distance_matches_legacy() {
+        let g = diamond();
+        let csr = CsrGraph::from(&g);
+        let mut e = DijkstraEngine::new();
+        assert_eq!(
+            e.bounded_distance(&csr, VertexId(0), VertexId(2), 1.0),
+            None
+        );
+        assert_eq!(
+            e.bounded_distance(&csr, VertexId(0), VertexId(2), 2.0),
+            Some(2.0)
+        );
+        assert_eq!(
+            e.bounded_distance(&csr, VertexId(0), VertexId(3), 3.9),
+            None
+        );
+        assert!(e
+            .bounded_distance(&csr, VertexId(0), VertexId(3), 4.0)
+            .is_some());
+    }
+
+    #[test]
+    fn tree_view_distances_and_paths() {
+        let g = diamond();
+        let csr = CsrGraph::from(&g);
+        let mut e = DijkstraEngine::new();
+        let tree = e.shortest_path_tree(&csr, VertexId(0));
+        assert_eq!(tree.source(), VertexId(0));
+        assert_eq!(tree.distance(VertexId(3)), Some(4.0));
+        assert_eq!(
+            tree.path_to(VertexId(3)).unwrap(),
+            vec![VertexId(0), VertexId(1), VertexId(2), VertexId(3)]
+        );
+        assert_eq!(tree.path_to(VertexId(0)).unwrap(), vec![VertexId(0)]);
+        let mut out = [0.0; 4];
+        tree.copy_distances_into(&mut out);
+        assert_eq!(out, [0.0, 1.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn unreachable_vertices_are_none() {
+        let g = WeightedGraph::from_edges(3, [(0, 1, 1.0)]).unwrap();
+        let csr = CsrGraph::from(&g);
+        let mut e = DijkstraEngine::new();
+        assert_eq!(
+            e.bounded_distance(&csr, VertexId(0), VertexId(2), 100.0),
+            None
+        );
+        let tree = e.shortest_path_tree(&csr, VertexId(0));
+        assert_eq!(tree.distance(VertexId(2)), None);
+        assert_eq!(tree.path_to(VertexId(2)), None);
+    }
+
+    #[test]
+    fn ball_matches_legacy_order() {
+        let g = diamond();
+        let csr = CsrGraph::from(&g);
+        let mut e = DijkstraEngine::new();
+        let legacy = dijkstra::ball(&g, VertexId(0), 2.0);
+        assert_eq!(e.ball(&csr, VertexId(0), 2.0), &legacy[..]);
+        assert_eq!(
+            e.ball(&csr, VertexId(3), 0.0),
+            &[(VertexId(3), 0.0)],
+            "radius 0 is the source alone"
+        );
+    }
+
+    #[test]
+    fn ball_buffer_grows_correctly_across_graph_sizes() {
+        // Warm the engine with a ball that settles fewer vertices than the
+        // workspace holds (len < capacity), then grow to a larger graph and
+        // ball-query the whole thing. Regression: grow() used to reserve
+        // `n - capacity` *additional* slots past the leftover length,
+        // leaving ball_buf short and forcing a mid-query reallocation.
+        let small =
+            WeightedGraph::from_edges(10, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0)])
+                .unwrap();
+        let mut e = DijkstraEngine::new();
+        assert_eq!(e.ball(&CsrGraph::from(&small), VertexId(0), 100.0).len(), 5);
+        let n = 16;
+        let big = WeightedGraph::from_edges(n, (1..n).map(|v| (v - 1, v, 1.0))).unwrap();
+        let csr = CsrGraph::from(&big);
+        let members = e.ball(&csr, VertexId(0), n as f64);
+        assert_eq!(
+            members.len(),
+            n,
+            "the whole path graph is within the radius"
+        );
+        for (v, &(m, d)) in members.iter().enumerate() {
+            assert_eq!(m, VertexId(v));
+            assert!((d - v as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn copy_distances_fills_exactly_the_graph_prefix() {
+        let g = diamond();
+        let csr = CsrGraph::from(&g);
+        let mut e = DijkstraEngine::new();
+        let tree = e.shortest_path_tree(&csr, VertexId(0));
+        assert_eq!(tree.num_vertices(), 4);
+        let mut out = [f64::NAN; 6];
+        tree.copy_distances_into(&mut out);
+        assert_eq!(&out[..4], &[0.0, 1.0, 2.0, 4.0]);
+        assert!(out[4].is_nan() && out[5].is_nan(), "extra slots untouched");
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than")]
+    fn copy_distances_rejects_short_slices() {
+        let csr = CsrGraph::from(&diamond());
+        let mut e = DijkstraEngine::new();
+        let tree = e.shortest_path_tree(&csr, VertexId(0));
+        let mut out = [0.0; 2];
+        tree.copy_distances_into(&mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn ball_rejects_negative_radius() {
+        let csr = CsrGraph::from(&diamond());
+        DijkstraEngine::new().ball(&csr, VertexId(0), -1.0);
+    }
+
+    #[test]
+    fn workspace_is_reused_after_the_first_query() {
+        let g = diamond();
+        let csr = CsrGraph::from(&g);
+        let mut e = DijkstraEngine::new();
+        for _ in 0..10 {
+            e.bounded_distance(&csr, VertexId(0), VertexId(3), 10.0);
+        }
+        let s = e.stats();
+        assert_eq!(s.queries, 10);
+        assert_eq!(s.reuse_hits, 9, "only the first query may size the buffers");
+        assert!(s.peak_frontier >= 1);
+        assert!(s.heap_pops >= 10);
+        // An engine pre-sized for the graph never allocates at all.
+        let mut warm = DijkstraEngine::with_capacity_for(g.num_vertices(), g.num_edges());
+        for _ in 0..5 {
+            warm.bounded_distance(&csr, VertexId(0), VertexId(3), 10.0);
+        }
+        assert_eq!(
+            warm.stats().reuse_hits,
+            5,
+            "every query must be a reuse hit"
+        );
+        warm.reset_stats();
+        assert_eq!(warm.stats(), EngineStats::default());
+    }
+
+    #[test]
+    fn frontier_is_reported_per_query_and_bounded_by_pushes() {
+        let g = diamond();
+        let csr = CsrGraph::from(&g);
+        let mut e = DijkstraEngine::new();
+        let (d, frontier) = e.bounded_distance_with_frontier(&csr, VertexId(0), VertexId(3), 10.0);
+        assert_eq!(d, Some(4.0));
+        // Lazy deletion: at most one push per half-edge improvement plus the
+        // source.
+        assert!(frontier >= 1 && frontier <= 2 * g.num_edges() + 1);
+    }
+
+    #[test]
+    fn matches_legacy_on_random_graphs_including_appends() {
+        let mut rng = SmallRng::seed_from_u64(99);
+        for _ in 0..15 {
+            let n = 20;
+            let mut g = WeightedGraph::new(n);
+            let mut csr = CsrGraph::new(n);
+            let mut engine = DijkstraEngine::new();
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if rng.gen_bool(0.3) {
+                        let w = rng.gen_range(0.5..4.0);
+                        g.add_edge(VertexId(u), VertexId(v), w);
+                        csr.append_edge(VertexId(u), VertexId(v), w);
+                    }
+                }
+                // Interleave queries with appends so overflow chains and
+                // compactions are both exercised mid-growth.
+                let s = VertexId(rng.gen_range(0..n));
+                let t = VertexId(rng.gen_range(0..n));
+                let bound = rng.gen_range(0.1..12.0);
+                assert_eq!(
+                    engine.bounded_distance(&csr, s, t, bound),
+                    dijkstra::bounded_distance(&g, s, t, bound)
+                );
+            }
+            for s in 0..n {
+                let legacy = dijkstra::shortest_path_tree(&g, VertexId(s));
+                let tree = engine.shortest_path_tree(&csr, VertexId(s));
+                for v in 0..n {
+                    assert_eq!(tree.distance(VertexId(v)), legacy.distance(VertexId(v)));
+                }
+            }
+        }
+    }
+}

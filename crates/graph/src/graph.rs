@@ -121,6 +121,9 @@ pub struct WeightedGraph {
     num_vertices: usize,
     edges: Vec<Edge>,
     adjacency: Vec<Vec<(VertexId, EdgeId)>>,
+    /// Cached maximum degree, maintained on every insert (edges are never
+    /// removed — subgraphs are built fresh — so the maximum only grows).
+    max_degree: usize,
 }
 
 impl WeightedGraph {
@@ -130,6 +133,7 @@ impl WeightedGraph {
             num_vertices,
             edges: Vec::new(),
             adjacency: vec![Vec::new(); num_vertices],
+            max_degree: 0,
         }
     }
 
@@ -261,6 +265,10 @@ impl WeightedGraph {
         self.edges.push(Edge::new(u, v, weight));
         self.adjacency[u.index()].push((v, id));
         self.adjacency[v.index()].push((u, id));
+        self.max_degree = self
+            .max_degree
+            .max(self.adjacency[u.index()].len())
+            .max(self.adjacency[v.index()].len());
         Ok(id)
     }
 
@@ -273,11 +281,23 @@ impl WeightedGraph {
     }
 
     /// Returns `true` if an edge `{u, v}` exists (any parallel copy counts).
+    ///
+    /// Cost: a linear scan of the *smaller* of the two adjacency lists —
+    /// `O(min(deg(u), deg(v)))`, not `O(1)`. Callers doing many membership
+    /// tests on a static graph should build their own set keyed by
+    /// [`Edge::key`] instead.
     pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
-        if u.index() >= self.num_vertices {
+        if u.index() >= self.num_vertices || v.index() >= self.num_vertices {
             return false;
         }
-        self.adjacency[u.index()].iter().any(|&(n, _)| n == v)
+        let (scan, probe) = if self.adjacency[u.index()].len() <= self.adjacency[v.index()].len() {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.adjacency[scan.index()]
+            .iter()
+            .any(|&(n, _)| n == probe)
     }
 
     /// Returns the minimum weight among edges `{u, v}`, if any exists.
@@ -298,8 +318,13 @@ impl WeightedGraph {
     }
 
     /// Maximum vertex degree; zero for an empty graph.
+    ///
+    /// O(1): the value is cached and updated on every insert (this used to be
+    /// a linear scan over all vertices, which experiment loops called per
+    /// evaluation).
+    #[inline]
     pub fn max_degree(&self) -> usize {
-        self.adjacency.iter().map(Vec::len).max().unwrap_or(0)
+        self.max_degree
     }
 
     /// Returns a new graph containing the same vertices and only the edges
@@ -464,6 +489,54 @@ mod tests {
         assert_eq!(v, VertexId(3));
         assert_eq!(g.num_vertices(), 4);
         assert_eq!(g.degree(v), 0);
+    }
+
+    #[test]
+    fn max_degree_cache_tracks_every_insert_path() {
+        let mut g = WeightedGraph::new(5);
+        assert_eq!(g.max_degree(), 0);
+        g.add_edge(VertexId(0), VertexId(1), 1.0);
+        assert_eq!(g.max_degree(), 1);
+        g.add_edge(VertexId(0), VertexId(2), 1.0);
+        assert_eq!(g.max_degree(), 2);
+        g.add_edge(VertexId(3), VertexId(4), 1.0);
+        assert_eq!(g.max_degree(), 2, "a new far-away edge must not regress it");
+        // Parallel edges count toward the degree.
+        g.add_edge(VertexId(0), VertexId(1), 2.0);
+        assert_eq!(g.max_degree(), 3);
+        // Adding a vertex never changes the maximum.
+        g.add_vertex();
+        assert_eq!(g.max_degree(), 3);
+        // The cache always agrees with a full scan, on every construction path.
+        let star = star_like(7);
+        let scanned = star.vertices().map(|v| star.degree(v)).max().unwrap();
+        assert_eq!(star.max_degree(), scanned);
+        let filtered = star.filter_edges(|id, _| id.index() % 2 == 0);
+        let scanned = filtered
+            .vertices()
+            .map(|v| filtered.degree(v))
+            .max()
+            .unwrap();
+        assert_eq!(filtered.max_degree(), scanned);
+    }
+
+    fn star_like(n: usize) -> WeightedGraph {
+        WeightedGraph::from_edges(n, (1..n).map(|v| (0, v, v as f64))).unwrap()
+    }
+
+    #[test]
+    fn has_edge_scans_the_smaller_list_and_is_symmetric() {
+        let g = star_like(6);
+        // Hub side (degree 5) and leaf side (degree 1) must agree.
+        for v in 1..6 {
+            assert!(g.has_edge(VertexId(0), VertexId(v)));
+            assert!(g.has_edge(VertexId(v), VertexId(0)));
+        }
+        assert!(!g.has_edge(VertexId(1), VertexId(2)));
+        assert!(!g.has_edge(VertexId(2), VertexId(1)));
+        // Out-of-range endpoints (either side) are simply absent.
+        assert!(!g.has_edge(VertexId(0), VertexId(99)));
+        assert!(!g.has_edge(VertexId(99), VertexId(0)));
     }
 
     #[test]

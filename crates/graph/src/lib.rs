@@ -5,7 +5,19 @@
 //!
 //! * [`WeightedGraph`] — an undirected, positively-weighted multigraph stored as an
 //!   edge list plus adjacency lists, with O(1) edge access by [`EdgeId`].
-//! * Shortest paths — [`dijkstra`] (full, single-pair, and distance-bounded variants).
+//! * [`CsrGraph`] — the compressed-sparse-row *query substrate*: flat
+//!   `offsets`/`targets`/`weights` arrays built `From<&WeightedGraph>` and
+//!   incrementally appendable ([`csr::CsrGraph::append_edge`]), so a spanner
+//!   under construction can grow while being queried.
+//! * [`DijkstraEngine`] — a reusable query engine over [`CsrGraph`] with an
+//!   owned, generation-stamped workspace: `bounded_distance`,
+//!   `shortest_path_tree` and `ball` queries perform **zero heap allocation
+//!   per query** after warm-up (see [`engine`]). This is the hot path of every
+//!   spanner construction; the [`dijkstra`] free functions remain as one-shot
+//!   conveniences.
+//! * Shortest paths — [`dijkstra`] (full, single-pair, and distance-bounded
+//!   variants; allocation-per-call, kept for one-off queries and as the
+//!   reference implementation the engine is property-tested against).
 //! * Minimum spanning trees — [`mst`] (Kruskal and Prim) built on [`UnionFind`].
 //! * Structural queries — [`connectivity`], [`girth`], [`apsp`], [`metric_closure`].
 //! * Workload generation — [`generators`] (random, geometric, grid, cage graphs, the
@@ -29,6 +41,23 @@
 //! let d = shortest_path_distance(&g, 0.into(), 3.into()).unwrap();
 //! assert!((d - 4.0).abs() < 1e-9);
 //! ```
+//!
+//! For repeated queries (every spanner construction), hold a [`CsrGraph`]
+//! and one [`DijkstraEngine`] instead of calling the free functions in a
+//! loop:
+//!
+//! ```
+//! use spanner_graph::{CsrGraph, DijkstraEngine, VertexId, WeightedGraph};
+//!
+//! let g = WeightedGraph::from_edges(4, [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 1.0)]).unwrap();
+//! let csr = CsrGraph::from(&g);
+//! let mut engine = DijkstraEngine::new();
+//! for v in 1..4 {
+//!     let _ = engine.bounded_distance(&csr, VertexId(0), VertexId(v), 10.0);
+//! }
+//! // Everything after the first query reused the workspace: zero allocations.
+//! assert_eq!(engine.stats().reuse_hits, engine.stats().queries - 1);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,7 +65,9 @@
 pub mod apsp;
 pub mod builder;
 pub mod connectivity;
+pub mod csr;
 pub mod dijkstra;
+pub mod engine;
 pub mod error;
 pub mod generators;
 pub mod girth;
@@ -47,6 +78,8 @@ pub mod properties;
 pub mod union_find;
 
 pub use builder::GraphBuilder;
+pub use csr::CsrGraph;
+pub use engine::{DijkstraEngine, EngineStats, EngineTree};
 pub use error::GraphError;
 pub use graph::{Edge, EdgeId, VertexId, WeightedGraph};
 pub use union_find::UnionFind;

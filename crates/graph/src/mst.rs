@@ -8,6 +8,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use crate::csr::CsrGraph;
 use crate::graph::{Edge, EdgeId, VertexId, WeightedGraph};
 use crate::union_find::UnionFind;
 
@@ -93,13 +94,17 @@ impl PartialOrd for PrimEntry {
 /// Computes a minimum spanning forest with Prim's algorithm (lazy deletion).
 ///
 /// Produces a forest of the same total weight as [`kruskal`]; the edge set may
-/// differ when the graph has ties.
+/// differ when the graph has ties. Neighbor scans run on a packed
+/// [`CsrGraph`] view so the inner loop reads contiguous memory instead of
+/// chasing the per-vertex adjacency vectors.
 pub fn prim(graph: &WeightedGraph) -> SpanningForest {
     let n = graph.num_vertices();
+    let csr = CsrGraph::from(graph);
     let mut in_tree = vec![false; n];
     let mut edges = Vec::new();
     let mut total_weight = 0.0;
     let mut num_components = 0;
+    let mut heap = BinaryHeap::new();
 
     for start in 0..n {
         if in_tree[start] {
@@ -107,12 +112,11 @@ pub fn prim(graph: &WeightedGraph) -> SpanningForest {
         }
         num_components += 1;
         in_tree[start] = true;
-        let mut heap = BinaryHeap::new();
-        for &(v, e) in graph.neighbors(VertexId(start)) {
+        for nb in csr.neighbors(VertexId(start)) {
             heap.push(PrimEntry {
-                weight: graph.edge(e).weight,
-                edge: e,
-                to: v,
+                weight: nb.weight,
+                edge: nb.edge,
+                to: nb.to,
             });
         }
         while let Some(PrimEntry { weight, edge, to }) = heap.pop() {
@@ -122,12 +126,12 @@ pub fn prim(graph: &WeightedGraph) -> SpanningForest {
             in_tree[to.index()] = true;
             edges.push(edge);
             total_weight += weight;
-            for &(v, e) in graph.neighbors(to) {
-                if !in_tree[v.index()] {
+            for nb in csr.neighbors(to) {
+                if !in_tree[nb.to.index()] {
                     heap.push(PrimEntry {
-                        weight: graph.edge(e).weight,
-                        edge: e,
-                        to: v,
+                        weight: nb.weight,
+                        edge: nb.edge,
+                        to: nb.to,
                     });
                 }
             }

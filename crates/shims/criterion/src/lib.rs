@@ -15,10 +15,20 @@
 //! * invoked any other way (plain run, `cargo test --benches`): each
 //!   benchmark body runs exactly once so its assertions are exercised, but
 //!   nothing is timed.
+//!
+//! Two environment variables drive CI smoke runs:
+//!
+//! * `BENCH_SAMPLE_SIZE` — overrides every group's sample size (clamped to at
+//!   least 1), so a scheduled pipeline can run the real measurement path with
+//!   a tiny iteration count.
+//! * `BENCH_JSON` — path of a JSON-lines file; each measured benchmark
+//!   appends one `{"bench", "samples", "min_ns", "mean_ns", "max_ns"}`
+//!   record, which CI uploads as the perf-trajectory artifact.
 
 #![forbid(unsafe_code)]
 
 use std::fmt::Display;
+use std::io::Write;
 use std::time::{Duration, Instant};
 
 /// Prevents the optimizer from discarding a value.
@@ -112,7 +122,9 @@ impl BenchmarkGroup<'_> {
     fn run(&mut self, id: &str, mut body: impl FnMut(&mut Bencher)) {
         let full = format!("{}/{}", self.name, id);
         let iterations = if self.criterion.measure {
-            self.sample_size
+            self.criterion
+                .sample_size_override
+                .unwrap_or(self.sample_size)
         } else {
             0
         };
@@ -136,6 +148,24 @@ impl BenchmarkGroup<'_> {
             total / n as u32,
             max
         );
+        if let Some(path) = &self.criterion.json_path {
+            let record = format!(
+                "{{\"bench\":\"{}\",\"samples\":{},\"min_ns\":{},\"mean_ns\":{},\"max_ns\":{}}}\n",
+                full,
+                bencher.samples.len(),
+                min.as_nanos(),
+                (total / n as u32).as_nanos(),
+                max.as_nanos()
+            );
+            let written = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .and_then(|mut f| f.write_all(record.as_bytes()));
+            if let Err(e) = written {
+                eprintln!("BENCH_JSON: could not append to {path}: {e}");
+            }
+        }
     }
 
     /// Finishes the group (printing is immediate, so this is a no-op).
@@ -145,6 +175,10 @@ impl BenchmarkGroup<'_> {
 /// Top-level harness state (subset of criterion's `Criterion`).
 pub struct Criterion {
     measure: bool,
+    /// `BENCH_SAMPLE_SIZE` override for every group (CI smoke runs).
+    sample_size_override: Option<usize>,
+    /// `BENCH_JSON` destination for machine-readable per-bench records.
+    json_path: Option<String>,
 }
 
 impl Default for Criterion {
@@ -152,7 +186,16 @@ impl Default for Criterion {
         // cargo bench invokes bench binaries with `--bench`; anything else
         // (cargo test, plain runs) gets the fast single-iteration mode.
         let measure = std::env::args().any(|a| a == "--bench");
-        Criterion { measure }
+        let sample_size_override = std::env::var("BENCH_SAMPLE_SIZE")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .map(|s| s.max(1));
+        let json_path = std::env::var("BENCH_JSON").ok().filter(|p| !p.is_empty());
+        Criterion {
+            measure,
+            sample_size_override,
+            json_path,
+        }
     }
 }
 
@@ -199,9 +242,17 @@ mod tests {
         assert_eq!(BenchmarkId::from("plain").id, "plain");
     }
 
+    fn criterion_with(measure: bool) -> Criterion {
+        Criterion {
+            measure,
+            sample_size_override: None,
+            json_path: None,
+        }
+    }
+
     #[test]
     fn test_mode_runs_body_once() {
-        let mut criterion = Criterion { measure: false };
+        let mut criterion = criterion_with(false);
         let mut group = criterion.benchmark_group("g");
         let mut runs = 0;
         group.bench_function("count", |b| {
@@ -213,7 +264,7 @@ mod tests {
 
     #[test]
     fn measure_mode_runs_sample_size_iterations() {
-        let mut criterion = Criterion { measure: true };
+        let mut criterion = criterion_with(true);
         let mut group = criterion.benchmark_group("g");
         group.sample_size(5);
         let mut runs = 0;
@@ -222,5 +273,29 @@ mod tests {
         });
         group.finish();
         assert_eq!(runs, 6, "5 timed + 1 warmup");
+    }
+
+    #[test]
+    fn sample_size_override_and_json_records() {
+        let path =
+            std::env::temp_dir().join(format!("criterion_shim_json_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let mut criterion = Criterion {
+            measure: true,
+            sample_size_override: Some(2),
+            json_path: Some(path.to_string_lossy().into_owned()),
+        };
+        let mut group = criterion.benchmark_group("g");
+        group.sample_size(50);
+        let mut runs = 0;
+        group.bench_function("count", |b| {
+            b.iter(|| runs += 1);
+        });
+        group.finish();
+        assert_eq!(runs, 3, "override (2 samples) + 1 warmup");
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert!(contents.contains("\"bench\":\"g/count\""));
+        assert!(contents.contains("\"samples\":2"));
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -34,6 +34,17 @@ fn main() -> Result<(), SpannerError> {
         "  measured stretch {:.3} (target {:.1})",
         report.max_stretch, 3.0
     );
+    // The construction ran on the CSR query substrate: one bounded Dijkstra
+    // per candidate edge, every one answered from the engine's pre-sized
+    // workspace with zero per-query heap allocation.
+    println!(
+        "  {} distance queries, {} workspace reuse hits",
+        greedy.stats.distance_queries, greedy.stats.workspace_reuse_hits
+    );
+    assert_eq!(
+        greedy.stats.workspace_reuse_hits,
+        greedy.stats.distance_queries
+    );
     assert!(report.meets_stretch_target());
 
     // 2. A planar point set: greedy (1 + ε)-spanner of the induced metric.
@@ -79,9 +90,31 @@ fn main() -> Result<(), SpannerError> {
         );
     }
 
+    // 5. The substrate is usable directly: hold a CsrGraph and one
+    //    DijkstraEngine for any query loop of your own instead of calling
+    //    the allocating free functions per query.
+    let csr = spanner_graph::CsrGraph::from(&greedy.spanner);
+    let mut engine = spanner_graph::DijkstraEngine::with_capacity_for(
+        greedy.spanner.num_vertices(),
+        greedy.spanner.num_edges(),
+    );
+    let sample: Vec<f64> = (1..6)
+        .filter_map(|v| engine.bounded_distance(&csr, VertexId(0), VertexId(v), 50.0))
+        .collect();
+    println!(
+        "\n{} direct engine queries on the spanner, {} reuse hits (zero allocations)",
+        engine.stats().queries,
+        engine.stats().reuse_hits
+    );
+    assert_eq!(engine.stats().queries, 5);
+    assert!(sample.len() <= 5);
+
     // Migration note: the pre-0.2 free functions (`greedy_spanner`,
     // `greedy_spanner_of_metric`, `approximate_greedy_spanner`, baselines)
     // still compile as deprecated shims; each maps onto one builder chain —
-    // see the `greedy_spanner` crate docs for the full table.
+    // see the `greedy_spanner` crate docs for the full table. The Dijkstra
+    // free functions (`bounded_distance`, `shortest_path_tree`, `ball`)
+    // remain for one-off queries; loops should migrate to
+    // `CsrGraph` + `DijkstraEngine` as above.
     Ok(())
 }

@@ -28,6 +28,29 @@
 //! # Ok::<(), greedy_spanner::SpannerError>(())
 //! ```
 //!
+//! # The CSR query substrate
+//!
+//! Every construction now runs its shortest-path queries on a shared
+//! substrate in [`graph`]: [`CsrGraph`](spanner_graph::CsrGraph) (a flat,
+//! incrementally appendable compressed-sparse-row view) queried through a
+//! [`DijkstraEngine`](spanner_graph::DijkstraEngine) whose owned,
+//! generation-stamped workspace makes every query allocation-free once
+//! pre-sized. The pipeline surfaces this in
+//! [`RunStats`](greedy_spanner::RunStats): `distance_queries` counts the
+//! bounded searches a construction issued and `workspace_reuse_hits` counts
+//! how many ran without growing the workspace (the two are equal on the
+//! engine-backed paths).
+//!
+//! ```
+//! use greedy_spanner_suite::graph::{CsrGraph, DijkstraEngine, VertexId, WeightedGraph};
+//!
+//! let g = WeightedGraph::from_edges(3, [(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+//! let csr = CsrGraph::from(&g);
+//! let mut engine = DijkstraEngine::with_capacity_for(g.num_vertices(), g.num_edges());
+//! assert_eq!(engine.bounded_distance(&csr, VertexId(0), VertexId(2), 5.0), Some(2.0));
+//! assert_eq!(engine.stats().reuse_hits, engine.stats().queries);
+//! ```
+//!
 //! # Migrating from the pre-0.2 free functions
 //!
 //! `greedy_spanner(&g, t)`, `greedy_spanner_of_metric(&m, t)`,
@@ -36,7 +59,12 @@
 //! [`greedy_spanner`](spanners) crate docs. In short:
 //! `Spanner::<algorithm>()` + config setters + `.build(&input)` replaces each
 //! free function, and [`SpannerOutput`](greedy_spanner::SpannerOutput)
-//! replaces the per-construction result structs.
+//! replaces the per-construction result structs. The Dijkstra free functions
+//! (`dijkstra::bounded_distance`, `dijkstra::shortest_path_tree`,
+//! `dijkstra::ball`) remain supported as one-shot conveniences and as the
+//! reference implementation the substrate is property-tested against; any
+//! code issuing them in a loop should hold a `CsrGraph` + `DijkstraEngine`
+//! instead.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -53,7 +81,9 @@ pub mod prelude {
         run_matrix, MatrixCell, Provenance, RunStats, Spanner, SpannerAlgorithm, SpannerBuilder,
         SpannerConfig, SpannerError, SpannerInput, SpannerOutput,
     };
-    pub use spanner_graph::{GraphBuilder, VertexId, WeightedGraph};
+    pub use spanner_graph::{
+        CsrGraph, DijkstraEngine, EngineStats, GraphBuilder, VertexId, WeightedGraph,
+    };
     pub use spanner_metric::{EuclideanSpace, MetricSpace, Point};
 
     // Deprecated shims, re-exported for one release so downstream code

@@ -30,6 +30,14 @@ fn graph_pipeline_generate_spanner_analyze() {
         assert_eq!(result.stats.edges_examined, g.num_edges());
         assert_eq!(result.stats.edges_added, result.spanner.num_edges());
         assert!(result.stats.peak_frontier > 0);
+        // The CSR substrate contract: one bounded query per candidate edge,
+        // and every one of them answered from the pre-sized engine workspace
+        // with zero per-query heap allocation.
+        assert_eq!(result.stats.distance_queries, g.num_edges());
+        assert_eq!(
+            result.stats.workspace_reuse_hits, result.stats.distance_queries,
+            "t = {t}: a greedy query allocated mid-construction"
+        );
     }
 }
 
