@@ -6,7 +6,7 @@
 
 use std::time::Instant;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use greedy_spanner::algorithms::registry;
 use greedy_spanner::greedy::greedy_spanner_reference;
@@ -101,5 +101,73 @@ fn bench_er2000_legacy_vs_csr(c: &mut Criterion) {
     );
 }
 
-criterion_group!(benches, bench_baselines, bench_er2000_legacy_vs_csr);
+/// The parallel-scaling headline: greedy construction of the er2000
+/// workload through the batched filter-then-commit loop at 1/2/4/8
+/// threads. The BENCH_JSON rows (`parallel_scaling/er2000_greedy_threads/k`)
+/// are the artifact CI archives as `bench-parallel-scaling.jsonl`; the
+/// speedup is mean(threads=1) / mean(threads=k). The outputs are asserted
+/// identical across thread counts — the determinism guarantee is part of
+/// what this bench certifies.
+fn bench_parallel_scaling(c: &mut Criterion) {
+    let n = 2000usize;
+    let g = random_graph(n, DEFAULT_SEED);
+    let stretch = 2.0;
+    let thread_counts = [1usize, 2, 4, 8];
+
+    let mut group = c.benchmark_group("parallel_scaling");
+    group.sample_size(5);
+    for &threads in &thread_counts {
+        group.bench_function(BenchmarkId::new("er2000_greedy_threads", threads), |b| {
+            b.iter(|| {
+                Spanner::greedy()
+                    .stretch(stretch)
+                    .threads(threads)
+                    .build(&g)
+                    .expect("valid stretch")
+                    .spanner
+                    .num_edges()
+            })
+        });
+    }
+    group.finish();
+
+    // One-shot wall-clock summary plus the output-identity check, printed
+    // so the speedup and the recheck overhead are visible at any sample
+    // count.
+    let mut baseline = None;
+    let mut one_thread_time = None;
+    for &threads in &thread_counts {
+        let start = Instant::now();
+        let out = Spanner::greedy()
+            .stretch(stretch)
+            .threads(threads)
+            .build(&g)
+            .unwrap();
+        let elapsed = start.elapsed();
+        let baseline_edges = *baseline.get_or_insert(out.spanner.num_edges());
+        assert_eq!(
+            out.spanner.num_edges(),
+            baseline_edges,
+            "thread count changed the greedy output"
+        );
+        let speedup =
+            one_thread_time.get_or_insert(elapsed).as_secs_f64() / elapsed.as_secs_f64().max(1e-12);
+        println!(
+            "parallel_scaling er2000 greedy t={stretch} threads={threads}: {elapsed:?} \
+             ({speedup:.2}x vs 1 thread), {} batches, {} recheck hits, {} queries, \
+             utilization {:.2}",
+            out.stats.batches,
+            out.stats.batch_recheck_hits,
+            out.stats.distance_queries,
+            out.stats.worker_utilization,
+        );
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_baselines,
+    bench_er2000_legacy_vs_csr,
+    bench_parallel_scaling
+);
 criterion_main!(benches);

@@ -9,11 +9,12 @@
 //! (`BENCH_SAMPLE_SIZE`) and archives the JSON summary (`BENCH_JSON`) as the
 //! perf trajectory.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use spanner_bench::workloads::{random_graph, uniform_square, DEFAULT_SEED};
 use spanner_graph::dijkstra::{bounded_distance, shortest_path_tree};
 use spanner_graph::mst::kruskal;
+use spanner_graph::parallel::EnginePool;
 use spanner_graph::{CsrGraph, DijkstraEngine, VertexId};
 use spanner_metric::net::NetHierarchy;
 use spanner_metric::wspd::{well_separated_pairs, SplitTree};
@@ -75,5 +76,35 @@ fn bench_substrates(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_substrates);
+/// The pool fan-out in isolation: one fixed batch of bounded queries mapped
+/// across an [`EnginePool`] snapshot at 1/2/4/8 workers. This is the pure
+/// substrate half of the `parallel_scaling` story — no greedy commit phase,
+/// so it measures the ceiling the construction-level bench can reach.
+fn bench_parallel_scaling(c: &mut Criterion) {
+    let big = random_graph(2000, DEFAULT_SEED);
+    let csr = CsrGraph::from(&big);
+    let queries = query_batch(big.num_vertices(), 512);
+    let mut group = c.benchmark_group("parallel_scaling");
+    group.sample_size(20);
+    for threads in [1usize, 2, 4, 8] {
+        let mut pool = EnginePool::with_capacity_for(threads, big.num_vertices(), big.num_edges());
+        let mut out = vec![false; queries.len()];
+        group.bench_function(BenchmarkId::new("pool_filter_batch_n2000", threads), |b| {
+            b.iter(|| {
+                pool.map_batch(
+                    csr.snapshot(),
+                    &queries,
+                    &mut out,
+                    |engine, graph, &(s, t, bound)| {
+                        engine.bounded_distance(graph, s, t, bound).is_some()
+                    },
+                );
+                out.iter().filter(|&&covered| covered).count()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrates, bench_parallel_scaling);
 criterion_main!(benches);

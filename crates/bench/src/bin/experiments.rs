@@ -12,6 +12,15 @@
 //!
 //! Run with `cargo run --release -p spanner-bench --bin experiments`.
 //! Pass a subset of experiment ids (e.g. `e1 e5`) to run only those.
+//!
+//! **Threads.** Every construction honors the `SPANNER_THREADS` environment
+//! variable (the tables use configs that leave `threads` at 0, so
+//! [`SpannerConfig::resolve_threads`] reads the env): single builds run the
+//! batched filter-then-commit loop with that many workers, and the E10
+//! batch runner spends the same budget on cell-level parallelism. Outputs
+//! are bit-identical at every thread count — `SPANNER_THREADS=8` changes
+//! how fast the tables regenerate, never a number in them (wall-time
+//! columns aside).
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -34,7 +43,12 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
     let want = |id: &str| args.is_empty() || args.iter().any(|a| a == id);
 
-    println!("Greedy-spanner reproduction — experiment tables (seed {DEFAULT_SEED})\n");
+    println!(
+        "Greedy-spanner reproduction — experiment tables (seed {DEFAULT_SEED}, \
+         {} worker thread(s); override with SPANNER_THREADS — outputs are \
+         thread-count invariant)\n",
+        SpannerConfig::default().resolve_threads()
+    );
     if want("e1") {
         println!("{}", experiment_e1().render());
     }
@@ -506,7 +520,9 @@ fn experiment_e10() -> Table {
         seed: DEFAULT_SEED + 12,
         ..SpannerConfig::default()
     };
-    for cell in run_matrix(&inputs, &algorithms, &stretches, &base) {
+    let cells = run_matrix(&inputs, &algorithms, &stretches, &base);
+    let agg = greedy_spanner::aggregate_stats(&cells);
+    for cell in cells {
         match (&cell.output, &cell.report) {
             (Ok(out), Some(report)) => table.add_row(vec![
                 cell.input.clone(),
@@ -534,5 +550,20 @@ fn experiment_e10() -> Table {
             ]),
         };
     }
+    // Per-cell stats rolled up: with parallel cells (SPANNER_THREADS > 1)
+    // the summed wall time exceeds the elapsed time by the achieved
+    // cell-level parallelism.
+    table.add_row(vec![
+        "(aggregate)".to_owned(),
+        format!("{} cells, {} failed", agg.cells, agg.failures),
+        "-".to_owned(),
+        "-".to_owned(),
+        "-".to_owned(),
+        "-".to_owned(),
+        fmt_f(agg.total_wall_time.as_secs_f64() * 1e3),
+        "-".to_owned(),
+        agg.distance_queries.to_string(),
+        agg.workspace_reuse_hits.to_string(),
+    ]);
     table
 }

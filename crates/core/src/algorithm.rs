@@ -242,6 +242,12 @@ pub struct SpannerConfig {
     /// Use cluster-graph distance certificates in the approximate-greedy
     /// simulation (the [GLN02] speed/quality trade).
     pub use_cluster_graph: bool,
+    /// Worker threads for the parallel filter-then-commit constructions and
+    /// the batch runner. `0` (the default) means *auto*: the
+    /// `SPANNER_THREADS` environment variable if set, otherwise 1. The
+    /// output is bit-identical at every thread count, so this is purely a
+    /// throughput knob; see [`SpannerConfig::resolve_threads`].
+    pub threads: usize,
 }
 
 impl Default for SpannerConfig {
@@ -254,9 +260,15 @@ impl Default for SpannerConfig {
             seed: 0,
             hub: 0,
             use_cluster_graph: false,
+            threads: 0,
         }
     }
 }
+
+/// Upper bound on the worker count [`SpannerConfig::resolve_threads`]
+/// returns — a safety valve against absurd `SPANNER_THREADS` values, far
+/// above any sensible spanner-construction parallelism.
+pub const MAX_THREADS: usize = 64;
 
 impl SpannerConfig {
     /// A config with the given stretch target and defaults elsewhere.
@@ -288,7 +300,31 @@ impl SpannerConfig {
         })
     }
 
+    /// The worker count a parallel construction should actually use: the
+    /// explicit [`SpannerConfig::threads`] if non-zero, otherwise the
+    /// `SPANNER_THREADS` environment variable, otherwise 1 — clamped to
+    /// `1..=`[`MAX_THREADS`].
+    ///
+    /// Thread count never changes any output (the filter-then-commit loop
+    /// is deterministic by construction), so the env override is safe to
+    /// set globally — CI runs the whole test suite under several values.
+    pub fn resolve_threads(&self) -> usize {
+        let requested = if self.threads > 0 {
+            self.threads
+        } else {
+            std::env::var("SPANNER_THREADS")
+                .ok()
+                .and_then(|s| s.trim().parse::<usize>().ok())
+                .unwrap_or(1)
+        };
+        requested.clamp(1, MAX_THREADS)
+    }
+
     /// Compact `key=value` rendering for provenance and tables.
+    ///
+    /// `threads` appears only when set explicitly in the config: the env
+    /// override is deliberately excluded so provenance is a pure function
+    /// of the config — thread count cannot change any output.
     pub fn describe(&self) -> String {
         let mut parts = vec![format!("t={}", self.stretch)];
         if let Some(eps) = self.epsilon {
@@ -302,6 +338,9 @@ impl SpannerConfig {
         parts.push(format!("hub={}", self.hub));
         if self.use_cluster_graph {
             parts.push("cluster-graph".to_owned());
+        }
+        if self.threads > 0 {
+            parts.push(format!("threads={}", self.threads));
         }
         parts.join(" ")
     }
@@ -331,6 +370,23 @@ pub struct RunStats {
     /// workspace, so this equals [`RunStats::distance_queries`] for them; a
     /// shortfall means the substrate allocated mid-construction.
     pub workspace_reuse_hits: usize,
+    /// Weight-class batches the parallel filter-then-commit loop processed;
+    /// zero on the sequential (`threads = 1`) path and for constructions
+    /// without a batched loop. Batch boundaries depend only on the candidate
+    /// weights, never on the thread count.
+    pub batches: usize,
+    /// Filter survivors the sequential commit phase re-checked and rejected
+    /// because an edge committed *earlier in the same batch* already covered
+    /// them — the price of filtering against a frozen snapshot, and the
+    /// reason the parallel output still equals the sequential one exactly.
+    pub batch_recheck_hits: usize,
+    /// Worker threads the construction ran with (1 = sequential path; 0 for
+    /// constructions that do not report a thread count).
+    pub threads_used: usize,
+    /// Mean busy fraction of the worker pool across the parallel filter
+    /// phases (`1.0` = perfectly balanced or sequential; `0.0` when the
+    /// construction reports no utilization).
+    pub worker_utilization: f64,
 }
 
 /// Where an output came from: which algorithm, which parameters, over what.
@@ -375,7 +431,10 @@ impl SpannerOutput {
 /// Implementations are stateless: all parameters arrive in the
 /// [`SpannerConfig`] (randomized algorithms derive their RNG from
 /// `config.seed`, so equal `(input, config)` pairs give equal outputs).
-pub trait SpannerAlgorithm {
+/// Statelessness is also why the trait requires `Send + Sync`: the batch
+/// runner ([`crate::matrix::run_matrix`]) shares one boxed algorithm across
+/// its worker threads.
+pub trait SpannerAlgorithm: Send + Sync {
     /// Stable, kebab-case name (`"greedy"`, `"baswana-sen"`, …).
     fn name(&self) -> &'static str;
 

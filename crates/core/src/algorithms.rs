@@ -55,13 +55,17 @@ impl SpannerAlgorithm for Greedy {
                 return Err(SpannerError::EmptyInput);
             }
             let graph = input.to_graph();
-            let result = run_greedy(&graph, config.stretch)?;
+            let result = run_greedy(&graph, config.stretch, config.resolve_threads())?;
             let stats = RunStats {
                 edges_examined: result.edges_examined(),
                 edges_added: result.edges_added(),
                 peak_frontier: result.peak_frontier(),
                 distance_queries: result.distance_queries(),
                 workspace_reuse_hits: result.workspace_reuse_hits(),
+                batches: result.batches(),
+                batch_recheck_hits: result.batch_recheck_hits(),
+                threads_used: result.threads_used(),
+                worker_utilization: result.worker_utilization(),
                 ..RunStats::default()
             };
             Ok((result.into_spanner(), stats))
@@ -95,6 +99,7 @@ impl SpannerAlgorithm for ApproxGreedy {
         timed_build(self, input, config, || {
             let mut params = ApproxGreedyParams::new(config.effective_epsilon());
             params.use_cluster_graph = config.use_cluster_graph;
+            params.threads = config.resolve_threads();
             let result = run_approx_greedy(metric, params)?;
             let stats = RunStats {
                 edges_examined: result.light_edges + result.simulated_edges,
@@ -102,6 +107,10 @@ impl SpannerAlgorithm for ApproxGreedy {
                 peak_frontier: result.peak_frontier,
                 distance_queries: result.distance_queries,
                 workspace_reuse_hits: result.workspace_reuse_hits,
+                batches: result.batches,
+                batch_recheck_hits: result.batch_recheck_hits,
+                threads_used: result.threads_used,
+                worker_utilization: result.worker_utilization,
                 ..RunStats::default()
             };
             Ok((result.spanner, stats))
@@ -433,25 +442,55 @@ mod tests {
     }
 
     #[test]
-    fn greedy_output_matches_the_legacy_entry_point() {
-        #![allow(deprecated)]
+    fn greedy_output_matches_the_reference_loop() {
         let mut rng = SmallRng::seed_from_u64(9);
         let g = erdos_renyi_connected(30, 0.3, 1.0..10.0, &mut rng);
-        let via_trait = Greedy
-            .build(&SpannerInput::from(&g), &SpannerConfig::for_stretch(2.5))
-            .unwrap();
-        #[allow(deprecated)]
-        let via_legacy = crate::greedy::greedy_spanner(&g, 2.5).unwrap();
-        assert_eq!(
-            via_trait.spanner.num_edges(),
-            via_legacy.spanner().num_edges()
-        );
-        assert!(
-            (via_trait.spanner.total_weight() - via_legacy.spanner().total_weight()).abs() < 1e-9
-        );
-        assert_eq!(via_trait.stats.edges_examined, via_legacy.edges_examined());
+        // threads pinned to 1: the suite must pass under any SPANNER_THREADS,
+        // and this test asserts the sequential path's bookkeeping.
+        let config = SpannerConfig {
+            threads: 1,
+            ..SpannerConfig::for_stretch(2.5)
+        };
+        let via_trait = Greedy.build(&SpannerInput::from(&g), &config).unwrap();
+        let reference = crate::greedy::greedy_spanner_reference(&g, 2.5).unwrap();
+        assert_eq!(via_trait.spanner, *reference.spanner());
+        assert_eq!(via_trait.stats.edges_examined, reference.edges_examined());
         assert!(via_trait.stats.peak_frontier > 0);
         assert!(via_trait.stats.wall_time.as_nanos() > 0);
+        assert_eq!(via_trait.stats.threads_used, 1);
+        assert!((via_trait.stats.worker_utilization - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threads_config_changes_no_output_and_surfaces_parallel_stats() {
+        let mut rng = SmallRng::seed_from_u64(19);
+        let g = erdos_renyi_connected(50, 0.3, 1.0..10.0, &mut rng);
+        let input = SpannerInput::from(&g);
+        let sequential = Greedy
+            .build(
+                &input,
+                &SpannerConfig {
+                    threads: 1,
+                    ..SpannerConfig::for_stretch(2.0)
+                },
+            )
+            .unwrap();
+        for threads in [2, 4, 8] {
+            let config = SpannerConfig {
+                threads,
+                ..SpannerConfig::for_stretch(2.0)
+            };
+            let parallel = Greedy.build(&input, &config).unwrap();
+            assert_eq!(parallel.spanner, sequential.spanner, "threads = {threads}");
+            assert_eq!(parallel.stats.threads_used, threads);
+            assert!(parallel.stats.batches >= 1);
+            assert_eq!(
+                parallel.stats.workspace_reuse_hits, parallel.stats.distance_queries,
+                "pool engines must stay allocation-free"
+            );
+            assert!(config.describe().contains(&format!("threads={threads}")));
+        }
+        assert_eq!(sequential.stats.batches, 0, "sequential path never batches");
     }
 
     #[test]

@@ -19,15 +19,26 @@
 //!    sound **upper bounds** on the true spanner distance, so the output is
 //!    always a valid `(1 + ε)`-spanner of the metric.
 //!
+//! In the exact-certificate mode the per-bucket simulation runs the same
+//! batched **filter-then-commit** loop as the graph greedy
+//! (see [`crate::greedy`]): each bucket's candidates are filtered in
+//! parallel against a frozen snapshot of the growing spanner and survivors
+//! are committed sequentially with an exact re-check, so the output is
+//! bit-identical at every thread count ([`ApproxGreedyParams::threads`]).
+//! The cluster-graph mode stays sequential — its certificates mutate shared
+//! cluster state per commit.
+//!
 //! The lightness of the result is what Theorem 6 (via Lemma 13) bounds; the
 //! experiments compare it against the exact greedy spanner's.
 
-use spanner_graph::{CsrGraph, DijkstraEngine, VertexId, WeightedGraph};
+use spanner_graph::parallel::EnginePool;
+use spanner_graph::{CsrGraph, VertexId, WeightedGraph};
 use spanner_metric::MetricSpace;
 
 use crate::bounded_degree::bounded_degree_spanner;
 use crate::cluster_graph::ClusterGraph;
 use crate::error::{validate_epsilon, SpannerError};
+use crate::greedy::filter_commit_greedy;
 
 /// Tuning parameters of the approximate-greedy construction.
 ///
@@ -51,6 +62,10 @@ pub struct ApproxGreedyParams {
     /// spanner answers them exactly, which keeps the output as light as the
     /// greedy run over the same candidates.
     pub use_cluster_graph: bool,
+    /// Worker threads for the exact-mode greedy simulation (1 = sequential;
+    /// the output is identical at every value). Ignored in cluster-graph
+    /// mode.
+    pub threads: usize,
 }
 
 impl ApproxGreedyParams {
@@ -62,6 +77,7 @@ impl ApproxGreedyParams {
             bucket_ratio: 4.0,
             cluster_radius_fraction: 1.0 / 16.0,
             use_cluster_graph: false,
+            threads: 1,
         }
     }
 
@@ -100,48 +116,20 @@ pub struct ApproxGreedySpanner {
     pub workspace_reuse_hits: usize,
     /// Peak Dijkstra frontier over all simulation queries.
     pub peak_frontier: usize,
+    /// Weight-class batches the parallel filter-then-commit simulation
+    /// processed (zero in sequential and cluster-graph modes).
+    pub batches: usize,
+    /// Filter survivors the exact commit re-check rejected.
+    pub batch_recheck_hits: usize,
+    /// Worker threads the simulation ran with.
+    pub threads_used: usize,
+    /// Mean busy fraction of the worker pool (1.0 when sequential).
+    pub worker_utilization: f64,
 }
 
-/// Runs the approximate-greedy algorithm with default parameters.
-///
-/// # Errors
-///
-/// Returns [`SpannerError::InvalidEpsilon`] for `ε ∉ (0, 1)` or
-/// [`SpannerError::EmptyInput`] for an empty metric.
-#[deprecated(
-    since = "0.2.0",
-    note = "dispatch through the unified pipeline instead: \
-            `Spanner::approx_greedy().epsilon(eps).build(&metric)` or any \
-            `SpannerAlgorithm` from `algorithms::registry()`"
-)]
-pub fn approximate_greedy_spanner<M: MetricSpace + ?Sized>(
-    metric: &M,
-    epsilon: f64,
-) -> Result<ApproxGreedySpanner, SpannerError> {
-    run_approx_greedy(metric, ApproxGreedyParams::new(epsilon))
-}
-
-/// Runs the approximate-greedy algorithm with explicit parameters.
-///
-/// # Errors
-///
-/// Returns [`SpannerError::InvalidEpsilon`] if the ε budget or its split is
-/// invalid, or [`SpannerError::EmptyInput`] for an empty metric.
-#[deprecated(
-    since = "0.2.0",
-    note = "dispatch through the unified pipeline instead: \
-            `Spanner::approx_greedy()` with config setters, or any \
-            `SpannerAlgorithm` from `algorithms::registry()`"
-)]
-pub fn approximate_greedy_spanner_with_params<M: MetricSpace + ?Sized>(
-    metric: &M,
-    params: ApproxGreedyParams,
-) -> Result<ApproxGreedySpanner, SpannerError> {
-    run_approx_greedy(metric, params)
-}
-
-/// The approximate-greedy engine behind both the deprecated shims and the
-/// `ApproxGreedy` implementation of [`crate::algorithm::SpannerAlgorithm`].
+/// The approximate-greedy engine behind the `ApproxGreedy` implementation of
+/// [`crate::algorithm::SpannerAlgorithm`] (reach it through
+/// `Spanner::approx_greedy().epsilon(eps).threads(n).build(&metric)`).
 pub(crate) fn run_approx_greedy<M: MetricSpace + ?Sized>(
     metric: &M,
     params: ApproxGreedyParams,
@@ -160,15 +148,21 @@ pub(crate) fn run_approx_greedy<M: MetricSpace + ?Sized>(
     if n == 0 {
         return Err(SpannerError::EmptyInput);
     }
+    let threads = params.threads.max(1);
+    // Cluster-graph certificates mutate shared cluster state per commit, so
+    // that mode runs sequentially regardless of the requested budget — and
+    // must report so, or stats consumers would compare phantom scaling.
+    let reported_threads = if params.use_cluster_graph { 1 } else { threads };
 
     // Step 1: bounded-degree base spanner.
     let base_eps = params.epsilon * params.base_fraction;
     let base = bounded_degree_spanner(metric, base_eps)?;
-    // The growing output lives in appendable CSR form; one engine, pre-sized
-    // for the worst case (the output is a subgraph of the base), answers
-    // every exact simulation query without per-query allocation.
+    // The growing output lives in appendable CSR form; a pool of engines —
+    // worker 0 doubles as the sequential-path engine — is pre-sized for the
+    // worst case (the output is a subgraph of the base), so every exact
+    // simulation query is allocation-free.
     let mut spanner = CsrGraph::new(n);
-    let mut engine = DijkstraEngine::with_capacity_for(n, base.num_edges());
+    let mut pool = EnginePool::with_capacity_for(threads, n, base.num_edges());
     if base.num_edges() == 0 {
         return Ok(ApproxGreedySpanner {
             spanner: spanner.to_weighted_graph(),
@@ -180,6 +174,10 @@ pub(crate) fn run_approx_greedy<M: MetricSpace + ?Sized>(
             distance_queries: 0,
             workspace_reuse_hits: 0,
             peak_frontier: 0,
+            batches: 0,
+            batch_recheck_hits: 0,
+            threads_used: reported_threads,
+            worker_utilization: 1.0,
         });
     }
 
@@ -202,51 +200,66 @@ pub(crate) fn run_approx_greedy<M: MetricSpace + ?Sized>(
     });
 
     // Step 3: bucketed greedy simulation. Distance queries are either exact
-    // bounded-Dijkstra searches on the growing spanner (default) or the
-    // cluster-graph over-estimates of Section 5.1; both are sound, so the
-    // output always meets the stretch target.
+    // bounded-Dijkstra searches on the growing spanner (default; batched
+    // filter-then-commit when threads > 1) or the cluster-graph
+    // over-estimates of Section 5.1; both are sound, so the output always
+    // meets the stretch target.
     let t_sim = params.simulation_stretch();
     let mut simulated_added = 0;
     let mut bucket_count = 0;
+    let mut batches = 0;
+    let mut batch_recheck_hits = 0;
     let mut index = 0;
     let mut cluster_stats = spanner_graph::EngineStats::default();
     while index < heavy.len() {
         let bucket_floor = heavy[index].2;
         let bucket_ceiling = bucket_floor * params.bucket_ratio;
-        let radius = params.epsilon * params.cluster_radius_fraction * bucket_floor;
-        let mut clusters = if params.use_cluster_graph {
-            Some(ClusterGraph::build_csr(&spanner, radius))
-        } else {
-            None
-        };
-        bucket_count += 1;
-        while index < heavy.len() && heavy[index].2 < bucket_ceiling {
-            let (u, v, w) = heavy[index];
-            index += 1;
-            let bound = t_sim * w;
-            let covered = match clusters.as_mut() {
-                Some(c) => c.certifies_within(VertexId(u), VertexId(v), bound),
-                None => engine
-                    .bounded_distance(&spanner, VertexId(u), VertexId(v), bound)
-                    .is_some(),
-            };
-            if !covered {
-                spanner.append_edge(VertexId(u), VertexId(v), w);
-                if let Some(c) = clusters.as_mut() {
-                    c.add_spanner_edge(VertexId(u), VertexId(v), w);
-                }
-                simulated_added += 1;
-            }
+        let mut bucket_end = index;
+        while bucket_end < heavy.len() && heavy[bucket_end].2 < bucket_ceiling {
+            bucket_end += 1;
         }
-        if let Some(c) = clusters {
-            let s = c.engine_stats();
+        bucket_count += 1;
+        if params.use_cluster_graph {
+            let radius = params.epsilon * params.cluster_radius_fraction * bucket_floor;
+            let mut clusters = ClusterGraph::build_csr(&spanner, radius);
+            for &(u, v, w) in &heavy[index..bucket_end] {
+                let bound = t_sim * w;
+                if !clusters.certifies_within(VertexId(u), VertexId(v), bound) {
+                    spanner.append_edge(VertexId(u), VertexId(v), w);
+                    clusters.add_spanner_edge(VertexId(u), VertexId(v), w);
+                    simulated_added += 1;
+                }
+            }
+            let s = clusters.engine_stats();
             cluster_stats.queries += s.queries;
             cluster_stats.reuse_hits += s.reuse_hits;
             cluster_stats.peak_frontier = cluster_stats.peak_frontier.max(s.peak_frontier);
+        } else if threads > 1 {
+            let candidates: Vec<(u32, u32, f64)> = heavy[index..bucket_end]
+                .iter()
+                .map(|&(u, v, w)| (u as u32, v as u32, w))
+                .collect();
+            let outcome = filter_commit_greedy(&mut spanner, &mut pool, &candidates, t_sim);
+            simulated_added += outcome.added.len();
+            batches += outcome.batches;
+            batch_recheck_hits += outcome.recheck_hits;
+        } else {
+            let engine = pool.commit_engine();
+            for &(u, v, w) in &heavy[index..bucket_end] {
+                let bound = t_sim * w;
+                if engine
+                    .bounded_distance(&spanner, VertexId(u), VertexId(v), bound)
+                    .is_none()
+                {
+                    spanner.append_edge(VertexId(u), VertexId(v), w);
+                    simulated_added += 1;
+                }
+            }
         }
+        index = bucket_end;
     }
 
-    let exact_stats = engine.stats();
+    let exact_stats = pool.stats();
     Ok(ApproxGreedySpanner {
         spanner: spanner.to_weighted_graph(),
         base,
@@ -257,34 +270,37 @@ pub(crate) fn run_approx_greedy<M: MetricSpace + ?Sized>(
         distance_queries: (exact_stats.queries + cluster_stats.queries) as usize,
         workspace_reuse_hits: (exact_stats.reuse_hits + cluster_stats.reuse_hits) as usize,
         peak_frontier: exact_stats.peak_frontier.max(cluster_stats.peak_frontier),
+        batches,
+        batch_recheck_hits,
+        threads_used: reported_threads,
+        worker_utilization: pool.utilization(),
     })
 }
 
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)] // the shims stay covered until they are removed
-
     use super::*;
     use crate::analysis::{lightness, max_stretch_all_pairs};
-    use crate::greedy_metric::greedy_spanner_of_metric;
+    use crate::greedy_metric::greedy_spanner_of_metric_with_reference;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
     use spanner_metric::generators::{clustered_points, exponential_line, uniform_points};
     use spanner_metric::{EuclideanSpace, MetricSpace};
 
+    fn run(metric: &impl MetricSpace, epsilon: f64) -> Result<ApproxGreedySpanner, SpannerError> {
+        run_approx_greedy(metric, ApproxGreedyParams::new(epsilon))
+    }
+
     #[test]
     fn rejects_invalid_parameters() {
         let s = EuclideanSpace::from_coords([[0.0], [1.0]]);
-        assert!(approximate_greedy_spanner(&s, 0.0).is_err());
-        assert!(approximate_greedy_spanner(&s, 1.0).is_err());
+        assert!(run(&s, 0.0).is_err());
+        assert!(run(&s, 1.0).is_err());
         let mut params = ApproxGreedyParams::new(0.5);
         params.bucket_ratio = 1.0;
-        assert!(approximate_greedy_spanner_with_params(&s, params).is_err());
+        assert!(run_approx_greedy(&s, params).is_err());
         let empty = EuclideanSpace::<1>::new(vec![]);
-        assert!(matches!(
-            approximate_greedy_spanner(&empty, 0.5),
-            Err(SpannerError::EmptyInput)
-        ));
+        assert!(matches!(run(&empty, 0.5), Err(SpannerError::EmptyInput)));
     }
 
     #[test]
@@ -298,7 +314,7 @@ mod tests {
     #[test]
     fn single_point_metric() {
         let s = EuclideanSpace::from_coords([[1.0, 1.0]]);
-        let r = approximate_greedy_spanner(&s, 0.5).unwrap();
+        let r = run(&s, 0.5).unwrap();
         assert_eq!(r.spanner.num_edges(), 0);
         assert_eq!(r.bucket_count, 0);
     }
@@ -309,7 +325,7 @@ mod tests {
         let s = uniform_points::<2, _>(60, &mut rng);
         let complete = s.to_complete_graph();
         for eps in [0.25, 0.5, 0.75] {
-            let r = approximate_greedy_spanner(&s, eps).unwrap();
+            let r = run(&s, eps).unwrap();
             let stretch = max_stretch_all_pairs(&complete, &r.spanner);
             assert!(
                 stretch <= 1.0 + eps + 1e-9,
@@ -320,10 +336,34 @@ mod tests {
     }
 
     #[test]
+    fn parallel_simulation_matches_sequential_bit_for_bit() {
+        let mut rng = SmallRng::seed_from_u64(85);
+        let s = clustered_points::<2, _>(90, 5, 0.04, &mut rng);
+        let sequential = run(&s, 0.5).unwrap();
+        for threads in [2, 4, 8] {
+            let mut params = ApproxGreedyParams::new(0.5);
+            params.threads = threads;
+            let parallel = run_approx_greedy(&s, params).unwrap();
+            assert_eq!(
+                parallel.spanner, sequential.spanner,
+                "threads = {threads}: exact-mode simulation must be thread-count invariant"
+            );
+            assert_eq!(parallel.simulated_added, sequential.simulated_added);
+            assert_eq!(parallel.bucket_count, sequential.bucket_count);
+            assert_eq!(parallel.threads_used, threads);
+            assert!(parallel.batches >= parallel.bucket_count);
+            assert_eq!(
+                parallel.workspace_reuse_hits, parallel.distance_queries,
+                "pool engines must stay allocation-free"
+            );
+        }
+    }
+
+    #[test]
     fn output_is_sparser_than_base_and_bounded_by_base_degree() {
         let mut rng = SmallRng::seed_from_u64(82);
         let s = uniform_points::<2, _>(120, &mut rng);
-        let r = approximate_greedy_spanner(&s, 0.5).unwrap();
+        let r = run(&s, 0.5).unwrap();
         assert!(r.spanner.num_edges() <= r.base.num_edges());
         assert!(r.spanner.max_degree() <= r.base.max_degree());
         assert_eq!(r.light_edges + r.simulated_edges, r.base.num_edges());
@@ -337,8 +377,8 @@ mod tests {
         let s = clustered_points::<2, _>(80, 4, 0.05, &mut rng);
         let complete = s.to_complete_graph();
         let eps = 0.5;
-        let approx = approximate_greedy_spanner(&s, eps).unwrap();
-        let exact = greedy_spanner_of_metric(&s, 1.0 + eps).unwrap();
+        let approx = run(&s, eps).unwrap();
+        let exact = greedy_spanner_of_metric_with_reference(&s, 1.0 + eps, 1).unwrap();
         let l_approx = lightness(&complete, &approx.spanner);
         let l_exact = lightness(&complete, &exact.spanner);
         // Theorem 6 / Lemma 13: the approximate-greedy spanner's lightness is
@@ -357,8 +397,8 @@ mod tests {
         let complete = s.to_complete_graph();
         let mut params = ApproxGreedyParams::new(0.5);
         params.use_cluster_graph = true;
-        let clustered_mode = approximate_greedy_spanner_with_params(&s, params).unwrap();
-        let exact_mode = approximate_greedy_spanner(&s, 0.5).unwrap();
+        let clustered_mode = run_approx_greedy(&s, params).unwrap();
+        let exact_mode = run(&s, 0.5).unwrap();
         assert!(max_stretch_all_pairs(&complete, &clustered_mode.spanner) <= 1.5 + 1e-9);
         // The cluster-graph certificates are looser, so that mode never keeps
         // fewer edges than the exact-certificate mode.
@@ -369,7 +409,7 @@ mod tests {
     fn works_on_high_spread_metrics() {
         let s = exponential_line(20, 1.8);
         let complete = s.to_complete_graph();
-        let r = approximate_greedy_spanner(&s, 0.3).unwrap();
+        let r = run(&s, 0.3).unwrap();
         assert!(max_stretch_all_pairs(&complete, &r.spanner) <= 1.3 + 1e-9);
         assert!(
             r.bucket_count >= 2,

@@ -16,31 +16,15 @@ use spanner_graph::{CsrGraph, EdgeId, VertexId, WeightedGraph};
 
 use crate::error::SpannerError;
 
-/// Builds a `(2k − 1)`-spanner of `graph` with the Baswana–Sen algorithm.
-///
-/// The expected number of edges is `O(k · n^{1 + 1/k})`. The construction is
-/// randomized; pass a seeded RNG for reproducibility.
+/// The Baswana–Sen engine behind the `BaswanaSen` implementation of
+/// [`crate::algorithm::SpannerAlgorithm`]: builds a `(2k − 1)`-spanner with
+/// an expected `O(k · n^{1 + 1/k})` edges. The construction is randomized —
+/// the pipeline derives the RNG from `config.seed` for reproducibility.
+/// Reach it through `Spanner::baswana_sen().k(k).seed(seed).build(&graph)`.
 ///
 /// # Errors
 ///
 /// Returns [`SpannerError::InvalidK`] if `k == 0`.
-#[deprecated(
-    since = "0.2.0",
-    note = "dispatch through the unified pipeline instead: \
-            `Spanner::baswana_sen().k(k).seed(seed).build(&graph)` or any \
-            `SpannerAlgorithm` from `algorithms::registry()`"
-)]
-pub fn baswana_sen_spanner<R: Rng + ?Sized>(
-    graph: &WeightedGraph,
-    k: usize,
-    rng: &mut R,
-) -> Result<WeightedGraph, SpannerError> {
-    run_baswana_sen(graph, k, rng)
-}
-
-/// The Baswana–Sen engine behind both the deprecated [`baswana_sen_spanner`]
-/// shim and the `BaswanaSen` implementation of
-/// [`crate::algorithm::SpannerAlgorithm`].
 pub(crate) fn run_baswana_sen<R: Rng + ?Sized>(
     graph: &WeightedGraph,
     k: usize,
@@ -226,8 +210,6 @@ pub(crate) fn run_baswana_sen<R: Rng + ?Sized>(
 
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)] // the shims stay covered until they are removed
-
     use super::*;
     use crate::analysis::max_stretch_over_edges;
     use rand::rngs::SmallRng;
@@ -239,7 +221,7 @@ mod tests {
         let g = WeightedGraph::from_edges(2, [(0, 1, 1.0)]).unwrap();
         let mut rng = SmallRng::seed_from_u64(1);
         assert!(matches!(
-            baswana_sen_spanner(&g, 0, &mut rng),
+            run_baswana_sen(&g, 0, &mut rng),
             Err(SpannerError::InvalidK)
         ));
     }
@@ -250,7 +232,7 @@ mod tests {
         // algorithm degenerates to keeping the lightest edge per pair.
         let mut rng = SmallRng::seed_from_u64(2);
         let g = erdos_renyi_connected(15, 0.4, 1.0..5.0, &mut rng);
-        let h = baswana_sen_spanner(&g, 1, &mut rng).unwrap();
+        let h = run_baswana_sen(&g, 1, &mut rng).unwrap();
         assert_eq!(h.num_edges(), g.num_edges());
         assert!((max_stretch_over_edges(&g, &h) - 1.0).abs() < 1e-12);
     }
@@ -261,7 +243,7 @@ mod tests {
         for k in [2usize, 3, 4] {
             for trial in 0..5 {
                 let g = erdos_renyi_connected(40, 0.3, 1.0..10.0, &mut rng);
-                let h = baswana_sen_spanner(&g, k, &mut rng).unwrap();
+                let h = run_baswana_sen(&g, k, &mut rng).unwrap();
                 let stretch = max_stretch_over_edges(&g, &h);
                 let bound = (2 * k - 1) as f64;
                 assert!(
@@ -276,7 +258,7 @@ mod tests {
     fn spanner_is_sparser_than_dense_input() {
         let mut rng = SmallRng::seed_from_u64(4);
         let g = complete_graph_with_weights(80, 1.0..10.0, &mut rng);
-        let h = baswana_sen_spanner(&g, 3, &mut rng).unwrap();
+        let h = run_baswana_sen(&g, 3, &mut rng).unwrap();
         assert!(h.num_edges() > 0);
         assert!(
             h.num_edges() < g.num_edges() / 2,
@@ -291,6 +273,6 @@ mod tests {
     fn empty_graph_yields_empty_spanner() {
         let g = WeightedGraph::new(0);
         let mut rng = SmallRng::seed_from_u64(5);
-        assert_eq!(baswana_sen_spanner(&g, 2, &mut rng).unwrap().num_edges(), 0);
+        assert_eq!(run_baswana_sen(&g, 2, &mut rng).unwrap().num_edges(), 0);
     }
 }

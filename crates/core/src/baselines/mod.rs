@@ -5,18 +5,14 @@
 //! cluster-based graph spanners; this module provides those baselines plus the
 //! trivial MST and star spanners used as sanity anchors in the tables.
 
+//! The pre-0.2 free-function constructors (`baswana_sen_spanner`,
+//! `theta_graph_spanner`, `yao_graph_spanner`, `wspd_spanner`,
+//! `mst_spanner`, `star_spanner`) have been removed after their one-release
+//! deprecation window; every baseline is reached through the unified
+//! pipeline — `Spanner::<algorithm>()` with config setters, or
+//! [`crate::algorithms::registry`].
+
 pub mod baswana_sen;
 pub mod theta_graph;
 pub mod trivial;
 pub mod wspd_spanner;
-
-// The free functions are deprecated shims over the unified
-// `SpannerAlgorithm` pipeline; the re-exports stay for one release.
-#[allow(deprecated)]
-pub use baswana_sen::baswana_sen_spanner;
-#[allow(deprecated)]
-pub use theta_graph::{theta_graph_spanner, yao_graph_spanner};
-#[allow(deprecated)]
-pub use trivial::{mst_spanner, star_spanner};
-#[allow(deprecated)]
-pub use wspd_spanner::wspd_spanner;

@@ -81,47 +81,8 @@ pub(crate) fn build_cone_graph(
     Ok(graph)
 }
 
-/// Builds the Θ-graph of a planar point set with `num_cones` cones per point.
-///
-/// # Errors
-///
-/// Returns [`SpannerError::InvalidK`] if fewer than two cones are requested.
-#[deprecated(
-    since = "0.2.0",
-    note = "dispatch through the unified pipeline instead: \
-            `Spanner::theta_graph().cones(k).build(&points)` or any \
-            `SpannerAlgorithm` from `algorithms::registry()`"
-)]
-pub fn theta_graph_spanner(
-    space: &EuclideanSpace<2>,
-    num_cones: usize,
-) -> Result<WeightedGraph, SpannerError> {
-    build_cone_graph(space, num_cones, true)
-}
-
-/// Builds the Yao graph of a planar point set with `num_cones` cones per
-/// point (nearest Euclidean neighbour per cone).
-///
-/// # Errors
-///
-/// Returns [`SpannerError::InvalidK`] if fewer than two cones are requested.
-#[deprecated(
-    since = "0.2.0",
-    note = "dispatch through the unified pipeline instead: \
-            `Spanner::yao_graph().cones(k).build(&points)` or any \
-            `SpannerAlgorithm` from `algorithms::registry()`"
-)]
-pub fn yao_graph_spanner(
-    space: &EuclideanSpace<2>,
-    num_cones: usize,
-) -> Result<WeightedGraph, SpannerError> {
-    build_cone_graph(space, num_cones, false)
-}
-
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)] // the shims stay covered until they are removed
-
     use super::*;
     use crate::analysis::max_stretch_all_pairs;
     use rand::rngs::SmallRng;
@@ -129,25 +90,29 @@ mod tests {
     use spanner_metric::generators::{circle_points, uniform_points};
     use spanner_metric::MetricSpace;
 
+    /// Θ-graph via the engine (`Spanner::theta_graph()` in real code).
+    fn theta(space: &EuclideanSpace<2>, cones: usize) -> Result<WeightedGraph, SpannerError> {
+        build_cone_graph(space, cones, true)
+    }
+
+    /// Yao graph via the engine (`Spanner::yao_graph()` in real code).
+    fn yao(space: &EuclideanSpace<2>, cones: usize) -> Result<WeightedGraph, SpannerError> {
+        build_cone_graph(space, cones, false)
+    }
+
     #[test]
     fn rejects_too_few_cones() {
         let s = EuclideanSpace::from_coords([[0.0, 0.0], [1.0, 1.0]]);
-        assert!(matches!(
-            theta_graph_spanner(&s, 1),
-            Err(SpannerError::InvalidK)
-        ));
-        assert!(matches!(
-            yao_graph_spanner(&s, 0),
-            Err(SpannerError::InvalidK)
-        ));
+        assert!(matches!(theta(&s, 1), Err(SpannerError::InvalidK)));
+        assert!(matches!(yao(&s, 0), Err(SpannerError::InvalidK)));
     }
 
     #[test]
     fn empty_and_singleton_point_sets() {
         let empty = EuclideanSpace::<2>::new(vec![]);
-        assert_eq!(theta_graph_spanner(&empty, 8).unwrap().num_edges(), 0);
+        assert_eq!(theta(&empty, 8).unwrap().num_edges(), 0);
         let single = EuclideanSpace::from_coords([[0.5, 0.5]]);
-        assert_eq!(theta_graph_spanner(&single, 8).unwrap().num_edges(), 0);
+        assert_eq!(theta(&single, 8).unwrap().num_edges(), 0);
     }
 
     #[test]
@@ -155,8 +120,8 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(41);
         let s = uniform_points::<2, _>(120, &mut rng);
         for k in [6usize, 10, 16] {
-            let theta = theta_graph_spanner(&s, k).unwrap();
-            let yao = yao_graph_spanner(&s, k).unwrap();
+            let theta = theta(&s, k).unwrap();
+            let yao = yao(&s, k).unwrap();
             assert!(theta.num_edges() <= 120 * k);
             assert!(yao.num_edges() <= 120 * k);
             assert!(theta.num_edges() >= 119, "must at least connect the points");
@@ -171,7 +136,7 @@ mod tests {
         let complete = s.to_complete_graph();
         for k in [10usize, 14] {
             let bound = cone_stretch_bound(k);
-            let theta = theta_graph_spanner(&s, k).unwrap();
+            let theta = theta(&s, k).unwrap();
             let stretch = max_stretch_all_pairs(&complete, &theta);
             assert!(
                 stretch <= bound + 1e-9,
@@ -186,7 +151,7 @@ mod tests {
         let s = circle_points(50, 0.2, &mut rng);
         let complete = s.to_complete_graph();
         let k = 12;
-        let yao = yao_graph_spanner(&s, k).unwrap();
+        let yao = yao(&s, k).unwrap();
         let stretch = max_stretch_all_pairs(&complete, &yao);
         assert!(stretch <= cone_stretch_bound(k) + 1e-9);
     }
@@ -194,7 +159,7 @@ mod tests {
     #[test]
     fn duplicate_points_do_not_break_construction() {
         let s = EuclideanSpace::from_coords([[0.0, 0.0], [0.0, 0.0], [1.0, 0.0]]);
-        let g = theta_graph_spanner(&s, 8).unwrap();
+        let g = theta(&s, 8).unwrap();
         // The two coincident points cannot be connected (zero-length edge),
         // but the distinct pair is.
         assert!(g.has_edge(0.into(), 2.into()) || g.has_edge(1.into(), 2.into()));

@@ -8,54 +8,28 @@ use spanner_metric::MetricSpace;
 
 use crate::error::SpannerError;
 
-/// The minimum spanning forest of `graph`, as a spanner baseline.
-///
-/// It has the minimum possible weight (lightness 1) and `n − 1` edges, but its
-/// stretch is unbounded in general — the anchor row in the lightness tables.
-#[deprecated(
-    since = "0.2.0",
-    note = "dispatch through the unified pipeline instead: \
-            `Spanner::mst().build(&graph)` or any `SpannerAlgorithm` from \
-            `algorithms::registry()`"
-)]
-pub fn mst_spanner(graph: &WeightedGraph) -> WeightedGraph {
-    run_mst(graph)
-}
-
-/// The MST-baseline engine behind both the deprecated [`mst_spanner`] shim
-/// and the `Mst` implementation of [`crate::algorithm::SpannerAlgorithm`].
+/// The MST-baseline engine behind the `Mst` implementation of
+/// [`crate::algorithm::SpannerAlgorithm`]: the minimum spanning forest of
+/// `graph` (minimum possible weight — lightness 1 — and `n − 1` edges, but
+/// unbounded stretch; the anchor row in the lightness tables). Reach it
+/// through `Spanner::mst().build(&graph)`.
 pub(crate) fn run_mst(graph: &WeightedGraph) -> WeightedGraph {
     kruskal(graph).to_graph(graph)
 }
 
-/// The star baseline of a metric space: every point connected to `hub`.
-///
-/// It has `n − 1` edges and hop-diameter 2, but both its stretch and its
-/// lightness can be `Θ(n)` in the worst case — it anchors the "small size is
-/// not enough" side of the comparison tables (and is the optimal spanner of
-/// the paper's Figure 1 instance).
+/// The star-baseline engine behind the `Star` implementation of
+/// [`crate::algorithm::SpannerAlgorithm`]: every point connected to `hub`
+/// (`n − 1` edges and hop-diameter 2, but stretch and lightness can both be
+/// `Θ(n)` — it anchors the "small size is not enough" side of the
+/// comparison tables, and is the optimal spanner of the paper's Figure 1
+/// instance). Reach it through `Spanner::star().hub(h).build(&metric)`.
 ///
 /// # Errors
 ///
 /// Returns [`SpannerError::EmptyInput`] for an empty metric, or a
-/// [`SpannerError::Graph`]-wrapped out-of-range error for a bad `hub`
-/// (pre-0.2 this panicked; the unified pipeline requires every invalid
-/// parameter to surface as an `Err` so batch runs never abort).
-#[deprecated(
-    since = "0.2.0",
-    note = "dispatch through the unified pipeline instead: \
-            `Spanner::star().hub(h).build(&metric)` or any \
-            `SpannerAlgorithm` from `algorithms::registry()`"
-)]
-pub fn star_spanner<M: MetricSpace + ?Sized>(
-    metric: &M,
-    hub: usize,
-) -> Result<WeightedGraph, SpannerError> {
-    run_star(metric, hub)
-}
-
-/// The star-baseline engine behind both the deprecated [`star_spanner`] shim
-/// and the `Star` implementation of [`crate::algorithm::SpannerAlgorithm`].
+/// [`SpannerError::Graph`]-wrapped out-of-range error for a bad `hub` (the
+/// unified pipeline requires every invalid parameter to surface as an `Err`
+/// so batch runs never abort).
 pub(crate) fn run_star<M: MetricSpace + ?Sized>(
     metric: &M,
     hub: usize,
@@ -82,8 +56,6 @@ pub(crate) fn run_star<M: MetricSpace + ?Sized>(
 
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)] // the shims stay covered until they are removed
-
     use super::*;
     use crate::analysis::{lightness, max_stretch_all_pairs};
     use rand::rngs::SmallRng;
@@ -96,7 +68,7 @@ mod tests {
     fn mst_spanner_has_lightness_one() {
         let mut rng = SmallRng::seed_from_u64(31);
         let g = erdos_renyi_connected(30, 0.3, 1.0..10.0, &mut rng);
-        let t = mst_spanner(&g);
+        let t = run_mst(&g);
         assert_eq!(t.num_edges(), 29);
         assert!((lightness(&g, &t) - 1.0).abs() < 1e-12);
     }
@@ -105,7 +77,7 @@ mod tests {
     fn star_spanner_shape_and_detour_structure() {
         let mut rng = SmallRng::seed_from_u64(32);
         let s = uniform_points::<2, _>(25, &mut rng);
-        let star = star_spanner(&s, 0).unwrap();
+        let star = run_star(&s, 0).unwrap();
         assert_eq!(star.num_edges(), 24);
         assert_eq!(star.degree(0.into()), 24);
         // Every pair is connected through the hub, so the stretch is finite
@@ -119,14 +91,14 @@ mod tests {
     #[test]
     fn star_spanner_rejects_empty_metric() {
         let s = spanner_metric::EuclideanSpace::<2>::new(vec![]);
-        assert!(matches!(star_spanner(&s, 0), Err(SpannerError::EmptyInput)));
+        assert!(matches!(run_star(&s, 0), Err(SpannerError::EmptyInput)));
     }
 
     #[test]
     fn star_spanner_rejects_bad_hub_with_an_error() {
         let s = spanner_metric::EuclideanSpace::from_coords([[0.0], [1.0]]);
         assert!(matches!(
-            star_spanner(&s, 7),
+            run_star(&s, 7),
             Err(SpannerError::Graph(
                 spanner_graph::GraphError::VertexOutOfRange {
                     vertex: 7,

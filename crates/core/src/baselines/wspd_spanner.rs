@@ -17,27 +17,9 @@ pub fn separation_for_epsilon(epsilon: f64) -> f64 {
     4.0 + 8.0 / epsilon
 }
 
-/// Builds the WSPD spanner of a Euclidean point set with target stretch
-/// `1 + ε`.
-///
-/// # Errors
-///
-/// Returns [`SpannerError::InvalidEpsilon`] if `ε` is not in `(0, 1)`.
-#[deprecated(
-    since = "0.2.0",
-    note = "dispatch through the unified pipeline instead: \
-            `Spanner::wspd().epsilon(eps).build(&points)` or any \
-            `SpannerAlgorithm` from `algorithms::registry()`"
-)]
-pub fn wspd_spanner<const D: usize>(
-    space: &EuclideanSpace<D>,
-    epsilon: f64,
-) -> Result<WeightedGraph, SpannerError> {
-    run_wspd(space, epsilon)
-}
-
-/// The WSPD engine behind both the deprecated [`wspd_spanner`] shim and the
-/// `Wspd` implementation of [`crate::algorithm::SpannerAlgorithm`].
+/// The WSPD engine behind the `Wspd` implementation of
+/// [`crate::algorithm::SpannerAlgorithm`]; reach it through
+/// `Spanner::wspd().epsilon(eps).build(&points)`.
 pub(crate) fn run_wspd<const D: usize>(
     space: &EuclideanSpace<D>,
     epsilon: f64,
@@ -75,8 +57,6 @@ pub(crate) fn run_wspd<const D: usize>(
 
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)] // the shims stay covered until they are removed
-
     use super::*;
     use crate::analysis::max_stretch_all_pairs;
     use rand::rngs::SmallRng;
@@ -87,11 +67,11 @@ mod tests {
     fn rejects_invalid_epsilon() {
         let s = EuclideanSpace::from_coords([[0.0, 0.0], [1.0, 1.0]]);
         assert!(matches!(
-            wspd_spanner(&s, 0.0),
+            run_wspd(&s, 0.0),
             Err(SpannerError::InvalidEpsilon { .. })
         ));
         assert!(matches!(
-            wspd_spanner(&s, 1.5),
+            run_wspd(&s, 1.5),
             Err(SpannerError::InvalidEpsilon { .. })
         ));
     }
@@ -99,11 +79,11 @@ mod tests {
     #[test]
     fn tiny_point_sets() {
         let empty = EuclideanSpace::<2>::new(vec![]);
-        assert_eq!(wspd_spanner(&empty, 0.5).unwrap().num_edges(), 0);
+        assert_eq!(run_wspd(&empty, 0.5).unwrap().num_edges(), 0);
         let single = EuclideanSpace::from_coords([[0.0, 0.0]]);
-        assert_eq!(wspd_spanner(&single, 0.5).unwrap().num_edges(), 0);
+        assert_eq!(run_wspd(&single, 0.5).unwrap().num_edges(), 0);
         let pair = EuclideanSpace::from_coords([[0.0, 0.0], [1.0, 0.0]]);
-        assert_eq!(wspd_spanner(&pair, 0.5).unwrap().num_edges(), 1);
+        assert_eq!(run_wspd(&pair, 0.5).unwrap().num_edges(), 1);
     }
 
     #[test]
@@ -112,7 +92,7 @@ mod tests {
         let s = uniform_points::<2, _>(50, &mut rng);
         let complete = s.to_complete_graph();
         for eps in [0.25, 0.5, 0.9] {
-            let h = wspd_spanner(&s, eps).unwrap();
+            let h = run_wspd(&s, eps).unwrap();
             let stretch = max_stretch_all_pairs(&complete, &h);
             assert!(
                 stretch <= 1.0 + eps + 1e-9,
@@ -129,10 +109,10 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(52);
         let small_n = 100;
         let large_n = 400;
-        let small = wspd_spanner(&uniform_points::<2, _>(small_n, &mut rng), 0.5)
+        let small = run_wspd(&uniform_points::<2, _>(small_n, &mut rng), 0.5)
             .unwrap()
             .num_edges();
-        let large = wspd_spanner(&uniform_points::<2, _>(large_n, &mut rng), 0.5)
+        let large = run_wspd(&uniform_points::<2, _>(large_n, &mut rng), 0.5)
             .unwrap()
             .num_edges();
         assert!(small >= small_n - 1, "must connect the point set");
@@ -148,8 +128,8 @@ mod tests {
     fn smaller_epsilon_means_more_edges() {
         let mut rng = SmallRng::seed_from_u64(53);
         let s = clustered_points::<2, _>(80, 4, 0.05, &mut rng);
-        let coarse = wspd_spanner(&s, 0.9).unwrap().num_edges();
-        let fine = wspd_spanner(&s, 0.2).unwrap().num_edges();
+        let coarse = run_wspd(&s, 0.9).unwrap().num_edges();
+        let fine = run_wspd(&s, 0.2).unwrap().num_edges();
         assert!(fine >= coarse);
     }
 

@@ -122,6 +122,16 @@ impl SpannerBuilder {
         self
     }
 
+    /// Sets the worker-thread count for the parallel filter-then-commit
+    /// constructions (`Spanner::greedy().threads(8)`); `0` restores the
+    /// default auto behavior (`SPANNER_THREADS` env var, else 1). The
+    /// output is bit-identical at every thread count — this is purely a
+    /// throughput knob.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
     /// Sets the hub vertex for the star baseline.
     pub fn hub(mut self, hub: usize) -> Self {
         self.config.hub = hub;
@@ -194,6 +204,19 @@ mod tests {
         let b = Spanner::baswana_sen().k(3);
         assert!((b.current_config().stretch - 5.0).abs() < 1e-12);
         assert_eq!(b.current_config().k, Some(3));
+    }
+
+    #[test]
+    fn threads_setter_reaches_the_config_and_keeps_output_stable() {
+        let mut rng = SmallRng::seed_from_u64(24);
+        let g = erdos_renyi_connected(40, 0.3, 1.0..10.0, &mut rng);
+        let builder = Spanner::greedy().stretch(2.0).threads(8);
+        assert_eq!(builder.current_config().threads, 8);
+        let parallel = builder.build(&g).unwrap();
+        let sequential = Spanner::greedy().stretch(2.0).threads(1).build(&g).unwrap();
+        assert_eq!(parallel.spanner, sequential.spanner);
+        assert_eq!(parallel.stats.threads_used, 8);
+        assert_eq!(sequential.stats.threads_used, 1);
     }
 
     #[test]

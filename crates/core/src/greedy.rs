@@ -12,11 +12,47 @@
 //! search never explores beyond the ball that could possibly satisfy the
 //! condition; with ties broken deterministically the output is the canonical
 //! greedy spanner studied by the paper.
+//!
+//! # The batched filter-then-commit parallel loop
+//!
+//! The sequential loop is inherently serial — each verdict depends on every
+//! earlier commit — but commits are *rare* (most candidates are rejected),
+//! and rejections are monotone: adding edges only shrinks distances, so a
+//! candidate covered by a *frozen* snapshot of the spanner is certainly
+//! covered by every later state. The parallel loop exploits exactly that:
+//!
+//! 1. **Batch.** Cut the sorted candidates into weight-class batches
+//!    (weights within a constant ratio, capped in size — boundaries depend
+//!    only on the weights, never on the thread count).
+//! 2. **Filter.** Freeze the spanner ([`CsrGraph::snapshot`]) and fan the
+//!    batch's bounded queries across an [`EnginePool`] of per-worker
+//!    engines. A candidate the frozen spanner covers is rejected for good.
+//! 3. **Commit.** Walk the survivors *in candidate order*: the first one is
+//!    committed outright (the snapshot was exact for it); each later
+//!    survivor is re-checked with one exact query against the live spanner,
+//!    which differs from the snapshot only by edges committed earlier in
+//!    the same batch. A re-check that finds coverage counts as a
+//!    *batch recheck hit*.
+//!
+//! Every kept edge therefore passes the very test the sequential loop would
+//! have applied, in the same order — the output is **bit-identical to the
+//! sequential greedy at every thread count**, which the property suite
+//! asserts against [`greedy_spanner_reference`].
 
 use spanner_graph::dijkstra::bounded_distance_with_frontier;
-use spanner_graph::{CsrGraph, DijkstraEngine, EdgeId, WeightedGraph};
+use spanner_graph::parallel::EnginePool;
+use spanner_graph::{CsrGraph, DijkstraEngine, EdgeId, VertexId, WeightedGraph};
 
 use crate::error::{validate_stretch, SpannerError};
+
+/// Candidates within this factor of a batch's lightest weight share the
+/// batch: they are unlikely to cover each other, so the frozen-snapshot
+/// filter is rarely stale for them.
+const BATCH_WEIGHT_RATIO: f64 = 1.25;
+
+/// Hard cap on batch size, bounding how stale the frozen snapshot can get
+/// (and with it the re-check work) on graphs with many near-equal weights.
+const MAX_BATCH_EDGES: usize = 512;
 
 /// The outcome of a greedy spanner construction: the spanner itself plus
 /// bookkeeping that the experiments report (how many edges were examined,
@@ -30,6 +66,10 @@ pub struct GreedySpanner {
     peak_frontier: usize,
     distance_queries: usize,
     workspace_reuse_hits: usize,
+    batches: usize,
+    batch_recheck_hits: usize,
+    threads_used: usize,
+    worker_utilization: f64,
     added_edge_ids: Vec<EdgeId>,
 }
 
@@ -65,8 +105,9 @@ impl GreedySpanner {
         self.peak_frontier
     }
 
-    /// Number of bounded distance queries issued against the growing spanner
-    /// (one per candidate edge).
+    /// Number of bounded distance queries issued against the (frozen or
+    /// live) spanner: one per candidate edge, plus one exact re-check per
+    /// batch survivor that followed a commit in the same batch.
     pub fn distance_queries(&self) -> usize {
         self.distance_queries
     }
@@ -79,6 +120,29 @@ impl GreedySpanner {
         self.workspace_reuse_hits
     }
 
+    /// Weight-class batches the filter-then-commit loop processed (zero on
+    /// the sequential `threads = 1` path).
+    pub fn batches(&self) -> usize {
+        self.batches
+    }
+
+    /// Filter survivors rejected by the exact commit re-check — i.e.
+    /// covered only by edges committed earlier in their own batch.
+    pub fn batch_recheck_hits(&self) -> usize {
+        self.batch_recheck_hits
+    }
+
+    /// Worker threads the construction ran with (1 = sequential path).
+    pub fn threads_used(&self) -> usize {
+        self.threads_used
+    }
+
+    /// Mean busy fraction of the engine pool's workers across the parallel
+    /// filter phases (1.0 on the sequential path).
+    pub fn worker_utilization(&self) -> f64 {
+        self.worker_utilization
+    }
+
     /// Ids (into the *input* graph) of the edges that were kept, in the order
     /// the greedy algorithm added them.
     pub fn added_edge_ids(&self) -> &[EdgeId] {
@@ -86,49 +150,146 @@ impl GreedySpanner {
     }
 }
 
-/// Runs the greedy spanner algorithm on a weighted graph.
-///
-/// Edges are examined in non-decreasing order of weight with ties broken by
-/// canonical endpoint order, so the output is deterministic. The result is a
-/// `t`-spanner of `graph` that contains an MST of `graph` (Observation 2 of
-/// the paper).
-///
-/// # Errors
-///
-/// Returns [`SpannerError::InvalidStretch`] if `t < 1` or `t` is not finite.
-///
-/// # Example
-///
-/// ```
-/// use greedy_spanner::greedy::greedy_spanner;
-/// use spanner_graph::WeightedGraph;
-///
-/// // A triangle: the heaviest edge is covered by the two lighter ones.
-/// let g = WeightedGraph::from_edges(3, [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.9)])?;
-/// let result = greedy_spanner(&g, 2.0)?;
-/// assert_eq!(result.spanner().num_edges(), 2);
-/// # Ok::<(), Box<dyn std::error::Error>>(())
-/// ```
-#[deprecated(
-    since = "0.2.0",
-    note = "dispatch through the unified pipeline instead: \
-            `Spanner::greedy().stretch(t).build(&graph)` or any \
-            `SpannerAlgorithm` from `algorithms::registry()`"
-)]
-pub fn greedy_spanner(graph: &WeightedGraph, t: f64) -> Result<GreedySpanner, SpannerError> {
-    run_greedy(graph, t)
+/// What one [`filter_commit_greedy`] run added and counted.
+pub(crate) struct FilterCommitOutcome {
+    /// Indices (into the candidate slice) of the kept edges, in commit
+    /// order.
+    pub added: Vec<usize>,
+    /// Weight-class batches processed.
+    pub batches: usize,
+    /// Survivors rejected by the exact commit re-check.
+    pub recheck_hits: usize,
 }
 
-/// The greedy construction engine behind both the deprecated
-/// [`greedy_spanner`] shim and the `Greedy` implementation of
-/// [`crate::algorithm::SpannerAlgorithm`].
+/// The batched filter-then-commit greedy loop shared by the parallel greedy
+/// and approximate-greedy constructions.
 ///
-/// The growing spanner is held as an appendable [`CsrGraph`] and every
-/// candidate's bounded distance query runs through one pre-sized
-/// [`DijkstraEngine`], so the hot loop performs zero per-query heap
-/// allocations (see the workspace-reuse counter in the result).
-pub(crate) fn run_greedy(graph: &WeightedGraph, t: f64) -> Result<GreedySpanner, SpannerError> {
+/// `candidates` are `(u, v, weight)` triples sorted by non-decreasing
+/// weight with deterministic tie-breaks; every endpoint must be in range
+/// for `spanner` and every weight positive and finite (the callers
+/// guarantee both). Kept edges are appended to `spanner` in candidate
+/// order, exactly as the sequential greedy would — see the module docs for
+/// why the output is identical at every worker count.
+pub(crate) fn filter_commit_greedy(
+    spanner: &mut CsrGraph,
+    pool: &mut EnginePool,
+    candidates: &[(u32, u32, f64)],
+    t: f64,
+) -> FilterCommitOutcome {
+    let mut added = Vec::new();
+    let mut covered: Vec<bool> = Vec::new();
+    let mut batches = 0usize;
+    let mut recheck_hits = 0usize;
+    let mut start = 0usize;
+    while start < candidates.len() {
+        // Weight-class cut: thread-count-independent by construction.
+        let ceiling = candidates[start].2 * BATCH_WEIGHT_RATIO;
+        let mut end = start + 1;
+        while end < candidates.len()
+            && end - start < MAX_BATCH_EDGES
+            && candidates[end].2 <= ceiling
+        {
+            end += 1;
+        }
+        let batch = &candidates[start..end];
+
+        // Filter: independent bounded queries against the frozen snapshot.
+        // Coverage here is final — distances only shrink as edges commit.
+        covered.clear();
+        covered.resize(batch.len(), false);
+        pool.map_batch(
+            spanner.snapshot(),
+            batch,
+            &mut covered,
+            |engine, frozen, &(u, v, w)| {
+                engine
+                    .bounded_distance(frozen, VertexId(u as usize), VertexId(v as usize), t * w)
+                    .is_some()
+            },
+        );
+
+        // Commit: survivors in candidate order. The live spanner differs
+        // from the snapshot only by edges committed earlier in this batch,
+        // so the first survivor needs no re-check and each later one needs
+        // exactly one exact query.
+        let mut committed_in_batch = false;
+        for (i, &(u, v, w)) in batch.iter().enumerate() {
+            if covered[i] {
+                continue;
+            }
+            if committed_in_batch
+                && pool
+                    .commit_engine()
+                    .bounded_distance(spanner, VertexId(u as usize), VertexId(v as usize), t * w)
+                    .is_some()
+            {
+                recheck_hits += 1;
+                continue;
+            }
+            spanner.append_edge(VertexId(u as usize), VertexId(v as usize), w);
+            added.push(start + i);
+            committed_in_batch = true;
+        }
+        batches += 1;
+        start = end;
+    }
+    FilterCommitOutcome {
+        added,
+        batches,
+        recheck_hits,
+    }
+}
+
+/// The greedy construction engine behind the `Greedy` implementation of
+/// [`crate::algorithm::SpannerAlgorithm`] (reach it through
+/// `Spanner::greedy().stretch(t).threads(n).build(&graph)`).
+///
+/// With `threads <= 1` this is the sequential loop: the growing spanner is
+/// held as an appendable [`CsrGraph`] and every candidate's bounded distance
+/// query runs through one pre-sized [`DijkstraEngine`], so the hot loop
+/// performs zero per-query heap allocations. With `threads > 1` it runs the
+/// batched filter-then-commit loop (see the module docs) over an
+/// [`EnginePool`] — same output, bit for bit, at every thread count.
+pub(crate) fn run_greedy(
+    graph: &WeightedGraph,
+    t: f64,
+    threads: usize,
+) -> Result<GreedySpanner, SpannerError> {
     validate_stretch(t)?;
+    if threads <= 1 {
+        return run_greedy_sequential(graph, t);
+    }
+    let order = graph.edges_by_weight();
+    let candidates: Vec<(u32, u32, f64)> = order
+        .iter()
+        .map(|&id| {
+            let e = graph.edge(id);
+            (e.u.index() as u32, e.v.index() as u32, e.weight)
+        })
+        .collect();
+    let mut spanner = CsrGraph::new(graph.num_vertices());
+    let mut pool = EnginePool::with_capacity_for(threads, graph.num_vertices(), graph.num_edges());
+    let outcome = filter_commit_greedy(&mut spanner, &mut pool, &candidates, t);
+    let stats = pool.stats();
+    Ok(GreedySpanner {
+        spanner: spanner.to_weighted_graph(),
+        stretch: t,
+        edges_examined: order.len(),
+        edges_added: outcome.added.len(),
+        peak_frontier: stats.peak_frontier,
+        distance_queries: stats.queries as usize,
+        workspace_reuse_hits: stats.reuse_hits as usize,
+        batches: outcome.batches,
+        batch_recheck_hits: outcome.recheck_hits,
+        threads_used: threads,
+        worker_utilization: pool.utilization(),
+        added_edge_ids: outcome.added.iter().map(|&i| order[i]).collect(),
+    })
+}
+
+/// The single-threaded engine-backed loop — the `threads = 1` fast path,
+/// with no batching or snapshot bookkeeping whatsoever.
+fn run_greedy_sequential(graph: &WeightedGraph, t: f64) -> Result<GreedySpanner, SpannerError> {
     let mut spanner = CsrGraph::new(graph.num_vertices());
     let mut engine = DijkstraEngine::with_capacity_for(graph.num_vertices(), graph.num_edges());
     let order = graph.edges_by_weight();
@@ -150,6 +311,10 @@ pub(crate) fn run_greedy(graph: &WeightedGraph, t: f64) -> Result<GreedySpanner,
         peak_frontier: stats.peak_frontier,
         distance_queries: stats.queries as usize,
         workspace_reuse_hits: stats.reuse_hits as usize,
+        batches: 0,
+        batch_recheck_hits: 0,
+        threads_used: 1,
+        worker_utilization: 1.0,
         added_edge_ids,
     })
 }
@@ -158,10 +323,10 @@ pub(crate) fn run_greedy(graph: &WeightedGraph, t: f64) -> Result<GreedySpanner,
 /// through the allocating [`bounded_distance_with_frontier`] free function on
 /// a [`WeightedGraph`].
 ///
-/// Kept as the reference implementation the engine-backed path is
-/// benchmarked (`substrate_micro`, `greedy_vs_baselines`) and property-tested
-/// against. Not deprecated, but not the path the pipeline dispatches to —
-/// use [`crate::Spanner::greedy`] for real work.
+/// Kept as the reference implementation the engine-backed sequential *and*
+/// parallel paths are benchmarked (`substrate_micro`, `greedy_vs_baselines`)
+/// and property-tested against. Not deprecated, but not the path the
+/// pipeline dispatches to — use [`crate::Spanner::greedy`] for real work.
 pub fn greedy_spanner_reference(
     graph: &WeightedGraph,
     t: f64,
@@ -189,6 +354,10 @@ pub fn greedy_spanner_reference(
         peak_frontier,
         distance_queries: order.len(),
         workspace_reuse_hits: 0,
+        batches: 0,
+        batch_recheck_hits: 0,
+        threads_used: 1,
+        worker_utilization: 1.0,
         added_edge_ids,
     })
 }
@@ -242,8 +411,6 @@ pub fn greedy_over_candidates(
 
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)] // the shims stay covered until they are removed
-
     use super::*;
     use crate::analysis::{is_t_spanner, max_stretch_over_edges};
     use crate::optimality::contains_mst;
@@ -257,20 +424,22 @@ mod tests {
     #[test]
     fn rejects_invalid_stretch() {
         let g = WeightedGraph::from_edges(2, [(0, 1, 1.0)]).unwrap();
-        assert!(matches!(
-            greedy_spanner(&g, 0.5),
-            Err(SpannerError::InvalidStretch { .. })
-        ));
-        assert!(matches!(
-            greedy_spanner(&g, f64::NAN),
-            Err(SpannerError::InvalidStretch { .. })
-        ));
+        for threads in [1, 4] {
+            assert!(matches!(
+                run_greedy(&g, 0.5, threads),
+                Err(SpannerError::InvalidStretch { .. })
+            ));
+            assert!(matches!(
+                run_greedy(&g, f64::NAN, threads),
+                Err(SpannerError::InvalidStretch { .. })
+            ));
+        }
     }
 
     #[test]
     fn triangle_drops_covered_edge() {
         let g = WeightedGraph::from_edges(3, [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.5)]).unwrap();
-        let r = greedy_spanner(&g, 2.0).unwrap();
+        let r = run_greedy(&g, 2.0, 1).unwrap();
         assert_eq!(r.edges_added(), 2);
         assert_eq!(r.edges_examined(), 3);
         assert!(!r.spanner().has_edge(0.into(), 2.into()));
@@ -280,7 +449,7 @@ mod tests {
     fn stretch_one_keeps_only_non_redundant_edges() {
         // With t = 1 an edge is dropped only if an equally light path exists.
         let g = WeightedGraph::from_edges(3, [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 2.0)]).unwrap();
-        let r = greedy_spanner(&g, 1.0).unwrap();
+        let r = run_greedy(&g, 1.0, 1).unwrap();
         assert_eq!(r.spanner().num_edges(), 2);
     }
 
@@ -289,7 +458,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(2);
         let g = complete_graph_with_weights(12, 1.0..2.0, &mut rng);
         // t larger than any possible detour ratio: only MST edges survive.
-        let r = greedy_spanner(&g, 1e6).unwrap();
+        let r = run_greedy(&g, 1e6, 1).unwrap();
         assert_eq!(r.spanner().num_edges(), 11);
         assert!((r.spanner().total_weight() - mst_weight(&g)).abs() < 1e-9);
     }
@@ -299,7 +468,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(3);
         for t in [1.5, 2.0, 3.0, 5.0] {
             let g = erdos_renyi_connected(40, 0.25, 1.0..10.0, &mut rng);
-            let r = greedy_spanner(&g, t).unwrap();
+            let r = run_greedy(&g, t, 1).unwrap();
             assert!(is_t_spanner(&g, r.spanner(), t), "t = {t}");
             assert!(contains_mst(&g, r.spanner()), "t = {t}");
             assert!(r.spanner().is_edge_subgraph_of(&g));
@@ -310,7 +479,7 @@ mod tests {
     fn petersen_greedy_3_spanner_keeps_every_edge() {
         // Girth 5 means no edge has a 3-spanner detour among lighter edges.
         let g = petersen_graph(1.0);
-        let r = greedy_spanner(&g, 3.0).unwrap();
+        let r = run_greedy(&g, 3.0, 1).unwrap();
         assert_eq!(r.spanner().num_edges(), 15);
     }
 
@@ -320,7 +489,7 @@ mod tests {
         let g = erdos_renyi_connected(50, 0.3, 1.0..10.0, &mut rng);
         let mut previous = usize::MAX;
         for t in [1.0, 1.5, 2.0, 3.0, 5.0, 9.0] {
-            let m = greedy_spanner(&g, t).unwrap().spanner().num_edges();
+            let m = run_greedy(&g, t, 1).unwrap().spanner().num_edges();
             assert!(m <= previous, "size must be monotone non-increasing in t");
             previous = m;
         }
@@ -330,7 +499,7 @@ mod tests {
     fn added_edge_ids_are_sorted_by_weight() {
         let mut rng = SmallRng::seed_from_u64(5);
         let g = erdos_renyi_connected(30, 0.3, 1.0..10.0, &mut rng);
-        let r = greedy_spanner(&g, 2.0).unwrap();
+        let r = run_greedy(&g, 2.0, 1).unwrap();
         let weights: Vec<f64> = r
             .added_edge_ids()
             .iter()
@@ -354,7 +523,7 @@ mod tests {
             a.2.total_cmp(&b.2)
                 .then_with(|| (a.0, a.1).cmp(&(b.0, b.1)))
         });
-        let h1 = greedy_spanner(&g, 2.5).unwrap();
+        let h1 = run_greedy(&g, 2.5, 1).unwrap();
         let h2 = greedy_over_candidates(g.num_vertices(), &candidates, 2.5).unwrap();
         assert_eq!(h1.spanner().num_edges(), h2.num_edges());
         assert!((h1.spanner().total_weight() - h2.total_weight()).abs() < 1e-9);
@@ -373,18 +542,20 @@ mod tests {
     }
 
     #[test]
-    fn empty_and_singleton_graphs() {
-        let empty = WeightedGraph::new(0);
-        let r = greedy_spanner(&empty, 2.0).unwrap();
-        assert_eq!(r.spanner().num_edges(), 0);
-        let single = WeightedGraph::new(1);
-        assert_eq!(
-            greedy_spanner(&single, 2.0)
-                .unwrap()
-                .spanner()
-                .num_vertices(),
-            1
-        );
+    fn empty_and_singleton_graphs_at_every_thread_count() {
+        for threads in [1, 2, 8] {
+            let empty = WeightedGraph::new(0);
+            let r = run_greedy(&empty, 2.0, threads).unwrap();
+            assert_eq!(r.spanner().num_edges(), 0);
+            let single = WeightedGraph::new(1);
+            assert_eq!(
+                run_greedy(&single, 2.0, threads)
+                    .unwrap()
+                    .spanner()
+                    .num_vertices(),
+                1
+            );
+        }
     }
 
     #[test]
@@ -392,7 +563,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(8);
         for t in [1.0, 1.5, 2.0, 4.0] {
             let g = erdos_renyi_connected(35, 0.3, 1.0..10.0, &mut rng);
-            let engine_path = run_greedy(&g, t).unwrap();
+            let engine_path = run_greedy(&g, t, 1).unwrap();
             let reference = greedy_spanner_reference(&g, t).unwrap();
             assert_eq!(
                 engine_path.added_edge_ids(),
@@ -411,15 +582,71 @@ mod tests {
     }
 
     #[test]
+    fn parallel_path_is_bit_identical_to_the_reference() {
+        let mut rng = SmallRng::seed_from_u64(77);
+        for t in [1.0, 1.5, 2.0, 4.0] {
+            let g = erdos_renyi_connected(60, 0.25, 1.0..10.0, &mut rng);
+            let reference = greedy_spanner_reference(&g, t).unwrap();
+            for threads in [2, 3, 4, 8] {
+                let parallel = run_greedy(&g, t, threads).unwrap();
+                assert_eq!(
+                    parallel.added_edge_ids(),
+                    reference.added_edge_ids(),
+                    "t = {t}, threads = {threads}"
+                );
+                assert_eq!(
+                    parallel.spanner(),
+                    reference.spanner(),
+                    "t = {t}, threads = {threads}: spanners must be identical"
+                );
+                assert_eq!(parallel.threads_used(), threads);
+                assert!(parallel.batches() >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_stats_do_not_depend_on_the_thread_count() {
+        // Batch boundaries, filter verdicts and re-checks are functions of
+        // the candidate weights alone, so every counter (not just the
+        // output) must agree across thread counts > 1.
+        let mut rng = SmallRng::seed_from_u64(78);
+        let g = erdos_renyi_connected(50, 0.3, 1.0..10.0, &mut rng);
+        let two = run_greedy(&g, 2.0, 2).unwrap();
+        for threads in [3, 4, 8] {
+            let more = run_greedy(&g, 2.0, threads).unwrap();
+            assert_eq!(more.batches(), two.batches());
+            assert_eq!(more.batch_recheck_hits(), two.batch_recheck_hits());
+            assert_eq!(more.distance_queries(), two.distance_queries());
+            assert_eq!(more.peak_frontier(), two.peak_frontier());
+        }
+        // The filter issues one query per candidate; every survivor after a
+        // commit in its batch adds a re-check query, of which the rejected
+        // ones are the recheck *hits*.
+        assert!(two.distance_queries() >= g.num_edges() + two.batch_recheck_hits());
+        assert!(
+            two.distance_queries() <= g.num_edges() + two.batch_recheck_hits() + two.edges_added()
+        );
+    }
+
+    #[test]
     fn every_distance_query_reuses_the_workspace() {
         let mut rng = SmallRng::seed_from_u64(9);
         let g = erdos_renyi_connected(60, 0.3, 1.0..10.0, &mut rng);
-        let r = run_greedy(&g, 2.0).unwrap();
+        let r = run_greedy(&g, 2.0, 1).unwrap();
         assert_eq!(r.distance_queries(), g.num_edges());
         assert_eq!(
             r.workspace_reuse_hits(),
             r.distance_queries(),
             "the pre-sized engine must never allocate per query"
+        );
+        // The parallel pool is pre-sized too: zero allocations per query on
+        // every worker, including the commit engine's re-checks.
+        let p = run_greedy(&g, 2.0, 4).unwrap();
+        assert_eq!(
+            p.workspace_reuse_hits(),
+            p.distance_queries(),
+            "a pool engine allocated mid-construction"
         );
         let reference = greedy_spanner_reference(&g, 2.0).unwrap();
         assert_eq!(reference.workspace_reuse_hits(), 0);
@@ -430,7 +657,7 @@ mod tests {
     fn max_stretch_is_tightly_bounded() {
         let mut rng = SmallRng::seed_from_u64(7);
         let g = erdos_renyi_connected(35, 0.3, 1.0..10.0, &mut rng);
-        let r = greedy_spanner(&g, 2.0).unwrap();
+        let r = run_greedy(&g, 2.0, 1).unwrap();
         let s = max_stretch_over_edges(&g, r.spanner());
         assert!(s <= 2.0 + 1e-9);
     }

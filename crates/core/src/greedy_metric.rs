@@ -3,10 +3,14 @@
 //! In metric spaces (Sections 4–5 of the paper) the greedy algorithm examines
 //! all `n·(n−1)/2` interpoint distances in non-decreasing order. This module
 //! materializes the metric as a complete weighted graph and reuses the graph
-//! greedy construction, which is exactly the classical
-//! `O(n² · (n log n))`-style implementation the paper refers to (the
-//! [BCF+10] near-quadratic refinements change the constant factors, not the
-//! output).
+//! greedy construction (including its batched filter-then-commit parallel
+//! path), which is exactly the classical `O(n² · (n log n))`-style
+//! implementation the paper refers to (the [BCF+10] near-quadratic
+//! refinements change the constant factors, not the output).
+//!
+//! Reach it through the unified pipeline —
+//! `Spanner::greedy().stretch(t).threads(n).build(&metric)` — which skips the
+//! `metric_graph` copy this module's result carries for analysis callers.
 
 use spanner_graph::WeightedGraph;
 use spanner_metric::MetricSpace;
@@ -28,7 +32,7 @@ pub struct MetricGreedySpanner {
 }
 
 /// Construction statistics of a greedy run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GreedyStats {
     /// Candidate edges examined.
     pub edges_examined: usize,
@@ -41,6 +45,15 @@ pub struct GreedyStats {
     /// Queries answered without growing the engine workspace (zero heap
     /// allocations).
     pub workspace_reuse_hits: usize,
+    /// Weight-class batches of the parallel filter-then-commit loop (zero
+    /// on the sequential path).
+    pub batches: usize,
+    /// Survivors rejected by the exact commit re-check.
+    pub batch_recheck_hits: usize,
+    /// Worker threads the construction ran with.
+    pub threads_used: usize,
+    /// Mean busy fraction of the worker pool (1.0 when sequential).
+    pub worker_utilization: f64,
 }
 
 impl From<&GreedySpanner> for GreedyStats {
@@ -51,11 +64,23 @@ impl From<&GreedySpanner> for GreedyStats {
             peak_frontier: g.peak_frontier(),
             distance_queries: g.distance_queries(),
             workspace_reuse_hits: g.workspace_reuse_hits(),
+            batches: g.batches(),
+            batch_recheck_hits: g.batch_recheck_hits(),
+            threads_used: g.threads_used(),
+            worker_utilization: g.worker_utilization(),
         }
     }
 }
 
-/// Runs the greedy `t`-spanner algorithm on a finite metric space.
+/// Runs the greedy `t`-spanner algorithm on a finite metric space with
+/// `threads` workers, returning the spanner **and** the materialized
+/// complete distance graph.
+///
+/// This is the analysis-oriented entry: downstream stretch/lightness checks
+/// need the complete graph as reference, and the unified pipeline
+/// (`Spanner::greedy().stretch(t).threads(n).build(&metric)`) deliberately
+/// drops it after construction. Prefer the pipeline unless you need
+/// [`MetricGreedySpanner::metric_graph`].
 ///
 /// # Errors
 ///
@@ -65,40 +90,26 @@ impl From<&GreedySpanner> for GreedyStats {
 /// # Example
 ///
 /// ```
-/// use greedy_spanner::greedy_metric::greedy_spanner_of_metric;
-/// use spanner_metric::{EuclideanSpace, Point};
+/// use greedy_spanner::greedy_metric::greedy_spanner_of_metric_with_reference;
+/// use spanner_metric::EuclideanSpace;
 ///
 /// let space = EuclideanSpace::from_coords([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0]]);
-/// let result = greedy_spanner_of_metric(&space, 1.1)?;
+/// let result = greedy_spanner_of_metric_with_reference(&space, 1.1, 1)?;
 /// // Collinear points: the long edge is covered by the two short ones.
 /// assert_eq!(result.spanner.num_edges(), 2);
+/// assert_eq!(result.metric_graph.num_edges(), 3);
 /// # Ok::<(), greedy_spanner::SpannerError>(())
 /// ```
-#[deprecated(
-    since = "0.2.0",
-    note = "dispatch through the unified pipeline instead: \
-            `Spanner::greedy().stretch(t).build(&metric)` or any \
-            `SpannerAlgorithm` from `algorithms::registry()`"
-)]
-pub fn greedy_spanner_of_metric<M: MetricSpace + ?Sized>(
+pub fn greedy_spanner_of_metric_with_reference<M: MetricSpace + ?Sized>(
     metric: &M,
     t: f64,
-) -> Result<MetricGreedySpanner, SpannerError> {
-    run_greedy_metric(metric, t)
-}
-
-/// The metric greedy engine behind both the deprecated
-/// [`greedy_spanner_of_metric`] shim and the `Greedy` implementation of
-/// [`crate::algorithm::SpannerAlgorithm`].
-pub(crate) fn run_greedy_metric<M: MetricSpace + ?Sized>(
-    metric: &M,
-    t: f64,
+    threads: usize,
 ) -> Result<MetricGreedySpanner, SpannerError> {
     if metric.is_empty() {
         return Err(SpannerError::EmptyInput);
     }
     let metric_graph = metric.to_complete_graph();
-    let result = run_greedy(&metric_graph, t)?;
+    let result = run_greedy(&metric_graph, t, threads)?;
     let stats = GreedyStats::from(&result);
     Ok(MetricGreedySpanner {
         spanner: result.into_spanner(),
@@ -109,8 +120,6 @@ pub(crate) fn run_greedy_metric<M: MetricSpace + ?Sized>(
 
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)] // the shims stay covered until they are removed
-
     use super::*;
     use crate::analysis::{is_t_spanner, max_stretch_over_edges};
     use rand::rngs::SmallRng;
@@ -122,7 +131,7 @@ mod tests {
     fn empty_metric_is_rejected() {
         let s = EuclideanSpace::<2>::new(vec![]);
         assert_eq!(
-            greedy_spanner_of_metric(&s, 2.0).unwrap_err(),
+            greedy_spanner_of_metric_with_reference(&s, 2.0, 1).unwrap_err(),
             SpannerError::EmptyInput
         );
     }
@@ -130,7 +139,7 @@ mod tests {
     #[test]
     fn collinear_points_produce_a_path() {
         let s = EuclideanSpace::from_coords([[0.0], [1.0], [2.0], [3.0]]);
-        let r = greedy_spanner_of_metric(&s, 1.01).unwrap();
+        let r = greedy_spanner_of_metric_with_reference(&s, 1.01, 1).unwrap();
         assert_eq!(r.spanner.num_edges(), 3);
         assert_eq!(r.stats.edges_examined, 6);
         assert_eq!(r.stats.edges_added, 3);
@@ -142,9 +151,24 @@ mod tests {
         let s = uniform_points::<2, _>(40, &mut rng);
         for eps in [0.1, 0.5, 1.0] {
             let t = 1.0 + eps;
-            let r = greedy_spanner_of_metric(&s, t).unwrap();
+            let r = greedy_spanner_of_metric_with_reference(&s, t, 1).unwrap();
             assert!(is_t_spanner(&r.metric_graph, &r.spanner, t), "eps = {eps}");
             assert!(max_stretch_over_edges(&r.metric_graph, &r.spanner) <= t + 1e-9);
+        }
+    }
+
+    #[test]
+    fn parallel_metric_greedy_matches_sequential() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let s = uniform_points::<2, _>(50, &mut rng);
+        let sequential = greedy_spanner_of_metric_with_reference(&s, 1.5, 1).unwrap();
+        for threads in [2, 4, 8] {
+            let parallel = greedy_spanner_of_metric_with_reference(&s, 1.5, threads).unwrap();
+            assert_eq!(
+                parallel.spanner, sequential.spanner,
+                "threads = {threads}: metric greedy must be thread-count invariant"
+            );
+            assert_eq!(parallel.stats.threads_used, threads);
         }
     }
 
@@ -152,11 +176,11 @@ mod tests {
     fn smaller_epsilon_gives_more_edges() {
         let mut rng = SmallRng::seed_from_u64(12);
         let s = uniform_points::<2, _>(60, &mut rng);
-        let tight = greedy_spanner_of_metric(&s, 1.05)
+        let tight = greedy_spanner_of_metric_with_reference(&s, 1.05, 1)
             .unwrap()
             .spanner
             .num_edges();
-        let loose = greedy_spanner_of_metric(&s, 2.0)
+        let loose = greedy_spanner_of_metric_with_reference(&s, 2.0, 1)
             .unwrap()
             .spanner
             .num_edges();
@@ -167,7 +191,7 @@ mod tests {
     fn star_metric_forces_maximum_degree() {
         // The [HM06, Smi09] degree blow-up: every hub–leaf edge is mandatory.
         let m = star_metric(20);
-        let r = greedy_spanner_of_metric(&m, 1.5).unwrap();
+        let r = greedy_spanner_of_metric_with_reference(&m, 1.5, 1).unwrap();
         assert_eq!(r.spanner.degree(0.into()), 19);
         assert_eq!(r.spanner.num_edges(), 19);
     }
@@ -175,7 +199,7 @@ mod tests {
     #[test]
     fn single_point_metric_yields_empty_spanner() {
         let s = EuclideanSpace::from_coords([[1.0, 2.0]]);
-        let r = greedy_spanner_of_metric(&s, 2.0).unwrap();
+        let r = greedy_spanner_of_metric_with_reference(&s, 2.0, 1).unwrap();
         assert_eq!(r.spanner.num_vertices(), 1);
         assert_eq!(r.spanner.num_edges(), 0);
     }

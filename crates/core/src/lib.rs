@@ -66,10 +66,10 @@
 //! The pre-0.2 free functions (`greedy::greedy_spanner`,
 //! `greedy_metric::greedy_spanner_of_metric`,
 //! `approx_greedy::approximate_greedy_spanner`, and the `baselines::*`
-//! constructors) remain as deprecated shims for one release. They map
-//! one-to-one onto the builder:
+//! constructors) were deprecated for one release and are now **removed**.
+//! Each mapped one-to-one onto the builder, which is the only entry point:
 //!
-//! | deprecated                                   | replacement                                        |
+//! | removed (pre-0.2)                            | replacement                                        |
 //! |----------------------------------------------|----------------------------------------------------|
 //! | `greedy_spanner(&g, t)`                      | `Spanner::greedy().stretch(t).build(&g)`           |
 //! | `greedy_spanner_of_metric(&m, t)`            | `Spanner::greedy().stretch(t).build(&m)`           |
@@ -83,7 +83,9 @@
 //!
 //! The builder returns a [`SpannerOutput`] whose `spanner` field replaces
 //! the bespoke result structs, and whose `stats`/`provenance` replace the
-//! per-construction bookkeeping fields.
+//! per-construction bookkeeping fields. The only surviving free function is
+//! [`greedy::greedy_spanner_reference`] — the pre-CSR reference loop the
+//! engine-backed paths are benchmarked and property-tested against.
 //!
 //! # The CSR query substrate
 //!
@@ -98,6 +100,30 @@
 //! pre-CSR greedy loop survives as
 //! [`greedy::greedy_spanner_reference`] — the benchmark and property-test
 //! baseline, not a dispatch target.
+//!
+//! # The threading model
+//!
+//! The greedy constructions (and the batch runner) parallelize with a
+//! **batched filter-then-commit** loop over
+//! [`spanner_graph::EnginePool`] — per-worker Dijkstra workspaces fanned
+//! over a frozen snapshot of the growing spanner on scoped `std::thread`s:
+//!
+//! * **Determinism.** Work is partitioned by chunk index and survivors are
+//!   committed sequentially with an exact re-check, so the output is
+//!   **bit-identical at every thread count** — `threads` is purely a
+//!   throughput knob, asserted by the property suite against
+//!   [`greedy::greedy_spanner_reference`].
+//! * **Configuration.** `Spanner::greedy().threads(8)`, the
+//!   [`SpannerConfig::threads`] field, or the `SPANNER_THREADS` environment
+//!   variable (read when the config leaves `threads` at 0 — see
+//!   [`SpannerConfig::resolve_threads`]). `threads = 1` dispatches to the
+//!   plain sequential loop with zero batching overhead.
+//! * **Observability.** [`RunStats`] reports `batches`,
+//!   `batch_recheck_hits`, `threads_used` and `worker_utilization`;
+//!   [`matrix::aggregate_stats`] rolls them up per grid.
+//! * **Batch runs.** [`run_matrix`] spends the same thread budget on
+//!   cell-level parallelism (whole constructions run concurrently), which
+//!   saturates workers without nested parallelism.
 //!
 //! # Module map
 //!
@@ -132,13 +158,9 @@ pub mod matrix;
 pub mod optimality;
 
 pub use algorithm::{
-    Provenance, RunStats, SpannerAlgorithm, SpannerConfig, SpannerInput, SpannerOutput,
+    Provenance, RunStats, SpannerAlgorithm, SpannerConfig, SpannerInput, SpannerOutput, MAX_THREADS,
 };
 pub use builder::{Spanner, SpannerBuilder};
 pub use error::{GraphError, SpannerError};
-pub use matrix::{run_matrix, MatrixCell};
-
-#[allow(deprecated)]
-pub use greedy::{greedy_spanner, GreedySpanner};
-#[allow(deprecated)]
-pub use greedy_metric::greedy_spanner_of_metric;
+pub use greedy::GreedySpanner;
+pub use matrix::{aggregate_stats, run_matrix, MatrixCell, MatrixStats};

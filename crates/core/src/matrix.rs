@@ -3,10 +3,17 @@
 //!
 //! This is the shape every comparison in the paper takes — "run many
 //! constructions over many workloads at many stretch targets and tabulate" —
-//! extracted so the experiments binary, tests and future parallel drivers
-//! share one implementation. Cells are produced in a deterministic
-//! row-major order (inputs outermost, stretches innermost), so the grid can
-//! be chunked and distributed later without changing per-cell semantics.
+//! extracted so the experiments binary, tests and the benches share one
+//! implementation. Cells are produced in a deterministic row-major order
+//! (inputs outermost, stretches innermost) **regardless of the worker
+//! count**: the grid is enumerated up front and fanned across scoped threads
+//! by chunk index ([`spanner_graph::parallel::fill_chunked`]), with every
+//! cell written to its own slot. `base_config.threads` (or the
+//! `SPANNER_THREADS` env override) sets the worker count; cells get the
+//! budget first, and only a grid smaller than the budget passes the
+//! leftover into each cell's own construction threads.
+
+use std::time::Duration;
 
 use crate::algorithm::{SpannerAlgorithm, SpannerConfig, SpannerInput, SpannerOutput};
 use crate::analysis::{evaluate, SpannerReport};
@@ -37,6 +44,49 @@ impl MatrixCell {
     }
 }
 
+/// Aggregate statistics over every cell of one [`run_matrix`] call — the
+/// per-cell numbers rolled up for the experiment tables and CI summaries.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MatrixStats {
+    /// Total cells produced (succeeded + failed).
+    pub cells: usize,
+    /// Cells whose construction returned an error.
+    pub failures: usize,
+    /// Sum of per-cell construction wall times. With parallel cells this
+    /// exceeds the elapsed wall time — the ratio is the achieved cell-level
+    /// parallelism.
+    pub total_wall_time: Duration,
+    /// Total distance queries across all successful cells.
+    pub distance_queries: usize,
+    /// Total workspace reuse hits across all successful cells.
+    pub workspace_reuse_hits: usize,
+    /// Total filter-then-commit batches across all successful cells.
+    pub batches: usize,
+    /// Total batch re-check hits across all successful cells.
+    pub batch_recheck_hits: usize,
+}
+
+/// Rolls the per-cell statistics of a grid up into one [`MatrixStats`].
+pub fn aggregate_stats(cells: &[MatrixCell]) -> MatrixStats {
+    let mut agg = MatrixStats {
+        cells: cells.len(),
+        ..MatrixStats::default()
+    };
+    for cell in cells {
+        match &cell.output {
+            Ok(out) => {
+                agg.total_wall_time += out.stats.wall_time;
+                agg.distance_queries += out.stats.distance_queries;
+                agg.workspace_reuse_hits += out.stats.workspace_reuse_hits;
+                agg.batches += out.stats.batches;
+                agg.batch_recheck_hits += out.stats.batch_recheck_hits;
+            }
+            Err(_) => agg.failures += 1,
+        }
+    }
+    agg
+}
+
 /// Runs every algorithm on every input at every stretch target.
 ///
 /// Combinations an algorithm does not support (per
@@ -48,54 +98,93 @@ impl MatrixCell {
 /// `base_config` supplies the non-stretch parameters (seed, cones, hub, …);
 /// each cell derives its config via stretch substitution, with `epsilon` and
 /// `k` cleared so they re-derive from the cell's stretch.
+/// `base_config.threads` (resolved through
+/// [`SpannerConfig::resolve_threads`]) is spent on *cell-level* parallelism
+/// first: independent cells run concurrently on scoped threads, and any
+/// budget left over when the grid is smaller than the worker count flows
+/// into each cell's own construction threads. The returned cell order is
+/// identical at every worker count.
 pub fn run_matrix(
     inputs: &[(&str, SpannerInput<'_>)],
     algorithms: &[Box<dyn SpannerAlgorithm>],
     stretches: &[f64],
     base_config: &SpannerConfig,
 ) -> Vec<MatrixCell> {
-    let mut cells = Vec::new();
-    for (input_name, input) in inputs {
-        let reference = input.reference_graph();
-        // Metric inputs get their complete distance graph materialized once
-        // here and shared by every (algorithm, stretch) cell, instead of
-        // being re-derived O(n²)-style inside each build.
-        let prepared = match (input.as_euclidean2(), input.as_metric()) {
-            (Some(space), _) => SpannerInput::prepared_euclidean2(space, &reference),
-            (None, Some(space)) => SpannerInput::Prepared {
-                space,
-                complete: &reference,
-                euclidean2: None,
+    // Metric inputs get their complete distance graph materialized once here
+    // and shared by every (algorithm, stretch) cell, instead of being
+    // re-derived O(n²)-style inside each build.
+    let references: Vec<_> = inputs
+        .iter()
+        .map(|(_, input)| input.reference_graph())
+        .collect();
+    let prepared: Vec<SpannerInput<'_>> = inputs
+        .iter()
+        .zip(&references)
+        .map(
+            |((_, input), reference)| match (input.as_euclidean2(), input.as_metric()) {
+                (Some(space), _) => SpannerInput::prepared_euclidean2(space, reference),
+                (None, Some(space)) => SpannerInput::Prepared {
+                    space,
+                    complete: reference,
+                    euclidean2: None,
+                },
+                (None, None) => *input,
             },
-            (None, None) => *input,
-        };
-        for algorithm in algorithms {
+        )
+        .collect();
+
+    // Enumerate the grid up front so the deterministic row-major cell order
+    // is a property of the job list, not of the execution schedule.
+    let mut jobs: Vec<(usize, usize, f64)> = Vec::new();
+    for (input_index, (_, input)) in inputs.iter().enumerate() {
+        for (algorithm_index, algorithm) in algorithms.iter().enumerate() {
             if !algorithm.supports(input) {
                 continue;
             }
             for &stretch in stretches {
-                let config = SpannerConfig {
-                    stretch,
-                    epsilon: None,
-                    k: None,
-                    ..base_config.clone()
-                };
-                let output = algorithm.build(&prepared, &config);
-                let report = output
-                    .as_ref()
-                    .ok()
-                    .map(|out| evaluate(&reference, &out.spanner, stretch));
-                cells.push(MatrixCell {
-                    input: (*input_name).to_owned(),
-                    algorithm: algorithm.name().to_owned(),
-                    stretch,
-                    output,
-                    report,
-                });
+                jobs.push((input_index, algorithm_index, stretch));
             }
         }
     }
+
+    let workers = base_config.resolve_threads();
+    // Cell-level parallelism comes first; only when the grid is smaller
+    // than the worker budget does the leftover flow into each cell's own
+    // construction (e.g. one cell × 8 workers → an 8-thread build). The
+    // product of concurrent cells and per-cell threads never exceeds the
+    // budget, so workers are saturated without oversubscription.
+    let cell_threads = (workers / jobs.len().max(1)).max(1);
+    let build_cell = |job_index: usize| -> Option<MatrixCell> {
+        let (input_index, algorithm_index, stretch) = jobs[job_index];
+        let algorithm = &algorithms[algorithm_index];
+        let config = SpannerConfig {
+            stretch,
+            epsilon: None,
+            k: None,
+            threads: cell_threads,
+            ..base_config.clone()
+        };
+        let output = algorithm.build(&prepared[input_index], &config);
+        let report = output
+            .as_ref()
+            .ok()
+            .map(|out| evaluate(&references[input_index], &out.spanner, stretch));
+        Some(MatrixCell {
+            input: inputs[input_index].0.to_owned(),
+            algorithm: algorithm.name().to_owned(),
+            stretch,
+            output,
+            report,
+        })
+    };
+
+    let mut cells: Vec<Option<MatrixCell>> = Vec::new();
+    cells.resize_with(jobs.len(), || None);
+    spanner_graph::parallel::fill_chunked(workers, &mut cells, build_cell);
     cells
+        .into_iter()
+        .map(|cell| cell.expect("every job produces a cell"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -145,6 +234,50 @@ mod tests {
         // Deterministic row-major order: inputs outermost.
         assert!(cells[..6].iter().all(|c| c.input == "er-graph"));
         assert!(cells[6..].iter().all(|c| c.input == "uniform-2d"));
+
+        let agg = aggregate_stats(&cells);
+        assert_eq!(agg.cells, cells.len());
+        assert_eq!(agg.failures, 0);
+        assert!(agg.distance_queries > 0);
+        assert_eq!(agg.workspace_reuse_hits, agg.distance_queries);
+    }
+
+    #[test]
+    fn parallel_cells_preserve_order_and_results() {
+        let mut rng = SmallRng::seed_from_u64(33);
+        let g = erdos_renyi_connected(25, 0.3, 1.0..5.0, &mut rng);
+        let points = uniform_points::<2, _>(25, &mut rng);
+        let inputs = [
+            ("er-graph", SpannerInput::from(&g)),
+            ("uniform-2d", SpannerInput::from(&points)),
+        ];
+        let algorithms = registry();
+        let stretches = [1.5, 3.0];
+        let sequential = run_matrix(&inputs, &algorithms, &stretches, &SpannerConfig::default());
+        for threads in [2, 4, 8] {
+            let config = SpannerConfig {
+                threads,
+                ..SpannerConfig::default()
+            };
+            let parallel = run_matrix(&inputs, &algorithms, &stretches, &config);
+            assert_eq!(parallel.len(), sequential.len(), "threads = {threads}");
+            for (p, s) in parallel.iter().zip(&sequential) {
+                assert_eq!(p.input, s.input);
+                assert_eq!(p.algorithm, s.algorithm);
+                assert_eq!(p.stretch, s.stretch);
+                assert_eq!(p.succeeded(), s.succeeded());
+                if let (Ok(po), Ok(so)) = (&p.output, &s.output) {
+                    // Every construction in the registry is deterministic
+                    // for a fixed config, so parallel cells must reproduce
+                    // the sequential grid exactly.
+                    assert_eq!(
+                        po.spanner, so.spanner,
+                        "{} on {} at t={}",
+                        p.algorithm, p.input, p.stretch
+                    );
+                }
+            }
+        }
     }
 
     #[test]
@@ -159,5 +292,7 @@ mod tests {
         assert!(cells.iter().any(|c| !c.succeeded()));
         // The baselines without stretch parameters still succeed.
         assert!(cells.iter().any(|c| c.algorithm == "mst" && c.succeeded()));
+        let agg = aggregate_stats(&cells);
+        assert!(agg.failures > 0 && agg.failures < agg.cells);
     }
 }

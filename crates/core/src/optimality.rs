@@ -194,10 +194,8 @@ pub fn contains_mst(graph: &WeightedGraph, spanner: &WeightedGraph) -> bool {
 
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)] // the shims stay covered until they are removed
-
     use super::*;
-    use crate::greedy::greedy_spanner;
+    use crate::greedy::run_greedy;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
     use spanner_graph::generators::{cycle_graph, erdos_renyi_connected};
@@ -207,7 +205,7 @@ mod tests {
         let inst = figure_one_instance(0.1).unwrap();
         // 15 Petersen edges + 6 heavy star edges (root 0 has 3 neighbors in H).
         assert_eq!(inst.num_edges(), 21);
-        let greedy = greedy_spanner(&inst.graph, 3.0).unwrap();
+        let greedy = run_greedy(&inst.graph, 3.0, 1).unwrap();
         assert_eq!(inst.count_h_edges_in(greedy.spanner()), 15);
         assert_eq!(greedy.spanner().num_edges(), 15);
         // The star spanner is much lighter: 3 unit + 6 heavy edges.
@@ -226,7 +224,7 @@ mod tests {
             )
             .unwrap();
             let t = (girth - 2) as f64;
-            let greedy = greedy_spanner(&inst.graph, t).unwrap();
+            let greedy = run_greedy(&inst.graph, t, 1).unwrap();
             assert_eq!(
                 inst.count_h_edges_in(greedy.spanner()),
                 inst.h_edge_keys.len(),
@@ -254,7 +252,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(21);
         for t in [1.5, 2.0, 3.0] {
             let g = erdos_renyi_connected(30, 0.3, 1.0..10.0, &mut rng);
-            let h = greedy_spanner(&g, t).unwrap();
+            let h = run_greedy(&g, t, 1).unwrap();
             assert!(is_own_unique_spanner(h.spanner(), t).unwrap(), "t = {t}");
         }
     }
@@ -273,7 +271,7 @@ mod tests {
     fn observation2_holds_for_greedy_and_fails_for_disconnected_subgraphs() {
         let mut rng = SmallRng::seed_from_u64(22);
         let g = erdos_renyi_connected(25, 0.3, 1.0..5.0, &mut rng);
-        let h = greedy_spanner(&g, 2.0).unwrap();
+        let h = run_greedy(&g, 2.0, 1).unwrap();
         assert!(contains_mst(&g, h.spanner()));
         // An empty subgraph does not contain an MST.
         let empty = WeightedGraph::empty_like(&g);

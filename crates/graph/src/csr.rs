@@ -280,6 +280,18 @@ impl CsrGraph {
         }
     }
 
+    /// A read-only snapshot view of this graph, frozen for a parallel query
+    /// phase (see [`crate::parallel::EnginePool::map_batch`]).
+    ///
+    /// The snapshot is just a shared borrow — `CsrGraph` has no interior
+    /// mutability, so the view is `Sync` and workers on other threads can
+    /// query it concurrently. The borrow also *prevents* appends for the
+    /// snapshot's lifetime, which is exactly the freeze the deterministic
+    /// filter-then-commit loop relies on.
+    pub fn snapshot(&self) -> CsrSnapshot<'_> {
+        CsrSnapshot { graph: self }
+    }
+
     /// Materializes this CSR graph as a [`WeightedGraph`] with the same edge
     /// ids (append order is preserved).
     pub fn to_weighted_graph(&self) -> WeightedGraph {
@@ -309,6 +321,39 @@ impl From<&WeightedGraph> for CsrGraph {
         csr
     }
 }
+
+/// A read-only, `Sync` view of a [`CsrGraph`] frozen for a parallel query
+/// phase; produced by [`CsrGraph::snapshot`].
+///
+/// Dereferences to the underlying graph, so every query API works on it
+/// unchanged. Holding a snapshot borrows the graph shared, which statically
+/// rules out concurrent [`CsrGraph::append_edge`] calls — the compiler
+/// enforces the filter-phase freeze.
+#[derive(Debug, Clone, Copy)]
+pub struct CsrSnapshot<'a> {
+    graph: &'a CsrGraph,
+}
+
+impl<'a> CsrSnapshot<'a> {
+    /// The frozen graph.
+    pub fn graph(&self) -> &'a CsrGraph {
+        self.graph
+    }
+}
+
+impl std::ops::Deref for CsrSnapshot<'_> {
+    type Target = CsrGraph;
+
+    fn deref(&self) -> &CsrGraph {
+        self.graph
+    }
+}
+
+// The whole point of the snapshot: it can be shared across worker threads.
+const _: fn() = || {
+    fn assert_sync<T: Sync + Send>() {}
+    assert_sync::<CsrSnapshot<'static>>();
+};
 
 /// Iterator over the overflow half-edges of one vertex; see
 /// [`CsrGraph::overflow_neighbors`].

@@ -120,13 +120,21 @@ impl DijkstraEngine {
         DijkstraEngine::default()
     }
 
-    /// Creates an engine pre-sized for graphs of `num_vertices` vertices,
-    /// with a default heap reservation of the same size. Queries whose
-    /// lazy-deletion frontier stays within `num_vertices` entries never
-    /// allocate; for a hard guarantee use
-    /// [`DijkstraEngine::with_capacity_for`].
+    /// Creates an engine pre-sized for graphs of `num_vertices` vertices
+    /// when the edge count is not known, assuming a sparse, spanner-like
+    /// graph with `m ≈ n` — it routes through
+    /// [`DijkstraEngine::with_capacity_for`] with `num_edges =
+    /// num_vertices`, reserving the `2m + 2` heap-push bound for that `m`.
+    ///
+    /// The earlier heuristic reserved for `m = n/2`, which underestimates
+    /// every connected graph (even a spanning tree has `m = n − 1`), so the
+    /// first query on tree-like graphs could reallocate mid-search. Queries
+    /// on graphs with more than `num_vertices` edges may still grow the
+    /// heap once; callers that know `m` should use
+    /// [`DijkstraEngine::with_capacity_for`] directly for the hard
+    /// zero-allocation guarantee.
     pub fn with_capacity(num_vertices: usize) -> Self {
-        DijkstraEngine::with_capacity_for(num_vertices, num_vertices / 2)
+        DijkstraEngine::with_capacity_for(num_vertices, num_vertices)
     }
 
     /// Creates an engine pre-sized for graphs of up to `num_vertices`

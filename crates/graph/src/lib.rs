@@ -15,6 +15,11 @@
 //!   per query** after warm-up (see [`engine`]). This is the hot path of every
 //!   spanner construction; the [`dijkstra`] free functions remain as one-shot
 //!   conveniences.
+//! * [`EnginePool`] — the parallel execution substrate: per-worker
+//!   [`DijkstraEngine`] workspaces plus a scoped `std::thread` executor that
+//!   fans query batches across them against a frozen
+//!   [`CsrSnapshot`](csr::CsrSnapshot). Work is partitioned by chunk index,
+//!   so results are bit-identical at every worker count (see [`parallel`]).
 //! * Shortest paths — [`dijkstra`] (full, single-pair, and distance-bounded
 //!   variants; allocation-per-call, kept for one-off queries and as the
 //!   reference implementation the engine is property-tested against).
@@ -74,12 +79,14 @@ pub mod girth;
 pub mod graph;
 pub mod metric_closure;
 pub mod mst;
+pub mod parallel;
 pub mod properties;
 pub mod union_find;
 
 pub use builder::GraphBuilder;
-pub use csr::CsrGraph;
+pub use csr::{CsrGraph, CsrSnapshot};
 pub use engine::{DijkstraEngine, EngineStats, EngineTree};
 pub use error::GraphError;
 pub use graph::{Edge, EdgeId, VertexId, WeightedGraph};
+pub use parallel::EnginePool;
 pub use union_find::UnionFind;

@@ -7,7 +7,12 @@ use spanner_graph::WeightedGraph;
 /// Implementations must return symmetric, non-negative distances that are zero
 /// exactly on the diagonal and satisfy the triangle inequality (the helper
 /// [`validate_metric_axioms`] checks this exhaustively for tests).
-pub trait MetricSpace {
+///
+/// The `Send + Sync` supertraits let the spanner pipeline share a metric (or
+/// a `&dyn MetricSpace` input) across the worker threads of its parallel
+/// batch runners; distance evaluation must therefore be free of interior
+/// mutability, which every honest distance function is.
+pub trait MetricSpace: Send + Sync {
     /// Number of points.
     fn len(&self) -> usize;
 

@@ -90,7 +90,23 @@ fn main() -> Result<(), SpannerError> {
         );
     }
 
-    // 5. The substrate is usable directly: hold a CsrGraph and one
+    // 5. Parallel construction: `threads(k)` runs the batched
+    //    filter-then-commit loop over a pool of per-worker engines. The
+    //    output is bit-identical at every thread count (the determinism
+    //    guarantee), so this is purely a throughput knob — also settable
+    //    globally via the SPANNER_THREADS environment variable.
+    let parallel = Spanner::greedy().stretch(3.0).threads(4).build(&graph)?;
+    assert_eq!(parallel.spanner, greedy.spanner);
+    println!(
+        "\nsame spanner rebuilt with 4 threads in {:.1} ms: {} batches, \
+         {} recheck hits, utilization {:.2}",
+        parallel.stats.wall_time.as_secs_f64() * 1e3,
+        parallel.stats.batches,
+        parallel.stats.batch_recheck_hits,
+        parallel.stats.worker_utilization,
+    );
+
+    // 6. The substrate is usable directly: hold a CsrGraph and one
     //    DijkstraEngine for any query loop of your own instead of calling
     //    the allocating free functions per query.
     let csr = spanner_graph::CsrGraph::from(&greedy.spanner);
@@ -111,10 +127,10 @@ fn main() -> Result<(), SpannerError> {
 
     // Migration note: the pre-0.2 free functions (`greedy_spanner`,
     // `greedy_spanner_of_metric`, `approximate_greedy_spanner`, baselines)
-    // still compile as deprecated shims; each maps onto one builder chain —
-    // see the `greedy_spanner` crate docs for the full table. The Dijkstra
-    // free functions (`bounded_distance`, `shortest_path_tree`, `ball`)
-    // remain for one-off queries; loops should migrate to
-    // `CsrGraph` + `DijkstraEngine` as above.
+    // have been removed after their deprecation release; each maps onto one
+    // builder chain — see the `greedy_spanner` crate docs for the full
+    // table. The Dijkstra free functions (`bounded_distance`,
+    // `shortest_path_tree`, `ball`) remain for one-off queries; loops
+    // should migrate to `CsrGraph` + `DijkstraEngine` as above.
     Ok(())
 }

@@ -51,12 +51,40 @@
 //! assert_eq!(engine.stats().reuse_hits, engine.stats().queries);
 //! ```
 //!
+//! # The threading model
+//!
+//! The greedy constructions and the batch runner parallelize over
+//! [`EnginePool`](spanner_graph::EnginePool) — per-worker Dijkstra
+//! workspaces fanned across scoped `std::thread`s against a frozen
+//! [`CsrSnapshot`](spanner_graph::CsrSnapshot) of the growing spanner, in a
+//! batched *filter-then-commit* loop. The output is **bit-identical at
+//! every thread count** (survivors are committed in candidate order with an
+//! exact re-check), so `threads` is purely a throughput knob: set it with
+//! `Spanner::greedy().threads(8)`, the
+//! [`SpannerConfig::threads`](greedy_spanner::SpannerConfig) field, or the
+//! `SPANNER_THREADS` environment variable. [`RunStats`](greedy_spanner::RunStats)
+//! surfaces `batches`, `batch_recheck_hits`, `threads_used` and
+//! `worker_utilization` per run.
+//!
+//! ```
+//! use greedy_spanner_suite::prelude::*;
+//! use rand::{rngs::SmallRng, SeedableRng};
+//!
+//! let mut rng = SmallRng::seed_from_u64(9);
+//! let g = spanner_graph::generators::erdos_renyi_connected(60, 0.3, 1.0..4.0, &mut rng);
+//! let one = Spanner::greedy().stretch(2.0).threads(1).build(&g)?;
+//! let four = Spanner::greedy().stretch(2.0).threads(4).build(&g)?;
+//! assert_eq!(one.spanner, four.spanner); // determinism guarantee
+//! assert_eq!(four.stats.threads_used, 4);
+//! # Ok::<(), greedy_spanner::SpannerError>(())
+//! ```
+//!
 //! # Migrating from the pre-0.2 free functions
 //!
 //! `greedy_spanner(&g, t)`, `greedy_spanner_of_metric(&m, t)`,
 //! `approximate_greedy_spanner(&m, eps)` and the `baselines::*` constructors
-//! are deprecated shims for one release; see the migration table in the
-//! [`greedy_spanner`](spanners) crate docs. In short:
+//! were deprecated shims for one release and are now **removed**; see the
+//! migration table in the [`greedy_spanner`](spanners) crate docs. In short:
 //! `Spanner::<algorithm>()` + config setters + `.build(&input)` replaces each
 //! free function, and [`SpannerOutput`](greedy_spanner::SpannerOutput)
 //! replaces the per-construction result structs. The Dijkstra free functions
@@ -78,20 +106,12 @@ pub mod prelude {
     pub use greedy_spanner::algorithms::registry;
     pub use greedy_spanner::analysis::{evaluate, is_t_spanner, lightness, SpannerReport};
     pub use greedy_spanner::{
-        run_matrix, MatrixCell, Provenance, RunStats, Spanner, SpannerAlgorithm, SpannerBuilder,
-        SpannerConfig, SpannerError, SpannerInput, SpannerOutput,
+        aggregate_stats, run_matrix, MatrixCell, MatrixStats, Provenance, RunStats, Spanner,
+        SpannerAlgorithm, SpannerBuilder, SpannerConfig, SpannerError, SpannerInput, SpannerOutput,
     };
     pub use spanner_graph::{
-        CsrGraph, DijkstraEngine, EngineStats, GraphBuilder, VertexId, WeightedGraph,
+        CsrGraph, CsrSnapshot, DijkstraEngine, EnginePool, EngineStats, GraphBuilder, VertexId,
+        WeightedGraph,
     };
     pub use spanner_metric::{EuclideanSpace, MetricSpace, Point};
-
-    // Deprecated shims, re-exported for one release so downstream code
-    // migrates on its own schedule.
-    #[allow(deprecated)]
-    pub use greedy_spanner::approx_greedy::{approximate_greedy_spanner, ApproxGreedySpanner};
-    #[allow(deprecated)]
-    pub use greedy_spanner::greedy::{greedy_spanner, GreedySpanner};
-    #[allow(deprecated)]
-    pub use greedy_spanner::greedy_metric::greedy_spanner_of_metric;
 }

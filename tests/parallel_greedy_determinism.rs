@@ -1,0 +1,88 @@
+//! Property suite for the determinism guarantee of the batched
+//! filter-then-commit parallel greedy: across random graphs, stretch values
+//! and thread counts {1, 2, 4, 8}, the pipeline's output must be
+//! **byte-identical** to the sequential reference loop
+//! (`greedy_spanner_reference`) — same edges, same insertion order, same
+//! exact weights.
+
+use greedy_spanner::greedy::greedy_spanner_reference;
+use greedy_spanner::Spanner;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use spanner_graph::generators::{complete_graph_with_weights, erdos_renyi_connected};
+use spanner_graph::WeightedGraph;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Asserts the pipeline output equals the reference bit for bit at every
+/// thread count.
+fn assert_thread_count_invariant(g: &WeightedGraph, stretch: f64) {
+    let reference = greedy_spanner_reference(g, stretch).expect("valid stretch");
+    for threads in THREAD_COUNTS {
+        let out = Spanner::greedy()
+            .stretch(stretch)
+            .threads(threads)
+            .build(g)
+            .expect("valid stretch");
+        // `WeightedGraph` equality is structural and exact: same vertex
+        // count, same edge list in the same insertion order, same f64
+        // weights — byte-identical output, not just set-equal.
+        assert_eq!(
+            out.spanner,
+            *reference.spanner(),
+            "threads = {threads}, t = {stretch}, n = {}, m = {}",
+            g.num_vertices(),
+            g.num_edges()
+        );
+        assert_eq!(out.stats.edges_added, reference.edges_added());
+        assert_eq!(out.stats.threads_used, threads);
+        assert_eq!(
+            out.stats.workspace_reuse_hits, out.stats.distance_queries,
+            "threads = {threads}: a pool engine allocated mid-construction"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Sparse-to-medium random graphs across the stretch range.
+    #[test]
+    fn parallel_greedy_matches_reference_on_er_graphs(
+        seed in 0u64..10_000,
+        n in 8usize..60,
+        stretch in 1.0f64..6.0,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = erdos_renyi_connected(n, 0.3, 1.0..10.0, &mut rng);
+        assert_thread_count_invariant(&g, stretch);
+    }
+
+    /// Dense graphs with near-uniform weights: many candidates share one
+    /// weight-class batch, which maximizes snapshot staleness and exercises
+    /// the commit re-check path hard.
+    #[test]
+    fn parallel_greedy_matches_reference_on_dense_uniform_weights(
+        seed in 0u64..10_000,
+        n in 6usize..30,
+        stretch in 1.0f64..3.0,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = complete_graph_with_weights(n, 1.0..1.05, &mut rng);
+        assert_thread_count_invariant(&g, stretch);
+    }
+
+    /// High-spread weights: many tiny weight-class batches, exercising the
+    /// batch-boundary logic and the inline small-batch path.
+    #[test]
+    fn parallel_greedy_matches_reference_on_high_spread_weights(
+        seed in 0u64..10_000,
+        n in 8usize..40,
+        stretch in 1.0f64..4.0,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = erdos_renyi_connected(n, 0.4, 1.0..10_000.0, &mut rng);
+        assert_thread_count_invariant(&g, stretch);
+    }
+}
