@@ -1,7 +1,8 @@
-//! Regenerates every table of EXPERIMENTS.md (experiment ids E1–E10 from
-//! DESIGN.md): the Figure 1 instance, the size/lightness corollaries, the
-//! doubling-metric results, the approximate-greedy comparison, the baseline
-//! comparison and the full algorithm matrix.
+//! Regenerates every table of EXPERIMENTS.md (experiment ids E1–E11): the
+//! Figure 1 instance, the size/lightness corollaries, the doubling-metric
+//! results, the approximate-greedy comparison, the baseline comparison, the
+//! full algorithm matrix (E10), and the serving-layer table (E11: qps /
+//! cache hit rate / latency over uniform, Zipf and mixed read workloads).
 //!
 //! Every construction is dispatched through the unified
 //! [`SpannerAlgorithm`](greedy_spanner::SpannerAlgorithm) pipeline — the
@@ -79,6 +80,9 @@ fn main() {
     }
     if want("e10") {
         println!("{}", experiment_e10().render());
+    }
+    if want("e11") {
+        println!("{}", experiment_e11().render());
     }
 }
 
@@ -486,6 +490,88 @@ fn experiment_e9() -> Table {
             uni_out.spanner.max_degree().to_string(),
             uni_out.spanner.num_edges().to_string(),
         ]);
+    }
+    table
+}
+
+/// E11 — the serving layer: one greedy spanner frozen into a
+/// `SpannerServer`, measured under uniform, Zipf-hotspot and mixed read
+/// traffic, cached vs. uncached. Answers are bit-identical across every
+/// row (asserted here); only the throughput and cache columns move.
+fn experiment_e11() -> Table {
+    use greedy_spanner::workload::QueryWorkload;
+
+    let mut table = Table::new(
+        "E11: serving — workloads x tree cache over one frozen greedy 2-spanner (n=600)",
+        &[
+            "workload",
+            "cache",
+            "queries",
+            "qps",
+            "hit rate",
+            "p50",
+            "p99",
+            "trees",
+            "utilization",
+            "identical",
+        ],
+    );
+    let n = 600;
+    let g = random_graph(n, DEFAULT_SEED + 13);
+    let output = Spanner::greedy()
+        .stretch(2.0)
+        .build(&g)
+        .expect("valid stretch");
+    let workloads = [
+        (
+            "uniform",
+            QueryWorkload::uniform(n).queries(2000).seed(1).bound(40.0),
+        ),
+        (
+            "zipf 1.1",
+            QueryWorkload::zipf(n, 1.1)
+                .queries(2000)
+                .seed(2)
+                .bound(40.0),
+        ),
+        ("mixed", QueryWorkload::mixed(n, true).queries(2000).seed(3)),
+    ];
+    for (name, workload) in workloads {
+        let batch = workload.generate();
+        let mut reference: Option<Vec<greedy_spanner::Answer>> = None;
+        for cache in [0usize, 128] {
+            let mut server = output
+                .clone()
+                .serve()
+                .cache_capacity(cache)
+                .audit_against(&g)
+                .finish();
+            // Two rounds so the cached row serves hot sources from trees.
+            let cold = server.answer_batch(&batch).expect("valid batch");
+            let warm = server.answer_batch(&batch).expect("valid batch");
+            let identical = cold == warm && reference.as_ref().is_none_or(|r| &cold == r);
+            if reference.is_none() {
+                reference = Some(cold);
+            }
+            let stats = server.stats();
+            table.add_row(vec![
+                name.to_owned(),
+                if cache == 0 {
+                    "off".to_owned()
+                } else {
+                    cache.to_string()
+                },
+                stats.queries.to_string(),
+                fmt_f(stats.qps().unwrap_or(0.0)),
+                format!("{:.1}%", 100.0 * stats.cache_hit_rate().unwrap_or(0.0)),
+                format!("{:?}", stats.latency.p50().expect("recorded")),
+                format!("{:?}", stats.latency.p99().expect("recorded")),
+                server.cached_trees().to_string(),
+                fmt_f(server.worker_utilization()),
+                if identical { "yes" } else { "NO" }.to_owned(),
+            ]);
+            assert!(identical, "E11: serving answers diverged across rows");
+        }
     }
     table
 }

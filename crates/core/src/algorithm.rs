@@ -136,18 +136,42 @@ impl<'a> SpannerInput<'a> {
     /// The input as a weighted graph: graphs are borrowed, metrics are
     /// materialized as their complete distance graph (the form the greedy
     /// algorithm consumes in metric spaces).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a metric input produces a `NaN`, infinite or negative
+    /// pairwise distance. The pipeline itself uses
+    /// [`SpannerInput::try_to_graph`], which surfaces that case as an error.
     pub fn to_graph(&self) -> Cow<'a, WeightedGraph> {
-        match self {
+        self.try_to_graph()
+            .expect("metric input with non-finite or negative distances")
+    }
+
+    /// Like [`SpannerInput::to_graph`], but a poisoned metric distance
+    /// (`NaN` / `±inf` / negative) is reported as
+    /// [`GraphError::InvalidWeight`](spanner_graph::GraphError) instead of
+    /// panicking — every construction materializes through this, so bad
+    /// distance data fails a build cleanly.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first invalid pairwise distance of a metric input. Graph
+    /// and prepared inputs cannot fail (their edges were validated at
+    /// insertion).
+    pub fn try_to_graph(&self) -> Result<Cow<'a, WeightedGraph>, spanner_graph::GraphError> {
+        Ok(match self {
             SpannerInput::Graph(g) => Cow::Borrowed(*g),
-            SpannerInput::Metric(m) => Cow::Owned(m.to_complete_graph()),
-            SpannerInput::Euclidean2(s) => Cow::Owned(s.to_complete_graph()),
+            SpannerInput::Metric(m) => Cow::Owned(m.try_to_complete_graph()?),
+            SpannerInput::Euclidean2(s) => Cow::Owned(s.try_to_complete_graph()?),
             SpannerInput::Prepared { complete, .. } => Cow::Borrowed(*complete),
-        }
+        })
     }
 
     /// The reference graph spanner quality is measured against: the graph
     /// itself, or the complete distance graph of a metric. Identical to
-    /// [`SpannerInput::to_graph`]; the name documents intent at call sites.
+    /// [`SpannerInput::to_graph`] (including its panic on poisoned metric
+    /// distances); the name documents intent at call sites. The batch runner
+    /// uses the fallible [`SpannerInput::try_to_graph`] instead.
     pub fn reference_graph(&self) -> Cow<'a, WeightedGraph> {
         self.to_graph()
     }

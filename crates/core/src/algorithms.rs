@@ -54,7 +54,7 @@ impl SpannerAlgorithm for Greedy {
             if input.as_metric().is_some() && input.is_empty() {
                 return Err(SpannerError::EmptyInput);
             }
-            let graph = input.to_graph();
+            let graph = input.try_to_graph()?;
             let result = run_greedy(&graph, config.stretch, config.resolve_threads())?;
             let stats = RunStats {
                 edges_examined: result.edges_examined(),
@@ -97,6 +97,11 @@ impl SpannerAlgorithm for ApproxGreedy {
     ) -> Result<SpannerOutput, SpannerError> {
         let metric = input.as_metric().ok_or_else(|| unsupported(self, input))?;
         timed_build(self, input, config, || {
+            // The net hierarchy consumes raw metric distances, so a poisoned
+            // (NaN / inf / negative) distance must be caught up front to
+            // surface as an error instead of corrupting the construction.
+            // The scan is O(n²) — the same order as the construction itself.
+            validate_metric_distances(metric)?;
             let mut params = ApproxGreedyParams::new(config.effective_epsilon());
             params.use_cluster_graph = config.use_cluster_graph;
             params.threads = config.resolve_threads();
@@ -141,7 +146,7 @@ impl SpannerAlgorithm for BaswanaSen {
         config: &SpannerConfig,
     ) -> Result<SpannerOutput, SpannerError> {
         timed_build(self, input, config, || {
-            let graph = input.to_graph();
+            let graph = input.try_to_graph()?;
             let mut rng = SmallRng::seed_from_u64(config.seed);
             let spanner = run_baswana_sen(&graph, config.effective_k(), &mut rng)?;
             let stats = RunStats {
@@ -286,7 +291,7 @@ impl SpannerAlgorithm for Mst {
         config: &SpannerConfig,
     ) -> Result<SpannerOutput, SpannerError> {
         timed_build(self, input, config, || {
-            let graph = input.to_graph();
+            let graph = input.try_to_graph()?;
             let spanner = run_mst(&graph);
             let stats = RunStats {
                 edges_examined: graph.num_edges(),
@@ -329,6 +334,24 @@ impl SpannerAlgorithm for Star {
             Ok((spanner, stats))
         })
     }
+}
+
+/// Checks every pairwise distance of a metric for `NaN` / infinite /
+/// negative values, reporting the first offender as
+/// [`spanner_graph::GraphError::InvalidWeight`] — the upfront guard for
+/// constructions that consume raw distances instead of materializing the
+/// complete graph (which performs the same validation as it builds).
+fn validate_metric_distances(metric: &dyn spanner_metric::MetricSpace) -> Result<(), SpannerError> {
+    let n = metric.len();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = metric.distance(i, j);
+            if !(d.is_finite() && d >= 0.0) {
+                return Err(spanner_graph::GraphError::InvalidWeight { weight: d }.into());
+            }
+        }
+    }
+    Ok(())
 }
 
 /// All spanner constructions this crate provides, boxed for uniform
@@ -413,6 +436,45 @@ mod tests {
                 assert!(
                     measured <= bound * (1.0 + 1e-9) + 1e-12,
                     "{}: measured {measured} exceeds guarantee {bound}",
+                    algorithm.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn poisoned_metric_distances_surface_as_errors_from_every_construction() {
+        // A metric with one NaN pairwise distance used to either panic
+        // (star, approx-greedy) or silently drop the pair during complete-
+        // graph materialization (greedy, baswana-sen, mst) — producing a
+        // wrong spanner with no signal. Every construction must now fail the
+        // build cleanly with the InvalidWeight graph error.
+        use spanner_metric::ExplicitMetric;
+        for bad in [f64::NAN, f64::INFINITY, -2.0] {
+            // The poisoned pair is incident to vertex 0 so even the star
+            // baseline (which only reads hub distances) must see it.
+            let metric = ExplicitMetric::from_fn_unchecked(5, |i, j| {
+                if (i.min(j), i.max(j)) == (0, 3) {
+                    bad
+                } else {
+                    1.0 + (i + j) as f64
+                }
+            });
+            let input = SpannerInput::from(&metric);
+            let config = SpannerConfig::for_stretch(2.0);
+            for algorithm in registry() {
+                if !algorithm.supports(&input) {
+                    continue; // geometric constructions never see the metric
+                }
+                let result = algorithm.build(&input, &config);
+                assert!(
+                    matches!(
+                        result,
+                        Err(SpannerError::Graph(
+                            spanner_graph::GraphError::InvalidWeight { .. }
+                        ))
+                    ),
+                    "{} with distance {bad}: expected InvalidWeight, got {result:?}",
                     algorithm.name()
                 );
             }

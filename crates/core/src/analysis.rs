@@ -96,13 +96,26 @@ pub fn is_t_spanner(original: &WeightedGraph, spanner: &WeightedGraph, t: f64) -
 }
 
 /// Lightness of `spanner`: its total weight divided by the MST weight of
-/// `original`. Returns `0.0` when the MST weight is zero (edgeless input).
+/// `original`.
+///
+/// **Degenerate inputs are defined, never `NaN`/`inf`-by-accident.** When
+/// the MST weight of `original` is zero (edgeless or single-vertex input)
+/// the raw ratio would be `0/0` or `w/0`, which silently poisons every
+/// aggregate it flows into. This function instead returns the documented
+/// convention of
+/// [`degenerate_lightness`](spanner_graph::properties::degenerate_lightness):
+/// `1.0` when `spanner` is also weightless (the only sensible reading — a
+/// weightless spanner of a weightless graph is perfectly light), and
+/// `f64::INFINITY` when `spanner` carries weight the reference cannot
+/// account for (a reference/spanner mismatch, flagged rather than hidden).
+/// [`evaluate`] and the matrix reports use the same convention via
+/// `summarize_with_mst`.
 pub fn lightness(original: &WeightedGraph, spanner: &WeightedGraph) -> f64 {
     let mst = mst_weight(original);
     if mst > 0.0 {
         spanner.total_weight() / mst
     } else {
-        0.0
+        spanner_graph::properties::degenerate_lightness(spanner.total_weight())
     }
 }
 
@@ -187,8 +200,29 @@ mod tests {
         assert!((lightness(&g, &g) - 1.0).abs() < 1e-12);
         let h = g.filter_edges(|_, _| true);
         assert!((lightness(&g, &h) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lightness_of_degenerate_inputs_is_defined() {
+        // Edgeless and single-vertex references have a weightless MST; the
+        // documented convention is 1.0 for a weightless spanner and +inf for
+        // a mismatched weighted one — never NaN, never a flattering 0.0.
         let empty = WeightedGraph::new(5);
-        assert_eq!(lightness(&empty, &empty), 0.0);
+        assert_eq!(lightness(&empty, &empty), 1.0);
+        let single = WeightedGraph::new(1);
+        assert_eq!(lightness(&single, &single), 1.0);
+        let zero_vertices = WeightedGraph::new(0);
+        assert_eq!(lightness(&zero_vertices, &zero_vertices), 1.0);
+        let weighted = star_graph(5, 2.0);
+        assert_eq!(lightness(&empty, &weighted), f64::INFINITY);
+        // The consolidated report uses the same convention end to end.
+        let report = evaluate(&empty, &empty, 2.0);
+        assert_eq!(report.summary.lightness, 1.0);
+        assert!(!report.summary.lightness.is_nan());
+        assert_eq!(report.max_stretch, 0.0);
+        assert!(report.meets_stretch_target());
+        let mismatched = evaluate(&empty, &weighted, 2.0);
+        assert!(mismatched.summary.lightness.is_infinite());
     }
 
     #[test]

@@ -48,7 +48,14 @@ pub(crate) fn run_star<M: MetricSpace + ?Sized>(
     for v in 0..metric.len() {
         if v != hub {
             let d = metric.distance(hub, v);
-            g.add_edge(VertexId(hub), VertexId(v), d);
+            // Same convention as `try_to_complete_graph`: a duplicate point
+            // (zero distance to the hub) carries no edge, while a poisoned
+            // distance (NaN / infinite / negative) surfaces as a clean
+            // error instead of aborting the process.
+            if d == 0.0 {
+                continue;
+            }
+            g.try_add_edge(VertexId(hub), VertexId(v), d)?;
         }
     }
     Ok(g)
@@ -92,6 +99,37 @@ mod tests {
     fn star_spanner_rejects_empty_metric() {
         let s = spanner_metric::EuclideanSpace::<2>::new(vec![]);
         assert!(matches!(run_star(&s, 0), Err(SpannerError::EmptyInput)));
+    }
+
+    #[test]
+    fn star_spanner_skips_duplicates_and_rejects_poisoned_distances() {
+        use spanner_metric::ExplicitMetric;
+        // Point 1 coincides with the hub: like try_to_complete_graph, the
+        // zero-distance pair simply carries no edge.
+        let dup = ExplicitMetric::from_fn_unchecked(4, |i, j| {
+            if (i.min(j), i.max(j)) == (0, 1) {
+                0.0
+            } else {
+                1.0
+            }
+        });
+        let star = run_star(&dup, 0).unwrap();
+        assert_eq!(star.num_edges(), 2);
+        assert_eq!(star.degree(1.into()), 0);
+        // A poisoned hub distance still fails the build cleanly.
+        let bad = ExplicitMetric::from_fn_unchecked(3, |i, j| {
+            if (i.min(j), i.max(j)) == (0, 2) {
+                f64::NAN
+            } else {
+                1.0
+            }
+        });
+        assert!(matches!(
+            run_star(&bad, 0),
+            Err(SpannerError::Graph(
+                spanner_graph::GraphError::InvalidWeight { .. }
+            ))
+        ));
     }
 
     #[test]

@@ -125,10 +125,58 @@
 //!   cell-level parallelism (whole constructions run concurrently), which
 //!   saturates workers without nested parallelism.
 //!
+//! # The serving model
+//!
+//! Construction produces the artifact; [`serve`] answers queries from it.
+//! Calling [`SpannerOutput::serve`] turns any build result into a
+//! [`serve::SpannerServer`] — **freeze → serve → stats**:
+//!
+//! 1. **Freeze.** `finish()` compacts the spanner into a read-only
+//!    [`spanner_graph::CsrGraph`] and pre-sizes an
+//!    [`spanner_graph::EnginePool`], so every subsequent query is
+//!    allocation-free.
+//! 2. **Serve.** [`serve::SpannerServer::answer_batch`] answers batches of
+//!    [`serve::Query`] values — bounded distance, shortest path, k-nearest,
+//!    ball, stretch-audit — fanned across the pool, with a deterministic
+//!    LRU cache of shortest-path trees ([`spanner_graph::SptTree`]) in
+//!    front so hot sources answer in `O(1)` per target.
+//! 3. **Stats.** [`serve::ServeStats`] reports qps, cache hit rate and
+//!    p50/p99 latency buckets; the pool adds per-worker utilization and the
+//!    zero-allocation counters.
+//!
+//! ```
+//! use greedy_spanner::serve::Query;
+//! use greedy_spanner::workload::QueryWorkload;
+//! use greedy_spanner::Spanner;
+//! use rand::{rngs::SmallRng, SeedableRng};
+//!
+//! let mut rng = SmallRng::seed_from_u64(5);
+//! let g = spanner_graph::generators::erdos_renyi_connected(60, 0.3, 1.0..4.0, &mut rng);
+//! let mut server = Spanner::greedy().stretch(2.0).build(&g)?.serve().threads(8).finish();
+//! let batch = QueryWorkload::zipf(60, 1.1).queries(128).seed(9).generate();
+//! let answers = server.answer_batch(&batch).expect("valid batch");
+//! assert_eq!(answers.len(), 128);
+//! assert_eq!(server.stats().queries, 128);
+//! # Ok::<(), greedy_spanner::SpannerError>(())
+//! ```
+//!
+//! Serving extends the construction pipeline's determinism guarantee:
+//! answers are **bit-identical at every thread count and cache state**
+//! (asserted by the root `serving_determinism` property suite against the
+//! one-shot `dijkstra` free functions). [`workload`] generates realistic
+//! traffic shapes — uniform pairs, Zipf hotspots, ball sweeps, mixed read
+//! profiles — for benches and tests.
+//!
+//! **Migration note:** [`SpannerOutput`] is now `serve()`-able; no existing
+//! API changed. Code that hand-rolled query loops over `output.spanner`
+//! with a `DijkstraEngine` can move to the server and gain batching, the
+//! tree cache and statistics for free.
+//!
 //! # Module map
 //!
 //! * [`algorithm`], [`algorithms`], [`builder`], [`matrix`] — the unified
 //!   pipeline described above.
+//! * [`serve`] + [`workload`] — the serving layer described above.
 //! * [`greedy`] / [`greedy_metric`] — Algorithm 1 engines (graph / metric).
 //! * [`bounded_degree`] — the net-tree `(1+ε)`-spanner substrate
 //!   (Theorem 2).
@@ -156,6 +204,8 @@ pub mod greedy;
 pub mod greedy_metric;
 pub mod matrix;
 pub mod optimality;
+pub mod serve;
+pub mod workload;
 
 pub use algorithm::{
     Provenance, RunStats, SpannerAlgorithm, SpannerConfig, SpannerInput, SpannerOutput, MAX_THREADS,
@@ -164,3 +214,5 @@ pub use builder::{Spanner, SpannerBuilder};
 pub use error::{GraphError, SpannerError};
 pub use greedy::GreedySpanner;
 pub use matrix::{aggregate_stats, run_matrix, MatrixCell, MatrixStats};
+pub use serve::{Answer, Query, ServeBuilder, ServeError, ServeStats, SpannerServer};
+pub use workload::QueryWorkload;

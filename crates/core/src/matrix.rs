@@ -66,6 +66,37 @@ pub struct MatrixStats {
     pub batch_recheck_hits: usize,
 }
 
+impl MatrixStats {
+    /// Cells that built a spanner.
+    pub fn succeeded(&self) -> usize {
+        self.cells - self.failures
+    }
+
+    /// Fraction of cells that succeeded, or `None` for an empty grid — the
+    /// empty case is explicit rather than a `0/0` `NaN` (or a misleading
+    /// constant) leaking into CI summaries.
+    pub fn success_rate(&self) -> Option<f64> {
+        (self.cells > 0).then(|| self.succeeded() as f64 / self.cells as f64)
+    }
+
+    /// Mean construction wall time over the *successful* cells, or `None`
+    /// when no cell succeeded (an all-failed or empty grid has no meaningful
+    /// average; the old zero-denominator reading reported `0s`, which looks
+    /// like an infinitely fast run).
+    pub fn mean_cell_wall_time(&self) -> Option<Duration> {
+        let succeeded = self.succeeded();
+        (succeeded > 0).then(|| self.total_wall_time / succeeded as u32)
+    }
+
+    /// Workspace-reuse hits as a fraction of distance queries, or `None`
+    /// when the grid issued no queries (empty, all-failed, or query-free
+    /// constructions only).
+    pub fn workspace_reuse_rate(&self) -> Option<f64> {
+        (self.distance_queries > 0)
+            .then(|| self.workspace_reuse_hits as f64 / self.distance_queries as f64)
+    }
+}
+
 /// Rolls the per-cell statistics of a grid up into one [`MatrixStats`].
 pub fn aggregate_stats(cells: &[MatrixCell]) -> MatrixStats {
     let mut agg = MatrixStats {
@@ -112,16 +143,23 @@ pub fn run_matrix(
 ) -> Vec<MatrixCell> {
     // Metric inputs get their complete distance graph materialized once here
     // and shared by every (algorithm, stretch) cell, instead of being
-    // re-derived O(n²)-style inside each build.
-    let references: Vec<_> = inputs
+    // re-derived O(n²)-style inside each build. A poisoned input (a metric
+    // with NaN / infinite / negative distances) must not abort the grid: its
+    // materialization error is held per input and every cell of that input
+    // reports it as a per-cell failure.
+    let references: Vec<Result<_, spanner_graph::GraphError>> = inputs
         .iter()
-        .map(|(_, input)| input.reference_graph())
+        .map(|(_, input)| input.try_to_graph())
         .collect();
     let prepared: Vec<SpannerInput<'_>> = inputs
         .iter()
         .zip(&references)
-        .map(
-            |((_, input), reference)| match (input.as_euclidean2(), input.as_metric()) {
+        .map(|((_, input), reference)| {
+            let Ok(reference) = reference else {
+                // Cells of a poisoned input short-circuit before build.
+                return *input;
+            };
+            match (input.as_euclidean2(), input.as_metric()) {
                 (Some(space), _) => SpannerInput::prepared_euclidean2(space, reference),
                 (None, Some(space)) => SpannerInput::Prepared {
                     space,
@@ -129,8 +167,8 @@ pub fn run_matrix(
                     euclidean2: None,
                 },
                 (None, None) => *input,
-            },
-        )
+            }
+        })
         .collect();
 
     // Enumerate the grid up front so the deterministic row-major cell order
@@ -164,11 +202,18 @@ pub fn run_matrix(
             threads: cell_threads,
             ..base_config.clone()
         };
-        let output = algorithm.build(&prepared[input_index], &config);
-        let report = output
-            .as_ref()
-            .ok()
-            .map(|out| evaluate(&references[input_index], &out.spanner, stretch));
+        let (output, report) = match &references[input_index] {
+            Ok(reference) => {
+                let output = algorithm.build(&prepared[input_index], &config);
+                let report = output
+                    .as_ref()
+                    .ok()
+                    .map(|out| evaluate(reference, &out.spanner, stretch));
+                (output, report)
+            }
+            // Poisoned input: every cell carries the materialization error.
+            Err(e) => (Err(SpannerError::from(e.clone())), None),
+        };
         Some(MatrixCell {
             input: inputs[input_index].0.to_owned(),
             algorithm: algorithm.name().to_owned(),
@@ -278,6 +323,75 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn aggregate_stats_empty_and_all_failed_cases_are_explicit() {
+        // Empty grid: every ratio is None, not NaN / 0-denominator output.
+        let empty = aggregate_stats(&[]);
+        assert_eq!(empty.cells, 0);
+        assert_eq!(empty.succeeded(), 0);
+        assert_eq!(empty.success_rate(), None);
+        assert_eq!(empty.mean_cell_wall_time(), None);
+        assert_eq!(empty.workspace_reuse_rate(), None);
+
+        // All-failed grid (stretch 0.1 is invalid for every stretch-driven
+        // construction): averages over successes stay None, the failure
+        // count is exact.
+        let points = uniform_points::<2, _>(8, &mut SmallRng::seed_from_u64(35));
+        let inputs = [("pts", SpannerInput::from(&points))];
+        let algorithms = vec![crate::algorithms::by_name("greedy").unwrap()];
+        let cells = run_matrix(&inputs, &algorithms, &[0.1], &SpannerConfig::default());
+        assert!(cells.iter().all(|c| !c.succeeded()));
+        let agg = aggregate_stats(&cells);
+        assert_eq!(agg.failures, agg.cells);
+        assert_eq!(agg.success_rate(), Some(0.0));
+        assert_eq!(agg.mean_cell_wall_time(), None);
+        assert_eq!(agg.workspace_reuse_rate(), None);
+
+        // Mixed grid: rates are well defined and within [0, 1].
+        let ok = run_matrix(&inputs, &registry(), &[1.5], &SpannerConfig::default());
+        let agg = aggregate_stats(&ok);
+        let rate = agg.success_rate().unwrap();
+        assert!((0.0..=1.0).contains(&rate));
+        assert!(agg.mean_cell_wall_time().unwrap() > Duration::ZERO);
+        assert_eq!(agg.workspace_reuse_rate(), Some(1.0));
+    }
+
+    #[test]
+    fn poisoned_metric_input_fails_its_cells_without_aborting_the_grid() {
+        use spanner_metric::ExplicitMetric;
+        let poisoned = ExplicitMetric::from_fn_unchecked(6, |i, j| {
+            if (i.min(j), i.max(j)) == (0, 1) {
+                f64::NAN
+            } else {
+                1.0 + (i * j) as f64
+            }
+        });
+        let mut rng = SmallRng::seed_from_u64(36);
+        let g = erdos_renyi_connected(10, 0.4, 1.0..4.0, &mut rng);
+        let inputs = [
+            ("poisoned", SpannerInput::from(&poisoned)),
+            ("healthy", SpannerInput::from(&g)),
+        ];
+        let cells = run_matrix(&inputs, &registry(), &[2.0], &SpannerConfig::default());
+        // The poisoned input's cells all fail with the InvalidWeight error…
+        for cell in cells.iter().filter(|c| c.input == "poisoned") {
+            assert!(matches!(
+                &cell.output,
+                Err(crate::error::SpannerError::Graph(
+                    spanner_graph::GraphError::InvalidWeight { .. }
+                ))
+            ));
+            assert!(cell.report.is_none());
+        }
+        // …while the healthy input's cells are untouched by the neighbor.
+        assert!(cells
+            .iter()
+            .filter(|c| c.input == "healthy")
+            .all(MatrixCell::succeeded));
+        let agg = aggregate_stats(&cells);
+        assert!(agg.failures > 0 && agg.succeeded() > 0);
     }
 
     #[test]

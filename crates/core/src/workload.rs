@@ -1,0 +1,348 @@
+//! Query-workload generation for the serving layer: deterministic,
+//! seed-driven batches that model realistic read traffic.
+//!
+//! Benches, tests and the experiment tables all need the same traffic
+//! shapes: uniformly random point-to-point pairs (the cache-hostile
+//! baseline), Zipf-skewed hotspots (real traffic — a few sources dominate,
+//! which is what a shortest-path-tree cache exploits), ball-radius sweeps
+//! (range queries at several scales) and mixed read profiles. One
+//! [`QueryWorkload`] value describes a shape; [`QueryWorkload::generate`]
+//! materializes it as a `Vec<Query>`, identically for the same seed.
+//!
+//! ```
+//! use greedy_spanner::workload::QueryWorkload;
+//!
+//! let batch = QueryWorkload::zipf(1000, 1.1).queries(256).seed(7).generate();
+//! assert_eq!(batch.len(), 256);
+//! assert_eq!(batch, QueryWorkload::zipf(1000, 1.1).queries(256).seed(7).generate());
+//! ```
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use spanner_graph::VertexId;
+
+use crate::serve::Query;
+
+/// The traffic shape a [`QueryWorkload`] generates.
+#[derive(Debug, Clone, PartialEq)]
+enum Shape {
+    /// Uniformly random `(source, target)` distance queries.
+    Uniform,
+    /// Sources drawn from a Zipf distribution over a shuffled vertex
+    /// ranking (hotspots), targets uniform.
+    Zipf {
+        /// Zipf exponent (`s > 0`; larger = more skew).
+        exponent: f64,
+    },
+    /// Ball queries cycling through a fixed radius schedule, sources
+    /// uniform.
+    BallSweep {
+        /// The radii to sweep over.
+        radii: Vec<f64>,
+    },
+    /// A mixed read profile: bounded distances (Zipf-skewed sources),
+    /// paths, k-nearest, balls and optionally stretch audits.
+    Mixed {
+        /// Include stretch-audit queries (requires a server built with an
+        /// audit baseline).
+        audits: bool,
+    },
+}
+
+/// A deterministic query-workload description; see the
+/// [module docs](crate::workload).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryWorkload {
+    num_vertices: usize,
+    count: usize,
+    seed: u64,
+    bound: f64,
+    shape: Shape,
+}
+
+impl QueryWorkload {
+    fn new(num_vertices: usize, shape: Shape) -> Self {
+        QueryWorkload {
+            num_vertices,
+            count: 1024,
+            seed: 0,
+            bound: f64::INFINITY,
+            shape,
+        }
+    }
+
+    /// Uniformly random point-to-point distance queries over `num_vertices`
+    /// vertices — the cache-hostile baseline shape.
+    pub fn uniform(num_vertices: usize) -> Self {
+        QueryWorkload::new(num_vertices, Shape::Uniform)
+    }
+
+    /// Zipf-skewed hotspot traffic: sources follow a Zipf law with the
+    /// given `exponent` over a seed-shuffled vertex ranking, targets are
+    /// uniform. Larger exponents concentrate more of the batch on fewer
+    /// sources (≈1.0 is web-like traffic).
+    pub fn zipf(num_vertices: usize, exponent: f64) -> Self {
+        QueryWorkload::new(num_vertices, Shape::Zipf { exponent })
+    }
+
+    /// Ball queries cycling through `radii` (each radius gets every
+    /// `radii.len()`-th query), sources uniform.
+    pub fn ball_sweep(num_vertices: usize, radii: Vec<f64>) -> Self {
+        assert!(!radii.is_empty(), "ball sweep needs at least one radius");
+        assert!(
+            radii.iter().all(|r| *r >= 0.0),
+            "ball radii must be non-negative"
+        );
+        QueryWorkload::new(num_vertices, Shape::BallSweep { radii })
+    }
+
+    /// A mixed read profile: 60% bounded distances (Zipf-skewed sources),
+    /// 15% paths, 10% k-nearest, 10% balls and 5% stretch audits (audits
+    /// replaced by distances when `audits` is `false`).
+    pub fn mixed(num_vertices: usize, audits: bool) -> Self {
+        QueryWorkload::new(num_vertices, Shape::Mixed { audits })
+    }
+
+    /// Sets the number of queries to generate (default 1024).
+    pub fn queries(mut self, count: usize) -> Self {
+        self.count = count;
+        self
+    }
+
+    /// Sets the RNG seed (default 0). Equal descriptions with equal seeds
+    /// generate equal batches.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the distance bound attached to generated distance queries
+    /// (default unbounded).
+    pub fn bound(mut self, bound: f64) -> Self {
+        self.bound = bound;
+        self
+    }
+
+    /// Materializes the workload as a query batch. Deterministic: a pure
+    /// function of the description (shape, count, seed, bound).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload was described over fewer than two vertices
+    /// (no pair queries exist).
+    pub fn generate(&self) -> Vec<Query> {
+        let n = self.num_vertices;
+        assert!(n >= 2, "workloads need at least two vertices");
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut queries = Vec::with_capacity(self.count);
+        match &self.shape {
+            Shape::Uniform => {
+                for _ in 0..self.count {
+                    let (s, t) = distinct_pair(&mut rng, n);
+                    queries.push(Query::distance(s, t, self.bound));
+                }
+            }
+            Shape::Zipf { exponent } => {
+                let sampler = ZipfSampler::new(n, *exponent, &mut rng);
+                for _ in 0..self.count {
+                    let s = sampler.sample(&mut rng);
+                    let t = uniform_other(&mut rng, n, s);
+                    queries.push(Query::distance(s, t, self.bound));
+                }
+            }
+            Shape::BallSweep { radii } => {
+                for i in 0..self.count {
+                    let s = VertexId(rng.gen_range(0..n));
+                    queries.push(Query::ball(s, radii[i % radii.len()]));
+                }
+            }
+            Shape::Mixed { audits } => {
+                let sampler = ZipfSampler::new(n, 1.1, &mut rng);
+                for i in 0..self.count {
+                    let s = sampler.sample(&mut rng);
+                    let t = uniform_other(&mut rng, n, s);
+                    // Percent slots out of 100, fixed so the profile (and
+                    // the cache behavior it drives) is stable per index.
+                    queries.push(match i % 100 {
+                        0..=59 => Query::distance(s, t, self.bound),
+                        60..=74 => Query::path(s, t),
+                        75..=84 => Query::k_nearest(s, 1 + i % 16),
+                        85..=94 => Query::ball(s, (i % 8) as f64),
+                        _ if *audits => Query::stretch_audit(s, t),
+                        _ => Query::distance(s, t, self.bound),
+                    });
+                }
+            }
+        }
+        queries
+    }
+}
+
+/// Draws an ordered pair of two distinct vertices.
+fn distinct_pair(rng: &mut SmallRng, n: usize) -> (VertexId, VertexId) {
+    let s = VertexId(rng.gen_range(0..n));
+    (s, uniform_other(rng, n, s))
+}
+
+/// Draws a vertex uniformly from all vertices except `s`.
+fn uniform_other(rng: &mut SmallRng, n: usize, s: VertexId) -> VertexId {
+    let t = rng.gen_range(0..n - 1);
+    VertexId(if t >= s.index() { t + 1 } else { t })
+}
+
+/// Inverse-CDF Zipf sampling over a shuffled vertex ranking: rank `r`
+/// (0-based) carries weight `(r + 1)^-s`; which vertex holds which rank is a
+/// seed-dependent permutation so hotspots are not always the low indices.
+struct ZipfSampler {
+    /// Prefix sums of the rank weights.
+    cdf: Vec<f64>,
+    /// `rank → vertex` assignment.
+    ranked: Vec<u32>,
+}
+
+impl ZipfSampler {
+    fn new(n: usize, exponent: f64, rng: &mut SmallRng) -> Self {
+        assert!(
+            exponent.is_finite() && exponent > 0.0,
+            "Zipf exponent must be positive and finite"
+        );
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for rank in 0..n {
+            acc += ((rank + 1) as f64).powf(-exponent);
+            cdf.push(acc);
+        }
+        let mut ranked: Vec<u32> = (0..n as u32).collect();
+        // Fisher–Yates off the workload RNG, so the hotspot identity is part
+        // of the deterministic stream.
+        for i in (1..ranked.len()).rev() {
+            let j = rng.gen_range(0..i + 1);
+            ranked.swap(i, j);
+        }
+        ZipfSampler { cdf, ranked }
+    }
+
+    fn sample(&self, rng: &mut SmallRng) -> VertexId {
+        let total = *self.cdf.last().expect("non-empty");
+        let x = rng.gen_range(0.0..total);
+        let rank = self.cdf.partition_point(|&c| c <= x);
+        VertexId(self.ranked[rank.min(self.ranked.len() - 1)] as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn source_counts(queries: &[Query]) -> HashMap<usize, usize> {
+        let mut counts = HashMap::new();
+        for q in queries {
+            *counts.entry(q.source().index()).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn workloads_are_deterministic_per_seed_and_differ_across_seeds() {
+        let a = QueryWorkload::uniform(50).queries(200).seed(3).generate();
+        let b = QueryWorkload::uniform(50).queries(200).seed(3).generate();
+        let c = QueryWorkload::uniform(50).queries(200).seed(4).generate();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 200);
+    }
+
+    #[test]
+    fn uniform_pairs_are_valid_and_spread_out() {
+        let queries = QueryWorkload::uniform(20)
+            .queries(500)
+            .bound(7.5)
+            .generate();
+        for q in &queries {
+            let Query::Distance {
+                source,
+                target,
+                bound,
+            } = *q
+            else {
+                panic!("uniform workload generates distance queries only");
+            };
+            assert!(source.index() < 20 && target.index() < 20);
+            assert_ne!(source, target);
+            assert_eq!(bound, 7.5);
+        }
+        // Every vertex should appear as a source in 500 draws over 20.
+        assert_eq!(source_counts(&queries).len(), 20);
+    }
+
+    #[test]
+    fn zipf_concentrates_traffic_on_hotspots() {
+        let n = 200;
+        let queries = QueryWorkload::zipf(n, 1.2).queries(2000).generate();
+        let counts = source_counts(&queries);
+        let max = *counts.values().max().unwrap();
+        // A uniform workload would put ~10 queries on each source; the top
+        // Zipf hotspot must be far above that.
+        assert!(max > 100, "hottest source only got {max} of 2000");
+        let uniform_counts = source_counts(&QueryWorkload::uniform(n).queries(2000).generate());
+        let uniform_max = *uniform_counts.values().max().unwrap();
+        assert!(max > 3 * uniform_max, "zipf {max} vs uniform {uniform_max}");
+    }
+
+    #[test]
+    fn ball_sweep_cycles_the_radius_schedule() {
+        let radii = vec![0.5, 1.0, 2.0];
+        let queries = QueryWorkload::ball_sweep(30, radii.clone())
+            .queries(9)
+            .generate();
+        for (i, q) in queries.iter().enumerate() {
+            let Query::Ball { radius, source } = *q else {
+                panic!("ball sweep generates ball queries only");
+            };
+            assert_eq!(radius, radii[i % 3]);
+            assert!(source.index() < 30);
+        }
+    }
+
+    #[test]
+    fn mixed_profile_covers_every_query_kind() {
+        let queries = QueryWorkload::mixed(40, true).queries(400).generate();
+        let mut distance = 0;
+        let mut path = 0;
+        let mut knearest = 0;
+        let mut ball = 0;
+        let mut audit = 0;
+        for q in &queries {
+            match q {
+                Query::Distance { .. } => distance += 1,
+                Query::Path { .. } => path += 1,
+                Query::KNearest { .. } => knearest += 1,
+                Query::Ball { .. } => ball += 1,
+                Query::StretchAudit { .. } => audit += 1,
+            }
+        }
+        assert_eq!(distance, 240);
+        assert_eq!(path, 60);
+        assert_eq!(knearest, 40);
+        assert_eq!(ball, 40);
+        assert_eq!(audit, 20);
+        // Without audits, the audit slots fall back to distance queries.
+        let no_audits = QueryWorkload::mixed(40, false).queries(400).generate();
+        assert!(no_audits
+            .iter()
+            .all(|q| !matches!(q, Query::StretchAudit { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two vertices")]
+    fn degenerate_vertex_counts_are_rejected() {
+        let _ = QueryWorkload::uniform(1).generate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one radius")]
+    fn empty_radius_schedules_are_rejected() {
+        let _ = QueryWorkload::ball_sweep(10, vec![]);
+    }
+}

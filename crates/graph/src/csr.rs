@@ -19,6 +19,7 @@
 //! the per-query workspace so repeated shortest-path queries against a
 //! `CsrGraph` perform no per-query heap allocation.
 
+use crate::error::GraphError;
 use crate::graph::{EdgeId, VertexId, WeightedGraph};
 
 /// Sentinel for "no entry" in the overflow chains.
@@ -141,18 +142,47 @@ impl CsrGraph {
     ///
     /// Panics if an endpoint is out of range, the edge is a self-loop, or the
     /// weight is not positive and finite — the same contract as
-    /// [`WeightedGraph::add_edge`].
+    /// [`WeightedGraph::add_edge`]. Use [`CsrGraph::try_append_edge`] for a
+    /// fallible variant (the path long-running processes should take, so a
+    /// poisoned weight surfaces as an error instead of aborting).
     pub fn append_edge(&mut self, u: VertexId, v: VertexId, weight: f64) -> EdgeId {
+        self.try_append_edge(u, v, weight)
+            .expect("invalid edge passed to append_edge")
+    }
+
+    /// Appends an undirected edge, validating the input — the same contract
+    /// as [`WeightedGraph::try_add_edge`]. In particular, non-finite weights
+    /// (`NaN` / `±inf`) are rejected with [`GraphError::InvalidWeight`]
+    /// *before* they can enter the structure: a single `NaN` weight breaks
+    /// the greedy construction's sort order and every Dijkstra invariant
+    /// downstream, so it must never be representable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::VertexOutOfRange`], [`GraphError::SelfLoop`] or
+    /// [`GraphError::InvalidWeight`] on invalid input; the graph is
+    /// unchanged in that case.
+    pub fn try_append_edge(
+        &mut self,
+        u: VertexId,
+        v: VertexId,
+        weight: f64,
+    ) -> Result<EdgeId, GraphError> {
         let (ui, vi) = (u.index(), v.index());
-        assert!(
-            ui < self.num_vertices && vi < self.num_vertices,
-            "endpoint out of range"
-        );
-        assert!(ui != vi, "self-loops are rejected");
-        assert!(
-            weight.is_finite() && weight > 0.0,
-            "edge weight must be positive and finite"
-        );
+        for endpoint in [ui, vi] {
+            if endpoint >= self.num_vertices {
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: endpoint,
+                    num_vertices: self.num_vertices,
+                });
+            }
+        }
+        if ui == vi {
+            return Err(GraphError::SelfLoop { vertex: ui });
+        }
+        if !(weight.is_finite() && weight > 0.0) {
+            return Err(GraphError::InvalidWeight { weight });
+        }
         let id = self.edge_list.len();
         assert!(
             2 * id + 2 <= u32::MAX as usize,
@@ -176,7 +206,7 @@ impl CsrGraph {
         if self.extra_target.len() >= self.targets.len() / 8 + 32 {
             self.compact();
         }
-        EdgeId(id)
+        Ok(EdgeId(id))
     }
 
     /// Re-packs every half-edge into the flat CSR arrays (`O(n + m)`),
@@ -514,20 +544,51 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "self-loops")]
+    #[should_panic(expected = "SelfLoop")]
     fn append_rejects_self_loop() {
         CsrGraph::new(2).append_edge(VertexId(1), VertexId(1), 1.0);
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
+    #[should_panic(expected = "VertexOutOfRange")]
     fn append_rejects_bad_endpoint() {
         CsrGraph::new(2).append_edge(VertexId(0), VertexId(5), 1.0);
     }
 
     #[test]
-    #[should_panic(expected = "positive and finite")]
+    #[should_panic(expected = "invalid edge")]
     fn append_rejects_bad_weight() {
         CsrGraph::new(2).append_edge(VertexId(0), VertexId(1), f64::NAN);
+    }
+
+    #[test]
+    fn try_append_rejects_invalid_edges_without_mutating() {
+        let mut csr = CsrGraph::new(3);
+        csr.append_edge(VertexId(0), VertexId(1), 1.0);
+        for w in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.0, -1.0] {
+            assert!(
+                matches!(
+                    csr.try_append_edge(VertexId(0), VertexId(2), w),
+                    Err(GraphError::InvalidWeight { .. })
+                ),
+                "weight {w}"
+            );
+        }
+        assert!(matches!(
+            csr.try_append_edge(VertexId(0), VertexId(9), 1.0),
+            Err(GraphError::VertexOutOfRange {
+                vertex: 9,
+                num_vertices: 3
+            })
+        ));
+        assert!(matches!(
+            csr.try_append_edge(VertexId(2), VertexId(2), 1.0),
+            Err(GraphError::SelfLoop { vertex: 2 })
+        ));
+        // Nothing was appended by any of the rejected calls.
+        assert_eq!(csr.num_edges(), 1);
+        assert_eq!(csr.degree(VertexId(2)), 0);
+        let ok = csr.try_append_edge(VertexId(1), VertexId(2), 2.0).unwrap();
+        assert_eq!(ok, EdgeId(1));
     }
 }

@@ -57,6 +57,12 @@ pub struct EngineStats {
     /// Largest priority-queue length reached by any query (stale entries
     /// included — this is the memory high-water mark of the searches).
     pub peak_frontier: usize,
+    /// Times the generation counter wrapped and the stamp workspace was
+    /// explicitly reset (see [`DijkstraEngine::force_generation_wrap`]). The
+    /// counter advances by 2 per query, so a wrap occurs roughly every 2³¹
+    /// queries — routine for a long-running server, and harmless: the reset
+    /// invalidates every stamp in `O(n)` and reuse stays sound.
+    pub generation_wraps: u64,
 }
 
 /// One heap entry: the key is stored alongside the vertex so comparisons stay
@@ -180,6 +186,36 @@ impl DijkstraEngine {
         }
     }
 
+    /// Generation values at or above this threshold trigger a stamp reset on
+    /// the next query. Generations advance by 2, so the last generation a
+    /// query may use before the reset is `WRAP_THRESHOLD + 1 = u32::MAX - 2`
+    /// (its settled stamp), leaving `u32::MAX` itself unused.
+    const WRAP_THRESHOLD: u32 = u32::MAX - 3;
+
+    /// Explicit wrap-time workspace reset: invalidates every generation
+    /// stamp (`O(n)`) and restarts the counter at zero, so the stamps of all
+    /// previous queries read as "untouched". Called automatically by
+    /// [`DijkstraEngine::begin_query`] when the counter approaches
+    /// `u32::MAX`; a server answering billions of queries crosses that
+    /// boundary routinely, and reuse must stay sound across it
+    /// ([`EngineStats::generation_wraps`] counts the crossings).
+    fn reset_generation_stamps(&mut self) {
+        self.state.iter_mut().for_each(|s| *s = 0);
+        self.generation = 0;
+        self.stats.generation_wraps += 1;
+    }
+
+    /// Forces the next query to run the generation-wrap reset path, as if
+    /// ~2³¹ queries had already been answered. The workspace stays valid —
+    /// this only fast-forwards the stamp counter.
+    ///
+    /// Exposed so long-running-process tests can exercise the wrap without
+    /// issuing billions of queries; harmless (but pointless) in production.
+    #[doc(hidden)]
+    pub fn force_generation_wrap(&mut self) {
+        self.generation = Self::WRAP_THRESHOLD;
+    }
+
     /// Returns `true` if the query had to grow the vertex-indexed buffers.
     fn begin_query(&mut self, n: usize) -> bool {
         self.stats.queries += 1;
@@ -189,13 +225,10 @@ impl DijkstraEngine {
         }
         // Generations advance by 2: `generation` marks touched, `generation
         // + 1` marks settled (see the `state` field).
-        if self.generation >= u32::MAX - 3 {
-            // Generation wrap: invalidate every state once, then restart.
-            self.state.iter_mut().for_each(|s| *s = 0);
-            self.generation = 2;
-        } else {
-            self.generation += 2;
+        if self.generation >= Self::WRAP_THRESHOLD {
+            self.reset_generation_stamps();
         }
+        self.generation += 2;
         self.heap.clear();
         self.ball_buf.clear();
         self.last_frontier = 0;
@@ -434,6 +467,122 @@ impl EngineTree<'_> {
         path.reverse();
         Some(path)
     }
+
+    /// Materializes this view as an owned [`SptTree`] that outlives the
+    /// engine — the form a shortest-path-tree cache stores. Distances and
+    /// parents are copied verbatim, so every [`SptTree`] accessor returns
+    /// **bit-identical** results to the corresponding accessor on this view.
+    pub fn to_owned_tree(&self) -> SptTree {
+        let n = self.num_vertices;
+        let mut dist = vec![f64::INFINITY; n];
+        let mut parent = vec![NO_VERTEX; n];
+        let mut members = Vec::new();
+        for v in 0..n {
+            if self.engine.state[v] >= self.engine.generation {
+                dist[v] = self.engine.dist[v];
+                parent[v] = self.engine.parent[v];
+                members.push((VertexId(v), self.engine.dist[v]));
+            }
+        }
+        // Sorted once here so every cached ball / k-nearest answer is a
+        // prefix read instead of a per-query sort.
+        members.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        SptTree {
+            source: self.source,
+            dist,
+            parent,
+            members,
+        }
+    }
+}
+
+/// An owned shortest-path tree: the cacheable counterpart of the borrowed
+/// [`EngineTree`] view, produced by [`EngineTree::to_owned_tree`].
+///
+/// A serving layer computes a source's tree once and then answers every
+/// query about that source from the tree — distance lookups are `O(1)`,
+/// path reconstruction is `O(path length)`, and ball / k-nearest answers
+/// are filters over the stored distances. All accessors return bit-identical
+/// results to a fresh engine query from the same source (the determinism
+/// contract a query cache relies on).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SptTree {
+    source: VertexId,
+    /// Distance from the source per vertex; `f64::INFINITY` = unreachable.
+    dist: Vec<f64>,
+    /// Predecessor per vertex on its shortest path; `NO_VERTEX` for the
+    /// source and for unreachable vertices.
+    parent: Vec<u32>,
+    /// Every reached vertex with its distance, sorted by
+    /// `(distance, vertex)` — the engine's settle order, pre-computed so
+    /// ball and k-nearest answers are prefix reads.
+    members: Vec<(VertexId, f64)>,
+}
+
+impl SptTree {
+    /// The source vertex of this tree.
+    pub fn source(&self) -> VertexId {
+        self.source
+    }
+
+    /// Vertex count of the graph this tree was computed over.
+    pub fn num_vertices(&self) -> usize {
+        self.dist.len()
+    }
+
+    /// Approximate heap footprint of this tree, for cache sizing.
+    pub fn memory_bytes(&self) -> usize {
+        self.dist.len() * (std::mem::size_of::<f64>() + std::mem::size_of::<u32>())
+            + self.members.len() * std::mem::size_of::<(VertexId, f64)>()
+    }
+
+    /// Distance from the source to `v`, or `None` if `v` is unreachable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn distance(&self, v: VertexId) -> Option<f64> {
+        let d = self.dist[v.index()];
+        d.is_finite().then_some(d)
+    }
+
+    /// Reconstructs the shortest path from the source to `target` (source
+    /// first), or `None` if unreachable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is out of range.
+    pub fn path_to(&self, target: VertexId) -> Option<Vec<VertexId>> {
+        self.distance(target)?;
+        let mut path = vec![target];
+        let mut cur = target.index() as u32;
+        while self.parent[cur as usize] != NO_VERTEX {
+            cur = self.parent[cur as usize];
+            path.push(VertexId(cur as usize));
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Every vertex within distance `radius` of the source, with its
+    /// distance, in non-decreasing `(distance, vertex)` order — the same
+    /// order (and the same values, bit for bit) as
+    /// [`DijkstraEngine::ball`] from this source. `O(log n)` to locate the
+    /// prefix plus the output copy (the member list is stored sorted).
+    pub fn members_within(&self, radius: f64) -> Vec<(VertexId, f64)> {
+        // Distance is the primary sort key, so the within-radius members
+        // are exactly a prefix of the stored list.
+        let end = self.members.partition_point(|&(_, d)| d <= radius);
+        self.members[..end].to_vec()
+    }
+
+    /// The `k` vertices nearest to the source (the source itself first, at
+    /// distance 0), in non-decreasing `(distance, vertex)` order. Fewer than
+    /// `k` entries are returned when the source's component is smaller.
+    pub fn k_nearest(&self, k: usize) -> Vec<(VertexId, f64)> {
+        self.members[..k.min(self.members.len())].to_vec()
+    }
 }
 
 #[cfg(test)]
@@ -610,6 +759,121 @@ mod tests {
         // Lazy deletion: at most one push per half-edge improvement plus the
         // source.
         assert!(frontier >= 1 && frontier <= 2 * g.num_edges() + 1);
+    }
+
+    #[test]
+    fn generation_wrap_resets_stamps_and_preserves_results() {
+        let g = diamond();
+        let csr = CsrGraph::from(&g);
+        let mut warm = DijkstraEngine::with_capacity_for(g.num_vertices(), g.num_edges());
+        // Take reference answers with a fresh engine far from the wrap.
+        let mut fresh = DijkstraEngine::new();
+        let reference: Vec<Option<f64>> = (0..4)
+            .map(|t| fresh.bounded_distance(&csr, VertexId(0), VertexId(t), 10.0))
+            .collect();
+        // Seed the workspace with stale stamps, then fast-forward the
+        // generation counter to the wrap threshold: the next query must run
+        // the explicit stamp reset and still answer correctly from the
+        // polluted workspace.
+        warm.bounded_distance(&csr, VertexId(2), VertexId(3), 10.0);
+        warm.force_generation_wrap();
+        assert_eq!(warm.stats().generation_wraps, 0);
+        for (t, want) in reference.iter().enumerate() {
+            assert_eq!(
+                warm.bounded_distance(&csr, VertexId(0), VertexId(t), 10.0),
+                *want,
+                "target {t} across the wrap boundary"
+            );
+        }
+        let stats = warm.stats();
+        assert_eq!(stats.generation_wraps, 1, "exactly one reset at the wrap");
+        assert_eq!(
+            stats.reuse_hits, stats.queries,
+            "the wrap reset must not allocate"
+        );
+        // Trees and balls stay sound across a second forced wrap too.
+        warm.force_generation_wrap();
+        let legacy_ball = dijkstra::ball(&g, VertexId(0), 2.0);
+        assert_eq!(warm.ball(&csr, VertexId(0), 2.0), &legacy_ball[..]);
+        let tree = warm.shortest_path_tree(&csr, VertexId(0));
+        assert_eq!(tree.distance(VertexId(3)), Some(4.0));
+        assert_eq!(warm.stats().generation_wraps, 2);
+    }
+
+    #[test]
+    fn generation_wrap_survives_a_sustained_query_stream() {
+        // Cross the wrap mid-stream and keep going: every answer before,
+        // at, and after the boundary must match a fresh engine.
+        let g = diamond();
+        let csr = CsrGraph::from(&g);
+        let mut engine = DijkstraEngine::new();
+        engine.force_generation_wrap();
+        let mut fresh = DijkstraEngine::new();
+        for round in 0..64 {
+            let s = VertexId(round % 4);
+            let t = VertexId((round + 3) % 4);
+            assert_eq!(
+                engine.bounded_distance(&csr, s, t, 10.0),
+                fresh.bounded_distance(&csr, s, t, 10.0),
+                "round {round}"
+            );
+        }
+        assert_eq!(engine.stats().generation_wraps, 1);
+        assert_eq!(fresh.stats().generation_wraps, 0);
+    }
+
+    #[test]
+    fn owned_tree_matches_the_borrowed_view_exactly() {
+        let g = diamond();
+        let csr = CsrGraph::from(&g);
+        let mut e = DijkstraEngine::new();
+        let tree = e.shortest_path_tree(&csr, VertexId(0));
+        let owned = tree.to_owned_tree();
+        assert_eq!(owned.source(), VertexId(0));
+        assert_eq!(owned.num_vertices(), 4);
+        for v in 0..4 {
+            assert_eq!(owned.distance(VertexId(v)), tree.distance(VertexId(v)));
+            assert_eq!(owned.path_to(VertexId(v)), tree.path_to(VertexId(v)));
+        }
+        assert!(owned.memory_bytes() >= 4 * 12);
+        // The owned tree outlives further engine queries.
+        e.bounded_distance(&csr, VertexId(1), VertexId(3), 10.0);
+        assert_eq!(owned.distance(VertexId(3)), Some(4.0));
+    }
+
+    #[test]
+    fn owned_tree_ball_and_k_nearest_match_engine_queries() {
+        let g = WeightedGraph::from_edges(
+            6,
+            [
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (0, 3, 2.0),
+                (3, 4, 0.5),
+                // vertex 5 is isolated
+            ],
+        )
+        .unwrap();
+        let csr = CsrGraph::from(&g);
+        let mut e = DijkstraEngine::new();
+        let owned = e.shortest_path_tree(&csr, VertexId(0)).to_owned_tree();
+        for radius in [0.0, 1.0, 2.0, 2.5, 100.0, f64::INFINITY] {
+            let expected = e.ball(&csr, VertexId(0), radius).to_vec();
+            assert_eq!(owned.members_within(radius), expected, "radius {radius}");
+        }
+        // Unreachable vertices never appear, even at radius infinity.
+        assert!(owned
+            .members_within(f64::INFINITY)
+            .iter()
+            .all(|&(v, _)| v != VertexId(5)));
+        assert_eq!(owned.distance(VertexId(5)), None);
+        assert_eq!(owned.path_to(VertexId(5)), None);
+        // k-nearest is the sorted prefix; oversized k returns the component.
+        let all = owned.members_within(f64::INFINITY);
+        assert_eq!(owned.k_nearest(3), all[..3].to_vec());
+        assert_eq!(owned.k_nearest(0), vec![]);
+        assert_eq!(owned.k_nearest(100), all);
+        assert_eq!(owned.k_nearest(1), vec![(VertexId(0), 0.0)]);
     }
 
     #[test]

@@ -85,7 +85,7 @@ pub mod union_find;
 
 pub use builder::GraphBuilder;
 pub use csr::{CsrGraph, CsrSnapshot};
-pub use engine::{DijkstraEngine, EngineStats, EngineTree};
+pub use engine::{DijkstraEngine, EngineStats, EngineTree, SptTree};
 pub use error::GraphError;
 pub use graph::{Edge, EdgeId, VertexId, WeightedGraph};
 pub use parallel::EnginePool;

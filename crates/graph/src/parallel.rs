@@ -123,6 +123,7 @@ impl EnginePool {
             total.reuse_hits += s.reuse_hits;
             total.heap_pops += s.heap_pops;
             total.peak_frontier = total.peak_frontier.max(s.peak_frontier);
+            total.generation_wraps += s.generation_wraps;
         }
         total
     }

@@ -34,6 +34,17 @@ pub fn summarize(subgraph: &WeightedGraph, reference: &WeightedGraph) -> GraphSu
 
 /// Summarizes `subgraph` against an already-computed MST weight (avoids
 /// recomputing the MST inside parameter sweeps).
+///
+/// **Degenerate references.** When `reference_mst_weight` is zero (an
+/// edgeless or single-vertex reference), the `weight / mst` ratio is the
+/// indeterminate `0/0` or the misleading `w/0`. Instead of letting a
+/// `NaN`/`inf` (or a too-good-to-be-true `0.0`) leak into aggregate tables,
+/// the lightness of that case is **defined** as [`degenerate_lightness`]:
+/// `1.0` when the subgraph is also weightless (a weightless spanner of a
+/// weightless graph is perfectly light), `f64::INFINITY` when the subgraph
+/// carries positive weight over a weightless reference (only possible when
+/// the reference is not the graph the subgraph was built from — the infinity
+/// flags the mismatch instead of hiding it).
 pub fn summarize_with_mst(subgraph: &WeightedGraph, reference_mst_weight: f64) -> GraphSummary {
     let n = subgraph.num_vertices();
     let m = subgraph.num_edges();
@@ -41,7 +52,7 @@ pub fn summarize_with_mst(subgraph: &WeightedGraph, reference_mst_weight: f64) -
     let lightness = if reference_mst_weight > 0.0 {
         total_weight / reference_mst_weight
     } else {
-        0.0
+        degenerate_lightness(total_weight)
     };
     GraphSummary {
         num_vertices: n,
@@ -54,6 +65,17 @@ pub fn summarize_with_mst(subgraph: &WeightedGraph, reference_mst_weight: f64) -
         } else {
             0.0
         },
+    }
+}
+
+/// The defined lightness of a subgraph measured against a weightless
+/// (zero-MST) reference: `1.0` for a weightless subgraph, `f64::INFINITY`
+/// for one with positive weight. Never `NaN` — see [`summarize_with_mst`].
+pub fn degenerate_lightness(subgraph_weight: f64) -> f64 {
+    if subgraph_weight > 0.0 {
+        f64::INFINITY
+    } else {
+        1.0
     }
 }
 
@@ -97,11 +119,24 @@ mod tests {
     }
 
     #[test]
-    fn summary_with_zero_mst_is_safe() {
+    fn summary_with_zero_mst_is_defined_and_finite_math_free() {
+        // Edgeless reference, edgeless subgraph: 0/0 is defined as 1.0.
         let g = WeightedGraph::new(3);
         let s = summarize(&g, &g);
-        assert_eq!(s.lightness, 0.0);
+        assert_eq!(s.lightness, 1.0);
         assert_eq!(s.average_degree, 0.0);
+        assert!(!s.lightness.is_nan());
+        // Single-vertex reference behaves the same (its MST is weightless).
+        let one = WeightedGraph::new(1);
+        assert_eq!(summarize(&one, &one).lightness, 1.0);
+        // A weighted subgraph against a weightless reference flags the
+        // mismatch as +inf instead of a NaN or a flattering 0.0.
+        let mut h = WeightedGraph::new(3);
+        h.add_edge(crate::graph::VertexId(0), crate::graph::VertexId(1), 2.0);
+        let s = summarize(&h, &g);
+        assert!(s.lightness.is_infinite() && s.lightness > 0.0);
+        assert_eq!(degenerate_lightness(0.0), 1.0);
+        assert_eq!(degenerate_lightness(3.0), f64::INFINITY);
     }
 
     #[test]

@@ -69,18 +69,49 @@ pub trait MetricSpace: Send + Sync {
 
     /// Materializes the metric as a complete weighted graph (the form the
     /// greedy algorithm consumes in metric spaces).
+    ///
+    /// Zero distances between *distinct* points (duplicate points) are
+    /// skipped — a positively-weighted graph cannot carry them, and the
+    /// points are metrically indistinguishable anyway.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any pairwise distance is `NaN`, infinite or negative. Such
+    /// a value is not a metric and, if admitted as an edge weight, would
+    /// break the greedy sort order and every Dijkstra invariant downstream;
+    /// this used to be *silently dropped*, producing a wrong (incomplete)
+    /// graph instead of an error. Fallible callers — the whole spanner
+    /// pipeline — should use [`MetricSpace::try_to_complete_graph`].
     fn to_complete_graph(&self) -> WeightedGraph {
+        self.try_to_complete_graph()
+            .expect("metric with non-finite or negative distances")
+    }
+
+    /// Like [`MetricSpace::to_complete_graph`], but surfaces a poisoned
+    /// distance as an error instead of panicking — the entry point the
+    /// spanner constructions use, so a `NaN` in user-supplied distance data
+    /// fails a build cleanly rather than aborting a long-running process.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidWeight`](spanner_graph::GraphError) for
+    /// the first `NaN`, infinite or negative pairwise distance.
+    fn try_to_complete_graph(&self) -> Result<WeightedGraph, spanner_graph::GraphError> {
         let n = self.len();
         let mut g = WeightedGraph::new(n);
         for i in 0..n {
             for j in (i + 1)..n {
                 let d = self.distance(i, j);
-                if d > 0.0 && d.is_finite() {
-                    g.add_edge(i.into(), j.into(), d);
+                if d == 0.0 {
+                    continue; // duplicate points carry no edge
                 }
+                if !(d.is_finite() && d > 0.0) {
+                    return Err(spanner_graph::GraphError::InvalidWeight { weight: d });
+                }
+                g.add_edge(i.into(), j.into(), d);
             }
         }
-        g
+        Ok(g)
     }
 }
 
@@ -211,6 +242,48 @@ mod tests {
         assert_eq!(g.num_vertices(), 4);
         assert_eq!(g.num_edges(), 6);
         assert_eq!(g.edge_weight(0.into(), 2.into()), Some(2.0f64.sqrt()));
+        assert_eq!(s.try_to_complete_graph().unwrap(), g);
+    }
+
+    struct Poisoned(f64);
+    impl MetricSpace for Poisoned {
+        fn len(&self) -> usize {
+            3
+        }
+        fn distance(&self, i: usize, j: usize) -> f64 {
+            if i == j {
+                0.0
+            } else if (i.min(j), i.max(j)) == (0, 2) {
+                self.0
+            } else {
+                1.0
+            }
+        }
+    }
+
+    #[test]
+    fn poisoned_distances_surface_as_errors_not_silent_drops() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -1.0] {
+            let m = Poisoned(bad);
+            assert!(
+                matches!(
+                    m.try_to_complete_graph(),
+                    Err(spanner_graph::GraphError::InvalidWeight { .. })
+                ),
+                "distance {bad} must be rejected"
+            );
+        }
+        // Duplicate points (zero distance between distinct indices) are
+        // legal: the pair simply carries no edge.
+        let dup = Poisoned(0.0);
+        let g = dup.try_to_complete_graph().unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite or negative")]
+    fn to_complete_graph_panics_on_poisoned_distances() {
+        let _ = Poisoned(f64::NAN).to_complete_graph();
     }
 
     #[test]

@@ -1,0 +1,94 @@
+//! Serving quickstart: build a greedy spanner, freeze it into a
+//! [`SpannerServer`], and answer realistic query traffic — uniform pairs,
+//! Zipf-skewed hotspots, and a mixed read profile with stretch audits —
+//! printing throughput, cache and latency statistics per workload.
+//!
+//! Run with `cargo run --release --example serve`.
+
+use greedy_spanner_suite::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use spanner_graph::generators::erdos_renyi_connected;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = SmallRng::seed_from_u64(7);
+    let n = 2000;
+    let graph = erdos_renyi_connected(n, 0.007, 1.0..10.0, &mut rng);
+
+    // 1. Construct: the artifact worth serving from (near-minimal memory,
+    //    bounded stretch — the paper's existential-optimality pitch).
+    let output = Spanner::greedy().stretch(2.0).build(&graph)?;
+    println!(
+        "greedy 2-spanner: {} -> {} edges ({:.1} ms to build)",
+        graph.num_edges(),
+        output.spanner.num_edges(),
+        output.stats.wall_time.as_secs_f64() * 1e3
+    );
+
+    // 2. Freeze + serve: compacted CSR spanner, per-worker Dijkstra
+    //    engines, and an LRU cache of shortest-path trees for hot sources.
+    let mut server = output
+        .serve()
+        .threads(4)
+        .cache_capacity(64)
+        .audit_against(&graph)
+        .finish();
+    println!(
+        "serving {} vertices / {} edges on {} worker thread(s)\n",
+        server.num_vertices(),
+        server.num_edges(),
+        server.threads()
+    );
+
+    // 3. Traffic. Zipf hotspots are where the tree cache earns its keep;
+    //    answers are bit-identical at every thread count and cache state.
+    let workloads = [
+        (
+            "uniform pairs",
+            QueryWorkload::uniform(n).queries(4000).seed(1),
+        ),
+        (
+            "zipf hotspots",
+            QueryWorkload::zipf(n, 1.1).queries(4000).seed(2),
+        ),
+        (
+            "mixed profile",
+            QueryWorkload::mixed(n, true).queries(4000).seed(3),
+        ),
+    ];
+    for (name, workload) in workloads {
+        server.reset_stats();
+        let batch = workload.generate();
+        // Two rounds: the second answers hot sources from cached trees.
+        let answers = server.answer_batch(&batch)?;
+        let again = server.answer_batch(&batch)?;
+        assert_eq!(answers, again, "cache hits must never change results");
+        let stats = server.stats();
+        println!("{name}: {} queries in {:?}", stats.queries, stats.elapsed);
+        println!(
+            "  qps {:.0}  cache hit rate {:.1}%  trees cached {}",
+            stats.qps().unwrap_or(0.0),
+            100.0 * stats.cache_hit_rate().unwrap_or(0.0),
+            server.cached_trees()
+        );
+        println!(
+            "  latency p50 {:?}  p99 {:?}  worker utilization {:.2}",
+            stats.latency.p50().unwrap(),
+            stats.latency.p99().unwrap(),
+            server.worker_utilization()
+        );
+    }
+
+    // 4. A closer look at one answer: the realized stretch of a pair.
+    let audit = server.answer_batch(&[Query::stretch_audit(VertexId(0), VertexId(n / 2))])?;
+    if let Answer::StretchAudit(Some(sample)) = &audit[0] {
+        println!(
+            "\naudit v0 -> v{}: spanner {:.3}, graph {:.3}, stretch {:.3} (target 2.0)",
+            n / 2,
+            sample.spanner_distance,
+            sample.graph_distance,
+            sample.stretch
+        );
+    }
+    Ok(())
+}

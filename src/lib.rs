@@ -79,6 +79,44 @@
 //! # Ok::<(), greedy_spanner::SpannerError>(())
 //! ```
 //!
+//! # The serving model
+//!
+//! Any build result is `serve()`-able: the spanner is frozen into a
+//! compacted CSR graph and queried through a
+//! [`SpannerServer`](greedy_spanner::serve::SpannerServer) — **freeze →
+//! serve → stats**. Batches of
+//! [`Query`](greedy_spanner::serve::Query) values (bounded distance,
+//! shortest path, k-nearest, ball, stretch-audit) fan out across the same
+//! engine pool the constructions use, behind a deterministic LRU cache of
+//! shortest-path trees so hot sources answer in `O(1)` per target.
+//! Serving inherits the construction determinism guarantee: **answers are
+//! bit-identical at every thread count and cache state.**
+//! [`QueryWorkload`](greedy_spanner::workload::QueryWorkload) generates
+//! realistic traffic (uniform pairs, Zipf hotspots, ball sweeps, mixed
+//! profiles) for benches and tests, and
+//! [`ServeStats`](greedy_spanner::serve::ServeStats) reports qps, cache hit
+//! rate and p50/p99 latency buckets.
+//!
+//! ```
+//! use greedy_spanner_suite::prelude::*;
+//! use rand::{rngs::SmallRng, SeedableRng};
+//!
+//! let mut rng = SmallRng::seed_from_u64(11);
+//! let g = spanner_graph::generators::erdos_renyi_connected(50, 0.3, 1.0..4.0, &mut rng);
+//! let mut server = Spanner::greedy()
+//!     .stretch(2.0)
+//!     .build(&g)?
+//!     .serve()
+//!     .threads(4)
+//!     .audit_against(&g)
+//!     .finish();
+//! let batch = QueryWorkload::mixed(50, true).queries(100).seed(3).generate();
+//! let answers = server.answer_batch(&batch).expect("valid batch");
+//! assert_eq!(answers.len(), 100);
+//! assert!(server.stats().qps().is_some());
+//! # Ok::<(), greedy_spanner::SpannerError>(())
+//! ```
+//!
 //! # Migrating from the pre-0.2 free functions
 //!
 //! `greedy_spanner(&g, t)`, `greedy_spanner_of_metric(&m, t)`,
@@ -106,12 +144,13 @@ pub mod prelude {
     pub use greedy_spanner::algorithms::registry;
     pub use greedy_spanner::analysis::{evaluate, is_t_spanner, lightness, SpannerReport};
     pub use greedy_spanner::{
-        aggregate_stats, run_matrix, MatrixCell, MatrixStats, Provenance, RunStats, Spanner,
-        SpannerAlgorithm, SpannerBuilder, SpannerConfig, SpannerError, SpannerInput, SpannerOutput,
+        aggregate_stats, run_matrix, Answer, MatrixCell, MatrixStats, Provenance, Query,
+        QueryWorkload, RunStats, ServeBuilder, ServeError, ServeStats, Spanner, SpannerAlgorithm,
+        SpannerBuilder, SpannerConfig, SpannerError, SpannerInput, SpannerOutput, SpannerServer,
     };
     pub use spanner_graph::{
-        CsrGraph, CsrSnapshot, DijkstraEngine, EnginePool, EngineStats, GraphBuilder, VertexId,
-        WeightedGraph,
+        CsrGraph, CsrSnapshot, DijkstraEngine, EnginePool, EngineStats, GraphBuilder, SptTree,
+        VertexId, WeightedGraph,
     };
     pub use spanner_metric::{EuclideanSpace, MetricSpace, Point};
 }

@@ -1,0 +1,170 @@
+//! Property suite for the serving layer's determinism guarantee: batched
+//! [`SpannerServer`] answers must be **bit-identical** to the one-shot
+//! `dijkstra` free functions on the same spanner, across thread counts
+//! {1, 2, 8} and across cache states (disabled / small / large, cold and
+//! warm) — a cache hit may never change a result.
+
+use greedy_spanner::serve::{Answer, PathAnswer, Query, StretchSample};
+use greedy_spanner::workload::QueryWorkload;
+use greedy_spanner::Spanner;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use spanner_graph::dijkstra;
+use spanner_graph::generators::erdos_renyi_connected;
+use spanner_graph::{VertexId, WeightedGraph};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+const CACHE_CAPACITIES: [usize; 3] = [0, 2, 64];
+
+/// Answers one query with the allocation-per-call `dijkstra` free functions
+/// — the reference implementation the engine substrate is property-tested
+/// against, and therefore the ground truth for the server.
+fn free_function_answer(
+    spanner: &WeightedGraph,
+    original: &WeightedGraph,
+    query: &Query,
+) -> Answer {
+    match *query {
+        Query::Distance {
+            source,
+            target,
+            bound,
+        } => Answer::Distance(dijkstra::bounded_distance(spanner, source, target, bound)),
+        Query::Path { source, target } => {
+            let tree = dijkstra::shortest_path_tree(spanner, source);
+            Answer::Path(tree.distance(target).map(|distance| PathAnswer {
+                distance,
+                vertices: tree.path_to(target).expect("reachable"),
+            }))
+        }
+        Query::KNearest { source, k } => {
+            let tree = dijkstra::shortest_path_tree(spanner, source);
+            let mut members: Vec<(VertexId, f64)> = (0..spanner.num_vertices())
+                .filter_map(|v| tree.distance(VertexId(v)).map(|d| (VertexId(v), d)))
+                .collect();
+            members.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+            members.truncate(k);
+            Answer::KNearest(members)
+        }
+        Query::Ball { source, radius } => Answer::Ball(dijkstra::ball(spanner, source, radius)),
+        Query::StretchAudit { source, target } => {
+            let sample = dijkstra::bounded_distance(spanner, source, target, f64::INFINITY)
+                .and_then(|spanner_distance| {
+                    let graph_distance =
+                        dijkstra::bounded_distance(original, source, target, f64::INFINITY)?;
+                    Some(StretchSample {
+                        spanner_distance,
+                        graph_distance,
+                        stretch: if graph_distance > 0.0 {
+                            spanner_distance / graph_distance
+                        } else {
+                            1.0
+                        },
+                    })
+                });
+            Answer::StretchAudit(sample)
+        }
+    }
+}
+
+fn assert_server_matches_reference(g: &WeightedGraph, stretch: f64, workload_seed: u64) {
+    let n = g.num_vertices();
+    let output = Spanner::greedy().stretch(stretch).build(g).expect("valid");
+    let spanner = output.spanner.clone();
+    let queries = QueryWorkload::mixed(n, true)
+        .queries(120)
+        .seed(workload_seed)
+        .bound(3.0 * stretch)
+        .generate();
+    let reference: Vec<Answer> = queries
+        .iter()
+        .map(|q| free_function_answer(&spanner, g, q))
+        .collect();
+    for threads in THREAD_COUNTS {
+        for cache in CACHE_CAPACITIES {
+            let mut server = output
+                .clone()
+                .serve()
+                .threads(threads)
+                .cache_capacity(cache)
+                .audit_against(g)
+                .finish();
+            // Cold batch, then a warm repeat: the second round answers the
+            // hot sources from cached trees and must change nothing.
+            let cold = server.answer_batch(&queries).expect("valid batch");
+            let warm = server.answer_batch(&queries).expect("valid batch");
+            assert_eq!(
+                cold, reference,
+                "cold, threads={threads} cache={cache} n={n} t={stretch}"
+            );
+            assert_eq!(
+                warm, reference,
+                "warm, threads={threads} cache={cache} n={n} t={stretch}"
+            );
+            if cache > 0 {
+                assert!(
+                    server.stats().cache_hits > 0,
+                    "threads={threads} cache={cache}: the warm round must hit"
+                );
+            } else {
+                assert_eq!(server.stats().cache_hits, 0);
+            }
+            let engine = server.engine_stats();
+            assert_eq!(
+                engine.reuse_hits, engine.queries,
+                "threads={threads} cache={cache}: a serving engine allocated"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random ER graphs, random stretch, mixed workloads: the server is a
+    /// bit-exact distance oracle at every thread count and cache state.
+    #[test]
+    fn server_answers_match_free_functions(
+        seed in 0u64..10_000,
+        n in 8usize..45,
+        stretch in 1.0f64..5.0,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = erdos_renyi_connected(n, 0.35, 1.0..10.0, &mut rng);
+        assert_server_matches_reference(&g, stretch, seed ^ 0xD15C0);
+    }
+
+    /// Uniform and Zipf point-to-point workloads (the bench shapes) under
+    /// the same contract.
+    #[test]
+    fn point_to_point_workloads_match_across_cache_states(
+        seed in 0u64..10_000,
+        n in 10usize..40,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = erdos_renyi_connected(n, 0.3, 1.0..6.0, &mut rng);
+        let output = Spanner::greedy().stretch(2.0).build(&g).expect("valid");
+        let spanner = output.spanner.clone();
+        for workload in [
+            QueryWorkload::uniform(n).queries(80).seed(seed).bound(12.0),
+            QueryWorkload::zipf(n, 1.2).queries(80).seed(seed).bound(12.0),
+        ] {
+            let queries = workload.generate();
+            let reference: Vec<Answer> = queries
+                .iter()
+                .map(|q| free_function_answer(&spanner, &g, q))
+                .collect();
+            for cache in CACHE_CAPACITIES {
+                let mut server = output
+                    .clone()
+                    .serve()
+                    .threads(2)
+                    .cache_capacity(cache)
+                    .finish();
+                prop_assert_eq!(&server.answer_batch(&queries).expect("valid"), &reference);
+                prop_assert_eq!(&server.answer_batch(&queries).expect("valid"), &reference);
+            }
+        }
+    }
+}
