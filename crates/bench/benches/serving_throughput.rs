@@ -61,16 +61,19 @@ fn bench_serving(c: &mut Criterion) {
         .build(&g)
         .expect("valid stretch");
     let uniform = QueryWorkload::uniform(N)
+        .expect("valid workload")
         .queries(BATCH)
         .seed(11)
         .bound(40.0)
         .generate();
     let zipf = QueryWorkload::zipf(N, 1.1)
+        .expect("valid workload")
         .queries(BATCH)
         .seed(12)
         .bound(40.0)
         .generate();
     let mixed = QueryWorkload::mixed(N, false)
+        .expect("valid workload")
         .queries(BATCH)
         .seed(13)
         .generate();

@@ -1,8 +1,11 @@
-//! Regenerates every table of EXPERIMENTS.md (experiment ids E1–E11): the
+//! Regenerates every table of EXPERIMENTS.md (experiment ids E1–E12): the
 //! Figure 1 instance, the size/lightness corollaries, the doubling-metric
 //! results, the approximate-greedy comparison, the baseline comparison, the
-//! full algorithm matrix (E10), and the serving-layer table (E11: qps /
-//! cache hit rate / latency over uniform, Zipf and mixed read workloads).
+//! full algorithm matrix (E10), the serving-layer table (E11: qps / cache
+//! hit rate / latency over uniform, Zipf and mixed read workloads), and the
+//! live-update table (E12: a server interleaving query and update batches —
+//! admissions, repairs, epochs, stale cache evictions — checked
+//! round-by-round against a from-scratch rebuild).
 //!
 //! Every construction is dispatched through the unified
 //! [`SpannerAlgorithm`](greedy_spanner::SpannerAlgorithm) pipeline — the
@@ -83,6 +86,9 @@ fn main() {
     }
     if want("e11") {
         println!("{}", experiment_e11().render());
+    }
+    if want("e12") {
+        println!("{}", experiment_e12().render());
     }
 }
 
@@ -511,6 +517,7 @@ fn experiment_e11() -> Table {
             "hit rate",
             "p50",
             "p99",
+            "max",
             "trees",
             "utilization",
             "identical",
@@ -525,16 +532,27 @@ fn experiment_e11() -> Table {
     let workloads = [
         (
             "uniform",
-            QueryWorkload::uniform(n).queries(2000).seed(1).bound(40.0),
+            QueryWorkload::uniform(n)
+                .expect("valid")
+                .queries(2000)
+                .seed(1)
+                .bound(40.0),
         ),
         (
             "zipf 1.1",
             QueryWorkload::zipf(n, 1.1)
+                .expect("valid")
                 .queries(2000)
                 .seed(2)
                 .bound(40.0),
         ),
-        ("mixed", QueryWorkload::mixed(n, true).queries(2000).seed(3)),
+        (
+            "mixed",
+            QueryWorkload::mixed(n, true)
+                .expect("valid")
+                .queries(2000)
+                .seed(3),
+        ),
     ];
     for (name, workload) in workloads {
         let batch = workload.generate();
@@ -566,6 +584,7 @@ fn experiment_e11() -> Table {
                 format!("{:.1}%", 100.0 * stats.cache_hit_rate().unwrap_or(0.0)),
                 format!("{:?}", stats.latency.p50().expect("recorded")),
                 format!("{:?}", stats.latency.p99().expect("recorded")),
+                format!("{:?}", stats.latency.max().expect("recorded")),
                 server.cached_trees().to_string(),
                 fmt_f(server.worker_utilization()),
                 if identical { "yes" } else { "NO" }.to_owned(),
@@ -573,6 +592,149 @@ fn experiment_e11() -> Table {
             assert!(identical, "E11: serving answers diverged across rows");
         }
     }
+    table
+}
+
+/// E12 — live updates: one greedy 2-spanner opened for updates and served
+/// while a mixed query/update stream runs against it. Update rounds report
+/// the admission/repair counters and the epochs they advanced; query rounds
+/// report serving statistics (including stale-tree evictions and the exact
+/// latency maximum) and are checked bit-for-bit against a server rebuilt
+/// from scratch at the current epoch.
+fn experiment_e12() -> Table {
+    use greedy_spanner::serve::ServeBuilder;
+    use greedy_spanner::workload::{LiveWorkload, StreamEvent};
+    use std::time::Instant;
+
+    let mut table = Table::new(
+        "E12: live updates — interleaved query/update stream over one greedy 2-spanner \
+         (n=400, cache=64, update fraction 0.4)",
+        &[
+            "round",
+            "event",
+            "admitted",
+            "rejected",
+            "repaired",
+            "epoch",
+            "stale evict",
+            "hit rate",
+            "p50",
+            "p99",
+            "max",
+            "identical",
+        ],
+    );
+    let n = 400;
+    let g = random_graph(n, DEFAULT_SEED + 14);
+    let output = Spanner::greedy()
+        .stretch(2.0)
+        .build(&g)
+        .expect("valid stretch");
+    let t0 = Instant::now();
+    let mut server = output
+        .clone()
+        .live(&g)
+        .expect("greedy guarantees a stretch")
+        .serve()
+        .cache_capacity(64)
+        .finish();
+    let stream = LiveWorkload::new(n)
+        .expect("valid universe")
+        .update_fraction(0.4)
+        .expect("valid fraction")
+        .rounds(10)
+        .queries_per_batch(1500)
+        .updates_per_batch(20)
+        .seed(DEFAULT_SEED + 15)
+        .generate(&g);
+    for (round, event) in stream.iter().enumerate() {
+        match event {
+            StreamEvent::Updates(batch) => {
+                let outcome = server.apply_updates(batch).expect("valid stream");
+                table.add_row(vec![
+                    round.to_string(),
+                    format!("update x{}", batch.len()),
+                    outcome.admitted.to_string(),
+                    outcome.rejected.to_string(),
+                    outcome.repaired.to_string(),
+                    server.epoch().to_string(),
+                    server.stats().stale_evictions.to_string(),
+                    "-".to_owned(),
+                    "-".to_owned(),
+                    "-".to_owned(),
+                    "-".to_owned(),
+                    "-".to_owned(),
+                ]);
+            }
+            StreamEvent::Queries(queries) => {
+                // The rebuild oracle: a cold server over a fresh handle at
+                // the current epoch, auditing against the live original.
+                let original = server
+                    .live()
+                    .expect("live server")
+                    .original()
+                    .to_weighted_graph();
+                let mut rebuilt = ServeBuilder::from_handle(server.freeze_current())
+                    .cache_capacity(0)
+                    .audit_against(&original)
+                    .finish();
+                let expected = rebuilt.answer_batch(queries).expect("valid batch");
+                let got = server.answer_batch(queries).expect("valid batch");
+                let identical = got == expected;
+                let stats = server.stats();
+                table.add_row(vec![
+                    round.to_string(),
+                    format!("query x{}", queries.len()),
+                    "-".to_owned(),
+                    "-".to_owned(),
+                    "-".to_owned(),
+                    stats.epoch.to_string(),
+                    stats.stale_evictions.to_string(),
+                    format!("{:.1}%", 100.0 * stats.cache_hit_rate().unwrap_or(0.0)),
+                    format!("{:?}", stats.latency.p50().expect("recorded")),
+                    format!("{:?}", stats.latency.p99().expect("recorded")),
+                    format!("{:?}", stats.latency.max().expect("recorded")),
+                    if identical { "yes" } else { "NO" }.to_owned(),
+                ]);
+                assert!(identical, "E12: interleaved server diverged from rebuild");
+            }
+        }
+    }
+    let incremental = t0.elapsed();
+    // One full rebuild of the final state, for scale.
+    let final_graph = server
+        .live()
+        .expect("live server")
+        .original()
+        .to_weighted_graph();
+    let t1 = Instant::now();
+    let _ = Spanner::greedy()
+        .stretch(2.0)
+        .build(&final_graph)
+        .expect("valid stretch");
+    let one_rebuild = t1.elapsed();
+    let updates = *server.update_stats().expect("live server");
+    table.add_row(vec![
+        "(total)".to_owned(),
+        format!(
+            "stream {:.1} ms vs 1 rebuild {:.1} ms",
+            incremental.as_secs_f64() * 1e3,
+            one_rebuild.as_secs_f64() * 1e3
+        ),
+        updates.admitted.to_string(),
+        updates.rejected.to_string(),
+        updates.repaired.to_string(),
+        server.epoch().to_string(),
+        server.stats().stale_evictions.to_string(),
+        format!(
+            "{:.1}%",
+            100.0 * server.stats().cache_hit_rate().unwrap_or(0.0)
+        ),
+        "-".to_owned(),
+        "-".to_owned(),
+        "-".to_owned(),
+        format!("certified {:.3}", updates.certified_stretch),
+    ]);
     table
 }
 

@@ -153,11 +153,11 @@
 //! let mut rng = SmallRng::seed_from_u64(5);
 //! let g = spanner_graph::generators::erdos_renyi_connected(60, 0.3, 1.0..4.0, &mut rng);
 //! let mut server = Spanner::greedy().stretch(2.0).build(&g)?.serve().threads(8).finish();
-//! let batch = QueryWorkload::zipf(60, 1.1).queries(128).seed(9).generate();
+//! let batch = QueryWorkload::zipf(60, 1.1)?.queries(128).seed(9).generate();
 //! let answers = server.answer_batch(&batch).expect("valid batch");
 //! assert_eq!(answers.len(), 128);
 //! assert_eq!(server.stats().queries, 128);
-//! # Ok::<(), greedy_spanner::SpannerError>(())
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
 //! Serving extends the construction pipeline's determinism guarantee:
@@ -167,16 +167,50 @@
 //! traffic shapes — uniform pairs, Zipf hotspots, ball sweeps, mixed read
 //! profiles — for benches and tests.
 //!
-//! **Migration note:** [`SpannerOutput`] is now `serve()`-able; no existing
-//! API changed. Code that hand-rolled query loops over `output.spanner`
-//! with a `DijkstraEngine` can move to the server and gain batching, the
-//! tree cache and statistics for free.
+//! # The live-update model
+//!
+//! The stack is four layers, and as of 0.3 none of them freezes forever:
+//!
+//! 1. **Substrate** (`spanner-graph`): [`spanner_graph::CsrGraph`] is
+//!    appendable *and deletable* — mutations stage in a
+//!    [`spanner_graph::DeltaOverlay`] (overflow chains + tombstone bitmap,
+//!    consolidated on re-pack) and every mutation bumps a monotone
+//!    [`spanner_graph::CsrGraph::epoch`]. Stale views are refused with
+//!    typed [`spanner_graph::GraphError::StaleEpoch`] errors.
+//! 2. **Construction** builds the spanner (unchanged).
+//! 3. **Serving** ([`serve`]): [`serve::SpannerServer`] holds an
+//!    epoch-stamped [`serve::SpannerHandle`]; cached shortest-path trees
+//!    record their build epoch and are **lazily invalidated** on the first
+//!    post-update touch ([`serve::ServeStats::stale_evictions`]).
+//! 4. **Updates** ([`update`]): [`update::LiveSpanner`] applies
+//!    [`update::UpdateBatch`]es — insertions through the greedy admission
+//!    rule (the PR-3 filter-then-commit machinery over an overlay
+//!    snapshot), deletions with localized witness-traversal repair — and
+//!    re-certifies the stretch-`t` invariant after every batch
+//!    ([`update::UpdateStats`]).
+//!
+//! A live server ([`update::LiveSpanner::serve`]) interleaves
+//! query batches and update batches and stays **bit-identical to a server
+//! rebuilt from scratch after every batch**, at every thread count and
+//! cache size (root suite `tests/live_update_determinism.rs`).
+//! [`workload::LiveWorkload`] generates the mixed query/update streams with
+//! a configurable update fraction.
+//!
+//! **Migration note (0.3):** `SpannerServer` no longer owns a bare frozen
+//! graph — it serves through an epoch-stamped handle, and
+//! [`serve::SpannerServer::new`] takes a [`serve::SpannerHandle`]. The
+//! builder entry points ([`SpannerOutput::serve`], and 0.2 code generally)
+//! keep working unchanged; [`workload::QueryWorkload`] constructors now
+//! validate their parameters and return `Result` (append `?` or
+//! `.expect(...)`).
 //!
 //! # Module map
 //!
 //! * [`algorithm`], [`algorithms`], [`builder`], [`matrix`] — the unified
 //!   pipeline described above.
 //! * [`serve`] + [`workload`] — the serving layer described above.
+//! * [`update`] — the live-update subsystem ([`update::LiveSpanner`])
+//!   described above.
 //! * [`greedy`] / [`greedy_metric`] — Algorithm 1 engines (graph / metric).
 //! * [`bounded_degree`] — the net-tree `(1+ε)`-spanner substrate
 //!   (Theorem 2).
@@ -205,6 +239,7 @@ pub mod greedy_metric;
 pub mod matrix;
 pub mod optimality;
 pub mod serve;
+pub mod update;
 pub mod workload;
 
 pub use algorithm::{
@@ -214,5 +249,7 @@ pub use builder::{Spanner, SpannerBuilder};
 pub use error::{GraphError, SpannerError};
 pub use greedy::GreedySpanner;
 pub use matrix::{aggregate_stats, run_matrix, MatrixCell, MatrixStats};
+pub use serve::SpannerHandle;
 pub use serve::{Answer, Query, ServeBuilder, ServeError, ServeStats, SpannerServer};
-pub use workload::QueryWorkload;
+pub use update::{BatchOutcome, LiveSpanner, Update, UpdateBatch, UpdateError, UpdateStats};
+pub use workload::{LiveWorkload, QueryWorkload, StreamEvent, WorkloadError};

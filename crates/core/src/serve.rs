@@ -1,14 +1,37 @@
-//! The serving layer: batched distance-oracle queries over a frozen spanner.
+//! The serving layer: batched distance-oracle queries over a spanner —
+//! frozen, or live under updates.
 //!
 //! The paper's point is that the greedy spanner is the *right artifact to
 //! serve queries from* — near-minimal memory, bounded stretch. The
 //! construction side of this crate builds that artifact; [`SpannerServer`]
-//! is the read side. It freezes any [`SpannerOutput`] into a compacted
+//! is the read side. It holds an **epoch-stamped handle** to a compacted
 //! [`CsrGraph`] and answers **query batches** — point-to-point bounded
 //! distance, shortest path, k-nearest, ball, and stretch-audit (spanner vs.
 //! original graph) — fanned across an [`EnginePool`] of per-worker Dijkstra
 //! workspaces, with a shortest-path-tree cache in front so hot sources
 //! answer in `O(1)` per target.
+//!
+//! # Epochs and live serving
+//!
+//! Every mutation of a [`CsrGraph`] bumps its [`CsrGraph::epoch`]. The
+//! server records the epoch its view was built at and every cached
+//! shortest-path tree records the epoch it was computed at:
+//!
+//! * A **frozen** server ([`SpannerHandle`] + [`SpannerServer::new`], or
+//!   the classic [`SpannerOutput::serve`] builder) refuses to answer when
+//!   its handle's stamp no longer matches the graph — a typed
+//!   [`ServeError::StaleEpoch`], never a silent answer over data the
+//!   stamp-holder has not seen.
+//! * A **live** server (built from a [`LiveSpanner`] via
+//!   [`LiveSpanner::serve`]) interleaves query batches with update batches
+//!   ([`SpannerServer::apply_updates`]). Updates advance the spanner's
+//!   epoch; cache entries from earlier epochs are invalidated *lazily* — on
+//!   the first post-update query of their source they are discarded
+//!   (counted in [`ServeStats::stale_evictions`]) and the source is
+//!   re-answered by a fresh engine search. A live server interleaving
+//!   queries and updates therefore answers **bit-identically to a server
+//!   rebuilt from scratch after every update batch**, at every thread count
+//!   and cache size — asserted by the root `live_update_determinism` suite.
 //!
 //! # The determinism guarantee
 //!
@@ -21,7 +44,8 @@
 //! * Cache hits never change results: a cached [`SptTree`] stores the
 //!   engine's own distances and parents verbatim, and bounded queries prune
 //!   nothing that could alter a within-bound distance, so a tree lookup and
-//!   a fresh engine search return the same bits.
+//!   a fresh engine search return the same bits. Stale (old-epoch) trees
+//!   are never consulted.
 //! * Cache *admission* is a pure function of the batch (per-source demand in
 //!   first-appearance order) and eviction is by least-recent-use with a
 //!   deterministic tie-break — the cache's content after any batch sequence
@@ -57,12 +81,14 @@ use spanner_graph::{
 };
 
 use crate::algorithm::{Provenance, SpannerConfig, SpannerOutput};
+use crate::update::{BatchOutcome, LiveSpanner, UpdateBatch, UpdateError, UpdateStats};
 
 /// One read query against a served spanner.
 ///
 /// All variants are answered against the *spanner*; [`Query::StretchAudit`]
-/// additionally consults the original graph the server was given via
-/// [`ServeBuilder::audit_against`].
+/// additionally consults the original graph: the one given via
+/// [`ServeBuilder::audit_against`] for frozen servers, the live original
+/// for live ones.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Query {
     /// Distance between two vertices if it is at most `bound` (use
@@ -217,9 +243,24 @@ pub enum ServeError {
         /// The offending radius.
         radius: f64,
     },
-    /// A [`Query::StretchAudit`] was submitted to a server built without
-    /// [`ServeBuilder::audit_against`].
+    /// A [`Query::StretchAudit`] was submitted to a frozen server built
+    /// without [`ServeBuilder::audit_against`].
     MissingAuditBaseline,
+    /// The server's epoch-stamped handle no longer matches its graph: the
+    /// spanner was mutated out-of-band (through
+    /// [`SpannerHandle::graph_mut`] without a
+    /// [`SpannerHandle::refresh`]), and the server refuses to answer
+    /// against data its stamp-holder has not acknowledged.
+    StaleEpoch {
+        /// The epoch the handle was stamped with.
+        stamped: u64,
+        /// The graph's current epoch.
+        current: u64,
+    },
+    /// [`SpannerServer::apply_updates`] was called on a frozen server.
+    UpdatesNotSupported,
+    /// An update batch was rejected by the live-update subsystem.
+    Update(UpdateError),
 }
 
 impl std::fmt::Display for ServeError {
@@ -242,19 +283,45 @@ impl std::fmt::Display for ServeError {
                 f,
                 "stretch-audit queries need a baseline graph; build the server with audit_against"
             ),
+            ServeError::StaleEpoch { stamped, current } => write!(
+                f,
+                "stale serving handle: stamped epoch {stamped}, graph at {current}; refresh the \
+                 handle before serving"
+            ),
+            ServeError::UpdatesNotSupported => write!(
+                f,
+                "this server serves a frozen spanner; build it from a LiveSpanner to apply updates"
+            ),
+            ServeError::Update(e) => write!(f, "update batch rejected: {e}"),
         }
     }
 }
 
-impl std::error::Error for ServeError {}
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Update(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<UpdateError> for ServeError {
+    fn from(e: UpdateError) -> Self {
+        ServeError::Update(e)
+    }
+}
 
 /// Power-of-two latency buckets: bucket `i` counts answers that took
 /// `[2^i, 2^(i+1))` nanoseconds. Coarse, allocation-free, and cheap enough
-/// to record per query; quantiles report a bucket's upper bound.
+/// to record per query; quantiles report a bucket's upper bound. The exact
+/// observed maximum is tracked alongside ([`LatencyHistogram::max`]) — p99
+/// alone hides tail outliers in long runs.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LatencyHistogram {
     counts: [u64; 64],
     total: u64,
+    max_nanos: u64,
 }
 
 impl Default for LatencyHistogram {
@@ -262,6 +329,7 @@ impl Default for LatencyHistogram {
         LatencyHistogram {
             counts: [0; 64],
             total: 0,
+            max_nanos: 0,
         }
     }
 }
@@ -273,6 +341,7 @@ impl LatencyHistogram {
         let bucket = (64 - nanos.leading_zeros()).saturating_sub(1) as usize;
         self.counts[bucket.min(63)] += 1;
         self.total += 1;
+        self.max_nanos = self.max_nanos.max(nanos);
     }
 
     /// Recorded answers.
@@ -313,12 +382,21 @@ impl LatencyHistogram {
         self.quantile(0.99)
     }
 
+    /// The exact observed maximum latency, or `None` if nothing was
+    /// recorded. Unlike the quantiles this is not bucket-rounded, so the
+    /// single worst answer of a long run is visible even when p99 looks
+    /// flat.
+    pub fn max(&self) -> Option<Duration> {
+        (self.total > 0).then(|| Duration::from_nanos(self.max_nanos))
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &LatencyHistogram) {
         for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
             *a += b;
         }
         self.total += other.total;
+        self.max_nanos = self.max_nanos.max(other.max_nanos);
     }
 }
 
@@ -338,6 +416,14 @@ pub struct ServeStats {
     pub cache_insertions: u64,
     /// Trees evicted to make room.
     pub cache_evictions: u64,
+    /// Trees discarded because their build epoch predated an update — the
+    /// lazy invalidation a live server performs on the first post-update
+    /// touch of a stale source.
+    pub stale_evictions: u64,
+    /// The spanner epoch observed by the most recent batch (0 before any
+    /// batch ran). On a frozen server this never changes; on a live server
+    /// it advances as update batches interleave.
+    pub epoch: u64,
     /// Total wall time spent inside [`SpannerServer::answer_batch`].
     pub elapsed: Duration,
     /// Per-query answer latencies.
@@ -360,18 +446,30 @@ impl ServeStats {
     }
 }
 
-/// A deterministic LRU cache of shortest-path trees, keyed by source vertex.
+/// What [`SptCache::lookup`] found for a source at the current epoch.
+enum CacheLookup<'a> {
+    /// A current-epoch tree: answer from it.
+    Hit(&'a SptTree),
+    /// A tree from an earlier epoch: must not be consulted; evict lazily.
+    Stale,
+    /// Nothing cached.
+    Miss,
+}
+
+/// A deterministic LRU cache of shortest-path trees, keyed by source vertex
+/// and stamped with the epoch each tree was computed at.
 ///
 /// Recency is a logical clock ticked in batch order, and eviction breaks
 /// recency ties by smaller source index, so the cache content after any
-/// sequence of batches is a pure function of the query stream — never of
-/// thread scheduling.
+/// sequence of batches is a pure function of the query/update stream —
+/// never of thread scheduling. Entries whose epoch predates the spanner's
+/// current epoch are never consulted and are discarded on first touch.
 #[derive(Debug)]
 struct SptCache {
     capacity: usize,
     clock: u64,
-    /// `source → (tree, last_used)`.
-    entries: HashMap<usize, (SptTree, u64)>,
+    /// `source → (tree, last_used, build_epoch)`.
+    entries: HashMap<usize, (SptTree, u64, u64)>,
 }
 
 impl SptCache {
@@ -387,58 +485,190 @@ impl SptCache {
         self.entries.len()
     }
 
-    fn contains(&self, source: VertexId) -> bool {
-        self.entries.contains_key(&source.index())
+    /// Does the cache hold a *current* tree for this source?
+    fn contains_current(&self, source: VertexId, epoch: u64) -> bool {
+        self.entries
+            .get(&source.index())
+            .is_some_and(|&(_, _, e)| e == epoch)
     }
 
     /// Read-only lookup — does not touch recency, so it is safe to call
     /// from parallel workers against a frozen `&self`.
-    fn peek(&self, source: VertexId) -> Option<&SptTree> {
-        self.entries.get(&source.index()).map(|(tree, _)| tree)
+    fn lookup(&self, source: VertexId, epoch: u64) -> CacheLookup<'_> {
+        match self.entries.get(&source.index()) {
+            Some((tree, _, e)) if *e == epoch => CacheLookup::Hit(tree),
+            Some(_) => CacheLookup::Stale,
+            None => CacheLookup::Miss,
+        }
     }
 
     /// Marks a source as just-used (no-op for uncached sources).
     fn touch(&mut self, source: VertexId) {
         self.clock += 1;
         let clock = self.clock;
-        if let Some((_, last_used)) = self.entries.get_mut(&source.index()) {
+        if let Some((_, last_used, _)) = self.entries.get_mut(&source.index()) {
             *last_used = clock;
         }
     }
 
-    /// Inserts a tree, evicting the least-recently-used entry (ties by
-    /// smaller source index) when full. Returns `true` if an eviction
-    /// happened.
-    fn insert(&mut self, tree: SptTree) -> bool {
-        if self.capacity == 0 {
-            return false;
+    /// Discards a stale entry (first post-update touch). Returns `true` if
+    /// an entry was actually removed.
+    fn evict_stale(&mut self, source: VertexId, epoch: u64) -> bool {
+        match self.entries.get(&source.index()) {
+            Some(&(_, _, e)) if e != epoch => {
+                self.entries.remove(&source.index());
+                true
+            }
+            _ => false,
         }
+    }
+
+    /// Inserts a tree stamped with its build epoch, evicting the
+    /// least-recently-used entry (ties by smaller source index) when full.
+    /// Returns `(lru_evicted, stale_replaced)`.
+    fn insert(&mut self, tree: SptTree, epoch: u64) -> (bool, bool) {
+        if self.capacity == 0 {
+            return (false, false);
+        }
+        let key = tree.source().index();
+        let stale_replaced = self.entries.get(&key).is_some_and(|&(_, _, e)| e != epoch);
         let mut evicted = false;
-        if self.entries.len() >= self.capacity && !self.contains(tree.source()) {
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
             if let Some((&victim, _)) = self
                 .entries
                 .iter()
-                .min_by_key(|(&source, &(_, last_used))| (last_used, source))
+                .min_by_key(|(&source, &(_, last_used, _))| (last_used, source))
             {
                 self.entries.remove(&victim);
                 evicted = true;
             }
         }
         self.clock += 1;
-        self.entries
-            .insert(tree.source().index(), (tree, self.clock));
-        evicted
+        self.entries.insert(key, (tree, self.clock, epoch));
+        (evicted, stale_replaced)
     }
 }
 
-/// A distance-oracle server over a frozen spanner; construct one with
-/// [`SpannerOutput::serve`]. See the [module docs](crate::serve) for the
-/// serving model and the determinism guarantee.
+/// An epoch-stamped, owned handle to a compacted spanner — what a
+/// [`SpannerServer`] serves from ([`SpannerServer::new`]).
+///
+/// The handle records the [`CsrGraph::epoch`] of the graph at stamping
+/// time. Serving verifies the stamp before every batch, so out-of-band
+/// mutations (through [`SpannerHandle::graph_mut`]) surface as
+/// [`ServeError::StaleEpoch`] until the holder acknowledges them with
+/// [`SpannerHandle::refresh`].
+#[derive(Debug, Clone)]
+pub struct SpannerHandle {
+    spanner: CsrGraph,
+    epoch: u64,
+    provenance: Provenance,
+}
+
+impl SpannerHandle {
+    /// Stamps a handle over a CSR spanner at its current epoch.
+    pub fn new(spanner: CsrGraph, provenance: Provenance) -> Self {
+        let epoch = spanner.epoch();
+        SpannerHandle {
+            spanner,
+            epoch,
+            provenance,
+        }
+    }
+
+    /// Freezes a build result into a handle (compacts the spanner so every
+    /// subsequent scan is packed).
+    pub fn from_output(output: SpannerOutput) -> Self {
+        SpannerHandle::new(CsrGraph::from(&output.spanner), output.provenance)
+    }
+
+    /// The stamped epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The spanner graph.
+    pub fn graph(&self) -> &CsrGraph {
+        &self.spanner
+    }
+
+    /// Mutable access to the spanner graph, for out-of-band maintenance.
+    /// Any mutation advances the graph's epoch past this handle's stamp;
+    /// call [`SpannerHandle::refresh`] afterwards or serving will refuse
+    /// with [`ServeError::StaleEpoch`].
+    pub fn graph_mut(&mut self) -> &mut CsrGraph {
+        &mut self.spanner
+    }
+
+    /// Returns `true` while the stamp matches the graph's epoch.
+    pub fn is_current(&self) -> bool {
+        self.epoch == self.spanner.epoch()
+    }
+
+    /// Re-stamps the handle at the graph's current epoch, acknowledging any
+    /// out-of-band mutations.
+    pub fn refresh(&mut self) {
+        self.epoch = self.spanner.epoch();
+    }
+
+    /// Which construction produced the spanner.
+    pub fn provenance(&self) -> &Provenance {
+        &self.provenance
+    }
+}
+
+/// What a server serves: a frozen epoch-stamped handle, or a live spanner
+/// taking updates.
+#[derive(Debug)]
+enum Served {
+    Frozen(Box<SpannerHandle>),
+    Live(Box<LiveSpanner>),
+}
+
+impl Served {
+    fn spanner(&self) -> &CsrGraph {
+        match self {
+            Served::Frozen(handle) => handle.graph(),
+            Served::Live(live) => live.spanner(),
+        }
+    }
+
+    fn provenance(&self) -> &Provenance {
+        match self {
+            Served::Frozen(handle) => handle.provenance(),
+            Served::Live(live) => live.provenance(),
+        }
+    }
+
+    /// Verifies the stamp and returns the epoch to serve this batch at.
+    fn verify(&self) -> Result<u64, ServeError> {
+        match self {
+            Served::Frozen(handle) => {
+                if handle.is_current() {
+                    Ok(handle.epoch())
+                } else {
+                    Err(ServeError::StaleEpoch {
+                        stamped: handle.epoch(),
+                        current: handle.graph().epoch(),
+                    })
+                }
+            }
+            // A live spanner only mutates through apply(), which keeps its
+            // view internally consistent — its current epoch is the stamp.
+            Served::Live(live) => Ok(live.epoch()),
+        }
+    }
+}
+
+/// A distance-oracle server over a spanner; construct one with
+/// [`SpannerOutput::serve`] (frozen), [`LiveSpanner::serve`] (live, takes
+/// update batches), or [`SpannerServer::new`] over an epoch-stamped
+/// [`SpannerHandle`]. See the [module docs](crate::serve) for the serving
+/// model, the epoch/invalidation model and the determinism guarantee.
 #[derive(Debug)]
 pub struct SpannerServer {
-    /// The frozen, compacted spanner every query runs against.
-    spanner: CsrGraph,
-    /// The original graph, for stretch audits.
+    served: Served,
+    /// Frozen audit baseline; live servers audit against the live original
+    /// instead.
     baseline: Option<CsrGraph>,
     pool: EnginePool,
     threads: usize,
@@ -446,18 +676,30 @@ pub struct SpannerServer {
     /// Batch demand a source needs before its tree is admitted to the cache.
     cache_admit_threshold: usize,
     stats: ServeStats,
-    provenance: Provenance,
 }
 
 impl SpannerServer {
-    /// Vertices of the served spanner.
-    pub fn num_vertices(&self) -> usize {
-        self.spanner.num_vertices()
+    /// A server with default options (see [`DEFAULT_CACHE_CAPACITY`] /
+    /// [`DEFAULT_CACHE_ADMIT_THRESHOLD`]) over an epoch-stamped handle.
+    ///
+    /// **Migration note (0.3):** `SpannerServer` no longer owns a bare
+    /// frozen graph — it holds an epoch-stamped handle, and
+    /// `SpannerServer::new` takes that [`SpannerHandle`]. Code that built
+    /// servers through [`SpannerOutput::serve`] keeps working unchanged;
+    /// code that wants the handle explicitly writes
+    /// `SpannerServer::new(SpannerHandle::from_output(output))`.
+    pub fn new(handle: SpannerHandle) -> Self {
+        ServeBuilder::from_handle(handle).finish()
     }
 
-    /// Edges of the served spanner.
+    /// Vertices of the served spanner.
+    pub fn num_vertices(&self) -> usize {
+        self.served.spanner().num_vertices()
+    }
+
+    /// Live edges of the served spanner.
     pub fn num_edges(&self) -> usize {
-        self.spanner.num_edges()
+        self.served.spanner().num_edges()
     }
 
     /// Worker threads answering each batch.
@@ -467,10 +709,30 @@ impl SpannerServer {
 
     /// Which construction produced the served spanner.
     pub fn provenance(&self) -> &Provenance {
-        &self.provenance
+        self.served.provenance()
     }
 
-    /// Shortest-path trees currently cached.
+    /// The served spanner's current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.served.spanner().epoch()
+    }
+
+    /// The live-update state, when this server serves a [`LiveSpanner`].
+    pub fn live(&self) -> Option<&LiveSpanner> {
+        match &self.served {
+            Served::Live(live) => Some(live.as_ref()),
+            Served::Frozen(_) => None,
+        }
+    }
+
+    /// Cumulative update statistics, when this server serves a
+    /// [`LiveSpanner`].
+    pub fn update_stats(&self) -> Option<&UpdateStats> {
+        self.live().map(LiveSpanner::stats)
+    }
+
+    /// Shortest-path trees currently cached (stale entries included until
+    /// their lazy eviction).
     pub fn cached_trees(&self) -> usize {
         self.cache.len()
     }
@@ -498,15 +760,45 @@ impl SpannerServer {
         self.pool.reset_stats();
     }
 
-    /// Answers a batch of queries, returning one [`Answer`] per query in
-    /// batch order. Queries fan out across the worker pool; answers are
-    /// bit-identical at every thread count and cache state.
+    /// Clones the current spanner state into a fresh, compacted,
+    /// epoch-stamped [`SpannerHandle`] — the "rebuild from scratch" handle
+    /// the live-update equivalence suite compares against.
+    pub fn freeze_current(&self) -> SpannerHandle {
+        let mut spanner = self.served.spanner().clone();
+        spanner.compact();
+        SpannerHandle::new(spanner, self.served.provenance().clone())
+    }
+
+    /// Applies an update batch to the served [`LiveSpanner`]: deletions,
+    /// admission-filtered insertions, repair, re-certification (see
+    /// [`crate::update`]). Cached shortest-path trees from earlier epochs
+    /// are invalidated lazily by subsequent query batches.
     ///
     /// # Errors
     ///
-    /// The whole batch is validated up front; see [`ServeError`]. On error
-    /// nothing was executed and no statistic changed.
+    /// [`ServeError::UpdatesNotSupported`] on a frozen server;
+    /// [`ServeError::Update`] when the batch itself is invalid (nothing is
+    /// applied in either case).
+    pub fn apply_updates(&mut self, batch: &UpdateBatch) -> Result<BatchOutcome, ServeError> {
+        match &mut self.served {
+            Served::Live(live) => Ok(live.apply(batch)?),
+            Served::Frozen(_) => Err(ServeError::UpdatesNotSupported),
+        }
+    }
+
+    /// Answers a batch of queries, returning one [`Answer`] per query in
+    /// batch order. Queries fan out across the worker pool; answers are
+    /// bit-identical at every thread count and cache state, and — for live
+    /// servers — identical to a server rebuilt from scratch at the current
+    /// epoch.
+    ///
+    /// # Errors
+    ///
+    /// The whole batch is validated up front (including the epoch stamp;
+    /// see [`ServeError`]). On error nothing was executed and no statistic
+    /// changed.
     pub fn answer_batch(&mut self, queries: &[Query]) -> Result<Vec<Answer>, ServeError> {
+        let epoch = self.served.verify()?;
         self.validate(queries)?;
         if queries.is_empty() {
             return Ok(Vec::new());
@@ -515,7 +807,10 @@ impl SpannerServer {
 
         // Phase 1 — deterministic cache admission. Count per-source demand;
         // sources meeting the threshold (in first-appearance order, capped
-        // at capacity) get their tree computed across the pool and admitted.
+        // at capacity) get their tree computed across the pool and admitted
+        // stamped with the current epoch. A stale entry does not block
+        // re-admission — replacing it is the other face of lazy
+        // invalidation.
         if self.cache.capacity > 0 {
             let mut demand: HashMap<usize, usize> = HashMap::new();
             let mut first_appearance: Vec<usize> = Vec::new();
@@ -530,41 +825,58 @@ impl SpannerServer {
             let admit: Vec<usize> = first_appearance
                 .into_iter()
                 .filter(|s| demand[s] >= self.cache_admit_threshold)
-                .filter(|&s| !self.cache.contains(VertexId(s)))
+                .filter(|&s| !self.cache.contains_current(VertexId(s), epoch))
                 .take(self.cache.capacity)
                 .collect();
             if !admit.is_empty() {
                 let mut trees: Vec<Option<SptTree>> = vec![None; admit.len()];
-                self.pool.map_batch(
-                    self.spanner.snapshot(),
-                    &admit,
-                    &mut trees,
-                    |engine, graph, &source| {
-                        Some(
-                            engine
-                                .shortest_path_tree(graph, VertexId(source))
-                                .to_owned_tree(),
-                        )
-                    },
-                );
+                let spanner = self.served.spanner();
+                self.pool
+                    .try_map_batch(
+                        spanner.snapshot(),
+                        epoch,
+                        &admit,
+                        &mut trees,
+                        |engine, graph, &source| {
+                            Some(
+                                engine
+                                    .shortest_path_tree(graph, VertexId(source))
+                                    .to_owned_tree(),
+                            )
+                        },
+                    )
+                    .map_err(|e| match e {
+                        spanner_graph::GraphError::StaleEpoch { stamped, current } => {
+                            ServeError::StaleEpoch { stamped, current }
+                        }
+                        other => unreachable!("try_map_batch only fails on staleness: {other}"),
+                    })?;
                 for tree in trees.into_iter().flatten() {
                     self.stats.cache_insertions += 1;
-                    if self.cache.insert(tree) {
+                    let (evicted, stale_replaced) = self.cache.insert(tree, epoch);
+                    if evicted {
                         self.stats.cache_evictions += 1;
+                    }
+                    if stale_replaced {
+                        self.stats.stale_evictions += 1;
                     }
                 }
             }
         }
 
         // Phase 2 — answer the batch against the frozen spanner and the
-        // frozen cache. Per-query latency and hit flags ride along in the
-        // result slots.
-        let mut slots: Vec<Option<(Answer, u64, bool)>> = vec![None; queries.len()];
+        // frozen cache. Per-query latency, hit and staleness flags ride
+        // along in the result slots; stale trees are never consulted.
+        let mut slots: Vec<Option<(Answer, u64, bool, bool)>> = vec![None; queries.len()];
         {
             let cache = &self.cache;
-            let baseline = self.baseline.as_ref();
+            let spanner = self.served.spanner();
+            let baseline = match &self.served {
+                Served::Frozen(_) => self.baseline.as_ref(),
+                Served::Live(live) => Some(live.original()),
+            };
             self.pool.map_batch(
-                self.spanner.snapshot(),
+                spanner.snapshot(),
                 queries,
                 &mut slots,
                 |engine, spanner, query| {
@@ -573,39 +885,54 @@ impl SpannerServer {
                     // lookups); at tens of ns per read this stays well
                     // under 1% of observed per-query cost.
                     let t0 = Instant::now();
-                    let cached = cache.peek(query.source());
+                    let (cached, stale) = match cache.lookup(query.source(), epoch) {
+                        CacheLookup::Hit(tree) => (Some(tree), false),
+                        CacheLookup::Stale => (None, true),
+                        CacheLookup::Miss => (None, false),
+                    };
                     let hit = cached.is_some();
                     let answer = answer_one(engine, spanner, baseline, cached, query);
                     Some((
                         answer,
                         t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
                         hit,
+                        stale,
                     ))
                 },
             );
         }
 
-        // Phase 3 — sequential bookkeeping in batch order (recency, stats).
+        // Phase 3 — sequential bookkeeping in batch order (recency, lazy
+        // stale eviction, stats).
         let mut answers = Vec::with_capacity(queries.len());
         for (slot, query) in slots.into_iter().zip(queries) {
-            let (answer, nanos, hit) = slot.expect("every query produces an answer");
+            let (answer, nanos, hit, stale) = slot.expect("every query produces an answer");
             if hit {
                 self.stats.cache_hits += 1;
                 self.cache.touch(query.source());
             } else {
                 self.stats.cache_misses += 1;
+                if stale && self.cache.evict_stale(query.source(), epoch) {
+                    // First post-update touch of a stale source: discard.
+                    self.stats.stale_evictions += 1;
+                }
             }
             self.stats.latency.record(Duration::from_nanos(nanos));
             answers.push(answer);
         }
         self.stats.queries += queries.len() as u64;
         self.stats.batches += 1;
+        self.stats.epoch = epoch;
         self.stats.elapsed += start.elapsed();
         Ok(answers)
     }
 
     fn validate(&self, queries: &[Query]) -> Result<(), ServeError> {
-        let n = self.spanner.num_vertices();
+        let n = self.served.spanner().num_vertices();
+        let has_baseline = match &self.served {
+            Served::Frozen(_) => self.baseline.is_some(),
+            Served::Live(_) => true,
+        };
         let check_vertex = |v: VertexId| -> Result<(), ServeError> {
             if v.index() >= n {
                 Err(ServeError::VertexOutOfRange {
@@ -643,7 +970,7 @@ impl SpannerServer {
                 Query::StretchAudit { source, target } => {
                     check_vertex(source)?;
                     check_vertex(target)?;
-                    if self.baseline.is_none() {
+                    if !has_baseline {
                         return Err(ServeError::MissingAuditBaseline);
                     }
                 }
@@ -653,9 +980,10 @@ impl SpannerServer {
     }
 }
 
-/// Answers one query on one worker. `cached` is the frozen tree for the
-/// query's source, if the cache holds one; every cached answer is
-/// bit-identical to the corresponding engine answer (see the module docs).
+/// Answers one query on one worker. `cached` is the frozen current-epoch
+/// tree for the query's source, if the cache holds one; every cached answer
+/// is bit-identical to the corresponding engine answer (see the module
+/// docs).
 fn answer_one(
     engine: &mut DijkstraEngine,
     spanner: &CsrGraph,
@@ -733,8 +1061,17 @@ fn answer_one(
     }
 }
 
-/// Assembles a [`SpannerServer`] from a built [`SpannerOutput`]; created by
-/// [`SpannerOutput::serve`].
+/// What a [`ServeBuilder`] assembles a server from.
+#[derive(Debug)]
+enum ServeSource {
+    Output(SpannerOutput),
+    Handle(SpannerHandle),
+    Live(Box<LiveSpanner>),
+}
+
+/// Assembles a [`SpannerServer`]; created by [`SpannerOutput::serve`]
+/// (frozen), [`LiveSpanner::serve`] (live), or
+/// [`SpannerServer::new`]/[`ServeBuilder::from_handle`] (explicit handle).
 ///
 /// ```
 /// use greedy_spanner::Spanner;
@@ -754,7 +1091,7 @@ fn answer_one(
 /// ```
 #[derive(Debug)]
 pub struct ServeBuilder {
-    output: SpannerOutput,
+    source: ServeSource,
     threads: usize,
     cache_capacity: usize,
     cache_admit_threshold: usize,
@@ -768,14 +1105,19 @@ pub const DEFAULT_CACHE_CAPACITY: usize = 32;
 pub const DEFAULT_CACHE_ADMIT_THRESHOLD: usize = 2;
 
 impl ServeBuilder {
-    fn new(output: SpannerOutput) -> Self {
+    fn with_source(source: ServeSource) -> Self {
         ServeBuilder {
-            output,
+            source,
             threads: 0,
             cache_capacity: DEFAULT_CACHE_CAPACITY,
             cache_admit_threshold: DEFAULT_CACHE_ADMIT_THRESHOLD,
             baseline: None,
         }
+    }
+
+    /// Starts a builder over an explicit epoch-stamped handle.
+    pub fn from_handle(handle: SpannerHandle) -> Self {
+        ServeBuilder::with_source(ServeSource::Handle(handle))
     }
 
     /// Worker threads per batch; `0` (the default) resolves like
@@ -806,37 +1148,64 @@ impl ServeBuilder {
     /// Supplies the original graph so [`Query::StretchAudit`] queries can
     /// compare spanner distances against it. The graph is frozen into its
     /// own CSR form; it should be the graph the spanner was built from.
+    ///
+    /// Only meaningful for frozen servers — a live server audits against
+    /// its live original automatically, and [`ServeBuilder::finish`] panics
+    /// if both are supplied.
     pub fn audit_against(mut self, graph: &WeightedGraph) -> Self {
         self.baseline = Some(graph.clone());
         self
     }
 
-    /// Freezes the spanner and builds the server: the spanner is compacted
-    /// into CSR form and a pre-sized engine pool is allocated, so every
-    /// subsequent query is allocation-free.
+    /// Builds the server: the spanner is compacted into CSR form behind an
+    /// epoch-stamped handle and a pre-sized engine pool is allocated, so
+    /// every subsequent query is allocation-free (a live server's engines
+    /// may re-grow once if updates outgrow the initial sizing).
+    ///
+    /// # Panics
+    ///
+    /// Panics when [`ServeBuilder::audit_against`] was combined with a live
+    /// source (live servers audit against the live original).
     pub fn finish(self) -> SpannerServer {
         let threads = SpannerConfig {
             threads: self.threads,
             ..SpannerConfig::default()
         }
         .resolve_threads();
-        let spanner = CsrGraph::from(&self.output.spanner);
+        let served = match self.source {
+            ServeSource::Output(output) => {
+                Served::Frozen(Box::new(SpannerHandle::from_output(output)))
+            }
+            ServeSource::Handle(handle) => Served::Frozen(Box::new(handle)),
+            ServeSource::Live(live) => {
+                assert!(
+                    self.baseline.is_none(),
+                    "live servers audit against the live original; drop audit_against"
+                );
+                Served::Live(live)
+            }
+        };
         let baseline = self.baseline.as_ref().map(CsrGraph::from);
-        let n = spanner.num_vertices();
-        // Audit queries also search the baseline, which can be much denser
-        // than the spanner — size the engines for the larger of the two.
-        let m = spanner
+        let n = served.spanner().num_vertices();
+        // Audit queries also search the baseline (frozen) or the live
+        // original, which can be much denser than the spanner — size the
+        // engines for the largest of the three.
+        let m = served
+            .spanner()
             .num_edges()
-            .max(baseline.as_ref().map_or(0, CsrGraph::num_edges));
+            .max(baseline.as_ref().map_or(0, CsrGraph::num_edges))
+            .max(match &served {
+                Served::Live(live) => live.original().num_edges(),
+                Served::Frozen(_) => 0,
+            });
         SpannerServer {
-            spanner,
+            served,
             baseline,
             pool: EnginePool::with_capacity_for(threads, n, m),
             threads,
             cache: SptCache::new(self.cache_capacity),
             cache_admit_threshold: self.cache_admit_threshold.max(1),
             stats: ServeStats::default(),
-            provenance: self.output.provenance,
         }
     }
 }
@@ -846,9 +1215,22 @@ impl SpannerOutput {
     /// `Spanner::greedy().stretch(2.0).build(&g)?.serve().threads(8).finish()`.
     ///
     /// The output is consumed — the spanner is frozen into compacted CSR
-    /// form on [`ServeBuilder::finish`] and served read-only from then on.
+    /// form behind an epoch-stamped handle on [`ServeBuilder::finish`] and
+    /// served read-only from then on. For a server that takes live update
+    /// batches, go through [`SpannerOutput::live`] +
+    /// [`LiveSpanner::serve`] instead.
     pub fn serve(self) -> ServeBuilder {
-        ServeBuilder::new(self)
+        ServeBuilder::with_source(ServeSource::Output(self))
+    }
+}
+
+impl LiveSpanner {
+    /// Turns this live spanner into a serving pipeline whose server
+    /// interleaves query batches ([`SpannerServer::answer_batch`]) with
+    /// update batches ([`SpannerServer::apply_updates`]):
+    /// `output.live(&g)?.serve().threads(8).finish()`.
+    pub fn serve(self) -> ServeBuilder {
+        ServeBuilder::with_source(ServeSource::Live(Box::new(self)))
     }
 }
 
@@ -873,6 +1255,19 @@ mod tests {
             .threads(threads)
             .cache_capacity(cache)
             .audit_against(g)
+            .finish()
+    }
+
+    fn live_server_for(g: &WeightedGraph, cache: usize, threads: usize) -> SpannerServer {
+        Spanner::greedy()
+            .stretch(2.0)
+            .build(g)
+            .unwrap()
+            .live(g)
+            .unwrap()
+            .serve()
+            .threads(threads)
+            .cache_capacity(cache)
             .finish()
     }
 
@@ -923,9 +1318,11 @@ mod tests {
         let stats = server.stats();
         assert_eq!(stats.queries, 6);
         assert_eq!(stats.batches, 1);
+        assert_eq!(stats.epoch, 0, "a frozen spanner stays at its epoch");
         assert!(stats.qps().unwrap() > 0.0);
         assert_eq!(stats.latency.total(), 6);
         assert!(stats.latency.p50().unwrap() <= stats.latency.p99().unwrap());
+        assert!(stats.latency.max().unwrap() >= Duration::from_nanos(1));
     }
 
     #[test]
@@ -972,6 +1369,10 @@ mod tests {
             ServeError::MissingAuditBaseline
         );
         assert!(server.answer_batch(&[]).unwrap().is_empty());
+        assert_eq!(
+            server.apply_updates(&UpdateBatch::new()).unwrap_err(),
+            ServeError::UpdatesNotSupported
+        );
     }
 
     #[test]
@@ -1008,10 +1409,20 @@ mod tests {
             .unwrap();
         assert_eq!(server.cached_trees(), 2);
         assert_eq!(server.stats().cache_evictions, 1);
-        assert!(server.cache.contains(VertexId(1)), "recently used survives");
-        assert!(server.cache.contains(VertexId(2)), "new hotspot admitted");
-        assert!(!server.cache.contains(VertexId(0)), "LRU entry evicted");
+        assert!(
+            server.cache.contains_current(VertexId(1), 0),
+            "recently used survives"
+        );
+        assert!(
+            server.cache.contains_current(VertexId(2), 0),
+            "new hotspot admitted"
+        );
+        assert!(
+            !server.cache.contains_current(VertexId(0), 0),
+            "LRU entry evicted"
+        );
         assert!(server.stats().cache_hit_rate().unwrap() > 0.0);
+        assert_eq!(server.stats().stale_evictions, 0);
     }
 
     #[test]
@@ -1088,15 +1499,125 @@ mod tests {
         assert_eq!(server.provenance().algorithm, "greedy");
         assert_eq!(server.num_vertices(), 50);
         assert!(server.num_edges() > 0);
+        assert!(server.live().is_none());
+        assert!(server.update_stats().is_none());
         server.reset_stats();
         assert_eq!(server.stats().queries, 0);
         assert_eq!(server.engine_stats().queries, 0);
     }
 
     #[test]
+    fn stale_handles_are_refused_until_refreshed() {
+        let g = diamond();
+        let output = Spanner::greedy().stretch(2.0).build(&g).unwrap();
+        let mut handle = SpannerHandle::from_output(output);
+        assert!(handle.is_current());
+        assert_eq!(handle.provenance().algorithm, "greedy");
+        // Out-of-band mutation: the stamp goes stale, serving refuses.
+        handle
+            .graph_mut()
+            .append_edge(VertexId(0), VertexId(3), 0.25);
+        assert!(!handle.is_current());
+        let mut server = SpannerServer::new(handle);
+        let err = server
+            .answer_batch(&[Query::distance(VertexId(0), VertexId(3), 100.0)])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::StaleEpoch {
+                stamped: 0,
+                current: 1
+            }
+        );
+        assert_eq!(server.stats().queries, 0, "refused batches run nothing");
+        // Rebuilding the handle with a fresh stamp serves the mutated graph.
+        let mut handle = server.freeze_current();
+        handle.refresh();
+        let mut server = SpannerServer::new(handle);
+        let answers = server
+            .answer_batch(&[Query::distance(VertexId(0), VertexId(3), 100.0)])
+            .unwrap();
+        assert_eq!(answers[0], Answer::Distance(Some(0.25)));
+    }
+
+    #[test]
+    fn live_server_interleaves_queries_and_updates_with_lazy_invalidation() {
+        let g = diamond();
+        let mut server = live_server_for(&g, 8, 1);
+        // Warm the cache on source 0 (two queries meet the threshold).
+        let warm = vec![
+            Query::distance(VertexId(0), VertexId(3), 100.0),
+            Query::path(VertexId(0), VertexId(3)),
+        ];
+        let before = server.answer_batch(&warm).unwrap();
+        assert_eq!(before[0], Answer::Distance(Some(4.0)));
+        assert_eq!(server.cached_trees(), 1);
+        assert_eq!(server.stats().epoch, 0);
+        // An update batch shortcuts 0 -> 3; the cached tree is now stale.
+        let outcome = server
+            .apply_updates(&UpdateBatch::new().insert(VertexId(0), VertexId(3), 0.5))
+            .unwrap();
+        assert_eq!(outcome.admitted, 1);
+        assert_eq!(server.epoch(), 1);
+        assert_eq!(server.cached_trees(), 1, "invalidation is lazy");
+        // The next batch must answer against the new epoch — and discard or
+        // replace the stale tree, counting it.
+        let after = server.answer_batch(&warm).unwrap();
+        assert_eq!(after[0], Answer::Distance(Some(0.5)));
+        assert_eq!(server.stats().epoch, 1);
+        assert!(server.stats().stale_evictions >= 1);
+        // The replacement tree is current and serves hits again.
+        let again = server.answer_batch(&warm).unwrap();
+        assert_eq!(again, after);
+        assert!(server.stats().cache_hits > 0);
+        assert!(server.live().is_some());
+        assert_eq!(server.update_stats().unwrap().batches, 1);
+    }
+
+    #[test]
+    fn live_server_audits_against_the_live_original() {
+        let g = WeightedGraph::from_edges(3, [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.5)]).unwrap();
+        let mut server = live_server_for(&g, 0, 1);
+        let audit = |server: &mut SpannerServer| {
+            let a = server
+                .answer_batch(&[Query::stretch_audit(VertexId(0), VertexId(2))])
+                .unwrap();
+            match &a[0] {
+                Answer::StretchAudit(Some(s)) => *s,
+                other => panic!("expected an audit sample, got {other:?}"),
+            }
+        };
+        let before = audit(&mut server);
+        assert_eq!(before.graph_distance, 1.5, "audited against the original");
+        // Deleting the chord from the original changes the audit baseline.
+        server
+            .apply_updates(&UpdateBatch::new().delete(VertexId(0), VertexId(2)))
+            .unwrap();
+        let after = audit(&mut server);
+        assert_eq!(after.graph_distance, 2.0, "the live original moved");
+        assert_eq!(after.stretch, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "live servers audit against the live original")]
+    fn audit_against_on_a_live_builder_panics() {
+        let g = diamond();
+        let _ = Spanner::greedy()
+            .stretch(2.0)
+            .build(&g)
+            .unwrap()
+            .live(&g)
+            .unwrap()
+            .serve()
+            .audit_against(&g)
+            .finish();
+    }
+
+    #[test]
     fn latency_histogram_quantiles_are_ordered_and_bounded() {
         let mut h = LatencyHistogram::default();
         assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.max(), None);
         for nanos in [10u64, 100, 1_000, 10_000, 100_000] {
             h.record(Duration::from_nanos(nanos));
         }
@@ -1106,10 +1627,17 @@ mod tests {
         assert!(p50 <= p99);
         assert!(p50 >= Duration::from_nanos(1_000));
         assert!(p99 >= Duration::from_nanos(100_000));
-        // Merging doubles every bucket.
+        // The maximum is exact, not bucket-rounded — and at least p99's
+        // bucket floor.
+        assert_eq!(h.max(), Some(Duration::from_nanos(100_000)));
+        // Merging doubles every bucket and keeps the maximum.
         let other = h;
         h.merge(&other);
         assert_eq!(h.total(), 10);
+        assert_eq!(h.max(), Some(Duration::from_nanos(100_000)));
         assert_eq!(h.p50(), p50.le(&p99).then_some(h.p50().unwrap()));
+        // A later outlier moves the max past the old p99.
+        h.record(Duration::from_nanos(7_777_777));
+        assert_eq!(h.max(), Some(Duration::from_nanos(7_777_777)));
     }
 }

@@ -1,0 +1,1061 @@
+//! The live-update subsystem: incremental maintenance of a built spanner
+//! under edge insertions, deletions and reweights.
+//!
+//! The greedy spanner's guarantee is a property of the *admission rule* —
+//! "add `(u, v)` iff `d_spanner(u, v) > t · w(u, v)`" — not of a one-shot
+//! batch run, so the same rule extends to a stream of updates:
+//!
+//! * **Insertions** run the greedy admission filter against the *current*
+//!   spanner, reusing the batched filter-then-commit machinery of the
+//!   parallel construction pipeline (a parallel coverage filter over a
+//!   frozen [`spanner_graph::CsrSnapshot`], then a sequential commit with
+//!   exact re-checks). An admitted edge has stretch 1 by membership; a
+//!   rejected edge was covered within `t · w` at admission time, and
+//!   spanner distances only shrink as later edges commit — so insert-only
+//!   batches preserve the stretch-`t` invariant *by construction*, no
+//!   re-traversal needed.
+//! * **Deletions** remove the edge from the original graph and, when the
+//!   spanner carried it, trigger **localized repair**: the stretch-witness
+//!   traversal (the same one [`crate::analysis::max_stretch_witness`] runs —
+//!   one shortest-path tree per relevant source over the live spanner)
+//!   finds every original edge whose detour now exceeds `t · w`; exactly
+//!   those edges are re-run through the admission rule in non-decreasing
+//!   weight order. Deleting an edge the spanner did *not* carry only
+//!   removes a constraint and cannot violate anything.
+//! * **Reweights** are a deletion followed by an insertion of the new
+//!   weight, in that order, within the same batch.
+//!
+//! After every batch the stretch-`t` invariant is re-certified — by full
+//! traversal when a spanner edge was deleted, by the monotonicity argument
+//! above otherwise — and surfaced in [`UpdateStats`] together with
+//! admitted/rejected/repaired counts, repair wall time and the number of
+//! spanner epochs the batch advanced.
+//!
+//! ```
+//! use greedy_spanner::update::{LiveSpanner, UpdateBatch};
+//! use greedy_spanner::Spanner;
+//! use spanner_graph::{VertexId, WeightedGraph};
+//!
+//! let g = WeightedGraph::from_edges(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 3, 10.0)])?;
+//! let output = Spanner::greedy().stretch(2.0).build(&g)?;
+//! let mut live = LiveSpanner::new(output, &g)?;
+//! let outcome = live.apply(
+//!     &UpdateBatch::new()
+//!         .insert(VertexId(0), VertexId(2), 5.0) // covered: 0-1-2 has length 2 <= 2*5
+//!         .insert(VertexId(1), VertexId(3), 0.4), // admitted: shortcut
+//! )?;
+//! assert_eq!(outcome.admitted, 1);
+//! assert_eq!(outcome.rejected, 1);
+//! assert!(outcome.certified_stretch <= 2.0 + 1e-9);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use spanner_graph::{CsrGraph, EnginePool, VertexId, WeightedGraph};
+
+use crate::algorithm::{Provenance, SpannerConfig, SpannerOutput};
+use crate::greedy::filter_commit_greedy;
+
+/// One mutation of the original graph, applied through [`LiveSpanner::apply`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Update {
+    /// Insert a new edge; it is run through the greedy admission rule.
+    Insert {
+        /// One endpoint.
+        u: VertexId,
+        /// The other endpoint.
+        v: VertexId,
+        /// Positive, finite weight.
+        weight: f64,
+    },
+    /// Delete the lowest-id live edge between the endpoints.
+    Delete {
+        /// One endpoint.
+        u: VertexId,
+        /// The other endpoint.
+        v: VertexId,
+    },
+    /// Change the weight of the lowest-id live edge between the endpoints:
+    /// a deletion followed by an admission-filtered insertion.
+    Reweight {
+        /// One endpoint.
+        u: VertexId,
+        /// The other endpoint.
+        v: VertexId,
+        /// The new positive, finite weight.
+        weight: f64,
+    },
+}
+
+/// An ordered batch of [`Update`]s; the unit [`LiveSpanner::apply`] consumes.
+///
+/// Within a batch, deletions (and the removal half of reweights) apply
+/// first in batch order, then all insertions are admitted in non-decreasing
+/// weight order — the deterministic schedule the incremental guarantee is
+/// stated over. A consequence: deletions reference edges that were live
+/// *before* the batch (minus earlier same-batch removals); an edge inserted
+/// by the same batch cannot be deleted by it.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct UpdateBatch {
+    updates: Vec<Update>,
+}
+
+impl UpdateBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        UpdateBatch::default()
+    }
+
+    /// Adds an insertion (fluent).
+    pub fn insert(mut self, u: VertexId, v: VertexId, weight: f64) -> Self {
+        self.updates.push(Update::Insert { u, v, weight });
+        self
+    }
+
+    /// Adds a deletion (fluent).
+    pub fn delete(mut self, u: VertexId, v: VertexId) -> Self {
+        self.updates.push(Update::Delete { u, v });
+        self
+    }
+
+    /// Adds a reweight (fluent).
+    pub fn reweight(mut self, u: VertexId, v: VertexId, weight: f64) -> Self {
+        self.updates.push(Update::Reweight { u, v, weight });
+        self
+    }
+
+    /// Appends one update.
+    pub fn push(&mut self, update: Update) {
+        self.updates.push(update);
+    }
+
+    /// Number of updates in the batch.
+    pub fn len(&self) -> usize {
+        self.updates.len()
+    }
+
+    /// Returns `true` for an empty batch.
+    pub fn is_empty(&self) -> bool {
+        self.updates.is_empty()
+    }
+
+    /// The updates, in batch order.
+    pub fn updates(&self) -> &[Update] {
+        &self.updates
+    }
+}
+
+impl From<Vec<Update>> for UpdateBatch {
+    fn from(updates: Vec<Update>) -> Self {
+        UpdateBatch { updates }
+    }
+}
+
+impl FromIterator<Update> for UpdateBatch {
+    fn from_iter<I: IntoIterator<Item = Update>>(iter: I) -> Self {
+        UpdateBatch {
+            updates: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Errors an update batch can be rejected with — all detected up front
+/// (against a simulation of the batch's own effects), so a batch either
+/// applies whole or not at all.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UpdateError {
+    /// An update referenced a vertex outside the graph.
+    VertexOutOfRange {
+        /// The offending vertex index.
+        vertex: usize,
+        /// Vertices in the graph.
+        num_vertices: usize,
+    },
+    /// An insertion or reweight proposed a self-loop.
+    SelfLoop {
+        /// The vertex with the loop.
+        vertex: usize,
+    },
+    /// An insertion or reweight carried a non-positive or non-finite weight.
+    InvalidWeight {
+        /// The offending weight.
+        weight: f64,
+    },
+    /// A deletion or reweight named a pair with no live edge between it (at
+    /// that point of the batch).
+    UnknownEdge {
+        /// One endpoint index.
+        u: usize,
+        /// The other endpoint index.
+        v: usize,
+    },
+    /// The wrapped construction guarantees no stretch, so there is no
+    /// invariant to maintain (MST / star baselines).
+    MissingStretch {
+        /// The algorithm of the wrapped output.
+        algorithm: String,
+    },
+    /// The output's spanner and the supplied original graph disagree on the
+    /// vertex count.
+    VertexCountMismatch {
+        /// Vertices in the output's spanner.
+        spanner: usize,
+        /// Vertices in the supplied original graph.
+        original: usize,
+    },
+}
+
+impl fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UpdateError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => write!(
+                f,
+                "update vertex {vertex} out of range for a graph with {num_vertices} vertices"
+            ),
+            UpdateError::SelfLoop { vertex } => {
+                write!(f, "update proposes a self-loop on vertex {vertex}")
+            }
+            UpdateError::InvalidWeight { weight } => {
+                write!(f, "update weight {weight} is not positive and finite")
+            }
+            UpdateError::UnknownEdge { u, v } => {
+                write!(f, "no live edge between vertices {u} and {v} to update")
+            }
+            UpdateError::MissingStretch { algorithm } => write!(
+                f,
+                "construction {algorithm} guarantees no stretch; live updates need a stretch-t \
+                 invariant to maintain"
+            ),
+            UpdateError::VertexCountMismatch { spanner, original } => write!(
+                f,
+                "spanner has {spanner} vertices but the original graph has {original}"
+            ),
+        }
+    }
+}
+
+impl Error for UpdateError {}
+
+/// Cumulative statistics of a [`LiveSpanner`], across all applied batches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UpdateStats {
+    /// Update batches applied.
+    pub batches: u64,
+    /// Insertions processed (including the insertion half of reweights).
+    pub insertions: u64,
+    /// Insertions the admission rule kept in the spanner.
+    pub admitted: u64,
+    /// Insertions the admission rule rejected (already covered within
+    /// `t · w`).
+    pub rejected: u64,
+    /// Deletions processed (including the deletion half of reweights).
+    pub deletions: u64,
+    /// Reweight updates processed.
+    pub reweights: u64,
+    /// Original-graph edges re-admitted by deletion repair.
+    pub repaired: u64,
+    /// Wall time spent in deletion repair + full re-certification.
+    pub repair_time: Duration,
+    /// Spanner epochs advanced by updates (appends + removals on the live
+    /// spanner; original-graph-only mutations do not advance it).
+    pub epochs_advanced: u64,
+    /// Full certification traversals run (construction, every
+    /// deletion-repair batch, and explicit [`LiveSpanner::certify`] calls).
+    pub recertifications: u64,
+    /// An upper bound on the current maximum stretch, maintained after
+    /// every batch: deletion-repair batches recompute it by full traversal;
+    /// other batches carry it forward (pre-existing edges only improve as
+    /// edges commit) and fold in the realized stretch of every insertion —
+    /// 1 for admitted edges, the measured detour ratio for rejected ones.
+    pub certified_stretch: f64,
+    /// Total wall time spent inside [`LiveSpanner::apply`].
+    pub elapsed: Duration,
+}
+
+impl Default for UpdateStats {
+    fn default() -> Self {
+        UpdateStats {
+            batches: 0,
+            insertions: 0,
+            admitted: 0,
+            rejected: 0,
+            deletions: 0,
+            reweights: 0,
+            repaired: 0,
+            repair_time: Duration::ZERO,
+            epochs_advanced: 0,
+            recertifications: 0,
+            certified_stretch: 0.0,
+            elapsed: Duration::ZERO,
+        }
+    }
+}
+
+/// What one [`LiveSpanner::apply`] call did.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchOutcome {
+    /// Insertions the admission rule kept.
+    pub admitted: usize,
+    /// Insertions the admission rule rejected.
+    pub rejected: usize,
+    /// Deletions applied.
+    pub deletions: usize,
+    /// Reweights applied.
+    pub reweights: usize,
+    /// Edges re-admitted by deletion repair.
+    pub repaired: usize,
+    /// Spanner epochs this batch advanced.
+    pub epochs_advanced: u64,
+    /// Wall time of the repair + certification phase.
+    pub repair_time: Duration,
+    /// The stretch certificate after this batch (see
+    /// [`UpdateStats::certified_stretch`]).
+    pub certified_stretch: f64,
+    /// `true` when the certificate came from a full witness traversal this
+    /// batch (deletion repair ran); `false` when it is the standing
+    /// certificate carried forward by the insert-only monotonicity argument.
+    pub full_certification: bool,
+}
+
+/// A built spanner held open for live updates; see the
+/// [module docs](crate::update) for the maintenance model.
+///
+/// Construct one with [`LiveSpanner::new`] (or
+/// [`SpannerOutput::live`]), feed it [`UpdateBatch`]es through
+/// [`LiveSpanner::apply`], and serve it — interleaving query and update
+/// batches — by handing it to the serving layer via
+/// [`LiveSpanner::serve`](crate::serve::ServeBuilder).
+#[derive(Debug)]
+pub struct LiveSpanner {
+    /// The live original graph (the spanner's reference), mirrored in CSR
+    /// form so deletions are tombstone-cheap.
+    original: CsrGraph,
+    /// The live spanner.
+    spanner: CsrGraph,
+    stretch: f64,
+    threads: usize,
+    pool: EnginePool,
+    stats: UpdateStats,
+    provenance: Provenance,
+}
+
+impl LiveSpanner {
+    /// Wraps a built output and its original graph for live maintenance.
+    /// Worker threads resolve like construction threads do (the
+    /// `SPANNER_THREADS` environment variable, else 1); override with
+    /// [`LiveSpanner::with_threads`].
+    ///
+    /// Runs one full certification traversal up front, so
+    /// [`UpdateStats::certified_stretch`] is meaningful from batch zero.
+    ///
+    /// # Errors
+    ///
+    /// [`UpdateError::MissingStretch`] when the output's construction
+    /// guarantees no stretch (there is no invariant to maintain), and
+    /// [`UpdateError::VertexCountMismatch`] when `original` and the spanner
+    /// disagree on the vertex count.
+    pub fn new(output: SpannerOutput, original: &WeightedGraph) -> Result<Self, UpdateError> {
+        let stretch =
+            output
+                .provenance
+                .guaranteed_stretch
+                .ok_or_else(|| UpdateError::MissingStretch {
+                    algorithm: output.provenance.algorithm.clone(),
+                })?;
+        if output.spanner.num_vertices() != original.num_vertices() {
+            return Err(UpdateError::VertexCountMismatch {
+                spanner: output.spanner.num_vertices(),
+                original: original.num_vertices(),
+            });
+        }
+        let threads = SpannerConfig::default().resolve_threads();
+        let n = original.num_vertices();
+        let m = original.num_edges();
+        let mut live = LiveSpanner {
+            original: CsrGraph::from(original),
+            spanner: CsrGraph::from(&output.spanner),
+            stretch,
+            threads,
+            pool: EnginePool::with_capacity_for(threads, n, m),
+            stats: UpdateStats::default(),
+            provenance: output.provenance,
+        };
+        live.certify();
+        Ok(live)
+    }
+
+    /// Sets the worker-thread count used by the parallel admission filter
+    /// (purely a throughput knob — outputs are identical at every count).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        let threads = SpannerConfig {
+            threads,
+            ..SpannerConfig::default()
+        }
+        .resolve_threads();
+        let n = self.original.num_vertices();
+        let m = self.original.num_edges();
+        self.threads = threads;
+        self.pool = EnginePool::with_capacity_for(threads, n, m);
+        self
+    }
+
+    /// The live spanner.
+    pub fn spanner(&self) -> &CsrGraph {
+        &self.spanner
+    }
+
+    /// The live original graph the stretch invariant is measured against.
+    pub fn original(&self) -> &CsrGraph {
+        &self.original
+    }
+
+    /// The stretch target `t` the invariant maintains.
+    pub fn stretch(&self) -> f64 {
+        self.stretch
+    }
+
+    /// The spanner's current epoch (see [`CsrGraph::epoch`]) — what serving
+    /// handles and caches stamp themselves with.
+    pub fn epoch(&self) -> u64 {
+        self.spanner.epoch()
+    }
+
+    /// Which construction produced the wrapped spanner.
+    pub fn provenance(&self) -> &Provenance {
+        &self.provenance
+    }
+
+    /// Cumulative update statistics.
+    pub fn stats(&self) -> &UpdateStats {
+        &self.stats
+    }
+
+    /// Worker threads of the admission filter.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Applies one update batch: deletions first (batch order), then all
+    /// insertions through the greedy admission filter in non-decreasing
+    /// weight order, then deletion repair + re-certification. See the
+    /// [module docs](crate::update).
+    ///
+    /// # Errors
+    ///
+    /// The whole batch is validated up front (against a simulation of its
+    /// own effects); on error nothing was applied and no statistic changed.
+    pub fn apply(&mut self, batch: &UpdateBatch) -> Result<BatchOutcome, UpdateError> {
+        self.validate(batch)?;
+        let start = Instant::now();
+        let spanner_epoch_before = self.spanner.epoch();
+
+        // Phase 1 — deletions and the removal half of reweights, in batch
+        // order. Track whether any *spanner* edge went away (only that can
+        // break the invariant) and queue reweight re-insertions.
+        let mut spanner_deleted = false;
+        let mut deletions = 0usize;
+        let mut reweights = 0usize;
+        let mut inserts: Vec<(u32, u32, f64)> = Vec::new();
+        for update in batch.updates() {
+            match *update {
+                Update::Insert { u, v, weight } => {
+                    inserts.push((u.index() as u32, v.index() as u32, weight));
+                }
+                Update::Delete { u, v } | Update::Reweight { u, v, .. } => {
+                    let id = self
+                        .original
+                        .remove_edge_between(u, v)
+                        .expect("validated: the edge is live");
+                    let (_, _, w) = self.original.edge(id);
+                    if remove_matching_edge(&mut self.spanner, u, v, w) {
+                        spanner_deleted = true;
+                    }
+                    if let Update::Reweight { weight, .. } = *update {
+                        inserts.push((u.index() as u32, v.index() as u32, weight));
+                        reweights += 1;
+                    } else {
+                        deletions += 1;
+                    }
+                }
+            }
+        }
+
+        // Phase 2 — insertions: append to the original, then run the
+        // admission rule over the sorted candidates with the parallel
+        // filter-then-commit loop against the *current* spanner.
+        for &(u, v, w) in &inserts {
+            self.original
+                .append_edge(VertexId(u as usize), VertexId(v as usize), w);
+        }
+        inserts.sort_by(|a, b| {
+            a.2.total_cmp(&b.2)
+                .then_with(|| (a.0, a.1).cmp(&(b.0, b.1)))
+        });
+        let added =
+            filter_commit_greedy(&mut self.spanner, &mut self.pool, &inserts, self.stretch).added;
+        let admitted = added.len();
+        let rejected = inserts.len() - admitted;
+
+        // Phase 3 — repair + certification. A deleted spanner edge may have
+        // carried stretch witnesses; the traversal finds every violated
+        // original edge and re-admits it. Batches that never deleted a
+        // spanner edge carry the standing certificate forward — pre-existing
+        // edges only got better (distances shrink as edges commit), admitted
+        // edges sit at stretch 1 — and fold in the *realized* stretch of
+        // each rejected insertion, so the certificate stays a genuine upper
+        // bound over the current edge set.
+        let mut repaired = 0usize;
+        let mut repair_time = Duration::ZERO;
+        let full_certification = spanner_deleted;
+        if spanner_deleted {
+            let t0 = Instant::now();
+            let (fixed, certified) = self.repair_and_certify();
+            repair_time = t0.elapsed();
+            repaired = fixed;
+            self.stats.certified_stretch = certified;
+            self.stats.recertifications += 1;
+            self.stats.repair_time += repair_time;
+        } else if !inserts.is_empty() {
+            // Admitted edges enter at stretch exactly 1.
+            if admitted > 0 {
+                self.stats.certified_stretch = self.stats.certified_stretch.max(1.0);
+            }
+            let mut is_added = vec![false; inserts.len()];
+            for &i in &added {
+                is_added[i] = true;
+            }
+            let engine = self.pool.commit_engine();
+            let t = self.stretch;
+            for (i, &(u, v, w)) in inserts.iter().enumerate() {
+                if is_added[i] {
+                    continue;
+                }
+                // Rejected at admission means covered within t · w then —
+                // and distances only shrank since, so the query cannot miss.
+                let d = engine
+                    .bounded_distance(
+                        &self.spanner,
+                        VertexId(u as usize),
+                        VertexId(v as usize),
+                        t * w * (1.0 + 1e-9) + 1e-12,
+                    )
+                    .expect("rejected insertions are covered within t * w");
+                self.stats.certified_stretch = self.stats.certified_stretch.max(d / w);
+            }
+        }
+
+        let epochs_advanced = self.spanner.epoch() - spanner_epoch_before;
+        self.stats.batches += 1;
+        self.stats.insertions += inserts.len() as u64;
+        self.stats.admitted += admitted as u64;
+        self.stats.rejected += rejected as u64;
+        self.stats.deletions += (deletions + reweights) as u64;
+        self.stats.reweights += reweights as u64;
+        self.stats.repaired += repaired as u64;
+        self.stats.epochs_advanced += epochs_advanced;
+        self.stats.elapsed += start.elapsed();
+        Ok(BatchOutcome {
+            admitted,
+            rejected,
+            deletions,
+            reweights,
+            repaired,
+            epochs_advanced,
+            repair_time,
+            certified_stretch: self.stats.certified_stretch,
+            full_certification,
+        })
+    }
+
+    /// Runs a full witness traversal now, repairing any violated original
+    /// edge (there are none unless the graph was mutated out-of-band) and
+    /// returning the certified maximum stretch. Updates
+    /// [`UpdateStats::certified_stretch`] / `recertifications`.
+    pub fn certify(&mut self) -> f64 {
+        let t0 = Instant::now();
+        let (_, certified) = self.repair_and_certify();
+        self.stats.certified_stretch = certified;
+        self.stats.recertifications += 1;
+        self.stats.repair_time += t0.elapsed();
+        certified
+    }
+
+    /// The witness traversal + localized repair shared by deletion batches
+    /// and [`LiveSpanner::certify`]: one shortest-path tree per source that
+    /// owns original edges (the [`crate::analysis::max_stretch_witness`]
+    /// pattern), fanned across the engine pool against a frozen
+    /// epoch-stamped snapshot; violations are then re-admitted sequentially
+    /// in non-decreasing weight order with an exact re-check. Returns
+    /// `(repaired, certified_stretch)`.
+    fn repair_and_certify(&mut self) -> (usize, f64) {
+        let n = self.original.num_vertices();
+        let t = self.stretch;
+        // The traversal runs against a fixed spanner state; the
+        // epoch-checked fan-out refuses a mutated snapshot with a typed
+        // error instead of producing a silently mixed certificate. The
+        // per-source scans are independent, so they parallelize exactly
+        // like the admission filter does.
+        let stamp = self.spanner.epoch();
+        let sources: Vec<u32> = (0..n)
+            .filter(|&src| {
+                self.original
+                    .neighbors(VertexId(src))
+                    .any(|nb| nb.to.index() > src)
+            })
+            .map(|src| src as u32)
+            .collect();
+        // Per source: (worst in-bound stretch, violated edges).
+        type SourceScan = (f64, Vec<(u32, u32, f64)>);
+        let mut per_source: Vec<SourceScan> = vec![(0.0, Vec::new()); sources.len()];
+        let original = &self.original;
+        self.pool
+            .try_map_batch(
+                self.spanner.snapshot(),
+                stamp,
+                &sources,
+                &mut per_source,
+                |engine, spanner, &src| {
+                    let source = VertexId(src as usize);
+                    let tree = engine.shortest_path_tree(spanner, source);
+                    let mut worst = 0.0f64;
+                    let mut violations = Vec::new();
+                    for nb in original.neighbors(source) {
+                        if nb.to.index() <= src as usize {
+                            continue;
+                        }
+                        let d = tree.distance(nb.to).unwrap_or(f64::INFINITY);
+                        if within_stretch(d, t, nb.weight) {
+                            worst = worst.max(d / nb.weight);
+                        } else {
+                            violations.push((src, nb.to.index() as u32, nb.weight));
+                        }
+                    }
+                    (worst, violations)
+                },
+            )
+            .expect("the spanner does not mutate during the traversal");
+        let mut worst: f64 = 0.0;
+        let mut violations: Vec<(u32, u32, f64)> = Vec::new();
+        for (source_worst, source_violations) in per_source {
+            worst = worst.max(source_worst);
+            violations.extend(source_violations);
+        }
+        let engine = self.pool.commit_engine();
+        violations.sort_by(|a, b| {
+            a.2.total_cmp(&b.2)
+                .then_with(|| (a.0, a.1).cmp(&(b.0, b.1)))
+        });
+        let mut repaired = 0usize;
+        for &(u, v, w) in &violations {
+            let (u, v) = (VertexId(u as usize), VertexId(v as usize));
+            // Exact admission re-check: an earlier repair may already cover
+            // this edge.
+            if engine
+                .bounded_distance(&self.spanner, u, v, t * w)
+                .is_none()
+            {
+                self.spanner.append_edge(u, v, w);
+                repaired += 1;
+            }
+        }
+        // Post-repair, every violated edge is within t (present, or covered
+        // by the re-check); fold its exact residual stretch into the
+        // certificate.
+        for &(u, v, w) in &violations {
+            let (u, v) = (VertexId(u as usize), VertexId(v as usize));
+            let d = engine
+                .bounded_distance(&self.spanner, u, v, t * w * (1.0 + 1e-9) + 1e-12)
+                .expect("repaired edges are covered within t * w");
+            worst = worst.max(d / w);
+        }
+        (repaired, worst)
+    }
+
+    /// Pre-validates a batch against a simulation of its own effects, so
+    /// [`LiveSpanner::apply`] either applies the whole batch or nothing.
+    fn validate(&self, batch: &UpdateBatch) -> Result<(), UpdateError> {
+        let n = self.original.num_vertices();
+        // Removals consumed per (min, max) pair so far. Deletions happen in
+        // phase 1, before any insertion, so batch-internal inserts never
+        // increase a pair's availability.
+        let mut removed: HashMap<(usize, usize), usize> = HashMap::new();
+        let check_pair = |u: VertexId, v: VertexId| -> Result<(), UpdateError> {
+            for endpoint in [u.index(), v.index()] {
+                if endpoint >= n {
+                    return Err(UpdateError::VertexOutOfRange {
+                        vertex: endpoint,
+                        num_vertices: n,
+                    });
+                }
+            }
+            if u == v {
+                return Err(UpdateError::SelfLoop { vertex: u.index() });
+            }
+            Ok(())
+        };
+        for update in batch.updates() {
+            match *update {
+                Update::Insert { u, v, weight } => {
+                    check_pair(u, v)?;
+                    if !(weight.is_finite() && weight > 0.0) {
+                        return Err(UpdateError::InvalidWeight { weight });
+                    }
+                }
+                Update::Delete { u, v } | Update::Reweight { u, v, .. } => {
+                    check_pair(u, v)?;
+                    if let Update::Reweight { weight, .. } = *update {
+                        if !(weight.is_finite() && weight > 0.0) {
+                            return Err(UpdateError::InvalidWeight { weight });
+                        }
+                    }
+                    let live = self.original.neighbors(u).filter(|nb| nb.to == v).count();
+                    let taken = removed.entry(pair_key(u, v)).or_insert(0);
+                    if live <= *taken {
+                        return Err(UpdateError::UnknownEdge {
+                            u: u.index(),
+                            v: v.index(),
+                        });
+                    }
+                    *taken += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Canonical unordered key of a vertex pair.
+fn pair_key(u: VertexId, v: VertexId) -> (usize, usize) {
+    let (a, b) = (u.index(), v.index());
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// The tolerance-matched stretch test shared with
+/// [`crate::analysis::is_t_spanner`].
+fn within_stretch(d: f64, t: f64, w: f64) -> bool {
+    d <= t * w * (1.0 + 1e-9) + 1e-12
+}
+
+/// Removes the lowest-id live spanner edge matching `(u, v)` with the given
+/// weight (bit-exact — spanner edges are verbatim copies of original
+/// edges). Returns `true` if one was removed.
+fn remove_matching_edge(spanner: &mut CsrGraph, u: VertexId, v: VertexId, weight: f64) -> bool {
+    let id = spanner
+        .neighbors(u)
+        .filter(|nb| nb.to == v && nb.weight.to_bits() == weight.to_bits())
+        .map(|nb| nb.edge)
+        .min();
+    match id {
+        Some(id) => {
+            spanner.remove_edge(id).expect("live edge");
+            true
+        }
+        None => false,
+    }
+}
+
+impl SpannerOutput {
+    /// Opens this build result for live updates:
+    /// `Spanner::greedy().stretch(t).build(&g)?.live(&g)?`. See
+    /// [`LiveSpanner::new`].
+    ///
+    /// # Errors
+    ///
+    /// See [`LiveSpanner::new`].
+    pub fn live(self, original: &WeightedGraph) -> Result<LiveSpanner, UpdateError> {
+        LiveSpanner::new(self, original)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::is_t_spanner;
+    use crate::builder::Spanner;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use spanner_graph::generators::erdos_renyi_connected;
+
+    fn live_for(g: &WeightedGraph, t: f64) -> LiveSpanner {
+        Spanner::greedy()
+            .stretch(t)
+            .build(g)
+            .unwrap()
+            .live(g)
+            .unwrap()
+    }
+
+    fn assert_invariant(live: &LiveSpanner) {
+        let original = live.original().to_weighted_graph();
+        let spanner = live.spanner().to_weighted_graph();
+        assert!(
+            is_t_spanner(&original, &spanner, live.stretch()),
+            "live spanner lost the stretch-{} invariant",
+            live.stretch()
+        );
+    }
+
+    #[test]
+    fn construction_certifies_the_wrapped_output() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g = erdos_renyi_connected(30, 0.3, 1.0..8.0, &mut rng);
+        let live = live_for(&g, 2.0);
+        assert_eq!(live.stats().recertifications, 1);
+        assert!(live.stats().certified_stretch <= 2.0 + 1e-9);
+        assert!(live.stats().certified_stretch >= 1.0);
+        assert_eq!(live.stats().batches, 0);
+        assert_eq!(live.epoch(), 0, "no update has run yet");
+        assert_eq!(live.provenance().algorithm, "greedy");
+    }
+
+    #[test]
+    fn missing_stretch_and_mismatched_vertex_counts_are_typed_errors() {
+        let g = WeightedGraph::from_edges(3, [(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+        let mst = Spanner::mst().build(&g).unwrap();
+        assert!(matches!(
+            mst.live(&g),
+            Err(UpdateError::MissingStretch { .. })
+        ));
+        let bigger = WeightedGraph::new(5);
+        let out = Spanner::greedy().stretch(2.0).build(&g).unwrap();
+        assert!(matches!(
+            out.live(&bigger),
+            Err(UpdateError::VertexCountMismatch {
+                spanner: 3,
+                original: 5
+            })
+        ));
+    }
+
+    #[test]
+    fn insertions_run_the_admission_rule() {
+        let g = WeightedGraph::from_edges(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap();
+        let mut live = live_for(&g, 2.0);
+        let outcome = live
+            .apply(
+                &UpdateBatch::new()
+                    .insert(VertexId(0), VertexId(2), 2.0) // covered: d = 2 <= 4
+                    .insert(VertexId(0), VertexId(3), 0.5), // admitted: d = 3 > 1
+            )
+            .unwrap();
+        assert_eq!(outcome.admitted, 1);
+        assert_eq!(outcome.rejected, 1);
+        assert!(!outcome.full_certification);
+        assert_eq!(outcome.epochs_advanced, 1, "one spanner append");
+        assert_eq!(live.original().num_edges(), 5);
+        assert_eq!(live.spanner().num_edges(), 4);
+        assert_invariant(&live);
+    }
+
+    #[test]
+    fn deleting_a_spanner_edge_triggers_repair() {
+        // Path 0-1-2-3 plus a heavy chord the greedy 2-spanner drops.
+        let g = WeightedGraph::from_edges(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 2, 2.0)])
+            .unwrap();
+        let mut live = live_for(&g, 2.0);
+        assert_eq!(live.spanner().num_edges(), 3, "chord rejected at build");
+        // Deleting the path edge (1, 2) breaks coverage of the chord (0, 2):
+        // repair must re-admit it.
+        let outcome = live
+            .apply(&UpdateBatch::new().delete(VertexId(1), VertexId(2)))
+            .unwrap();
+        assert_eq!(outcome.deletions, 1);
+        assert!(outcome.full_certification);
+        assert!(outcome.repaired >= 1, "the chord must be re-admitted");
+        assert!(outcome.certified_stretch <= 2.0 + 1e-9);
+        assert!(outcome.repair_time >= Duration::ZERO);
+        assert_invariant(&live);
+        // Deleting an edge the spanner never carried needs no repair.
+        let mut live2 = live_for(
+            &WeightedGraph::from_edges(3, [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.5)]).unwrap(),
+            2.0,
+        );
+        let outcome2 = live2
+            .apply(&UpdateBatch::new().delete(VertexId(0), VertexId(2)))
+            .unwrap();
+        assert!(!outcome2.full_certification);
+        assert_eq!(outcome2.repaired, 0);
+        assert_eq!(outcome2.epochs_advanced, 0, "the spanner never changed");
+        assert_invariant(&live2);
+    }
+
+    #[test]
+    fn reweights_are_delete_then_admit() {
+        let g = WeightedGraph::from_edges(3, [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.5)]).unwrap();
+        let mut live = live_for(&g, 2.0);
+        // The chord (0, 2) was rejected at build (d = 2 <= 3). Reweighting
+        // it to 0.5 makes it essential: 2 > 2 * 0.5.
+        let outcome = live
+            .apply(&UpdateBatch::new().reweight(VertexId(0), VertexId(2), 0.5))
+            .unwrap();
+        assert_eq!(outcome.reweights, 1);
+        assert_eq!(outcome.admitted, 1);
+        assert!(live
+            .spanner()
+            .live_edges()
+            .any(|(_, u, v, w)| (u.index(), v.index()) == (0, 2) && w == 0.5));
+        assert_invariant(&live);
+        let stats = live.stats();
+        assert_eq!(stats.reweights, 1);
+        assert_eq!(stats.deletions, 1, "the removal half is counted");
+        assert_eq!(stats.insertions, 1);
+    }
+
+    #[test]
+    fn invalid_batches_are_rejected_whole_with_nothing_applied() {
+        let g = WeightedGraph::from_edges(3, [(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+        let mut live = live_for(&g, 2.0);
+        let before = (live.original().num_edges(), live.spanner().num_edges());
+        for (batch, expected) in [
+            (
+                UpdateBatch::new()
+                    .insert(VertexId(0), VertexId(2), 1.0)
+                    .insert(VertexId(0), VertexId(9), 1.0),
+                UpdateError::VertexOutOfRange {
+                    vertex: 9,
+                    num_vertices: 3,
+                },
+            ),
+            (
+                UpdateBatch::new().insert(VertexId(1), VertexId(1), 1.0),
+                UpdateError::SelfLoop { vertex: 1 },
+            ),
+            (
+                UpdateBatch::new().insert(VertexId(0), VertexId(2), f64::NAN),
+                UpdateError::InvalidWeight { weight: f64::NAN },
+            ),
+            (
+                UpdateBatch::new().delete(VertexId(0), VertexId(2)),
+                UpdateError::UnknownEdge { u: 0, v: 2 },
+            ),
+            (
+                // The second delete of the same pair exceeds the live count
+                // — the simulation must catch it.
+                UpdateBatch::new()
+                    .delete(VertexId(0), VertexId(1))
+                    .delete(VertexId(0), VertexId(1)),
+                UpdateError::UnknownEdge { u: 0, v: 1 },
+            ),
+            (
+                UpdateBatch::new().reweight(VertexId(0), VertexId(1), -2.0),
+                UpdateError::InvalidWeight { weight: -2.0 },
+            ),
+        ] {
+            let err = live.apply(&batch).unwrap_err();
+            assert_eq!(format!("{err}"), format!("{expected}"));
+        }
+        assert_eq!(
+            (live.original().num_edges(), live.spanner().num_edges()),
+            before,
+            "failed batches apply nothing"
+        );
+        assert_eq!(live.stats().batches, 0);
+        // Deletions apply in phase 1, before insertions — so a batch cannot
+        // delete an edge it inserts itself.
+        let insert_then_delete = UpdateBatch::new()
+            .insert(VertexId(0), VertexId(2), 1.0)
+            .delete(VertexId(0), VertexId(2));
+        assert_eq!(
+            live.apply(&insert_then_delete).unwrap_err(),
+            UpdateError::UnknownEdge { u: 0, v: 2 }
+        );
+        // Split across batches the same pair of updates is fine.
+        live.apply(&UpdateBatch::new().insert(VertexId(0), VertexId(2), 1.0))
+            .unwrap();
+        live.apply(&UpdateBatch::new().delete(VertexId(0), VertexId(2)))
+            .unwrap();
+        assert_invariant(&live);
+    }
+
+    #[test]
+    fn random_update_streams_preserve_the_invariant() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        for t in [1.5, 2.0, 3.0] {
+            let g = erdos_renyi_connected(25, 0.3, 1.0..10.0, &mut rng);
+            let mut live = live_for(&g, t);
+            let mut edges: Vec<(usize, usize)> = g
+                .edges()
+                .iter()
+                .map(|e| (e.u.index(), e.v.index()))
+                .collect();
+            for round in 0..8 {
+                let mut batch = UpdateBatch::new();
+                for _ in 0..4 {
+                    if rng.gen_bool(0.5) || edges.is_empty() {
+                        // Insert a fresh pair (parallel edges allowed).
+                        let u = rng.gen_range(0..25);
+                        let mut v = rng.gen_range(0..24);
+                        if v >= u {
+                            v += 1;
+                        }
+                        let w = rng.gen_range(0.5..12.0);
+                        batch = batch.insert(VertexId(u), VertexId(v), w);
+                        edges.push((u, v));
+                    } else {
+                        let i = rng.gen_range(0..edges.len());
+                        let (u, v) = edges.swap_remove(i);
+                        batch = batch.delete(VertexId(u), VertexId(v));
+                    }
+                }
+                let outcome = live.apply(&batch).unwrap();
+                assert!(
+                    outcome.certified_stretch <= t * (1.0 + 1e-9) + 1e-12,
+                    "round {round}, t = {t}"
+                );
+                assert_invariant(&live);
+            }
+            assert_eq!(live.stats().batches, 8);
+            // An explicit certification finds nothing left to repair.
+            let certified = live.certify();
+            assert!(certified <= t * (1.0 + 1e-9) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn updates_are_identical_at_every_thread_count() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let g = erdos_renyi_connected(30, 0.3, 1.0..8.0, &mut rng);
+        let batches: Vec<UpdateBatch> = (0..4)
+            .flat_map(|i| {
+                [
+                    UpdateBatch::new()
+                        .insert(VertexId(i), VertexId(20 + i), 0.4 + i as f64)
+                        .insert(VertexId(i + 5), VertexId(15 + i), 3.0),
+                    UpdateBatch::new().delete(VertexId(i), VertexId(20 + i)),
+                ]
+            })
+            .collect();
+        let run = |threads: usize| {
+            let mut live = Spanner::greedy()
+                .stretch(2.0)
+                .build(&g)
+                .unwrap()
+                .live(&g)
+                .unwrap()
+                .with_threads(threads);
+            for b in &batches {
+                live.apply(b).unwrap();
+            }
+            (
+                live.spanner().to_weighted_graph(),
+                live.stats().admitted,
+                live.stats().repaired,
+            )
+        };
+        let reference = run(1);
+        for threads in [2, 8] {
+            assert_eq!(run(threads), reference, "threads = {threads}");
+        }
+    }
+}

@@ -1,5 +1,5 @@
-//! Query-workload generation for the serving layer: deterministic,
-//! seed-driven batches that model realistic read traffic.
+//! Query- and update-workload generation for the serving layer:
+//! deterministic, seed-driven batches that model realistic traffic.
 //!
 //! Benches, tests and the experiment tables all need the same traffic
 //! shapes: uniformly random point-to-point pairs (the cache-hostile
@@ -8,20 +8,100 @@
 //! (range queries at several scales) and mixed read profiles. One
 //! [`QueryWorkload`] value describes a shape; [`QueryWorkload::generate`]
 //! materializes it as a `Vec<Query>`, identically for the same seed.
+//! Degenerate parameters (zero-vertex universes, non-finite or non-positive
+//! Zipf exponents, bad radii) are rejected at *construction* with a typed
+//! [`WorkloadError`] — a workload value that exists always generates a
+//! meaningful stream.
+//!
+//! For live serving, [`LiveWorkload`] generates **mixed query/update
+//! streams**: a deterministic sequence of [`StreamEvent`]s in which each
+//! round is either a query batch or an [`UpdateBatch`], with a configurable
+//! update fraction. Deletions always reference edges that are live at that
+//! point of the stream (the generator tracks its own edge view and avoids
+//! parallel edges, so delete-by-endpoints is unambiguous).
 //!
 //! ```
 //! use greedy_spanner::workload::QueryWorkload;
 //!
-//! let batch = QueryWorkload::zipf(1000, 1.1).queries(256).seed(7).generate();
+//! let batch = QueryWorkload::zipf(1000, 1.1)?.queries(256).seed(7).generate();
 //! assert_eq!(batch.len(), 256);
-//! assert_eq!(batch, QueryWorkload::zipf(1000, 1.1).queries(256).seed(7).generate());
+//! assert_eq!(batch, QueryWorkload::zipf(1000, 1.1)?.queries(256).seed(7).generate());
+//! # Ok::<(), greedy_spanner::workload::WorkloadError>(())
 //! ```
+
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use spanner_graph::VertexId;
+use spanner_graph::{VertexId, WeightedGraph};
 
 use crate::serve::Query;
+use crate::update::UpdateBatch;
+
+/// Errors a workload description can be rejected with at construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadError {
+    /// Pair queries need at least two vertices.
+    UniverseTooSmall {
+        /// The offending vertex count.
+        num_vertices: usize,
+    },
+    /// A Zipf exponent must be positive and finite.
+    InvalidZipfExponent {
+        /// The offending exponent.
+        exponent: f64,
+    },
+    /// A ball sweep needs at least one radius.
+    EmptyRadiusSchedule,
+    /// Ball radii must be non-negative and finite.
+    InvalidRadius {
+        /// The offending radius.
+        radius: f64,
+    },
+    /// A fraction parameter must lie in `[0, 1]`.
+    InvalidFraction {
+        /// The offending fraction.
+        fraction: f64,
+    },
+    /// An update-weight range must be positive, finite and non-empty.
+    InvalidWeightRange {
+        /// Lower bound of the offending range.
+        lo: f64,
+        /// Upper bound of the offending range.
+        hi: f64,
+    },
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::UniverseTooSmall { num_vertices } => write!(
+                f,
+                "workloads need at least two vertices, got {num_vertices}"
+            ),
+            WorkloadError::InvalidZipfExponent { exponent } => {
+                write!(f, "Zipf exponent {exponent} must be positive and finite")
+            }
+            WorkloadError::EmptyRadiusSchedule => {
+                write!(f, "ball sweeps need at least one radius")
+            }
+            WorkloadError::InvalidRadius { radius } => {
+                write!(f, "ball radius {radius} must be non-negative and finite")
+            }
+            WorkloadError::InvalidFraction { fraction } => {
+                write!(f, "fraction {fraction} must lie in [0, 1]")
+            }
+            WorkloadError::InvalidWeightRange { lo, hi } => write!(
+                f,
+                "weight range {lo}..{hi} must be positive, finite and non-empty"
+            ),
+        }
+    }
+}
+
+impl Error for WorkloadError {}
 
 /// The traffic shape a [`QueryWorkload`] generates.
 #[derive(Debug, Clone, PartialEq)]
@@ -43,14 +123,15 @@ enum Shape {
     /// A mixed read profile: bounded distances (Zipf-skewed sources),
     /// paths, k-nearest, balls and optionally stretch audits.
     Mixed {
-        /// Include stretch-audit queries (requires a server built with an
-        /// audit baseline).
+        /// Include stretch-audit queries (requires a server with an audit
+        /// baseline).
         audits: bool,
     },
 }
 
 /// A deterministic query-workload description; see the
-/// [module docs](crate::workload).
+/// [module docs](crate::workload). Parameters are validated at
+/// construction — every constructor returns `Result`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryWorkload {
     num_vertices: usize,
@@ -60,20 +141,33 @@ pub struct QueryWorkload {
     shape: Shape,
 }
 
+fn check_universe(num_vertices: usize) -> Result<(), WorkloadError> {
+    if num_vertices < 2 {
+        Err(WorkloadError::UniverseTooSmall { num_vertices })
+    } else {
+        Ok(())
+    }
+}
+
 impl QueryWorkload {
-    fn new(num_vertices: usize, shape: Shape) -> Self {
-        QueryWorkload {
+    fn new(num_vertices: usize, shape: Shape) -> Result<Self, WorkloadError> {
+        check_universe(num_vertices)?;
+        Ok(QueryWorkload {
             num_vertices,
             count: 1024,
             seed: 0,
             bound: f64::INFINITY,
             shape,
-        }
+        })
     }
 
     /// Uniformly random point-to-point distance queries over `num_vertices`
     /// vertices — the cache-hostile baseline shape.
-    pub fn uniform(num_vertices: usize) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError::UniverseTooSmall`] for fewer than two vertices.
+    pub fn uniform(num_vertices: usize) -> Result<Self, WorkloadError> {
         QueryWorkload::new(num_vertices, Shape::Uniform)
     }
 
@@ -81,25 +175,47 @@ impl QueryWorkload {
     /// given `exponent` over a seed-shuffled vertex ranking, targets are
     /// uniform. Larger exponents concentrate more of the batch on fewer
     /// sources (≈1.0 is web-like traffic).
-    pub fn zipf(num_vertices: usize, exponent: f64) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError::UniverseTooSmall`] for fewer than two vertices, and
+    /// [`WorkloadError::InvalidZipfExponent`] for a `NaN`, infinite, zero
+    /// or negative exponent — a degenerate exponent would silently produce
+    /// a uniform or single-source stream.
+    pub fn zipf(num_vertices: usize, exponent: f64) -> Result<Self, WorkloadError> {
+        if !(exponent.is_finite() && exponent > 0.0) {
+            return Err(WorkloadError::InvalidZipfExponent { exponent });
+        }
         QueryWorkload::new(num_vertices, Shape::Zipf { exponent })
     }
 
     /// Ball queries cycling through `radii` (each radius gets every
     /// `radii.len()`-th query), sources uniform.
-    pub fn ball_sweep(num_vertices: usize, radii: Vec<f64>) -> Self {
-        assert!(!radii.is_empty(), "ball sweep needs at least one radius");
-        assert!(
-            radii.iter().all(|r| *r >= 0.0),
-            "ball radii must be non-negative"
-        );
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError::UniverseTooSmall`],
+    /// [`WorkloadError::EmptyRadiusSchedule`], or
+    /// [`WorkloadError::InvalidRadius`] for a negative/`NaN`/infinite
+    /// radius.
+    pub fn ball_sweep(num_vertices: usize, radii: Vec<f64>) -> Result<Self, WorkloadError> {
+        if radii.is_empty() {
+            return Err(WorkloadError::EmptyRadiusSchedule);
+        }
+        if let Some(&radius) = radii.iter().find(|r| !(r.is_finite() && **r >= 0.0)) {
+            return Err(WorkloadError::InvalidRadius { radius });
+        }
         QueryWorkload::new(num_vertices, Shape::BallSweep { radii })
     }
 
     /// A mixed read profile: 60% bounded distances (Zipf-skewed sources),
     /// 15% paths, 10% k-nearest, 10% balls and 5% stretch audits (audits
     /// replaced by distances when `audits` is `false`).
-    pub fn mixed(num_vertices: usize, audits: bool) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError::UniverseTooSmall`] for fewer than two vertices.
+    pub fn mixed(num_vertices: usize, audits: bool) -> Result<Self, WorkloadError> {
         QueryWorkload::new(num_vertices, Shape::Mixed { audits })
     }
 
@@ -124,15 +240,10 @@ impl QueryWorkload {
     }
 
     /// Materializes the workload as a query batch. Deterministic: a pure
-    /// function of the description (shape, count, seed, bound).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the workload was described over fewer than two vertices
-    /// (no pair queries exist).
+    /// function of the description (shape, count, seed, bound). Never
+    /// panics — every parameter was validated at construction.
     pub fn generate(&self) -> Vec<Query> {
         let n = self.num_vertices;
-        assert!(n >= 2, "workloads need at least two vertices");
         let mut rng = SmallRng::seed_from_u64(self.seed);
         let mut queries = Vec::with_capacity(self.count);
         match &self.shape {
@@ -178,6 +289,242 @@ impl QueryWorkload {
     }
 }
 
+/// One round of a [`LiveWorkload`] stream: a query batch to answer, or an
+/// update batch to apply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamEvent {
+    /// Answer these queries ([`crate::serve::SpannerServer::answer_batch`]).
+    Queries(Vec<Query>),
+    /// Apply these updates
+    /// ([`crate::serve::SpannerServer::apply_updates`]).
+    Updates(UpdateBatch),
+}
+
+/// A deterministic mixed query/update stream over a live spanner; see the
+/// [module docs](crate::workload).
+///
+/// ```
+/// use greedy_spanner::workload::{LiveWorkload, StreamEvent};
+/// use spanner_graph::WeightedGraph;
+///
+/// let g = WeightedGraph::from_edges(50, (1..50).map(|v| (v - 1, v, 1.0)))?;
+/// let stream = LiveWorkload::new(50)?
+///     .update_fraction(0.5)?
+///     .rounds(8)
+///     .seed(3)
+///     .generate(&g);
+/// assert_eq!(stream.len(), 8);
+/// assert!(stream.iter().any(|e| matches!(e, StreamEvent::Updates(_))));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LiveWorkload {
+    num_vertices: usize,
+    rounds: usize,
+    queries_per_batch: usize,
+    updates_per_batch: usize,
+    update_fraction: f64,
+    insert_fraction: f64,
+    weight_lo: f64,
+    weight_hi: f64,
+    bound: f64,
+    audits: bool,
+    seed: u64,
+}
+
+impl LiveWorkload {
+    /// A stream description with defaults: 16 rounds, 256 queries or 16
+    /// updates per batch, update fraction 0.25, insert fraction 0.6 (the
+    /// rest split evenly between deletions and reweights), insert weights
+    /// drawn from `1.0..10.0`, audits on.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError::UniverseTooSmall`] for fewer than two vertices.
+    pub fn new(num_vertices: usize) -> Result<Self, WorkloadError> {
+        check_universe(num_vertices)?;
+        Ok(LiveWorkload {
+            num_vertices,
+            rounds: 16,
+            queries_per_batch: 256,
+            updates_per_batch: 16,
+            update_fraction: 0.25,
+            insert_fraction: 0.6,
+            weight_lo: 1.0,
+            weight_hi: 10.0,
+            bound: f64::INFINITY,
+            audits: true,
+            seed: 0,
+        })
+    }
+
+    /// Sets the number of stream rounds (default 16).
+    pub fn rounds(mut self, rounds: usize) -> Self {
+        self.rounds = rounds;
+        self
+    }
+
+    /// Sets queries per query batch (default 256).
+    pub fn queries_per_batch(mut self, count: usize) -> Self {
+        self.queries_per_batch = count;
+        self
+    }
+
+    /// Sets updates per update batch (default 16).
+    pub fn updates_per_batch(mut self, count: usize) -> Self {
+        self.updates_per_batch = count;
+        self
+    }
+
+    /// Sets the fraction of rounds that are update batches (default 0.25).
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError::InvalidFraction`] outside `[0, 1]` (or `NaN`).
+    pub fn update_fraction(mut self, fraction: f64) -> Result<Self, WorkloadError> {
+        if !(fraction.is_finite() && (0.0..=1.0).contains(&fraction)) {
+            return Err(WorkloadError::InvalidFraction { fraction });
+        }
+        self.update_fraction = fraction;
+        Ok(self)
+    }
+
+    /// Sets the fraction of updates that are insertions (default 0.6); the
+    /// remainder splits evenly between deletions and reweights.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError::InvalidFraction`] outside `[0, 1]` (or `NaN`).
+    pub fn insert_fraction(mut self, fraction: f64) -> Result<Self, WorkloadError> {
+        if !(fraction.is_finite() && (0.0..=1.0).contains(&fraction)) {
+            return Err(WorkloadError::InvalidFraction { fraction });
+        }
+        self.insert_fraction = fraction;
+        Ok(self)
+    }
+
+    /// Sets the weight range insertions and reweights draw from (default
+    /// `1.0..10.0`).
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError::InvalidWeightRange`] unless `0 < lo < hi < ∞`.
+    pub fn weights(mut self, lo: f64, hi: f64) -> Result<Self, WorkloadError> {
+        if !(lo.is_finite() && hi.is_finite() && lo > 0.0 && lo < hi) {
+            return Err(WorkloadError::InvalidWeightRange { lo, hi });
+        }
+        self.weight_lo = lo;
+        self.weight_hi = hi;
+        Ok(self)
+    }
+
+    /// Sets the distance bound attached to generated distance queries
+    /// (default unbounded).
+    pub fn bound(mut self, bound: f64) -> Self {
+        self.bound = bound;
+        self
+    }
+
+    /// Include stretch-audit queries (default `true`; live servers always
+    /// have an audit baseline).
+    pub fn audits(mut self, audits: bool) -> Self {
+        self.audits = audits;
+        self
+    }
+
+    /// Sets the RNG seed (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Materializes the stream against the initial graph. Deterministic: a
+    /// pure function of the description and `initial`'s edge set. The
+    /// generator tracks its own view of the live edges, so every deletion
+    /// and reweight references a pair that is live at that point, and
+    /// insertions never create parallel edges (delete-by-endpoints stays
+    /// unambiguous).
+    pub fn generate(&self, initial: &WeightedGraph) -> Vec<StreamEvent> {
+        let n = self.num_vertices;
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut live: Vec<(usize, usize)> = Vec::new();
+        let mut present: HashSet<(usize, usize)> = HashSet::new();
+        for e in initial.edges() {
+            let key = e.key();
+            if present.insert(key) {
+                live.push(key);
+            }
+        }
+        let mut events = Vec::with_capacity(self.rounds);
+        for round in 0..self.rounds {
+            if rng.gen_bool(self.update_fraction) {
+                let mut batch = UpdateBatch::new();
+                // Edges removed by this batch: a later update of the same
+                // batch must not touch them (deletions apply before
+                // insertions — see `UpdateBatch`). Pairs inserted by this
+                // batch likewise only become deletable in later rounds.
+                let mut removed_this_batch: HashSet<(usize, usize)> = HashSet::new();
+                let mut inserted_this_batch: Vec<(usize, usize)> = Vec::new();
+                for _ in 0..self.updates_per_batch {
+                    let deletable = !live.is_empty();
+                    if rng.gen_bool(self.insert_fraction) || !deletable {
+                        // Rejection-sample a fresh pair; on a near-complete
+                        // graph fall back to a delete (or skip).
+                        let mut found = None;
+                        for _ in 0..64 {
+                            let u = rng.gen_range(0..n);
+                            let mut v = rng.gen_range(0..n - 1);
+                            if v >= u {
+                                v += 1;
+                            }
+                            let key = if u < v { (u, v) } else { (v, u) };
+                            if !present.contains(&key) {
+                                found = Some(key);
+                                break;
+                            }
+                        }
+                        if let Some((u, v)) = found {
+                            let w = rng.gen_range(self.weight_lo..self.weight_hi);
+                            batch = batch.insert(VertexId(u), VertexId(v), w);
+                            present.insert((u, v));
+                            inserted_this_batch.push((u, v));
+                            continue;
+                        }
+                    }
+                    if deletable {
+                        let i = rng.gen_range(0..live.len());
+                        let (u, v) = live[i];
+                        if removed_this_batch.contains(&(u, v)) {
+                            continue;
+                        }
+                        if rng.gen_bool(0.5) {
+                            batch = batch.delete(VertexId(u), VertexId(v));
+                            live.swap_remove(i);
+                            present.remove(&(u, v));
+                            removed_this_batch.insert((u, v));
+                        } else {
+                            let w = rng.gen_range(self.weight_lo..self.weight_hi);
+                            batch = batch.reweight(VertexId(u), VertexId(v), w);
+                            removed_this_batch.insert((u, v));
+                        }
+                    }
+                }
+                live.extend(inserted_this_batch);
+                events.push(StreamEvent::Updates(batch));
+            } else {
+                let queries = QueryWorkload::mixed(n, self.audits)
+                    .expect("validated at construction")
+                    .queries(self.queries_per_batch)
+                    .seed(self.seed ^ (round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                    .bound(self.bound)
+                    .generate();
+                events.push(StreamEvent::Queries(queries));
+            }
+        }
+        events
+    }
+}
+
 /// Draws an ordered pair of two distinct vertices.
 fn distinct_pair(rng: &mut SmallRng, n: usize) -> (VertexId, VertexId) {
     let s = VertexId(rng.gen_range(0..n));
@@ -201,11 +548,9 @@ struct ZipfSampler {
 }
 
 impl ZipfSampler {
+    /// `exponent` was validated by [`QueryWorkload::zipf`] (or is the fixed
+    /// mixed-profile constant).
     fn new(n: usize, exponent: f64, rng: &mut SmallRng) -> Self {
-        assert!(
-            exponent.is_finite() && exponent > 0.0,
-            "Zipf exponent must be positive and finite"
-        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0f64;
         for rank in 0..n {
@@ -233,6 +578,7 @@ impl ZipfSampler {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::update::Update;
     use std::collections::HashMap;
 
     fn source_counts(queries: &[Query]) -> HashMap<usize, usize> {
@@ -245,9 +591,21 @@ mod tests {
 
     #[test]
     fn workloads_are_deterministic_per_seed_and_differ_across_seeds() {
-        let a = QueryWorkload::uniform(50).queries(200).seed(3).generate();
-        let b = QueryWorkload::uniform(50).queries(200).seed(3).generate();
-        let c = QueryWorkload::uniform(50).queries(200).seed(4).generate();
+        let a = QueryWorkload::uniform(50)
+            .unwrap()
+            .queries(200)
+            .seed(3)
+            .generate();
+        let b = QueryWorkload::uniform(50)
+            .unwrap()
+            .queries(200)
+            .seed(3)
+            .generate();
+        let c = QueryWorkload::uniform(50)
+            .unwrap()
+            .queries(200)
+            .seed(4)
+            .generate();
         assert_eq!(a, b);
         assert_ne!(a, c);
         assert_eq!(a.len(), 200);
@@ -256,6 +614,7 @@ mod tests {
     #[test]
     fn uniform_pairs_are_valid_and_spread_out() {
         let queries = QueryWorkload::uniform(20)
+            .unwrap()
             .queries(500)
             .bound(7.5)
             .generate();
@@ -279,13 +638,17 @@ mod tests {
     #[test]
     fn zipf_concentrates_traffic_on_hotspots() {
         let n = 200;
-        let queries = QueryWorkload::zipf(n, 1.2).queries(2000).generate();
+        let queries = QueryWorkload::zipf(n, 1.2)
+            .unwrap()
+            .queries(2000)
+            .generate();
         let counts = source_counts(&queries);
         let max = *counts.values().max().unwrap();
         // A uniform workload would put ~10 queries on each source; the top
         // Zipf hotspot must be far above that.
         assert!(max > 100, "hottest source only got {max} of 2000");
-        let uniform_counts = source_counts(&QueryWorkload::uniform(n).queries(2000).generate());
+        let uniform_counts =
+            source_counts(&QueryWorkload::uniform(n).unwrap().queries(2000).generate());
         let uniform_max = *uniform_counts.values().max().unwrap();
         assert!(max > 3 * uniform_max, "zipf {max} vs uniform {uniform_max}");
     }
@@ -294,6 +657,7 @@ mod tests {
     fn ball_sweep_cycles_the_radius_schedule() {
         let radii = vec![0.5, 1.0, 2.0];
         let queries = QueryWorkload::ball_sweep(30, radii.clone())
+            .unwrap()
             .queries(9)
             .generate();
         for (i, q) in queries.iter().enumerate() {
@@ -307,7 +671,10 @@ mod tests {
 
     #[test]
     fn mixed_profile_covers_every_query_kind() {
-        let queries = QueryWorkload::mixed(40, true).queries(400).generate();
+        let queries = QueryWorkload::mixed(40, true)
+            .unwrap()
+            .queries(400)
+            .generate();
         let mut distance = 0;
         let mut path = 0;
         let mut knearest = 0;
@@ -328,21 +695,155 @@ mod tests {
         assert_eq!(ball, 40);
         assert_eq!(audit, 20);
         // Without audits, the audit slots fall back to distance queries.
-        let no_audits = QueryWorkload::mixed(40, false).queries(400).generate();
+        let no_audits = QueryWorkload::mixed(40, false)
+            .unwrap()
+            .queries(400)
+            .generate();
         assert!(no_audits
             .iter()
             .all(|q| !matches!(q, Query::StretchAudit { .. })));
     }
 
     #[test]
-    #[should_panic(expected = "at least two vertices")]
-    fn degenerate_vertex_counts_are_rejected() {
-        let _ = QueryWorkload::uniform(1).generate();
+    fn degenerate_parameters_are_typed_errors_at_construction() {
+        for n in [0usize, 1] {
+            assert_eq!(
+                QueryWorkload::uniform(n).unwrap_err(),
+                WorkloadError::UniverseTooSmall { num_vertices: n }
+            );
+            assert!(QueryWorkload::mixed(n, true).is_err());
+            assert!(LiveWorkload::new(n).is_err());
+        }
+        for exponent in [0.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = QueryWorkload::zipf(100, exponent).unwrap_err();
+            assert_eq!(
+                format!("{err}"),
+                format!("{}", WorkloadError::InvalidZipfExponent { exponent })
+            );
+        }
+        // A too-small universe is reported even with a valid exponent, and
+        // a bad exponent wins over a bad universe (checked first).
+        assert!(QueryWorkload::zipf(1, 1.1).is_err());
+        assert_eq!(
+            QueryWorkload::ball_sweep(10, vec![]).unwrap_err(),
+            WorkloadError::EmptyRadiusSchedule
+        );
+        for radius in [-0.5, f64::NAN, f64::INFINITY] {
+            let err = QueryWorkload::ball_sweep(10, vec![1.0, radius]).unwrap_err();
+            assert!(matches!(err, WorkloadError::InvalidRadius { .. }));
+        }
+        for fraction in [-0.1, 1.5, f64::NAN] {
+            assert!(LiveWorkload::new(10)
+                .unwrap()
+                .update_fraction(fraction)
+                .is_err());
+            assert!(LiveWorkload::new(10)
+                .unwrap()
+                .insert_fraction(fraction)
+                .is_err());
+        }
+        for (lo, hi) in [(0.0, 1.0), (2.0, 1.0), (1.0, f64::INFINITY), (-1.0, 1.0)] {
+            assert_eq!(
+                LiveWorkload::new(10).unwrap().weights(lo, hi).unwrap_err(),
+                WorkloadError::InvalidWeightRange { lo, hi }
+            );
+        }
+        // Errors display something useful.
+        assert!(!WorkloadError::EmptyRadiusSchedule.to_string().is_empty());
     }
 
     #[test]
-    #[should_panic(expected = "at least one radius")]
-    fn empty_radius_schedules_are_rejected() {
-        let _ = QueryWorkload::ball_sweep(10, vec![]);
+    fn live_streams_are_deterministic_and_respect_the_update_fraction() {
+        let g = WeightedGraph::from_edges(30, (1..30).map(|v| (v - 1, v, 1.0))).unwrap();
+        let make = || {
+            LiveWorkload::new(30)
+                .unwrap()
+                .update_fraction(0.5)
+                .unwrap()
+                .rounds(40)
+                .queries_per_batch(8)
+                .updates_per_batch(4)
+                .seed(11)
+                .generate(&g)
+        };
+        let a = make();
+        let b = make();
+        assert_eq!(a, b, "equal seeds generate equal streams");
+        assert_eq!(a.len(), 40);
+        let updates = a
+            .iter()
+            .filter(|e| matches!(e, StreamEvent::Updates(_)))
+            .count();
+        // ~50% of 40 rounds; generous tolerance for the small sample.
+        assert!((8..=32).contains(&updates), "update rounds: {updates}");
+        // Fraction 0 yields queries only; fraction 1 yields updates only.
+        let none = LiveWorkload::new(30)
+            .unwrap()
+            .update_fraction(0.0)
+            .unwrap()
+            .rounds(10)
+            .generate(&g);
+        assert!(none.iter().all(|e| matches!(e, StreamEvent::Queries(_))));
+        let all = LiveWorkload::new(30)
+            .unwrap()
+            .update_fraction(1.0)
+            .unwrap()
+            .rounds(10)
+            .generate(&g);
+        assert!(all.iter().all(|e| matches!(e, StreamEvent::Updates(_))));
+    }
+
+    #[test]
+    fn live_stream_updates_are_always_applicable() {
+        // Replay the generator's own bookkeeping: every delete/reweight
+        // must reference a live pair (pre-batch), every insert a fresh one.
+        let g = WeightedGraph::from_edges(20, (1..20).map(|v| (v - 1, v, 1.0))).unwrap();
+        let stream = LiveWorkload::new(20)
+            .unwrap()
+            .update_fraction(1.0)
+            .unwrap()
+            .rounds(30)
+            .updates_per_batch(6)
+            .weights(0.5, 2.0)
+            .unwrap()
+            .seed(5)
+            .generate(&g);
+        let mut present: HashSet<(usize, usize)> = g.edges().iter().map(|e| e.key()).collect();
+        for event in &stream {
+            let StreamEvent::Updates(batch) = event else {
+                panic!("fraction 1.0 generates update batches only");
+            };
+            let mut removed: HashSet<(usize, usize)> = HashSet::new();
+            let mut inserted: Vec<(usize, usize)> = Vec::new();
+            for update in batch.updates() {
+                match *update {
+                    Update::Insert { u, v, weight } => {
+                        let key = (u.index().min(v.index()), u.index().max(v.index()));
+                        assert!(!present.contains(&key), "parallel edge generated");
+                        assert!(weight > 0.0 && weight.is_finite());
+                        inserted.push(key);
+                        present.insert(key);
+                    }
+                    Update::Delete { u, v } => {
+                        let key = (u.index().min(v.index()), u.index().max(v.index()));
+                        assert!(present.contains(&key), "delete of a dead pair");
+                        assert!(!removed.contains(&key), "double delete in one batch");
+                        assert!(
+                            !inserted.contains(&key),
+                            "a batch cannot delete its own insert"
+                        );
+                        present.remove(&key);
+                        removed.insert(key);
+                    }
+                    Update::Reweight { u, v, weight } => {
+                        let key = (u.index().min(v.index()), u.index().max(v.index()));
+                        assert!(present.contains(&key), "reweight of a dead pair");
+                        assert!(!removed.contains(&key), "update of a removed pair");
+                        assert!(weight > 0.0 && weight.is_finite());
+                        removed.insert(key);
+                    }
+                }
+            }
+        }
     }
 }

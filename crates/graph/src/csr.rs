@@ -7,13 +7,35 @@
 //! (`offsets` / `targets` / `weights`, plus the originating edge index), so a
 //! neighbor scan is a contiguous read.
 //!
-//! Unlike a classical CSR, this one is *appendable*: spanner constructions
-//! grow their output one edge at a time while querying it, so
-//! [`CsrGraph::append_edge`] adds the new half-edges to a small per-vertex
-//! overflow chain and amortizes re-packing — once the overflow reaches a
-//! constant fraction of the packed region the whole structure is re-packed in
-//! `O(n + m)`, which keeps the total maintenance cost of a growing spanner at
+//! Unlike a classical CSR, this one is *mutable*: spanner constructions grow
+//! their output one edge at a time while querying it, and the live-update
+//! subsystem additionally deletes edges from a long-running spanner. Both
+//! kinds of mutation go through a [`DeltaOverlay`] layered over the packed
+//! arrays:
+//!
+//! * **Insertions** ([`CsrGraph::append_edge`]) land in small per-vertex
+//!   overflow chains;
+//! * **Deletions** ([`CsrGraph::remove_edge`]) set a bit in a tombstone
+//!   bitmap — the half-edges stay physically present until the next re-pack
+//!   but every scan skips them;
+//! * once either delta grows past a constant fraction of the packed region
+//!   (see [`REPACK_OVERFLOW_DIVISOR`] / [`REPACK_OVERFLOW_SLACK`]) the whole
+//!   structure is re-packed in `O(n + m)`, consolidating the overlay: chains
+//!   fold into the packed arrays and tombstoned half-edges are dropped.
+//!
+//! This keeps the total maintenance cost of a growing spanner at
 //! `O((n + m) log m)` while neighbor scans stay almost entirely packed.
+//!
+//! # Epochs
+//!
+//! Every *logical* mutation — an append or a removal, never a re-pack —
+//! bumps a monotonically increasing [`CsrGraph::epoch`] counter. Long-lived
+//! readers (shortest-path-tree caches, serving handles) stamp the epoch they
+//! were built at and detect staleness by comparing stamps:
+//! [`CsrGraph::verify_epoch`] returns [`GraphError::StaleEpoch`] on
+//! mismatch, and [`CsrSnapshot`] carries the epoch it froze at so batch
+//! executors can refuse stale views with a typed error instead of silently
+//! answering against old data.
 //!
 //! The companion query type is [`crate::engine::DijkstraEngine`], which owns
 //! the per-query workspace so repeated shortest-path queries against a
@@ -24,6 +46,24 @@ use crate::graph::{EdgeId, VertexId, WeightedGraph};
 
 /// Sentinel for "no entry" in the overflow chains.
 const NONE: u32 = u32::MAX;
+
+/// Denominator of the re-pack trigger: the overlay may hold up to
+/// `packed_half_edges / REPACK_OVERFLOW_DIVISOR + REPACK_OVERFLOW_SLACK`
+/// pending half-edges (insertions, or deletions still lingering in the
+/// packed arrays) before [`CsrGraph::compact`] runs automatically.
+///
+/// The fraction is deliberately aggressive — a re-pack is `O(n + m)` while
+/// the queries between re-packs are `O(m)` heap operations each, so
+/// re-packing is never the bottleneck but chain-walking (and
+/// tombstone-skipping) can be. Keeping the overlay below ~1/8 of the packed
+/// region makes re-packs geometrically spaced while neighbor scans stay
+/// almost entirely packed.
+pub const REPACK_OVERFLOW_DIVISOR: usize = 8;
+
+/// Additive slack of the re-pack trigger (see [`REPACK_OVERFLOW_DIVISOR`]):
+/// small graphs get a constant grace budget so the first few appends do not
+/// each trigger an `O(n)` re-pack.
+pub const REPACK_OVERFLOW_SLACK: usize = 32;
 
 /// A neighbor record produced by [`CsrGraph::neighbors`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -36,34 +76,113 @@ pub struct CsrNeighbor {
     pub edge: EdgeId,
 }
 
+/// The pending mutations layered over the packed CSR arrays: overflow chains
+/// of appended half-edges plus a tombstone bitmap of deleted edges.
+///
+/// Readers never consult the overlay directly — [`CsrGraph::neighbors`] and
+/// the Dijkstra engine fold it in transparently — but its occupancy is
+/// observable ([`DeltaOverlay::pending_insertions`] /
+/// [`DeltaOverlay::pending_deletions`]) so long-running processes can reason
+/// about when the next consolidation ([`CsrGraph::compact`]) will happen.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaOverlay {
+    /// Per-source chain head into the slot arrays (most recent first).
+    head: Vec<u32>,
+    next: Vec<u32>,
+    target: Vec<u32>,
+    weight: Vec<f64>,
+    edge: Vec<u32>,
+    /// Tombstone bitmap over edge ids; a set bit marks a deleted edge. The
+    /// bitmap is never cleared — a deleted id stays dead forever — but the
+    /// *pending* counter below resets when a re-pack drops the dead
+    /// half-edges from the packed arrays.
+    tombstone: Vec<u64>,
+    /// Dead edges whose half-edges still linger in the packed arrays or in
+    /// the insertion chains; consolidated (reset to 0) by re-packing.
+    pending_deletions: usize,
+    /// Total edges ever deleted (the difference between allocated ids and
+    /// live edges).
+    dead_edges: usize,
+}
+
+impl DeltaOverlay {
+    fn new(num_vertices: usize) -> Self {
+        DeltaOverlay {
+            head: vec![NONE; num_vertices],
+            ..DeltaOverlay::default()
+        }
+    }
+
+    #[inline]
+    fn is_dead(&self, id: usize) -> bool {
+        self.tombstone
+            .get(id >> 6)
+            .is_some_and(|word| (word >> (id & 63)) & 1 == 1)
+    }
+
+    fn mark_dead(&mut self, id: usize) {
+        let word = id >> 6;
+        if word >= self.tombstone.len() {
+            self.tombstone.resize(word + 1, 0);
+        }
+        self.tombstone[word] |= 1 << (id & 63);
+        self.pending_deletions += 1;
+        self.dead_edges += 1;
+    }
+
+    /// Half-edges appended since the last re-pack, as whole edges.
+    pub fn pending_insertions(&self) -> usize {
+        self.target.len() / 2
+    }
+
+    /// Deleted edges whose half-edges still linger in the packed arrays or
+    /// the insertion chains (reset by the next re-pack).
+    pub fn pending_deletions(&self) -> usize {
+        self.pending_deletions
+    }
+}
+
 /// An undirected weighted graph in compressed-sparse-row form, incrementally
-/// appendable.
+/// appendable and deletable.
 ///
 /// Vertex ids are dense `0..n` and must fit in `u32`; every undirected edge
 /// is stored as two half-edges. Build one with [`CsrGraph::from`] a
 /// [`WeightedGraph`] (fully packed) or grow one from empty with
 /// [`CsrGraph::append_edge`] (the greedy-spanner pattern: the spanner under
-/// construction is queried after every append).
+/// construction is queried after every append). Long-running processes
+/// additionally delete edges with [`CsrGraph::remove_edge`]; see the
+/// [module docs](crate::csr) for the overlay/epoch model.
+///
+/// **Id-stability trade-off:** deleted edges keep their `edge_list` slot and
+/// tombstone bit forever so ids never shift, which means the *ground-truth*
+/// arrays (not the packed scan arrays — those drop dead half-edges at every
+/// re-pack) grow with the total number of edges ever appended, not with the
+/// live count. Under unbounded insert/delete churn, periodically rebuild a
+/// fresh graph from [`CsrGraph::live_edges`] (or via
+/// [`CsrGraph::to_weighted_graph`]) to re-densify ids and reclaim the dead
+/// slots.
 #[derive(Debug, Clone, Default)]
 pub struct CsrGraph {
     num_vertices: usize,
-    /// Ground truth: `(u, v, weight)` per edge, in append order. Used for
-    /// re-packing and for materializing a [`WeightedGraph`].
+    /// Ground truth: `(u, v, weight)` per edge, in append order — including
+    /// deleted edges, so ids stay stable. Used for re-packing and for
+    /// materializing a [`WeightedGraph`].
     edge_list: Vec<(u32, u32, f64)>,
-    /// Number of edges covered by the packed arrays (prefix of `edge_list`).
+    /// Number of edges covered by the packed arrays (prefix of `edge_list`;
+    /// deleted edges of the prefix are *omitted* from the arrays once a
+    /// re-pack has consolidated them).
     packed_edges: usize,
-    /// Packed CSR: half-edges of `edge_list[..packed_edges]`.
+    /// Packed CSR: live half-edges of `edge_list[..packed_edges]` (plus any
+    /// half-edges deleted since the last re-pack, skipped via the overlay's
+    /// tombstone bitmap).
     offsets: Vec<u32>,
     targets: Vec<u32>,
     weights: Vec<f64>,
     edge_ids: Vec<u32>,
-    /// Overflow: half-edges appended since the last re-pack, chained per
-    /// source vertex (most recent first).
-    extra_head: Vec<u32>,
-    extra_next: Vec<u32>,
-    extra_target: Vec<u32>,
-    extra_weight: Vec<f64>,
-    extra_edge: Vec<u32>,
+    /// Pending insertions and deletions since the last re-pack.
+    overlay: DeltaOverlay,
+    /// Monotonically increasing mutation counter; see [`CsrGraph::epoch`].
+    epoch: u64,
 }
 
 impl CsrGraph {
@@ -85,11 +204,8 @@ impl CsrGraph {
             targets: Vec::new(),
             weights: Vec::new(),
             edge_ids: Vec::new(),
-            extra_head: vec![NONE; num_vertices],
-            extra_next: Vec::new(),
-            extra_target: Vec::new(),
-            extra_weight: Vec::new(),
-            extra_edge: Vec::new(),
+            overlay: DeltaOverlay::new(num_vertices),
+            epoch: 0,
         }
     }
 
@@ -99,18 +215,82 @@ impl CsrGraph {
         self.num_vertices
     }
 
-    /// Number of (undirected) edges.
+    /// Number of live (undirected) edges — deleted edges are not counted.
     #[inline]
     pub fn num_edges(&self) -> usize {
+        self.edge_list.len() - self.overlay.dead_edges
+    }
+
+    /// Upper bound (exclusive) on edge ids ever allocated, including deleted
+    /// ones. `EdgeId(i)` with `i < edge_id_bound()` names a stored record;
+    /// check [`CsrGraph::is_edge_live`] before treating it as present.
+    #[inline]
+    pub fn edge_id_bound(&self) -> usize {
         self.edge_list.len()
     }
 
-    /// Returns `true` if the graph has no edges.
+    /// Returns `true` if the graph has no live edges.
     pub fn is_edgeless(&self) -> bool {
-        self.edge_list.is_empty()
+        self.num_edges() == 0
     }
 
-    /// Endpoints and weight of the edge with the given id.
+    /// The graph's epoch: a monotonically increasing counter bumped by every
+    /// logical mutation ([`CsrGraph::append_edge`] /
+    /// [`CsrGraph::remove_edge`]; re-packing is a representation change and
+    /// does **not** bump it). Long-lived readers stamp the epoch they were
+    /// built at and compare with [`CsrGraph::verify_epoch`].
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Checks a caller's epoch stamp against the current epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::StaleEpoch`] if the stamps differ — the
+    /// caller's view predates (or, for a corrupted stamp, postdates) some
+    /// mutation and must be refreshed before querying.
+    pub fn verify_epoch(&self, stamped: u64) -> Result<(), GraphError> {
+        if stamped == self.epoch {
+            Ok(())
+        } else {
+            Err(GraphError::StaleEpoch {
+                stamped,
+                current: self.epoch,
+            })
+        }
+    }
+
+    /// The pending-mutation overlay (observability only; scans fold it in
+    /// transparently).
+    pub fn overlay(&self) -> &DeltaOverlay {
+        &self.overlay
+    }
+
+    /// Returns `true` if deleted half-edges still linger in the packed
+    /// arrays or chains (i.e. scans must consult the tombstone bitmap).
+    #[inline]
+    pub fn has_pending_deletions(&self) -> bool {
+        self.overlay.pending_deletions > 0
+    }
+
+    /// Returns `true` if the id names a live (never-deleted, in-range) edge.
+    #[inline]
+    pub fn is_edge_live(&self, id: EdgeId) -> bool {
+        id.index() < self.edge_list.len() && !self.overlay.is_dead(id.index())
+    }
+
+    /// Raw liveness check by packed edge-id word — the Dijkstra engine's
+    /// inner-loop form of [`CsrGraph::is_edge_live`].
+    #[inline]
+    pub fn is_edge_id_live(&self, id: u32) -> bool {
+        !self.overlay.is_dead(id as usize)
+    }
+
+    /// Endpoints and weight of the edge with the given id. The record is
+    /// returned even for deleted ids (the ground-truth slot is kept so ids
+    /// stay stable); check [`CsrGraph::is_edge_live`] for liveness.
     ///
     /// # Panics
     ///
@@ -120,23 +300,34 @@ impl CsrGraph {
         (VertexId(u as usize), VertexId(v as usize), w)
     }
 
-    /// Total weight of all edges.
-    pub fn total_weight(&self) -> f64 {
-        self.edge_list.iter().map(|&(_, _, w)| w).sum()
+    /// Iterates over the live edges as `(id, u, v, weight)` in append order.
+    pub fn live_edges(&self) -> impl Iterator<Item = (EdgeId, VertexId, VertexId, f64)> + '_ {
+        self.edge_list
+            .iter()
+            .enumerate()
+            .filter(|&(id, _)| !self.overlay.is_dead(id))
+            .map(|(id, &(u, v, w))| (EdgeId(id), VertexId(u as usize), VertexId(v as usize), w))
     }
 
-    /// Returns `true` if every half-edge lives in the packed arrays (no
-    /// overflow chains).
+    /// Total weight of all live edges.
+    pub fn total_weight(&self) -> f64 {
+        self.live_edges().map(|(_, _, _, w)| w).sum()
+    }
+
+    /// Returns `true` if the overlay is empty: every live half-edge lives in
+    /// the packed arrays (no overflow chains, no lingering tombstoned
+    /// half-edges).
     pub fn is_compact(&self) -> bool {
-        self.packed_edges == self.edge_list.len()
+        self.packed_edges == self.edge_list.len() && self.overlay.pending_deletions == 0
     }
 
     /// Appends an undirected edge and returns its id.
     ///
-    /// The new half-edges land in the overflow chains; once the overflow
-    /// grows past a constant fraction of the packed region the graph re-packs
-    /// itself, so a growing spanner stays cache-friendly without the caller
-    /// ever re-building.
+    /// The new half-edges land in the overlay's overflow chains; once the
+    /// overlay grows past a constant fraction of the packed region (see
+    /// [`REPACK_OVERFLOW_DIVISOR`]) the graph re-packs itself, so a growing
+    /// spanner stays cache-friendly without the caller ever re-building.
+    /// Bumps the epoch.
     ///
     /// # Panics
     ///
@@ -155,7 +346,7 @@ impl CsrGraph {
     /// (`NaN` / `±inf`) are rejected with [`GraphError::InvalidWeight`]
     /// *before* they can enter the structure: a single `NaN` weight breaks
     /// the greedy construction's sort order and every Dijkstra invariant
-    /// downstream, so it must never be representable.
+    /// downstream, so it must never be representable. Bumps the epoch.
     ///
     /// # Errors
     ///
@@ -190,41 +381,106 @@ impl CsrGraph {
         );
         self.edge_list.push((ui as u32, vi as u32, weight));
         for (a, b) in [(ui, vi), (vi, ui)] {
-            let slot = self.extra_target.len() as u32;
-            self.extra_target.push(b as u32);
-            self.extra_weight.push(weight);
-            self.extra_edge.push(id as u32);
-            self.extra_next.push(self.extra_head[a]);
-            self.extra_head[a] = slot;
+            let slot = self.overlay.target.len() as u32;
+            self.overlay.target.push(b as u32);
+            self.overlay.weight.push(weight);
+            self.overlay.edge.push(id as u32);
+            self.overlay.next.push(self.overlay.head[a]);
+            self.overlay.head[a] = slot;
         }
-        // Amortized re-pack: overflow bounded by a small fraction of the
-        // packed region (plus a constant), so re-packs are geometrically
-        // spaced while neighbor scans stay almost entirely packed. The
-        // fraction is deliberately aggressive — a re-pack is `O(n + m)` while
-        // the queries between re-packs are `O(m)` heap operations each, so
-        // re-packing is never the bottleneck but chain-walking can be.
-        if self.extra_target.len() >= self.targets.len() / 8 + 32 {
-            self.compact();
-        }
+        self.epoch += 1;
+        self.maybe_compact();
         Ok(EdgeId(id))
     }
 
-    /// Re-packs every half-edge into the flat CSR arrays (`O(n + m)`),
-    /// emptying the overflow chains. Called automatically by
-    /// [`CsrGraph::append_edge`]; exposed for callers that want a fully
-    /// packed view before a query burst.
+    /// Deletes the edge with the given id: its tombstone bit is set, every
+    /// scan skips it from now on, and the next re-pack drops its half-edges
+    /// physically. The id stays allocated (never reused) so other ids remain
+    /// stable. Bumps the epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownEdge`] if the id is out of range or the
+    /// edge was already deleted; the graph is unchanged in that case.
+    pub fn remove_edge(&mut self, id: EdgeId) -> Result<(), GraphError> {
+        if !self.is_edge_live(id) {
+            return Err(GraphError::UnknownEdge { edge: id.index() });
+        }
+        self.overlay.mark_dead(id.index());
+        self.epoch += 1;
+        self.maybe_compact();
+        Ok(())
+    }
+
+    /// The lowest live edge id connecting `u` and `v`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn find_edge(&self, u: VertexId, v: VertexId) -> Option<EdgeId> {
+        self.neighbors(u)
+            .filter(|nb| nb.to == v)
+            .map(|nb| nb.edge)
+            .min()
+    }
+
+    /// Deletes the lowest live edge id connecting `u` and `v` and returns
+    /// it. Bumps the epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::VertexOutOfRange`] for a bad endpoint and
+    /// [`GraphError::NoEdgeBetween`] when no live edge connects the pair.
+    pub fn remove_edge_between(&mut self, u: VertexId, v: VertexId) -> Result<EdgeId, GraphError> {
+        for endpoint in [u.index(), v.index()] {
+            if endpoint >= self.num_vertices {
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: endpoint,
+                    num_vertices: self.num_vertices,
+                });
+            }
+        }
+        let id = self.find_edge(u, v).ok_or(GraphError::NoEdgeBetween {
+            u: u.index(),
+            v: v.index(),
+        })?;
+        self.remove_edge(id)?;
+        Ok(id)
+    }
+
+    /// Runs the re-pack trigger shared by appends and removals: the overlay
+    /// (overflow half-edges plus lingering dead half-edges) is bounded by a
+    /// constant fraction of the packed region plus a constant — see
+    /// [`REPACK_OVERFLOW_DIVISOR`] / [`REPACK_OVERFLOW_SLACK`].
+    fn maybe_compact(&mut self) {
+        let pending = self.overlay.target.len() + 2 * self.overlay.pending_deletions;
+        if pending >= self.targets.len() / REPACK_OVERFLOW_DIVISOR + REPACK_OVERFLOW_SLACK {
+            self.compact();
+        }
+    }
+
+    /// Re-packs every live half-edge into the flat CSR arrays (`O(n + m)`),
+    /// consolidating the overlay: overflow chains fold into the packed
+    /// arrays and tombstoned half-edges are dropped. Called automatically by
+    /// [`CsrGraph::append_edge`] / [`CsrGraph::remove_edge`]; exposed for
+    /// callers that want a fully packed view before a query burst. Does
+    /// **not** bump the epoch (a re-pack changes the representation, never
+    /// an answer).
     pub fn compact(&mut self) {
         if self.is_compact() {
             return;
         }
         let n = self.num_vertices;
         let m = self.edge_list.len();
-        let half = 2 * m;
-        // Counting sort of half-edges by source vertex.
+        let half = 2 * (m - self.overlay.dead_edges);
+        // Counting sort of live half-edges by source vertex.
         let mut counts = std::mem::take(&mut self.offsets);
         counts.clear();
         counts.resize(n + 1, 0);
-        for &(u, v, _) in &self.edge_list {
+        for (id, &(u, v, _)) in self.edge_list.iter().enumerate() {
+            if self.overlay.is_dead(id) {
+                continue;
+            }
             counts[u as usize + 1] += 1;
             counts[v as usize + 1] += 1;
         }
@@ -236,6 +492,9 @@ impl CsrGraph {
         let mut weights = vec![0.0f64; half];
         let mut edge_ids = vec![0u32; half];
         for (id, &(u, v, w)) in self.edge_list.iter().enumerate() {
+            if self.overlay.is_dead(id) {
+                continue;
+            }
             for (a, b) in [(u, v), (v, u)] {
                 let slot = cursor[a as usize] as usize;
                 cursor[a as usize] += 1;
@@ -249,16 +508,18 @@ impl CsrGraph {
         self.weights = weights;
         self.edge_ids = edge_ids;
         self.packed_edges = m;
-        self.extra_head.clear();
-        self.extra_head.resize(n, NONE);
-        self.extra_next.clear();
-        self.extra_target.clear();
-        self.extra_weight.clear();
-        self.extra_edge.clear();
+        self.overlay.head.clear();
+        self.overlay.head.resize(n, NONE);
+        self.overlay.next.clear();
+        self.overlay.target.clear();
+        self.overlay.weight.clear();
+        self.overlay.edge.clear();
+        self.overlay.pending_deletions = 0;
     }
 
-    /// Iterates over the neighbors of `u` as [`CsrNeighbor`] records: first
-    /// the packed half-edges (contiguous), then any overflow appends.
+    /// Iterates over the live neighbors of `u` as [`CsrNeighbor`] records:
+    /// first the packed half-edges (contiguous), then any overflow appends.
+    /// Half-edges of deleted edges are skipped.
     ///
     /// # Panics
     ///
@@ -271,11 +532,11 @@ impl CsrGraph {
             graph: self,
             pos: self.offsets[ui] as usize,
             end: self.offsets[ui + 1] as usize,
-            chain: self.extra_head[ui],
+            chain: self.overlay.head[ui],
         }
     }
 
-    /// Degree of `u` (number of incident half-edges).
+    /// Degree of `u` (number of live incident half-edges).
     pub fn degree(&self, u: VertexId) -> usize {
         self.neighbors(u).count()
     }
@@ -283,7 +544,10 @@ impl CsrGraph {
     /// The packed portion of `u`'s neighbors as parallel `(targets, weights)`
     /// slices — the zero-overhead view the Dijkstra engine's inner loop
     /// iterates. Half-edges appended since the last re-pack are *not*
-    /// included; follow up with [`CsrGraph::overflow_neighbors`].
+    /// included (follow up with [`CsrGraph::overflow_neighbors`]), and
+    /// half-edges *deleted* since the last re-pack **are** still included —
+    /// when [`CsrGraph::has_pending_deletions`] reports `true`, filter with
+    /// [`CsrGraph::packed_neighbor_ids`] + [`CsrGraph::is_edge_id_live`].
     ///
     /// # Panics
     ///
@@ -295,9 +559,23 @@ impl CsrGraph {
         (&self.targets[a..b], &self.weights[a..b])
     }
 
-    /// The overflow portion of `u`'s neighbors (half-edges appended since the
-    /// last re-pack) as `(target, weight)` pairs. Usually empty or very
-    /// short — see [`CsrGraph::append_edge`].
+    /// The edge ids parallel to [`CsrGraph::packed_neighbors`], for
+    /// tombstone filtering when deletions are pending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[inline]
+    pub fn packed_neighbor_ids(&self, u: VertexId) -> &[u32] {
+        let ui = u.index();
+        let (a, b) = (self.offsets[ui] as usize, self.offsets[ui + 1] as usize);
+        &self.edge_ids[a..b]
+    }
+
+    /// The overflow portion of `u`'s live neighbors (half-edges appended
+    /// since the last re-pack, minus any deleted since) as
+    /// `(target, weight)` pairs. Usually empty or very short — see
+    /// [`CsrGraph::append_edge`].
     ///
     /// # Panics
     ///
@@ -306,36 +584,41 @@ impl CsrGraph {
     pub fn overflow_neighbors(&self, u: VertexId) -> OverflowNeighbors<'_> {
         OverflowNeighbors {
             graph: self,
-            chain: self.extra_head[u.index()],
+            chain: self.overlay.head[u.index()],
         }
     }
 
     /// A read-only snapshot view of this graph, frozen for a parallel query
-    /// phase (see [`crate::parallel::EnginePool::map_batch`]).
+    /// phase (see [`crate::parallel::EnginePool::map_batch`]) and stamped
+    /// with the epoch it froze at ([`CsrSnapshot::epoch`]).
     ///
     /// The snapshot is just a shared borrow — `CsrGraph` has no interior
     /// mutability, so the view is `Sync` and workers on other threads can
-    /// query it concurrently. The borrow also *prevents* appends for the
+    /// query it concurrently. The borrow also *prevents* mutations for the
     /// snapshot's lifetime, which is exactly the freeze the deterministic
     /// filter-then-commit loop relies on.
     pub fn snapshot(&self) -> CsrSnapshot<'_> {
-        CsrSnapshot { graph: self }
+        CsrSnapshot {
+            graph: self,
+            epoch: self.epoch,
+        }
     }
 
-    /// Materializes this CSR graph as a [`WeightedGraph`] with the same edge
-    /// ids (append order is preserved).
+    /// Materializes the live edges of this CSR graph as a [`WeightedGraph`].
+    /// When no edge was ever deleted, edge ids coincide (append order is
+    /// preserved); after deletions the ids re-densify, skipping dead slots.
     pub fn to_weighted_graph(&self) -> WeightedGraph {
         let mut g = WeightedGraph::new(self.num_vertices);
-        for &(u, v, w) in &self.edge_list {
-            g.add_edge(VertexId(u as usize), VertexId(v as usize), w);
+        for (_, u, v, w) in self.live_edges() {
+            g.add_edge(u, v, w);
         }
         g
     }
 }
 
 impl From<&WeightedGraph> for CsrGraph {
-    /// Builds a fully packed CSR view of `graph`. Edge ids coincide with the
-    /// source graph's [`EdgeId`]s.
+    /// Builds a fully packed CSR view of `graph` at epoch 0. Edge ids
+    /// coincide with the source graph's [`EdgeId`]s.
     fn from(graph: &WeightedGraph) -> Self {
         let mut csr = CsrGraph::new(graph.num_vertices());
         csr.edge_list.reserve(graph.num_edges());
@@ -353,21 +636,30 @@ impl From<&WeightedGraph> for CsrGraph {
 }
 
 /// A read-only, `Sync` view of a [`CsrGraph`] frozen for a parallel query
-/// phase; produced by [`CsrGraph::snapshot`].
+/// phase; produced by [`CsrGraph::snapshot`] and stamped with the epoch it
+/// froze at.
 ///
 /// Dereferences to the underlying graph, so every query API works on it
 /// unchanged. Holding a snapshot borrows the graph shared, which statically
-/// rules out concurrent [`CsrGraph::append_edge`] calls — the compiler
-/// enforces the filter-phase freeze.
+/// rules out concurrent mutation — the compiler enforces the filter-phase
+/// freeze. The epoch stamp lets batch executors cross-check a caller's
+/// expected epoch ([`crate::parallel::EnginePool::try_map_batch`]) and
+/// refuse stale views with [`GraphError::StaleEpoch`].
 #[derive(Debug, Clone, Copy)]
 pub struct CsrSnapshot<'a> {
     graph: &'a CsrGraph,
+    epoch: u64,
 }
 
 impl<'a> CsrSnapshot<'a> {
     /// The frozen graph.
     pub fn graph(&self) -> &'a CsrGraph {
         self.graph
+    }
+
+    /// The epoch the graph was at when this snapshot froze it.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 }
 
@@ -385,7 +677,7 @@ const _: fn() = || {
     assert_sync::<CsrSnapshot<'static>>();
 };
 
-/// Iterator over the overflow half-edges of one vertex; see
+/// Iterator over the live overflow half-edges of one vertex; see
 /// [`CsrGraph::overflow_neighbors`].
 #[derive(Debug, Clone)]
 pub struct OverflowNeighbors<'a> {
@@ -398,16 +690,24 @@ impl Iterator for OverflowNeighbors<'_> {
 
     #[inline]
     fn next(&mut self) -> Option<(u32, f64)> {
-        if self.chain == NONE {
-            return None;
+        while self.chain != NONE {
+            let i = self.chain as usize;
+            self.chain = self.graph.overlay.next[i];
+            if self
+                .graph
+                .overlay
+                .is_dead(self.graph.overlay.edge[i] as usize)
+            {
+                continue;
+            }
+            return Some((self.graph.overlay.target[i], self.graph.overlay.weight[i]));
         }
-        let i = self.chain as usize;
-        self.chain = self.graph.extra_next[i];
-        Some((self.graph.extra_target[i], self.graph.extra_weight[i]))
+        None
     }
 }
 
-/// Iterator over the neighbors of one vertex; see [`CsrGraph::neighbors`].
+/// Iterator over the live neighbors of one vertex; see
+/// [`CsrGraph::neighbors`].
 #[derive(Debug, Clone)]
 pub struct Neighbors<'a> {
     graph: &'a CsrGraph,
@@ -421,22 +721,30 @@ impl Iterator for Neighbors<'_> {
 
     #[inline]
     fn next(&mut self) -> Option<CsrNeighbor> {
-        if self.pos < self.end {
+        while self.pos < self.end {
             let i = self.pos;
             self.pos += 1;
+            let id = self.graph.edge_ids[i] as usize;
+            if self.graph.overlay.is_dead(id) {
+                continue;
+            }
             return Some(CsrNeighbor {
                 to: VertexId(self.graph.targets[i] as usize),
                 weight: self.graph.weights[i],
-                edge: EdgeId(self.graph.edge_ids[i] as usize),
+                edge: EdgeId(id),
             });
         }
-        if self.chain != NONE {
+        while self.chain != NONE {
             let i = self.chain as usize;
-            self.chain = self.graph.extra_next[i];
+            self.chain = self.graph.overlay.next[i];
+            let id = self.graph.overlay.edge[i] as usize;
+            if self.graph.overlay.is_dead(id) {
+                continue;
+            }
             return Some(CsrNeighbor {
-                to: VertexId(self.graph.extra_target[i] as usize),
-                weight: self.graph.extra_weight[i],
-                edge: EdgeId(self.graph.extra_edge[i] as usize),
+                to: VertexId(self.graph.overlay.target[i] as usize),
+                weight: self.graph.overlay.weight[i],
+                edge: EdgeId(id),
             });
         }
         None
@@ -469,6 +777,7 @@ mod tests {
         assert!(csr.is_compact());
         assert_eq!(csr.num_vertices(), 4);
         assert_eq!(csr.num_edges(), 4);
+        assert_eq!(csr.epoch(), 0, "a freshly built view starts at epoch 0");
         for u in 0..4 {
             let mut expected: Vec<_> = g
                 .neighbors(VertexId(u))
@@ -491,8 +800,10 @@ mod tests {
         }
         // Overflow path must already answer correctly…
         let before: Vec<_> = (0..4).map(|u| sorted_neighbors(&csr, u)).collect();
+        let epoch_before = csr.epoch();
         csr.compact();
         assert!(csr.is_compact());
+        assert_eq!(csr.epoch(), epoch_before, "re-packing never bumps epochs");
         // …and compaction must not change anything.
         for (u, b) in before.iter().enumerate() {
             assert_eq!(&sorted_neighbors(&csr, u), b);
@@ -519,6 +830,7 @@ mod tests {
             }
         }
         assert_eq!(csr.num_edges(), reference.num_edges());
+        assert_eq!(csr.epoch(), reference.num_edges() as u64);
         for u in 0..n {
             let mut expected: Vec<_> = reference
                 .neighbors(VertexId(u))
@@ -528,6 +840,88 @@ mod tests {
             expected.sort_unstable();
             assert_eq!(sorted_neighbors(&csr, u), expected, "vertex {u}");
         }
+    }
+
+    /// The documented re-pack trigger in action: force repeated
+    /// append/delete/re-pack cycles and assert the packed arrays, the
+    /// overlay, and the reference adjacency stay consistent throughout.
+    #[test]
+    fn repeated_repack_cycles_keep_packed_arrays_consistent_with_overlay() {
+        let n = 24usize;
+        let mut csr = CsrGraph::new(n);
+        let mut live: Vec<(usize, usize, f64, usize)> = Vec::new(); // (u, v, w, id)
+        let mut compactions_observed = 0usize;
+        let mut was_compact = csr.is_compact();
+        let mut next = 0usize;
+        for round in 0..400 {
+            if round % 5 == 4 && !live.is_empty() {
+                // Delete a pseudo-random live edge.
+                let pick = (round * 7) % live.len();
+                let (_, _, _, id) = live.swap_remove(pick);
+                csr.remove_edge(EdgeId(id)).unwrap();
+            } else {
+                let u = next % n;
+                let v = (next / n + u + 1) % n;
+                next += 1;
+                if u == v {
+                    continue;
+                }
+                let w = 1.0 + (round % 9) as f64;
+                let id = csr.append_edge(VertexId(u), VertexId(v), w);
+                live.push((u, v, w, id.index()));
+            }
+            // Observe re-packs via the is_compact transition.
+            let compact_now = csr.is_compact();
+            if compact_now && !was_compact {
+                compactions_observed += 1;
+            }
+            was_compact = compact_now;
+            // The trigger bound must hold after every mutation: the overlay
+            // stays below the documented fraction of the packed region
+            // (packed half-edges = 2 · (live − pending inserts + pending
+            // deletes), since the packed arrays reflect the last re-pack).
+            let (pi, pd) = (
+                csr.overlay().pending_insertions(),
+                csr.overlay().pending_deletions(),
+            );
+            let packed_half = 2 * (csr.num_edges() + pd - pi);
+            assert!(
+                2 * pi + 2 * pd < packed_half / REPACK_OVERFLOW_DIVISOR + REPACK_OVERFLOW_SLACK + 2,
+                "round {round}: overlay {} outgrew the documented trigger",
+                2 * pi + 2 * pd
+            );
+            // Full adjacency equivalence every few rounds (packed + overlay
+            // vs. the live reference list).
+            if round % 7 == 0 {
+                assert_eq!(csr.num_edges(), live.len());
+                for u in 0..n {
+                    let mut expected: Vec<(usize, u64, usize)> = live
+                        .iter()
+                        .flat_map(|&(a, b, w, id)| {
+                            let mut h = Vec::new();
+                            if a == u {
+                                h.push((b, w.to_bits(), id));
+                            }
+                            if b == u {
+                                h.push((a, w.to_bits(), id));
+                            }
+                            h
+                        })
+                        .collect();
+                    expected.sort_unstable();
+                    assert_eq!(
+                        sorted_neighbors(&csr, u),
+                        expected,
+                        "round {round} vertex {u}"
+                    );
+                }
+            }
+        }
+        assert!(
+            compactions_observed >= 3,
+            "the cycle must cross the re-pack threshold repeatedly \
+             (observed {compactions_observed})"
+        );
     }
 
     #[test]
@@ -541,6 +935,107 @@ mod tests {
         assert_eq!(csr.degree(VertexId(1)), 1);
         assert!(!csr.is_edgeless());
         assert!(CsrGraph::new(2).is_edgeless());
+    }
+
+    #[test]
+    fn remove_edge_tombstones_and_consolidates() {
+        let g = diamond();
+        let mut csr = CsrGraph::from(&g);
+        assert_eq!(csr.epoch(), 0);
+        // Delete the heavy (0, 2) edge: id 2 in from_edges order.
+        csr.remove_edge(EdgeId(2)).unwrap();
+        assert_eq!(csr.epoch(), 1);
+        assert_eq!(csr.num_edges(), 3);
+        assert!(!csr.is_edge_live(EdgeId(2)));
+        assert!(csr.is_edge_live(EdgeId(0)));
+        assert_eq!(csr.edge_id_bound(), 4, "dead ids stay allocated");
+        assert!(csr.has_pending_deletions());
+        assert!(sorted_neighbors(&csr, 0).iter().all(|&(to, _, _)| to != 2));
+        assert_eq!(csr.degree(VertexId(0)), 1);
+        assert!((csr.total_weight() - 4.0).abs() < 1e-12);
+        // Double delete and out-of-range ids are typed errors.
+        assert_eq!(
+            csr.remove_edge(EdgeId(2)),
+            Err(GraphError::UnknownEdge { edge: 2 })
+        );
+        assert_eq!(
+            csr.remove_edge(EdgeId(99)),
+            Err(GraphError::UnknownEdge { edge: 99 })
+        );
+        // Consolidation drops the dead half-edges physically; answers are
+        // unchanged and the live edges survive a round trip.
+        let before: Vec<_> = (0..4).map(|u| sorted_neighbors(&csr, u)).collect();
+        csr.compact();
+        assert!(!csr.has_pending_deletions());
+        assert!(csr.is_compact());
+        for (u, b) in before.iter().enumerate() {
+            assert_eq!(&sorted_neighbors(&csr, u), b);
+        }
+        let back = csr.to_weighted_graph();
+        assert_eq!(back.num_edges(), 3);
+        assert!(!back.has_edge(VertexId(0), VertexId(2)));
+    }
+
+    #[test]
+    fn remove_edge_between_picks_the_lowest_live_id() {
+        let mut csr = CsrGraph::new(3);
+        csr.append_edge(VertexId(0), VertexId(1), 1.0); // id 0
+        csr.append_edge(VertexId(0), VertexId(1), 2.0); // id 1 (parallel)
+        assert_eq!(csr.find_edge(VertexId(0), VertexId(1)), Some(EdgeId(0)));
+        assert_eq!(
+            csr.remove_edge_between(VertexId(0), VertexId(1)).unwrap(),
+            EdgeId(0)
+        );
+        assert_eq!(csr.find_edge(VertexId(0), VertexId(1)), Some(EdgeId(1)));
+        assert_eq!(
+            csr.remove_edge_between(VertexId(0), VertexId(1)).unwrap(),
+            EdgeId(1)
+        );
+        assert!(matches!(
+            csr.remove_edge_between(VertexId(0), VertexId(1)),
+            Err(GraphError::NoEdgeBetween { u: 0, v: 1 })
+        ));
+        assert!(matches!(
+            csr.remove_edge_between(VertexId(0), VertexId(9)),
+            Err(GraphError::VertexOutOfRange { .. })
+        ));
+        assert_eq!(csr.find_edge(VertexId(0), VertexId(2)), None);
+    }
+
+    #[test]
+    fn epochs_advance_per_mutation_and_stale_stamps_are_typed_errors() {
+        let mut csr = CsrGraph::new(3);
+        let stamp = csr.epoch();
+        assert!(csr.verify_epoch(stamp).is_ok());
+        let snap_epoch = csr.snapshot().epoch();
+        assert_eq!(snap_epoch, 0);
+        csr.append_edge(VertexId(0), VertexId(1), 1.0);
+        csr.append_edge(VertexId(1), VertexId(2), 1.0);
+        assert_eq!(csr.epoch(), 2);
+        assert_eq!(
+            csr.verify_epoch(stamp),
+            Err(GraphError::StaleEpoch {
+                stamped: 0,
+                current: 2
+            })
+        );
+        csr.remove_edge(EdgeId(0)).unwrap();
+        assert_eq!(csr.epoch(), 3);
+        assert_eq!(csr.snapshot().epoch(), 3);
+        // Rejected mutations leave the epoch untouched.
+        assert!(csr.try_append_edge(VertexId(0), VertexId(0), 1.0).is_err());
+        assert!(csr.remove_edge(EdgeId(0)).is_err());
+        assert_eq!(csr.epoch(), 3);
+    }
+
+    #[test]
+    fn live_edges_skips_dead_slots() {
+        let g = diamond();
+        let mut csr = CsrGraph::from(&g);
+        csr.remove_edge(EdgeId(1)).unwrap();
+        let ids: Vec<usize> = csr.live_edges().map(|(id, _, _, _)| id.index()).collect();
+        assert_eq!(ids, vec![0, 2, 3]);
+        assert_eq!(csr.live_edges().count(), csr.num_edges());
     }
 
     #[test]

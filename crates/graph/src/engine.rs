@@ -294,6 +294,9 @@ impl DijkstraEngine {
             assert!(t.index() < n, "target vertex out of range");
         }
         let target = target.map(|t| t.index() as u32);
+        // Tombstoned half-edges linger in the packed arrays until the next
+        // re-pack; only then does the scan pay for the liveness check.
+        let pending_deletions = graph.has_pending_deletions();
         let grew = self.begin_query(n);
         let heap_capacity = self.heap.capacity();
         let gen = self.generation;
@@ -316,12 +319,24 @@ impl DijkstraEngine {
             if Some(u) == target {
                 break;
             }
-            // Packed half-edges: two parallel slices, no per-neighbor branch.
+            // Packed half-edges: two parallel slices, no per-neighbor branch
+            // on the deletion-free fast path.
             let (targets, weights) = graph.packed_neighbors(VertexId(u as usize));
-            for i in 0..targets.len() {
-                self.relax::<TRACK_PARENTS>(u, targets[i] as usize, weights[i], d, gen, bound);
+            if pending_deletions {
+                let ids = graph.packed_neighbor_ids(VertexId(u as usize));
+                for i in 0..targets.len() {
+                    if !graph.is_edge_id_live(ids[i]) {
+                        continue;
+                    }
+                    self.relax::<TRACK_PARENTS>(u, targets[i] as usize, weights[i], d, gen, bound);
+                }
+            } else {
+                for i in 0..targets.len() {
+                    self.relax::<TRACK_PARENTS>(u, targets[i] as usize, weights[i], d, gen, bound);
+                }
             }
-            // Overflow half-edges appended since the last re-pack (short).
+            // Live overflow half-edges appended since the last re-pack
+            // (short; the iterator itself skips tombstoned entries).
             for (v, w) in graph.overflow_neighbors(VertexId(u as usize)) {
                 self.relax::<TRACK_PARENTS>(u, v as usize, w, d, gen, bound);
             }
@@ -406,6 +421,53 @@ impl DijkstraEngine {
         assert!(radius >= 0.0, "ball radius must be non-negative");
         self.run::<false>(graph, source, None, radius, true);
         &self.ball_buf
+    }
+
+    /// Epoch-checked [`DijkstraEngine::bounded_distance`]: the caller passes
+    /// the epoch its view of `graph` was stamped at
+    /// ([`CsrGraph::epoch`]), and the engine **refuses to answer against a
+    /// mutated graph** — a stale stamp is a typed error, never a silent
+    /// answer computed over data the caller has not seen.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::GraphError::StaleEpoch`] when `stamped` differs from
+    /// the graph's current epoch. The workspace is untouched in that case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either vertex is out of range.
+    pub fn checked_bounded_distance(
+        &mut self,
+        graph: &CsrGraph,
+        stamped: u64,
+        source: VertexId,
+        target: VertexId,
+        bound: f64,
+    ) -> Result<Option<f64>, crate::GraphError> {
+        graph.verify_epoch(stamped)?;
+        Ok(self.bounded_distance(graph, source, target, bound))
+    }
+
+    /// Epoch-checked [`DijkstraEngine::shortest_path_tree`]; see
+    /// [`DijkstraEngine::checked_bounded_distance`] for the contract.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::GraphError::StaleEpoch`] when `stamped` differs from
+    /// the graph's current epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range.
+    pub fn checked_shortest_path_tree<'a>(
+        &'a mut self,
+        graph: &CsrGraph,
+        stamped: u64,
+        source: VertexId,
+    ) -> Result<EngineTree<'a>, crate::GraphError> {
+        graph.verify_epoch(stamped)?;
+        Ok(self.shortest_path_tree(graph, source))
     }
 }
 
@@ -874,6 +936,106 @@ mod tests {
         assert_eq!(owned.k_nearest(0), vec![]);
         assert_eq!(owned.k_nearest(100), all);
         assert_eq!(owned.k_nearest(1), vec![(VertexId(0), 0.0)]);
+    }
+
+    #[test]
+    fn deletions_are_invisible_to_queries_before_and_after_repack() {
+        // Delete edges from a CSR graph and compare every query against a
+        // fresh build of the surviving edges — with the tombstones pending
+        // (lingering in the packed arrays) and again after consolidation.
+        let mut rng = SmallRng::seed_from_u64(7);
+        let n = 18;
+        let mut edges: Vec<(usize, usize, f64)> = Vec::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if rng.gen_bool(0.35) {
+                    edges.push((u, v, rng.gen_range(0.5..4.0)));
+                }
+            }
+        }
+        let g = WeightedGraph::from_edges(n, edges.iter().copied()).unwrap();
+        let mut csr = CsrGraph::from(&g);
+        let mut engine = DijkstraEngine::new();
+        // Delete every third edge.
+        let mut survivors = Vec::new();
+        for (i, &e) in edges.iter().enumerate() {
+            if i % 3 == 0 {
+                csr.remove_edge(crate::graph::EdgeId(i)).unwrap();
+            } else {
+                survivors.push(e);
+            }
+        }
+        let reference_graph = WeightedGraph::from_edges(n, survivors).unwrap();
+        let reference_csr = CsrGraph::from(&reference_graph);
+        let mut reference_engine = DijkstraEngine::new();
+        for phase in 0..2 {
+            if phase == 1 {
+                csr.compact();
+                assert!(!csr.has_pending_deletions());
+            } else {
+                assert!(csr.has_pending_deletions());
+            }
+            for s in 0..n {
+                for t in 0..n {
+                    assert_eq!(
+                        engine.bounded_distance(&csr, VertexId(s), VertexId(t), 10.0),
+                        reference_engine.bounded_distance(
+                            &reference_csr,
+                            VertexId(s),
+                            VertexId(t),
+                            10.0
+                        ),
+                        "phase {phase}: {s} -> {t}"
+                    );
+                }
+                let ball: Vec<_> = engine.ball(&csr, VertexId(s), 5.0).to_vec();
+                assert_eq!(
+                    ball,
+                    reference_engine.ball(&reference_csr, VertexId(s), 5.0),
+                    "phase {phase}: ball from {s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn checked_queries_refuse_stale_epochs() {
+        let g = diamond();
+        let mut csr = CsrGraph::from(&g);
+        let mut e = DijkstraEngine::new();
+        let stamp = csr.epoch();
+        assert_eq!(
+            e.checked_bounded_distance(&csr, stamp, VertexId(0), VertexId(3), 10.0)
+                .unwrap(),
+            Some(4.0)
+        );
+        assert!(e
+            .checked_shortest_path_tree(&csr, stamp, VertexId(0))
+            .is_ok());
+        let queries_before = e.stats().queries;
+        csr.append_edge(VertexId(0), VertexId(3), 0.5);
+        assert_eq!(
+            e.checked_bounded_distance(&csr, stamp, VertexId(0), VertexId(3), 10.0),
+            Err(crate::GraphError::StaleEpoch {
+                stamped: stamp,
+                current: stamp + 1
+            })
+        );
+        assert!(matches!(
+            e.checked_shortest_path_tree(&csr, stamp, VertexId(0)),
+            Err(crate::GraphError::StaleEpoch { .. })
+        ));
+        assert_eq!(
+            e.stats().queries,
+            queries_before,
+            "refused queries never touch the workspace"
+        );
+        // A refreshed stamp answers against the mutated graph.
+        assert_eq!(
+            e.checked_bounded_distance(&csr, csr.epoch(), VertexId(0), VertexId(3), 10.0)
+                .unwrap(),
+            Some(0.5)
+        );
     }
 
     #[test]

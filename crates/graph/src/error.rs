@@ -34,6 +34,27 @@ pub enum GraphError {
     },
     /// The graph was empty where at least one vertex was required.
     EmptyGraph,
+    /// An edge id did not name a live edge (out of range, or deleted).
+    UnknownEdge {
+        /// The offending edge id.
+        edge: usize,
+    },
+    /// No live edge connects the named pair of vertices.
+    NoEdgeBetween {
+        /// One endpoint index.
+        u: usize,
+        /// The other endpoint index.
+        v: usize,
+    },
+    /// A query arrived with an epoch stamp older than the graph's current
+    /// epoch — the caller's view of the graph is stale and answering it
+    /// would silently return data from before a mutation.
+    StaleEpoch {
+        /// The epoch the caller's handle or snapshot was stamped with.
+        stamped: u64,
+        /// The graph's current epoch.
+        current: u64,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -57,6 +78,16 @@ impl fmt::Display for GraphError {
                 write!(f, "no path between vertices {source} and {target}")
             }
             GraphError::EmptyGraph => write!(f, "graph has no vertices"),
+            GraphError::UnknownEdge { edge } => {
+                write!(f, "edge id {edge} does not name a live edge")
+            }
+            GraphError::NoEdgeBetween { u, v } => {
+                write!(f, "no live edge between vertices {u} and {v}")
+            }
+            GraphError::StaleEpoch { stamped, current } => write!(
+                f,
+                "stale epoch: caller stamped {stamped} but the graph is at {current}"
+            ),
         }
     }
 }
@@ -82,6 +113,12 @@ mod tests {
                 target: 5,
             },
             GraphError::EmptyGraph,
+            GraphError::UnknownEdge { edge: 4 },
+            GraphError::NoEdgeBetween { u: 1, v: 2 },
+            GraphError::StaleEpoch {
+                stamped: 1,
+                current: 3,
+            },
         ];
         for e in errors {
             let s = e.to_string();

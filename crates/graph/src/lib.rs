@@ -6,9 +6,14 @@
 //! * [`WeightedGraph`] — an undirected, positively-weighted multigraph stored as an
 //!   edge list plus adjacency lists, with O(1) edge access by [`EdgeId`].
 //! * [`CsrGraph`] — the compressed-sparse-row *query substrate*: flat
-//!   `offsets`/`targets`/`weights` arrays built `From<&WeightedGraph>` and
-//!   incrementally appendable ([`csr::CsrGraph::append_edge`]), so a spanner
-//!   under construction can grow while being queried.
+//!   `offsets`/`targets`/`weights` arrays built `From<&WeightedGraph>`,
+//!   incrementally appendable ([`csr::CsrGraph::append_edge`]) **and
+//!   deletable** ([`csr::CsrGraph::remove_edge`]) through a
+//!   [`csr::DeltaOverlay`] of pending mutations (overflow chains +
+//!   tombstone bitmap, consolidated on re-pack), so a spanner can grow while
+//!   being queried and a long-running one can take live updates. Every
+//!   mutation bumps a monotone [`csr::CsrGraph::epoch`]; stale views are
+//!   refused with a typed [`error::GraphError::StaleEpoch`].
 //! * [`DijkstraEngine`] — a reusable query engine over [`CsrGraph`] with an
 //!   owned, generation-stamped workspace: `bounded_distance`,
 //!   `shortest_path_tree` and `ball` queries perform **zero heap allocation
@@ -84,7 +89,7 @@ pub mod properties;
 pub mod union_find;
 
 pub use builder::GraphBuilder;
-pub use csr::{CsrGraph, CsrSnapshot};
+pub use csr::{CsrGraph, CsrSnapshot, DeltaOverlay};
 pub use engine::{DijkstraEngine, EngineStats, EngineTree, SptTree};
 pub use error::GraphError;
 pub use graph::{Edge, EdgeId, VertexId, WeightedGraph};

@@ -47,6 +47,7 @@ use std::time::{Duration, Instant};
 
 use crate::csr::{CsrGraph, CsrSnapshot};
 use crate::engine::{DijkstraEngine, EngineStats};
+use crate::error::GraphError;
 
 /// Below this many items per worker the pool shrinks the worker count so no
 /// thread is spawned for a handful of queries (spawn latency would dominate).
@@ -220,6 +221,43 @@ impl EnginePool {
             }
         });
     }
+
+    /// Epoch-checked [`EnginePool::map_batch`]: the caller passes the epoch
+    /// its view of the graph was stamped at, and the pool **refuses a stale
+    /// snapshot with a typed error** instead of silently fanning queries
+    /// over data the caller has not seen ([`CsrSnapshot::epoch`] vs. the
+    /// stamp). On success the batch ran exactly as `map_batch` would have.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::StaleEpoch`] when the snapshot's epoch differs
+    /// from `stamped`; no query ran and no counter changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` and `out` have different lengths.
+    pub fn try_map_batch<T, U, F>(
+        &mut self,
+        snapshot: CsrSnapshot<'_>,
+        stamped: u64,
+        items: &[T],
+        out: &mut [U],
+        f: F,
+    ) -> Result<(), GraphError>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&mut DijkstraEngine, &CsrGraph, &T) -> U + Sync,
+    {
+        if snapshot.epoch() != stamped {
+            return Err(GraphError::StaleEpoch {
+                stamped,
+                current: snapshot.epoch(),
+            });
+        }
+        self.map_batch(snapshot, items, out, f);
+        Ok(())
+    }
 }
 
 /// Fills `out[i] = f(i)` for every index, split into one contiguous chunk
@@ -349,6 +387,58 @@ mod tests {
         pool.commit_engine()
             .bounded_distance(&csr, VertexId(0), VertexId(5), 100.0);
         assert_eq!(pool.stats().queries, 1);
+    }
+
+    #[test]
+    fn try_map_batch_refuses_stale_epochs_and_runs_current_ones() {
+        let mut g = path_graph(8);
+        let mut csr = CsrGraph::from(&g);
+        let mut pool = EnginePool::with_capacity_for(2, 8, g.num_edges());
+        let queries = [(0usize, 7usize)];
+        let stamp = csr.epoch();
+        let mut out = [None];
+        pool.try_map_batch(
+            csr.snapshot(),
+            stamp,
+            &queries,
+            &mut out,
+            |e, graph, &(s, t)| e.bounded_distance(graph, VertexId(s), VertexId(t), 100.0),
+        )
+        .unwrap();
+        assert_eq!(out, [Some(7.0)]);
+        // Mutate the graph: the old stamp must be refused, queries unrun.
+        csr.append_edge(VertexId(0), VertexId(7), 1.0);
+        g.add_edge(VertexId(0), VertexId(7), 1.0);
+        let queries_before = pool.stats().queries;
+        let mut out = [None];
+        let err = pool
+            .try_map_batch(
+                csr.snapshot(),
+                stamp,
+                &queries,
+                &mut out,
+                |e, graph, &(s, t)| e.bounded_distance(graph, VertexId(s), VertexId(t), 100.0),
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            crate::error::GraphError::StaleEpoch {
+                stamped: stamp,
+                current: stamp + 1
+            }
+        );
+        assert_eq!(out, [None], "a refused batch writes nothing");
+        assert_eq!(pool.stats().queries, queries_before);
+        // A refreshed stamp answers against the mutated graph.
+        pool.try_map_batch(
+            csr.snapshot(),
+            csr.epoch(),
+            &queries,
+            &mut out,
+            |e, graph, &(s, t)| e.bounded_distance(graph, VertexId(s), VertexId(t), 100.0),
+        )
+        .unwrap();
+        assert_eq!(out, [Some(1.0)]);
     }
 
     #[test]

@@ -128,4 +128,53 @@ proptest! {
         // the final edge count up front.
         prop_assert_eq!(engine.stats().reuse_hits, engine.stats().queries);
     }
+
+    /// Queries against a CSR with interleaved appends *and* deletions match
+    /// queries against a fresh build of the surviving edge set — while
+    /// tombstones linger in the packed arrays and across consolidations.
+    #[test]
+    fn interleaved_deletions_match_a_fresh_build(g in arb_graph(), seed in 0u64..1000) {
+        let n = g.num_vertices();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut csr = CsrGraph::from(&g);
+        let mut engine = DijkstraEngine::new();
+        let mut surviving: Vec<(VertexId, VertexId, f64)> =
+            g.edges().iter().map(|e| (e.u, e.v, e.weight)).collect();
+        let mut ids: Vec<usize> = (0..g.num_edges()).collect();
+        let mut next_weight = 0.11f64;
+        for step in 0..20 {
+            // Alternate deletions of random live edges with fresh appends.
+            if step % 2 == 0 && !ids.is_empty() {
+                let pick = rng.gen_range(0..ids.len());
+                let id = ids.swap_remove(pick);
+                // `surviving` is kept parallel to `ids` by construction.
+                surviving.swap_remove(pick);
+                csr.remove_edge(spanner_graph::EdgeId(id)).unwrap();
+            } else {
+                let u = rng.gen_range(0..n);
+                let mut v = rng.gen_range(0..n.max(2) - 1);
+                if v >= u { v += 1; }
+                next_weight += 0.37;
+                let id = csr.append_edge(VertexId(u), VertexId(v), next_weight);
+                ids.push(id.index());
+                surviving.push((VertexId(u), VertexId(v), next_weight));
+            }
+            let reference = {
+                let mut fresh = WeightedGraph::new(n);
+                for &(u, v, w) in &surviving {
+                    fresh.add_edge(u, v, w);
+                }
+                fresh
+            };
+            let s = VertexId(rng.gen_range(0..n));
+            let t = VertexId(rng.gen_range(0..n));
+            let bound = rng.gen_range(0.0..25.0);
+            prop_assert_eq!(
+                engine.bounded_distance(&csr, s, t, bound),
+                bounded_distance(&reference, s, t, bound),
+                "step {}: s={} t={} bound={}", step, s, t, bound
+            );
+            prop_assert_eq!(csr.num_edges(), surviving.len());
+        }
+    }
 }

@@ -1,0 +1,119 @@
+//! Live-spanner quickstart: build a greedy spanner, open it for updates,
+//! and serve query batches interleaved with update batches — insertions
+//! through the greedy admission rule, deletions with localized repair, the
+//! stretch invariant re-certified after every batch, and stale cached
+//! shortest-path trees invalidated lazily by their epoch stamps.
+//!
+//! Run with `cargo run --release --example live`.
+
+use greedy_spanner_suite::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use spanner_graph::generators::erdos_renyi_connected;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = SmallRng::seed_from_u64(7);
+    let n = 1500;
+    let graph = erdos_renyi_connected(n, 0.008, 1.0..10.0, &mut rng);
+
+    // 1. Construct, then open for updates. The admission rule that built
+    //    the spanner ("add (u, v) iff d_spanner(u, v) > t * w") keeps
+    //    maintaining it under a stream of edge changes.
+    let output = Spanner::greedy().stretch(2.0).build(&graph)?;
+    println!(
+        "greedy 2-spanner: {} -> {} edges ({:.1} ms to build)",
+        graph.num_edges(),
+        output.spanner.num_edges(),
+        output.stats.wall_time.as_secs_f64() * 1e3
+    );
+    let live = output.live(&graph)?;
+    println!(
+        "opened live at epoch {} (certified stretch {:.3})",
+        live.epoch(),
+        live.stats().certified_stretch
+    );
+
+    // 2. Serve it. A live server answers query batches and applies update
+    //    batches; audits always run against the live original.
+    let mut server = live.serve().threads(2).cache_capacity(64).finish();
+
+    // 3. A mixed stream: ~35% of rounds are update batches.
+    let stream = LiveWorkload::new(n)?
+        .update_fraction(0.35)?
+        .rounds(12)
+        .queries_per_batch(2000)
+        .updates_per_batch(24)
+        .seed(3)
+        .generate(&graph);
+    for (round, event) in stream.iter().enumerate() {
+        match event {
+            StreamEvent::Updates(batch) => {
+                let outcome = server.apply_updates(batch)?;
+                println!(
+                    "round {round}: applied {} updates — {} admitted, {} rejected, \
+                     {} repaired, epoch -> {}, certified {:.3}{}",
+                    batch.len(),
+                    outcome.admitted,
+                    outcome.rejected,
+                    outcome.repaired,
+                    server.epoch(),
+                    outcome.certified_stretch,
+                    if outcome.full_certification {
+                        " (full re-certification)"
+                    } else {
+                        ""
+                    }
+                );
+            }
+            StreamEvent::Queries(queries) => {
+                let answers = server.answer_batch(queries)?;
+                println!(
+                    "round {round}: answered {} queries at epoch {} \
+                     (hit rate {:.1}%, stale trees evicted so far: {})",
+                    answers.len(),
+                    server.stats().epoch,
+                    100.0 * server.stats().cache_hit_rate().unwrap_or(0.0),
+                    server.stats().stale_evictions
+                );
+            }
+        }
+    }
+
+    // 4. The scoreboard: serving and update statistics side by side.
+    let stats = *server.stats();
+    let updates = *server.update_stats().expect("live server");
+    println!(
+        "\nserved {} queries at {:.0} qps — latency p50 {:?}, p99 {:?}, max {:?}",
+        stats.queries,
+        stats.qps().unwrap_or(0.0),
+        stats.latency.p50().unwrap(),
+        stats.latency.p99().unwrap(),
+        stats.latency.max().unwrap()
+    );
+    println!(
+        "applied {} update batches ({} insertions: {} admitted / {} rejected; \
+         {} deletions, {} repairs) advancing {} epochs",
+        updates.batches,
+        updates.insertions,
+        updates.admitted,
+        updates.rejected,
+        updates.deletions,
+        updates.repaired,
+        updates.epochs_advanced
+    );
+    println!(
+        "repair + certification time {:?}; certified stretch {:.3} (target 2.0)",
+        updates.repair_time, updates.certified_stretch
+    );
+
+    // 5. The same spanner, frozen: clone the current state into an
+    //    epoch-stamped handle and serve it read-only elsewhere.
+    let mut frozen = SpannerServer::new(server.freeze_current());
+    let check = frozen.answer_batch(&[Query::distance(VertexId(0), VertexId(n / 2), 1e9)])?;
+    println!(
+        "frozen replica at epoch {} agrees: {:?}",
+        frozen.epoch(),
+        check[0].distance()
+    );
+    Ok(())
+}

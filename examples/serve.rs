@@ -45,15 +45,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let workloads = [
         (
             "uniform pairs",
-            QueryWorkload::uniform(n).queries(4000).seed(1),
+            QueryWorkload::uniform(n)?.queries(4000).seed(1),
         ),
         (
             "zipf hotspots",
-            QueryWorkload::zipf(n, 1.1).queries(4000).seed(2),
+            QueryWorkload::zipf(n, 1.1)?.queries(4000).seed(2),
         ),
         (
             "mixed profile",
-            QueryWorkload::mixed(n, true).queries(4000).seed(3),
+            QueryWorkload::mixed(n, true)?.queries(4000).seed(3),
         ),
     ];
     for (name, workload) in workloads {

@@ -110,11 +110,47 @@
 //!     .threads(4)
 //!     .audit_against(&g)
 //!     .finish();
-//! let batch = QueryWorkload::mixed(50, true).queries(100).seed(3).generate();
+//! let batch = QueryWorkload::mixed(50, true)?.queries(100).seed(3).generate();
 //! let answers = server.answer_batch(&batch).expect("valid batch");
 //! assert_eq!(answers.len(), 100);
 //! assert!(server.stats().qps().is_some());
-//! # Ok::<(), greedy_spanner::SpannerError>(())
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! # The live-update model
+//!
+//! The stack is four layers — **substrate → construction → serving →
+//! updates** — and nothing freezes forever. Every
+//! [`CsrGraph`](spanner_graph::CsrGraph) mutation (append or tombstone
+//! delete, staged in a [`DeltaOverlay`](spanner_graph::csr::DeltaOverlay)
+//! and consolidated on re-pack) bumps a monotone epoch; stale views are
+//! refused with typed errors, never answered silently. A built spanner
+//! opens for updates with
+//! [`SpannerOutput::live`](greedy_spanner::SpannerOutput::live): insertions
+//! run the greedy admission rule against the current spanner, deletions
+//! trigger witness-traversal repair, and the stretch-`t` invariant is
+//! re-certified after every batch
+//! ([`UpdateStats`](greedy_spanner::UpdateStats)). A live
+//! [`SpannerServer`](greedy_spanner::SpannerServer) interleaves query and
+//! update batches, lazily invalidating epoch-stamped cached trees — and
+//! answers bit-identically to a server rebuilt from scratch after every
+//! batch.
+//!
+//! ```
+//! use greedy_spanner_suite::prelude::*;
+//!
+//! let g = WeightedGraph::from_edges(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)])?;
+//! let mut server = Spanner::greedy()
+//!     .stretch(2.0)
+//!     .build(&g)?
+//!     .live(&g)?
+//!     .serve()
+//!     .finish();
+//! server.apply_updates(&UpdateBatch::new().insert(VertexId(0), VertexId(3), 0.5))?;
+//! let a = server.answer_batch(&[Query::distance(VertexId(0), VertexId(3), 10.0)])?;
+//! assert_eq!(a[0].distance(), Some(0.5)); // the shortcut was admitted
+//! assert_eq!(server.epoch(), 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
 //! # Migrating from the pre-0.2 free functions
@@ -144,13 +180,15 @@ pub mod prelude {
     pub use greedy_spanner::algorithms::registry;
     pub use greedy_spanner::analysis::{evaluate, is_t_spanner, lightness, SpannerReport};
     pub use greedy_spanner::{
-        aggregate_stats, run_matrix, Answer, MatrixCell, MatrixStats, Provenance, Query,
-        QueryWorkload, RunStats, ServeBuilder, ServeError, ServeStats, Spanner, SpannerAlgorithm,
-        SpannerBuilder, SpannerConfig, SpannerError, SpannerInput, SpannerOutput, SpannerServer,
+        aggregate_stats, run_matrix, Answer, BatchOutcome, LiveSpanner, LiveWorkload, MatrixCell,
+        MatrixStats, Provenance, Query, QueryWorkload, RunStats, ServeBuilder, ServeError,
+        ServeStats, Spanner, SpannerAlgorithm, SpannerBuilder, SpannerConfig, SpannerError,
+        SpannerHandle, SpannerInput, SpannerOutput, SpannerServer, StreamEvent, Update,
+        UpdateBatch, UpdateError, UpdateStats, WorkloadError,
     };
     pub use spanner_graph::{
-        CsrGraph, CsrSnapshot, DijkstraEngine, EnginePool, EngineStats, GraphBuilder, SptTree,
-        VertexId, WeightedGraph,
+        CsrGraph, CsrSnapshot, DeltaOverlay, DijkstraEngine, EnginePool, EngineStats, GraphBuilder,
+        SptTree, VertexId, WeightedGraph,
     };
     pub use spanner_metric::{EuclideanSpace, MetricSpace, Point};
 }

@@ -73,6 +73,7 @@ fn assert_server_matches_reference(g: &WeightedGraph, stretch: f64, workload_see
     let output = Spanner::greedy().stretch(stretch).build(g).expect("valid");
     let spanner = output.spanner.clone();
     let queries = QueryWorkload::mixed(n, true)
+        .expect("valid workload")
         .queries(120)
         .seed(workload_seed)
         .bound(3.0 * stretch)
@@ -147,8 +148,8 @@ proptest! {
         let output = Spanner::greedy().stretch(2.0).build(&g).expect("valid");
         let spanner = output.spanner.clone();
         for workload in [
-            QueryWorkload::uniform(n).queries(80).seed(seed).bound(12.0),
-            QueryWorkload::zipf(n, 1.2).queries(80).seed(seed).bound(12.0),
+            QueryWorkload::uniform(n).expect("valid").queries(80).seed(seed).bound(12.0),
+            QueryWorkload::zipf(n, 1.2).expect("valid").queries(80).seed(seed).bound(12.0),
         ] {
             let queries = workload.generate();
             let reference: Vec<Answer> = queries
@@ -164,6 +165,65 @@ proptest! {
                     .finish();
                 prop_assert_eq!(&server.answer_batch(&queries).expect("valid"), &reference);
                 prop_assert_eq!(&server.answer_batch(&queries).expect("valid"), &reference);
+            }
+        }
+    }
+
+    /// Tie-breaking determinism of `k_nearest`: on unit-weight graphs many
+    /// vertices share a distance, and the contract is that equal distances
+    /// order by vertex id — identically on the engine path (cold, a ball
+    /// settle order) and the cached-tree path (warm, a sorted prefix), at
+    /// every thread count.
+    #[test]
+    fn k_nearest_breaks_distance_ties_by_vertex_id_everywhere(
+        seed in 0u64..10_000,
+        n in 8usize..30,
+        k in 1usize..12,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        // Unit weights force distance ties at every hop count.
+        let g = erdos_renyi_connected(n, 0.35, 1.0..1.0000001, &mut rng);
+        let output = Spanner::greedy().stretch(2.0).build(&g).expect("valid");
+        // Two k-nearest queries per source so the cache admits the tree:
+        // the warm round answers from the sorted prefix, the cold round
+        // from the engine's settle order. Both must produce the same
+        // (distance, vertex)-ordered list.
+        let queries: Vec<Query> = (0..n)
+            .flat_map(|s| [Query::k_nearest(VertexId(s), k); 2])
+            .collect();
+        let mut reference: Option<Vec<Answer>> = None;
+        for threads in THREAD_COUNTS {
+            for cache in CACHE_CAPACITIES {
+                let mut server = output
+                    .clone()
+                    .serve()
+                    .threads(threads)
+                    .cache_capacity(cache)
+                    .finish();
+                let cold = server.answer_batch(&queries).expect("valid");
+                let warm = server.answer_batch(&queries).expect("valid");
+                prop_assert_eq!(&cold, &warm, "threads {} cache {}", threads, cache);
+                for answer in &cold {
+                    let Answer::KNearest(members) = answer else {
+                        panic!("k-nearest batch");
+                    };
+                    // Sorted by (distance, vertex): ties strictly increase
+                    // by vertex id.
+                    for w in members.windows(2) {
+                        let ((v0, d0), (v1, d1)) = (w[0], w[1]);
+                        prop_assert!(
+                            d0 < d1 || (d0 == d1 && v0 < v1),
+                            "tie broken wrong: ({v0:?}, {d0}) before ({v1:?}, {d1}) \
+                             [threads {}, cache {}]",
+                            threads,
+                            cache
+                        );
+                    }
+                }
+                match &reference {
+                    None => reference = Some(cold),
+                    Some(r) => prop_assert_eq!(&cold, r, "threads {} cache {}", threads, cache),
+                }
             }
         }
     }
