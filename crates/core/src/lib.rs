@@ -196,6 +196,31 @@
 //! [`workload::LiveWorkload`] generates the mixed query/update streams with
 //! a configurable update fraction.
 //!
+//! # The persistence model
+//!
+//! As of 0.4 a live spanner survives its process ([`persist`], backed by
+//! the `spanner-store` crate):
+//!
+//! * **Bounded memory under churn.** When tombstoned slots dominate a
+//!   graph's ground-truth array ([`update::LiveSpanner::with_compaction_threshold`];
+//!   at least [`update::COMPACTION_MIN_DEAD`] dead slots), the batch that
+//!   crossed the threshold re-packs it into a dense new **generation** —
+//!   edge ids densified order-preservingly, answers unchanged — behind a
+//!   bumped epoch, so serving caches notice through the ordinary lazy
+//!   stale-eviction path.
+//! * **Write-ahead logging.** [`update::LiveSpanner::persist_to`] attaches
+//!   a store directory; every applied batch is fsynced to the WAL *before*
+//!   anything mutates, and every compaction writes a checksummed,
+//!   epoch-stamped snapshot. [`update::LiveSpanner::checkpoint`] writes one
+//!   on demand.
+//! * **Bit-identical recovery.** [`update::LiveSpanner::recover`] loads the
+//!   newest verifying snapshot (falling back past corrupt candidates),
+//!   replays the WAL suffix through the same deterministic apply path, and
+//!   truncates any torn tail — the recovered server answers queries
+//!   bit-identically to the killed one (root suite
+//!   `tests/persistence_recovery.rs`). Corruption surfaces as typed
+//!   [`persist::PersistError`]s, never panics.
+//!
 //! **Migration note (0.3):** `SpannerServer` no longer owns a bare frozen
 //! graph — it serves through an epoch-stamped handle, and
 //! [`serve::SpannerServer::new`] takes a [`serve::SpannerHandle`]. The
@@ -211,6 +236,8 @@
 //! * [`serve`] + [`workload`] — the serving layer described above.
 //! * [`update`] — the live-update subsystem ([`update::LiveSpanner`])
 //!   described above.
+//! * [`persist`] — snapshots, write-ahead logging and crash recovery for
+//!   live spanners, described above.
 //! * [`greedy`] / [`greedy_metric`] — Algorithm 1 engines (graph / metric).
 //! * [`bounded_degree`] — the net-tree `(1+ε)`-spanner substrate
 //!   (Theorem 2).
@@ -238,6 +265,7 @@ pub mod greedy;
 pub mod greedy_metric;
 pub mod matrix;
 pub mod optimality;
+pub mod persist;
 pub mod serve;
 pub mod update;
 pub mod workload;
@@ -249,6 +277,7 @@ pub use builder::{Spanner, SpannerBuilder};
 pub use error::{GraphError, SpannerError};
 pub use greedy::GreedySpanner;
 pub use matrix::{aggregate_stats, run_matrix, MatrixCell, MatrixStats};
+pub use persist::{PersistError, Recovered, RecoveryReport};
 pub use serve::SpannerHandle;
 pub use serve::{Answer, Query, ServeBuilder, ServeError, ServeStats, SpannerServer};
 pub use update::{BatchOutcome, LiveSpanner, Update, UpdateBatch, UpdateError, UpdateStats};

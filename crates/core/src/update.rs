@@ -207,6 +207,14 @@ pub enum UpdateError {
         /// Vertices in the supplied original graph.
         original: usize,
     },
+    /// The write-ahead log refused the batch (I/O failure before anything
+    /// mutated): the batch was **not** applied — retry it or detach
+    /// persistence. The rendered [`spanner_store::PersistError`] is carried
+    /// as text so this error stays `Clone + PartialEq`.
+    Persistence {
+        /// The rendered persistence error.
+        detail: String,
+    },
 }
 
 impl fmt::Display for UpdateError {
@@ -237,11 +245,27 @@ impl fmt::Display for UpdateError {
                 f,
                 "spanner has {spanner} vertices but the original graph has {original}"
             ),
+            UpdateError::Persistence { detail } => {
+                write!(
+                    f,
+                    "write-ahead log refused the batch (nothing applied): {detail}"
+                )
+            }
         }
     }
 }
 
 impl Error for UpdateError {}
+
+/// Compaction never triggers on fewer dead slots than this, whatever the
+/// fraction — re-packing a tiny graph on every batch would be churn for no
+/// memory win.
+pub const COMPACTION_MIN_DEAD: usize = 32;
+
+/// The default tombstoned-slot fraction that triggers generation
+/// compaction; override per spanner with
+/// [`LiveSpanner::with_compaction_threshold`].
+pub const DEFAULT_COMPACTION_THRESHOLD: f64 = 0.5;
 
 /// Cumulative statistics of a [`LiveSpanner`], across all applied batches.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -277,6 +301,17 @@ pub struct UpdateStats {
     pub certified_stretch: f64,
     /// Total wall time spent inside [`LiveSpanner::apply`].
     pub elapsed: Duration,
+    /// Generation compactions performed (spanner and original counted
+    /// separately): tombstone-dominated graphs re-packed behind a fresh
+    /// epoch so memory stays bounded under unbounded churn.
+    pub compactions: u64,
+    /// Snapshots written to the attached store (compaction-triggered plus
+    /// the one [`LiveSpanner::persist_to`] writes on attach).
+    pub snapshots_written: u64,
+    /// Compaction-triggered snapshot writes that failed. The batch itself
+    /// still succeeded — the write-ahead log holds everything a snapshot
+    /// would — so the failure is counted, not raised.
+    pub snapshot_failures: u64,
 }
 
 impl Default for UpdateStats {
@@ -294,6 +329,9 @@ impl Default for UpdateStats {
             recertifications: 0,
             certified_stretch: 0.0,
             elapsed: Duration::ZERO,
+            compactions: 0,
+            snapshots_written: 0,
+            snapshot_failures: 0,
         }
     }
 }
@@ -322,6 +360,9 @@ pub struct BatchOutcome {
     /// batch (deletion repair ran); `false` when it is the standing
     /// certificate carried forward by the insert-only monotonicity argument.
     pub full_certification: bool,
+    /// Generation compactions this batch triggered (0–2: spanner and
+    /// original re-pack independently when tombstones dominate).
+    pub compactions: usize,
 }
 
 /// A built spanner held open for live updates; see the
@@ -344,6 +385,10 @@ pub struct LiveSpanner {
     pool: EnginePool,
     stats: UpdateStats,
     provenance: Provenance,
+    /// Tombstoned-slot fraction that triggers generation compaction.
+    compaction_threshold: f64,
+    /// The attached store (WAL + snapshot directory), when persisting.
+    durability: Option<crate::persist::Durability>,
 }
 
 impl LiveSpanner {
@@ -386,9 +431,53 @@ impl LiveSpanner {
             pool: EnginePool::with_capacity_for(threads, n, m),
             stats: UpdateStats::default(),
             provenance: output.provenance,
+            compaction_threshold: DEFAULT_COMPACTION_THRESHOLD,
+            durability: None,
         };
         live.certify();
         Ok(live)
+    }
+
+    /// Rebuilds a recovered spanner from restored parts — statistics come
+    /// back verbatim and **no** certification traversal runs, so the
+    /// recovered instance is bit-identical to the one that was killed.
+    pub(crate) fn from_recovered_parts(
+        original: CsrGraph,
+        spanner: CsrGraph,
+        stretch: f64,
+        stats: UpdateStats,
+        provenance: Provenance,
+        compaction_threshold: f64,
+    ) -> Self {
+        let threads = SpannerConfig::default().resolve_threads();
+        let n = original.num_vertices();
+        let m = original.num_edges();
+        LiveSpanner {
+            original,
+            spanner,
+            stretch,
+            threads,
+            pool: EnginePool::with_capacity_for(threads, n, m),
+            stats,
+            provenance,
+            compaction_threshold,
+            durability: None,
+        }
+    }
+
+    /// The attached store, for the persistence module.
+    pub(crate) fn durability_mut(&mut self) -> &mut Option<crate::persist::Durability> {
+        &mut self.durability
+    }
+
+    /// Read-only view of the attached store, for the persistence module.
+    pub(crate) fn durability_ref(&self) -> Option<&crate::persist::Durability> {
+        self.durability.as_ref()
+    }
+
+    /// Mutable statistics, for the persistence module's counters.
+    pub(crate) fn stats_mut(&mut self) -> &mut UpdateStats {
+        &mut self.stats
     }
 
     /// Sets the worker-thread count used by the parallel admission filter
@@ -404,6 +493,22 @@ impl LiveSpanner {
         self.threads = threads;
         self.pool = EnginePool::with_capacity_for(threads, n, m);
         self
+    }
+
+    /// Sets the tombstoned-slot fraction at which a graph is compacted into
+    /// a fresh generation (default [`DEFAULT_COMPACTION_THRESHOLD`]). The
+    /// trigger also requires at least [`COMPACTION_MIN_DEAD`] dead slots.
+    /// Non-finite values are ignored; finite ones clamp to `(0, 1]`.
+    pub fn with_compaction_threshold(mut self, fraction: f64) -> Self {
+        if fraction.is_finite() {
+            self.compaction_threshold = fraction.clamp(1e-6, 1.0);
+        }
+        self
+    }
+
+    /// The tombstoned-slot fraction that triggers generation compaction.
+    pub fn compaction_threshold(&self) -> f64 {
+        self.compaction_threshold
     }
 
     /// The live spanner.
@@ -444,15 +549,47 @@ impl LiveSpanner {
 
     /// Applies one update batch: deletions first (batch order), then all
     /// insertions through the greedy admission filter in non-decreasing
-    /// weight order, then deletion repair + re-certification. See the
+    /// weight order, then deletion repair + re-certification, then
+    /// generation compaction when tombstones dominate. See the
     /// [module docs](crate::update).
+    ///
+    /// With a store attached ([`LiveSpanner::persist_to`]), the batch is
+    /// appended to the write-ahead log and fsynced **before** anything
+    /// mutates; a batch that compacts a generation also writes a fresh
+    /// snapshot afterwards (best-effort — the WAL already holds the batch).
     ///
     /// # Errors
     ///
     /// The whole batch is validated up front (against a simulation of its
-    /// own effects); on error nothing was applied and no statistic changed.
+    /// own effects); on error — including [`UpdateError::Persistence`] when
+    /// the WAL refuses the record — nothing was applied and no statistic
+    /// changed.
     pub fn apply(&mut self, batch: &UpdateBatch) -> Result<BatchOutcome, UpdateError> {
         self.validate(batch)?;
+        let seq = self.stats.batches;
+        let epoch = self.spanner.epoch();
+        if let Some(durability) = self.durability.as_mut() {
+            let payload = crate::persist::encode_batch(batch);
+            durability
+                .log_batch(seq, epoch, &payload)
+                .map_err(|e| UpdateError::Persistence {
+                    detail: e.to_string(),
+                })?;
+        }
+        let outcome = self.apply_validated(batch);
+        if outcome.compactions > 0 && self.durability.is_some() {
+            match self.write_snapshot_now() {
+                Ok(()) => self.stats.snapshots_written += 1,
+                Err(_) => self.stats.snapshot_failures += 1,
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// The validated apply path — shared verbatim by live batches and WAL
+    /// replay, so a replayed history reproduces every decision (admissions,
+    /// repairs, epochs, compactions) bit-identically.
+    pub(crate) fn apply_validated(&mut self, batch: &UpdateBatch) -> BatchOutcome {
         let start = Instant::now();
         let spanner_epoch_before = self.spanner.epoch();
 
@@ -551,6 +688,23 @@ impl LiveSpanner {
             }
         }
 
+        // Phase 4 — generation compaction. When dead slots dominate the
+        // ground-truth array, re-pack the graph into a dense new generation
+        // (order-preserving id densification — answers are unchanged) and
+        // swap it in behind a bumped epoch, so serving caches notice the
+        // generation change through the ordinary stale-eviction path. The
+        // trigger is a pure function of graph state, so every thread count
+        // and every WAL replay compacts at exactly the same batches.
+        let mut compactions = 0usize;
+        if should_compact(&self.spanner, self.compaction_threshold) {
+            self.spanner = self.spanner.rebuild_compacted().graph;
+            compactions += 1;
+        }
+        if should_compact(&self.original, self.compaction_threshold) {
+            self.original = self.original.rebuild_compacted().graph;
+            compactions += 1;
+        }
+
         let epochs_advanced = self.spanner.epoch() - spanner_epoch_before;
         self.stats.batches += 1;
         self.stats.insertions += inserts.len() as u64;
@@ -560,8 +714,9 @@ impl LiveSpanner {
         self.stats.reweights += reweights as u64;
         self.stats.repaired += repaired as u64;
         self.stats.epochs_advanced += epochs_advanced;
+        self.stats.compactions += compactions as u64;
         self.stats.elapsed += start.elapsed();
-        Ok(BatchOutcome {
+        BatchOutcome {
             admitted,
             rejected,
             deletions,
@@ -571,7 +726,8 @@ impl LiveSpanner {
             repair_time,
             certified_stretch: self.stats.certified_stretch,
             full_certification,
-        })
+            compactions,
+        }
     }
 
     /// Runs a full witness traversal now, repairing any violated original
@@ -680,7 +836,9 @@ impl LiveSpanner {
 
     /// Pre-validates a batch against a simulation of its own effects, so
     /// [`LiveSpanner::apply`] either applies the whole batch or nothing.
-    fn validate(&self, batch: &UpdateBatch) -> Result<(), UpdateError> {
+    /// `pub(crate)` so WAL replay can re-validate decoded batches instead
+    /// of trusting disk bytes.
+    pub(crate) fn validate(&self, batch: &UpdateBatch) -> Result<(), UpdateError> {
         let n = self.original.num_vertices();
         // Removals consumed per (min, max) pair so far. Deletions happen in
         // phase 1, before any insertion, so batch-internal inserts never
@@ -729,6 +887,14 @@ impl LiveSpanner {
         }
         Ok(())
     }
+}
+
+/// The generation-compaction trigger: enough dead slots to matter
+/// ([`COMPACTION_MIN_DEAD`]) *and* a tombstoned fraction at or above the
+/// threshold. A pure function of graph state — deterministic across thread
+/// counts and WAL replays.
+fn should_compact(graph: &CsrGraph, threshold: f64) -> bool {
+    graph.dead_edges() >= COMPACTION_MIN_DEAD && graph.tombstoned_fraction() >= threshold
 }
 
 /// Canonical unordered key of a vertex pair.

@@ -157,10 +157,14 @@ impl DeltaOverlay {
 /// tombstone bit forever so ids never shift, which means the *ground-truth*
 /// arrays (not the packed scan arrays — those drop dead half-edges at every
 /// re-pack) grow with the total number of edges ever appended, not with the
-/// live count. Under unbounded insert/delete churn, periodically rebuild a
-/// fresh graph from [`CsrGraph::live_edges`] (or via
-/// [`CsrGraph::to_weighted_graph`]) to re-densify ids and reclaim the dead
-/// slots.
+/// live count. Under unbounded insert/delete churn, periodically start a
+/// fresh **generation** with [`CsrGraph::rebuild_compacted`] — a dense
+/// rebuild from [`CsrGraph::live_edges`] that re-densifies ids (returning
+/// the old-id → new-id remap) and reclaims the dead slots behind a bumped
+/// epoch. The dead-slot pressure is observable in `O(1)` via
+/// [`CsrGraph::dead_edges`] / [`CsrGraph::tombstoned_fraction`], so
+/// long-running owners can trigger the rebuild on a threshold instead of a
+/// scan.
 #[derive(Debug, Clone, Default)]
 pub struct CsrGraph {
     num_vertices: usize,
@@ -234,6 +238,29 @@ impl CsrGraph {
         self.num_edges() == 0
     }
 
+    /// Number of dead (tombstoned) edge slots in the ground-truth arrays —
+    /// the difference between [`CsrGraph::edge_id_bound`] and
+    /// [`CsrGraph::num_edges`]. `O(1)`: the counter is maintained by
+    /// [`CsrGraph::remove_edge`], never recomputed by scanning.
+    #[inline]
+    pub fn dead_edges(&self) -> usize {
+        self.overlay.dead_edges
+    }
+
+    /// Fraction of allocated edge slots that are tombstoned
+    /// (`dead_edges / edge_id_bound`; `0.0` for an edgeless graph). `O(1)`,
+    /// from the same maintained counters as [`CsrGraph::dead_edges`] — the
+    /// threshold long-running owners watch to decide when a
+    /// [`CsrGraph::rebuild_compacted`] generation swap pays off.
+    #[inline]
+    pub fn tombstoned_fraction(&self) -> f64 {
+        if self.edge_list.is_empty() {
+            0.0
+        } else {
+            self.overlay.dead_edges as f64 / self.edge_list.len() as f64
+        }
+    }
+
     /// The graph's epoch: a monotonically increasing counter bumped by every
     /// logical mutation ([`CsrGraph::append_edge`] /
     /// [`CsrGraph::remove_edge`]; re-packing is a representation change and
@@ -301,6 +328,14 @@ impl CsrGraph {
     }
 
     /// Iterates over the live edges as `(id, u, v, weight)` in append order.
+    ///
+    /// **Cost:** a full ground-truth scan — `O(edge_id_bound())`, which
+    /// includes every dead slot ever tombstoned, not `O(num_edges())`. Keep
+    /// it out of per-mutation hot paths; batch owners needing only the
+    /// *counts* should read the `O(1)` [`CsrGraph::num_edges`] /
+    /// [`CsrGraph::dead_edges`] counters instead, and owners facing
+    /// unbounded churn should bound the scan itself via
+    /// [`CsrGraph::rebuild_compacted`].
     pub fn live_edges(&self) -> impl Iterator<Item = (EdgeId, VertexId, VertexId, f64)> + '_ {
         self.edge_list
             .iter()
@@ -310,6 +345,10 @@ impl CsrGraph {
     }
 
     /// Total weight of all live edges.
+    ///
+    /// **Cost:** a [`CsrGraph::live_edges`] scan — `O(edge_id_bound())`
+    /// including dead slots. Analysis-time only; nothing on the update hot
+    /// path calls it.
     pub fn total_weight(&self) -> f64 {
         self.live_edges().map(|(_, _, _, w)| w).sum()
     }
@@ -614,6 +653,111 @@ impl CsrGraph {
         }
         g
     }
+
+    /// Starts a fresh **generation**: a fully packed graph rebuilt from the
+    /// live edges only, with ids re-densified in append order, plus the
+    /// old-id → new-id remap. This is the bounded-memory escape hatch for
+    /// the id-stability trade-off documented on the struct: the rebuilt
+    /// graph's ground-truth arrays hold exactly [`CsrGraph::num_edges`]
+    /// slots, with every dead slot (and its tombstone bit) reclaimed.
+    ///
+    /// Unlike [`CsrGraph::compact`] — a pure representation change — a
+    /// generation rebuild is *logically observable* (edge ids shift), so the
+    /// new graph carries **epoch `self.epoch() + 1`**: epoch-stamped readers
+    /// (shortest-path-tree caches, serving handles) see the swap as one
+    /// mutation and lazily refresh, exactly like any other staleness.
+    ///
+    /// Because the remap preserves append order, packed scan order over live
+    /// edges — and therefore every answer — is unchanged; only the ids and
+    /// the epoch move.
+    pub fn rebuild_compacted(&self) -> CompactedRebuild {
+        let mut graph = CsrGraph::new(self.num_vertices);
+        graph.edge_list.reserve(self.num_edges());
+        let mut remap = vec![None; self.edge_list.len()];
+        for (id, &(u, v, w)) in self.edge_list.iter().enumerate() {
+            if self.overlay.is_dead(id) {
+                continue;
+            }
+            remap[id] = Some(EdgeId(graph.edge_list.len()));
+            graph.edge_list.push((u, v, w));
+        }
+        graph.compact();
+        graph.epoch = self.epoch + 1;
+        CompactedRebuild { graph, remap }
+    }
+
+    /// Reconstructs a graph from externally stored parts — the
+    /// deserialization counterpart of [`CsrGraph::live_edges`] plus the
+    /// tombstone bitmap, used by the persistence layer to reproduce a graph
+    /// **bit-identically**: same edge ids (dead slots included, so ids stay
+    /// stable across a save/load cycle), same weights, same epoch.
+    ///
+    /// `edges` yields `(u, v, weight, live)` records in edge-id order; a
+    /// `live = false` record re-creates a tombstoned slot. Every record is
+    /// validated like [`CsrGraph::try_append_edge`] (dead ones too — they
+    /// passed validation when first appended, so a failure here means the
+    /// stored data is corrupt). The result is fully packed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::VertexOutOfRange`], [`GraphError::SelfLoop`] or
+    /// [`GraphError::InvalidWeight`] for a record no append could have
+    /// produced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vertices` or twice the edge count does not fit in
+    /// `u32` — the same capacity contract as [`CsrGraph::new`] /
+    /// [`CsrGraph::append_edge`] (persistence callers bounds-check stored
+    /// counts before calling).
+    pub fn from_parts(
+        num_vertices: usize,
+        epoch: u64,
+        edges: impl IntoIterator<Item = (VertexId, VertexId, f64, bool)>,
+    ) -> Result<CsrGraph, GraphError> {
+        let mut graph = CsrGraph::new(num_vertices);
+        for (u, v, weight, live) in edges {
+            let (ui, vi) = (u.index(), v.index());
+            for endpoint in [ui, vi] {
+                if endpoint >= num_vertices {
+                    return Err(GraphError::VertexOutOfRange {
+                        vertex: endpoint,
+                        num_vertices,
+                    });
+                }
+            }
+            if ui == vi {
+                return Err(GraphError::SelfLoop { vertex: ui });
+            }
+            if !(weight.is_finite() && weight > 0.0) {
+                return Err(GraphError::InvalidWeight { weight });
+            }
+            let id = graph.edge_list.len();
+            assert!(
+                2 * id + 2 <= u32::MAX as usize,
+                "too many edges for u32 ids"
+            );
+            graph.edge_list.push((ui as u32, vi as u32, weight));
+            if !live {
+                graph.overlay.mark_dead(id);
+            }
+        }
+        graph.compact();
+        graph.epoch = epoch;
+        Ok(graph)
+    }
+}
+
+/// A fresh generation produced by [`CsrGraph::rebuild_compacted`]: the dense
+/// rebuilt graph plus the edge-id remap.
+#[derive(Debug, Clone)]
+pub struct CompactedRebuild {
+    /// The rebuilt graph: live edges only, ids densified in append order,
+    /// fully packed, at epoch `old + 1`.
+    pub graph: CsrGraph,
+    /// Old edge id → new edge id; `None` for slots that were dead (their
+    /// ids have no successor in the new generation).
+    pub remap: Vec<Option<EdgeId>>,
 }
 
 impl From<&WeightedGraph> for CsrGraph {
@@ -1036,6 +1180,173 @@ mod tests {
         let ids: Vec<usize> = csr.live_edges().map(|(id, _, _, _)| id.index()).collect();
         assert_eq!(ids, vec![0, 2, 3]);
         assert_eq!(csr.live_edges().count(), csr.num_edges());
+    }
+
+    /// The `O(1)` dead-slot counters must agree with a full ground-truth
+    /// scan at every point of a mixed append/delete history — the cached
+    /// resolution for the `live_edges()` cost audit: hot paths read these
+    /// counters, never the scan.
+    #[test]
+    fn dead_edge_counters_match_a_full_scan() {
+        let mut csr = CsrGraph::new(10);
+        assert_eq!(csr.dead_edges(), 0);
+        assert_eq!(csr.tombstoned_fraction(), 0.0, "edgeless graph");
+        let mut ids = Vec::new();
+        for i in 0..30usize {
+            let (u, v) = (i % 10, (i + 1 + i / 10) % 10);
+            if u == v {
+                continue;
+            }
+            ids.push(csr.append_edge(VertexId(u), VertexId(v), 1.0 + i as f64));
+        }
+        for (k, id) in ids.iter().enumerate() {
+            if k % 3 == 0 {
+                csr.remove_edge(*id).unwrap();
+            }
+            let scanned_live = csr.live_edges().count();
+            assert_eq!(csr.num_edges(), scanned_live);
+            assert_eq!(csr.dead_edges(), csr.edge_id_bound() - scanned_live);
+            let expected = csr.dead_edges() as f64 / csr.edge_id_bound() as f64;
+            assert_eq!(csr.tombstoned_fraction().to_bits(), expected.to_bits());
+        }
+        assert!(csr.dead_edges() > 0, "the loop must delete something");
+    }
+
+    #[test]
+    fn rebuild_compacted_densifies_ids_preserves_answers_and_bumps_epoch() {
+        let mut csr = CsrGraph::new(6);
+        let mut live = Vec::new(); // (old id, u, v, w)
+        for (k, &(u, v, w)) in [
+            (0usize, 1usize, 1.5f64),
+            (1, 2, 2.5),
+            (2, 3, 3.5),
+            (3, 4, 4.5),
+            (4, 5, 5.5),
+            (0, 5, 6.5),
+            (1, 4, 7.5),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let id = csr.append_edge(VertexId(u), VertexId(v), w);
+            if k % 2 == 1 {
+                csr.remove_edge(id).unwrap();
+            } else {
+                live.push((id, u, v, w));
+            }
+        }
+        let epoch_before = csr.epoch();
+        let rebuild = csr.rebuild_compacted();
+        let fresh = &rebuild.graph;
+        // Dense: every slot live, dead bookkeeping reclaimed.
+        assert_eq!(fresh.num_edges(), csr.num_edges());
+        assert_eq!(fresh.edge_id_bound(), fresh.num_edges());
+        assert_eq!(fresh.dead_edges(), 0);
+        assert_eq!(fresh.tombstoned_fraction(), 0.0);
+        assert!(fresh.is_compact());
+        // One logical mutation: the id shift is observable, so epoch-stamped
+        // readers must see the swap.
+        assert_eq!(fresh.epoch(), epoch_before + 1);
+        // The remap sends live ids to densified ids in append order and dead
+        // ids nowhere.
+        assert_eq!(rebuild.remap.len(), csr.edge_id_bound());
+        let mut expected_new = 0usize;
+        for (id, entry) in rebuild.remap.iter().enumerate() {
+            if csr.is_edge_live(EdgeId(id)) {
+                assert_eq!(*entry, Some(EdgeId(expected_new)), "old id {id}");
+                expected_new += 1;
+            } else {
+                assert_eq!(*entry, None, "dead id {id}");
+            }
+        }
+        // Records survive bit-identically under the remap.
+        for &(old_id, u, v, w) in &live {
+            let new_id = rebuild.remap[old_id.index()].unwrap();
+            let (nu, nv, nw) = fresh.edge(new_id);
+            assert_eq!((nu.index(), nv.index()), (u, v));
+            assert_eq!(nw.to_bits(), w.to_bits());
+        }
+        // Adjacency (and thus every answer) is unchanged modulo ids.
+        for u in 0..6 {
+            let before: Vec<(usize, u64)> = {
+                let mut v: Vec<_> = csr
+                    .neighbors(VertexId(u))
+                    .map(|nb| (nb.to.index(), nb.weight.to_bits()))
+                    .collect();
+                v.sort_unstable();
+                v
+            };
+            let after: Vec<(usize, u64)> = {
+                let mut v: Vec<_> = fresh
+                    .neighbors(VertexId(u))
+                    .map(|nb| (nb.to.index(), nb.weight.to_bits()))
+                    .collect();
+                v.sort_unstable();
+                v
+            };
+            assert_eq!(before, after, "vertex {u}");
+        }
+        // A rebuild of an already dense graph is an identity remap.
+        let again = fresh.rebuild_compacted();
+        assert!(again
+            .remap
+            .iter()
+            .enumerate()
+            .all(|(i, r)| *r == Some(EdgeId(i))));
+    }
+
+    #[test]
+    fn from_parts_round_trips_bit_identically() {
+        let mut csr = CsrGraph::new(5);
+        for (u, v, w) in [(0, 1, 0.125), (1, 2, 2.0), (2, 3, 3.75), (3, 4, 1.0e-3)] {
+            csr.append_edge(VertexId(u), VertexId(v), w);
+        }
+        csr.remove_edge(EdgeId(1)).unwrap();
+        csr.remove_edge(EdgeId(3)).unwrap();
+        let parts: Vec<(VertexId, VertexId, f64, bool)> = (0..csr.edge_id_bound())
+            .map(|id| {
+                let (u, v, w) = csr.edge(EdgeId(id));
+                (u, v, w, csr.is_edge_live(EdgeId(id)))
+            })
+            .collect();
+        let restored = CsrGraph::from_parts(csr.num_vertices(), csr.epoch(), parts).unwrap();
+        assert_eq!(restored.epoch(), csr.epoch());
+        assert_eq!(restored.num_vertices(), csr.num_vertices());
+        assert_eq!(restored.edge_id_bound(), csr.edge_id_bound());
+        assert_eq!(restored.num_edges(), csr.num_edges());
+        assert_eq!(restored.dead_edges(), csr.dead_edges());
+        assert!(restored.is_compact(), "from_parts packs fully");
+        for id in 0..csr.edge_id_bound() {
+            let id = EdgeId(id);
+            assert_eq!(restored.is_edge_live(id), csr.is_edge_live(id));
+            let (u, v, w) = csr.edge(id);
+            let (ru, rv, rw) = restored.edge(id);
+            assert_eq!((ru, rv), (u, v));
+            assert_eq!(rw.to_bits(), w.to_bits());
+        }
+        for u in 0..5 {
+            assert_eq!(sorted_neighbors(&restored, u), sorted_neighbors(&csr, u));
+        }
+    }
+
+    #[test]
+    fn from_parts_rejects_records_no_append_could_have_produced() {
+        let bad_vertex = CsrGraph::from_parts(3, 0, [(VertexId(0), VertexId(7), 1.0, true)]);
+        assert!(matches!(
+            bad_vertex,
+            Err(GraphError::VertexOutOfRange { vertex: 7, .. })
+        ));
+        let self_loop = CsrGraph::from_parts(3, 0, [(VertexId(1), VertexId(1), 1.0, true)]);
+        assert!(matches!(self_loop, Err(GraphError::SelfLoop { vertex: 1 })));
+        // Dead records are validated too: they were valid when first
+        // appended, so an invalid one means corrupt storage.
+        let bad_weight = CsrGraph::from_parts(3, 0, [(VertexId(0), VertexId(1), f64::NAN, false)]);
+        assert!(matches!(bad_weight, Err(GraphError::InvalidWeight { .. })));
+        // And the empty graph round-trips.
+        let empty = CsrGraph::from_parts(4, 9, std::iter::empty()).unwrap();
+        assert_eq!(empty.num_vertices(), 4);
+        assert_eq!(empty.epoch(), 9);
+        assert!(empty.is_edgeless());
     }
 
     #[test]

@@ -13,7 +13,13 @@
 //!   tombstone bitmap, consolidated on re-pack), so a spanner can grow while
 //!   being queried and a long-running one can take live updates. Every
 //!   mutation bumps a monotone [`csr::CsrGraph::epoch`]; stale views are
-//!   refused with a typed [`error::GraphError::StaleEpoch`].
+//!   refused with a typed [`error::GraphError::StaleEpoch`]. Under
+//!   unbounded insert/delete churn,
+//!   [`csr::CsrGraph::rebuild_compacted`] starts a fresh dense *generation*
+//!   (ids re-densified behind a bumped epoch, with an id-remap table) so the
+//!   ground-truth arrays stay proportional to the live edge count, and
+//!   [`csr::CsrGraph::from_parts`] reconstructs a graph bit-identically from
+//!   persisted parts.
 //! * [`DijkstraEngine`] — a reusable query engine over [`CsrGraph`] with an
 //!   owned, generation-stamped workspace: `bounded_distance`,
 //!   `shortest_path_tree` and `ball` queries perform **zero heap allocation
@@ -89,7 +95,7 @@ pub mod properties;
 pub mod union_find;
 
 pub use builder::GraphBuilder;
-pub use csr::{CsrGraph, CsrSnapshot, DeltaOverlay};
+pub use csr::{CompactedRebuild, CsrGraph, CsrSnapshot, DeltaOverlay};
 pub use engine::{DijkstraEngine, EngineStats, EngineTree, SptTree};
 pub use error::GraphError;
 pub use graph::{Edge, EdgeId, VertexId, WeightedGraph};

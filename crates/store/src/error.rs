@@ -1,0 +1,280 @@
+//! The typed error vocabulary of the persistence layer.
+//!
+//! Everything a corrupt, truncated or mismatched store can do surfaces as a
+//! [`PersistError`] — decoding **never panics**, whatever the bytes. The
+//! variants are deliberately fine-grained so recovery policy can branch on
+//! them: a [`PersistError::ChecksumMismatch`] on one snapshot sends recovery
+//! to the next-newest candidate, while a [`PersistError::MixedEpoch`] means
+//! the snapshot and WAL disagree about history and no amount of fallback can
+//! reconcile them.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+use spanner_graph::GraphError;
+
+/// Errors produced while writing, reading or replaying persistent state.
+#[derive(Debug)]
+pub enum PersistError {
+    /// An underlying filesystem operation failed.
+    Io {
+        /// The file or directory the operation targeted.
+        path: PathBuf,
+        /// The operating-system error.
+        source: io::Error,
+    },
+    /// The file does not start with the expected magic bytes — it is not a
+    /// snapshot/WAL file (or its head was overwritten).
+    BadMagic {
+        /// The offending file.
+        path: PathBuf,
+        /// The magic the format requires.
+        expected: [u8; 8],
+        /// What the file actually starts with.
+        found: [u8; 8],
+    },
+    /// The file's format version is newer than this build understands.
+    UnsupportedVersion {
+        /// The offending file.
+        path: PathBuf,
+        /// The version stamped in the file.
+        version: u32,
+        /// The newest version this build reads.
+        supported: u32,
+    },
+    /// The file ended in the middle of a structure it promised to contain.
+    Truncated {
+        /// The offending file.
+        path: PathBuf,
+        /// What was being decoded when the bytes ran out.
+        context: &'static str,
+    },
+    /// A checksum over stored bytes did not match — bit rot, a torn write,
+    /// or manual tampering.
+    ChecksumMismatch {
+        /// The offending file.
+        path: PathBuf,
+        /// The section or record whose checksum failed.
+        context: &'static str,
+        /// The checksum stored alongside the data.
+        stored: u32,
+        /// The checksum recomputed from the data.
+        computed: u32,
+    },
+    /// The bytes decoded structurally but violate an invariant of the
+    /// format (impossible counts, non-canonical values, …).
+    Corrupt {
+        /// The offending file.
+        path: PathBuf,
+        /// The structure whose invariant failed.
+        context: &'static str,
+        /// What exactly was wrong.
+        detail: String,
+    },
+    /// A stored graph failed graph-level validation on reconstruction — the
+    /// records could never have been produced by a valid graph.
+    InvalidGraph {
+        /// The offending file.
+        path: PathBuf,
+        /// The graph-level validation error.
+        source: GraphError,
+    },
+    /// A WAL record's epoch stamp disagrees with the state it would replay
+    /// onto: the snapshot and the log describe different histories (e.g. a
+    /// snapshot paired with another run's WAL).
+    MixedEpoch {
+        /// The sequence number of the offending record.
+        seq: u64,
+        /// The epoch the record was stamped with at append time.
+        wal_epoch: u64,
+        /// The epoch the recovering spanner is actually at.
+        expected_epoch: u64,
+    },
+    /// The WAL is missing records between the snapshot's cursor and its
+    /// first usable record — replay cannot bridge the gap.
+    WalSequenceGap {
+        /// The first sequence number replay needed.
+        expected: u64,
+        /// The sequence number actually found.
+        found: u64,
+    },
+    /// No snapshot in the directory decoded cleanly; recovery has nothing
+    /// to start from.
+    NoValidSnapshot {
+        /// The store directory searched.
+        dir: PathBuf,
+        /// How many snapshot candidates were found (and rejected).
+        candidates: usize,
+    },
+    /// The target directory already holds a store — refusing to overwrite
+    /// it; recover from it (or point at a fresh directory) instead.
+    StoreExists {
+        /// The occupied directory.
+        dir: PathBuf,
+    },
+}
+
+impl PersistError {
+    /// Convenience constructor for [`PersistError::Io`].
+    pub fn io(path: impl Into<PathBuf>, source: io::Error) -> Self {
+        PersistError::Io {
+            path: path.into(),
+            source,
+        }
+    }
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io { path, source } => {
+                write!(f, "i/o error on {}: {source}", path.display())
+            }
+            PersistError::BadMagic {
+                path,
+                expected,
+                found,
+            } => write!(
+                f,
+                "{} is not a store file: magic {found:02x?} (expected {expected:02x?})",
+                path.display()
+            ),
+            PersistError::UnsupportedVersion {
+                path,
+                version,
+                supported,
+            } => write!(
+                f,
+                "{} has format version {version}; this build reads up to {supported}",
+                path.display()
+            ),
+            PersistError::Truncated { path, context } => {
+                write!(f, "{} is truncated inside {context}", path.display())
+            }
+            PersistError::ChecksumMismatch {
+                path,
+                context,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "checksum mismatch in {} ({context}): stored {stored:#010x}, computed \
+                 {computed:#010x}",
+                path.display()
+            ),
+            PersistError::Corrupt {
+                path,
+                context,
+                detail,
+            } => write!(f, "corrupt {context} in {}: {detail}", path.display()),
+            PersistError::InvalidGraph { path, source } => write!(
+                f,
+                "stored graph in {} fails validation: {source}",
+                path.display()
+            ),
+            PersistError::MixedEpoch {
+                seq,
+                wal_epoch,
+                expected_epoch,
+            } => write!(
+                f,
+                "wal record {seq} is stamped epoch {wal_epoch} but the recovering spanner is at \
+                 epoch {expected_epoch}: snapshot and log describe different histories"
+            ),
+            PersistError::WalSequenceGap { expected, found } => write!(
+                f,
+                "wal sequence gap: replay needed record {expected} but found {found}"
+            ),
+            PersistError::NoValidSnapshot { dir, candidates } => write!(
+                f,
+                "no valid snapshot in {} ({candidates} candidate file(s), all rejected)",
+                dir.display()
+            ),
+            PersistError::StoreExists { dir } => write!(
+                f,
+                "{} already holds a store; recover from it or use a fresh directory",
+                dir.display()
+            ),
+        }
+    }
+}
+
+impl Error for PersistError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PersistError::Io { source, .. } => Some(source),
+            PersistError::InvalidGraph { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    #[test]
+    fn display_is_nonempty_and_sources_are_wired() {
+        let errors: Vec<PersistError> = vec![
+            PersistError::io("/tmp/x", io::Error::new(io::ErrorKind::NotFound, "gone")),
+            PersistError::BadMagic {
+                path: "/tmp/x".into(),
+                expected: *b"SPANSNP1",
+                found: *b"GARBAGE!",
+            },
+            PersistError::UnsupportedVersion {
+                path: "/tmp/x".into(),
+                version: 9,
+                supported: 1,
+            },
+            PersistError::Truncated {
+                path: "/tmp/x".into(),
+                context: "graph image",
+            },
+            PersistError::ChecksumMismatch {
+                path: "/tmp/x".into(),
+                context: "wal record",
+                stored: 1,
+                computed: 2,
+            },
+            PersistError::Corrupt {
+                path: "/tmp/x".into(),
+                context: "snapshot root",
+                detail: "tombstone words overflow".into(),
+            },
+            PersistError::InvalidGraph {
+                path: "/tmp/x".into(),
+                source: GraphError::SelfLoop { vertex: 3 },
+            },
+            PersistError::MixedEpoch {
+                seq: 4,
+                wal_epoch: 7,
+                expected_epoch: 9,
+            },
+            PersistError::WalSequenceGap {
+                expected: 3,
+                found: 5,
+            },
+            PersistError::NoValidSnapshot {
+                dir: "/tmp/store".into(),
+                candidates: 2,
+            },
+            PersistError::StoreExists {
+                dir: "/tmp/store".into(),
+            },
+        ];
+        for e in &errors {
+            assert!(!e.to_string().is_empty());
+        }
+        assert!(errors[0].source().is_some(), "Io wires its source");
+        assert!(
+            errors[6].source().is_some(),
+            "InvalidGraph wires its source"
+        );
+        assert!(errors[1].source().is_none());
+        let _ = Path::new("/tmp");
+    }
+}

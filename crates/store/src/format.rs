@@ -1,0 +1,306 @@
+//! Byte-level building blocks shared by the snapshot and WAL formats.
+//!
+//! Everything on disk is **little-endian, fixed-width, and flat**: `u32` /
+//! `u64` scalars, `f64` weights stored as raw bit patterns (so a round trip
+//! is bit-identical, `NaN` payloads and negative zeros included — though the
+//! graph layer forbids those from ever entering), and arrays as contiguous
+//! runs of fixed-width elements. Flat fixed-width layout is what makes the
+//! snapshot mmap-friendly: a reader can compute every array's offset from
+//! the section header alone.
+//!
+//! Sections ([`write_section`] / [`Section`]) frame variable-length payloads
+//! as `tag u32 | len u64 | payload | crc32(payload)`, so a reader can verify
+//! integrity section by section and a truncation or bit flip anywhere is a
+//! typed [`PersistError`], never a panic.
+
+use std::path::Path;
+
+use crate::checksum::crc32;
+use crate::error::PersistError;
+
+/// An append-only little-endian byte buffer.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        ByteWriter::default()
+    }
+
+    /// An empty buffer with `capacity` bytes pre-allocated.
+    pub fn with_capacity(capacity: usize) -> Self {
+        ByteWriter {
+            buf: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its raw bit pattern (bit-identical round trip).
+    pub fn put_f64_bits(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends raw bytes.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Returns `true` if nothing was written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer, yielding the buffer.
+    pub fn into_inner(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// The buffer written so far.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// A bounds-checked little-endian cursor over a byte slice. Every read
+/// returns `None` past the end — callers convert that into
+/// [`PersistError::Truncated`] with their own context.
+#[derive(Debug, Clone)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A cursor at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Returns `true` when the cursor consumed everything.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Takes the next `n` bytes, if present.
+    pub fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.remaining() < n {
+            return None;
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Some(out)
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    /// Reads an `f64` stored as its raw bit pattern.
+    pub fn f64_bits(&mut self) -> Option<f64> {
+        self.u64().map(f64::from_bits)
+    }
+}
+
+/// Appends one framed section: `tag | len | payload | crc32(payload)`.
+pub fn write_section(out: &mut ByteWriter, tag: u32, payload: &[u8]) {
+    out.put_u32(tag);
+    out.put_u64(payload.len() as u64);
+    out.put_bytes(payload);
+    out.put_u32(crc32(payload));
+}
+
+/// One decoded section.
+#[derive(Debug)]
+pub struct Section<'a> {
+    /// The section's tag.
+    pub tag: u32,
+    /// The verified payload.
+    pub payload: &'a [u8],
+}
+
+/// Reads the next framed section, verifying its checksum.
+///
+/// # Errors
+///
+/// [`PersistError::Truncated`] when the header, payload or trailer run past
+/// the end of the buffer (a stored length larger than the remaining bytes is
+/// truncation by definition — the file promises data it does not contain),
+/// and [`PersistError::ChecksumMismatch`] when the payload fails its CRC.
+pub fn read_section<'a>(
+    reader: &mut ByteReader<'a>,
+    path: &Path,
+    context: &'static str,
+) -> Result<Section<'a>, PersistError> {
+    let truncated = || PersistError::Truncated {
+        path: path.to_path_buf(),
+        context,
+    };
+    let tag = reader.u32().ok_or_else(truncated)?;
+    let len = reader.u64().ok_or_else(truncated)?;
+    let len = usize::try_from(len).map_err(|_| truncated())?;
+    if reader.remaining() < len.saturating_add(4) {
+        return Err(truncated());
+    }
+    let payload = reader.take(len).ok_or_else(truncated)?;
+    let stored = reader.u32().ok_or_else(truncated)?;
+    let computed = crc32(payload);
+    if stored != computed {
+        return Err(PersistError::ChecksumMismatch {
+            path: path.to_path_buf(),
+            context,
+            stored,
+            computed,
+        });
+    }
+    Ok(Section { tag, payload })
+}
+
+/// Reads the next section and checks its tag.
+///
+/// # Errors
+///
+/// Everything [`read_section`] returns, plus [`PersistError::Corrupt`] when
+/// the tag is not the expected one.
+pub fn expect_section<'a>(
+    reader: &mut ByteReader<'a>,
+    path: &Path,
+    context: &'static str,
+    expected_tag: u32,
+) -> Result<Section<'a>, PersistError> {
+    let section = read_section(reader, path, context)?;
+    if section.tag != expected_tag {
+        return Err(PersistError::Corrupt {
+            path: path.to_path_buf(),
+            context,
+            detail: format!(
+                "unexpected section tag {:#010x} (expected {:#010x})",
+                section.tag, expected_tag
+            ),
+        });
+    }
+    Ok(section)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn path() -> PathBuf {
+        PathBuf::from("/test/section.bin")
+    }
+
+    #[test]
+    fn scalars_round_trip_bit_identically() {
+        let mut w = ByteWriter::new();
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_f64_bits(-0.0);
+        w.put_f64_bits(f64::from_bits(0x7FF8_0000_0000_0001)); // NaN payload
+        w.put_bytes(b"tail");
+        let bytes = w.into_inner();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.u32(), Some(0xDEAD_BEEF));
+        assert_eq!(r.u64(), Some(u64::MAX - 1));
+        assert_eq!(r.f64_bits().map(f64::to_bits), Some((-0.0f64).to_bits()));
+        assert_eq!(r.f64_bits().map(f64::to_bits), Some(0x7FF8_0000_0000_0001));
+        assert_eq!(r.take(4), Some(&b"tail"[..]));
+        assert!(r.is_empty());
+        assert_eq!(r.u32(), None, "past-the-end reads are None, not panics");
+    }
+
+    #[test]
+    fn sections_round_trip_and_catch_corruption() {
+        let mut w = ByteWriter::new();
+        write_section(&mut w, 0x1111, b"first payload");
+        write_section(&mut w, 0x2222, b"");
+        let bytes = w.into_inner();
+
+        let mut r = ByteReader::new(&bytes);
+        let s1 = expect_section(&mut r, &path(), "s1", 0x1111).unwrap();
+        assert_eq!(s1.payload, b"first payload");
+        let s2 = read_section(&mut r, &path(), "s2").unwrap();
+        assert_eq!((s2.tag, s2.payload.len()), (0x2222, 0));
+        assert!(r.is_empty());
+
+        // Wrong tag.
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(
+            expect_section(&mut r, &path(), "s1", 0x9999),
+            Err(PersistError::Corrupt { .. })
+        ));
+
+        // Every truncation point is a typed error.
+        for cut in 0..bytes.len() {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            let mut ok = 0;
+            loop {
+                match read_section(&mut r, &path(), "cut") {
+                    Ok(_) => ok += 1,
+                    Err(PersistError::Truncated { .. }) => break,
+                    Err(other) => panic!("cut {cut}: unexpected {other}"),
+                }
+            }
+            assert!(ok <= 1, "cut {cut} cannot yield both sections");
+        }
+
+        // Every single-byte flip inside a payload is a checksum mismatch
+        // (flips in the framing surface as truncation/corruption instead).
+        let mut flipped = bytes.clone();
+        let payload_start = 4 + 8;
+        for i in payload_start..payload_start + b"first payload".len() {
+            flipped[i] ^= 0x40;
+            let mut r = ByteReader::new(&flipped);
+            assert!(matches!(
+                read_section(&mut r, &path(), "flip"),
+                Err(PersistError::ChecksumMismatch { .. })
+            ));
+            flipped[i] ^= 0x40;
+        }
+    }
+
+    #[test]
+    fn absurd_lengths_are_truncation_not_allocation() {
+        // A section claiming u64::MAX payload bytes must fail cleanly.
+        let mut w = ByteWriter::new();
+        w.put_u32(0x1234);
+        w.put_u64(u64::MAX);
+        w.put_bytes(&[0u8; 16]);
+        let bytes = w.into_inner();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(
+            read_section(&mut r, &path(), "absurd"),
+            Err(PersistError::Truncated { .. })
+        ));
+    }
+}

@@ -1,0 +1,591 @@
+//! The snapshot file format: one epoch-stamped, checksummed, atomic file
+//! holding everything needed to reconstruct a live spanner's graphs
+//! bit-identically.
+//!
+//! # On-disk layout (version 1)
+//!
+//! ```text
+//! magic   8 B   "SPANSNP1"
+//! version u32   1
+//! ROOT    section   epoch u64 | wal_seq u64
+//! META    section   opaque owner-defined bytes (stretch, stats, provenance)
+//! SPGR    section   GraphImage of the live spanner
+//! ORGR    section   GraphImage of the original-graph mirror
+//! END!    section   empty (proves the file was written to completion)
+//! ```
+//!
+//! Each section is framed `tag u32 | len u64 | payload | crc32(payload)`
+//! (see [`crate::format`]). A [`GraphImage`] payload is flat fixed-width
+//! little-endian arrays — `us[] | vs[] | weight_bits[] | tombstone[]` after
+//! three scalar counters — so every array's offset is computable from the
+//! header alone (mmap-friendly; nothing needs parsing to be addressed).
+//! Weights are stored as raw `f64` bit patterns: a snapshot round trip
+//! reproduces edge ids, weights and epoch stamps **bit-identically**,
+//! including tombstoned slots, so edge ids keep their meaning across a
+//! save/load cycle.
+//!
+//! Snapshots are written atomically ([`Snapshot::write_atomic`]): the bytes
+//! go to a `.tmp` sibling, are fsynced, and are renamed into place — a crash
+//! mid-write leaves either the old file or a `.tmp` orphan, never a
+//! half-written snapshot under the real name.
+
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use spanner_graph::{CsrGraph, VertexId};
+
+use crate::error::PersistError;
+use crate::format::{expect_section, write_section, ByteReader, ByteWriter};
+
+/// The snapshot file magic.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"SPANSNP1";
+/// The newest snapshot format version this build reads and writes.
+pub const SNAPSHOT_VERSION: u32 = 1;
+/// Extension of snapshot files in a store directory.
+pub const SNAPSHOT_EXTENSION: &str = "snap";
+
+const TAG_ROOT: u32 = u32::from_le_bytes(*b"ROOT");
+const TAG_META: u32 = u32::from_le_bytes(*b"META");
+const TAG_SPANNER: u32 = u32::from_le_bytes(*b"SPGR");
+const TAG_ORIGINAL: u32 = u32::from_le_bytes(*b"ORGR");
+const TAG_END: u32 = u32::from_le_bytes(*b"END!");
+
+/// A [`CsrGraph`] flattened for storage: every ground-truth slot (dead ones
+/// included, so edge ids survive) as parallel fixed-width arrays, plus the
+/// tombstone bitmap and the epoch stamp.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphImage {
+    /// Vertex count.
+    pub num_vertices: u64,
+    /// The graph's epoch at capture.
+    pub epoch: u64,
+    /// Source endpoint per edge slot, in edge-id order.
+    pub us: Vec<u32>,
+    /// Target endpoint per edge slot.
+    pub vs: Vec<u32>,
+    /// Weight per edge slot, as raw `f64` bits (bit-identical round trip).
+    pub weight_bits: Vec<u64>,
+    /// Tombstone bitmap over edge slots (`ceil(slots / 64)` words); a set
+    /// bit marks a dead slot.
+    pub tombstone: Vec<u64>,
+}
+
+impl GraphImage {
+    /// Flattens a graph, preserving dead slots and the epoch.
+    pub fn capture(graph: &CsrGraph) -> Self {
+        let slots = graph.edge_id_bound();
+        let mut image = GraphImage {
+            num_vertices: graph.num_vertices() as u64,
+            epoch: graph.epoch(),
+            us: Vec::with_capacity(slots),
+            vs: Vec::with_capacity(slots),
+            weight_bits: Vec::with_capacity(slots),
+            tombstone: vec![0u64; slots.div_ceil(64)],
+        };
+        for id in 0..slots {
+            let (u, v, w) = graph.edge(spanner_graph::EdgeId(id));
+            image.us.push(u.index() as u32);
+            image.vs.push(v.index() as u32);
+            image.weight_bits.push(w.to_bits());
+            if !graph.is_edge_live(spanner_graph::EdgeId(id)) {
+                image.tombstone[id / 64] |= 1 << (id % 64);
+            }
+        }
+        image
+    }
+
+    /// Reconstructs the graph **bit-identically**: same vertex count, same
+    /// edge ids (dead slots re-tombstoned), same weight bits, same epoch.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Corrupt`] for counts no real graph can have (vertex
+    /// count overflowing `u32`, mismatched array lengths, a wrong-sized
+    /// bitmap) and [`PersistError::InvalidGraph`] when a record fails
+    /// graph-level validation — decoding never panics.
+    pub fn restore(&self, path: &Path) -> Result<CsrGraph, PersistError> {
+        let corrupt = |detail: String| PersistError::Corrupt {
+            path: path.to_path_buf(),
+            context: "graph image",
+            detail,
+        };
+        let num_vertices = usize::try_from(self.num_vertices)
+            .ok()
+            .filter(|&n| n < u32::MAX as usize)
+            .ok_or_else(|| corrupt(format!("vertex count {} overflows u32", self.num_vertices)))?;
+        let slots = self.us.len();
+        if self.vs.len() != slots || self.weight_bits.len() != slots {
+            return Err(corrupt(format!(
+                "mismatched slot arrays: {} us, {} vs, {} weights",
+                slots,
+                self.vs.len(),
+                self.weight_bits.len()
+            )));
+        }
+        if self.tombstone.len() != slots.div_ceil(64) {
+            return Err(corrupt(format!(
+                "tombstone bitmap has {} words for {} slots",
+                self.tombstone.len(),
+                slots
+            )));
+        }
+        if 2 * slots + 2 > u32::MAX as usize {
+            return Err(corrupt(format!("{slots} edge slots overflow u32 ids")));
+        }
+        let records = (0..slots).map(|id| {
+            let live = self.tombstone[id / 64] >> (id % 64) & 1 == 0;
+            (
+                VertexId(self.us[id] as usize),
+                VertexId(self.vs[id] as usize),
+                f64::from_bits(self.weight_bits[id]),
+                live,
+            )
+        });
+        CsrGraph::from_parts(num_vertices, self.epoch, records).map_err(|source| {
+            PersistError::InvalidGraph {
+                path: path.to_path_buf(),
+                source,
+            }
+        })
+    }
+
+    fn encode(&self, out: &mut ByteWriter) {
+        out.put_u64(self.num_vertices);
+        out.put_u64(self.epoch);
+        out.put_u64(self.us.len() as u64);
+        for &u in &self.us {
+            out.put_u32(u);
+        }
+        for &v in &self.vs {
+            out.put_u32(v);
+        }
+        for &w in &self.weight_bits {
+            out.put_u64(w);
+        }
+        for &word in &self.tombstone {
+            out.put_u64(word);
+        }
+    }
+
+    fn decode(payload: &[u8], path: &Path, context: &'static str) -> Result<Self, PersistError> {
+        let truncated = || PersistError::Truncated {
+            path: path.to_path_buf(),
+            context,
+        };
+        let mut r = ByteReader::new(payload);
+        let num_vertices = r.u64().ok_or_else(truncated)?;
+        let epoch = r.u64().ok_or_else(truncated)?;
+        let slots = r.u64().ok_or_else(truncated)?;
+        let slots = usize::try_from(slots)
+            .ok()
+            // Each slot needs 4 + 4 + 8 payload bytes; an overclaimed count
+            // is truncation (the section promises data it does not hold).
+            .filter(|&s| s <= r.remaining() / 16)
+            .ok_or_else(truncated)?;
+        let mut image = GraphImage {
+            num_vertices,
+            epoch,
+            us: Vec::with_capacity(slots),
+            vs: Vec::with_capacity(slots),
+            weight_bits: Vec::with_capacity(slots),
+            tombstone: Vec::with_capacity(slots.div_ceil(64)),
+        };
+        for _ in 0..slots {
+            image.us.push(r.u32().ok_or_else(truncated)?);
+        }
+        for _ in 0..slots {
+            image.vs.push(r.u32().ok_or_else(truncated)?);
+        }
+        for _ in 0..slots {
+            image.weight_bits.push(r.u64().ok_or_else(truncated)?);
+        }
+        for _ in 0..slots.div_ceil(64) {
+            image.tombstone.push(r.u64().ok_or_else(truncated)?);
+        }
+        if !r.is_empty() {
+            return Err(PersistError::Corrupt {
+                path: path.to_path_buf(),
+                context,
+                detail: format!("{} trailing bytes after the bitmap", r.remaining()),
+            });
+        }
+        Ok(image)
+    }
+}
+
+/// One complete snapshot: the replay cursor, owner metadata, and both graph
+/// images.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// The spanner's epoch at capture (also stamped in
+    /// [`Snapshot::spanner`]; duplicated in the root for cheap inspection).
+    pub epoch: u64,
+    /// The WAL replay cursor: how many update batches were already applied
+    /// when this snapshot was taken. Recovery replays records with
+    /// `seq >= wal_seq`.
+    pub wal_seq: u64,
+    /// Opaque owner-defined metadata (the core crate stores stretch,
+    /// cumulative statistics and provenance here).
+    pub meta: Vec<u8>,
+    /// The live spanner.
+    pub spanner: GraphImage,
+    /// The original-graph mirror the stretch invariant is measured against.
+    pub original: GraphImage,
+}
+
+impl Snapshot {
+    /// Serializes the snapshot to its on-disk byte layout.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut root = ByteWriter::new();
+        root.put_u64(self.epoch);
+        root.put_u64(self.wal_seq);
+        let mut spanner = ByteWriter::new();
+        self.spanner.encode(&mut spanner);
+        let mut original = ByteWriter::new();
+        self.original.encode(&mut original);
+
+        let mut out =
+            ByteWriter::with_capacity(64 + self.meta.len() + spanner.len() + original.len());
+        out.put_bytes(&SNAPSHOT_MAGIC);
+        out.put_u32(SNAPSHOT_VERSION);
+        write_section(&mut out, TAG_ROOT, root.as_slice());
+        write_section(&mut out, TAG_META, &self.meta);
+        write_section(&mut out, TAG_SPANNER, spanner.as_slice());
+        write_section(&mut out, TAG_ORIGINAL, original.as_slice());
+        write_section(&mut out, TAG_END, &[]);
+        out.into_inner()
+    }
+
+    /// Decodes and fully verifies a snapshot from its byte layout.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`PersistError`]s for every way the bytes can be wrong: magic,
+    /// version, truncation anywhere, per-section checksum mismatches,
+    /// structural corruption. Never panics.
+    pub fn decode(bytes: &[u8], path: &Path) -> Result<Self, PersistError> {
+        let mut r = ByteReader::new(bytes);
+        let magic = r.take(8).ok_or_else(|| PersistError::Truncated {
+            path: path.to_path_buf(),
+            context: "snapshot magic",
+        })?;
+        if magic != SNAPSHOT_MAGIC {
+            return Err(PersistError::BadMagic {
+                path: path.to_path_buf(),
+                expected: SNAPSHOT_MAGIC,
+                found: magic.try_into().unwrap(),
+            });
+        }
+        let version = r.u32().ok_or_else(|| PersistError::Truncated {
+            path: path.to_path_buf(),
+            context: "snapshot version",
+        })?;
+        if version != SNAPSHOT_VERSION {
+            return Err(PersistError::UnsupportedVersion {
+                path: path.to_path_buf(),
+                version,
+                supported: SNAPSHOT_VERSION,
+            });
+        }
+        let root = expect_section(&mut r, path, "snapshot root", TAG_ROOT)?;
+        let mut root_r = ByteReader::new(root.payload);
+        let (epoch, wal_seq) = match (root_r.u64(), root_r.u64()) {
+            (Some(e), Some(s)) if root_r.is_empty() => (e, s),
+            _ => {
+                return Err(PersistError::Corrupt {
+                    path: path.to_path_buf(),
+                    context: "snapshot root",
+                    detail: format!("root payload is {} bytes (expected 16)", root.payload.len()),
+                })
+            }
+        };
+        let meta = expect_section(&mut r, path, "snapshot meta", TAG_META)?
+            .payload
+            .to_vec();
+        let spanner_section = expect_section(&mut r, path, "spanner image", TAG_SPANNER)?;
+        let spanner = GraphImage::decode(spanner_section.payload, path, "spanner image")?;
+        let original_section = expect_section(&mut r, path, "original image", TAG_ORIGINAL)?;
+        let original = GraphImage::decode(original_section.payload, path, "original image")?;
+        let end = expect_section(&mut r, path, "snapshot end marker", TAG_END)?;
+        if !end.payload.is_empty() || !r.is_empty() {
+            return Err(PersistError::Corrupt {
+                path: path.to_path_buf(),
+                context: "snapshot end marker",
+                detail: "trailing bytes after the end marker".into(),
+            });
+        }
+        Ok(Snapshot {
+            epoch,
+            wal_seq,
+            meta,
+            spanner,
+            original,
+        })
+    }
+
+    /// Writes the snapshot atomically: encode → `.tmp` sibling → fsync →
+    /// rename into place (→ best-effort directory fsync). A crash at any
+    /// point leaves either the previous file or a `.tmp` orphan under a
+    /// different name — never a torn snapshot under `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`] for any failing filesystem operation.
+    pub fn write_atomic(&self, path: &Path) -> Result<(), PersistError> {
+        let bytes = self.encode();
+        let tmp = temp_sibling(path);
+        let write = || -> std::io::Result<()> {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+            Ok(())
+        };
+        write().map_err(|e| PersistError::io(&tmp, e))?;
+        fs::rename(&tmp, path).map_err(|e| PersistError::io(path, e))?;
+        // Durability of the rename itself: fsync the parent directory where
+        // the platform allows opening one (best-effort elsewhere).
+        if let Some(dir) = path.parent() {
+            if let Ok(d) = fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads and fully verifies a snapshot file.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`] on filesystem failure plus everything
+    /// [`Snapshot::decode`] returns.
+    pub fn read(path: &Path) -> Result<Self, PersistError> {
+        let bytes = fs::read(path).map_err(|e| PersistError::io(path, e))?;
+        Snapshot::decode(&bytes, path)
+    }
+}
+
+fn temp_sibling(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// The canonical file name of a snapshot at WAL cursor `seq` and spanner
+/// epoch `epoch`. Zero-padded decimals, so lexicographic file order equals
+/// numeric recency order.
+pub fn snapshot_file_name(seq: u64, epoch: u64) -> String {
+    format!("snapshot-{seq:020}-{epoch:020}.{SNAPSHOT_EXTENSION}")
+}
+
+/// Parses a file name produced by [`snapshot_file_name`] back into
+/// `(seq, epoch)`; `None` for anything else.
+pub fn parse_snapshot_file_name(name: &str) -> Option<(u64, u64)> {
+    let rest = name.strip_prefix("snapshot-")?;
+    let rest = rest.strip_suffix(".snap")?;
+    let (seq, epoch) = rest.split_once('-')?;
+    if seq.len() != 20 || epoch.len() != 20 {
+        return None;
+    }
+    Some((seq.parse().ok()?, epoch.parse().ok()?))
+}
+
+/// One snapshot file found in a store directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotCandidate {
+    /// Full path of the file.
+    pub path: PathBuf,
+    /// WAL cursor parsed from the name.
+    pub seq: u64,
+    /// Spanner epoch parsed from the name.
+    pub epoch: u64,
+}
+
+/// Lists the snapshot files in `dir`, **newest first** (by WAL cursor, then
+/// epoch). Only well-formed names participate; recovery walks this list and
+/// falls back past candidates whose contents fail verification.
+///
+/// # Errors
+///
+/// [`PersistError::Io`] when the directory cannot be read.
+pub fn list_snapshots(dir: &Path) -> Result<Vec<SnapshotCandidate>, PersistError> {
+    let entries = fs::read_dir(dir).map_err(|e| PersistError::io(dir, e))?;
+    let mut found = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| PersistError::io(dir, e))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some((seq, epoch)) = parse_snapshot_file_name(name) {
+            found.push(SnapshotCandidate {
+                path: entry.path(),
+                seq,
+                epoch,
+            });
+        }
+    }
+    found.sort_by_key(|c| std::cmp::Reverse((c.seq, c.epoch)));
+    Ok(found)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spanner_graph::EdgeId;
+
+    fn sample_graph() -> CsrGraph {
+        let mut g = CsrGraph::new(5);
+        g.append_edge(VertexId(0), VertexId(1), 1.25);
+        g.append_edge(VertexId(1), VertexId(2), 0.5);
+        g.append_edge(VertexId(2), VertexId(3), 1.0e-9);
+        g.append_edge(VertexId(3), VertexId(4), 7.75);
+        g.remove_edge(EdgeId(1)).unwrap();
+        g
+    }
+
+    fn sample_snapshot() -> Snapshot {
+        let g = sample_graph();
+        let mut spanner = g.clone();
+        spanner.remove_edge(EdgeId(3)).unwrap();
+        Snapshot {
+            epoch: spanner.epoch(),
+            wal_seq: 3,
+            meta: b"owner metadata".to_vec(),
+            spanner: GraphImage::capture(&spanner),
+            original: GraphImage::capture(&g),
+        }
+    }
+
+    #[test]
+    fn graph_image_round_trips_bit_identically() {
+        let g = sample_graph();
+        let image = GraphImage::capture(&g);
+        let restored = image.restore(Path::new("/test")).unwrap();
+        assert_eq!(restored.num_vertices(), g.num_vertices());
+        assert_eq!(restored.epoch(), g.epoch());
+        assert_eq!(restored.edge_id_bound(), g.edge_id_bound());
+        assert_eq!(restored.num_edges(), g.num_edges());
+        for id in 0..g.edge_id_bound() {
+            let id = EdgeId(id);
+            assert_eq!(restored.is_edge_live(id), g.is_edge_live(id));
+            let (u, v, w) = g.edge(id);
+            let (ru, rv, rw) = restored.edge(id);
+            assert_eq!((ru, rv), (u, v));
+            assert_eq!(rw.to_bits(), w.to_bits());
+        }
+        // And capture of the restoration is the identical image.
+        assert_eq!(GraphImage::capture(&restored), image);
+    }
+
+    #[test]
+    fn snapshot_file_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join("spanner-store-snapshot-roundtrip");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(snapshot_file_name(3, 6));
+        let snap = sample_snapshot();
+        snap.write_atomic(&path).unwrap();
+        let back = Snapshot::read(&path).unwrap();
+        assert_eq!(back, snap);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn every_truncation_and_flip_is_a_typed_error() {
+        let snap = sample_snapshot();
+        let bytes = snap.encode();
+        let path = Path::new("/test/snap");
+        // Truncation at every prefix length: typed error, never panic,
+        // never a silent success.
+        for cut in 0..bytes.len() {
+            let err = Snapshot::decode(&bytes[..cut], path).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    PersistError::Truncated { .. }
+                        | PersistError::BadMagic { .. }
+                        | PersistError::ChecksumMismatch { .. }
+                        | PersistError::Corrupt { .. }
+                ),
+                "cut {cut}: unexpected {err}"
+            );
+        }
+        // A flip in every byte: typed error (magic/version flips land in
+        // BadMagic/UnsupportedVersion, payload flips in ChecksumMismatch,
+        // framing flips in Truncated/Corrupt).
+        let mut copy = bytes.clone();
+        for i in 0..copy.len() {
+            copy[i] ^= 0x10;
+            assert!(
+                Snapshot::decode(&copy, path).is_err(),
+                "flip at byte {i} went unnoticed"
+            );
+            copy[i] ^= 0x10;
+        }
+    }
+
+    #[test]
+    fn restore_rejects_structural_corruption() {
+        let g = sample_graph();
+        let path = Path::new("/test");
+        let mut image = GraphImage::capture(&g);
+        image.vs.pop();
+        assert!(matches!(
+            image.restore(path),
+            Err(PersistError::Corrupt { .. })
+        ));
+        let mut image = GraphImage::capture(&g);
+        image.tombstone.push(0);
+        assert!(matches!(
+            image.restore(path),
+            Err(PersistError::Corrupt { .. })
+        ));
+        let mut image = GraphImage::capture(&g);
+        image.num_vertices = u64::MAX;
+        assert!(matches!(
+            image.restore(path),
+            Err(PersistError::Corrupt { .. })
+        ));
+        // A weight no append could have produced is graph-level invalid.
+        let mut image = GraphImage::capture(&g);
+        image.weight_bits[0] = f64::NAN.to_bits();
+        assert!(matches!(
+            image.restore(path),
+            Err(PersistError::InvalidGraph { .. })
+        ));
+        let mut image = GraphImage::capture(&g);
+        image.us[0] = 99;
+        assert!(matches!(
+            image.restore(path),
+            Err(PersistError::InvalidGraph { .. })
+        ));
+    }
+
+    #[test]
+    fn file_names_sort_newest_first_and_ignore_strangers() {
+        assert_eq!(
+            parse_snapshot_file_name(&snapshot_file_name(7, 42)),
+            Some((7, 42))
+        );
+        for bad in [
+            "snapshot-1-2.snap",
+            "snapshot-00000000000000000007-0000000000000000000x.snap",
+            "snapshot-00000000000000000007.snap",
+            "wal.log",
+            "snapshot-00000000000000000007-00000000000000000042.tmp",
+        ] {
+            assert_eq!(parse_snapshot_file_name(bad), None, "{bad}");
+        }
+        let dir = std::env::temp_dir().join("spanner-store-snapshot-listing");
+        fs::create_dir_all(&dir).unwrap();
+        for (seq, epoch) in [(1u64, 5u64), (3, 9), (2, 7)] {
+            fs::write(dir.join(snapshot_file_name(seq, epoch)), b"x").unwrap();
+        }
+        fs::write(dir.join("wal.log"), b"x").unwrap();
+        let listed = list_snapshots(&dir).unwrap();
+        assert_eq!(
+            listed.iter().map(|c| (c.seq, c.epoch)).collect::<Vec<_>>(),
+            vec![(3, 9), (2, 7), (1, 5)],
+            "newest first"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,165 @@
+//! Satellite (b): property tests that snapshot and WAL records round-trip
+//! **bit-identically** — edge ids (dead slots included), exact `f64` weight
+//! bits, and epoch stamps — across the graph families the suite cares
+//! about: sparse Erdős–Rényi, dense uniform, and high-weight-spread graphs.
+
+use std::path::Path;
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use spanner_graph::generators::{complete_graph_with_weights, erdos_renyi_connected};
+use spanner_graph::{CsrGraph, EdgeId};
+use spanner_store::{read_wal, GraphImage, Snapshot, WalWriter};
+
+/// The three graph families of the round-trip requirement.
+#[derive(Debug, Clone, Copy)]
+enum Family {
+    ErdosRenyi,
+    DenseUniform,
+    HighSpread,
+}
+
+/// Builds a churned `CsrGraph` of the given family: generate, load, then
+/// delete a deterministic subset so tombstoned slots participate in the
+/// round trip.
+fn churned_graph(family: Family, n: usize, seed: u64, kill_every: usize) -> CsrGraph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let g = match family {
+        Family::ErdosRenyi => erdos_renyi_connected(n, 0.3, 1.0..10.0, &mut rng),
+        Family::DenseUniform => complete_graph_with_weights(n, 1.0..1.5, &mut rng),
+        // Ten orders of magnitude of weight spread: exact bit patterns are
+        // the only faithful representation of these.
+        Family::HighSpread => erdos_renyi_connected(n, 0.5, 1.0e-6..1.0e4, &mut rng),
+    };
+    let mut csr = CsrGraph::from(&g);
+    for id in (0..csr.edge_id_bound()).step_by(kill_every.max(2)) {
+        let _ = csr.remove_edge(EdgeId(id));
+    }
+    csr
+}
+
+/// Asserts two graphs are bit-identical: vertex count, epoch, every edge
+/// slot's endpoints, liveness, and exact weight bits.
+fn assert_bit_identical(a: &CsrGraph, b: &CsrGraph) {
+    assert_eq!(a.num_vertices(), b.num_vertices());
+    assert_eq!(a.epoch(), b.epoch());
+    assert_eq!(a.edge_id_bound(), b.edge_id_bound());
+    assert_eq!(a.num_edges(), b.num_edges());
+    for id in 0..a.edge_id_bound() {
+        let id = EdgeId(id);
+        assert_eq!(a.is_edge_live(id), b.is_edge_live(id), "{id:?}");
+        let (au, av, aw) = a.edge(id);
+        let (bu, bv, bw) = b.edge(id);
+        assert_eq!((au, av), (bu, bv), "{id:?}");
+        assert_eq!(aw.to_bits(), bw.to_bits(), "{id:?}");
+    }
+}
+
+fn family_from_index(i: usize) -> Family {
+    match i % 3 {
+        0 => Family::ErdosRenyi,
+        1 => Family::DenseUniform,
+        _ => Family::HighSpread,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Snapshot encode → decode → restore reproduces both graphs exactly,
+    /// plus the epoch/cursor stamps and opaque metadata.
+    #[test]
+    fn snapshots_round_trip_bit_identically(
+        family_idx in 0usize..3,
+        n in 6usize..16,
+        seed in 0u64..1_000_000,
+        kill_every in 2usize..6,
+    ) {
+        let family = family_from_index(family_idx);
+        let original = churned_graph(family, n, seed, kill_every);
+        let spanner = churned_graph(family, n, seed.wrapping_add(1), kill_every + 1);
+        let snap = Snapshot {
+            epoch: spanner.epoch(),
+            wal_seq: seed % 97,
+            meta: seed.to_le_bytes().to_vec(),
+            spanner: GraphImage::capture(&spanner),
+            original: GraphImage::capture(&original),
+        };
+        let bytes = snap.encode();
+        let back = Snapshot::decode(&bytes, Path::new("/prop/snap")).unwrap();
+        prop_assert_eq!(&back, &snap);
+        // Decode of the encode of the decode: byte-level fixed point.
+        prop_assert_eq!(back.encode(), bytes);
+        let restored_spanner = back.spanner.restore(Path::new("/prop/snap")).unwrap();
+        let restored_original = back.original.restore(Path::new("/prop/snap")).unwrap();
+        assert_bit_identical(&restored_spanner, &spanner);
+        assert_bit_identical(&restored_original, &original);
+    }
+
+    /// WAL append → read returns every record with its exact seq, epoch and
+    /// payload bytes, and a clean log reports no torn tail.
+    #[test]
+    fn wal_records_round_trip_bit_identically(
+        seed in 0u64..1_000_000,
+        count in 1usize..12,
+        payload_len in 0usize..200,
+    ) {
+        let dir = std::env::temp_dir().join("spanner-store-wal-prop");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("prop-{seed}-{count}-{payload_len}.log"));
+        let _ = std::fs::remove_file(&path);
+
+        let records: Vec<(u64, u64, Vec<u8>)> = (0..count)
+            .map(|i| {
+                let payload: Vec<u8> = (0..payload_len)
+                    .map(|j| (seed ^ (i as u64) << 8 ^ j as u64) as u8)
+                    .collect();
+                (seed.wrapping_add(i as u64), seed ^ 0xA5A5 ^ i as u64, payload)
+            })
+            .collect();
+        let mut w = WalWriter::create(&path).unwrap();
+        for (seq, epoch, payload) in &records {
+            w.append(*seq, *epoch, payload).unwrap();
+        }
+        drop(w);
+
+        let contents = read_wal(&path).unwrap();
+        prop_assert!(contents.torn_tail.is_none());
+        prop_assert_eq!(contents.records.len(), records.len());
+        for (rec, (seq, epoch, payload)) in contents.records.iter().zip(&records) {
+            prop_assert_eq!(rec.seq, *seq);
+            prop_assert_eq!(rec.epoch, *epoch);
+            prop_assert_eq!(&rec.payload, payload);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Satellite (a): random truncations and byte flips of a snapshot file
+    /// always produce a typed error — never a panic, never a silent wrong
+    /// decode.
+    #[test]
+    fn corrupted_snapshots_fail_with_typed_errors(
+        n in 6usize..12,
+        seed in 0u64..1_000_000,
+        damage in 0usize..10_000,
+    ) {
+        let g = churned_graph(Family::ErdosRenyi, n, seed, 3);
+        let snap = Snapshot {
+            epoch: g.epoch(),
+            wal_seq: 1,
+            meta: Vec::new(),
+            spanner: GraphImage::capture(&g),
+            original: GraphImage::capture(&g),
+        };
+        let bytes = snap.encode();
+        // Truncation at a pseudo-random point.
+        let cut = damage % bytes.len();
+        prop_assert!(Snapshot::decode(&bytes[..cut], Path::new("/prop")).is_err());
+        // A byte flip at a pseudo-random point.
+        let mut copy = bytes.clone();
+        let at = (damage.wrapping_mul(31)) % copy.len();
+        copy[at] ^= 1 << (damage % 8);
+        prop_assert!(Snapshot::decode(&copy, Path::new("/prop")).is_err());
+    }
+}

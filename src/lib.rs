@@ -153,6 +153,43 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
+//! # The persistence model
+//!
+//! The fifth layer makes the live stack **durable**. A
+//! [`LiveSpanner`](greedy_spanner::LiveSpanner) attached to a store
+//! directory with
+//! [`persist_to`](greedy_spanner::LiveSpanner::persist_to) appends every
+//! update batch to a checksummed write-ahead log *before* applying it, and
+//! writes an epoch-stamped snapshot of both graphs at every generation
+//! compaction (tombstoned slots re-packed once the dead fraction crosses a
+//! threshold, bounding memory under unbounded churn) and on demand via
+//! [`checkpoint`](greedy_spanner::LiveSpanner::checkpoint). After a crash,
+//! [`LiveSpanner::recover`](greedy_spanner::LiveSpanner::recover) loads the
+//! newest valid snapshot — falling back past corrupt ones — and replays the
+//! WAL suffix through the same deterministic apply path, so the restarted
+//! server answers **bit-identically** to the killed one. Damage surfaces as
+//! typed [`PersistError`](greedy_spanner::PersistError)s, never panics; the
+//! on-disk format is specified in the `spanner-store` crate docs and the
+//! README.
+//!
+//! ```
+//! use greedy_spanner_suite::prelude::*;
+//!
+//! let dir = std::env::temp_dir().join("greedy-spanner-suite-doc-persist");
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! let g = WeightedGraph::from_edges(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)])?;
+//! let mut live = Spanner::greedy().stretch(2.0).build(&g)?.live(&g)?;
+//! live.persist_to(&dir)?; // initial snapshot + write-ahead log
+//! live.apply(&UpdateBatch::new().insert(VertexId(0), VertexId(3), 0.5))?;
+//! drop(live); // crash: nothing flushed beyond the WAL — and that is enough
+//!
+//! let recovered = LiveSpanner::recover(&dir)?;
+//! assert_eq!(recovered.report.batches_replayed, 1);
+//! assert_eq!(recovered.live.epoch(), 1);
+//! # std::fs::remove_dir_all(&dir)?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
 //! # Migrating from the pre-0.2 free functions
 //!
 //! `greedy_spanner(&g, t)`, `greedy_spanner_of_metric(&m, t)`,
@@ -186,6 +223,7 @@ pub mod prelude {
         SpannerHandle, SpannerInput, SpannerOutput, SpannerServer, StreamEvent, Update,
         UpdateBatch, UpdateError, UpdateStats, WorkloadError,
     };
+    pub use greedy_spanner::{PersistError, Recovered, RecoveryReport};
     pub use spanner_graph::{
         CsrGraph, CsrSnapshot, DeltaOverlay, DijkstraEngine, EnginePool, EngineStats, GraphBuilder,
         SptTree, VertexId, WeightedGraph,

@@ -1,0 +1,275 @@
+//! Corruption hardening of the persistence subsystem: damaged stores must
+//! surface typed [`greedy_spanner::PersistError`]s or fall back to older
+//! valid snapshots — **never panic, never serve silently-wrong state**.
+//!
+//! Covered here:
+//! * the newest snapshot truncated or bit-flipped → recovery falls back to
+//!   an older valid snapshot and replays a longer WAL suffix to the exact
+//!   same state;
+//! * every snapshot destroyed → typed `NoValidSnapshot`;
+//! * a damaged WAL tail → recovery stops at the torn record and lands on
+//!   the exact pre-crash prefix state;
+//! * property test: random truncation / byte flips anywhere in the store
+//!   either recover to a certified stretch-`t` state or fail with a typed
+//!   error — no panics, no garbage.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use greedy_spanner::analysis::is_t_spanner;
+use greedy_spanner::{LiveSpanner, PersistError, Spanner, UpdateBatch};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use spanner_graph::generators::erdos_renyi_connected;
+use spanner_graph::{VertexId, WeightedGraph};
+use spanner_store::{list_snapshots, read_wal, WAL_FILE_NAME};
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("greedy-spanner-corruption-tests")
+        .join(name);
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn live_for(g: &WeightedGraph, t: f64) -> LiveSpanner {
+    Spanner::greedy()
+        .stretch(t)
+        .build(g)
+        .expect("valid stretch")
+        .live(g)
+        .expect("greedy guarantees a stretch")
+}
+
+/// Deterministic churny stream (insert-heavy, then delete-heavy) that
+/// crosses the compaction threshold, so the store accumulates several
+/// snapshot generations plus a WAL suffix.
+fn churn_batches(n: usize, seed: u64) -> Vec<UpdateBatch> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut live: Vec<(usize, usize)> = Vec::new();
+    let mut batches = Vec::new();
+    for round in 0..14 {
+        let mut batch = UpdateBatch::new();
+        for _ in 0..6 {
+            let deletable = !live.is_empty();
+            if round % 2 == 0 || !deletable {
+                let u = rng.gen_range(0..n);
+                let mut v = rng.gen_range(0..n - 1);
+                if v >= u {
+                    v += 1;
+                }
+                let w = rng.gen_range(0.3..6.0);
+                batch = batch.insert(VertexId(u), VertexId(v), w);
+                live.push((u, v));
+            } else {
+                let i = rng.gen_range(0..live.len());
+                let (u, v) = live.swap_remove(i);
+                batch = batch.delete(VertexId(u), VertexId(v));
+            }
+        }
+        batches.push(batch);
+    }
+    batches
+}
+
+/// Build a populated store and return the final in-memory truth alongside.
+fn populated_store(dir: &Path, seed: u64) -> (LiveSpanner, WeightedGraph) {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xA5A5);
+    let g = erdos_renyi_connected(14, 0.3, 1.0..8.0, &mut rng);
+    let mut live = live_for(&g, 2.0);
+    live.persist_to(dir).expect("fresh store");
+    for batch in churn_batches(14, seed) {
+        live.apply(&batch).expect("valid batch");
+    }
+    (live, g)
+}
+
+fn flip_byte(path: &Path, offset: usize) {
+    let mut bytes = fs::read(path).unwrap();
+    assert!(offset < bytes.len(), "flip offset out of range");
+    bytes[offset] ^= 0x40;
+    fs::write(path, bytes).unwrap();
+}
+
+#[test]
+fn damaged_newest_snapshot_falls_back_to_older_generation() {
+    for (mode, name) in [("flip", "snap-flip"), ("truncate", "snap-trunc")] {
+        let dir = fresh_dir(name);
+        let (live, _) = populated_store(&dir, 11);
+        let snapshots = list_snapshots(&dir).expect("store is listable");
+        assert!(
+            snapshots.len() >= 2,
+            "churn should have written several generations, got {}",
+            snapshots.len()
+        );
+
+        let newest = &snapshots[0].path;
+        let len = fs::metadata(newest).unwrap().len() as usize;
+        match mode {
+            "flip" => flip_byte(newest, len / 2),
+            _ => {
+                let f = fs::OpenOptions::new().write(true).open(newest).unwrap();
+                f.set_len(len as u64 / 2).unwrap();
+            }
+        }
+
+        // Fallback: older snapshot + longer WAL replay → identical state.
+        let recovered = LiveSpanner::recover(&dir).expect("older generation recovers");
+        assert!(
+            recovered.report.snapshots_skipped >= 1,
+            "{mode}: the damaged newest snapshot must be skipped"
+        );
+        assert_ne!(recovered.report.snapshot_path, *newest);
+        assert_eq!(
+            recovered.live.spanner().to_weighted_graph(),
+            live.spanner().to_weighted_graph(),
+            "{mode}: fallback recovery diverged"
+        );
+        assert_eq!(
+            recovered.live.original().to_weighted_graph(),
+            live.original().to_weighted_graph()
+        );
+        assert_eq!(recovered.live.stats().batches, live.stats().batches);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[test]
+fn store_with_no_valid_snapshot_reports_typed_error() {
+    let dir = fresh_dir("all-snapshots-dead");
+    let _ = populated_store(&dir, 13);
+    for candidate in list_snapshots(&dir).expect("store is listable") {
+        flip_byte(&candidate.path, 64);
+    }
+    match LiveSpanner::recover(&dir) {
+        Err(PersistError::NoValidSnapshot { candidates, .. }) => {
+            assert!(candidates >= 2, "every damaged candidate must be counted");
+        }
+        other => panic!("expected NoValidSnapshot, got {other:?}"),
+    }
+
+    // An empty directory is the degenerate case of the same error.
+    let empty = fresh_dir("empty-store");
+    fs::create_dir_all(&empty).unwrap();
+    match LiveSpanner::recover(&empty) {
+        Err(PersistError::NoValidSnapshot { candidates, .. }) => assert_eq!(candidates, 0),
+        other => panic!("expected NoValidSnapshot, got {other:?}"),
+    }
+    fs::remove_dir_all(&dir).unwrap();
+    fs::remove_dir_all(&empty).unwrap();
+}
+
+#[test]
+fn torn_wal_tail_recovers_the_exact_prefix_state() {
+    let dir = fresh_dir("torn-tail");
+    let twin_dir = fresh_dir("torn-tail-twin");
+    let (live, g) = populated_store(&dir, 17);
+    let batches = churn_batches(14, 17);
+
+    // Keep only snapshot seq 0 so the WAL carries the whole history, then
+    // flip a byte inside the last record: recovery must stop exactly one
+    // batch short.
+    let snapshots = list_snapshots(&dir).expect("store is listable");
+    for stale in &snapshots[..snapshots.len() - 1] {
+        fs::remove_file(&stale.path).unwrap();
+    }
+    let wal_path = dir.join(WAL_FILE_NAME);
+    let contents = read_wal(&wal_path).expect("intact WAL");
+    assert_eq!(contents.records.len(), batches.len());
+    assert!(contents.torn_tail.is_none());
+    let last_payload = contents.records.last().unwrap().payload.len() as u64;
+    let last_start = contents.valid_len - (last_payload + 24); // 24 = record overhead
+    flip_byte(&wal_path, last_start as usize + 20);
+
+    let recovered = LiveSpanner::recover(&dir).expect("prefix recovers");
+    assert!(
+        recovered.report.torn_tail.is_some(),
+        "tear must be reported"
+    );
+    assert_eq!(recovered.report.snapshot_seq, 0);
+    assert_eq!(recovered.report.batches_replayed, batches.len() as u64 - 1);
+
+    // The recovered state equals a twin that only ever saw the prefix.
+    let mut twin = live_for(&g, 2.0);
+    for batch in &batches[..batches.len() - 1] {
+        twin.apply(batch).expect("valid batch");
+    }
+    assert_eq!(
+        recovered.live.spanner().to_weighted_graph(),
+        twin.spanner().to_weighted_graph()
+    );
+    assert_eq!(
+        recovered.live.original().to_weighted_graph(),
+        twin.original().to_weighted_graph()
+    );
+    assert_ne!(
+        recovered.live.spanner().to_weighted_graph(),
+        live.spanner().to_weighted_graph(),
+        "the torn batch must not have been applied"
+    );
+
+    // After recovery the WAL is healed: new batches land after the tear.
+    let mut revived = recovered.live;
+    revived.apply(&batches[batches.len() - 1]).expect("reapply");
+    assert_eq!(
+        revived.spanner().to_weighted_graph(),
+        live.spanner().to_weighted_graph(),
+        "reapplying the lost batch must converge to the full history"
+    );
+    fs::remove_dir_all(&dir).unwrap();
+    let _ = fs::remove_dir_all(&twin_dir);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Arbitrary single-point damage anywhere in the store: recovery either
+    /// lands on a certified stretch-t state or fails with a typed error.
+    /// It must never panic and never report more batches than were applied.
+    #[test]
+    fn random_store_damage_never_panics(
+        seed in 0u64..1_000,
+        pick in 0usize..100,
+        spot in 0usize..10_000,
+        truncate in 0usize..2,
+    ) {
+        let truncate = truncate == 1;
+        let dir = fresh_dir(&format!("prop-{seed}-{pick}-{spot}-{truncate}"));
+        let (live, _) = populated_store(&dir, seed);
+        let total_batches = live.stats().batches;
+
+        let mut files: Vec<PathBuf> = list_snapshots(&dir)
+            .expect("store is listable")
+            .into_iter()
+            .map(|c| c.path)
+            .collect();
+        files.push(dir.join(WAL_FILE_NAME));
+        let target = &files[pick % files.len()];
+        let len = fs::metadata(target).unwrap().len() as usize;
+        if truncate {
+            let f = fs::OpenOptions::new().write(true).open(target).unwrap();
+            f.set_len((spot % len.max(1)) as u64).unwrap();
+        } else {
+            flip_byte(target, spot % len.max(1));
+        }
+
+        match LiveSpanner::recover(&dir) {
+            Ok(recovered) => {
+                let stats = recovered.live.stats();
+                prop_assert!(stats.batches <= total_batches);
+                let spanner = recovered.live.spanner().to_weighted_graph();
+                let original = recovered.live.original().to_weighted_graph();
+                prop_assert!(
+                    is_t_spanner(&original, &spanner, recovered.live.stretch()),
+                    "recovered state lost the stretch invariant"
+                );
+            }
+            Err(err) => {
+                // Typed, descriptive, and importantly: returned, not panicked.
+                prop_assert!(!format!("{err}").is_empty());
+            }
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}
