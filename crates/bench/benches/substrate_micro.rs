@@ -11,11 +11,12 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
+use greedy_spanner::Spanner;
 use spanner_bench::workloads::{random_graph, uniform_square, DEFAULT_SEED};
 use spanner_graph::dijkstra::{bounded_distance, shortest_path_tree};
 use spanner_graph::mst::kruskal;
 use spanner_graph::parallel::EnginePool;
-use spanner_graph::{CsrGraph, DijkstraEngine, VertexId};
+use spanner_graph::{CsrGraph, DijkstraEngine, Landmarks, QueuePolicy, VertexId};
 use spanner_metric::net::NetHierarchy;
 use spanner_metric::wspd::{well_separated_pairs, SplitTree};
 
@@ -76,6 +77,80 @@ fn bench_substrates(c: &mut Criterion) {
     group.finish();
 }
 
+/// The acceleration-stack comparison the serving layer leans on: the same
+/// bounded point-query batch over the **er2000 greedy spanner** through
+/// three engine configurations — binary heap, bucket queue, and bucket
+/// queue + ALT landmark pruning. Before timing anything, the settled-vertex
+/// counts of the heap and ALT configurations are measured from engine
+/// stats (outside the timed region) and the heap/ALT ratio is asserted
+/// `> 1.0` — the acceptance gate for the pruning stack. The `BENCH_JSON`
+/// artifact carries the timed rows; the printed `point_query_settled` line
+/// carries the ratio.
+fn bench_point_query_engines(c: &mut Criterion) {
+    let g = random_graph(2000, DEFAULT_SEED);
+    let spanner = Spanner::greedy()
+        .stretch(2.0)
+        .build(&g)
+        .expect("valid stretch")
+        .spanner;
+    let csr = CsrGraph::from(&spanner);
+    let landmarks = Landmarks::build_degree_ranked(&csr, 4);
+    let queries = query_batch(csr.num_vertices(), 256);
+    let n = csr.num_vertices();
+
+    let mut heap_engine = DijkstraEngine::with_capacity(n);
+    heap_engine.set_queue_policy(QueuePolicy::Heap);
+    let mut bucket_engine = DijkstraEngine::with_capacity(n);
+    let mut alt_engine = DijkstraEngine::with_capacity(n);
+
+    let run_heap = |engine: &mut DijkstraEngine| {
+        queries
+            .iter()
+            .filter(|&&(s, t, bound)| engine.bounded_distance(&csr, s, t, bound).is_some())
+            .count()
+    };
+    let run_alt = |engine: &mut DijkstraEngine| {
+        queries
+            .iter()
+            .filter(|&&(s, t, bound)| {
+                engine
+                    .bounded_distance_landmarked(&csr, &landmarks, s, t, bound)
+                    .is_some()
+            })
+            .count()
+    };
+
+    // The acceptance gate, measured outside the timed region: the three
+    // configurations agree on every answer, and ALT pruning settles
+    // strictly fewer vertices than the plain heap on the same batch.
+    let heap_hits = run_heap(&mut heap_engine);
+    let bucket_hits = run_heap(&mut bucket_engine);
+    let alt_hits = run_alt(&mut alt_engine);
+    assert_eq!(heap_hits, bucket_hits, "bucket queue changed an answer");
+    assert_eq!(heap_hits, alt_hits, "landmark pruning changed an answer");
+    let settled_heap = heap_engine.stats().settled_vertices;
+    let settled_alt = alt_engine.stats().settled_vertices;
+    let reduction = settled_heap as f64 / (settled_alt as f64).max(1.0);
+    println!(
+        "point_query_settled: heap {settled_heap} bucket {} alt {settled_alt} \
+         ({reduction:.2}x settled-vertex reduction, pruned {} by bound/landmarks)",
+        bucket_engine.stats().settled_vertices,
+        alt_engine.stats().pruned_by_bound,
+    );
+    assert!(
+        reduction > 1.0,
+        "ALT pruning must settle fewer vertices than the plain heap on the \
+         er2000 bounded batch (measured {reduction:.2}x)"
+    );
+
+    let mut group = c.benchmark_group("point_query_engines");
+    group.sample_size(20);
+    group.bench_function("heap_n2000", |b| b.iter(|| run_heap(&mut heap_engine)));
+    group.bench_function("bucket_n2000", |b| b.iter(|| run_heap(&mut bucket_engine)));
+    group.bench_function("bucket_alt_n2000", |b| b.iter(|| run_alt(&mut alt_engine)));
+    group.finish();
+}
+
 /// The pool fan-out in isolation: one fixed batch of bounded queries mapped
 /// across an [`EnginePool`] snapshot at 1/2/4/8 workers. This is the pure
 /// substrate half of the `parallel_scaling` story — no greedy commit phase,
@@ -106,5 +181,10 @@ fn bench_parallel_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_substrates, bench_parallel_scaling);
+criterion_group!(
+    benches,
+    bench_substrates,
+    bench_point_query_engines,
+    bench_parallel_scaling
+);
 criterion_main!(benches);

@@ -520,6 +520,8 @@ fn experiment_e11() -> Table {
             "max",
             "trees",
             "utilization",
+            "settled",
+            "pruned",
             "identical",
         ],
     );
@@ -587,6 +589,8 @@ fn experiment_e11() -> Table {
                 format!("{:?}", stats.latency.max().expect("recorded")),
                 server.cached_trees().to_string(),
                 fmt_f(server.worker_utilization()),
+                server.engine_stats().settled_vertices.to_string(),
+                server.engine_stats().pruned_by_bound.to_string(),
                 if identical { "yes" } else { "NO" }.to_owned(),
             ]);
             assert!(identical, "E11: serving answers diverged across rows");

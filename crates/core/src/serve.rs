@@ -55,6 +55,29 @@
 //! against the one-shot `dijkstra` free functions across thread counts
 //! {1, 2, 8}.
 //!
+//! # The point-query acceleration stack
+//!
+//! Three answer-invariant accelerations sit in the serving hot path; all
+//! are on by default for fresh build outputs and all are pure speed knobs
+//! — `tests/engine_variant_determinism.rs` asserts bit-identical answers
+//! across every combination:
+//!
+//! * **Bucket-queue search** ([`ServeBuilder::queue_policy`]): bounded
+//!   point queries run on a delta-stepping-style bucket queue instead of
+//!   the binary heap whenever the bound and the spanner's weight
+//!   statistics allow (see `spanner_graph::bucket_queue`).
+//! * **Cache-conscious relayout** ([`ServeBuilder::reorder`]): the spanner
+//!   is renumbered by descending degree at freeze time
+//!   ([`SpannerHandle::reordered`]); queries and answers are translated at
+//!   the API boundary, so callers keep external ids throughout.
+//! * **ALT landmark pruning** ([`ServeBuilder::landmarks`]): frozen
+//!   servers carry a degree-ranked landmark table on their handle; live
+//!   servers re-derive theirs from accumulated query demand each epoch.
+//!   Triangle lower bounds prune bounded `distance`/`stretch_audit`
+//!   searches; [`spanner_graph::EngineStats::settled_vertices`] and
+//!   [`spanner_graph::EngineStats::pruned_by_bound`] make the reduction
+//!   observable.
+//!
 //! # Quick start
 //!
 //! ```
@@ -77,7 +100,8 @@ use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use spanner_graph::{
-    CsrGraph, DijkstraEngine, EnginePool, EngineStats, SptTree, VertexId, WeightedGraph,
+    CsrGraph, DijkstraEngine, EnginePool, EngineStats, Landmarks, QueuePolicy, SptTree, VertexId,
+    VertexPerm, WeightedGraph,
 };
 
 use crate::algorithm::{Provenance, SpannerConfig, SpannerOutput};
@@ -350,8 +374,12 @@ impl LatencyHistogram {
     }
 
     /// The latency below which a `q` fraction of answers fell (upper bound
-    /// of the matching bucket), or `None` if nothing was recorded. `q` is
-    /// clamped to `[0, 1]`.
+    /// of the matching bucket, clamped to the observed maximum), or `None`
+    /// if nothing was recorded. `q` is clamped to `[0, 1]`.
+    ///
+    /// The clamp matters at the tail: a single-sample histogram reports
+    /// that sample — not its bucket's upper bound — for every quantile, and
+    /// no quantile ever exceeds [`LatencyHistogram::max`].
     pub fn quantile(&self, q: f64) -> Option<Duration> {
         if self.total == 0 {
             return None;
@@ -366,7 +394,7 @@ impl LatencyHistogram {
                 } else {
                     (1u64 << (bucket + 1)) - 1
                 };
-                return Some(Duration::from_nanos(upper));
+                return Some(Duration::from_nanos(upper.min(self.max_nanos)));
             }
         }
         None
@@ -562,23 +590,68 @@ pub struct SpannerHandle {
     spanner: CsrGraph,
     epoch: u64,
     provenance: Provenance,
+    /// External↔internal renumbering, when the handle was frozen through
+    /// [`SpannerHandle::reordered`]. `None` means identity layout.
+    perm: Option<VertexPerm>,
+    /// Landmark distance table for ALT pruning, in the handle's (possibly
+    /// reordered) id space. Consulted only while its epoch stamp matches.
+    landmarks: Option<Landmarks>,
 }
 
 impl SpannerHandle {
-    /// Stamps a handle over a CSR spanner at its current epoch.
+    /// Stamps a handle over a CSR spanner at its current epoch, in the
+    /// graph's own vertex numbering and without landmarks.
     pub fn new(spanner: CsrGraph, provenance: Provenance) -> Self {
         let epoch = spanner.epoch();
         SpannerHandle {
             spanner,
             epoch,
             provenance,
+            perm: None,
+            landmarks: None,
         }
     }
 
     /// Freezes a build result into a handle (compacts the spanner so every
-    /// subsequent scan is packed).
+    /// subsequent scan is packed). The layout is the identity —
+    /// [`ServeBuilder::finish`] applies the cache-conscious relayout by
+    /// default; call [`SpannerHandle::reordered`] to apply it explicitly.
     pub fn from_output(output: SpannerOutput) -> Self {
         SpannerHandle::new(CsrGraph::from(&output.spanner), output.provenance)
+    }
+
+    /// Applies the cache-conscious relayout: vertices are renumbered by
+    /// descending live degree (ties by smaller id) so hot adjacency rows
+    /// cluster at the front of the CSR arrays, and the permutation is kept
+    /// so servers translate external ids at the API boundary — answers stay
+    /// bit-identical in external-id space. An identity permutation (already
+    /// sorted, or already reordered) leaves the handle untouched. Any
+    /// landmark table is rebuilt in the new id space. The epoch stamp is
+    /// unaffected (a relayout is a representation change, never a
+    /// mutation).
+    pub fn reordered(mut self) -> Self {
+        let perm = VertexPerm::degree_sorted(&self.spanner);
+        if perm.is_identity() {
+            return self;
+        }
+        self.spanner = self.spanner.reorder(&perm);
+        if let Some(lm) = self.landmarks.take() {
+            let sources: Vec<VertexId> =
+                lm.sources().iter().map(|&s| perm.to_internal(s)).collect();
+            self.landmarks = Some(Landmarks::build(&self.spanner, &sources));
+        }
+        self.perm = Some(perm);
+        self
+    }
+
+    /// Attaches a landmark table built from the `count` highest-degree
+    /// vertices of the handle's graph (its current layout), for ALT pruning
+    /// of bounded point-to-point queries. `count = 0` strips any existing
+    /// table. Pruning is answer-invariant — landmarks only make queries
+    /// cheaper, never different.
+    pub fn with_landmarks(mut self, count: usize) -> Self {
+        self.landmarks = (count > 0).then(|| Landmarks::build_degree_ranked(&self.spanner, count));
+        self
     }
 
     /// The stamped epoch.
@@ -587,8 +660,26 @@ impl SpannerHandle {
     }
 
     /// The spanner graph.
+    ///
+    /// **Migration note (0.4):** for handles frozen through the serve
+    /// pipeline (or [`SpannerHandle::reordered`]) this returns the
+    /// *reordered* graph — vertex ids here are internal. Check
+    /// [`SpannerHandle::perm`] to translate; handles built directly with
+    /// [`SpannerHandle::new`]/[`SpannerHandle::from_output`] keep the
+    /// identity layout.
     pub fn graph(&self) -> &CsrGraph {
         &self.spanner
+    }
+
+    /// The external↔internal renumbering applied by
+    /// [`SpannerHandle::reordered`], or `None` for the identity layout.
+    pub fn perm(&self) -> Option<&VertexPerm> {
+        self.perm.as_ref()
+    }
+
+    /// The attached landmark table, if any (in the handle's id space).
+    pub fn landmarks(&self) -> Option<&Landmarks> {
+        self.landmarks.as_ref()
     }
 
     /// Mutable access to the spanner graph, for out-of-band maintenance.
@@ -629,6 +720,15 @@ impl Served {
         match self {
             Served::Frozen(handle) => handle.graph(),
             Served::Live(live) => live.spanner(),
+        }
+    }
+
+    /// The frozen handle, when this is a frozen server (live spanners keep
+    /// the identity layout and demand-derived landmarks instead).
+    fn handle(&self) -> Option<&SpannerHandle> {
+        match self {
+            Served::Frozen(handle) => Some(handle),
+            Served::Live(_) => None,
         }
     }
 
@@ -675,6 +775,17 @@ pub struct SpannerServer {
     cache: SptCache,
     /// Batch demand a source needs before its tree is admitted to the cache.
     cache_admit_threshold: usize,
+    /// How many landmarks a live server derives per epoch (frozen servers
+    /// carry their table on the handle). `0` disables ALT pruning.
+    landmark_count: usize,
+    /// A live server's landmark table, rebuilt lazily when an update batch
+    /// bumps the epoch. Sources are picked from accumulated query demand
+    /// ([`SpannerServer::answer_batch`]) with a deterministic spaced
+    /// fallback — and since ALT pruning is answer-invariant, the choice
+    /// never shows in answers, only in settled-vertex counts.
+    live_landmarks: Option<Landmarks>,
+    /// Cumulative per-source query counts, feeding live landmark selection.
+    source_demand: HashMap<usize, u64>,
     stats: ServeStats,
 }
 
@@ -762,11 +873,23 @@ impl SpannerServer {
 
     /// Clones the current spanner state into a fresh, compacted,
     /// epoch-stamped [`SpannerHandle`] — the "rebuild from scratch" handle
-    /// the live-update equivalence suite compares against.
+    /// the live-update equivalence suite compares against. A frozen
+    /// server's handle keeps its layout permutation and landmark table; a
+    /// live server freezes in the identity layout.
     pub fn freeze_current(&self) -> SpannerHandle {
-        let mut spanner = self.served.spanner().clone();
-        spanner.compact();
-        SpannerHandle::new(spanner, self.served.provenance().clone())
+        match &self.served {
+            Served::Frozen(handle) => {
+                let mut h = (**handle).clone();
+                h.spanner.compact();
+                h.epoch = h.spanner.epoch();
+                h
+            }
+            Served::Live(live) => {
+                let mut spanner = live.spanner().clone();
+                spanner.compact();
+                SpannerHandle::new(spanner, live.provenance().clone())
+            }
+        }
     }
 
     /// Applies an update batch to the served [`LiveSpanner`]: deletions,
@@ -784,6 +907,51 @@ impl SpannerServer {
             Served::Live(live) => Ok(live.apply(batch)?),
             Served::Frozen(_) => Err(ServeError::UpdatesNotSupported),
         }
+    }
+
+    /// Rebuilds a live server's landmark table when its epoch stamp no
+    /// longer matches `epoch` (i.e. after update batches). Sources are the
+    /// highest-demand query sources so far (ties by smaller id), padded
+    /// deterministically with evenly spaced vertices when demand history is
+    /// short. No-op on frozen servers and when landmarks are disabled.
+    fn refresh_live_landmarks(&mut self, epoch: u64) {
+        if self.landmark_count == 0 {
+            return;
+        }
+        let Served::Live(live) = &self.served else {
+            return;
+        };
+        if self
+            .live_landmarks
+            .as_ref()
+            .is_some_and(|lm| lm.epoch() == epoch)
+        {
+            return;
+        }
+        let n = live.spanner().num_vertices();
+        if n == 0 {
+            return;
+        }
+        let mut ranked: Vec<(u64, usize)> = self
+            .source_demand
+            .iter()
+            .map(|(&source, &count)| (count, source))
+            .collect();
+        ranked.sort_by_key(|&(count, source)| (std::cmp::Reverse(count), source));
+        let mut sources: Vec<VertexId> = ranked
+            .into_iter()
+            .take(self.landmark_count)
+            .map(|(_, source)| VertexId(source))
+            .collect();
+        for i in 0..self.landmark_count.min(n) {
+            if sources.len() >= self.landmark_count {
+                break;
+            }
+            // Spaced fill; `Landmarks::build` drops any duplicates.
+            sources.push(VertexId(i * n / self.landmark_count.min(n)));
+        }
+        let table = Landmarks::build(live.spanner(), &sources);
+        self.live_landmarks = Some(table);
     }
 
     /// Answers a batch of queries, returning one [`Answer`] per query in
@@ -804,6 +972,30 @@ impl SpannerServer {
             return Ok(Vec::new());
         }
         let start = Instant::now();
+
+        // Live servers refresh their landmark table on epoch bumps — from
+        // the demand accumulated *before* this batch, so the choice is a
+        // pure function of the query/update stream — then record this
+        // batch's demand for future refreshes.
+        self.refresh_live_landmarks(epoch);
+        if self.landmark_count > 0 && matches!(self.served, Served::Live(_)) {
+            for query in queries {
+                *self
+                    .source_demand
+                    .entry(query.source().index())
+                    .or_insert(0) += 1;
+            }
+        }
+
+        // Reordered handles work in internal ids: translate the batch once
+        // up front (cache keys, admission demand, and engine queries all
+        // live in internal space); answers translate back per query.
+        let translated: Option<Vec<Query>> = self
+            .served
+            .handle()
+            .and_then(SpannerHandle::perm)
+            .map(|perm| queries.iter().map(|q| translate_query(q, perm)).collect());
+        let queries: &[Query] = translated.as_deref().unwrap_or(queries);
 
         // Phase 1 — deterministic cache admission. Count per-source demand;
         // sources meeting the threshold (in first-appearance order, capped
@@ -875,6 +1067,14 @@ impl SpannerServer {
                 Served::Frozen(_) => self.baseline.as_ref(),
                 Served::Live(live) => Some(live.original()),
             };
+            let perm = self.served.handle().and_then(SpannerHandle::perm);
+            // A landmark table is consulted only while its stamp matches
+            // the serving epoch — stale tables are as good as absent.
+            let landmarks = match &self.served {
+                Served::Frozen(handle) => handle.landmarks(),
+                Served::Live(_) => self.live_landmarks.as_ref(),
+            }
+            .filter(|lm| lm.epoch() == epoch && lm.num_vertices() == spanner.num_vertices());
             self.pool.map_batch(
                 spanner.snapshot(),
                 queries,
@@ -891,7 +1091,8 @@ impl SpannerServer {
                         CacheLookup::Miss => (None, false),
                     };
                     let hit = cached.is_some();
-                    let answer = answer_one(engine, spanner, baseline, cached, query);
+                    let answer =
+                        answer_one(engine, spanner, baseline, landmarks, perm, cached, query);
                     Some((
                         answer,
                         t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
@@ -980,14 +1181,62 @@ impl SpannerServer {
     }
 }
 
-/// Answers one query on one worker. `cached` is the frozen current-epoch
-/// tree for the query's source, if the cache holds one; every cached answer
-/// is bit-identical to the corresponding engine answer (see the module
-/// docs).
+/// Rewrites a query's vertices into internal (reordered) id space.
+fn translate_query(query: &Query, perm: &VertexPerm) -> Query {
+    match *query {
+        Query::Distance {
+            source,
+            target,
+            bound,
+        } => Query::Distance {
+            source: perm.to_internal(source),
+            target: perm.to_internal(target),
+            bound,
+        },
+        Query::Path { source, target } => Query::Path {
+            source: perm.to_internal(source),
+            target: perm.to_internal(target),
+        },
+        Query::KNearest { source, k } => Query::KNearest {
+            source: perm.to_internal(source),
+            k,
+        },
+        Query::Ball { source, radius } => Query::Ball {
+            source: perm.to_internal(source),
+            radius,
+        },
+        Query::StretchAudit { source, target } => Query::StretchAudit {
+            source: perm.to_internal(source),
+            target: perm.to_internal(target),
+        },
+    }
+}
+
+/// Translates a member list back to external ids and restores the
+/// `(distance, external vertex)` order — ties that settled in internal-id
+/// order must leave the API in external-id order, bit-identical to an
+/// identity-layout server.
+fn translate_members(mut members: Vec<(VertexId, f64)>, perm: &VertexPerm) -> Vec<(VertexId, f64)> {
+    for member in &mut members {
+        member.0 = perm.to_external(member.0);
+    }
+    members.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+    members
+}
+
+/// Answers one query on one worker. The query is already in the spanner's
+/// internal id space; `perm` (when present) translates the answer back to
+/// external ids. `cached` is the frozen current-epoch tree for the query's
+/// source, if the cache holds one; every cached answer is bit-identical to
+/// the corresponding engine answer (see the module docs). `landmarks`
+/// (when present and current) prunes bounded point-to-point searches
+/// without changing any answer.
 fn answer_one(
     engine: &mut DijkstraEngine,
     spanner: &CsrGraph,
     baseline: Option<&CsrGraph>,
+    landmarks: Option<&Landmarks>,
+    perm: Option<&VertexPerm>,
     cached: Option<&SptTree>,
     query: &Query,
 ) -> Answer {
@@ -997,9 +1246,12 @@ fn answer_one(
             target,
             bound,
         } => {
-            let d = match cached {
-                Some(tree) => tree.distance(target).filter(|&d| d <= bound),
-                None => engine.bounded_distance(spanner, source, target, bound),
+            let d = match (cached, landmarks) {
+                (Some(tree), _) => tree.distance(target).filter(|&d| d <= bound),
+                (None, Some(lm)) => {
+                    engine.bounded_distance_landmarked(spanner, lm, source, target, bound)
+                }
+                (None, None) => engine.bounded_distance(spanner, source, target, bound),
             };
             Answer::Distance(d)
         }
@@ -1014,17 +1266,38 @@ fn answer_one(
                         .map(|distance| (distance, tree.path_to(target).expect("reachable")))
                 }
             };
-            Answer::Path(path.map(|(distance, vertices)| PathAnswer { distance, vertices }))
+            Answer::Path(path.map(|(distance, mut vertices)| {
+                if let Some(perm) = perm {
+                    for v in &mut vertices {
+                        *v = perm.to_external(*v);
+                    }
+                }
+                PathAnswer { distance, vertices }
+            }))
         }
         Query::KNearest { source, k } => {
-            let members = match cached {
-                Some(tree) => tree.k_nearest(k),
-                None => {
+            let members = match (cached, perm) {
+                (Some(tree), None) => tree.k_nearest(k),
+                (None, None) => {
                     // An unbounded ball settles in (distance, vertex) order —
                     // exactly the k-nearest order — from the engine's
                     // reusable buffer, so only the answer itself allocates.
                     let ball = engine.ball(spanner, source, f64::INFINITY);
                     ball[..k.min(ball.len())].to_vec()
+                }
+                // Reordered: a distance tie at the truncation boundary must
+                // resolve by *external* id, so translate the full reachable
+                // set, re-sort, and only then truncate.
+                (Some(tree), Some(perm)) => {
+                    let mut members = translate_members(tree.members().to_vec(), perm);
+                    members.truncate(k);
+                    members
+                }
+                (None, Some(perm)) => {
+                    let ball = engine.ball(spanner, source, f64::INFINITY);
+                    let mut members = translate_members(ball.to_vec(), perm);
+                    members.truncate(k);
+                    members
                 }
             };
             Answer::KNearest(members)
@@ -1034,13 +1307,22 @@ fn answer_one(
                 Some(tree) => tree.members_within(radius),
                 None => engine.ball(spanner, source, radius).to_vec(),
             };
+            let members = match perm {
+                Some(perm) => translate_members(members, perm),
+                None => members,
+            };
             Answer::Ball(members)
         }
         Query::StretchAudit { source, target } => {
-            let spanner_distance = match cached {
-                Some(tree) => tree.distance(target),
-                None => engine.bounded_distance(spanner, source, target, f64::INFINITY),
+            let spanner_distance = match (cached, landmarks) {
+                (Some(tree), _) => tree.distance(target),
+                (None, Some(lm)) => {
+                    engine.bounded_distance_landmarked(spanner, lm, source, target, f64::INFINITY)
+                }
+                (None, None) => engine.bounded_distance(spanner, source, target, f64::INFINITY),
             };
+            // The landmark table bounds *spanner* distances; the baseline is
+            // a different graph, so its search is always unpruned.
             let baseline = baseline.expect("validated: audit queries need a baseline");
             let sample = spanner_distance.and_then(|spanner_distance| {
                 let graph_distance =
@@ -1064,8 +1346,8 @@ fn answer_one(
 /// What a [`ServeBuilder`] assembles a server from.
 #[derive(Debug)]
 enum ServeSource {
-    Output(SpannerOutput),
-    Handle(SpannerHandle),
+    Output(Box<SpannerOutput>),
+    Handle(Box<SpannerHandle>),
     Live(Box<LiveSpanner>),
 }
 
@@ -1096,6 +1378,12 @@ pub struct ServeBuilder {
     cache_capacity: usize,
     cache_admit_threshold: usize,
     baseline: Option<WeightedGraph>,
+    queue_policy: QueuePolicy,
+    /// `None` = default (reorder fresh outputs, keep a handle's layout).
+    reorder: Option<bool>,
+    /// `None` = default ([`DEFAULT_LANDMARK_COUNT`] for fresh outputs and
+    /// live servers, keep a handle's table).
+    landmark_count: Option<usize>,
 }
 
 /// Default number of shortest-path trees the cache holds.
@@ -1103,6 +1391,11 @@ pub const DEFAULT_CACHE_CAPACITY: usize = 32;
 
 /// Default per-batch demand a source needs before its tree is cached.
 pub const DEFAULT_CACHE_ADMIT_THRESHOLD: usize = 2;
+
+/// Default number of ALT landmarks a served spanner carries. Each costs one
+/// shortest-path tree at freeze time and `8 × num_vertices` bytes; pruning
+/// is answer-invariant, so the count is purely a speed/memory knob.
+pub const DEFAULT_LANDMARK_COUNT: usize = 4;
 
 impl ServeBuilder {
     fn with_source(source: ServeSource) -> Self {
@@ -1112,12 +1405,15 @@ impl ServeBuilder {
             cache_capacity: DEFAULT_CACHE_CAPACITY,
             cache_admit_threshold: DEFAULT_CACHE_ADMIT_THRESHOLD,
             baseline: None,
+            queue_policy: QueuePolicy::Auto,
+            reorder: None,
+            landmark_count: None,
         }
     }
 
     /// Starts a builder over an explicit epoch-stamped handle.
     pub fn from_handle(handle: SpannerHandle) -> Self {
-        ServeBuilder::with_source(ServeSource::Handle(handle))
+        ServeBuilder::with_source(ServeSource::Handle(Box::new(handle)))
     }
 
     /// Worker threads per batch; `0` (the default) resolves like
@@ -1142,6 +1438,35 @@ impl ServeBuilder {
     /// eagerly; high values reserve the cache for genuine hotspots.
     pub fn cache_admit_threshold(mut self, threshold: usize) -> Self {
         self.cache_admit_threshold = threshold.max(1);
+        self
+    }
+
+    /// Which frontier the serving engines use for bounded queries.
+    /// [`QueuePolicy::Auto`] (the default) picks the bucket queue whenever
+    /// the query bound and the spanner's weight statistics allow; answers
+    /// are bit-identical at every setting — this is purely a speed knob.
+    pub fn queue_policy(mut self, policy: QueuePolicy) -> Self {
+        self.queue_policy = policy;
+        self
+    }
+
+    /// Whether to apply the cache-conscious degree-sorted relayout at
+    /// freeze time. Defaults to `true` for fresh build outputs; explicit
+    /// handles keep their layout unless this is set to `true`. Answers are
+    /// bit-identical in external-id space either way. Live servers never
+    /// reorder (updates address vertices by their external ids).
+    pub fn reorder(mut self, reorder: bool) -> Self {
+        self.reorder = Some(reorder);
+        self
+    }
+
+    /// How many ALT landmarks the served spanner carries
+    /// ([`DEFAULT_LANDMARK_COUNT`] when unset; `0` disables pruning). For
+    /// frozen servers the table is built at freeze time from the
+    /// highest-degree vertices; live servers re-derive theirs from query
+    /// demand every epoch. Pruning is answer-invariant.
+    pub fn landmarks(mut self, count: usize) -> Self {
+        self.landmark_count = Some(count);
         self
     }
 
@@ -1174,9 +1499,29 @@ impl ServeBuilder {
         .resolve_threads();
         let served = match self.source {
             ServeSource::Output(output) => {
-                Served::Frozen(Box::new(SpannerHandle::from_output(output)))
+                // Fresh outputs get the full acceleration stack by default:
+                // degree-sorted relayout plus a degree-ranked landmark
+                // table. Both are answer-invariant.
+                let mut handle = SpannerHandle::from_output(*output);
+                if self.reorder.unwrap_or(true) {
+                    handle = handle.reordered();
+                }
+                handle =
+                    handle.with_landmarks(self.landmark_count.unwrap_or(DEFAULT_LANDMARK_COUNT));
+                Served::Frozen(Box::new(handle))
             }
-            ServeSource::Handle(handle) => Served::Frozen(Box::new(handle)),
+            ServeSource::Handle(handle) => {
+                // Explicit handles keep whatever layout/landmarks their
+                // holder chose; knobs override when set.
+                let mut handle = *handle;
+                if self.reorder == Some(true) {
+                    handle = handle.reordered();
+                }
+                if let Some(count) = self.landmark_count {
+                    handle = handle.with_landmarks(count);
+                }
+                Served::Frozen(Box::new(handle))
+            }
             ServeSource::Live(live) => {
                 assert!(
                     self.baseline.is_none(),
@@ -1185,7 +1530,13 @@ impl ServeBuilder {
                 Served::Live(live)
             }
         };
+        // Audit queries run in the spanner's id space, so a reordered
+        // handle's baseline is co-reordered with the same permutation.
         let baseline = self.baseline.as_ref().map(CsrGraph::from);
+        let baseline = match (baseline, served.handle().and_then(SpannerHandle::perm)) {
+            (Some(b), Some(perm)) => Some(b.reorder(perm)),
+            (b, _) => b,
+        };
         let n = served.spanner().num_vertices();
         // Audit queries also search the baseline (frozen) or the live
         // original, which can be much denser than the spanner — size the
@@ -1198,13 +1549,18 @@ impl ServeBuilder {
                 Served::Live(live) => live.original().num_edges(),
                 Served::Frozen(_) => 0,
             });
+        let mut pool = EnginePool::with_capacity_for(threads, n, m);
+        pool.set_queue_policy(self.queue_policy);
         SpannerServer {
             served,
             baseline,
-            pool: EnginePool::with_capacity_for(threads, n, m),
+            pool,
             threads,
             cache: SptCache::new(self.cache_capacity),
             cache_admit_threshold: self.cache_admit_threshold.max(1),
+            landmark_count: self.landmark_count.unwrap_or(DEFAULT_LANDMARK_COUNT),
+            live_landmarks: None,
+            source_demand: HashMap::new(),
             stats: ServeStats::default(),
         }
     }
@@ -1220,7 +1576,7 @@ impl SpannerOutput {
     /// batches, go through [`SpannerOutput::live`] +
     /// [`LiveSpanner::serve`] instead.
     pub fn serve(self) -> ServeBuilder {
-        ServeBuilder::with_source(ServeSource::Output(self))
+        ServeBuilder::with_source(ServeSource::Output(Box::new(self)))
     }
 }
 
@@ -1409,16 +1765,25 @@ mod tests {
             .unwrap();
         assert_eq!(server.cached_trees(), 2);
         assert_eq!(server.stats().cache_evictions, 1);
+        // The cache is keyed by internal (reordered) ids; probe through the
+        // handle's permutation.
+        let internal = |server: &SpannerServer, v: usize| {
+            server
+                .served
+                .handle()
+                .and_then(SpannerHandle::perm)
+                .map_or(VertexId(v), |p| p.to_internal(VertexId(v)))
+        };
         assert!(
-            server.cache.contains_current(VertexId(1), 0),
+            server.cache.contains_current(internal(&server, 1), 0),
             "recently used survives"
         );
         assert!(
-            server.cache.contains_current(VertexId(2), 0),
+            server.cache.contains_current(internal(&server, 2), 0),
             "new hotspot admitted"
         );
         assert!(
-            !server.cache.contains_current(VertexId(0), 0),
+            !server.cache.contains_current(internal(&server, 0), 0),
             "LRU entry evicted"
         );
         assert!(server.stats().cache_hit_rate().unwrap() > 0.0);
@@ -1639,5 +2004,86 @@ mod tests {
         // A later outlier moves the max past the old p99.
         h.record(Duration::from_nanos(7_777_777));
         assert_eq!(h.max(), Some(Duration::from_nanos(7_777_777)));
+    }
+
+    #[test]
+    fn single_sample_histogram_returns_that_sample_for_every_quantile() {
+        // A lone 1500ns sample lands in the [1024, 2048) bucket; the naive
+        // bucket upper bound (2047) would overstate every quantile of a
+        // distribution whose only member is known exactly.
+        let mut h = LatencyHistogram::default();
+        h.record(Duration::from_nanos(1_500));
+        for q in [0.001, 0.01, 0.25, 0.5, 0.75, 0.99, 1.0] {
+            assert_eq!(
+                h.quantile(q),
+                Some(Duration::from_nanos(1_500)),
+                "q={q}: a single-sample histogram must report that sample"
+            );
+        }
+        assert_eq!(h.max(), h.p50());
+        // More generally no quantile ever exceeds the observed maximum.
+        h.record(Duration::from_nanos(300));
+        assert!(h.p99().unwrap() <= h.max().unwrap());
+    }
+
+    #[test]
+    fn engine_variants_serve_identical_answers() {
+        let mut rng = SmallRng::seed_from_u64(77);
+        let g = erdos_renyi_connected(40, 0.3, 1.0..8.0, &mut rng);
+        let output = Spanner::greedy().stretch(2.0).build(&g).unwrap();
+        let queries: Vec<Query> = (0..80)
+            .map(|i| {
+                let s = VertexId((i * 7) % 40);
+                let t = VertexId((i * 11 + 5) % 40);
+                match i % 4 {
+                    0 => Query::distance(s, t, 3.0 + (i % 6) as f64),
+                    1 => Query::ball(s, (i % 5) as f64),
+                    2 => Query::k_nearest(s, i % 9),
+                    _ => Query::stretch_audit(s, t),
+                }
+            })
+            .collect();
+        // Reference: heap queue, identity layout, no landmarks.
+        let mut reference_server = output
+            .clone()
+            .serve()
+            .queue_policy(QueuePolicy::Heap)
+            .reorder(false)
+            .landmarks(0)
+            .audit_against(&g)
+            .finish();
+        let reference = reference_server.answer_batch(&queries).unwrap();
+        // Every acceleration combination must reproduce it bit for bit.
+        for (policy, reorder, landmarks) in [
+            (QueuePolicy::Auto, false, 0),
+            (QueuePolicy::Auto, true, 0),
+            (QueuePolicy::Heap, true, 4),
+            (QueuePolicy::Auto, true, 4),
+            (QueuePolicy::Auto, true, 16),
+        ] {
+            let mut server = output
+                .clone()
+                .serve()
+                .queue_policy(policy)
+                .reorder(reorder)
+                .landmarks(landmarks)
+                .audit_against(&g)
+                .finish();
+            let cold = server.answer_batch(&queries).unwrap();
+            let warm = server.answer_batch(&queries).unwrap();
+            assert_eq!(
+                cold, reference,
+                "policy={policy:?} reorder={reorder} landmarks={landmarks}"
+            );
+            assert_eq!(
+                warm, reference,
+                "warm, policy={policy:?} reorder={reorder} landmarks={landmarks}"
+            );
+            let engine = server.engine_stats();
+            assert_eq!(
+                engine.reuse_hits, engine.queries,
+                "policy={policy:?} reorder={reorder} landmarks={landmarks}: engine allocated"
+            );
+        }
     }
 }

@@ -31,6 +31,15 @@
 //! admitted/rejected/repaired counts, repair wall time and the number of
 //! spanner epochs the batch advanced.
 //!
+//! Epoch bumps also invalidate the serving layer's *accelerator state*: a
+//! live [`crate::serve::SpannerServer`] consults its ALT landmark table
+//! only while the table's epoch stamp matches the spanner's, so every
+//! update batch (including compacting generation rebuilds, which advance
+//! the epoch by one) forces a lazy landmark rebuild at the next query
+//! batch — exactly like the shortest-path-tree cache's lazy invalidation.
+//! Live spanners never carry a vertex relayout (updates address vertices
+//! by external ids), so there is no permutation to re-derive.
+//!
 //! ```
 //! use greedy_spanner::update::{LiveSpanner, UpdateBatch};
 //! use greedy_spanner::Spanner;

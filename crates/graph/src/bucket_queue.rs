@@ -1,0 +1,394 @@
+//! A deterministic bucket (delta-stepping-style) priority queue for bounded
+//! Dijkstra queries.
+//!
+//! Bounded point queries — the greedy construction's per-candidate query and
+//! the serving layer's `Distance` hot path — know their search radius up
+//! front, so keys fall in `[0, bound]` and a calendar of `bound / delta`
+//! buckets replaces the binary heap's `O(log n)` push/pop with `O(1)` bucket
+//! chaining. The catch is determinism: the engine's settle order (the basis
+//! of every bit-identity contract in this workspace) is *non-decreasing
+//! `(distance, vertex)`*, and a plain bucket queue only orders between
+//! buckets, not within them.
+//!
+//! [`BucketQueue`] therefore splits entries in two:
+//!
+//! * entries whose bucket index is **ahead of the current base bucket** sit
+//!   in per-bucket linked chains carved out of one slot pool (no ordering
+//!   needed yet, `O(1)` push);
+//! * entries that land **in or behind the base bucket** go to a small binary
+//!   heap (the *active* set) ordered by exact `(key, vertex)`.
+//!
+//! When the active heap drains, the base advances to the next non-empty
+//! bucket and that bucket's chain is tipped into the active heap. Because the
+//! bucket index is a monotone function of the key, every chained entry's key
+//! is strictly greater than every active entry's key, so popping the active
+//! minimum pops the *global* `(key, vertex)` minimum — the pop sequence is
+//! bit-identical to the lazy-deletion binary heap's, just cheaper: the heap
+//! only ever holds one bucket's worth of entries.
+//!
+//! Monotone Dijkstra pushes (`new key ≥ last popped key`) keep the invariant;
+//! pushes that would land behind the base (possible only through floating-
+//! point rounding at bucket boundaries) are clamped into the active heap,
+//! where exact comparison takes over. Degenerate widths (zero/overflow
+//! `delta`, unbounded queries) are rejected by [`bucket_delta`], and the
+//! engine falls back to its binary heap.
+
+use std::collections::BinaryHeap;
+
+use crate::csr::CsrGraph;
+
+/// Chain terminator / empty-bucket sentinel.
+const NONE: u32 = u32::MAX;
+
+/// Hard cap on the calendar length: a query never scans (or clears) more
+/// than this many bucket heads, regardless of `bound / delta`.
+pub(crate) const MAX_BUCKETS: usize = 1024;
+
+/// The mean live weight is divided by this when deriving a bucket width, so
+/// a typical bucket holds a handful of relaxations instead of one.
+const MEAN_WEIGHT_DIVISOR: f64 = 4.0;
+
+/// One priority-queue entry: the key is stored alongside the vertex so
+/// comparisons stay inside the heap array instead of chasing `dist`. Shared
+/// by the engine's lazy-deletion binary heap and the bucket queue's active
+/// set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct HeapSlot {
+    pub(crate) dist: f64,
+    pub(crate) vertex: u32,
+}
+
+impl Eq for HeapSlot {}
+
+impl Ord for HeapSlot {
+    /// Reversed, so the max-heap pops the smallest distance first, ties by
+    /// smaller vertex id (matching the legacy free functions, so settle
+    /// order is identical).
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .dist
+            .total_cmp(&self.dist)
+            .then_with(|| other.vertex.cmp(&self.vertex))
+    }
+}
+
+impl PartialOrd for HeapSlot {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Derives the bucket width for a bounded query on `graph`, or `None` when
+/// the bucket queue is not applicable and the engine must use its binary
+/// heap.
+///
+/// The width is `max(min live weight, mean live weight / 4, bound / 1024)`:
+///
+/// * at least the minimum weight, so no relaxation can move an entry by less
+///   than a bucket (the classic delta-stepping "light edge" threshold —
+///   with `delta ≤ w_min` every bucket is settled in one drain);
+/// * at least a quarter of the mean weight, so near-uniform graphs get a few
+///   relaxations per bucket instead of one bucket per entry;
+/// * at least `bound / 1024`, capping the calendar at [`MAX_BUCKETS`] heads.
+///
+/// Ineligible cases: an infinite or non-positive `bound` (unbounded
+/// searches have no calendar length), an edgeless graph (no weight
+/// statistics), and widths whose reciprocal is not finite (the index
+/// computation `key · (1/delta)` must never produce a NaN).
+pub(crate) fn bucket_delta(graph: &CsrGraph, bound: f64) -> Option<f64> {
+    if !bound.is_finite() || bound <= 0.0 {
+        return None;
+    }
+    let min_w = graph.min_live_weight()?;
+    let mean_w = graph.mean_live_weight()?;
+    let delta = min_w
+        .max(mean_w / MEAN_WEIGHT_DIVISOR)
+        .max(bound / MAX_BUCKETS as f64);
+    (delta.is_finite() && delta > 0.0 && delta.recip().is_finite()).then_some(delta)
+}
+
+/// The bucket priority queue itself. All buffers are retained across
+/// queries; [`BucketQueue::begin`] re-arms it for a new `(delta, bound)`
+/// without deallocating, so a pre-sized engine stays allocation-free per
+/// query (see [`crate::engine::DijkstraEngine::with_capacity_for`]).
+#[derive(Debug, Clone, Default)]
+pub struct BucketQueue {
+    /// `heads[b]` is the slot index of the first entry chained in bucket
+    /// `b`, or `NONE`. Only `heads[..limit]` is meaningful for the current
+    /// query.
+    heads: Vec<u32>,
+    /// Slot pool backing the chains (parallel arrays; `next` links slots).
+    keys: Vec<f64>,
+    verts: Vec<u32>,
+    next: Vec<u32>,
+    /// Entries in or behind the base bucket, ordered by exact
+    /// `(key, vertex)`.
+    active: BinaryHeap<HeapSlot>,
+    /// Reciprocal bucket width; the bucket of `key` is
+    /// `min(floor(key · inv_delta), limit − 1)`.
+    inv_delta: f64,
+    /// Number of bucket heads in play for the current query (≤
+    /// `MAX_BUCKETS + 1`).
+    limit: usize,
+    /// The calendar position: chains at indices ≤ `base` are empty, their
+    /// entries drained into `active`.
+    base: usize,
+    len: usize,
+}
+
+impl BucketQueue {
+    /// Creates an empty queue; [`BucketQueue::begin`] sizes it on demand.
+    pub fn new() -> Self {
+        BucketQueue::default()
+    }
+
+    /// Number of entries currently queued (stale lazy-deletion entries
+    /// included, like the binary heap's length).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the queue holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Pre-sizes the calendar and the slot pool so a query pushing up to
+    /// `entries` entries performs no heap allocation.
+    pub(crate) fn reserve(&mut self, entries: usize) {
+        if self.heads.capacity() < MAX_BUCKETS + 1 {
+            self.heads.reserve_exact(MAX_BUCKETS + 1 - self.heads.len());
+        }
+        if self.keys.capacity() < entries {
+            self.keys.reserve_exact(entries - self.keys.len());
+        }
+        if self.verts.capacity() < entries {
+            self.verts.reserve_exact(entries - self.verts.len());
+        }
+        if self.next.capacity() < entries {
+            self.next.reserve_exact(entries - self.next.len());
+        }
+        if self.active.capacity() < entries {
+            self.active.reserve(entries - self.active.len());
+        }
+    }
+
+    /// The combined capacity of every internal buffer — the engine compares
+    /// it before and after a query to detect hidden allocations for its
+    /// workspace-reuse accounting.
+    pub(crate) fn capacity_signature(&self) -> usize {
+        self.heads.capacity()
+            + self.keys.capacity()
+            + self.verts.capacity()
+            + self.next.capacity()
+            + self.active.capacity()
+    }
+
+    /// Re-arms the queue for one query with bucket width `delta` and key
+    /// range `[0, bound]`. Both must come from [`bucket_delta`] (finite,
+    /// positive, finite reciprocal).
+    pub(crate) fn begin(&mut self, delta: f64, bound: f64) {
+        self.inv_delta = delta.recip();
+        debug_assert!(self.inv_delta.is_finite() && self.inv_delta > 0.0);
+        // Keys are capped at `bound`, so the largest reachable index is
+        // floor(bound / delta), clamped to the calendar cap.
+        self.limit = ((bound * self.inv_delta) as usize).min(MAX_BUCKETS) + 1;
+        if self.heads.len() < self.limit {
+            self.heads.resize(self.limit, NONE);
+        }
+        self.heads[..self.limit].fill(NONE);
+        self.keys.clear();
+        self.verts.clear();
+        self.next.clear();
+        self.active.clear();
+        self.base = 0;
+        self.len = 0;
+    }
+
+    /// Bucket index of `key`: a monotone non-decreasing map (f64 multiply
+    /// plus truncating cast), clamped to the calendar.
+    #[inline(always)]
+    fn bucket_of(&self, key: f64) -> usize {
+        ((key * self.inv_delta) as usize).min(self.limit - 1)
+    }
+
+    /// Queues `(key, vertex)`. Keys must be non-negative and at most the
+    /// `bound` passed to [`BucketQueue::begin`].
+    #[inline(always)]
+    pub(crate) fn push(&mut self, key: f64, vertex: u32) {
+        let idx = self.bucket_of(key);
+        self.len += 1;
+        if idx <= self.base {
+            // In or behind the base bucket (behind is only reachable via
+            // rounding at a bucket boundary): exact heap ordering takes
+            // over.
+            self.active.push(HeapSlot { dist: key, vertex });
+        } else {
+            let slot = self.keys.len() as u32;
+            self.keys.push(key);
+            self.verts.push(vertex);
+            self.next.push(self.heads[idx]);
+            self.heads[idx] = slot;
+        }
+    }
+
+    /// Pops the entry with the smallest `(key, vertex)`, advancing the base
+    /// bucket when the active set drains.
+    #[inline]
+    pub(crate) fn pop(&mut self) -> Option<(f64, u32)> {
+        loop {
+            if let Some(HeapSlot { dist, vertex }) = self.active.pop() {
+                self.len -= 1;
+                return Some((dist, vertex));
+            }
+            if self.len == 0 {
+                return None;
+            }
+            // Advance to the next non-empty chain and tip it into the
+            // active heap. Chained keys all map to buckets > the old base,
+            // hence compare greater than every key popped so far.
+            self.base += 1;
+            while self.heads[self.base] == NONE {
+                self.base += 1;
+            }
+            let mut slot = self.heads[self.base];
+            self.heads[self.base] = NONE;
+            while slot != NONE {
+                let s = slot as usize;
+                self.active.push(HeapSlot {
+                    dist: self.keys[s],
+                    vertex: self.verts[s],
+                });
+                slot = self.next[s];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{VertexId, WeightedGraph};
+
+    fn armed(delta: f64, bound: f64) -> BucketQueue {
+        let mut q = BucketQueue::new();
+        q.begin(delta, bound);
+        q
+    }
+
+    #[test]
+    fn pops_in_exact_key_vertex_order() {
+        let mut q = armed(1.0, 10.0);
+        let entries = [
+            (3.5, 7),
+            (0.0, 2),
+            (3.5, 1),
+            (9.99, 0),
+            (1.0, 4),
+            (0.999, 9),
+            (3.5, 7),
+        ];
+        for &(k, v) in &entries {
+            q.push(k, v);
+        }
+        assert_eq!(q.len(), entries.len());
+        let mut sorted = entries.to_vec();
+        sorted.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+        let mut popped = Vec::new();
+        while let Some(e) = q.pop() {
+            popped.push(e);
+        }
+        assert_eq!(popped, sorted);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_monotone_pushes_stay_sorted() {
+        // Dijkstra-style usage: every push key is ≥ the last popped key.
+        let mut q = armed(0.5, 8.0);
+        q.push(0.0, 0);
+        let (k0, _) = q.pop().unwrap();
+        assert_eq!(k0, 0.0);
+        q.push(1.3, 5);
+        q.push(1.3, 2);
+        q.push(7.9, 1);
+        assert_eq!(q.pop(), Some((1.3, 2)));
+        q.push(2.6, 8);
+        assert_eq!(q.pop(), Some((1.3, 5)));
+        assert_eq!(q.pop(), Some((2.6, 8)));
+        q.push(7.9, 0);
+        assert_eq!(q.pop(), Some((7.9, 0)));
+        assert_eq!(q.pop(), Some((7.9, 1)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn keys_at_the_bound_land_in_the_last_bucket() {
+        // bound / delta well past the cap: the calendar clamps, keys near
+        // the bound pile into the last bucket, and order still holds.
+        let mut q = armed(1e-6, 1.0);
+        q.push(1.0, 3);
+        q.push(0.999_999, 9);
+        q.push(1.0, 1);
+        q.push(0.0, 0);
+        assert_eq!(q.pop(), Some((0.0, 0)));
+        assert_eq!(q.pop(), Some((0.999_999, 9)));
+        assert_eq!(q.pop(), Some((1.0, 1)));
+        assert_eq!(q.pop(), Some((1.0, 3)));
+    }
+
+    #[test]
+    fn begin_rearms_without_deallocating() {
+        let mut q = BucketQueue::new();
+        q.reserve(64);
+        q.begin(1.0, 16.0);
+        for i in 0..32 {
+            q.push(i as f64 / 2.0, i);
+        }
+        let sig = q.capacity_signature();
+        q.begin(0.25, 4.0);
+        assert!(q.is_empty());
+        for i in 0..32 {
+            q.push(i as f64 / 8.0, i);
+        }
+        while q.pop().is_some() {}
+        assert_eq!(q.capacity_signature(), sig, "re-arming must not allocate");
+    }
+
+    #[test]
+    fn delta_rule_tracks_weight_statistics_and_rejects_degenerates() {
+        let g = WeightedGraph::from_edges(4, [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 9.0)]).unwrap();
+        let csr = crate::csr::CsrGraph::from(&g);
+        // min = 1, mean = 4 → delta = max(1, 1, bound/1024) = 1.
+        assert_eq!(bucket_delta(&csr, 8.0), Some(1.0));
+        // Huge bound: the calendar cap takes over.
+        let d = bucket_delta(&csr, 1e6).unwrap();
+        assert!((d - 1e6 / MAX_BUCKETS as f64).abs() < 1e-9);
+        // Unbounded, zero, negative, NaN bounds: ineligible.
+        assert_eq!(bucket_delta(&csr, f64::INFINITY), None);
+        assert_eq!(bucket_delta(&csr, 0.0), None);
+        assert_eq!(bucket_delta(&csr, -1.0), None);
+        assert_eq!(bucket_delta(&csr, f64::NAN), None);
+        // Edgeless graph: no weight statistics.
+        let empty = crate::csr::CsrGraph::new(3);
+        assert_eq!(bucket_delta(&empty, 5.0), None);
+        let _ = VertexId(0);
+    }
+
+    #[test]
+    fn boundary_rounding_is_clamped_into_the_active_heap() {
+        // A key whose bucket index rounds below the base is clamped into
+        // the active heap instead of a dead chain; exact comparison keeps
+        // the global order.
+        let mut q = armed(1.0, 4.0);
+        q.push(0.0, 0);
+        assert_eq!(q.pop(), Some((0.0, 0)));
+        q.push(2.5, 1);
+        assert_eq!(q.pop(), Some((2.5, 1))); // base advances to 2
+        q.push(2.6, 4); // bucket 2 == base → active
+        q.push(3.1, 3); // bucket 3 → chain
+        assert_eq!(q.pop(), Some((2.6, 4)));
+        assert_eq!(q.pop(), Some((3.1, 3)));
+        assert_eq!(q.pop(), None);
+    }
+}

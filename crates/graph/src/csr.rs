@@ -187,6 +187,14 @@ pub struct CsrGraph {
     overlay: DeltaOverlay,
     /// Monotonically increasing mutation counter; see [`CsrGraph::epoch`].
     epoch: u64,
+    /// Running sum of live edge weights — maintained incrementally by
+    /// appends/removals, recomputed exactly at every re-pack. Backs the
+    /// `O(1)` [`CsrGraph::mean_live_weight`].
+    live_weight_sum: f64,
+    /// Running lower bound on the minimum live edge weight
+    /// (`f64::INFINITY` when edgeless); exact after every re-pack. Backs
+    /// the `O(1)` [`CsrGraph::min_live_weight`].
+    min_live_weight: f64,
 }
 
 impl CsrGraph {
@@ -210,6 +218,8 @@ impl CsrGraph {
             edge_ids: Vec::new(),
             overlay: DeltaOverlay::new(num_vertices),
             epoch: 0,
+            live_weight_sum: 0.0,
+            min_live_weight: f64::INFINITY,
         }
     }
 
@@ -353,6 +363,27 @@ impl CsrGraph {
         self.live_edges().map(|(_, _, _, w)| w).sum()
     }
 
+    /// Smallest live edge weight, or `None` for an edgeless graph. `O(1)`
+    /// from a maintained counter.
+    ///
+    /// Between re-packs the value is a **lower bound**: deleting the
+    /// current minimum does not trigger a rescan, so a stale smaller weight
+    /// may be reported until the next [`CsrGraph::compact`] makes it exact
+    /// again. The consumer (the engine's bucket-width rule, see
+    /// [`crate::bucket_queue`]) only needs a lower bound — a too-small
+    /// width means more buckets, never a wrong answer.
+    pub fn min_live_weight(&self) -> Option<f64> {
+        (!self.is_edgeless()).then_some(self.min_live_weight)
+    }
+
+    /// Mean live edge weight, or `None` for an edgeless graph. `O(1)`: the
+    /// weight sum is maintained incrementally by appends/removals
+    /// (float-accumulated, so it can drift slightly between re-packs) and
+    /// recomputed exactly at every re-pack.
+    pub fn mean_live_weight(&self) -> Option<f64> {
+        (!self.is_edgeless()).then(|| self.live_weight_sum / self.num_edges() as f64)
+    }
+
     /// Returns `true` if the overlay is empty: every live half-edge lives in
     /// the packed arrays (no overflow chains, no lingering tombstoned
     /// half-edges).
@@ -419,6 +450,10 @@ impl CsrGraph {
             "too many edges for u32 ids"
         );
         self.edge_list.push((ui as u32, vi as u32, weight));
+        self.live_weight_sum += weight;
+        if weight < self.min_live_weight {
+            self.min_live_weight = weight;
+        }
         for (a, b) in [(ui, vi), (vi, ui)] {
             let slot = self.overlay.target.len() as u32;
             self.overlay.target.push(b as u32);
@@ -445,6 +480,9 @@ impl CsrGraph {
         if !self.is_edge_live(id) {
             return Err(GraphError::UnknownEdge { edge: id.index() });
         }
+        // The sum shrinks exactly; the minimum is left possibly stale-low
+        // until the next re-pack (see `min_live_weight`).
+        self.live_weight_sum -= self.edge_list[id.index()].2;
         self.overlay.mark_dead(id.index());
         self.epoch += 1;
         self.maybe_compact();
@@ -516,13 +554,24 @@ impl CsrGraph {
         let mut counts = std::mem::take(&mut self.offsets);
         counts.clear();
         counts.resize(n + 1, 0);
-        for (id, &(u, v, _)) in self.edge_list.iter().enumerate() {
+        // The live scan doubles as the exact resync of the incremental
+        // weight statistics (every constructor that fills `edge_list`
+        // directly funnels through here).
+        let mut weight_sum = 0.0f64;
+        let mut min_weight = f64::INFINITY;
+        for (id, &(u, v, w)) in self.edge_list.iter().enumerate() {
             if self.overlay.is_dead(id) {
                 continue;
             }
             counts[u as usize + 1] += 1;
             counts[v as usize + 1] += 1;
+            weight_sum += w;
+            if w < min_weight {
+                min_weight = w;
+            }
         }
+        self.live_weight_sum = weight_sum;
+        self.min_live_weight = min_weight;
         for i in 0..n {
             counts[i + 1] += counts[i];
         }
@@ -745,6 +794,122 @@ impl CsrGraph {
         graph.compact();
         graph.epoch = epoch;
         Ok(graph)
+    }
+
+    /// Produces a copy of this graph with every vertex renamed through
+    /// `perm` (new id = `perm.to_internal(old id)`), fully packed. Used for
+    /// the cache-conscious serving relayout: renumbering vertices by
+    /// descending degree clusters the hot rows of the packed arrays at the
+    /// front, so point-query scans touch fewer cache lines.
+    ///
+    /// Everything except the vertex names is preserved **bit-identically**:
+    /// edge ids (dead slots included, so [`CsrGraph::is_edge_live`] agrees
+    /// per id), weights, the tombstone bitmap, and the epoch. The caller
+    /// owns the id translation at its API boundary — see
+    /// `spanner-core`'s serving layer, which stores the permutation on its
+    /// handle and translates queries in and answers out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` was built for a different vertex count.
+    pub fn reorder(&self, perm: &VertexPerm) -> CsrGraph {
+        assert_eq!(
+            perm.len(),
+            self.num_vertices,
+            "permutation length must match the vertex count"
+        );
+        let mut g = CsrGraph::new(self.num_vertices);
+        g.edge_list = self
+            .edge_list
+            .iter()
+            .map(|&(u, v, w)| {
+                (
+                    perm.to_internal[u as usize],
+                    perm.to_internal[v as usize],
+                    w,
+                )
+            })
+            .collect();
+        g.overlay.tombstone = self.overlay.tombstone.clone();
+        g.overlay.dead_edges = self.overlay.dead_edges;
+        g.overlay.pending_deletions = self.overlay.dead_edges;
+        g.compact();
+        g.epoch = self.epoch;
+        g
+    }
+}
+
+/// A bijective vertex renumbering for [`CsrGraph::reorder`]: `to_internal`
+/// maps an original ("external") id to its new ("internal") position and
+/// `to_external` inverts it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VertexPerm {
+    to_internal: Vec<u32>,
+    to_external: Vec<u32>,
+}
+
+impl VertexPerm {
+    /// The degree-sorted permutation of `graph`: vertices ordered by
+    /// descending live degree, ties by ascending original id (so the
+    /// permutation is deterministic). High-degree vertices — the ones a
+    /// search touches most — end up with the smallest internal ids, packing
+    /// their CSR rows and their `dist`/`state` workspace slots into the
+    /// fewest cache lines.
+    pub fn degree_sorted(graph: &CsrGraph) -> VertexPerm {
+        let n = graph.num_vertices();
+        let mut degree = vec![0u32; n];
+        for (_, u, v, _) in graph.live_edges() {
+            degree[u.index()] += 1;
+            degree[v.index()] += 1;
+        }
+        let mut to_external: Vec<u32> = (0..n as u32).collect();
+        to_external.sort_by_key(|&v| (std::cmp::Reverse(degree[v as usize]), v));
+        let mut to_internal = vec![0u32; n];
+        for (internal, &external) in to_external.iter().enumerate() {
+            to_internal[external as usize] = internal as u32;
+        }
+        VertexPerm {
+            to_internal,
+            to_external,
+        }
+    }
+
+    /// Number of vertices the permutation covers.
+    pub fn len(&self) -> usize {
+        self.to_internal.len()
+    }
+
+    /// Whether the permutation covers no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.to_internal.is_empty()
+    }
+
+    /// Returns `true` if the permutation maps every vertex to itself.
+    pub fn is_identity(&self) -> bool {
+        self.to_external
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| v as usize == i)
+    }
+
+    /// Maps an original (external) id to its reordered (internal) id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn to_internal(&self, v: VertexId) -> VertexId {
+        VertexId(self.to_internal[v.index()] as usize)
+    }
+
+    /// Maps a reordered (internal) id back to the original (external) id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn to_external(&self, v: VertexId) -> VertexId {
+        VertexId(self.to_external[v.index()] as usize)
     }
 }
 
@@ -1396,5 +1561,118 @@ mod tests {
         assert_eq!(csr.degree(VertexId(2)), 0);
         let ok = csr.try_append_edge(VertexId(1), VertexId(2), 2.0).unwrap();
         assert_eq!(ok, EdgeId(1));
+    }
+
+    #[test]
+    fn weight_statistics_track_mutations_and_resync_at_compaction() {
+        let mut csr = CsrGraph::new(4);
+        assert_eq!(csr.min_live_weight(), None, "edgeless: no statistics");
+        assert_eq!(csr.mean_live_weight(), None);
+        csr.append_edge(VertexId(0), VertexId(1), 2.0);
+        csr.append_edge(VertexId(1), VertexId(2), 0.5);
+        csr.append_edge(VertexId(2), VertexId(3), 3.5);
+        assert_eq!(csr.min_live_weight(), Some(0.5));
+        assert_eq!(csr.mean_live_weight(), Some(2.0));
+        // Deleting the minimum leaves the reported minimum as a (stale)
+        // lower bound until the next re-pack, while the mean is exact.
+        csr.remove_edge(EdgeId(1)).unwrap();
+        assert!(csr.min_live_weight().unwrap() <= 2.0);
+        assert!((csr.mean_live_weight().unwrap() - 2.75).abs() < 1e-12);
+        csr.compact();
+        assert_eq!(csr.min_live_weight(), Some(2.0), "exact after re-pack");
+        assert_eq!(csr.mean_live_weight(), Some(2.75));
+        // All constructors that bypass append_edge resync via compact().
+        let from_parts = CsrGraph::from_parts(
+            4,
+            7,
+            [
+                (VertexId(0), VertexId(1), 2.0, true),
+                (VertexId(1), VertexId(2), 9.0, false),
+                (VertexId(2), VertexId(3), 3.5, true),
+            ],
+        )
+        .unwrap();
+        assert_eq!(from_parts.min_live_weight(), Some(2.0));
+        assert_eq!(from_parts.mean_live_weight(), Some(2.75));
+        let rebuilt = csr.rebuild_compacted().graph;
+        assert_eq!(rebuilt.min_live_weight(), Some(2.0));
+        assert_eq!(rebuilt.mean_live_weight(), Some(2.75));
+        let from_weighted = CsrGraph::from(&diamond());
+        assert_eq!(from_weighted.min_live_weight(), Some(1.0));
+        assert_eq!(from_weighted.mean_live_weight(), Some(2.25));
+    }
+
+    #[test]
+    fn degree_sorted_permutation_ranks_hubs_first_with_id_ties() {
+        let g = diamond(); // degrees: 0→2, 1→2, 2→3, 3→1
+        let csr = CsrGraph::from(&g);
+        let perm = VertexPerm::degree_sorted(&csr);
+        assert_eq!(perm.len(), 4);
+        assert!(!perm.is_empty());
+        assert_eq!(perm.to_internal(VertexId(2)), VertexId(0), "hub first");
+        assert_eq!(perm.to_internal(VertexId(0)), VertexId(1), "tie by id");
+        assert_eq!(perm.to_internal(VertexId(1)), VertexId(2));
+        assert_eq!(perm.to_internal(VertexId(3)), VertexId(3));
+        for v in 0..4 {
+            assert_eq!(
+                perm.to_external(perm.to_internal(VertexId(v))),
+                VertexId(v),
+                "round trip {v}"
+            );
+        }
+        assert!(!perm.is_identity());
+        assert!(VertexPerm::degree_sorted(&CsrGraph::new(3)).is_identity());
+    }
+
+    #[test]
+    fn reorder_relabels_vertices_and_preserves_everything_else() {
+        let mut csr = CsrGraph::from(&diamond());
+        csr.remove_edge(EdgeId(2)).unwrap(); // tombstone the heavy (0, 2)
+        csr.append_edge(VertexId(1), VertexId(3), 0.25);
+        let perm = VertexPerm::degree_sorted(&csr);
+        let re = csr.reorder(&perm);
+        assert!(re.is_compact(), "reorder produces a fully packed graph");
+        assert_eq!(re.epoch(), csr.epoch());
+        assert_eq!(re.num_edges(), csr.num_edges());
+        assert_eq!(re.edge_id_bound(), csr.edge_id_bound());
+        assert_eq!(re.dead_edges(), csr.dead_edges());
+        for id in 0..csr.edge_id_bound() {
+            let id = EdgeId(id);
+            assert_eq!(re.is_edge_live(id), csr.is_edge_live(id), "id {id:?}");
+            let (u, v, w) = csr.edge(id);
+            let (ru, rv, rw) = re.edge(id);
+            assert_eq!(ru, perm.to_internal(u));
+            assert_eq!(rv, perm.to_internal(v));
+            assert_eq!(rw.to_bits(), w.to_bits());
+        }
+        // Adjacency is isomorphic under the renaming.
+        for u in 0..4 {
+            let mut expected: Vec<(usize, u64, usize)> = csr
+                .neighbors(VertexId(u))
+                .map(|nb| {
+                    (
+                        perm.to_internal(nb.to).index(),
+                        nb.weight.to_bits(),
+                        nb.edge.index(),
+                    )
+                })
+                .collect();
+            expected.sort_unstable();
+            assert_eq!(
+                sorted_neighbors(&re, perm.to_internal(VertexId(u)).index()),
+                expected,
+                "vertex {u}"
+            );
+        }
+        // Weight statistics re-derive exactly.
+        assert_eq!(re.min_live_weight(), csr.min_live_weight());
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation length")]
+    fn reorder_rejects_mismatched_permutations() {
+        let small = CsrGraph::new(2);
+        let perm = VertexPerm::degree_sorted(&small);
+        CsrGraph::new(3).reorder(&perm);
     }
 }

@@ -1,0 +1,238 @@
+//! Landmark (ALT) lower bounds for point-to-point distance queries.
+//!
+//! The ALT technique (Goldberg & Harrelson) precomputes shortest-path trees
+//! from a small set of *landmark* vertices. For any landmark `l`, the
+//! triangle inequality gives a lower bound on the remaining distance from a
+//! vertex `v` to a target `t`:
+//!
+//! ```text
+//!   d(v, t) ≥ |d(l, v) − d(l, t)|
+//! ```
+//!
+//! and the max over landmarks is still a lower bound. The engine uses it
+//! purely for **pruning** a bounded search: a vertex whose tentative
+//! distance plus lower bound exceeds the query bound can never lie on a
+//! within-bound path to the target, so it is never pushed. Crucially the
+//! search *order* is untouched — keys stay plain distances — so answers (and
+//! the settle order of every surviving vertex) are bit-identical to the
+//! unpruned search; the landmarks only shrink the explored ball. That
+//! invariance is what lets the serving layer pick landmarks from live demand
+//! statistics without any effect on answers.
+//!
+//! A [`Landmarks`] table is stamped with the [`CsrGraph::epoch`] it was
+//! built at and must be rebuilt after any mutation (the serving layer does
+//! this lazily on epoch bumps); the engine refuses tables whose stamp does
+//! not match the queried graph.
+
+use crate::csr::CsrGraph;
+use crate::engine::DijkstraEngine;
+use crate::graph::VertexId;
+
+/// Per-landmark shortest-path distances, stored vertex-major so one query's
+/// target column and one relaxation's vertex row are each a single
+/// contiguous read.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Landmarks {
+    /// The landmark vertices, deduplicated, in selection order.
+    sources: Vec<VertexId>,
+    /// Vertex count of the graph the table was built over.
+    num_vertices: usize,
+    /// `dist[v * k + l]` = distance from landmark `l` to vertex `v`
+    /// (`f64::INFINITY` when unreachable), with `k = sources.len()`.
+    dist: Vec<f64>,
+    /// The [`CsrGraph::epoch`] the table was built at.
+    epoch: u64,
+}
+
+impl Landmarks {
+    /// Builds the distance table for `sources` over `graph`. Out-of-range
+    /// and duplicate sources are dropped (first occurrence wins), so the
+    /// caller may pass a raw demand ranking. Building runs one full
+    /// shortest-path tree per landmark on an internal pre-sized engine —
+    /// this is freeze-time work, not query-path work.
+    pub fn build(graph: &CsrGraph, sources: &[VertexId]) -> Landmarks {
+        let n = graph.num_vertices();
+        let mut seen = vec![false; n];
+        let mut kept: Vec<VertexId> = Vec::new();
+        for &s in sources {
+            if s.index() < n && !seen[s.index()] {
+                seen[s.index()] = true;
+                kept.push(s);
+            }
+        }
+        let k = kept.len();
+        let mut dist = vec![f64::INFINITY; n * k];
+        let mut engine = DijkstraEngine::with_capacity_for(n, graph.num_edges());
+        for (l, &s) in kept.iter().enumerate() {
+            let tree = engine.shortest_path_tree(graph, s);
+            for (v, row) in dist.chunks_exact_mut(k).enumerate() {
+                if let Some(d) = tree.distance(VertexId(v)) {
+                    row[l] = d;
+                }
+            }
+        }
+        Landmarks {
+            sources: kept,
+            num_vertices: n,
+            dist,
+            epoch: graph.epoch(),
+        }
+    }
+
+    /// Builds a table from the `count` highest-degree vertices of `graph`
+    /// (ties broken by smaller id) — the deterministic default when no
+    /// demand statistics are available. High-degree hubs tend to lie on
+    /// many shortest paths, which is exactly what makes a landmark's
+    /// triangle bound tight.
+    pub fn build_degree_ranked(graph: &CsrGraph, count: usize) -> Landmarks {
+        let n = graph.num_vertices();
+        let mut degree = vec![0u32; n];
+        for (_, u, v, _) in graph.live_edges() {
+            degree[u.index()] += 1;
+            degree[v.index()] += 1;
+        }
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_by_key(|&v| (std::cmp::Reverse(degree[v as usize]), v));
+        let sources: Vec<VertexId> = order
+            .into_iter()
+            .take(count)
+            .map(|v| VertexId(v as usize))
+            .collect();
+        Landmarks::build(graph, &sources)
+    }
+
+    /// Number of landmarks in the table.
+    pub fn len(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Whether the table holds no landmarks.
+    pub fn is_empty(&self) -> bool {
+        self.sources.is_empty()
+    }
+
+    /// Vertex count of the graph the table was built over.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// The [`CsrGraph::epoch`] the table was built at. A table is only
+    /// valid against a graph whose epoch still matches.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The landmark vertices, in selection order.
+    pub fn sources(&self) -> &[VertexId] {
+        &self.sources
+    }
+
+    /// Approximate heap footprint of the table, for capacity planning.
+    pub fn memory_bytes(&self) -> usize {
+        self.dist.len() * std::mem::size_of::<f64>()
+            + self.sources.len() * std::mem::size_of::<VertexId>()
+    }
+
+    /// The raw vertex-major distance table (`dist[v * k + l]`).
+    pub(crate) fn table(&self) -> &[f64] {
+        &self.dist
+    }
+
+    /// Copies the distances from every landmark to `t` into `out` (one slot
+    /// per landmark). The engine keeps this column in a scratch buffer for
+    /// the duration of one query.
+    pub(crate) fn copy_target_column(&self, t: usize, out: &mut Vec<f64>) {
+        out.clear();
+        let k = self.sources.len();
+        out.extend_from_slice(&self.dist[t * k..(t + 1) * k]);
+    }
+
+    /// The max-over-landmarks triangle lower bound on `d(v, t)`:
+    /// `f64::INFINITY` when some landmark proves the pair disconnected
+    /// (exactly one side unreachable), `0.0` when no landmark sees either
+    /// side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either vertex is out of range.
+    pub fn lower_bound(&self, v: VertexId, t: VertexId) -> f64 {
+        let k = self.sources.len();
+        let row_v = &self.dist[v.index() * k..(v.index() + 1) * k];
+        let row_t = &self.dist[t.index() * k..(t.index() + 1) * k];
+        let mut h = 0.0f64;
+        for (&dv, &dt) in row_v.iter().zip(row_t) {
+            if dv.is_finite() && dt.is_finite() {
+                let diff = (dv - dt).abs();
+                if diff > h {
+                    h = diff;
+                }
+            } else if dv.is_finite() != dt.is_finite() {
+                // One side reachable from the landmark, the other not: the
+                // pair is disconnected, and the bound is exact.
+                return f64::INFINITY;
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::WeightedGraph;
+
+    fn two_components() -> CsrGraph {
+        // 0-1-2 chained, 3-4 chained, 5 isolated.
+        let g = WeightedGraph::from_edges(6, [(0, 1, 1.0), (1, 2, 2.0), (3, 4, 0.5)]).unwrap();
+        CsrGraph::from(&g)
+    }
+
+    #[test]
+    fn lower_bounds_are_admissible_and_detect_disconnection() {
+        let csr = two_components();
+        let lm = Landmarks::build(&csr, &[VertexId(0), VertexId(3)]);
+        assert_eq!(lm.len(), 2);
+        assert_eq!(lm.epoch(), csr.epoch());
+        let mut engine = DijkstraEngine::new();
+        for v in 0..6 {
+            for t in 0..6 {
+                let bound = lm.lower_bound(VertexId(v), VertexId(t));
+                match engine.bounded_distance(&csr, VertexId(v), VertexId(t), f64::INFINITY) {
+                    Some(d) => assert!(
+                        bound <= d + 1e-12,
+                        "bound {bound} exceeds true distance {d} for {v}->{t}"
+                    ),
+                    None => {
+                        if v != t {
+                            assert_eq!(
+                                bound,
+                                f64::INFINITY,
+                                "a landmark in each component proves {v}->{t} disconnected"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        // Exactness at a landmark: |d(l,v) − 0| = d(l,v).
+        assert_eq!(lm.lower_bound(VertexId(2), VertexId(0)), 3.0);
+    }
+
+    #[test]
+    fn duplicate_and_out_of_range_sources_are_dropped() {
+        let csr = two_components();
+        let lm = Landmarks::build(&csr, &[VertexId(1), VertexId(1), VertexId(99), VertexId(4)]);
+        assert_eq!(lm.sources(), &[VertexId(1), VertexId(4)]);
+        assert!(lm.memory_bytes() >= 6 * 2 * 8);
+    }
+
+    #[test]
+    fn degree_ranked_selection_is_deterministic() {
+        let csr = two_components();
+        // Degrees: 1 has 2; 0, 2, 3, 4 have 1; 5 has 0. Ties by id.
+        let lm = Landmarks::build_degree_ranked(&csr, 3);
+        assert_eq!(lm.sources(), &[VertexId(1), VertexId(0), VertexId(2)]);
+        let empty = Landmarks::build_degree_ranked(&csr, 0);
+        assert!(empty.is_empty());
+    }
+}

@@ -74,11 +74,38 @@
 //! // Everything after the first query reused the workspace: zero allocations.
 //! assert_eq!(engine.stats().reuse_hits, engine.stats().queries - 1);
 //! ```
+//!
+//! # Query engine internals
+//!
+//! Three cooperating accelerations keep the point-query hot path fast while
+//! preserving bit-identical answers:
+//!
+//! * **Queue selection** ([`QueuePolicy`]): under the default `Auto` policy a
+//!   bounded query runs on a bucket queue ([`bucket_queue`]) whenever the
+//!   bound is finite and positive and the graph's live-weight statistics
+//!   yield a usable bucket width; unbounded and degenerate queries fall back
+//!   to the binary heap. Both queues pop in exact `(distance, vertex)`
+//!   order, so distances, paths, balls, and every tie-break are bit-identical
+//!   across policies.
+//! * **Cache-conscious relayout** ([`VertexPerm`],
+//!   [`csr::CsrGraph::reorder`]): vertices can be renumbered (the serving
+//!   layer uses descending live degree at freeze time) so hot adjacency rows
+//!   cluster at the front of the CSR arrays. The permutation is kept
+//!   alongside the reordered graph and external ids are translated at the
+//!   API boundary — answers stay bit-identical in external-id space.
+//! * **Landmark (ALT) pruning** ([`Landmarks`]): max-over-landmarks triangle
+//!   lower bounds let a bounded point-to-point search skip vertices that
+//!   provably cannot lie on a within-bound path to the target. Pruning never
+//!   reorders the queue (keys stay plain distances), so answers are
+//!   identical for *every* landmark set — including none. Tables are
+//!   epoch-stamped ([`csr::CsrGraph::epoch`]) and must be rebuilt after any
+//!   mutation; the engine refuses stale tables.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod apsp;
+pub mod bucket_queue;
 pub mod builder;
 pub mod connectivity;
 pub mod csr;
@@ -88,6 +115,7 @@ pub mod error;
 pub mod generators;
 pub mod girth;
 pub mod graph;
+pub mod landmarks;
 pub mod metric_closure;
 pub mod mst;
 pub mod parallel;
@@ -95,9 +123,10 @@ pub mod properties;
 pub mod union_find;
 
 pub use builder::GraphBuilder;
-pub use csr::{CompactedRebuild, CsrGraph, CsrSnapshot, DeltaOverlay};
-pub use engine::{DijkstraEngine, EngineStats, EngineTree, SptTree};
+pub use csr::{CompactedRebuild, CsrGraph, CsrSnapshot, DeltaOverlay, VertexPerm};
+pub use engine::{DijkstraEngine, EngineStats, EngineTree, QueuePolicy, SptTree};
 pub use error::GraphError;
 pub use graph::{Edge, EdgeId, VertexId, WeightedGraph};
+pub use landmarks::Landmarks;
 pub use parallel::EnginePool;
 pub use union_find::UnionFind;

@@ -46,7 +46,7 @@
 use std::time::{Duration, Instant};
 
 use crate::csr::{CsrGraph, CsrSnapshot};
-use crate::engine::{DijkstraEngine, EngineStats};
+use crate::engine::{DijkstraEngine, EngineStats, QueuePolicy};
 use crate::error::GraphError;
 
 /// Below this many items per worker the pool shrinks the worker count so no
@@ -114,8 +114,9 @@ impl EnginePool {
         &mut self.engines[0]
     }
 
-    /// Aggregate counters over every engine in the pool: query, reuse-hit
-    /// and heap-pop totals, and the maximum peak frontier.
+    /// Aggregate counters over every engine in the pool: query, reuse-hit,
+    /// queue-pop, settled-vertex and pruned-push totals, and the maximum
+    /// peak frontier.
     pub fn stats(&self) -> EngineStats {
         let mut total = EngineStats::default();
         for e in &self.engines {
@@ -123,10 +124,21 @@ impl EnginePool {
             total.queries += s.queries;
             total.reuse_hits += s.reuse_hits;
             total.heap_pops += s.heap_pops;
+            total.settled_vertices += s.settled_vertices;
+            total.pruned_by_bound += s.pruned_by_bound;
             total.peak_frontier = total.peak_frontier.max(s.peak_frontier);
             total.generation_wraps += s.generation_wraps;
         }
         total
+    }
+
+    /// Sets the [`QueuePolicy`] on every engine in the pool (including the
+    /// commit engine). Answers are bit-identical under every policy; this
+    /// only selects the frontier data structure for bounded queries.
+    pub fn set_queue_policy(&mut self, policy: QueuePolicy) {
+        for e in &mut self.engines {
+            e.set_queue_policy(policy);
+        }
     }
 
     /// Resets every engine's counters, the per-worker busy times and the

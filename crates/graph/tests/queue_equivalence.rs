@@ -1,0 +1,269 @@
+//! Property tests pinning the bucket-queue frontier (and the landmark-pruned
+//! search) to the binary heap and to the reference free functions: every
+//! queue the engine can select must produce **bit-identical** distances,
+//! paths, balls, and tie-breaks — on Erdős–Rényi, dense, and
+//! high-weight-spread graphs, including graphs with tombstoned edges and
+//! live overlay insertions.
+
+use proptest::prelude::*;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use spanner_graph::dijkstra::{ball, bounded_distance};
+use spanner_graph::{
+    CsrGraph, DijkstraEngine, EdgeId, Landmarks, QueuePolicy, VertexId, WeightedGraph,
+};
+
+/// Graph families whose weight distributions stress the bucket-width rule
+/// differently: sparse ER (mixed bucket occupancy), dense (many
+/// equal-bucket entries), and high-spread (weights across three orders of
+/// magnitude, so the mean-derived width is far from the min).
+fn arb_graph() -> impl Strategy<Value = WeightedGraph> {
+    (2usize..28, 0u64..1000, 0usize..3).prop_map(|(n, seed, family)| {
+        let mut rng = SmallRng::seed_from_u64(seed ^ (family as u64) << 32);
+        let (p, lo, hi) = match family {
+            0 => (0.15, 0.5, 6.0),   // ER
+            1 => (0.6, 1.0, 2.0),    // dense, narrow weights
+            _ => (0.25, 0.01, 10.0), // high weight spread
+        };
+        let mut g = WeightedGraph::new(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if rng.gen_bool(p) {
+                    g.add_edge(VertexId(u), VertexId(v), rng.gen_range(lo..hi));
+                }
+            }
+        }
+        g
+    })
+}
+
+/// One engine per queue policy, both pre-sized so the zero-allocation
+/// contract is co-tested for free.
+fn engine_pair(n: usize, m: usize) -> (DijkstraEngine, DijkstraEngine) {
+    let mut heap = DijkstraEngine::with_capacity_for(n, m);
+    heap.set_queue_policy(QueuePolicy::Heap);
+    let auto = DijkstraEngine::with_capacity_for(n, m);
+    (heap, auto)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Bounded distances: heap, bucket (`Auto`), and the reference free
+    /// function agree exactly for arbitrary (source, target, bound) triples.
+    #[test]
+    fn bounded_distances_agree_across_queues(g in arb_graph(), seed in 0u64..1000) {
+        let n = g.num_vertices();
+        let csr = CsrGraph::from(&g);
+        let (mut heap, mut auto) = engine_pair(n, g.num_edges());
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..20 {
+            let s = VertexId(rng.gen_range(0..n));
+            let t = VertexId(rng.gen_range(0..n));
+            let bound = rng.gen_range(0.0..20.0);
+            let via_heap = heap.bounded_distance(&csr, s, t, bound);
+            let via_bucket = auto.bounded_distance(&csr, s, t, bound);
+            prop_assert_eq!(via_heap, via_bucket, "s={} t={} bound={}", s, t, bound);
+            prop_assert_eq!(via_heap, bounded_distance(&g, s, t, bound));
+        }
+        prop_assert_eq!(heap.stats().reuse_hits, heap.stats().queries);
+        prop_assert_eq!(auto.stats().reuse_hits, auto.stats().queries);
+    }
+
+    /// Balls: membership AND order (including every equal-distance
+    /// tie-break) are identical across queue policies and match the
+    /// reference. This is the satellite tie-handling property: equal
+    /// distances settle in ascending vertex-id order no matter which
+    /// frontier ran the search.
+    #[test]
+    fn balls_and_ties_agree_across_queues(g in arb_graph(), seed in 0u64..1000) {
+        let n = g.num_vertices();
+        let csr = CsrGraph::from(&g);
+        let (mut heap, mut auto) = engine_pair(n, g.num_edges());
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..8 {
+            let s = VertexId(rng.gen_range(0..n));
+            let radius = rng.gen_range(0.0..15.0);
+            let via_heap = heap.ball(&csr, s, radius).to_vec();
+            let via_bucket = auto.ball(&csr, s, radius).to_vec();
+            prop_assert_eq!(&via_heap, &via_bucket, "s={} radius={}", s, radius);
+            prop_assert_eq!(&via_heap[..], &ball(&g, s, radius)[..]);
+            for w in via_heap.windows(2) {
+                prop_assert!(
+                    w[0].1 < w[1].1 || (w[0].1 == w[1].1 && w[0].0 < w[1].0),
+                    "ties must be in ascending vertex-id order"
+                );
+            }
+        }
+    }
+
+    /// Unit-weight graphs maximize exact distance ties (every vertex at hop
+    /// distance d ties); ball order and k-nearest truncation must still be
+    /// identical across queues.
+    #[test]
+    fn unit_weight_tie_storms_are_deterministic(n in 3usize..24, seed in 0u64..500) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut g = WeightedGraph::new(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if rng.gen_bool(0.4) {
+                    g.add_edge(VertexId(u), VertexId(v), 1.0);
+                }
+            }
+        }
+        let csr = CsrGraph::from(&g);
+        let (mut heap, mut auto) = engine_pair(n, g.num_edges());
+        let s = VertexId(rng.gen_range(0..n));
+        let heap_ball = heap.ball(&csr, s, n as f64).to_vec();
+        let auto_ball = auto.ball(&csr, s, n as f64).to_vec();
+        prop_assert_eq!(&heap_ball, &auto_ball);
+        // k_nearest truncation at a tie boundary picks the same vertices.
+        let tree = heap.shortest_path_tree(&csr, s).to_owned_tree();
+        for k in 0..=heap_ball.len() {
+            prop_assert_eq!(&tree.k_nearest(k)[..], &heap_ball[..k]);
+        }
+        prop_assert_eq!(tree.members(), &heap_ball[..]);
+    }
+
+    /// Shortest-path trees (unbounded, so both policies route to the heap)
+    /// and bounded paths agree across policies after the engines have been
+    /// through bucket queries — i.e. policy switching mid-stream never
+    /// corrupts the workspace.
+    #[test]
+    fn trees_agree_after_mixed_policy_streams(g in arb_graph(), seed in 0u64..500) {
+        let n = g.num_vertices();
+        let csr = CsrGraph::from(&g);
+        let (mut heap, mut auto) = engine_pair(n, g.num_edges());
+        let mut rng = SmallRng::seed_from_u64(seed);
+        // Warm both engines with bounded queries first.
+        for _ in 0..5 {
+            let s = VertexId(rng.gen_range(0..n));
+            let t = VertexId(rng.gen_range(0..n));
+            let bound = rng.gen_range(0.1..10.0);
+            prop_assert_eq!(
+                heap.bounded_distance(&csr, s, t, bound),
+                auto.bounded_distance(&csr, s, t, bound)
+            );
+        }
+        let s = VertexId(rng.gen_range(0..n));
+        let heap_tree = heap.shortest_path_tree(&csr, s).to_owned_tree();
+        let auto_tree = auto.shortest_path_tree(&csr, s).to_owned_tree();
+        for v in 0..n {
+            prop_assert_eq!(heap_tree.distance(VertexId(v)), auto_tree.distance(VertexId(v)));
+            prop_assert_eq!(heap_tree.path_to(VertexId(v)), auto_tree.path_to(VertexId(v)));
+        }
+    }
+
+    /// Landmark-pruned bounded distances equal unpruned ones for every
+    /// (source, target, bound) — on both queue policies.
+    #[test]
+    fn landmark_pruning_is_answer_invariant(g in arb_graph(), seed in 0u64..1000) {
+        let n = g.num_vertices();
+        let csr = CsrGraph::from(&g);
+        let lm = Landmarks::build_degree_ranked(&csr, 3.min(n));
+        let (mut heap, mut auto) = engine_pair(n, g.num_edges());
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..20 {
+            let s = VertexId(rng.gen_range(0..n));
+            let t = VertexId(rng.gen_range(0..n));
+            let bound = if rng.gen_bool(0.15) {
+                f64::INFINITY
+            } else {
+                rng.gen_range(0.0..20.0)
+            };
+            let plain = heap.bounded_distance(&csr, s, t, bound);
+            prop_assert_eq!(
+                plain,
+                heap.bounded_distance_landmarked(&csr, &lm, s, t, bound),
+                "heap+ALT diverged: s={} t={} bound={}", s, t, bound
+            );
+            prop_assert_eq!(
+                plain,
+                auto.bounded_distance_landmarked(&csr, &lm, s, t, bound),
+                "bucket+ALT diverged: s={} t={} bound={}", s, t, bound
+            );
+        }
+    }
+
+    /// Queues agree while the CSR carries tombstoned edges and overlay
+    /// insertions: delete/append churn between query rounds, checking
+    /// against a fresh build of the surviving edge set each round.
+    #[test]
+    fn queues_agree_under_tombstones_and_overlays(g in arb_graph(), seed in 0u64..500) {
+        let n = g.num_vertices();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut csr = CsrGraph::from(&g);
+        let (mut heap, mut auto) = engine_pair(n, g.num_edges() + 24);
+        let mut surviving: Vec<(VertexId, VertexId, f64)> =
+            g.edges().iter().map(|e| (e.u, e.v, e.weight)).collect();
+        let mut ids: Vec<usize> = (0..g.num_edges()).collect();
+        let mut next_weight = 0.13f64;
+        for step in 0..16 {
+            if step % 2 == 0 && !ids.is_empty() {
+                let pick = rng.gen_range(0..ids.len());
+                let id = ids.swap_remove(pick);
+                surviving.swap_remove(pick);
+                csr.remove_edge(EdgeId(id)).unwrap();
+            } else {
+                let u = rng.gen_range(0..n);
+                let mut v = rng.gen_range(0..n.max(2) - 1);
+                if v >= u { v += 1; }
+                next_weight += 0.41;
+                let id = csr.append_edge(VertexId(u), VertexId(v), next_weight);
+                ids.push(id.index());
+                surviving.push((VertexId(u), VertexId(v), next_weight));
+            }
+            let reference = {
+                let mut fresh = WeightedGraph::new(n);
+                for &(u, v, w) in &surviving {
+                    fresh.add_edge(u, v, w);
+                }
+                fresh
+            };
+            let s = VertexId(rng.gen_range(0..n));
+            let t = VertexId(rng.gen_range(0..n));
+            let bound = rng.gen_range(0.0..25.0);
+            let via_heap = heap.bounded_distance(&csr, s, t, bound);
+            prop_assert_eq!(via_heap, auto.bounded_distance(&csr, s, t, bound),
+                "step {}: queue divergence under churn", step);
+            prop_assert_eq!(via_heap, bounded_distance(&reference, s, t, bound),
+                "step {}: engine diverged from fresh rebuild", step);
+            let radius = rng.gen_range(0.0..12.0);
+            prop_assert_eq!(
+                heap.ball(&csr, s, radius).to_vec(),
+                auto.ball(&csr, s, radius).to_vec(),
+                "step {}: ball divergence under churn", step
+            );
+        }
+    }
+
+    /// Reordering the CSR relabels answers but never changes them: a query
+    /// in external-id space answered through the permutation equals the
+    /// query on the original layout, under both queue policies.
+    #[test]
+    fn reorder_is_answer_preserving_across_queues(g in arb_graph(), seed in 0u64..500) {
+        use spanner_graph::VertexPerm;
+        let n = g.num_vertices();
+        let csr = CsrGraph::from(&g);
+        let perm = VertexPerm::degree_sorted(&csr);
+        let reordered = csr.reorder(&perm);
+        let (mut heap, mut auto) = engine_pair(n, g.num_edges());
+        let mut reordered_engine = DijkstraEngine::with_capacity_for(n, g.num_edges());
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..12 {
+            let s = VertexId(rng.gen_range(0..n));
+            let t = VertexId(rng.gen_range(0..n));
+            let bound = rng.gen_range(0.0..20.0);
+            let original = heap.bounded_distance(&csr, s, t, bound);
+            prop_assert_eq!(original, auto.bounded_distance(&csr, s, t, bound));
+            let translated = reordered_engine.bounded_distance(
+                &reordered,
+                perm.to_internal(s),
+                perm.to_internal(t),
+                bound,
+            );
+            prop_assert_eq!(original, translated, "reorder changed an answer");
+        }
+    }
+}
