@@ -221,6 +221,40 @@
 //!   `tests/persistence_recovery.rs`). Corruption surfaces as typed
 //!   [`persist::PersistError`]s, never panics.
 //!
+//! # The sharded architecture
+//!
+//! For graphs past single-pipeline scale, [`shard`] partitions the build
+//! and the serving while keeping the global stretch certificate:
+//!
+//! 1. **Partition** (`spanner_graph::partition`): `k` BFS-grown,
+//!    size-balanced regions from seed-ranked roots — deterministic, and
+//!    `k = 1` is the identity. Each shard is an induced subgraph with a
+//!    stable global↔local [`spanner_graph::VertexPerm`] mapping; edges
+//!    between shards form the cut list.
+//! 2. **Per-shard builds** ([`ShardedSpanner`] → [`ShardedBuilder`]): each
+//!    shard runs the ordinary [`SpannerAlgorithm`] pipeline, with the
+//!    thread budget split deterministically across shards.
+//! 3. **Stitch**: cut endpoints
+//!    become a contracted **boundary skeleton** ([`BoundarySkeleton`])
+//!    holding exact per-shard spanner distances between boundary pairs
+//!    (bounded ball searches — stitch cost scales with the cut, not `n`);
+//!    cut edges are re-admitted by the greedy rule against the skeleton,
+//!    and every cut edge is then re-audited, so
+//!    [`ShardedOutput::certified_stretch`] is a **global** certificate
+//!    ([`StitchStats::max_cut_stretch`] records the audited maximum).
+//! 4. **Serve** ([`serve::ShardedServer`] via [`ShardedOutput::serve`]):
+//!    queries route to the owning shard's [`serve::SpannerServer`];
+//!    cross-shard `Distance` bounds are tightened through the skeleton
+//!    first (a true upper bound, so the clamp is answer-invariant);
+//!    [`serve::ServeStats::merge`] aggregates per-shard stats.
+//!
+//! The build artifact is a function of (graph, shards, seed) alone —
+//! bit-identical across thread counts — and serving answers are
+//! bit-identical across serve-shard counts, thread counts and cache
+//! states; `serve_shards(1)` reproduces the plain [`serve::SpannerServer`]
+//! exactly (root suites `tests/sharded_determinism.rs`,
+//! `tests/sharded_matrix.rs`).
+//!
 //! **Migration note (0.3):** `SpannerServer` no longer owns a bare frozen
 //! graph — it serves through an epoch-stamped handle, and
 //! [`serve::SpannerServer::new`] takes a [`serve::SpannerHandle`]. The
@@ -238,6 +272,9 @@
 //!   described above.
 //! * [`persist`] — snapshots, write-ahead logging and crash recovery for
 //!   live spanners, described above.
+//! * [`shard`] — the sharded pipeline described above: partitioned builds,
+//!   the boundary skeleton and the global stretch re-audit (serving lives
+//!   in [`serve`] as [`serve::ShardedServer`]).
 //! * [`greedy`] / [`greedy_metric`] — Algorithm 1 engines (graph / metric).
 //! * [`bounded_degree`] — the net-tree `(1+ε)`-spanner substrate
 //!   (Theorem 2).
@@ -267,6 +304,7 @@ pub mod matrix;
 pub mod optimality;
 pub mod persist;
 pub mod serve;
+pub mod shard;
 pub mod update;
 pub mod workload;
 
@@ -280,5 +318,10 @@ pub use matrix::{aggregate_stats, run_matrix, MatrixCell, MatrixStats};
 pub use persist::{PersistError, Recovered, RecoveryReport};
 pub use serve::SpannerHandle;
 pub use serve::{Answer, Query, ServeBuilder, ServeError, ServeStats, SpannerServer};
+pub use serve::{LatencyHistogram, ShardedServeBuilder, ShardedServer};
+pub use shard::{
+    BoundarySkeleton, ShardBuildStats, Sharded, ShardedBuilder, ShardedOutput, ShardedSpanner,
+    StitchStats,
+};
 pub use update::{BatchOutcome, LiveSpanner, Update, UpdateBatch, UpdateError, UpdateStats};
 pub use workload::{LiveWorkload, QueryWorkload, StreamEvent, WorkloadError};

@@ -105,6 +105,7 @@ use spanner_graph::{
 };
 
 use crate::algorithm::{Provenance, SpannerConfig, SpannerOutput};
+use crate::shard::{BoundarySkeleton, ShardedOutput};
 use crate::update::{BatchOutcome, LiveSpanner, UpdateBatch, UpdateError, UpdateStats};
 
 /// One read query against a served spanner.
@@ -471,6 +472,24 @@ impl ServeStats {
     pub fn cache_hit_rate(&self) -> Option<f64> {
         let total = self.cache_hits + self.cache_misses;
         (total > 0).then(|| self.cache_hits as f64 / total as f64)
+    }
+
+    /// Merges another server's statistics into this one — the per-shard
+    /// roll-up a [`ShardedServer`] reports. Counters add, `elapsed` adds
+    /// (total serving work across shards), `epoch` takes the maximum, and
+    /// the latency histograms merge exactly ([`LatencyHistogram::merge`]),
+    /// so merged quantiles equal the quantiles of one combined histogram.
+    pub fn merge(&mut self, other: &ServeStats) {
+        self.queries += other.queries;
+        self.batches += other.batches;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_insertions += other.cache_insertions;
+        self.cache_evictions += other.cache_evictions;
+        self.stale_evictions += other.stale_evictions;
+        self.epoch = self.epoch.max(other.epoch);
+        self.elapsed += other.elapsed;
+        self.latency.merge(&other.latency);
     }
 }
 
@@ -1590,6 +1609,360 @@ impl LiveSpanner {
     }
 }
 
+/// A sharded serving front-end over a sharded build: `k` replica
+/// [`SpannerServer`]s — each a clone of **one** stitched, epoch-stamped
+/// handle — plus a routing table and the build's boundary skeleton.
+///
+/// Queries are routed to the serve shard that owns their *source* vertex,
+/// so each shard's SPT cache concentrates on its own sources instead of
+/// thrashing across the whole id space. Cross-shard [`Query::Distance`]
+/// searches between boundary vertices are tightened through the skeleton
+/// first: the skeleton distance upper-bounds the spanner distance (every
+/// skeleton path is realizable in the spanner), so clamping the search
+/// bound to it admits exactly the same answers while settling fewer
+/// vertices ([`ShardedServer::skeleton_clamps`] counts the tightenings).
+///
+/// Because every replica serves the *same* handle and both routing and the
+/// skeleton clamp are answer-invariant, answers are **bit-identical at
+/// every serve-shard count, thread count, and cache state** — and with one
+/// serve shard the server *is* today's [`SpannerServer`] over the stitched
+/// output, bit for bit. The root `tests/sharded_determinism.rs` suite
+/// asserts this across serve shards {1, 2, 4} × threads {1, 2, 8}.
+#[derive(Debug)]
+pub struct ShardedServer {
+    shards: Vec<SpannerServer>,
+    /// `assignment[v]` = serve shard owning source vertex `v`.
+    assignment: Vec<u32>,
+    skeleton: BoundarySkeleton,
+    skeleton_engine: DijkstraEngine,
+    skeleton_clamps: u64,
+}
+
+impl ShardedServer {
+    /// Answers a batch: routes each query to its source's shard (tightening
+    /// cross-shard distance bounds through the boundary skeleton), runs the
+    /// per-shard sub-batches, and reassembles answers in input order.
+    ///
+    /// Validation runs over the *whole* batch up front against replica 0 —
+    /// all replicas serve the same handle — so a batch still either runs
+    /// whole or not at all, exactly like [`SpannerServer::answer_batch`].
+    pub fn answer_batch(&mut self, queries: &[Query]) -> Result<Vec<Answer>, ServeError> {
+        self.shards[0].served.verify()?;
+        self.shards[0].validate(queries)?;
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        let k = self.shards.len();
+        let mut routed_idx: Vec<Vec<usize>> = vec![Vec::new(); k];
+        let mut routed: Vec<Vec<Query>> = vec![Vec::new(); k];
+        for (i, query) in queries.iter().enumerate() {
+            let shard = self.assignment[query.source().index()] as usize;
+            let query = self.tighten(shard, *query);
+            routed_idx[shard].push(i);
+            routed[shard].push(query);
+        }
+        let mut answers: Vec<Option<Answer>> = vec![None; queries.len()];
+        for shard in 0..k {
+            if routed[shard].is_empty() {
+                continue;
+            }
+            let sub = self.shards[shard].answer_batch(&routed[shard])?;
+            for (&i, answer) in routed_idx[shard].iter().zip(sub) {
+                answers[i] = Some(answer);
+            }
+        }
+        Ok(answers
+            .into_iter()
+            .map(|a| a.expect("every query was routed to exactly one shard"))
+            .collect())
+    }
+
+    /// Tightens a cross-shard distance query's bound to the boundary
+    /// skeleton's upper bound when both endpoints are boundary vertices.
+    /// Answer-invariant: the true spanner distance never exceeds the
+    /// skeleton bound (see [`BoundarySkeleton::distance_upper_bound`]), so
+    /// `min(bound, skeleton)` accepts exactly the same distances.
+    fn tighten(&mut self, shard: usize, query: Query) -> Query {
+        let Query::Distance {
+            source,
+            target,
+            bound,
+        } = query
+        else {
+            return query;
+        };
+        if self.assignment[target.index()] as usize == shard {
+            return query;
+        }
+        let Some(ub) =
+            self.skeleton
+                .distance_upper_bound(&mut self.skeleton_engine, source, target)
+        else {
+            return query;
+        };
+        if ub < bound {
+            self.skeleton_clamps += 1;
+            Query::Distance {
+                source,
+                target,
+                bound: ub,
+            }
+        } else {
+            query
+        }
+    }
+
+    /// Number of serve shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Vertices of the served (stitched) spanner.
+    pub fn num_vertices(&self) -> usize {
+        self.shards[0].num_vertices()
+    }
+
+    /// Live edges of the served (stitched) spanner.
+    pub fn num_edges(&self) -> usize {
+        self.shards[0].num_edges()
+    }
+
+    /// Worker threads each shard answers its sub-batch with.
+    pub fn threads(&self) -> usize {
+        self.shards[0].threads()
+    }
+
+    /// Which construction produced the served spanner (the sharded build's
+    /// provenance, naming the inner algorithm and shard count).
+    pub fn provenance(&self) -> &Provenance {
+        self.shards[0].provenance()
+    }
+
+    /// The served spanner's epoch.
+    pub fn epoch(&self) -> u64 {
+        self.shards[0].epoch()
+    }
+
+    /// The serve shard owning queries sourced at `v`.
+    pub fn shard_of(&self, v: VertexId) -> usize {
+        self.assignment[v.index()] as usize
+    }
+
+    /// The boundary skeleton cross-shard bounds are tightened through.
+    pub fn skeleton(&self) -> &BoundarySkeleton {
+        &self.skeleton
+    }
+
+    /// How many cross-shard distance bounds the skeleton tightened.
+    pub fn skeleton_clamps(&self) -> u64 {
+        self.skeleton_clamps
+    }
+
+    /// One serve shard's statistics.
+    pub fn shard_stats(&self, shard: usize) -> &ServeStats {
+        self.shards[shard].stats()
+    }
+
+    /// The per-shard replica servers, in shard order.
+    pub fn shards(&self) -> &[SpannerServer] {
+        &self.shards
+    }
+
+    /// Aggregate statistics across all serve shards, merged with
+    /// [`ServeStats::merge`] — counters add, latency histograms combine
+    /// exactly, `elapsed` totals the serving work.
+    pub fn stats(&self) -> ServeStats {
+        let mut merged = ServeStats::default();
+        for shard in &self.shards {
+            merged.merge(shard.stats());
+        }
+        merged
+    }
+
+    /// Shortest-path trees cached across all shards.
+    pub fn cached_trees(&self) -> usize {
+        self.shards.iter().map(SpannerServer::cached_trees).sum()
+    }
+
+    /// Mean worker utilization across the shard pools.
+    pub fn worker_utilization(&self) -> f64 {
+        let sum: f64 = self
+            .shards
+            .iter()
+            .map(SpannerServer::worker_utilization)
+            .sum();
+        sum / self.shards.len() as f64
+    }
+
+    /// Resets every shard's serving statistics and the clamp counter.
+    pub fn reset_stats(&mut self) {
+        for shard in &mut self.shards {
+            shard.reset_stats();
+        }
+        self.skeleton_clamps = 0;
+    }
+}
+
+/// Assembles a [`ShardedServer`]; created by [`ShardedOutput::serve`].
+///
+/// The builder freezes the stitched spanner into **one** handle exactly the
+/// way [`ServeBuilder`] freezes a fresh [`SpannerOutput`] (degree-sorted
+/// relayout + landmark table by default), then clones that handle into one
+/// replica [`SpannerServer`] per serve shard. With
+/// [`ShardedServeBuilder::serve_shards`]`(1)` the result answers
+/// bit-identically to `output.serve().finish()` on the same stitched
+/// output.
+///
+/// ```no_run
+/// use greedy_spanner::ShardedSpanner;
+/// use spanner_graph::WeightedGraph;
+///
+/// let g = WeightedGraph::from_edges(3, [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.9)])?;
+/// let sharded = ShardedSpanner::greedy().stretch(2.0).shards(2).build(&g)?;
+/// let server = sharded.serve().threads(4).finish();
+/// assert_eq!(server.num_shards(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct ShardedServeBuilder {
+    output: ShardedOutput,
+    /// `None` = one serve shard per build shard.
+    serve_shards: Option<usize>,
+    threads: usize,
+    cache_capacity: usize,
+    cache_admit_threshold: usize,
+    baseline: Option<WeightedGraph>,
+    queue_policy: QueuePolicy,
+    reorder: Option<bool>,
+    landmark_count: Option<usize>,
+}
+
+impl ShardedServeBuilder {
+    fn new(output: ShardedOutput) -> Self {
+        ShardedServeBuilder {
+            output,
+            serve_shards: None,
+            threads: 0,
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
+            cache_admit_threshold: DEFAULT_CACHE_ADMIT_THRESHOLD,
+            baseline: None,
+            queue_policy: QueuePolicy::Auto,
+            reorder: None,
+            landmark_count: None,
+        }
+    }
+
+    /// How many serve shards to run (clamped to `1..=n`). Defaults to the
+    /// build's shard count; any value answers identically — serve sharding
+    /// is pure routing over replicas of one stitched handle.
+    pub fn serve_shards(mut self, shards: usize) -> Self {
+        self.serve_shards = Some(shards);
+        self
+    }
+
+    /// Worker threads per shard sub-batch; `0` (the default) resolves like
+    /// [`ServeBuilder::threads`]. Answers are identical at every value.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Per-shard SPT cache capacity (see [`ServeBuilder::cache_capacity`]).
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Per-shard cache admission threshold (see
+    /// [`ServeBuilder::cache_admit_threshold`]).
+    pub fn cache_admit_threshold(mut self, threshold: usize) -> Self {
+        self.cache_admit_threshold = threshold.max(1);
+        self
+    }
+
+    /// Frontier policy for bounded queries (see
+    /// [`ServeBuilder::queue_policy`]); purely a speed knob.
+    pub fn queue_policy(mut self, policy: QueuePolicy) -> Self {
+        self.queue_policy = policy;
+        self
+    }
+
+    /// Whether to apply the degree-sorted relayout to the stitched handle
+    /// (default `true`, like fresh outputs; see [`ServeBuilder::reorder`]).
+    pub fn reorder(mut self, reorder: bool) -> Self {
+        self.reorder = Some(reorder);
+        self
+    }
+
+    /// ALT landmarks on the stitched handle (see
+    /// [`ServeBuilder::landmarks`]).
+    pub fn landmarks(mut self, count: usize) -> Self {
+        self.landmark_count = Some(count);
+        self
+    }
+
+    /// Supplies the original graph for [`Query::StretchAudit`] queries
+    /// (each replica audits against its own co-reordered copy).
+    pub fn audit_against(mut self, graph: &WeightedGraph) -> Self {
+        self.baseline = Some(graph.clone());
+        self
+    }
+
+    /// Builds the server: freezes the stitched spanner into one handle
+    /// (relayout + landmarks, as [`ServeBuilder::finish`] does for fresh
+    /// outputs), clones it into one replica per serve shard, and wires the
+    /// routing table — the build partition's assignment when the serve
+    /// shard count matches the build's, contiguous balanced ranges
+    /// otherwise.
+    pub fn finish(self) -> ShardedServer {
+        let n = self.output.partition.num_vertices();
+        let build_shards = self.output.partition.num_shards();
+        let k = self.serve_shards.unwrap_or(build_shards).clamp(1, n.max(1));
+        let assignment: Vec<u32> = if k == build_shards {
+            self.output.partition.assignment().to_vec()
+        } else {
+            (0..n).map(|v| ((v * k) / n) as u32).collect()
+        };
+        let skeleton = self.output.skeleton;
+        let mut handle = SpannerHandle::from_output(self.output.output);
+        if self.reorder.unwrap_or(true) {
+            handle = handle.reordered();
+        }
+        handle = handle.with_landmarks(self.landmark_count.unwrap_or(DEFAULT_LANDMARK_COUNT));
+        let shards: Vec<SpannerServer> = (0..k)
+            .map(|_| {
+                let mut builder = ServeBuilder::from_handle(handle.clone())
+                    .threads(self.threads)
+                    .cache_capacity(self.cache_capacity)
+                    .cache_admit_threshold(self.cache_admit_threshold)
+                    .queue_policy(self.queue_policy);
+                if let Some(baseline) = &self.baseline {
+                    builder = builder.audit_against(baseline);
+                }
+                builder.finish()
+            })
+            .collect();
+        ShardedServer {
+            shards,
+            assignment,
+            skeleton,
+            skeleton_engine: DijkstraEngine::new(),
+            skeleton_clamps: 0,
+        }
+    }
+}
+
+impl ShardedOutput {
+    /// Turns this sharded build into a sharded serving pipeline:
+    /// `ShardedSpanner::greedy().shards(4).build(&g)?.serve().finish()`.
+    ///
+    /// The output is consumed; the stitched spanner is frozen once and
+    /// replicated across the serve shards. See [`ShardedServeBuilder`].
+    pub fn serve(self) -> ShardedServeBuilder {
+        ShardedServeBuilder::new(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2084,6 +2457,189 @@ mod tests {
                 engine.reuse_hits, engine.queries,
                 "policy={policy:?} reorder={reorder} landmarks={landmarks}: engine allocated"
             );
+        }
+    }
+
+    #[test]
+    fn merged_histogram_quantiles_match_one_combined_histogram() {
+        // Two shards record disjoint latency populations; merging their
+        // histograms must reproduce the histogram that saw every sample.
+        let samples_a: Vec<u64> = (0..200).map(|i| 100 + i * 37).collect();
+        let samples_b: Vec<u64> = (0..300).map(|i| 50_000 + i * 911).collect();
+        let mut a = LatencyHistogram::default();
+        let mut b = LatencyHistogram::default();
+        let mut combined = LatencyHistogram::default();
+        for &nanos in &samples_a {
+            a.record(Duration::from_nanos(nanos));
+            combined.record(Duration::from_nanos(nanos));
+        }
+        for &nanos in &samples_b {
+            b.record(Duration::from_nanos(nanos));
+            combined.record(Duration::from_nanos(nanos));
+        }
+        a.merge(&b);
+        assert_eq!(a, combined);
+        assert_eq!(a.total(), 500);
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.quantile(q), combined.quantile(q), "quantile {q}");
+        }
+        assert_eq!(a.max(), combined.max());
+    }
+
+    #[test]
+    fn serve_stats_merge_aggregates_counters() {
+        let mut left = ServeStats {
+            queries: 10,
+            batches: 2,
+            cache_hits: 3,
+            cache_misses: 7,
+            cache_insertions: 4,
+            cache_evictions: 1,
+            stale_evictions: 0,
+            epoch: 5,
+            elapsed: Duration::from_millis(20),
+            ..ServeStats::default()
+        };
+        let right = ServeStats {
+            queries: 4,
+            batches: 1,
+            cache_hits: 1,
+            cache_misses: 3,
+            cache_insertions: 2,
+            cache_evictions: 2,
+            stale_evictions: 6,
+            epoch: 9,
+            elapsed: Duration::from_millis(5),
+            ..ServeStats::default()
+        };
+        left.merge(&right);
+        assert_eq!(left.queries, 14);
+        assert_eq!(left.batches, 3);
+        assert_eq!(left.cache_hits, 4);
+        assert_eq!(left.cache_misses, 10);
+        assert_eq!(left.cache_insertions, 6);
+        assert_eq!(left.cache_evictions, 3);
+        assert_eq!(left.stale_evictions, 6);
+        assert_eq!(left.epoch, 9);
+        assert_eq!(left.elapsed, Duration::from_millis(25));
+        assert_eq!(left.cache_hit_rate(), Some(4.0 / 14.0));
+    }
+
+    #[test]
+    fn untouched_server_rates_decline_instead_of_dividing_by_zero() {
+        let g = diamond();
+        let server = server_for(&g, 4, 1);
+        assert_eq!(server.stats().qps(), None);
+        assert_eq!(server.stats().cache_hit_rate(), None);
+        // Merging all-zero stats must keep the rates declined.
+        let mut merged = ServeStats::default();
+        merged.merge(server.stats());
+        assert_eq!(merged.qps(), None);
+        assert_eq!(merged.cache_hit_rate(), None);
+        assert_eq!(merged.latency.quantile(0.5), None);
+    }
+
+    /// A mixed batch whose sources spread across shards, with repeats for
+    /// cache admission and cross-shard distance queries (bounded and not).
+    fn sharded_query_mix(n: usize) -> Vec<Query> {
+        (0..120)
+            .map(|i| {
+                let s = VertexId((i * 13) % n);
+                let t = VertexId((i * 29 + 3) % n);
+                match i % 5 {
+                    0 => Query::distance(s, t, f64::INFINITY),
+                    1 => Query::distance(s, t, 4.0 + (i % 7) as f64),
+                    2 => Query::path(s, t),
+                    3 => Query::ball(s, (i % 4) as f64 + 0.5),
+                    _ => Query::k_nearest(s, i % 8),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sharded_server_matches_plain_server_over_same_output() {
+        use crate::shard::ShardedSpanner;
+        let mut rng = SmallRng::seed_from_u64(41);
+        let g = erdos_renyi_connected(60, 0.15, 1.0..9.0, &mut rng);
+        let sharded = ShardedSpanner::greedy()
+            .stretch(2.0)
+            .shards(3)
+            .build(&g)
+            .unwrap();
+        let queries = sharded_query_mix(60);
+        // Reference: today's SpannerServer over the identical stitched output.
+        let mut plain = sharded.output.clone().serve().finish();
+        let reference_cold = plain.answer_batch(&queries).unwrap();
+        let reference_warm = plain.answer_batch(&queries).unwrap();
+        assert_eq!(reference_cold, reference_warm);
+        for serve_shards in [1usize, 2, 3, 5] {
+            let mut server = sharded.clone().serve().serve_shards(serve_shards).finish();
+            assert_eq!(server.num_shards(), serve_shards);
+            let cold = server.answer_batch(&queries).unwrap();
+            let warm = server.answer_batch(&queries).unwrap();
+            assert_eq!(cold, reference_cold, "serve_shards={serve_shards} cold");
+            assert_eq!(warm, reference_cold, "serve_shards={serve_shards} warm");
+            let merged = server.stats();
+            assert_eq!(merged.queries, 2 * queries.len() as u64);
+            let per_shard: u64 = (0..serve_shards)
+                .map(|s| server.shard_stats(s).queries)
+                .sum();
+            assert_eq!(merged.queries, per_shard);
+            assert_eq!(merged.latency.total(), merged.queries);
+        }
+    }
+
+    #[test]
+    fn skeleton_clamp_tightens_cross_shard_bounds_without_changing_answers() {
+        use crate::shard::ShardedSpanner;
+        let mut rng = SmallRng::seed_from_u64(97);
+        let g = erdos_renyi_connected(80, 0.1, 1.0..6.0, &mut rng);
+        let sharded = ShardedSpanner::greedy()
+            .stretch(2.0)
+            .shards(4)
+            .build(&g)
+            .unwrap();
+        // Unbounded cross-shard distance queries between *boundary*
+        // vertices — exactly the shape the skeleton clamp fires on.
+        let skeleton = sharded.skeleton.clone();
+        let mut queries = Vec::new();
+        for a in 0..skeleton.num_vertices() {
+            for b in (a + 1)..skeleton.num_vertices() {
+                queries.push(Query::distance(
+                    skeleton.global_of(VertexId(a)),
+                    skeleton.global_of(VertexId(b)),
+                    f64::INFINITY,
+                ));
+                if queries.len() >= 60 {
+                    break;
+                }
+            }
+            if queries.len() >= 60 {
+                break;
+            }
+        }
+        assert!(!queries.is_empty(), "partition produced no boundary pairs");
+        let mut plain = sharded.output.clone().serve().finish();
+        let reference = plain.answer_batch(&queries).unwrap();
+        let mut server = sharded.serve().finish();
+        let answers = server.answer_batch(&queries).unwrap();
+        assert_eq!(answers, reference);
+        assert!(
+            server.skeleton_clamps() > 0,
+            "no cross-shard bound was tightened through the skeleton"
+        );
+        // Clamped answers are real distances, not skeleton upper bounds.
+        for (query, answer) in queries.iter().zip(&answers) {
+            let Query::Distance { source, target, .. } = query else {
+                unreachable!()
+            };
+            if let Answer::Distance(Some(d)) = answer {
+                let direct = plain
+                    .answer_batch(&[Query::distance(*source, *target, f64::INFINITY)])
+                    .unwrap();
+                assert_eq!(direct[0].distance(), Some(*d));
+            }
         }
     }
 }

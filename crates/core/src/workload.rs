@@ -127,6 +127,13 @@ enum Shape {
         /// baseline).
         audits: bool,
     },
+    /// Uniformly random distance queries whose endpoints are drawn from an
+    /// explicit vertex set (sorted, deduplicated) — boundary-targeted
+    /// cross-shard traffic.
+    OverSet {
+        /// The vertex universe, sorted and deduplicated.
+        vertices: Vec<VertexId>,
+    },
 }
 
 /// A deterministic query-workload description; see the
@@ -219,6 +226,32 @@ impl QueryWorkload {
         QueryWorkload::new(num_vertices, Shape::Mixed { audits })
     }
 
+    /// Uniformly random point-to-point distance queries whose endpoints are
+    /// drawn from an explicit vertex set instead of the whole id space —
+    /// the shape the sharded serving bench uses to aim traffic at a
+    /// partition's *boundary* vertices, where every query crosses shards.
+    /// The set is sorted and deduplicated, so any ordering of the same
+    /// vertices describes the same workload.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError::UniverseTooSmall`] for fewer than two *distinct*
+    /// vertices.
+    pub fn uniform_over(vertices: Vec<VertexId>) -> Result<Self, WorkloadError> {
+        let mut vertices = vertices;
+        vertices.sort();
+        vertices.dedup();
+        check_universe(vertices.len())?;
+        let num_vertices = vertices.last().expect("non-empty").index() + 1;
+        Ok(QueryWorkload {
+            num_vertices,
+            count: 1024,
+            seed: 0,
+            bound: f64::INFINITY,
+            shape: Shape::OverSet { vertices },
+        })
+    }
+
     /// Sets the number of queries to generate (default 1024).
     pub fn queries(mut self, count: usize) -> Self {
         self.count = count;
@@ -282,6 +315,16 @@ impl QueryWorkload {
                         _ if *audits => Query::stretch_audit(s, t),
                         _ => Query::distance(s, t, self.bound),
                     });
+                }
+            }
+            Shape::OverSet { vertices } => {
+                for _ in 0..self.count {
+                    let i = rng.gen_range(0..vertices.len());
+                    let mut j = rng.gen_range(0..vertices.len() - 1);
+                    if j >= i {
+                        j += 1;
+                    }
+                    queries.push(Query::distance(vertices[i], vertices[j], self.bound));
                 }
             }
         }
@@ -587,6 +630,49 @@ mod tests {
             *counts.entry(q.source().index()).or_insert(0) += 1;
         }
         counts
+    }
+
+    #[test]
+    fn uniform_over_draws_distinct_pairs_from_the_given_set() {
+        let set: Vec<VertexId> = [9usize, 3, 17, 3, 40, 9].map(VertexId).to_vec();
+        let workload = QueryWorkload::uniform_over(set.clone()).unwrap();
+        let queries = workload.clone().queries(300).seed(5).bound(8.0).generate();
+        assert_eq!(queries.len(), 300);
+        let allowed: HashSet<usize> = [3usize, 9, 17, 40].into_iter().collect();
+        for q in &queries {
+            let Query::Distance {
+                source,
+                target,
+                bound,
+            } = q
+            else {
+                panic!("uniform_over generates distance queries only");
+            };
+            assert!(allowed.contains(&source.index()));
+            assert!(allowed.contains(&target.index()));
+            assert_ne!(source, target);
+            assert_eq!(*bound, 8.0);
+        }
+        // Every member of the set appears as a source eventually.
+        let sources = source_counts(&queries);
+        assert_eq!(sources.len(), allowed.len());
+        // Same description, same batch; ordering of the input set is
+        // irrelevant.
+        let reordered: Vec<VertexId> = [40usize, 17, 9, 3].map(VertexId).to_vec();
+        assert_eq!(
+            queries,
+            QueryWorkload::uniform_over(reordered)
+                .unwrap()
+                .queries(300)
+                .seed(5)
+                .bound(8.0)
+                .generate()
+        );
+        // Fewer than two distinct vertices is rejected up front.
+        assert_eq!(
+            QueryWorkload::uniform_over(vec![VertexId(7), VertexId(7)]),
+            Err(WorkloadError::UniverseTooSmall { num_vertices: 1 })
+        );
     }
 
     #[test]

@@ -911,6 +911,80 @@ impl VertexPerm {
     pub fn to_external(&self, v: VertexId) -> VertexId {
         VertexId(self.to_external[v.index()] as usize)
     }
+
+    /// The identity permutation over `n` vertices.
+    pub fn identity(n: usize) -> VertexPerm {
+        let to_external: Vec<u32> = (0..n as u32).collect();
+        VertexPerm {
+            to_internal: to_external.clone(),
+            to_external,
+        }
+    }
+
+    /// Builds a permutation from an explicit internal order:
+    /// `order[internal]` is the external id placed at that internal
+    /// position. This is how the sharded partition expresses
+    /// "concatenate the shards' vertex lists".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a bijection over `0..order.len()`.
+    pub fn from_order(order: &[VertexId]) -> VertexPerm {
+        let n = order.len();
+        let mut to_internal = vec![u32::MAX; n];
+        for (internal, &external) in order.iter().enumerate() {
+            assert!(external.index() < n, "order entry out of range");
+            assert!(
+                to_internal[external.index()] == u32::MAX,
+                "order repeats vertex {external:?}"
+            );
+            to_internal[external.index()] = internal as u32;
+        }
+        VertexPerm {
+            to_internal,
+            to_external: order.iter().map(|v| v.index() as u32).collect(),
+        }
+    }
+
+    /// The inverse permutation: swaps the internal and external roles, so
+    /// `p.compose(&p.inverse())` is the identity.
+    pub fn inverse(&self) -> VertexPerm {
+        VertexPerm {
+            to_internal: self.to_external.clone(),
+            to_external: self.to_internal.clone(),
+        }
+    }
+
+    /// Composes two renumberings into one translation table: the result
+    /// maps external id `v` to `then.to_internal(self.to_internal(v))`.
+    /// This is how chained mappings — a shard-local mapping, a
+    /// compaction remap, a degree-sorted serving relayout — collapse into a
+    /// single lookup instead of a pipeline of translations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the permutations cover different vertex counts.
+    pub fn compose(&self, then: &VertexPerm) -> VertexPerm {
+        assert_eq!(
+            self.len(),
+            then.len(),
+            "composed permutations must cover the same vertex count"
+        );
+        let to_internal: Vec<u32> = self
+            .to_internal
+            .iter()
+            .map(|&mid| then.to_internal[mid as usize])
+            .collect();
+        let to_external: Vec<u32> = then
+            .to_external
+            .iter()
+            .map(|&mid| self.to_external[mid as usize])
+            .collect();
+        VertexPerm {
+            to_internal,
+            to_external,
+        }
+    }
 }
 
 /// A fresh generation produced by [`CsrGraph::rebuild_compacted`]: the dense
@@ -1375,6 +1449,31 @@ mod tests {
             assert_eq!(csr.tombstoned_fraction().to_bits(), expected.to_bits());
         }
         assert!(csr.dead_edges() > 0, "the loop must delete something");
+    }
+
+    /// The `O(1)` live-weight statistics decline (`None`) instead of
+    /// dividing by a zero edge count — on a fresh edgeless graph and on one
+    /// re-emptied by tombstoning every edge.
+    #[test]
+    fn live_weight_stats_decline_on_edgeless_graphs() {
+        let mut csr = CsrGraph::new(4);
+        assert!(csr.is_edgeless());
+        assert_eq!(csr.min_live_weight(), None);
+        assert_eq!(csr.mean_live_weight(), None);
+        assert_eq!(csr.tombstoned_fraction(), 0.0);
+        let a = csr.append_edge(VertexId(0), VertexId(1), 2.0);
+        let b = csr.append_edge(VertexId(1), VertexId(2), 4.0);
+        assert_eq!(csr.min_live_weight(), Some(2.0));
+        assert_eq!(csr.mean_live_weight(), Some(3.0));
+        csr.remove_edge(a).unwrap();
+        csr.remove_edge(b).unwrap();
+        // Zero live edges again: the divisors are zero and the maintained
+        // min/sum are stale — both stats must refuse, not report NaN or a
+        // ghost weight.
+        assert_eq!(csr.num_edges(), 0);
+        assert!(csr.is_edgeless());
+        assert_eq!(csr.min_live_weight(), None);
+        assert_eq!(csr.mean_live_weight(), None);
     }
 
     #[test]

@@ -31,6 +31,13 @@
 //!   fans query batches across them against a frozen
 //!   [`CsrSnapshot`](csr::CsrSnapshot). Work is partitioned by chunk index,
 //!   so results are bit-identical at every worker count (see [`parallel`]).
+//! * [`partition`] — deterministic seeded k-way partitioning for the
+//!   sharded pipeline: [`Partition::build`](partition::Partition::build)
+//!   grows `k` size-balanced regions by synchronized BFS from seed-ranked
+//!   roots (`k = 1` is the identity), producing per-shard induced
+//!   subgraphs ([`ShardPiece`]) with stable global↔local [`VertexPerm`]
+//!   mappings plus the [`CutEdge`] list between shards — the input to
+//!   `greedy-spanner`'s boundary-skeleton stitch.
 //! * Shortest paths — [`dijkstra`] (full, single-pair, and distance-bounded
 //!   variants; allocation-per-call, kept for one-off queries and as the
 //!   reference implementation the engine is property-tested against).
@@ -119,6 +126,7 @@ pub mod landmarks;
 pub mod metric_closure;
 pub mod mst;
 pub mod parallel;
+pub mod partition;
 pub mod properties;
 pub mod union_find;
 
@@ -129,4 +137,5 @@ pub use error::GraphError;
 pub use graph::{Edge, EdgeId, VertexId, WeightedGraph};
 pub use landmarks::Landmarks;
 pub use parallel::EnginePool;
+pub use partition::{CutEdge, Partition, PartitionConfig, ShardPiece};
 pub use union_find::UnionFind;

@@ -378,6 +378,9 @@ mod tests {
         pool.map_batch(csr.snapshot(), &queries, &mut out, |_, _, _| true);
         assert_eq!(pool.stats().queries, 0);
         assert_eq!(pool.workers(), 2);
+        // A zero-item batch leaves every busy timer at zero — utilization
+        // must report the idle value, not divide by it.
+        assert!((pool.utilization() - 1.0).abs() < 1e-12);
         assert_eq!(EnginePool::new(0).workers(), 1, "workers clamp to 1");
     }
 

@@ -190,6 +190,35 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
+//! # The sharded model
+//!
+//! Past single-pipeline scale, the same stack runs **partitioned**:
+//! [`ShardedSpanner`](greedy_spanner::ShardedSpanner) cuts the graph into
+//! `k` BFS-grown shards (`spanner_graph::partition`), builds each shard's
+//! spanner through the ordinary pipeline, and stitches the boundaries with
+//! a contracted skeleton of exact boundary-pair distances so the **global**
+//! stretch-`t` still certifies
+//! ([`ShardedOutput::certified_stretch`](greedy_spanner::ShardedOutput::certified_stretch));
+//! serving routes each query to the owning shard's server and tightens
+//! cross-shard distance bounds through the skeleton
+//! ([`ShardedServer`](greedy_spanner::ShardedServer)). The artifact is
+//! bit-identical across thread counts and the answers are bit-identical
+//! across serve-shard counts.
+//!
+//! ```
+//! use greedy_spanner_suite::prelude::*;
+//! use rand::{rngs::SmallRng, SeedableRng};
+//!
+//! let mut rng = SmallRng::seed_from_u64(13);
+//! let g = spanner_graph::generators::grid_graph(12, 12, 0.3, &mut rng);
+//! let out = ShardedSpanner::greedy().stretch(3.0).shards(4).build(&g)?;
+//! assert_eq!(out.certified_stretch(), Some(3.0)); // cut edges re-audited
+//! let mut server = out.serve().finish();
+//! let batch = QueryWorkload::mixed(144, false)?.queries(64).seed(2).generate();
+//! assert_eq!(server.answer_batch(&batch)?.len(), 64);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
 //! # Migrating from the pre-0.2 free functions
 //!
 //! `greedy_spanner(&g, t)`, `greedy_spanner_of_metric(&m, t)`,
@@ -222,6 +251,10 @@ pub mod prelude {
         ServeStats, Spanner, SpannerAlgorithm, SpannerBuilder, SpannerConfig, SpannerError,
         SpannerHandle, SpannerInput, SpannerOutput, SpannerServer, StreamEvent, Update,
         UpdateBatch, UpdateError, UpdateStats, WorkloadError,
+    };
+    pub use greedy_spanner::{
+        BoundarySkeleton, LatencyHistogram, ShardedOutput, ShardedServeBuilder, ShardedServer,
+        ShardedSpanner, StitchStats,
     };
     pub use greedy_spanner::{PersistError, Recovered, RecoveryReport};
     pub use spanner_graph::{

@@ -1,0 +1,144 @@
+//! `run_matrix` over sharded builds: the [`Sharded`] adapter slots into the
+//! grid next to the direct constructions, cells are bit-identical across
+//! thread counts, one-shard cells reproduce the unsharded greedy cells
+//! exactly, and the max per-shard peak-memory estimate is monotone
+//! non-increasing in the shard count.
+
+use greedy_spanner::{
+    run_matrix, Sharded, ShardedSpanner, SpannerAlgorithm, SpannerConfig, SpannerInput,
+};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use spanner_graph::generators::erdos_renyi_connected;
+use spanner_graph::WeightedGraph;
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+const STRETCHES: [f64; 2] = [2.0, 3.0];
+
+fn instances() -> Vec<WeightedGraph> {
+    let mut rng = SmallRng::seed_from_u64(20160722);
+    vec![
+        erdos_renyi_connected(30, 0.25, 1.0..9.0, &mut rng),
+        erdos_renyi_connected(48, 0.15, 1.0..9.0, &mut rng),
+    ]
+}
+
+fn sharded_grid(
+    graphs: &[WeightedGraph],
+    shards: usize,
+    threads: usize,
+) -> Vec<greedy_spanner::MatrixCell> {
+    let inputs: Vec<(&str, SpannerInput<'_>)> = graphs
+        .iter()
+        .enumerate()
+        .map(|(i, g)| (["er-30", "er-48"][i], SpannerInput::from(g)))
+        .collect();
+    let algorithms: Vec<Box<dyn SpannerAlgorithm>> = vec![Box::new(Sharded::greedy(shards))];
+    let config = SpannerConfig {
+        threads,
+        ..SpannerConfig::default()
+    };
+    run_matrix(&inputs, &algorithms, &STRETCHES, &config)
+}
+
+#[test]
+fn sharded_cells_are_identical_across_thread_counts() {
+    let graphs = instances();
+    for shards in SHARD_COUNTS {
+        let reference = sharded_grid(&graphs, shards, 1);
+        assert_eq!(reference.len(), graphs.len() * STRETCHES.len());
+        for cell in &reference {
+            assert!(
+                cell.succeeded(),
+                "{} k={shards} t={}",
+                cell.input,
+                cell.stretch
+            );
+            let report = cell
+                .report
+                .as_ref()
+                .expect("successful cells carry a report");
+            assert!(
+                report.meets_stretch_target(),
+                "{} k={shards} t={}: measured {}",
+                cell.input,
+                cell.stretch,
+                report.max_stretch
+            );
+        }
+        for threads in [2usize, 8] {
+            let cells = sharded_grid(&graphs, shards, threads);
+            assert_eq!(cells.len(), reference.len());
+            for (cell, expected) in cells.iter().zip(&reference) {
+                assert_eq!(cell.input, expected.input);
+                assert_eq!(cell.stretch, expected.stretch);
+                let (got, want) = (
+                    cell.output.as_ref().expect("cell built"),
+                    expected.output.as_ref().expect("cell built"),
+                );
+                assert_eq!(
+                    got.spanner.edges(),
+                    want.spanner.edges(),
+                    "{} k={shards} t={} threads={threads}",
+                    cell.input,
+                    cell.stretch
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn one_shard_cells_reproduce_the_unsharded_greedy_cells() {
+    let graphs = instances();
+    let sharded = sharded_grid(&graphs, 1, 2);
+    let inputs: Vec<(&str, SpannerInput<'_>)> = graphs
+        .iter()
+        .enumerate()
+        .map(|(i, g)| (["er-30", "er-48"][i], SpannerInput::from(g)))
+        .collect();
+    let direct_algorithms: Vec<Box<dyn SpannerAlgorithm>> =
+        vec![Box::new(greedy_spanner::algorithms::Greedy)];
+    let config = SpannerConfig {
+        threads: 2,
+        ..SpannerConfig::default()
+    };
+    let direct = run_matrix(&inputs, &direct_algorithms, &STRETCHES, &config);
+    assert_eq!(sharded.len(), direct.len());
+    for (cell, expected) in sharded.iter().zip(&direct) {
+        assert_eq!(cell.input, expected.input);
+        assert_eq!(cell.stretch, expected.stretch);
+        let (got, want) = (
+            cell.output.as_ref().expect("sharded cell built"),
+            expected.output.as_ref().expect("direct cell built"),
+        );
+        assert_eq!(
+            got.spanner.edges(),
+            want.spanner.edges(),
+            "{} t={}: one-shard grid cell != unsharded greedy cell",
+            cell.input,
+            cell.stretch
+        );
+    }
+}
+
+#[test]
+fn max_per_shard_peak_memory_is_monotone_non_increasing_in_shard_count() {
+    let mut rng = SmallRng::seed_from_u64(7);
+    let g = erdos_renyi_connected(120, 0.08, 1.0..6.0, &mut rng);
+    let mut previous = usize::MAX;
+    for shards in SHARD_COUNTS {
+        let out = ShardedSpanner::greedy()
+            .stretch(2.0)
+            .shards(shards)
+            .build(&g)
+            .expect("sharded build");
+        let peak = out.max_shard_peak_memory();
+        assert!(peak > 0, "k={shards}: zero peak-memory estimate");
+        assert!(
+            peak <= previous,
+            "k={shards}: per-shard peak {peak} grew past {previous}"
+        );
+        previous = peak;
+    }
+}
