@@ -255,6 +255,72 @@
 //! exactly (root suites `tests/sharded_determinism.rs`,
 //! `tests/sharded_matrix.rs`).
 //!
+//! # The serving runtime
+//!
+//! As of 0.5 every server kind answers through one front door: the
+//! [`runtime`] module's QoS-classed scheduler with adaptive admission
+//! control.
+//!
+//! 1. **Backends.** The [`runtime::Backend`] trait abstracts "something
+//!    that answers query batches" — implemented by the frozen
+//!    [`serve::SpannerServer`], live servers (same type, update-capable
+//!    handle) and the sharded front door [`serve::ShardedServer`]. The
+//!    shed decision never consults the backend, so the admitted/shed
+//!    partition is one and the same across backend kinds.
+//! 2. **Admission + QoS.** [`runtime::Router`] classifies each batch
+//!    ([`runtime::QosClass::of_batch`]: point lookups are `Interactive`,
+//!    ball/audit scans are `Bulk`), keeps per-class FIFO queues with
+//!    interactive-over-bulk preemption, dispatches in limit-sized chunks,
+//!    and **sheds** offers that would run the queue past the knee with
+//!    [`serve::ServeError::Overloaded`] carrying a `retry_after_hint`.
+//!    Admitted answers are **bit-identical to the unlimited path** —
+//!    chunked dispatch rides the batch-boundary-invariance guarantee.
+//! 3. **Limiters.** [`runtime::Limiter`] hosts the dynamic concurrency
+//!    limit behind a shared inflight gauge ([`spanner_graph::EnginePool`]
+//!    permits): [`runtime::AimdLimit`] (multiplicative backoff on breach,
+//!    additive growth when saturated-and-clean) and
+//!    [`runtime::GradientLimit`] (long-EWMA baseline vs short window),
+//!    both fed windowed p50/p99 from a [`runtime::WindowedHistogram`].
+//! 4. **Deterministic time.** Under a seeded [`runtime::VirtualClock`]
+//!    (splitmix64 service jitter over [`runtime::QueryCosts`]) the whole
+//!    simulation — arrivals, queueing, shed decisions, limit trajectory —
+//!    reproduces bit-for-bit at every thread count (root suite
+//!    `tests/admission_determinism.rs`).
+//!
+//! [`serve::ServeStats`] grew the front-door counters
+//! (`admitted`/`shed`/`queued`/`queue_wait`, merged across sharded
+//! replicas) and the busy-window vs wall-clock split
+//! ([`serve::ServeStats::qps`] vs [`serve::ServeStats::lifetime_qps`]);
+//! [`workload::QueryWorkload::open_loop`] generates seeded Poisson arrival
+//! schedules (optionally bursty) for driving routers open-loop.
+//!
+//! ```
+//! use greedy_spanner::runtime::{AimdLimit, Limiter, QosClass, Router, VirtualClock};
+//! use greedy_spanner::workload::QueryWorkload;
+//! use greedy_spanner::Spanner;
+//! use rand::{rngs::SmallRng, SeedableRng};
+//!
+//! let mut rng = SmallRng::seed_from_u64(5);
+//! let g = spanner_graph::generators::erdos_renyi_connected(60, 0.3, 1.0..4.0, &mut rng);
+//! let server = Spanner::greedy().stretch(2.0).build(&g)?.serve().finish();
+//! let mut router = Router::over(server)
+//!     .limiter(Limiter::aimd(AimdLimit::new(16)))
+//!     .virtual_clock(VirtualClock::seeded(42))
+//!     .finish();
+//! let batch = QueryWorkload::uniform(60)?.queries(32).seed(9).generate();
+//! let answers = router.submit(QosClass::of_batch(&batch), &batch)?;
+//! assert_eq!(answers.len(), 32);
+//! assert_eq!(router.stats().admitted, 32);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! **Migration note (0.5):** [`serve::SpannerServer::answer_batch`] and
+//! [`serve::ShardedServer::answer_batch`] are now thin shims over an
+//! *unlimited* router core — no limit, no shedding, whole-batch chunks —
+//! so their behavior, answers and errors are unchanged; the direct path
+//! remains as `answer_batch_unlimited`. Wrap a server in
+//! [`runtime::Router`] to opt into admission control.
+//!
 //! **Migration note (0.3):** `SpannerServer` no longer owns a bare frozen
 //! graph — it serves through an epoch-stamped handle, and
 //! [`serve::SpannerServer::new`] takes a [`serve::SpannerHandle`]. The
@@ -268,6 +334,9 @@
 //! * [`algorithm`], [`algorithms`], [`builder`], [`matrix`] — the unified
 //!   pipeline described above.
 //! * [`serve`] + [`workload`] — the serving layer described above.
+//! * [`runtime`] — the serving runtime described above: the [`runtime::Backend`]
+//!   trait, the QoS-classed [`runtime::Router`] front door, adaptive
+//!   [`runtime::Limiter`]s and the seeded [`runtime::VirtualClock`].
 //! * [`update`] — the live-update subsystem ([`update::LiveSpanner`])
 //!   described above.
 //! * [`persist`] — snapshots, write-ahead logging and crash recovery for
@@ -303,6 +372,7 @@ pub mod greedy_metric;
 pub mod matrix;
 pub mod optimality;
 pub mod persist;
+pub mod runtime;
 pub mod serve;
 pub mod shard;
 pub mod update;
@@ -316,6 +386,10 @@ pub use error::{GraphError, SpannerError};
 pub use greedy::GreedySpanner;
 pub use matrix::{aggregate_stats, run_matrix, MatrixCell, MatrixStats};
 pub use persist::{PersistError, Recovered, RecoveryReport};
+pub use runtime::{
+    AimdLimit, Backend, GradientLimit, Limiter, QosClass, QueryCosts, Router, RouterBuilder,
+    RouterStats, Ticket, VirtualClock, WindowedHistogram,
+};
 pub use serve::SpannerHandle;
 pub use serve::{Answer, Query, ServeBuilder, ServeError, ServeStats, SpannerServer};
 pub use serve::{LatencyHistogram, ShardedServeBuilder, ShardedServer};
@@ -324,4 +398,6 @@ pub use shard::{
     StitchStats,
 };
 pub use update::{BatchOutcome, LiveSpanner, Update, UpdateBatch, UpdateError, UpdateStats};
-pub use workload::{LiveWorkload, QueryWorkload, StreamEvent, WorkloadError};
+pub use workload::{
+    Arrival, LiveWorkload, OpenLoopWorkload, QueryWorkload, StreamEvent, WorkloadError,
+};

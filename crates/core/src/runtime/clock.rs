@@ -1,0 +1,266 @@
+//! Time sources for the serving runtime: real wall time in production, a
+//! seeded virtual clock in tests and overload simulations.
+//!
+//! Admission decisions (shed / queue / dispatch order) must be reproducible
+//! to be testable, but they are driven by latency — the least reproducible
+//! signal a real machine produces. The split here is the one the
+//! determinism suite relies on: a [`VirtualClock`] *models* per-query
+//! service time with a seeded cost model (per query kind, with
+//! deterministic jitter), so every limiter sample, every queue-wait, and
+//! therefore every shed decision is a pure function of the workload and the
+//! seed — never of thread scheduling or machine load. Queries are still
+//! dispatched to the real backend and answered for real; only the *timing*
+//! the runtime observes is synthetic.
+
+use std::time::{Duration, Instant};
+
+use crate::serve::Query;
+
+/// Modeled service cost per query kind, used by [`VirtualClock::charge`].
+///
+/// Defaults reflect the relative shape measured on the serving benches:
+/// point lookups (distance/path/k-nearest) are cheap, radius sweeps and
+/// stretch audits cost an order of magnitude more.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryCosts {
+    /// Cost of a [`Query::Distance`].
+    pub distance: Duration,
+    /// Cost of a [`Query::Path`].
+    pub path: Duration,
+    /// Cost of a [`Query::KNearest`].
+    pub k_nearest: Duration,
+    /// Cost of a [`Query::Ball`].
+    pub ball: Duration,
+    /// Cost of a [`Query::StretchAudit`].
+    pub stretch_audit: Duration,
+}
+
+impl Default for QueryCosts {
+    fn default() -> Self {
+        QueryCosts {
+            distance: Duration::from_micros(20),
+            path: Duration::from_micros(40),
+            k_nearest: Duration::from_micros(60),
+            ball: Duration::from_micros(400),
+            stretch_audit: Duration::from_micros(500),
+        }
+    }
+}
+
+impl QueryCosts {
+    /// The modeled cost of one query.
+    pub fn of(&self, query: &Query) -> Duration {
+        match query {
+            Query::Distance { .. } => self.distance,
+            Query::Path { .. } => self.path,
+            Query::KNearest { .. } => self.k_nearest,
+            Query::Ball { .. } => self.ball,
+            Query::StretchAudit { .. } => self.stretch_audit,
+        }
+    }
+}
+
+/// A deterministic simulated clock: monotone nanoseconds advanced by a
+/// seeded per-query cost model.
+///
+/// Two things move time forward: [`VirtualClock::charge`] (dispatching work
+/// costs its modeled service time) and [`VirtualClock::advance_to`] (the
+/// driver declaring an arrival instant). Jitter comes from a splitmix64
+/// stream over the seed, so two clocks with the same seed observing the
+/// same query sequence read identical times — on any machine, at any
+/// thread count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VirtualClock {
+    now_nanos: u64,
+    state: u64,
+    costs: QueryCosts,
+    jitter: f64,
+}
+
+/// Default ± fraction of jitter applied to each query's modeled cost.
+const DEFAULT_JITTER: f64 = 0.25;
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl VirtualClock {
+    /// A virtual clock at time zero whose jitter stream is seeded with
+    /// `seed`, using the default [`QueryCosts`].
+    pub fn seeded(seed: u64) -> Self {
+        VirtualClock {
+            now_nanos: 0,
+            state: seed,
+            costs: QueryCosts::default(),
+            jitter: DEFAULT_JITTER,
+        }
+    }
+
+    /// Replaces the per-kind cost model.
+    pub fn with_costs(mut self, costs: QueryCosts) -> Self {
+        self.costs = costs;
+        self
+    }
+
+    /// Sets the jitter fraction (clamped to `[0, 0.9]`); `0.0` makes every
+    /// charge exactly its modeled cost.
+    pub fn with_jitter(mut self, jitter: f64) -> Self {
+        self.jitter = if jitter.is_finite() {
+            jitter.clamp(0.0, 0.9)
+        } else {
+            0.0
+        };
+        self
+    }
+
+    /// Current virtual time since the clock's origin.
+    pub fn now(&self) -> Duration {
+        Duration::from_nanos(self.now_nanos)
+    }
+
+    /// Charges the modeled service time of `queries` (cost per kind ×
+    /// deterministic jitter), advances the clock by it, and returns it.
+    pub fn charge(&mut self, queries: &[Query]) -> Duration {
+        let mut total: u64 = 0;
+        for query in queries {
+            let base = self.costs.of(query).as_nanos().min(u128::from(u64::MAX)) as u64;
+            let unit = splitmix64(&mut self.state) as f64 / u64::MAX as f64;
+            let factor = 1.0 + self.jitter * (2.0 * unit - 1.0);
+            total = total.saturating_add((base as f64 * factor) as u64);
+        }
+        self.now_nanos = self.now_nanos.saturating_add(total);
+        Duration::from_nanos(total)
+    }
+
+    /// Moves the clock forward to `at` (no-op if already past — virtual
+    /// time is monotone, like the wall clock it stands in for).
+    pub fn advance_to(&mut self, at: Duration) {
+        let at = at.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.now_nanos = self.now_nanos.max(at);
+    }
+}
+
+/// The runtime's time source: real (production) or virtual (tests, overload
+/// simulations).
+#[derive(Debug, Clone)]
+pub enum ServeClock {
+    /// Wall time, measured from the clock's creation instant.
+    Real {
+        /// When this clock was created; [`ServeClock::now`] reads relative
+        /// to it.
+        origin: Instant,
+    },
+    /// Simulated time — see [`VirtualClock`].
+    Virtual(VirtualClock),
+}
+
+impl Default for ServeClock {
+    fn default() -> Self {
+        ServeClock::real()
+    }
+}
+
+impl ServeClock {
+    /// A real wall clock starting now.
+    pub fn real() -> Self {
+        ServeClock::Real {
+            origin: Instant::now(),
+        }
+    }
+
+    /// Is this the virtual variant?
+    pub fn is_virtual(&self) -> bool {
+        matches!(self, ServeClock::Virtual(_))
+    }
+
+    /// Time elapsed since the clock's origin.
+    pub fn now(&self) -> Duration {
+        match self {
+            ServeClock::Real { origin } => origin.elapsed(),
+            ServeClock::Virtual(vc) => vc.now(),
+        }
+    }
+
+    /// Charges service time for a dispatched chunk: the virtual clock
+    /// returns its modeled (and clock-advancing) cost, the real clock
+    /// returns `None` — the caller measures actual elapsed time instead.
+    pub fn charge(&mut self, queries: &[Query]) -> Option<Duration> {
+        match self {
+            ServeClock::Real { .. } => None,
+            ServeClock::Virtual(vc) => Some(vc.charge(queries)),
+        }
+    }
+
+    /// Declares an arrival instant: moves a virtual clock forward to `at`;
+    /// a real clock ignores it (wall time advances on its own).
+    pub fn advance_to(&mut self, at: Duration) {
+        if let ServeClock::Virtual(vc) = self {
+            vc.advance_to(at);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spanner_graph::VertexId;
+
+    fn point(i: usize) -> Query {
+        Query::Distance {
+            source: VertexId(i),
+            target: VertexId(i + 1),
+            bound: f64::INFINITY,
+        }
+    }
+
+    #[test]
+    fn same_seed_same_timeline() {
+        let queries: Vec<Query> = (0..32).map(point).collect();
+        let mut a = VirtualClock::seeded(7);
+        let mut b = VirtualClock::seeded(7);
+        assert_eq!(a.charge(&queries), b.charge(&queries));
+        assert_eq!(a.now(), b.now());
+        let mut c = VirtualClock::seeded(8);
+        c.charge(&queries);
+        assert_ne!(a.now(), c.now(), "different seeds jitter differently");
+    }
+
+    #[test]
+    fn charge_scales_with_cost_model_and_jitter_bounds() {
+        let costs = QueryCosts {
+            distance: Duration::from_micros(100),
+            ..QueryCosts::default()
+        };
+        let mut clock = VirtualClock::seeded(1).with_costs(costs).with_jitter(0.25);
+        let charged = clock.charge(&[point(0)]);
+        assert!(charged >= Duration::from_micros(75) && charged <= Duration::from_micros(125));
+        let mut exact = VirtualClock::seeded(1).with_costs(costs).with_jitter(0.0);
+        assert_eq!(exact.charge(&[point(0)]), Duration::from_micros(100));
+        // Bulk queries are modeled as more expensive than point queries.
+        let ball = Query::Ball {
+            source: VertexId(0),
+            radius: 1.0,
+        };
+        assert!(QueryCosts::default().of(&ball) > QueryCosts::default().of(&point(0)));
+    }
+
+    #[test]
+    fn advance_to_is_monotone() {
+        let mut clock = VirtualClock::seeded(0);
+        clock.advance_to(Duration::from_millis(5));
+        assert_eq!(clock.now(), Duration::from_millis(5));
+        clock.advance_to(Duration::from_millis(3));
+        assert_eq!(clock.now(), Duration::from_millis(5), "never rewinds");
+        let mut serve = ServeClock::Virtual(clock);
+        assert!(serve.is_virtual());
+        serve.advance_to(Duration::from_millis(9));
+        assert_eq!(serve.now(), Duration::from_millis(9));
+        assert!(serve.charge(&[point(0)]).is_some());
+        let mut real = ServeClock::real();
+        assert!(real.charge(&[point(0)]).is_none());
+    }
+}

@@ -1,0 +1,173 @@
+//! A windowed view over [`LatencyHistogram`]: recent-latency quantiles for
+//! admission control, instead of process-lifetime aggregates.
+//!
+//! [`ServeStats::latency`](crate::serve::ServeStats) accumulates forever,
+//! which is the right shape for reporting but the wrong shape for a limiter:
+//! an hour of fast history drowns out the last second of congestion. A
+//! [`WindowedHistogram`] is a ring of fixed-sample sub-histograms — recording
+//! rotates to a fresh slot every `samples_per_slot` samples, overwriting the
+//! oldest — so quantiles always describe roughly the last
+//! `slots × samples_per_slot` samples.
+//!
+//! Rotation is by sample count, not wall time, which keeps the view
+//! deterministic under the virtual clock the admission tests run on.
+
+use std::time::Duration;
+
+use crate::serve::LatencyHistogram;
+
+/// Default number of ring slots.
+pub const DEFAULT_WINDOW_SLOTS: usize = 8;
+/// Default samples recorded into a slot before rotating to the next.
+pub const DEFAULT_SAMPLES_PER_SLOT: u64 = 256;
+
+/// A ring of [`LatencyHistogram`] slots rotated by sample count; quantiles
+/// merge every live slot, so they track the recent window only.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowedHistogram {
+    slots: Vec<LatencyHistogram>,
+    head: usize,
+    samples_per_slot: u64,
+    rotations: u64,
+}
+
+impl Default for WindowedHistogram {
+    fn default() -> Self {
+        WindowedHistogram::new(DEFAULT_WINDOW_SLOTS, DEFAULT_SAMPLES_PER_SLOT)
+    }
+}
+
+impl WindowedHistogram {
+    /// Creates a window of `slots` ring slots, each holding
+    /// `samples_per_slot` samples before rotation. Both are clamped to at
+    /// least 1 (a single slot degenerates to "forget everything every
+    /// `samples_per_slot` samples", which is still a window).
+    pub fn new(slots: usize, samples_per_slot: u64) -> Self {
+        WindowedHistogram {
+            slots: vec![LatencyHistogram::default(); slots.max(1)],
+            head: 0,
+            samples_per_slot: samples_per_slot.max(1),
+            rotations: 0,
+        }
+    }
+
+    /// Records one latency sample into the active slot, rotating (and
+    /// clearing the oldest slot) once the active slot is full.
+    pub fn record(&mut self, latency: Duration) {
+        self.slots[self.head].record(latency);
+        if self.slots[self.head].total() >= self.samples_per_slot {
+            self.head = (self.head + 1) % self.slots.len();
+            self.slots[self.head] = LatencyHistogram::default();
+            self.rotations += 1;
+        }
+    }
+
+    /// Samples currently inside the window (at most
+    /// `slots × samples_per_slot`).
+    pub fn total(&self) -> u64 {
+        self.slots.iter().map(LatencyHistogram::total).sum()
+    }
+
+    /// `true` when no sample is in the window (never recorded, or every
+    /// recorded sample has rotated out).
+    pub fn is_empty(&self) -> bool {
+        self.total() == 0
+    }
+
+    /// How many slot rotations have happened — each one dropped the oldest
+    /// slot's samples from the window.
+    pub fn rotations(&self) -> u64 {
+        self.rotations
+    }
+
+    /// One histogram merging every live slot — the window's combined view.
+    pub fn merged(&self) -> LatencyHistogram {
+        let mut merged = LatencyHistogram::default();
+        for slot in &self.slots {
+            merged.merge(slot);
+        }
+        merged
+    }
+
+    /// The windowed `q`-quantile, or `None` for an empty window.
+    pub fn quantile(&self, q: f64) -> Option<Duration> {
+        self.merged().quantile(q)
+    }
+
+    /// Windowed median latency, or `None` for an empty window.
+    pub fn p50(&self) -> Option<Duration> {
+        self.quantile(0.50)
+    }
+
+    /// Windowed 99th-percentile latency, or `None` for an empty window.
+    pub fn p99(&self) -> Option<Duration> {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_window_reports_none_not_zero() {
+        let w = WindowedHistogram::new(4, 16);
+        assert!(w.is_empty());
+        assert_eq!(w.total(), 0);
+        assert_eq!(w.p50(), None);
+        assert_eq!(w.p99(), None);
+        assert_eq!(w.rotations(), 0);
+    }
+
+    #[test]
+    fn quantiles_rotate_out_old_samples() {
+        // 2 slots × 4 samples: after 8 slow samples the window is all-slow;
+        // 8 fast samples later every slow sample has rotated out and the
+        // windowed p50 drops, while a lifetime histogram would still be
+        // dominated by the slow half.
+        let mut w = WindowedHistogram::new(2, 4);
+        for _ in 0..8 {
+            w.record(Duration::from_millis(64));
+        }
+        let slow_p50 = w.p50().unwrap();
+        assert!(slow_p50 >= Duration::from_millis(64));
+        for _ in 0..8 {
+            w.record(Duration::from_micros(10));
+        }
+        let fast_p50 = w.p50().unwrap();
+        assert!(
+            fast_p50 < Duration::from_millis(1),
+            "stale slow samples must rotate out, got {fast_p50:?}"
+        );
+        assert!(w.rotations() >= 3);
+        assert!(w.total() <= 8, "window holds at most slots × per-slot");
+    }
+
+    #[test]
+    fn window_caps_total_and_clamps_degenerate_sizes() {
+        let mut w = WindowedHistogram::new(0, 0); // clamps to 1 slot × 1 sample
+        w.record(Duration::from_micros(5));
+        w.record(Duration::from_micros(7));
+        assert!(w.total() <= 1);
+        let mut w = WindowedHistogram::new(3, 8);
+        for i in 0..1000 {
+            w.record(Duration::from_micros(i % 50));
+        }
+        assert!(w.total() <= 24);
+        assert!(!w.is_empty());
+        assert!(w.p99().is_some());
+    }
+
+    #[test]
+    fn merged_equals_sum_of_live_slots() {
+        let mut w = WindowedHistogram::new(4, 4);
+        let mut reference = LatencyHistogram::default();
+        // Fewer samples than one slot: merged view == plain histogram.
+        for us in [3u64, 9, 27] {
+            w.record(Duration::from_micros(us));
+            reference.record(Duration::from_micros(us));
+        }
+        assert_eq!(w.merged(), reference);
+        assert_eq!(w.p99(), reference.p99());
+    }
+}

@@ -105,6 +105,7 @@ use spanner_graph::{
 };
 
 use crate::algorithm::{Provenance, SpannerConfig, SpannerOutput};
+use crate::runtime::{Backend, QosClass, RouterCore};
 use crate::shard::{BoundarySkeleton, ShardedOutput};
 use crate::update::{BatchOutcome, LiveSpanner, UpdateBatch, UpdateError, UpdateStats};
 
@@ -286,6 +287,13 @@ pub enum ServeError {
     UpdatesNotSupported,
     /// An update batch was rejected by the live-update subsystem.
     Update(UpdateError),
+    /// The admission controller shed this batch: accepting it would push the
+    /// queue past the overload knee (see [`crate::runtime::Router`]). The
+    /// batch ran no query and mutated nothing; retry after the hint.
+    Overloaded {
+        /// Estimated backlog drain time — how long to wait before retrying.
+        retry_after_hint: Duration,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -318,6 +326,11 @@ impl std::fmt::Display for ServeError {
                 "this server serves a frozen spanner; build it from a LiveSpanner to apply updates"
             ),
             ServeError::Update(e) => write!(f, "update batch rejected: {e}"),
+            ServeError::Overloaded { retry_after_hint } => write!(
+                f,
+                "batch shed by admission control; retry after ~{:?}",
+                retry_after_hint
+            ),
         }
     }
 }
@@ -455,15 +468,42 @@ pub struct ServeStats {
     pub epoch: u64,
     /// Total wall time spent inside [`SpannerServer::answer_batch`].
     pub elapsed: Duration,
+    /// Wall time since the server was created (or its stats were reset),
+    /// including idle gaps between batches — the denominator of
+    /// [`ServeStats::lifetime_qps`].
+    pub lifetime: Duration,
+    /// Queries accepted by admission control. Equal to `queries` on a
+    /// server driven through the compatibility shims; a
+    /// [`crate::runtime::Router`] with a real limiter may shed.
+    pub admitted: u64,
+    /// Queries refused with [`ServeError::Overloaded`].
+    pub shed: u64,
+    /// Admitted queries that waited behind a non-empty runtime queue.
+    pub queued: u64,
+    /// Summed per-query time between arrival and dispatch in the runtime
+    /// queues.
+    pub queue_wait: Duration,
     /// Per-query answer latencies.
     pub latency: LatencyHistogram,
 }
 
 impl ServeStats {
-    /// Answered queries per second of serving wall time, or `None` before
-    /// anything was served (explicit, not a `0/0`).
+    /// Answered queries per second of **busy** serving time: the denominator
+    /// is `elapsed`, which accumulates only time spent inside
+    /// [`SpannerServer::answer_batch`] — idle gaps between batches do not
+    /// dilute it. `None` before anything was served (explicit, not a `0/0`).
+    /// For the idle-inclusive rate, see [`ServeStats::lifetime_qps`].
     pub fn qps(&self) -> Option<f64> {
         let secs = self.elapsed.as_secs_f64();
+        (secs > 0.0 && self.queries > 0).then(|| self.queries as f64 / secs)
+    }
+
+    /// Answered queries per second of wall-clock **lifetime** (since server
+    /// construction or the last stats reset), idle gaps included — the
+    /// sustained rate an external observer sees, as opposed to the
+    /// busy-window [`ServeStats::qps`]. `None` before anything was served.
+    pub fn lifetime_qps(&self) -> Option<f64> {
+        let secs = self.lifetime.as_secs_f64();
         (secs > 0.0 && self.queries > 0).then(|| self.queries as f64 / secs)
     }
 
@@ -489,6 +529,13 @@ impl ServeStats {
         self.stale_evictions += other.stale_evictions;
         self.epoch = self.epoch.max(other.epoch);
         self.elapsed += other.elapsed;
+        // Replicas live side by side, so their lifetimes overlap — the
+        // merged lifetime is the longest, not the sum.
+        self.lifetime = self.lifetime.max(other.lifetime);
+        self.admitted += other.admitted;
+        self.shed += other.shed;
+        self.queued += other.queued;
+        self.queue_wait += other.queue_wait;
         self.latency.merge(&other.latency);
     }
 }
@@ -806,6 +853,15 @@ pub struct SpannerServer {
     /// Cumulative per-source query counts, feeding live landmark selection.
     source_demand: HashMap<usize, u64>,
     stats: ServeStats,
+    /// The embedded serving runtime behind [`SpannerServer::answer_batch`].
+    /// Defaults to the unlimited configuration, which is behaviorally
+    /// identical to dispatching directly; a [`crate::runtime::Router`]
+    /// wrapping this server supplies its own core instead. `Option` only so
+    /// the shim can temporarily take it while dispatching into `self`.
+    runtime: Option<RouterCore>,
+    /// When this server was created (or its stats last reset) — the origin
+    /// of [`ServeStats::lifetime`].
+    started: Instant,
 }
 
 impl SpannerServer {
@@ -885,9 +941,11 @@ impl SpannerServer {
     }
 
     /// Resets the serving statistics (the cache and workspaces are kept).
+    /// The lifetime clock restarts now.
     pub fn reset_stats(&mut self) {
         self.stats = ServeStats::default();
         self.pool.reset_stats();
+        self.started = Instant::now();
     }
 
     /// Clones the current spanner state into a fresh, compacted,
@@ -979,12 +1037,47 @@ impl SpannerServer {
     /// servers — identical to a server rebuilt from scratch at the current
     /// epoch.
     ///
+    /// **Migration note (0.5):** this method is now a thin shim over the
+    /// serving runtime (see [`crate::runtime`]), submitted through an
+    /// *unlimited* [`RouterCore`] — no admission limit, no shedding, whole
+    /// batches dispatched in one chunk — so its behavior, answers and
+    /// errors are unchanged from earlier releases. To opt into QoS classes,
+    /// queueing and adaptive admission control, wrap the server in a
+    /// [`crate::runtime::Router`]; the direct dispatch path remains
+    /// available as [`SpannerServer::answer_batch_unlimited`].
+    ///
     /// # Errors
     ///
     /// The whole batch is validated up front (including the epoch stamp;
     /// see [`ServeError`]). On error nothing was executed and no statistic
     /// changed.
     pub fn answer_batch(&mut self, queries: &[Query]) -> Result<Vec<Answer>, ServeError> {
+        let mut runtime = self
+            .runtime
+            .take()
+            .expect("runtime is only vacant during dispatch");
+        let class = QosClass::of_batch(queries);
+        let result = runtime.submit(self, class, queries);
+        self.runtime = Some(runtime);
+        if result.is_ok() {
+            // The unlimited core admits everything instantly; fold the
+            // admission into this server's own counters so `stats()` tells
+            // the whole story without consulting the core.
+            self.stats.admitted += queries.len() as u64;
+        }
+        result
+    }
+
+    /// The pre-runtime batch path: validates and answers `queries` directly
+    /// against the pool, bypassing admission control entirely. This is what
+    /// the serving runtime dispatches into ([`Backend::dispatch`]); it is
+    /// public both as the escape hatch and as the reference behavior the
+    /// admission-determinism suite compares admitted answers against.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`SpannerServer::answer_batch`].
+    pub fn answer_batch_unlimited(&mut self, queries: &[Query]) -> Result<Vec<Answer>, ServeError> {
         let epoch = self.served.verify()?;
         self.validate(queries)?;
         if queries.is_empty() {
@@ -1144,6 +1237,7 @@ impl SpannerServer {
         self.stats.batches += 1;
         self.stats.epoch = epoch;
         self.stats.elapsed += start.elapsed();
+        self.stats.lifetime = self.started.elapsed();
         Ok(answers)
     }
 
@@ -1197,6 +1291,22 @@ impl SpannerServer {
             }
         }
         Ok(())
+    }
+}
+
+impl Backend for SpannerServer {
+    fn validate_batch(&self, queries: &[Query]) -> Result<(), ServeError> {
+        // Same order as the direct path: stale epoch trumps query shape.
+        self.served.verify()?;
+        self.validate(queries)
+    }
+
+    fn dispatch(&mut self, queries: &[Query]) -> Result<Vec<Answer>, ServeError> {
+        self.answer_batch_unlimited(queries)
+    }
+
+    fn occupancy(&self) -> usize {
+        self.pool.inflight()
     }
 }
 
@@ -1581,6 +1691,8 @@ impl ServeBuilder {
             live_landmarks: None,
             source_demand: HashMap::new(),
             stats: ServeStats::default(),
+            runtime: Some(RouterCore::unlimited()),
+            started: Instant::now(),
         }
     }
 }
@@ -1636,6 +1748,15 @@ pub struct ShardedServer {
     skeleton: BoundarySkeleton,
     skeleton_engine: DijkstraEngine,
     skeleton_clamps: u64,
+    /// The embedded unlimited runtime behind
+    /// [`ShardedServer::answer_batch`] — same take/put shim pattern as
+    /// [`SpannerServer`]. A [`crate::runtime::Router`] wrapping the whole
+    /// sharded front door supplies its own core instead.
+    runtime: Option<RouterCore>,
+    /// Front-door admission counters (admitted/shed/queued/queue_wait),
+    /// kept separately from the replica shards so [`ShardedServer::stats`]
+    /// can merge them in without double-counting replica dispatches.
+    front_stats: ServeStats,
 }
 
 impl ShardedServer {
@@ -1646,7 +1767,36 @@ impl ShardedServer {
     /// Validation runs over the *whole* batch up front against replica 0 —
     /// all replicas serve the same handle — so a batch still either runs
     /// whole or not at all, exactly like [`SpannerServer::answer_batch`].
+    ///
+    /// **Migration note (0.5):** like [`SpannerServer::answer_batch`], this
+    /// is now a shim over an *unlimited* [`RouterCore`] — behavior, answers
+    /// and errors are unchanged. Wrap the server in a
+    /// [`crate::runtime::Router`] for admission control over the whole
+    /// sharded front door.
     pub fn answer_batch(&mut self, queries: &[Query]) -> Result<Vec<Answer>, ServeError> {
+        let mut runtime = self
+            .runtime
+            .take()
+            .expect("runtime is only vacant during dispatch");
+        let class = QosClass::of_batch(queries);
+        let result = runtime.submit(self, class, queries);
+        self.runtime = Some(runtime);
+        if result.is_ok() {
+            self.front_stats.admitted += queries.len() as u64;
+        }
+        result
+    }
+
+    /// The pre-runtime sharded batch path: routes and answers directly,
+    /// bypassing admission control. This is what the serving runtime
+    /// dispatches into ([`Backend::dispatch`]); replica sub-batches also go
+    /// through the unlimited path so a dispatch is admitted exactly once —
+    /// at the front door.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ShardedServer::answer_batch`].
+    pub fn answer_batch_unlimited(&mut self, queries: &[Query]) -> Result<Vec<Answer>, ServeError> {
         self.shards[0].served.verify()?;
         self.shards[0].validate(queries)?;
         if queries.is_empty() {
@@ -1666,7 +1816,7 @@ impl ShardedServer {
             if routed[shard].is_empty() {
                 continue;
             }
-            let sub = self.shards[shard].answer_batch(&routed[shard])?;
+            let sub = self.shards[shard].answer_batch_unlimited(&routed[shard])?;
             for (&i, answer) in routed_idx[shard].iter().zip(sub) {
                 answers[i] = Some(answer);
             }
@@ -1770,12 +1920,16 @@ impl ShardedServer {
 
     /// Aggregate statistics across all serve shards, merged with
     /// [`ServeStats::merge`] — counters add, latency histograms combine
-    /// exactly, `elapsed` totals the serving work.
+    /// exactly, `elapsed` totals the serving work. Front-door admission
+    /// counters (admitted/shed/queued/queue_wait) merge in on top: replica
+    /// dispatches bypass per-shard admission, so the front door is their
+    /// single source of truth.
     pub fn stats(&self) -> ServeStats {
         let mut merged = ServeStats::default();
         for shard in &self.shards {
             merged.merge(shard.stats());
         }
+        merged.merge(&self.front_stats);
         merged
     }
 
@@ -1794,12 +1948,30 @@ impl ShardedServer {
         sum / self.shards.len() as f64
     }
 
-    /// Resets every shard's serving statistics and the clamp counter.
+    /// Resets every shard's serving statistics, the front-door admission
+    /// counters, and the clamp counter.
     pub fn reset_stats(&mut self) {
         for shard in &mut self.shards {
             shard.reset_stats();
         }
+        self.front_stats = ServeStats::default();
         self.skeleton_clamps = 0;
+    }
+}
+
+impl Backend for ShardedServer {
+    fn validate_batch(&self, queries: &[Query]) -> Result<(), ServeError> {
+        // All replicas serve the same handle; replica 0 speaks for them.
+        self.shards[0].served.verify()?;
+        self.shards[0].validate(queries)
+    }
+
+    fn dispatch(&mut self, queries: &[Query]) -> Result<Vec<Answer>, ServeError> {
+        self.answer_batch_unlimited(queries)
+    }
+
+    fn occupancy(&self) -> usize {
+        self.shards.iter().map(|s| s.pool.inflight()).sum()
     }
 }
 
@@ -1948,6 +2120,8 @@ impl ShardedServeBuilder {
             skeleton,
             skeleton_engine: DijkstraEngine::new(),
             skeleton_clamps: 0,
+            runtime: Some(RouterCore::unlimited()),
+            front_stats: ServeStats::default(),
         }
     }
 }
@@ -2052,6 +2226,93 @@ mod tests {
         assert_eq!(stats.latency.total(), 6);
         assert!(stats.latency.p50().unwrap() <= stats.latency.p99().unwrap());
         assert!(stats.latency.max().unwrap() >= Duration::from_nanos(1));
+    }
+
+    #[test]
+    fn qps_is_busy_window_while_lifetime_qps_spans_idle_gaps() {
+        // Constructed stats make the distinction exact: 1000 queries over
+        // 100ms of busy serving inside a 10s lifetime.
+        let stats = ServeStats {
+            queries: 1000,
+            elapsed: Duration::from_millis(100),
+            lifetime: Duration::from_secs(10),
+            ..ServeStats::default()
+        };
+        assert_eq!(stats.qps(), Some(10_000.0), "busy-window rate");
+        assert_eq!(stats.lifetime_qps(), Some(100.0), "idle-inclusive rate");
+        assert_eq!(ServeStats::default().qps(), None);
+        assert_eq!(ServeStats::default().lifetime_qps(), None);
+
+        // And on a real server: inject an idle gap between two batches. The
+        // busy-window qps must not be diluted by the gap, so it ends up
+        // strictly above the lifetime rate.
+        let g = diamond();
+        let mut server = server_for(&g, 8, 1);
+        let batch = [Query::distance(VertexId(0), VertexId(3), 100.0)];
+        server.answer_batch(&batch).unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        server.answer_batch(&batch).unwrap();
+        let stats = server.stats();
+        assert!(stats.lifetime >= Duration::from_millis(30), "gap counted");
+        assert!(
+            stats.qps().unwrap() > stats.lifetime_qps().unwrap(),
+            "idle gap dilutes lifetime_qps ({:?}) but not qps ({:?})",
+            stats.lifetime_qps(),
+            stats.qps()
+        );
+    }
+
+    #[test]
+    fn merge_combines_admission_counters_and_lifetime_takes_the_max() {
+        let mut a = ServeStats {
+            admitted: 10,
+            shed: 2,
+            queued: 3,
+            queue_wait: Duration::from_millis(5),
+            lifetime: Duration::from_secs(4),
+            ..ServeStats::default()
+        };
+        let b = ServeStats {
+            admitted: 7,
+            shed: 1,
+            queued: 0,
+            queue_wait: Duration::from_millis(2),
+            lifetime: Duration::from_secs(9),
+            ..ServeStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.admitted, 17);
+        assert_eq!(a.shed, 3);
+        assert_eq!(a.queued, 3);
+        assert_eq!(a.queue_wait, Duration::from_millis(7));
+        assert_eq!(a.lifetime, Duration::from_secs(9), "lifetimes overlap");
+    }
+
+    #[test]
+    fn answer_batch_shim_matches_the_unlimited_path_and_counts_admission() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let g = erdos_renyi_connected(40, 0.15, 1.0..4.0, &mut rng);
+        let mut via_shim = server_for(&g, 8, 2);
+        let mut direct = server_for(&g, 8, 2);
+        let queries: Vec<Query> = (0..40)
+            .map(|i| Query::distance(VertexId(i % 40), VertexId((i * 7 + 3) % 40), f64::INFINITY))
+            .collect();
+        let a = via_shim.answer_batch(&queries).unwrap();
+        let b = direct.answer_batch_unlimited(&queries).unwrap();
+        assert_eq!(a, b, "the unlimited shim answers bit-identically");
+        let stats = via_shim.stats();
+        assert_eq!(stats.admitted, 40, "everything admitted");
+        assert_eq!(stats.shed, 0);
+        assert_eq!(stats.queued, 0, "no queueing in the unlimited core");
+        assert_eq!(stats.queue_wait, Duration::ZERO);
+        assert_eq!(direct.stats().admitted, 0, "direct path skips admission");
+        // Errors pass through the shim unchanged and admit nothing.
+        let bad = [Query::distance(VertexId(0), VertexId(999), 1.0)];
+        assert!(matches!(
+            via_shim.answer_batch(&bad),
+            Err(ServeError::VertexOutOfRange { .. })
+        ));
+        assert_eq!(via_shim.stats().admitted, 40);
     }
 
     #[test]
@@ -2587,6 +2848,21 @@ mod tests {
                 .sum();
             assert_eq!(merged.queries, per_shard);
             assert_eq!(merged.latency.total(), merged.queries);
+            assert_eq!(
+                merged.admitted,
+                2 * queries.len() as u64,
+                "admission is counted once, at the sharded front door"
+            );
+            assert_eq!(merged.shed, 0);
+            assert_eq!(
+                (0..serve_shards)
+                    .map(|s| server.shard_stats(s).admitted)
+                    .sum::<u64>(),
+                0,
+                "replica dispatches bypass per-shard admission"
+            );
+            server.reset_stats();
+            assert_eq!(server.stats().admitted, 0, "reset clears the front door");
         }
     }
 

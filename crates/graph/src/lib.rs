@@ -136,6 +136,6 @@ pub use engine::{DijkstraEngine, EngineStats, EngineTree, QueuePolicy, SptTree};
 pub use error::GraphError;
 pub use graph::{Edge, EdgeId, VertexId, WeightedGraph};
 pub use landmarks::Landmarks;
-pub use parallel::EnginePool;
+pub use parallel::{EnginePool, PoolPermit};
 pub use partition::{CutEdge, Partition, PartitionConfig, ShardPiece};
 pub use union_find::UnionFind;

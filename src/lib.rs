@@ -117,6 +117,39 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
+//! # The serving runtime
+//!
+//! Every server kind answers through one front door
+//! ([`greedy_spanner::runtime`]): the
+//! [`Backend`](greedy_spanner::runtime::Backend) trait (frozen, live and
+//! sharded servers all implement it), a QoS-classed
+//! [`Router`](greedy_spanner::runtime::Router) — interactive point queries
+//! preempt bulk scans — with adaptive AIMD/Gradient concurrency limiters
+//! over the engine pool's inflight gauge, and load shedding past the knee
+//! via `ServeError::Overloaded { retry_after_hint }`. Admitted answers are
+//! bit-identical to the unlimited path (`answer_batch` remains available
+//! as a never-shedding shim), and under a seeded
+//! [`VirtualClock`](greedy_spanner::runtime::VirtualClock) the whole
+//! admission trajectory reproduces bit-for-bit at every thread count.
+//!
+//! ```
+//! use greedy_spanner_suite::prelude::*;
+//! use rand::{rngs::SmallRng, SeedableRng};
+//!
+//! let mut rng = SmallRng::seed_from_u64(11);
+//! let g = spanner_graph::generators::erdos_renyi_connected(50, 0.3, 1.0..4.0, &mut rng);
+//! let server = Spanner::greedy().stretch(2.0).build(&g)?.serve().finish();
+//! let mut router = Router::over(server)
+//!     .limiter(Limiter::aimd(AimdLimit::new(16)))
+//!     .virtual_clock(VirtualClock::seeded(42))
+//!     .finish();
+//! let batch = QueryWorkload::uniform(50)?.queries(32).seed(9).generate();
+//! let answers = router.submit(QosClass::of_batch(&batch), &batch)?;
+//! assert_eq!(answers.len(), 32);
+//! assert_eq!(router.stats().admitted, 32);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
 //! # The live-update model
 //!
 //! The stack is four layers — **substrate → construction → serving →
@@ -251,6 +284,10 @@ pub mod prelude {
         ServeStats, Spanner, SpannerAlgorithm, SpannerBuilder, SpannerConfig, SpannerError,
         SpannerHandle, SpannerInput, SpannerOutput, SpannerServer, StreamEvent, Update,
         UpdateBatch, UpdateError, UpdateStats, WorkloadError,
+    };
+    pub use greedy_spanner::{
+        AimdLimit, Arrival, Backend, GradientLimit, Limiter, OpenLoopWorkload, QosClass,
+        QueryCosts, Router, RouterBuilder, RouterStats, Ticket, VirtualClock, WindowedHistogram,
     };
     pub use greedy_spanner::{
         BoundarySkeleton, LatencyHistogram, ShardedOutput, ShardedServeBuilder, ShardedServer,
