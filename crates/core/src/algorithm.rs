@@ -15,7 +15,7 @@ use std::borrow::Cow;
 use std::fmt;
 use std::time::{Duration, Instant};
 
-use spanner_graph::WeightedGraph;
+use spanner_graph::{KernelStats, WeightedGraph};
 use spanner_metric::{EuclideanSpace, ExplicitMetric, GraphMetric, MetricSpace};
 
 use crate::error::SpannerError;
@@ -411,6 +411,11 @@ pub struct RunStats {
     /// phases (`1.0` = perfectly balanced or sequential; `0.0` when the
     /// construction reports no utilization).
     pub worker_utilization: f64,
+    /// Batched relax-kernel counters aggregated over every engine the
+    /// construction drove (see [`spanner_graph::RelaxKernel`]); all-zero for
+    /// constructions that issue no engine queries or ran the scalar kernel
+    /// throughout.
+    pub kernel: KernelStats,
 }
 
 /// Where an output came from: which algorithm, which parameters, over what.

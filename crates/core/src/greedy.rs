@@ -41,7 +41,7 @@
 
 use spanner_graph::dijkstra::bounded_distance_with_frontier;
 use spanner_graph::parallel::EnginePool;
-use spanner_graph::{CsrGraph, DijkstraEngine, EdgeId, VertexId, WeightedGraph};
+use spanner_graph::{CsrGraph, DijkstraEngine, EdgeId, KernelStats, VertexId, WeightedGraph};
 
 use crate::error::{validate_stretch, SpannerError};
 
@@ -70,6 +70,7 @@ pub struct GreedySpanner {
     batch_recheck_hits: usize,
     threads_used: usize,
     worker_utilization: f64,
+    kernel: KernelStats,
     added_edge_ids: Vec<EdgeId>,
 }
 
@@ -141,6 +142,14 @@ impl GreedySpanner {
     /// filter phases (1.0 on the sequential path).
     pub fn worker_utilization(&self) -> f64 {
         self.worker_utilization
+    }
+
+    /// Batched relax-kernel counters aggregated over every engine the
+    /// construction drove; all-zero when the scalar kernel ran throughout
+    /// (short-row graphs under `Auto`, or the reference path, which has no
+    /// engine at all).
+    pub fn kernel_stats(&self) -> KernelStats {
+        self.kernel
     }
 
     /// Ids (into the *input* graph) of the edges that were kept, in the order
@@ -283,6 +292,7 @@ pub(crate) fn run_greedy(
         batch_recheck_hits: outcome.recheck_hits,
         threads_used: threads,
         worker_utilization: pool.utilization(),
+        kernel: stats.kernel,
         added_edge_ids: outcome.added.iter().map(|&i| order[i]).collect(),
     })
 }
@@ -315,6 +325,7 @@ fn run_greedy_sequential(graph: &WeightedGraph, t: f64) -> Result<GreedySpanner,
         batch_recheck_hits: 0,
         threads_used: 1,
         worker_utilization: 1.0,
+        kernel: stats.kernel,
         added_edge_ids,
     })
 }
@@ -358,6 +369,7 @@ pub fn greedy_spanner_reference(
         batch_recheck_hits: 0,
         threads_used: 1,
         worker_utilization: 1.0,
+        kernel: KernelStats::default(),
         added_edge_ids,
     })
 }

@@ -77,6 +77,14 @@
 //!   searches; [`spanner_graph::EngineStats::settled_vertices`] and
 //!   [`spanner_graph::EngineStats::pruned_by_bound`] make the reduction
 //!   observable.
+//! * **Batched relax kernel** ([`ServeBuilder::relax_kernel`]): engine
+//!   searches drain same-cohort queue entries together, gather their
+//!   adjacency rows into a contiguous scratch ring, software-prefetch the
+//!   `dist`/`state` lanes ahead of use, and branchlessly compact the
+//!   surviving candidates before relaxing (see
+//!   [`spanner_graph::RelaxKernel`]). The default `Auto` policy batches
+//!   when rows are long enough to amortize staging or a live server has
+//!   pending deletions; [`ServeStats::kernel`] exposes the counters.
 //!
 //! # Quick start
 //!
@@ -100,8 +108,8 @@ use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use spanner_graph::{
-    CsrGraph, DijkstraEngine, EnginePool, EngineStats, Landmarks, QueuePolicy, SptTree, VertexId,
-    VertexPerm, WeightedGraph,
+    CsrGraph, DijkstraEngine, EnginePool, EngineStats, KernelStats, Landmarks, QueuePolicy,
+    RelaxKernel, SptTree, VertexId, VertexPerm, WeightedGraph,
 };
 
 use crate::algorithm::{Provenance, SpannerConfig, SpannerOutput};
@@ -485,6 +493,10 @@ pub struct ServeStats {
     pub queue_wait: Duration,
     /// Per-query answer latencies.
     pub latency: LatencyHistogram,
+    /// Batched relax-kernel counters aggregated across the server's engine
+    /// pool ([`spanner_graph::KernelStats`]); all-zero while the scalar
+    /// kernel serves every search.
+    pub kernel: KernelStats,
 }
 
 impl ServeStats {
@@ -537,6 +549,7 @@ impl ServeStats {
         self.queued += other.queued;
         self.queue_wait += other.queue_wait;
         self.latency.merge(&other.latency);
+        self.kernel.merge(&other.kernel);
     }
 }
 
@@ -1238,6 +1251,8 @@ impl SpannerServer {
         self.stats.epoch = epoch;
         self.stats.elapsed += start.elapsed();
         self.stats.lifetime = self.started.elapsed();
+        // Pool engines accumulate across batches; snapshot rather than add.
+        self.stats.kernel = self.pool.stats().kernel;
         Ok(answers)
     }
 
@@ -1513,6 +1528,7 @@ pub struct ServeBuilder {
     /// `None` = default ([`DEFAULT_LANDMARK_COUNT`] for fresh outputs and
     /// live servers, keep a handle's table).
     landmark_count: Option<usize>,
+    relax_kernel: RelaxKernel,
 }
 
 /// Default number of shortest-path trees the cache holds.
@@ -1537,6 +1553,7 @@ impl ServeBuilder {
             queue_policy: QueuePolicy::Auto,
             reorder: None,
             landmark_count: None,
+            relax_kernel: RelaxKernel::Auto,
         }
     }
 
@@ -1576,6 +1593,16 @@ impl ServeBuilder {
     /// are bit-identical at every setting — this is purely a speed knob.
     pub fn queue_policy(mut self, policy: QueuePolicy) -> Self {
         self.queue_policy = policy;
+        self
+    }
+
+    /// Which relaxation kernel the serving engines run.
+    /// [`RelaxKernel::Auto`] (the default) batches whenever adjacency rows
+    /// are long enough to amortize staging or the served spanner has
+    /// pending deletions; answers, settle orders and search counters are
+    /// bit-identical at every setting — this is purely a speed knob.
+    pub fn relax_kernel(mut self, kernel: RelaxKernel) -> Self {
+        self.relax_kernel = kernel;
         self
     }
 
@@ -1680,6 +1707,7 @@ impl ServeBuilder {
             });
         let mut pool = EnginePool::with_capacity_for(threads, n, m);
         pool.set_queue_policy(self.queue_policy);
+        pool.set_relax_kernel(self.relax_kernel);
         SpannerServer {
             served,
             baseline,
@@ -2007,6 +2035,7 @@ pub struct ShardedServeBuilder {
     queue_policy: QueuePolicy,
     reorder: Option<bool>,
     landmark_count: Option<usize>,
+    relax_kernel: RelaxKernel,
 }
 
 impl ShardedServeBuilder {
@@ -2021,6 +2050,7 @@ impl ShardedServeBuilder {
             queue_policy: QueuePolicy::Auto,
             reorder: None,
             landmark_count: None,
+            relax_kernel: RelaxKernel::Auto,
         }
     }
 
@@ -2056,6 +2086,13 @@ impl ShardedServeBuilder {
     /// [`ServeBuilder::queue_policy`]); purely a speed knob.
     pub fn queue_policy(mut self, policy: QueuePolicy) -> Self {
         self.queue_policy = policy;
+        self
+    }
+
+    /// Relaxation kernel for the replica engines (see
+    /// [`ServeBuilder::relax_kernel`]); purely a speed knob.
+    pub fn relax_kernel(mut self, kernel: RelaxKernel) -> Self {
+        self.relax_kernel = kernel;
         self
     }
 
@@ -2107,7 +2144,8 @@ impl ShardedServeBuilder {
                     .threads(self.threads)
                     .cache_capacity(self.cache_capacity)
                     .cache_admit_threshold(self.cache_admit_threshold)
-                    .queue_policy(self.queue_policy);
+                    .queue_policy(self.queue_policy)
+                    .relax_kernel(self.relax_kernel);
                 if let Some(baseline) = &self.baseline {
                     builder = builder.audit_against(baseline);
                 }

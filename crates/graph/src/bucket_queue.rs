@@ -232,21 +232,18 @@ impl BucketQueue {
         }
     }
 
-    /// Pops the entry with the smallest `(key, vertex)`, advancing the base
-    /// bucket when the active set drains.
+    /// Ensures the active heap holds the global minimum: when it has
+    /// drained, the base advances to the next non-empty chain and that
+    /// chain is tipped in. Returns `false` when the whole queue is empty.
+    /// Chained keys all map to buckets > the old base, hence compare
+    /// greater than every key popped so far — so after this returns `true`,
+    /// `active.peek()` *is* the global `(key, vertex)` minimum.
     #[inline]
-    pub(crate) fn pop(&mut self) -> Option<(f64, u32)> {
-        loop {
-            if let Some(HeapSlot { dist, vertex }) = self.active.pop() {
-                self.len -= 1;
-                return Some((dist, vertex));
-            }
+    fn ensure_active(&mut self) -> bool {
+        while self.active.is_empty() {
             if self.len == 0 {
-                return None;
+                return false;
             }
-            // Advance to the next non-empty chain and tip it into the
-            // active heap. Chained keys all map to buckets > the old base,
-            // hence compare greater than every key popped so far.
             self.base += 1;
             while self.heads[self.base] == NONE {
                 self.base += 1;
@@ -261,6 +258,42 @@ impl BucketQueue {
                 });
                 slot = self.next[s];
             }
+        }
+        true
+    }
+
+    /// Pops the entry with the smallest `(key, vertex)`, advancing the base
+    /// bucket when the active set drains.
+    #[inline]
+    pub(crate) fn pop(&mut self) -> Option<(f64, u32)> {
+        if !self.ensure_active() {
+            return None;
+        }
+        let HeapSlot { dist, vertex } = self.active.pop().expect("ensure_active guarantees entry");
+        self.len -= 1;
+        Some((dist, vertex))
+    }
+
+    /// Pops the global minimum only when its key is strictly below
+    /// `threshold` — the cohort-draining primitive of the engine's batched
+    /// relax kernel, which pops every entry of a same-bucket cohort in one
+    /// pass. Advancing the base early (when the peeked minimum is at or
+    /// past the threshold and stays queued) is harmless: pushes that would
+    /// land in or behind the base clamp into the active heap, where exact
+    /// comparison preserves the global pop order.
+    #[inline]
+    pub(crate) fn pop_if_below(&mut self, threshold: f64) -> Option<(f64, u32)> {
+        if !self.ensure_active() {
+            return None;
+        }
+        let &HeapSlot { dist, vertex } =
+            self.active.peek().expect("ensure_active guarantees entry");
+        if dist < threshold {
+            self.active.pop();
+            self.len -= 1;
+            Some((dist, vertex))
+        } else {
+            None
         }
     }
 }
@@ -373,6 +406,30 @@ mod tests {
         let empty = crate::csr::CsrGraph::new(3);
         assert_eq!(bucket_delta(&empty, 5.0), None);
         let _ = VertexId(0);
+    }
+
+    #[test]
+    fn pop_if_below_is_strict_and_preserves_global_order() {
+        let mut q = armed(1.0, 10.0);
+        for &(k, v) in &[(0.0, 3), (0.5, 1), (0.5, 7), (2.0, 2), (9.0, 4)] {
+            q.push(k, v);
+        }
+        // Strictly below: the 0.5 entries qualify at threshold 2.0 — in
+        // exact (key, vertex) order — but the 2.0 entry does not.
+        assert_eq!(q.pop_if_below(2.0), Some((0.0, 3)));
+        assert_eq!(q.pop_if_below(2.0), Some((0.5, 1)));
+        assert_eq!(q.pop_if_below(2.0), Some((0.5, 7)));
+        assert_eq!(q.pop_if_below(2.0), None);
+        assert_eq!(q.len(), 2, "refused entries stay queued");
+        // Interleaved pushes after a refusal still pop in global order,
+        // including entries that land behind the advanced base.
+        q.push(2.5, 9);
+        assert_eq!(q.pop(), Some((2.0, 2)));
+        assert_eq!(q.pop_if_below(9.0), Some((2.5, 9)));
+        assert_eq!(q.pop_if_below(9.0), None, "9.0 is not strictly below 9.0");
+        assert_eq!(q.pop(), Some((9.0, 4)));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop_if_below(f64::INFINITY), None, "empty queue");
     }
 
     #[test]

@@ -325,6 +325,16 @@ impl CsrGraph {
         !self.overlay.is_dead(id as usize)
     }
 
+    /// The tombstone bitmap as raw 64-bit words, one bit per edge id (a set
+    /// bit marks a deleted edge; ids past the end of the slice are live).
+    /// This is the batch counterpart of [`CsrGraph::is_edge_id_live`]: the
+    /// engine's gather kernel fetches the slice once per row and tests bits
+    /// locally instead of re-borrowing the graph per edge.
+    #[inline]
+    pub fn edge_liveness_words(&self) -> &[u64] {
+        &self.overlay.tombstone
+    }
+
     /// Endpoints and weight of the edge with the given id. The record is
     /// returned even for deleted ids (the ground-truth slot is kept so ids
     /// stay stable); check [`CsrGraph::is_edge_live`] for liveness.
@@ -674,6 +684,19 @@ impl CsrGraph {
             graph: self,
             chain: self.overlay.head[u.index()],
         }
+    }
+
+    /// Whether `u` has any overflow chain at all — an O(1) emptiness test
+    /// (the chain may still be all-tombstoned; this is the cheap
+    /// conservative check the batched relax kernel uses to decide whether a
+    /// row can be read straight from the packed arrays).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[inline]
+    pub fn has_overflow(&self, u: VertexId) -> bool {
+        self.overlay.head[u.index()] != NONE
     }
 
     /// A read-only snapshot view of this graph, frozen for a parallel query

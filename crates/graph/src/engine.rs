@@ -17,7 +17,14 @@
 //!   buffers reach the workload's high-water mark);
 //! * the engine counts queries, workspace-reuse hits (queries that ran
 //!   without growing any buffer), heap pops and the peak frontier, which the
-//!   spanner pipeline surfaces in its run statistics.
+//!   spanner pipeline surfaces in its run statistics;
+//! * relaxations can run through a batched **gather → filter → commit
+//!   kernel** ([`RelaxKernel`]): whole same-cohort queue drains are staged
+//!   into a contiguous scratch ring, the `dist`/`state` lanes are
+//!   software-prefetched a fixed distance ahead, and candidates are
+//!   branchlessly compacted before the exact relax step — hiding the
+//!   dependent random-access load latency that dominates the scalar loop,
+//!   with answers, settle order and counters bit-identical to it.
 //!
 //! ```
 //! use spanner_graph::csr::CsrGraph;
@@ -46,6 +53,140 @@ const NO_VERTEX: u32 = u32::MAX;
 /// [`DijkstraEngine::with_capacity_for`]; tables with more landmarks grow
 /// the buffer once (one reuse miss) and stay.
 const LANDMARK_SCRATCH_RESERVE: usize = 32;
+
+/// Staged-edge budget of one gather cohort: a cohort stops accepting rows
+/// once the scratch ring holds this many half-edges (the last row may
+/// overshoot by its own length — the reservation in
+/// [`DijkstraEngine::with_capacity_for`] accounts for that). Sized so the
+/// staged `(target, weight)` lanes (~12 bytes/edge) stay L1/L2-resident.
+const GATHER_RING_CAP: usize = 8192;
+
+/// Row budget of one gather cohort, bounding the per-cohort row metadata.
+const MAX_COHORT_ROWS: usize = 512;
+
+/// How many staged edges ahead the batched kernel prefetches the
+/// `dist`/`state` lanes during the filter pass — far enough to cover
+/// DRAM latency at filter throughput, near enough to stay within the
+/// already-staged (hence certainly-needed) candidates.
+const PREFETCH_DISTANCE: usize = 8;
+
+/// How many rows ahead of the committing row a borrowed row's packed
+/// `(targets, weights)` head lines are prefetched. The targets hold the
+/// *addresses* of the next row's `dist`/`state` prefetches, so they must
+/// land a row earlier than the lanes they unlock; a few rows of lead
+/// covers DRAM latency at commit throughput without outrunning L1.
+const EDGE_PREFETCH_AHEAD: usize = 6;
+
+/// [`RelaxKernel::Auto`] picks the batched kernel when the mean degree
+/// (`2m / n`) reaches this value; below it, rows are too short for the
+/// staging copy to pay for itself.
+const AUTO_KERNEL_MEAN_DEGREE: f64 = 3.0;
+
+/// Requests that the cache line holding `slice[index]` be pulled toward L1.
+/// Bounds-checked and side-effect-free: prefetching cannot fault, cannot
+/// write, and is ignored entirely on non-x86_64 targets — it only hides
+/// memory latency for the load the filter pass will issue a few iterations
+/// later.
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+fn prefetch_read<T>(slice: &[T], index: usize) {
+    if index < slice.len() {
+        // Safety: the pointer is derived from a live slice and in bounds
+        // (checked above); `_mm_prefetch` performs no memory access — it is
+        // a hint with no architectural effect.
+        #[allow(unsafe_code)]
+        unsafe {
+            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            _mm_prefetch::<_MM_HINT_T0>(slice.as_ptr().add(index).cast());
+        }
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+#[inline(always)]
+fn prefetch_read<T>(_slice: &[T], _index: usize) {}
+
+/// One drained cohort member awaiting its commit pass: the vertex, its
+/// settled distance, where its gathered edges end in the scratch lanes
+/// (scratch rows are contiguous: this row starts at the previous scratch
+/// row's `end`; a *borrowed* row consumed no scratch and is re-read
+/// straight from the packed CSR arrays at commit time), and its drain
+/// position among the cohort's pops (stale pops included) — the lag term
+/// that keeps `peak_frontier` bit-identical to the scalar path.
+#[derive(Debug, Clone, Copy, Default)]
+struct StagedRow {
+    u: u32,
+    d: f64,
+    end: u32,
+    pos: u32,
+    borrowed: bool,
+}
+
+/// Gather phase of the batched kernel. A *clean* row — no deletions
+/// pending anywhere and no overflow chain on `u` — is recorded as borrowed
+/// and read straight from the packed arrays at commit time: copying it
+/// would only add memory traffic. A dirty row's live half-edges — the
+/// packed row filtered against the raw `liveness` bitmap when deletions
+/// are pending, then the overflow chain, in exactly the scalar loop's
+/// relax order — are appended to the contiguous scratch lanes. The
+/// target's row is staged empty (the scalar loop breaks at its settle
+/// without relaxing anything); returns whether `u` *is* the target, which
+/// ends the drain. `staged_edges` accumulates the row length either way —
+/// the cohort budget counts borrowed work too.
+#[allow(clippy::too_many_arguments)]
+fn stage_cohort_row(
+    graph: &CsrGraph,
+    liveness: &[u64],
+    pending_deletions: bool,
+    target: Option<u32>,
+    gather_targets: &mut Vec<u32>,
+    gather_weights: &mut Vec<f64>,
+    rows: &mut Vec<StagedRow>,
+    staged_edges: &mut usize,
+    u: u32,
+    d: f64,
+    pos: u32,
+) -> bool {
+    let mut borrowed = false;
+    if Some(u) != target {
+        let (targets, weights) = graph.packed_neighbors(VertexId(u as usize));
+        if !pending_deletions && !graph.has_overflow(VertexId(u as usize)) {
+            *staged_edges += targets.len();
+            borrowed = true;
+        } else {
+            let before = gather_targets.len();
+            if pending_deletions {
+                let ids = graph.packed_neighbor_ids(VertexId(u as usize));
+                for i in 0..targets.len() {
+                    let id = ids[i] as usize;
+                    let dead = liveness
+                        .get(id >> 6)
+                        .is_some_and(|word| (word >> (id & 63)) & 1 == 1);
+                    if !dead {
+                        gather_targets.push(targets[i]);
+                        gather_weights.push(weights[i]);
+                    }
+                }
+            } else {
+                gather_targets.extend_from_slice(targets);
+                gather_weights.extend_from_slice(weights);
+            }
+            for (v, w) in graph.overflow_neighbors(VertexId(u as usize)) {
+                gather_targets.push(v);
+                gather_weights.push(w);
+            }
+            *staged_edges += gather_targets.len() - before;
+        }
+    }
+    rows.push(StagedRow {
+        u,
+        d,
+        end: gather_targets.len() as u32,
+        pos,
+        borrowed,
+    });
+    Some(u) == target
+}
 
 /// Aggregate counters of a [`DijkstraEngine`]; see [`DijkstraEngine::stats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -82,6 +223,46 @@ pub struct EngineStats {
     /// queries — routine for a long-running server, and harmless: the reset
     /// invalidates every stamp in `O(n)` and reuse stays sound.
     pub generation_wraps: u64,
+    /// Counters of the batched gather → relax kernel (all zero while every
+    /// query ran the scalar reference path); see [`RelaxKernel`].
+    pub kernel: KernelStats,
+}
+
+/// Counters of the batched gather → relax kernel (see [`RelaxKernel`]):
+/// how much of the relaxation work ran through the staged, prefetch-
+/// pipelined path, and how sharp its branchless filter was. Purely
+/// observability — the kernel never changes an answer, a settle order, or
+/// any other [`EngineStats`] counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Adjacency rows staged and relaxed by the batched kernel (settled
+    /// vertices that went through gather → filter → commit rather than the
+    /// scalar loop).
+    pub rows_batched: u64,
+    /// Half-edges copied into the gather scratch ring across all batched
+    /// rows (tombstoned half-edges are filtered out during the gather and
+    /// never counted).
+    pub edges_gathered: u64,
+    /// Gathered candidates that survived the branchless filter and were
+    /// handed to the exact relax step — `edges_gathered −
+    /// candidates_committed` relaxations were discarded without a branch
+    /// mispredict.
+    pub candidates_committed: u64,
+    /// How many staged edges ahead the kernel prefetches the `state` lane
+    /// (0 until the batched kernel first runs; constant otherwise).
+    pub prefetch_distance: usize,
+}
+
+impl KernelStats {
+    /// Folds `other` into `self`: counters add, the prefetch distance (a
+    /// configuration echo, not a count) takes the maximum. Used by pool and
+    /// serving layers aggregating per-worker engines.
+    pub fn merge(&mut self, other: &KernelStats) {
+        self.rows_batched += other.rows_batched;
+        self.edges_gathered += other.edges_gathered;
+        self.candidates_committed += other.candidates_committed;
+        self.prefetch_distance = self.prefetch_distance.max(other.prefetch_distance);
+    }
 }
 
 /// Which priority queue a query runs on; see
@@ -100,6 +281,31 @@ pub enum QueuePolicy {
     Heap,
 }
 
+/// Which relaxation kernel a query runs — the scalar reference loop (one
+/// dependent `dist`/`state` load per half-edge) or the batched gather →
+/// filter → commit kernel (whole same-cohort queue drains staged into a
+/// scratch ring with software prefetch and branchless candidate
+/// compaction). See [`DijkstraEngine::set_relax_kernel`].
+///
+/// Answers, settle order and every non-[`KernelStats`] counter are
+/// bit-identical under every setting — like [`QueuePolicy`], this is purely
+/// a performance choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RelaxKernel {
+    /// Pick per query: the batched kernel when adjacency rows are long
+    /// enough to amortize the staging copy (mean degree `2m/n ≥ 3`) or when
+    /// deletions are pending (the gather resolves liveness against the raw
+    /// tombstone bitmap instead of per-edge calls), the scalar loop
+    /// otherwise (short-row graphs, where staging overhead would exceed the
+    /// memory-latency win).
+    #[default]
+    Auto,
+    /// Always the scalar reference loop.
+    Scalar,
+    /// Always the batched gather → filter → commit kernel.
+    Batched,
+}
+
 /// What a search loop needs from its priority queue. Implemented by the
 /// lazy-deletion [`BinaryHeap`] and by [`BucketQueue`]; both pop in exactly
 /// non-decreasing `(key, vertex)` order, which is why every engine answer is
@@ -107,6 +313,11 @@ pub enum QueuePolicy {
 trait Frontier {
     fn push(&mut self, key: f64, vertex: u32);
     fn pop(&mut self) -> Option<(f64, u32)>;
+    /// Pops the global minimum only when its key is strictly below
+    /// `threshold` — the batched kernel's cohort drain, which collects every
+    /// entry provably settleable in one pass without disturbing the exact
+    /// pop order of the rest.
+    fn pop_if_below(&mut self, threshold: f64) -> Option<(f64, u32)>;
     fn len(&self) -> usize;
 }
 
@@ -119,6 +330,15 @@ impl Frontier for BinaryHeap<HeapSlot> {
     #[inline(always)]
     fn pop(&mut self) -> Option<(f64, u32)> {
         BinaryHeap::pop(self).map(|slot| (slot.dist, slot.vertex))
+    }
+
+    #[inline(always)]
+    fn pop_if_below(&mut self, threshold: f64) -> Option<(f64, u32)> {
+        if self.peek()?.dist < threshold {
+            BinaryHeap::pop(self).map(|slot| (slot.dist, slot.vertex))
+        } else {
+            None
+        }
     }
 
     #[inline(always)]
@@ -136,6 +356,11 @@ impl Frontier for BucketQueue {
     #[inline(always)]
     fn pop(&mut self) -> Option<(f64, u32)> {
         BucketQueue::pop(self)
+    }
+
+    #[inline(always)]
+    fn pop_if_below(&mut self, threshold: f64) -> Option<(f64, u32)> {
+        BucketQueue::pop_if_below(self, threshold)
     }
 
     #[inline(always)]
@@ -228,7 +453,19 @@ pub struct DijkstraEngine {
     h_scratch: Vec<f64>,
     /// Settle order of the last collecting query (see [`DijkstraEngine::ball`]).
     ball_buf: Vec<(VertexId, f64)>,
+    /// Batched-kernel gather scratch: the staged `(target, weight)` lanes of
+    /// the current cohort, contiguous across rows so the filter pass can
+    /// prefetch straight through row boundaries. Retained across queries
+    /// like every other buffer (taken/restored around each batched search).
+    gather_targets: Vec<u32>,
+    gather_weights: Vec<f64>,
+    /// Per-row metadata of the current cohort (see [`StagedRow`]).
+    rows: Vec<StagedRow>,
+    /// Candidate indices (into the gather lanes) that survived the
+    /// branchless filter of one row, awaiting the exact relax step.
+    commit: Vec<u32>,
     queue_policy: QueuePolicy,
+    relax_kernel: RelaxKernel,
     generation: u32,
     stats: EngineStats,
     last_frontier: usize,
@@ -273,6 +510,23 @@ impl DijkstraEngine {
         if e.h_scratch.capacity() < LANDMARK_SCRATCH_RESERVE {
             e.h_scratch.reserve_exact(LANDMARK_SCRATCH_RESERVE);
         }
+        // Batched-kernel scratch: a cohort stops accepting rows at
+        // GATHER_RING_CAP staged edges but the last row may overshoot by its
+        // own length, bounded by the longest adjacency row (≤ 2m half-edges).
+        let lane_cap = GATHER_RING_CAP + 2 * num_edges + 2;
+        if e.gather_targets.capacity() < lane_cap {
+            e.gather_targets.reserve_exact(lane_cap);
+        }
+        if e.gather_weights.capacity() < lane_cap {
+            e.gather_weights.reserve_exact(lane_cap);
+        }
+        if e.rows.capacity() < MAX_COHORT_ROWS + 1 {
+            e.rows.reserve_exact(MAX_COHORT_ROWS + 1);
+        }
+        // The commit buffer holds at most one row's candidates.
+        if e.commit.capacity() < 2 * num_edges + 2 {
+            e.commit.reserve_exact(2 * num_edges + 2);
+        }
         e
     }
 
@@ -286,6 +540,46 @@ impl DijkstraEngine {
     /// The current queue-selection policy.
     pub fn queue_policy(&self) -> QueuePolicy {
         self.queue_policy
+    }
+
+    /// Sets the relaxation-kernel policy for subsequent queries (default:
+    /// [`RelaxKernel::Auto`]). Answers, settle order and every
+    /// non-[`KernelStats`] counter are bit-identical under every setting;
+    /// this only trades constant factors.
+    pub fn set_relax_kernel(&mut self, kernel: RelaxKernel) {
+        self.relax_kernel = kernel;
+    }
+
+    /// The current relaxation-kernel policy.
+    pub fn relax_kernel(&self) -> RelaxKernel {
+        self.relax_kernel
+    }
+
+    /// Resolves [`RelaxKernel::Auto`] for one query on `graph`: batched
+    /// when deletions are pending (the gather's bitmap filter beats
+    /// per-edge liveness calls) or the mean degree reaches
+    /// [`AUTO_KERNEL_MEAN_DEGREE`] (rows long enough to amortize staging).
+    fn use_batched_kernel(&self, graph: &CsrGraph) -> bool {
+        match self.relax_kernel {
+            RelaxKernel::Scalar => false,
+            RelaxKernel::Batched => true,
+            RelaxKernel::Auto => {
+                let n = graph.num_vertices();
+                n > 0
+                    && (graph.has_pending_deletions()
+                        || 2.0 * graph.num_edges() as f64 >= AUTO_KERNEL_MEAN_DEGREE * n as f64)
+            }
+        }
+    }
+
+    /// The combined capacity of the batched kernel's scratch buffers —
+    /// compared before and after a query for the workspace-reuse
+    /// accounting, like [`BucketQueue::capacity_signature`].
+    fn gather_capacity_signature(&self) -> usize {
+        self.gather_targets.capacity()
+            + self.gather_weights.capacity()
+            + self.rows.capacity()
+            + self.commit.capacity()
     }
 
     /// Ensures the heap buffer can hold `entries` entries without
@@ -366,6 +660,62 @@ impl DijkstraEngine {
         grew
     }
 
+    /// Branchless filter pass of the batched kernel over one row's
+    /// `(targets, weights)` candidates: resolves every candidate whose
+    /// scalar outcome is already decidable from `dist`/`state` alone.
+    /// Settled targets and touched-no-improvement-within-bound candidates
+    /// are silent scalar skips (no counter) — dropped. Out-of-bound
+    /// candidates are scalar prunes — dropped here with the exact
+    /// `pruned_by_bound` increment the scalar relax would have made (`nd`
+    /// is the same `d + w` both compute, so the comparison is
+    /// bit-identical). Only improving-within-bound survivors land in
+    /// `commit` (as indices into the row), for the exact relax to re-check
+    /// and heuristic-prune. The `state` lane of the candidate
+    /// [`PREFETCH_DISTANCE`] ahead is prefetched while filtering (`dist`
+    /// stays behind the untouched-candidate branch — see below).
+    #[inline(always)]
+    fn filter_row(
+        &mut self,
+        targets: &[u32],
+        weights: &[f64],
+        d: f64,
+        gen: u32,
+        bound: f64,
+        commit: &mut Vec<u32>,
+    ) {
+        commit.clear();
+        commit.resize(targets.len(), 0);
+        let mut kept = 0usize;
+        let mut pruned = 0u64;
+        for j in 0..targets.len() {
+            let ahead = j + PREFETCH_DISTANCE;
+            if ahead < targets.len() {
+                prefetch_read(&self.state, targets[ahead] as usize);
+            }
+            let v = targets[j] as usize;
+            let nd = d + weights[j];
+            let s = self.state[v];
+            let live = s != gen + 1;
+            let within = nd <= bound;
+            pruned += (live && !within) as u64;
+            // The `dist` load must stay behind a real branch: an untouched
+            // candidate (`s < gen`, the common case) improves by definition,
+            // and a speculation-free `dist[v]` read for every candidate
+            // doubles the kernel's random-line traffic — enough to push the
+            // commit loop from latency-bound to bandwidth-bound.
+            let mut keep = live && within;
+            if keep && s >= gen {
+                keep = nd < self.dist[v];
+            }
+            commit[kept] = j as u32;
+            kept += keep as usize;
+        }
+        self.stats.pruned_by_bound += pruned;
+        commit.truncate(kept);
+        self.stats.kernel.edges_gathered += targets.len() as u64;
+        self.stats.kernel.candidates_committed += kept as u64;
+    }
+
     /// Relaxes the half-edge `u → v` with weight `w`, given `u`'s settled
     /// distance `d`. The single `state` load decides settled / untouched /
     /// in-queue; improvements push a fresh queue entry (lazy deletion).
@@ -375,6 +725,11 @@ impl DijkstraEngine {
     /// whose `distance + lower bound` exceeds the query bound is dropped
     /// instead of pushed — pruning only; queue keys stay plain distances,
     /// so the settle order of surviving vertices is untouched.
+    ///
+    /// `lag` is the number of queue entries the batched kernel has drained
+    /// ahead of this row's logical position (0 on the scalar path): the
+    /// scalar reference would still hold those entries when this push
+    /// happens, so `peak_frontier` adds them back to stay bit-identical.
     #[inline(always)]
     #[allow(clippy::too_many_arguments)]
     fn relax<const TRACK_PARENTS: bool, Q: Frontier, H: Heuristic>(
@@ -387,6 +742,7 @@ impl DijkstraEngine {
         d: f64,
         gen: u32,
         bound: f64,
+        lag: usize,
     ) {
         let s = self.state[v];
         if s == gen + 1 {
@@ -412,7 +768,54 @@ impl DijkstraEngine {
                 self.parent[v] = u;
             }
             queue.push(nd, v as u32);
-            self.last_frontier = self.last_frontier.max(queue.len());
+            self.last_frontier = self.last_frontier.max(queue.len() + lag);
+        }
+    }
+
+    /// Relaxes every live half-edge of the settled vertex `u` — the packed
+    /// row (tombstone-filtered only while deletions are pending) followed by
+    /// the overflow chain. The scalar search's single relaxation body; the
+    /// pending-deletions and fast paths share it so they cannot drift.
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    fn relax_row<const TRACK_PARENTS: bool, Q: Frontier, H: Heuristic>(
+        &mut self,
+        queue: &mut Q,
+        h: &H,
+        graph: &CsrGraph,
+        u: u32,
+        d: f64,
+        gen: u32,
+        bound: f64,
+        check_live: bool,
+    ) {
+        // Packed half-edges: two parallel slices, no per-neighbor branch on
+        // the deletion-free fast path (`ids` is `None` there and the
+        // liveness test constant-folds away).
+        let (targets, weights) = graph.packed_neighbors(VertexId(u as usize));
+        let ids = check_live.then(|| graph.packed_neighbor_ids(VertexId(u as usize)));
+        for i in 0..targets.len() {
+            if let Some(ids) = ids {
+                if !graph.is_edge_id_live(ids[i]) {
+                    continue;
+                }
+            }
+            self.relax::<TRACK_PARENTS, Q, H>(
+                queue,
+                h,
+                u,
+                targets[i] as usize,
+                weights[i],
+                d,
+                gen,
+                bound,
+                0,
+            );
+        }
+        // Live overflow half-edges appended since the last re-pack (short;
+        // the iterator itself skips tombstoned entries).
+        for (v, w) in graph.overflow_neighbors(VertexId(u as usize)) {
+            self.relax::<TRACK_PARENTS, Q, H>(queue, h, u, v as usize, w, d, gen, bound, 0);
         }
     }
 
@@ -466,45 +869,285 @@ impl DijkstraEngine {
             if Some(u) == target {
                 break;
             }
-            // Packed half-edges: two parallel slices, no per-neighbor branch
-            // on the deletion-free fast path.
-            let (targets, weights) = graph.packed_neighbors(VertexId(u as usize));
-            if pending_deletions {
-                let ids = graph.packed_neighbor_ids(VertexId(u as usize));
-                for i in 0..targets.len() {
-                    if !graph.is_edge_id_live(ids[i]) {
-                        continue;
+            self.relax_row::<TRACK_PARENTS, Q, H>(
+                queue,
+                h,
+                graph,
+                u,
+                d,
+                gen,
+                bound,
+                pending_deletions,
+            );
+        }
+    }
+
+    /// The batched gather → filter → commit search: behaviorally identical
+    /// to [`DijkstraEngine::search`] — every answer, settle order, and
+    /// non-[`KernelStats`] counter is bit-identical — but restructured to
+    /// hide memory latency:
+    ///
+    /// 1. **Drain.** Pop a *cohort*: the popped minimum plus every further
+    ///    entry whose key is strictly below `key₀ + min live weight`. Any
+    ///    such entry is provably settleable now — every relaxation out of a
+    ///    cohort member pushes a key `≥ key₀ + min weight`, so nothing
+    ///    pushed during the cohort's processing can precede (or tie) a
+    ///    cohort member in the scalar pop order, and nothing can supersede
+    ///    one. Stale entries are recognized in O(1) (`settled`, or key
+    ///    above the vertex's current distance — within one generation every
+    ///    queued key for a vertex is distinct and the freshest equals its
+    ///    distance) and dropped exactly like the scalar loop would.
+    /// 2. **Gather.** Record each cohort member's row. A clean row (no
+    ///    pending deletions, no overflow chain) is *borrowed* — the commit
+    ///    pass reads it straight from the packed arrays, copying nothing. A
+    ///    dirty row's live half-edges — tombstones filtered against the raw
+    ///    liveness bitmap, then the overflow neighbors — are copied into
+    ///    the contiguous scratch lanes so the filter sees one dense stream.
+    /// 3. **Commit.** Per row, in drain order: settle the vertex, then run
+    ///    a branchless filter over its staged candidates (prefetching the
+    ///    `dist`/`state` lanes [`PREFETCH_DISTANCE`] staged edges ahead,
+    ///    across row boundaries), resolving every candidate whose scalar
+    ///    outcome is decidable from `dist`/`state` alone — silent skips are
+    ///    dropped, bound-prunes are dropped *and counted* exactly as the
+    ///    scalar relax counts them — and compacting the improving
+    ///    within-bound survivors into the commit buffer; then relax the
+    ///    survivors through the exact scalar step (which re-checks
+    ///    everything and applies the heuristic prune). Dropped candidates
+    ///    are provably scalar no-ops (or exact counted prunes) and stay so
+    ///    under intra-row mutation: distances only decrease, nothing
+    ///    settles mid-row, and the bound comparison is static.
+    #[allow(clippy::too_many_arguments)]
+    fn search_batched<const TRACK_PARENTS: bool, Q: Frontier, H: Heuristic>(
+        &mut self,
+        queue: &mut Q,
+        h: &H,
+        graph: &CsrGraph,
+        source: usize,
+        target: Option<u32>,
+        bound: f64,
+        collect: bool,
+        source_h: f64,
+    ) {
+        if H::ACTIVE && (source_h == f64::INFINITY || source_h > bound) {
+            self.stats.pruned_by_bound += 1;
+            return;
+        }
+        let pending_deletions = graph.has_pending_deletions();
+        let liveness = graph.edge_liveness_words();
+        let gen = self.generation;
+        self.dist[source] = 0.0;
+        if TRACK_PARENTS {
+            self.parent[source] = NO_VERTEX;
+        }
+        self.state[source] = gen;
+        queue.push(0.0, source as u32);
+        self.last_frontier = self.last_frontier.max(queue.len());
+        // Cohort slack: every queued key strictly below `popped key + slack`
+        // can be drained alongside the popped minimum (see the doc comment).
+        // `min_live_weight` is a lower bound on every live weight between
+        // re-packs, which is exactly what the proof needs; a degenerate 0
+        // just degrades to single-row cohorts.
+        let slack = graph.min_live_weight().unwrap_or(0.0).max(0.0);
+        self.stats.kernel.prefetch_distance = PREFETCH_DISTANCE;
+        let mut gather_targets = std::mem::take(&mut self.gather_targets);
+        let mut gather_weights = std::mem::take(&mut self.gather_weights);
+        let mut rows = std::mem::take(&mut self.rows);
+        let mut commit = std::mem::take(&mut self.commit);
+        'outer: while let Some((d0, u0)) = queue.pop() {
+            self.stats.heap_pops += 1;
+            if self.state[u0 as usize] == gen + 1 {
+                continue; // stale lazy-deletion entry
+            }
+            // ---- drain + gather ----
+            rows.clear();
+            gather_targets.clear();
+            gather_weights.clear();
+            let threshold = d0 + slack;
+            // Drain position of the most recent pop, stale pops included —
+            // mirrors the scalar loop's pop sequence for lag accounting.
+            let mut drained = 0u32;
+            let mut staged_edges = 0usize;
+            let mut hit_target = stage_cohort_row(
+                graph,
+                liveness,
+                pending_deletions,
+                target,
+                &mut gather_targets,
+                &mut gather_weights,
+                &mut rows,
+                &mut staged_edges,
+                u0,
+                d0,
+                drained,
+            );
+            while !hit_target && rows.len() < MAX_COHORT_ROWS && staged_edges < GATHER_RING_CAP {
+                let Some((d, u)) = queue.pop_if_below(threshold) else {
+                    break;
+                };
+                self.stats.heap_pops += 1;
+                drained += 1;
+                if self.state[u as usize] == gen + 1 || d > self.dist[u as usize] {
+                    continue; // stale lazy-deletion entry
+                }
+                hit_target = stage_cohort_row(
+                    graph,
+                    liveness,
+                    pending_deletions,
+                    target,
+                    &mut gather_targets,
+                    &mut gather_weights,
+                    &mut rows,
+                    &mut staged_edges,
+                    u,
+                    d,
+                    drained,
+                );
+            }
+            // ---- commit ----
+            // Two-stage software pipeline over the cohort. A borrowed row's
+            // packed `(targets, weights)` lines are themselves cold (staging
+            // only read `row_offsets` for its length), and the next row's
+            // `dist`/`state` prefetch addresses come FROM its targets — a
+            // serial miss chain if fetched on demand. Knowing every cohort
+            // member up front severs it: the edge lines of row
+            // `r + EDGE_PREFETCH_AHEAD` are requested while row `r` commits,
+            // so by the time row `r+1`'s lane priming needs its target ids
+            // they are already in cache. Scratch rows skip the edge stage —
+            // their lanes were written during the drain and are still hot.
+            for row in rows.iter().take(EDGE_PREFETCH_AHEAD) {
+                if row.borrowed {
+                    let (t, w) = graph.packed_neighbors(VertexId(row.u as usize));
+                    prefetch_read(t, 0);
+                    prefetch_read(w, 0);
+                    prefetch_read(w, 8);
+                }
+            }
+            let mut start = 0usize;
+            for r in 0..rows.len() {
+                if let Some(ahead) = rows.get(r + EDGE_PREFETCH_AHEAD) {
+                    if ahead.borrowed {
+                        let (t, w) = graph.packed_neighbors(VertexId(ahead.u as usize));
+                        prefetch_read(t, 0);
+                        prefetch_read(w, 0);
+                        prefetch_read(w, 8);
                     }
-                    self.relax::<TRACK_PARENTS, Q, H>(
-                        queue,
-                        h,
-                        u,
-                        targets[i] as usize,
-                        weights[i],
+                }
+                let StagedRow {
+                    u,
+                    d,
+                    end,
+                    pos,
+                    borrowed,
+                } = rows[r];
+                let end = end as usize;
+                self.state[u as usize] = gen + 1;
+                self.stats.settled_vertices += 1;
+                if collect {
+                    self.ball_buf.push((VertexId(u as usize), d));
+                }
+                if Some(u) == target {
+                    break 'outer;
+                }
+                self.stats.kernel.rows_batched += 1;
+                // Prime the `state` lanes two rows ahead while this row is
+                // filtered and relaxed: a two-row lead covers the lanes'
+                // load latency even once the commit loop itself runs at
+                // prefetched speed, yet stays short enough that the lines
+                // are never evicted before use (staging-time prefetch with
+                // cohort-scale lead measurably thrashes L1 on wide
+                // frontiers). A staged target row is empty, so it primes
+                // nothing.
+                if let Some(next) = rows.get(r + 2) {
+                    let head = if next.borrowed {
+                        graph.packed_neighbors(VertexId(next.u as usize)).0
+                    } else {
+                        &gather_targets[rows[r + 1].end as usize..next.end as usize]
+                    };
+                    // `state` only: most candidates are untouched, so their
+                    // `dist` lines are never read — prefetching them would
+                    // waste half the kernel's memory bandwidth.
+                    for &v in head.iter().take(2 * PREFETCH_DISTANCE) {
+                        prefetch_read(&self.state, v as usize);
+                    }
+                }
+                // The scalar reference has not yet popped the entries this
+                // cohort drained after row `r`'s own pop; its queue is that
+                // much longer when these pushes happen.
+                let lag = (drained - pos) as usize;
+                if borrowed {
+                    let (targets, weights) = graph.packed_neighbors(VertexId(u as usize));
+                    self.filter_row(targets, weights, d, gen, bound, &mut commit);
+                    for &j in &commit {
+                        let j = j as usize;
+                        self.relax::<TRACK_PARENTS, Q, H>(
+                            queue,
+                            h,
+                            u,
+                            targets[j] as usize,
+                            weights[j],
+                            d,
+                            gen,
+                            bound,
+                            lag,
+                        );
+                    }
+                } else {
+                    self.filter_row(
+                        &gather_targets[start..end],
+                        &gather_weights[start..end],
                         d,
                         gen,
                         bound,
+                        &mut commit,
                     );
-                }
-            } else {
-                for i in 0..targets.len() {
-                    self.relax::<TRACK_PARENTS, Q, H>(
-                        queue,
-                        h,
-                        u,
-                        targets[i] as usize,
-                        weights[i],
-                        d,
-                        gen,
-                        bound,
-                    );
+                    for &j in &commit {
+                        let j = start + j as usize;
+                        self.relax::<TRACK_PARENTS, Q, H>(
+                            queue,
+                            h,
+                            u,
+                            gather_targets[j] as usize,
+                            gather_weights[j],
+                            d,
+                            gen,
+                            bound,
+                            lag,
+                        );
+                    }
+                    start = end;
                 }
             }
-            // Live overflow half-edges appended since the last re-pack
-            // (short; the iterator itself skips tombstoned entries).
-            for (v, w) in graph.overflow_neighbors(VertexId(u as usize)) {
-                self.relax::<TRACK_PARENTS, Q, H>(queue, h, u, v as usize, w, d, gen, bound);
-            }
+        }
+        self.gather_targets = gather_targets;
+        self.gather_weights = gather_weights;
+        self.rows = rows;
+        self.commit = commit;
+    }
+
+    /// Routes one monomorphized search through the scalar or batched
+    /// kernel; `batched` is resolved once per query by
+    /// [`DijkstraEngine::use_batched_kernel`].
+    #[allow(clippy::too_many_arguments)]
+    fn search_dispatch<const TRACK_PARENTS: bool, Q: Frontier, H: Heuristic>(
+        &mut self,
+        batched: bool,
+        queue: &mut Q,
+        h: &H,
+        graph: &CsrGraph,
+        source: usize,
+        target: Option<u32>,
+        bound: f64,
+        collect: bool,
+        source_h: f64,
+    ) {
+        if batched {
+            self.search_batched::<TRACK_PARENTS, Q, H>(
+                queue, h, graph, source, target, bound, collect, source_h,
+            );
+        } else {
+            self.search::<TRACK_PARENTS, Q, H>(
+                queue, h, graph, source, target, bound, collect, source_h,
+            );
         }
     }
 
@@ -549,11 +1192,14 @@ impl DijkstraEngine {
             QueuePolicy::Auto => bucket_delta(graph, bound),
             QueuePolicy::Heap => None,
         };
+        let batched = self.use_batched_kernel(graph);
+        let gather_cap = self.gather_capacity_signature();
         let reused = match (delta, lm) {
             (None, None) => {
                 let mut heap = std::mem::take(&mut self.heap);
                 let cap = heap.capacity();
-                self.search::<TRACK_PARENTS, _, _>(
+                self.search_dispatch::<TRACK_PARENTS, _, _>(
+                    batched,
                     &mut heap,
                     &NoHeuristic,
                     graph,
@@ -571,7 +1217,8 @@ impl DijkstraEngine {
                 let mut bucket = std::mem::take(&mut self.bucket);
                 bucket.begin(delta, bound);
                 let cap = bucket.capacity_signature();
-                self.search::<TRACK_PARENTS, _, _>(
+                self.search_dispatch::<TRACK_PARENTS, _, _>(
+                    batched,
                     &mut bucket,
                     &NoHeuristic,
                     graph,
@@ -593,8 +1240,8 @@ impl DijkstraEngine {
                 let source_h = h.estimate(s);
                 let mut heap = std::mem::take(&mut self.heap);
                 let cap = heap.capacity();
-                self.search::<TRACK_PARENTS, _, _>(
-                    &mut heap, &h, graph, s, target, bound, collect, source_h,
+                self.search_dispatch::<TRACK_PARENTS, _, _>(
+                    batched, &mut heap, &h, graph, s, target, bound, collect, source_h,
                 );
                 let ok = heap.capacity() == cap;
                 self.heap = heap;
@@ -609,7 +1256,8 @@ impl DijkstraEngine {
                 let mut bucket = std::mem::take(&mut self.bucket);
                 bucket.begin(delta, bound);
                 let cap = bucket.capacity_signature();
-                self.search::<TRACK_PARENTS, _, _>(
+                self.search_dispatch::<TRACK_PARENTS, _, _>(
+                    batched,
                     &mut bucket,
                     &h,
                     graph,
@@ -624,6 +1272,7 @@ impl DijkstraEngine {
                 ok
             }
         };
+        let reused = reused && self.gather_capacity_signature() == gather_cap;
         self.h_scratch = scratch;
         self.stats.peak_frontier = self.stats.peak_frontier.max(self.last_frontier);
         if !grew && reused {
@@ -1586,6 +2235,208 @@ mod tests {
         assert_eq!(
             stats.reuse_hits, stats.queries,
             "a pre-sized engine must never allocate, bucket and ALT paths included"
+        );
+    }
+
+    /// Every search counter must be bit-identical between the scalar and
+    /// batched kernels. The kernel block differs by definition, and
+    /// `reuse_hits` differs for *size-on-demand* engines only (the batched
+    /// kernel's gather scratch grows on its first use, a legitimate reuse
+    /// miss — pre-sized engines hit on every query under both kernels; see
+    /// `warm_engine_stays_allocation_free_under_the_batched_kernel`), so
+    /// both are zeroed before comparing.
+    fn stats_sans_kernel(stats: EngineStats) -> EngineStats {
+        EngineStats {
+            kernel: KernelStats::default(),
+            reuse_hits: 0,
+            ..stats
+        }
+    }
+
+    #[test]
+    fn relax_kernels_agree_bit_identically_on_random_graphs() {
+        let mut rng = SmallRng::seed_from_u64(40_817);
+        for round in 0..8 {
+            let n = 30;
+            let mut g = WeightedGraph::new(n);
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if rng.gen_bool(0.2) {
+                        g.add_edge(VertexId(u), VertexId(v), rng.gen_range(0.25..6.0));
+                    }
+                }
+            }
+            let csr = CsrGraph::from(&g);
+            for policy in [QueuePolicy::Heap, QueuePolicy::Auto] {
+                let mut scalar = DijkstraEngine::new();
+                scalar.set_queue_policy(policy);
+                scalar.set_relax_kernel(RelaxKernel::Scalar);
+                let mut batched = DijkstraEngine::new();
+                batched.set_queue_policy(policy);
+                batched.set_relax_kernel(RelaxKernel::Batched);
+                assert_eq!(batched.relax_kernel(), RelaxKernel::Batched);
+                for case in 0..40 {
+                    let s = VertexId(rng.gen_range(0..n));
+                    let t = VertexId(rng.gen_range(0..n));
+                    let bound = rng.gen_range(0.1..18.0);
+                    assert_eq!(
+                        scalar.bounded_distance(&csr, s, t, bound),
+                        batched.bounded_distance(&csr, s, t, bound),
+                        "round {round} case {case} ({policy:?}): distance differs"
+                    );
+                    let sb = scalar.ball(&csr, s, bound).to_vec();
+                    let bb = batched.ball(&csr, s, bound).to_vec();
+                    assert_eq!(
+                        sb, bb,
+                        "round {round} case {case} ({policy:?}): ball settle order differs"
+                    );
+                }
+                assert_eq!(
+                    stats_sans_kernel(scalar.stats()),
+                    stats_sans_kernel(batched.stats()),
+                    "round {round} ({policy:?}): pops/settles/prunes/frontier must be \
+                     bit-identical across kernels"
+                );
+                assert_eq!(scalar.stats().kernel, KernelStats::default());
+                let k = batched.stats().kernel;
+                assert!(k.rows_batched > 0, "batched kernel must have run");
+                assert!(k.candidates_committed <= k.edges_gathered);
+                assert_eq!(k.prefetch_distance, PREFETCH_DISTANCE);
+            }
+        }
+    }
+
+    #[test]
+    fn relax_kernels_agree_on_trees_paths_and_deletions() {
+        let mut rng = SmallRng::seed_from_u64(91_203);
+        let n = 24;
+        let mut edges: Vec<(usize, usize, f64)> = Vec::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if rng.gen_bool(0.3) {
+                    edges.push((u, v, rng.gen_range(0.5..4.0)));
+                }
+            }
+        }
+        let g = WeightedGraph::from_edges(n, edges.iter().copied()).unwrap();
+        let mut csr_s = CsrGraph::from(&g);
+        let mut csr_b = CsrGraph::from(&g);
+        // Appends (overflow chains) and deletions (tombstoned packed rows)
+        // on both copies, so the gather path sees both shapes.
+        for i in (0..edges.len()).step_by(4) {
+            csr_s.remove_edge(crate::graph::EdgeId(i)).unwrap();
+            csr_b.remove_edge(crate::graph::EdgeId(i)).unwrap();
+        }
+        csr_s.append_edge(VertexId(0), VertexId(n - 1), 1.25);
+        csr_b.append_edge(VertexId(0), VertexId(n - 1), 1.25);
+        assert!(csr_s.has_pending_deletions());
+        let mut scalar = DijkstraEngine::new();
+        scalar.set_relax_kernel(RelaxKernel::Scalar);
+        let mut batched = DijkstraEngine::new();
+        batched.set_relax_kernel(RelaxKernel::Batched);
+        for s in 0..n {
+            let st = scalar
+                .shortest_path_tree(&csr_s, VertexId(s))
+                .to_owned_tree();
+            let bt = batched
+                .shortest_path_tree(&csr_b, VertexId(s))
+                .to_owned_tree();
+            for v in 0..n {
+                assert_eq!(st.distance(VertexId(v)), bt.distance(VertexId(v)));
+                assert_eq!(
+                    st.path_to(VertexId(v)),
+                    bt.path_to(VertexId(v)),
+                    "parent chains must agree from {s} to {v}"
+                );
+            }
+        }
+        assert_eq!(
+            stats_sans_kernel(scalar.stats()),
+            stats_sans_kernel(batched.stats())
+        );
+    }
+
+    #[test]
+    fn auto_kernel_stays_scalar_on_short_rows_and_flips_on_deletions() {
+        // A path graph's mean degree is < 2: Auto must keep the scalar loop.
+        let n = 12;
+        let g = WeightedGraph::from_edges(n, (1..n).map(|v| (v - 1, v, 1.0))).unwrap();
+        let mut csr = CsrGraph::from(&g);
+        let mut e = DijkstraEngine::new();
+        assert_eq!(e.relax_kernel(), RelaxKernel::Auto);
+        e.bounded_distance(&csr, VertexId(0), VertexId(n - 1), 100.0);
+        assert_eq!(
+            e.stats().kernel.rows_batched,
+            0,
+            "Auto must pick the scalar loop on short-row graphs"
+        );
+        // Pending deletions flip Auto to the batched kernel (bitmap gather).
+        csr.remove_edge(crate::graph::EdgeId(0)).unwrap();
+        assert!(csr.has_pending_deletions());
+        e.bounded_distance(&csr, VertexId(1), VertexId(n - 1), 100.0);
+        assert!(
+            e.stats().kernel.rows_batched > 0,
+            "Auto must pick the batched kernel while deletions are pending"
+        );
+    }
+
+    #[test]
+    fn warm_engine_stays_allocation_free_under_the_batched_kernel() {
+        let mut rng = SmallRng::seed_from_u64(4_242);
+        let n = 64;
+        let mut g = WeightedGraph::new(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if rng.gen_bool(0.12) {
+                    g.add_edge(VertexId(u), VertexId(v), rng.gen_range(0.5..4.0));
+                }
+            }
+        }
+        let csr = CsrGraph::from(&g);
+        let lm = Landmarks::build_degree_ranked(&csr, 4);
+        let mut e = DijkstraEngine::with_capacity_for(n, csr.num_edges());
+        e.set_relax_kernel(RelaxKernel::Batched);
+        for i in 0..50 {
+            let s = VertexId((i * 13) % n);
+            let t = VertexId((i * 29 + 7) % n);
+            let bound = 2.0 + (i % 5) as f64;
+            if i % 2 == 0 {
+                e.bounded_distance(&csr, s, t, bound);
+            } else {
+                e.bounded_distance_landmarked(&csr, &lm, s, t, bound);
+            }
+        }
+        let stats = e.stats();
+        assert!(stats.kernel.rows_batched > 0);
+        assert_eq!(
+            stats.reuse_hits, stats.queries,
+            "a pre-sized engine must never allocate, gather scratch included"
+        );
+    }
+
+    #[test]
+    fn kernel_stats_merge_adds_counts_and_maxes_prefetch() {
+        let mut a = KernelStats {
+            rows_batched: 3,
+            edges_gathered: 40,
+            candidates_committed: 11,
+            prefetch_distance: 8,
+        };
+        let b = KernelStats {
+            rows_batched: 2,
+            edges_gathered: 10,
+            candidates_committed: 4,
+            prefetch_distance: 0,
+        };
+        a.merge(&b);
+        assert_eq!(
+            a,
+            KernelStats {
+                rows_batched: 5,
+                edges_gathered: 50,
+                candidates_committed: 15,
+                prefetch_distance: 8,
+            }
         );
     }
 }

@@ -107,8 +107,26 @@
 //!   identical for *every* landmark set — including none. Tables are
 //!   epoch-stamped ([`csr::CsrGraph::epoch`]) and must be rebuilt after any
 //!   mutation; the engine refuses stale tables.
+//! * **Batched relax kernel** ([`RelaxKernel`]): instead of one dependent
+//!   random-access `dist`/`state` load per half-edge, the engine can drain a
+//!   whole same-cohort group of queue entries (every entry whose key is
+//!   strictly below `popped key + min live weight` — provably settleable in
+//!   one pass), stage their packed adjacency rows (clean rows borrowed in
+//!   place, dirty rows compacted into scratch lanes against the raw
+//!   liveness bitmap), software-pipeline the commit pass — edge lines
+//!   prefetched a few rows ahead, `state` lanes primed ahead of the filter —
+//!   branchlessly compact the surviving candidates into a commit buffer and
+//!   only then relax them. Under the default `Auto` policy the batched
+//!   kernel runs when rows are long enough to amortize staging (mean degree
+//!   ≥ 3) or deletions are pending (the bitmap gather beats per-edge
+//!   liveness calls); every answer, settle order and counter stays
+//!   bit-identical to the scalar reference path.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the batched relax kernel's bounds-checked
+// `_mm_prefetch` helper in `engine` carries the crate's only `unsafe` block
+// behind a targeted `allow` (prefetching cannot fault or write — it only
+// warms the cache).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod apsp;
@@ -132,7 +150,9 @@ pub mod union_find;
 
 pub use builder::GraphBuilder;
 pub use csr::{CompactedRebuild, CsrGraph, CsrSnapshot, DeltaOverlay, VertexPerm};
-pub use engine::{DijkstraEngine, EngineStats, EngineTree, QueuePolicy, SptTree};
+pub use engine::{
+    DijkstraEngine, EngineStats, EngineTree, KernelStats, QueuePolicy, RelaxKernel, SptTree,
+};
 pub use error::GraphError;
 pub use graph::{Edge, EdgeId, VertexId, WeightedGraph};
 pub use landmarks::Landmarks;

@@ -47,7 +47,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use crate::csr::{CsrGraph, CsrSnapshot};
-use crate::engine::{DijkstraEngine, EngineStats, QueuePolicy};
+use crate::engine::{DijkstraEngine, EngineStats, QueuePolicy, RelaxKernel};
 use crate::error::GraphError;
 
 /// Below this many items per worker the pool shrinks the worker count so no
@@ -201,6 +201,7 @@ impl EnginePool {
             total.pruned_by_bound += s.pruned_by_bound;
             total.peak_frontier = total.peak_frontier.max(s.peak_frontier);
             total.generation_wraps += s.generation_wraps;
+            total.kernel.merge(&s.kernel);
         }
         total
     }
@@ -211,6 +212,15 @@ impl EnginePool {
     pub fn set_queue_policy(&mut self, policy: QueuePolicy) {
         for e in &mut self.engines {
             e.set_queue_policy(policy);
+        }
+    }
+
+    /// Sets the [`RelaxKernel`] on every engine in the pool (including the
+    /// commit engine). Answers are bit-identical under every kernel; this
+    /// only selects how relaxations are executed.
+    pub fn set_relax_kernel(&mut self, kernel: RelaxKernel) {
+        for e in &mut self.engines {
+            e.set_relax_kernel(kernel);
         }
     }
 

@@ -1,0 +1,265 @@
+//! Property tests pinning the batched gather → relax kernel to the scalar
+//! reference across the full configuration grid the engine can run:
+//! `RelaxKernel` × `QueuePolicy` × CSR layout (original vs degree-sorted
+//! relayout) × landmarks (none vs ALT pruning) — distances, paths, balls,
+//! settle order, and the search counters must be **bit-identical** in every
+//! cell, including graphs with tombstoned edges and live overlay
+//! insertions.
+
+use proptest::prelude::*;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use spanner_graph::dijkstra::bounded_distance;
+use spanner_graph::{
+    CsrGraph, DijkstraEngine, EdgeId, EngineStats, KernelStats, Landmarks, QueuePolicy,
+    RelaxKernel, VertexId, VertexPerm, WeightedGraph,
+};
+
+/// The same graph families as the queue-equivalence suite: sparse ER,
+/// dense narrow-weight (long rows — the batched kernel's sweet spot), and
+/// high weight spread (degenerate cohort slack vs the mean-derived bucket
+/// width).
+fn arb_graph() -> impl Strategy<Value = WeightedGraph> {
+    (2usize..28, 0u64..1000, 0usize..3).prop_map(|(n, seed, family)| {
+        let mut rng = SmallRng::seed_from_u64(seed ^ (family as u64) << 32);
+        let (p, lo, hi) = match family {
+            0 => (0.15, 0.5, 6.0),   // ER
+            1 => (0.6, 1.0, 2.0),    // dense, narrow weights
+            _ => (0.25, 0.01, 10.0), // high weight spread
+        };
+        let mut g = WeightedGraph::new(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if rng.gen_bool(p) {
+                    g.add_edge(VertexId(u), VertexId(v), rng.gen_range(lo..hi));
+                }
+            }
+        }
+        g
+    })
+}
+
+/// One pre-sized engine per `(kernel, queue)` grid cell, scalar/heap first
+/// (the reference). Pre-sizing co-tests the zero-allocation contract of the
+/// gather scratch for free.
+fn grid_engines(n: usize, m: usize) -> Vec<(RelaxKernel, QueuePolicy, DijkstraEngine)> {
+    let mut engines = Vec::new();
+    for kernel in [RelaxKernel::Scalar, RelaxKernel::Batched, RelaxKernel::Auto] {
+        for queue in [QueuePolicy::Heap, QueuePolicy::Auto] {
+            let mut e = DijkstraEngine::with_capacity_for(n, m);
+            e.set_relax_kernel(kernel);
+            e.set_queue_policy(queue);
+            engines.push((kernel, queue, e));
+        }
+    }
+    engines
+}
+
+/// The kernel block is the only counter allowed to differ across kernels.
+fn comparable(stats: EngineStats) -> EngineStats {
+    EngineStats {
+        kernel: KernelStats::default(),
+        ..stats
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Bounded distances and balls (answers AND settle order) agree across
+    /// every grid cell and match the reference free function; search
+    /// counters are bit-identical between kernels at a fixed queue policy,
+    /// and pre-sized engines never allocate under either kernel.
+    #[test]
+    fn kernel_grid_agrees_on_distances_and_balls(g in arb_graph(), seed in 0u64..1000) {
+        let n = g.num_vertices();
+        let csr = CsrGraph::from(&g);
+        let mut engines = grid_engines(n, g.num_edges());
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for case in 0..16 {
+            let s = VertexId(rng.gen_range(0..n));
+            let t = VertexId(rng.gen_range(0..n));
+            let bound = rng.gen_range(0.0..20.0);
+            let want = bounded_distance(&g, s, t, bound);
+            let radius = rng.gen_range(0.0..12.0);
+            let mut want_ball: Option<Vec<(VertexId, f64)>> = None;
+            for (kernel, queue, e) in engines.iter_mut() {
+                prop_assert_eq!(
+                    e.bounded_distance(&csr, s, t, bound),
+                    want,
+                    "case {}: {:?}/{:?} distance diverged", case, kernel, queue
+                );
+                let got_ball = e.ball(&csr, s, radius).to_vec();
+                match &want_ball {
+                    None => want_ball = Some(got_ball),
+                    Some(w) => prop_assert_eq!(
+                        w, &got_ball,
+                        "case {}: {:?}/{:?} ball settle order diverged", case, kernel, queue
+                    ),
+                }
+            }
+        }
+        for queue in [QueuePolicy::Heap, QueuePolicy::Auto] {
+            let per_queue: Vec<EngineStats> = engines
+                .iter()
+                .filter(|(_, q, _)| *q == queue)
+                .map(|(_, _, e)| e.stats())
+                .collect();
+            for s in &per_queue {
+                prop_assert_eq!(
+                    s.reuse_hits, s.queries,
+                    "a pre-sized engine must never allocate ({:?})", queue
+                );
+                prop_assert!(s.kernel.candidates_committed <= s.kernel.edges_gathered);
+            }
+            for s in &per_queue[1..] {
+                prop_assert_eq!(
+                    comparable(per_queue[0]), comparable(*s),
+                    "kernels must agree on every search counter ({:?})", queue
+                );
+            }
+        }
+    }
+
+    /// Shortest-path trees: distances and full parent chains agree across
+    /// the kernel grid (the `TRACK_PARENTS` commit path).
+    #[test]
+    fn kernel_grid_agrees_on_paths(g in arb_graph(), seed in 0u64..500) {
+        let n = g.num_vertices();
+        let csr = CsrGraph::from(&g);
+        let mut engines = grid_engines(n, g.num_edges());
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..4 {
+            let s = VertexId(rng.gen_range(0..n));
+            let reference = {
+                let (_, _, e) = &mut engines[0];
+                e.shortest_path_tree(&csr, s).to_owned_tree()
+            };
+            for (kernel, queue, e) in engines.iter_mut().skip(1) {
+                let tree = e.shortest_path_tree(&csr, s).to_owned_tree();
+                for v in 0..n {
+                    prop_assert_eq!(
+                        reference.distance(VertexId(v)),
+                        tree.distance(VertexId(v)),
+                        "{:?}/{:?}: SPT distance diverged", kernel, queue
+                    );
+                    prop_assert_eq!(
+                        reference.path_to(VertexId(v)),
+                        tree.path_to(VertexId(v)),
+                        "{:?}/{:?}: SPT parent chain diverged", kernel, queue
+                    );
+                }
+            }
+        }
+    }
+
+    /// ALT pruning composed with the batched kernel (the heuristic rides the
+    /// commit filter) stays answer-invariant in every grid cell, on both
+    /// the original and the degree-sorted layout.
+    #[test]
+    fn kernel_grid_agrees_under_landmarks_and_relayout(g in arb_graph(), seed in 0u64..500) {
+        let n = g.num_vertices();
+        let csr = CsrGraph::from(&g);
+        let lm = Landmarks::build_degree_ranked(&csr, 3.min(n));
+        let perm = VertexPerm::degree_sorted(&csr);
+        let reordered = csr.reorder(&perm);
+        let lm_reordered = Landmarks::build_degree_ranked(&reordered, 3.min(n));
+        let mut engines = grid_engines(n, g.num_edges());
+        let mut reordered_engines = grid_engines(n, g.num_edges());
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for case in 0..12 {
+            let s = VertexId(rng.gen_range(0..n));
+            let t = VertexId(rng.gen_range(0..n));
+            let bound = if rng.gen_bool(0.15) {
+                f64::INFINITY
+            } else {
+                rng.gen_range(0.0..20.0)
+            };
+            let want = bounded_distance(&g, s, t, bound);
+            for (kernel, queue, e) in engines.iter_mut() {
+                prop_assert_eq!(
+                    e.bounded_distance_landmarked(&csr, &lm, s, t, bound),
+                    want,
+                    "case {}: {:?}/{:?}+ALT diverged", case, kernel, queue
+                );
+            }
+            let (si, ti) = (perm.to_internal(s), perm.to_internal(t));
+            for (kernel, queue, e) in reordered_engines.iter_mut() {
+                prop_assert_eq!(
+                    e.bounded_distance_landmarked(&reordered, &lm_reordered, si, ti, bound),
+                    want,
+                    "case {}: {:?}/{:?}+ALT on relayout diverged", case, kernel, queue
+                );
+            }
+        }
+    }
+
+    /// Tombstoned packed rows and overlay overflow chains: the batched
+    /// kernel's bitmap gather must agree with the scalar per-edge liveness
+    /// path and with a fresh rebuild of the surviving edge set, under
+    /// delete/append churn.
+    #[test]
+    fn kernel_grid_agrees_under_tombstones_and_overflow(g in arb_graph(), seed in 0u64..500) {
+        let n = g.num_vertices();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut csr = CsrGraph::from(&g);
+        let mut engines = grid_engines(n, g.num_edges() + 24);
+        let mut surviving: Vec<(VertexId, VertexId, f64)> =
+            g.edges().iter().map(|e| (e.u, e.v, e.weight)).collect();
+        let mut ids: Vec<usize> = (0..g.num_edges()).collect();
+        let mut next_weight = 0.13f64;
+        for step in 0..12 {
+            if step % 2 == 0 && !ids.is_empty() {
+                let pick = rng.gen_range(0..ids.len());
+                let id = ids.swap_remove(pick);
+                surviving.swap_remove(pick);
+                csr.remove_edge(EdgeId(id)).unwrap();
+            } else {
+                let u = rng.gen_range(0..n);
+                let mut v = rng.gen_range(0..n.max(2) - 1);
+                if v >= u { v += 1; }
+                next_weight += 0.41;
+                let id = csr.append_edge(VertexId(u), VertexId(v), next_weight);
+                ids.push(id.index());
+                surviving.push((VertexId(u), VertexId(v), next_weight));
+            }
+            let reference = {
+                let mut fresh = WeightedGraph::new(n);
+                for &(u, v, w) in &surviving {
+                    fresh.add_edge(u, v, w);
+                }
+                fresh
+            };
+            let s = VertexId(rng.gen_range(0..n));
+            let t = VertexId(rng.gen_range(0..n));
+            let bound = rng.gen_range(0.0..25.0);
+            let want = bounded_distance(&reference, s, t, bound);
+            let radius = rng.gen_range(0.0..12.0);
+            let mut want_ball: Option<Vec<(VertexId, f64)>> = None;
+            for (kernel, queue, e) in engines.iter_mut() {
+                prop_assert_eq!(
+                    e.bounded_distance(&csr, s, t, bound),
+                    want,
+                    "step {}: {:?}/{:?} diverged under churn", step, kernel, queue
+                );
+                let got_ball = e.ball(&csr, s, radius).to_vec();
+                match &want_ball {
+                    None => want_ball = Some(got_ball),
+                    Some(w) => prop_assert_eq!(
+                        w, &got_ball,
+                        "step {}: {:?}/{:?} ball diverged under churn", step, kernel, queue
+                    ),
+                }
+            }
+        }
+        // With deletions pending, Auto must have routed through the batched
+        // kernel on at least one engine (the bitmap-gather satellite).
+        let auto_kernel: u64 = engines
+            .iter()
+            .filter(|(k, _, _)| *k == RelaxKernel::Auto)
+            .map(|(_, _, e)| e.stats().kernel.rows_batched)
+            .sum();
+        prop_assert!(auto_kernel > 0, "Auto never took the batched path under churn");
+    }
+}

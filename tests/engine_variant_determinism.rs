@@ -1,6 +1,7 @@
 //! Acceptance matrix for the point-query acceleration stack: every engine
 //! variant — binary-heap queue, bucket queue, and bucket + ALT landmark
-//! pruning, with and without the cache-conscious relayout — must serve
+//! pruning, with and without the cache-conscious relayout, under the
+//! scalar, batched, and auto-selected relaxation kernels — must serve
 //! answers **bit-identical** to the plain reference configuration, across
 //! thread counts {1, 2, 8} and cache capacities {0, 64}, cold and warm.
 //!
@@ -17,52 +18,80 @@ use greedy_spanner::Spanner;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use spanner_graph::generators::erdos_renyi_connected;
-use spanner_graph::{QueuePolicy, WeightedGraph};
+use spanner_graph::{QueuePolicy, RelaxKernel, WeightedGraph};
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
 const CACHE_CAPACITIES: [usize; 2] = [0, 64];
 
 /// One engine configuration under test: queue policy, whether the frozen
-/// handle is relayouted, and how many landmarks to derive (0 = none).
+/// handle is relayouted, how many landmarks to derive (0 = none), and which
+/// relaxation kernel the engines run.
 struct Variant {
     name: &'static str,
     policy: QueuePolicy,
     reorder: bool,
     landmarks: usize,
+    kernel: RelaxKernel,
 }
 
-/// The frozen-handle matrix. `heap/plain` is the reference: the exact
-/// pre-acceleration serving configuration.
-const FROZEN_VARIANTS: [Variant; 5] = [
+/// The frozen-handle matrix. `heap/plain/scalar` is the reference: the
+/// exact pre-acceleration serving configuration.
+const FROZEN_VARIANTS: [Variant; 8] = [
     Variant {
-        name: "heap/plain",
+        name: "heap/plain/scalar",
         policy: QueuePolicy::Heap,
         reorder: false,
         landmarks: 0,
+        kernel: RelaxKernel::Scalar,
     },
     Variant {
-        name: "bucket/plain",
+        name: "heap/plain/batched",
+        policy: QueuePolicy::Heap,
+        reorder: false,
+        landmarks: 0,
+        kernel: RelaxKernel::Batched,
+    },
+    Variant {
+        name: "bucket/plain/batched",
         policy: QueuePolicy::Auto,
         reorder: false,
         landmarks: 0,
+        kernel: RelaxKernel::Batched,
     },
     Variant {
-        name: "bucket/reordered",
+        name: "bucket/reordered/auto",
         policy: QueuePolicy::Auto,
         reorder: true,
         landmarks: 0,
+        kernel: RelaxKernel::Auto,
     },
     Variant {
-        name: "heap/reordered+alt",
+        name: "heap/reordered+alt/scalar",
         policy: QueuePolicy::Heap,
         reorder: true,
         landmarks: 4,
+        kernel: RelaxKernel::Scalar,
     },
     Variant {
-        name: "bucket/reordered+alt",
+        name: "heap/reordered+alt/batched",
+        policy: QueuePolicy::Heap,
+        reorder: true,
+        landmarks: 4,
+        kernel: RelaxKernel::Batched,
+    },
+    Variant {
+        name: "bucket/reordered+alt/batched",
         policy: QueuePolicy::Auto,
         reorder: true,
         landmarks: 4,
+        kernel: RelaxKernel::Batched,
+    },
+    Variant {
+        name: "bucket/reordered+alt/auto",
+        policy: QueuePolicy::Auto,
+        reorder: true,
+        landmarks: 4,
+        kernel: RelaxKernel::Auto,
     },
 ];
 
@@ -91,6 +120,7 @@ fn frozen_engine_variants_answer_bit_identically() {
             .threads(1)
             .cache_capacity(0)
             .queue_policy(QueuePolicy::Heap)
+            .relax_kernel(RelaxKernel::Scalar)
             .reorder(false)
             .landmarks(0)
             .audit_against(&g)
@@ -106,6 +136,7 @@ fn frozen_engine_variants_answer_bit_identically() {
                     .threads(threads)
                     .cache_capacity(cache)
                     .queue_policy(variant.policy)
+                    .relax_kernel(variant.kernel)
                     .reorder(variant.reorder)
                     .landmarks(variant.landmarks)
                     .audit_against(&g)
@@ -147,6 +178,7 @@ fn rebuilt_reference(server: &SpannerServer, queries: &[Query]) -> Vec<Answer> {
         .threads(1)
         .cache_capacity(0)
         .queue_policy(QueuePolicy::Heap)
+        .relax_kernel(RelaxKernel::Scalar)
         .audit_against(&original)
         .finish();
     reference.answer_batch(queries).expect("valid batch")
@@ -170,15 +202,39 @@ fn live_engine_variants_survive_compacting_update_batches() {
         .bound(1e6)
         .seed(0xBEE5)
         .generate(&g);
-    // Live servers never relayout; the live matrix varies queue policy and
-    // the demand-derived landmark table (0 disables it).
-    let live_variants: [(&str, QueuePolicy, usize); 4] = [
-        ("heap/plain", QueuePolicy::Heap, 0),
-        ("bucket/plain", QueuePolicy::Auto, 0),
-        ("heap/alt", QueuePolicy::Heap, 4),
-        ("bucket/alt", QueuePolicy::Auto, 4),
+    // Live servers never relayout; the live matrix varies queue policy, the
+    // demand-derived landmark table (0 disables it), and the relax kernel.
+    // Tombstoning update batches are exactly what flips `Auto` onto the
+    // batched path mid-stream, so the kernel dimension matters most here.
+    let live_variants: [(&str, QueuePolicy, usize, RelaxKernel); 6] = [
+        (
+            "heap/plain/scalar",
+            QueuePolicy::Heap,
+            0,
+            RelaxKernel::Scalar,
+        ),
+        (
+            "heap/plain/batched",
+            QueuePolicy::Heap,
+            0,
+            RelaxKernel::Batched,
+        ),
+        ("bucket/plain/auto", QueuePolicy::Auto, 0, RelaxKernel::Auto),
+        (
+            "heap/alt/batched",
+            QueuePolicy::Heap,
+            4,
+            RelaxKernel::Batched,
+        ),
+        (
+            "bucket/alt/batched",
+            QueuePolicy::Auto,
+            4,
+            RelaxKernel::Batched,
+        ),
+        ("bucket/alt/auto", QueuePolicy::Auto, 4, RelaxKernel::Auto),
     ];
-    for (name, policy, landmark_count) in live_variants {
+    for (name, policy, landmark_count, kernel) in live_variants {
         for threads in THREAD_COUNTS {
             for cache in CACHE_CAPACITIES {
                 // A near-zero threshold makes every tombstoning batch
@@ -195,6 +251,7 @@ fn live_engine_variants_survive_compacting_update_batches() {
                     .threads(threads)
                     .cache_capacity(cache)
                     .queue_policy(policy)
+                    .relax_kernel(kernel)
                     .landmarks(landmark_count)
                     .finish();
                 let mut compactions = 0usize;
